@@ -1,0 +1,419 @@
+// Benchmark harness: one benchmark per experiment of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index). Each benchmark
+// regenerates the corresponding table/figure artefact; run with
+//
+//	go test -bench=. -benchmem
+//
+// The table benchmarks print their artefact once so a bench run leaves a
+// full reproduction transcript.
+package divsql
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"divsql/internal/core"
+	"divsql/internal/corpus"
+	"divsql/internal/dialect"
+	"divsql/internal/middleware"
+	"divsql/internal/reliability"
+	"divsql/internal/replication"
+	"divsql/internal/server"
+	"divsql/internal/study"
+	"divsql/internal/tpcc"
+	"divsql/internal/translate"
+)
+
+var (
+	benchOnce sync.Once
+	benchRes  *study.Result
+	benchErr  error
+)
+
+func studyResult(b *testing.B) *study.Result {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchRes, benchErr = study.New().Run()
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchRes
+}
+
+var printed sync.Map
+
+func printOnce(b *testing.B, key, text string) {
+	b.Helper()
+	if _, loaded := printed.LoadOrStore(key, true); !loaded {
+		fmt.Println(text)
+	}
+}
+
+// BenchmarkStudyRun measures one full study pass: 181 bug scripts
+// translated and executed on four servers plus the oracle.
+func BenchmarkStudyRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := study.New().Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (experiment T1).
+func BenchmarkTable1(b *testing.B) {
+	res := studyResult(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = res.BuildTable1().Render()
+	}
+	printOnce(b, "t1", out)
+}
+
+// BenchmarkTable2 regenerates Table 2 (experiment T2).
+func BenchmarkTable2(b *testing.B) {
+	res := studyResult(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = res.BuildTable2().Render()
+	}
+	printOnce(b, "t2", out)
+}
+
+// BenchmarkTable3 regenerates Table 3 (experiment T3).
+func BenchmarkTable3(b *testing.B) {
+	res := studyResult(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = res.BuildTable3().Render()
+	}
+	printOnce(b, "t3", out)
+}
+
+// BenchmarkTable4 regenerates Table 4 (experiment T4).
+func BenchmarkTable4(b *testing.B) {
+	res := studyResult(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = res.BuildTable4().Render()
+	}
+	printOnce(b, "t4", out)
+}
+
+// BenchmarkHeadlineStats regenerates the Section 7 headline statistics
+// (experiment S1).
+func BenchmarkHeadlineStats(b *testing.B) {
+	res := studyResult(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = res.BuildHeadline().Render()
+	}
+	printOnce(b, "s1", out)
+}
+
+// BenchmarkReliabilityModel regenerates the Section 6 reliability-gain
+// analysis with reporting-bias and usage-profile sensitivity
+// (experiment E5).
+func BenchmarkReliabilityModel(b *testing.B) {
+	res := studyResult(b)
+	var rep *reliability.Report
+	for i := 0; i < b.N; i++ {
+		rep = reliability.FromStudy(res)
+		for _, p := range rep.Pairs {
+			if p.MA == 0 {
+				continue
+			}
+			if _, err := reliability.EstimateWithReporting(p, 0.5); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := reliability.ProfileSensitivity(p, 1.1, 200, 7); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	printOnce(b, "e5", rep.Render())
+}
+
+// BenchmarkTPCCConfigurations runs the TPC-C-like statistical-testing
+// campaign against single / non-diverse / diverse configurations
+// (experiment E6) and reports simulated statement throughput.
+func BenchmarkTPCCConfigurations(b *testing.B) {
+	configs := []struct {
+		name string
+		make func(b *testing.B) core.Executor
+	}{
+		{"single-OR", func(b *testing.B) core.Executor {
+			s, err := server.New(dialect.OR, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return s
+		}},
+		{"replicated-PGx2", func(b *testing.B) core.Executor {
+			s1, _ := server.New(dialect.PG, nil)
+			s2, _ := server.New(dialect.PG, nil)
+			g, err := replication.NewGroup(true, s1, s2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return g
+		}},
+		{"diverse-PG+OR+MS", func(b *testing.B) core.Executor {
+			s1, _ := server.New(dialect.PG, nil)
+			s2, _ := server.New(dialect.OR, nil)
+			s3, _ := server.New(dialect.MS, nil)
+			d, err := middleware.New(middleware.DefaultConfig(), s1, s2, s3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return d
+		}},
+	}
+	for _, cfgCase := range configs {
+		b.Run(cfgCase.name, func(b *testing.B) {
+			exec := cfgCase.make(b)
+			cfg := tpcc.DefaultConfig()
+			if err := tpcc.Setup(exec, cfg); err != nil {
+				b.Fatal(err)
+			}
+			driver := tpcc.NewDriver(cfg)
+			b.ResetTimer()
+			var stmts int
+			for i := 0; i < b.N; i++ {
+				m, err := driver.Run(exec, 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stmts += m.Statements
+			}
+			b.ReportMetric(float64(stmts)/float64(b.N), "stmts/op")
+		})
+	}
+}
+
+// BenchmarkComparatorNormalization is the A1 ablation: the
+// representation-tolerant comparator versus strict comparison over
+// results that differ only in representation. The tolerant comparator
+// must report equality (no false alarms); the strict one must not.
+func BenchmarkComparatorNormalization(b *testing.B) {
+	srvA, _ := server.New(dialect.PG, nil)
+	srvB, _ := server.New(dialect.OR, nil)
+	for _, s := range []*server.Server{srvA, srvB} {
+		if _, _, err := s.Exec("CREATE TABLE T (A FLOAT, S CHAR(10))"); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := s.Exec("INSERT INTO T VALUES (0.1, 'pad')"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Make representations diverge: one server computes 0.1+0.2 in two
+	// steps, padding differs.
+	resA, _, err := srvA.Exec("SELECT A + 0.2 AS X, S FROM T")
+	if err != nil {
+		b.Fatal(err)
+	}
+	resB, _, err := srvB.Exec("SELECT 0.30000000000000004 AS X, 'pad   ' AS S FROM T")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tolerant := core.DefaultCompareOptions()
+	strict := core.StrictCompareOptions()
+	var falseAlarmsTolerant, falseAlarmsStrict int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !core.Equal(resA, resB, tolerant) {
+			falseAlarmsTolerant++
+		}
+		if !core.Equal(resA, resB, strict) {
+			falseAlarmsStrict++
+		}
+	}
+	b.StopTimer()
+	if falseAlarmsTolerant != 0 {
+		b.Fatalf("tolerant comparator raised %d false alarms", falseAlarmsTolerant)
+	}
+	if falseAlarmsStrict != b.N {
+		b.Fatalf("strict comparator missed representation differences")
+	}
+	b.ReportMetric(float64(falseAlarmsStrict)/float64(b.N), "strict-false-alarms/op")
+}
+
+// BenchmarkMaskingAblation is the A2 ablation: detection/masking rate of
+// non-diverse vs diverse-pair vs diverse-triple configurations against
+// an injected wrong-result fault campaign.
+func BenchmarkMaskingAblation(b *testing.B) {
+	type outcome struct{ detected, masked, silentWrong int }
+	campaign := func(b *testing.B, mk func() core.Executor, n int) outcome {
+		var out outcome
+		for i := 0; i < n; i++ {
+			exec := mk()
+			mustB(b, exec, "CREATE TABLE R (N FLOAT)")
+			mustB(b, exec, "INSERT INTO R VALUES (1.00000007)")
+			res, _, err := exec.Exec("SELECT N * 16777216.0 AS P FROM R")
+			switch {
+			case err != nil:
+				out.detected++
+			case res.Rows[0][0].String() == "1.6777218e+07":
+				out.silentWrong++
+			default:
+				out.masked++
+			}
+		}
+		return out
+	}
+	cases := []struct {
+		name string
+		mk   func() core.Executor
+	}{
+		{"non-diverse-PGx2", func() core.Executor {
+			s1, _ := server.New(dialect.PG, nil)
+			s2, _ := server.New(dialect.PG, nil)
+			g, _ := replication.NewGroup(true, s1, s2)
+			return g
+		}},
+		{"diverse-pair-PG+OR", func() core.Executor {
+			s1, _ := server.New(dialect.PG, nil)
+			s2, _ := server.New(dialect.OR, nil)
+			cfg := middleware.DefaultConfig()
+			cfg.Rephrase = false
+			d, _ := middleware.New(cfg, s1, s2)
+			return d
+		}},
+		{"diverse-triple-PG+OR+IB", func() core.Executor {
+			s1, _ := server.New(dialect.PG, nil)
+			s2, _ := server.New(dialect.OR, nil)
+			s3, _ := server.New(dialect.IB, nil)
+			d, _ := middleware.New(middleware.DefaultConfig(), s1, s2, s3)
+			return d
+		}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			out := campaign(b, tc.mk, b.N)
+			b.ReportMetric(float64(out.silentWrong)/float64(b.N), "silent-wrong/op")
+			b.ReportMetric(float64(out.detected)/float64(b.N), "detected/op")
+			b.ReportMetric(float64(out.masked)/float64(b.N), "masked/op")
+		})
+	}
+}
+
+func mustB(b *testing.B, exec core.Executor, sql string) {
+	b.Helper()
+	if _, _, err := exec.Exec(sql); err != nil {
+		b.Fatalf("%s: %v", sql, err)
+	}
+}
+
+// BenchmarkMiddlewareOverhead compares single-statement latency of a
+// single server against diverse configurations (the paper's Section 6
+// cost discussion: "run-time cost of the synchronisation and
+// consistency enforcing mechanisms").
+func BenchmarkMiddlewareOverhead(b *testing.B) {
+	mkSingle := func() core.Executor {
+		s, _ := server.New(dialect.OR, nil)
+		return s
+	}
+	mkPair := func() core.Executor {
+		s1, _ := server.New(dialect.PG, nil)
+		s2, _ := server.New(dialect.OR, nil)
+		d, _ := middleware.New(middleware.DefaultConfig(), s1, s2)
+		return d
+	}
+	mkTriple := func() core.Executor {
+		s1, _ := server.New(dialect.PG, nil)
+		s2, _ := server.New(dialect.OR, nil)
+		s3, _ := server.New(dialect.MS, nil)
+		d, _ := middleware.New(middleware.DefaultConfig(), s1, s2, s3)
+		return d
+	}
+	for _, tc := range []struct {
+		name string
+		mk   func() core.Executor
+	}{
+		{"single", mkSingle}, {"diverse-pair", mkPair}, {"diverse-triple", mkTriple},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			exec := tc.mk()
+			mustB(b, exec, "CREATE TABLE T (A INT, S VARCHAR(20))")
+			for i := 0; i < 64; i++ {
+				mustB(b, exec, fmt.Sprintf("INSERT INTO T VALUES (%d, 'row%d')", i, i))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := exec.Exec("SELECT A, S FROM T WHERE A < 32 ORDER BY A"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineSelect measures raw engine query throughput (substrate
+// sanity; not a paper artefact).
+func BenchmarkEngineSelect(b *testing.B) {
+	s, _ := server.New(dialect.PG, nil)
+	mustB(b, s, "CREATE TABLE T (A INT, B FLOAT, S VARCHAR(20))")
+	for i := 0; i < 256; i++ {
+		mustB(b, s, fmt.Sprintf("INSERT INTO T VALUES (%d, %d.5, 'v%d')", i, i, i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Exec("SELECT A, SUM(B) AS SB FROM T WHERE A > 100 GROUP BY A ORDER BY A"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTranslation measures dialect-translation throughput over the
+// full corpus (every bug script into every other dialect).
+func BenchmarkTranslation(b *testing.B) {
+	bugs := corpus.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range bugs {
+			bug := &bugs[j]
+			for _, tgt := range dialect.AllServers {
+				if tgt == bug.Server {
+					continue
+				}
+				_, _ = translate.Script(bug.Script, bug.Server, tgt)
+			}
+		}
+	}
+}
+
+// BenchmarkReadPolicyTradeoff measures the paper's §7 performance-vs-
+// dependability dial: compare-every-query vs read-one-replica on a
+// diverse triple.
+func BenchmarkReadPolicyTradeoff(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		policy middleware.ReadPolicy
+	}{
+		{"compare-all-queries", middleware.ReadCompareAll},
+		{"read-one-replica", middleware.ReadOne},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			s1, _ := server.New(dialect.PG, nil)
+			s2, _ := server.New(dialect.OR, nil)
+			s3, _ := server.New(dialect.MS, nil)
+			cfg := middleware.DefaultConfig()
+			cfg.Reads = tc.policy
+			d, err := middleware.New(cfg, s1, s2, s3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mustB(b, d, "CREATE TABLE T (A INT, S VARCHAR(20))")
+			for i := 0; i < 64; i++ {
+				mustB(b, d, fmt.Sprintf("INSERT INTO T VALUES (%d, 'r%d')", i, i))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := d.Exec("SELECT A, S FROM T WHERE A < 32 ORDER BY A"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

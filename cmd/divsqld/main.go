@@ -1,0 +1,77 @@
+// Command divsqld serves a SQL endpoint over the wire protocol: a
+// single simulated server, a non-diverse replication group, or the
+// diverse fault-tolerant middleware — the off-the-shelf middleware
+// deployment the paper's conclusions call for.
+//
+// Usage:
+//
+//	divsqld -listen :5433 -mode diverse -servers PG,OR,MS
+//	divsqld -listen :5433 -mode single  -servers IB
+//	divsqld -listen :5433 -mode replicated -servers PG -n 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"divsql"
+	"divsql/internal/wire"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:5433", "address to listen on")
+	mode := flag.String("mode", "diverse", "single | replicated | diverse")
+	servers := flag.String("servers", "PG,OR,MS", "comma-separated server names (IB, PG, OR, MS)")
+	n := flag.Int("n", 2, "replica count for -mode replicated")
+	flag.Parse()
+
+	if err := run(*listen, *mode, *servers, *n); err != nil {
+		fmt.Fprintln(os.Stderr, "divsqld:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, mode, serverList string, n int) error {
+	var names []divsql.ServerName
+	for _, s := range strings.Split(serverList, ",") {
+		names = append(names, divsql.ServerName(strings.ToUpper(strings.TrimSpace(s))))
+	}
+	var (
+		db  divsql.DB
+		err error
+	)
+	switch mode {
+	case "single":
+		db, err = divsql.Open(names[0])
+	case "replicated":
+		db, err = divsql.OpenReplicated(names[0], n)
+	case "diverse":
+		db, err = divsql.OpenDiverse(names...)
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	exec, ok := divsql.Executor(db)
+	if !ok {
+		return fmt.Errorf("mode %q has no executor", mode)
+	}
+	srv := wire.NewServer(exec)
+	addr, err := srv.Listen(listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("divsqld: %s mode with %v listening on %s\n", mode, names, addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("divsqld: shutting down")
+	return srv.Close()
+}

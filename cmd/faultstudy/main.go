@@ -1,0 +1,89 @@
+// Command faultstudy reproduces the experiment of Gashi, Popov &
+// Strigini, "Fault Diversity among Off-The-Shelf SQL Database Servers"
+// (DSN 2004): it runs the calibrated 181-bug corpus across the four
+// simulated SQL servers and regenerates the paper's Tables 1-4, the
+// headline statistics, and the Section 6 reliability-gain estimates.
+//
+// Usage:
+//
+//	faultstudy [-table N] [-summary] [-gains] [-stress] [-bugs]
+//
+// With no flags, everything is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"divsql/internal/dialect"
+	"divsql/internal/reliability"
+	"divsql/internal/study"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print only one table (1-4)")
+	summary := flag.Bool("summary", false, "print only the headline statistics")
+	gains := flag.Bool("gains", false, "print the Section 6 reliability-gain estimates")
+	stress := flag.Bool("stress", false, "run in the stressful environment (Heisenbugs can manifest)")
+	bugs := flag.Bool("bugs", false, "list every bug with its per-server classification")
+	flag.Parse()
+
+	if err := run(*table, *summary, *gains, *stress, *bugs); err != nil {
+		fmt.Fprintln(os.Stderr, "faultstudy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table int, summary, gains, stress, bugs bool) error {
+	s := study.New()
+	s.Stress = stress
+	res, err := s.Run()
+	if err != nil {
+		return err
+	}
+	all := table == 0 && !summary && !gains && !bugs
+	if bugs {
+		printBugs(res)
+	}
+	if all || table == 1 {
+		fmt.Println(res.BuildTable1().Render())
+	}
+	if all || table == 2 {
+		fmt.Println(res.BuildTable2().Render())
+	}
+	if all || table == 3 {
+		fmt.Println(res.BuildTable3().Render())
+	}
+	if all || table == 4 {
+		fmt.Println(res.BuildTable4().Render())
+	}
+	if all || summary {
+		fmt.Println(res.BuildHeadline().Render())
+	}
+	if all || gains {
+		fmt.Println(reliability.FromStudy(res).Render())
+	}
+	return nil
+}
+
+func printBugs(res *study.Result) {
+	for i := range res.Bugs {
+		bug := &res.Bugs[i]
+		fmt.Printf("%-12s [%s] %s\n", bug.ID, bug.Server, bug.Title)
+		for _, s := range dialect.AllServers {
+			run := res.Runs[bug.ID][s]
+			cls := run.Class
+			line := fmt.Sprintf("    %s: %s", s, cls.Status)
+			if cls.IsFailure() {
+				se := "non-self-evident"
+				if cls.SelfEvident {
+					se = "self-evident"
+				}
+				line += fmt.Sprintf(" (%s, %s)", cls.Type, se)
+			}
+			fmt.Println(line)
+		}
+	}
+	fmt.Println()
+}

@@ -1,0 +1,315 @@
+// Package divsql is a reproduction study and library for "Fault
+// Diversity among Off-The-Shelf SQL Database Servers" (Gashi, Popov &
+// Strigini, DSN 2004).
+//
+// It provides:
+//
+//   - four simulated off-the-shelf SQL servers (Interbase 6, PostgreSQL
+//     7.0, Oracle 8.0.5 and MS SQL Server 7 — abbreviated IB, PG, OR,
+//     MS) built on a shared SQL-92 engine, diversified by per-server
+//     dialects and per-server fault/quirk sets calibrated against the
+//     paper's published bug data;
+//
+//   - the paper's study harness: run the 181-bug corpus on every server
+//     and regenerate Tables 1-4 and the headline statistics;
+//
+//   - the fault-tolerant middleware the paper motivates: a diverse
+//     replicated SQL server with result comparison, failure masking,
+//     quarantine and state resynchronization, plus the crash-only
+//     non-diverse baseline it is compared against;
+//
+//   - a TPC-C-like workload for statistical testing of any
+//     configuration.
+//
+// Quickstart:
+//
+//	db, _ := divsql.OpenDiverse(divsql.PG, divsql.OR, divsql.MS)
+//	defer db.Close()
+//	db.Exec(`CREATE TABLE T (A INT)`)
+//	db.Exec(`INSERT INTO T VALUES (1)`)
+//	res, _ := db.Exec(`SELECT A FROM T`)
+//	fmt.Println(res.Rows)
+package divsql
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"divsql/internal/core"
+	"divsql/internal/corpus"
+	"divsql/internal/dialect"
+	"divsql/internal/engine"
+	"divsql/internal/fault"
+	"divsql/internal/middleware"
+	"divsql/internal/replication"
+	"divsql/internal/server"
+)
+
+// ServerName identifies a simulated server product.
+type ServerName string
+
+// The four simulated off-the-shelf servers.
+const (
+	IB ServerName = "IB" // Interbase 6.0 (simulated)
+	PG ServerName = "PG" // PostgreSQL 7.0.0 (simulated)
+	OR ServerName = "OR" // Oracle 8.0.5 (simulated)
+	MS ServerName = "MS" // MS SQL Server 7 (simulated)
+)
+
+// AllServers lists the four simulated servers.
+func AllServers() []ServerName { return []ServerName{IB, PG, OR, MS} }
+
+// Row is one result row, rendered as strings ("NULL" for SQL NULL).
+type Row []string
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Columns are the result column names (empty for non-queries).
+	Columns []string
+	// Rows are the data rows (queries only).
+	Rows []Row
+	// Affected is the row count of INSERT/UPDATE/DELETE.
+	Affected int64
+	// Latency is the simulated execution time.
+	Latency time.Duration
+}
+
+// DB is a SQL endpoint: a single simulated server, a non-diverse
+// replication group, or a diverse fault-tolerant server.
+type DB interface {
+	// Exec executes one SQL statement.
+	Exec(sql string) (*Result, error)
+	// Close releases the endpoint.
+	Close() error
+}
+
+// Option configures Open* constructors.
+type Option func(*options)
+
+type options struct {
+	withFaults   bool
+	rephrase     bool
+	autoResync   bool
+	stress       bool
+	perfThresh   time.Duration
+	autoRestart  bool
+	compareNames bool
+}
+
+func defaultOptions() options {
+	return options{
+		withFaults:   true,
+		rephrase:     true,
+		autoResync:   true,
+		perfThresh:   time.Second,
+		autoRestart:  true,
+		compareNames: true,
+	}
+}
+
+// WithFaults controls whether the calibrated fault corpus is injected
+// into the simulated servers (default true). Disable it to get
+// idealized fault-free servers.
+func WithFaults(on bool) Option { return func(o *options) { o.withFaults = on } }
+
+// WithRephrasing controls the query-rephrasing retry of the diverse
+// middleware (default true).
+func WithRephrasing(on bool) Option { return func(o *options) { o.rephrase = on } }
+
+// WithAutoResync controls automatic restart + state transfer for
+// crashed or outvoted replicas (default true).
+func WithAutoResync(on bool) Option { return func(o *options) { o.autoResync = on } }
+
+// WithStress enables the stressful environment in which Heisenbug-class
+// faults can manifest.
+func WithStress(on bool) Option { return func(o *options) { o.stress = on } }
+
+// WithAutoRestart controls primary auto-restart in the non-diverse
+// replication baseline (default true).
+func WithAutoRestart(on bool) Option { return func(o *options) { o.autoRestart = on } }
+
+// newServer builds one simulated server per the options.
+func newServer(name ServerName, o options) (*server.Server, error) {
+	var faults []fault.Fault
+	if o.withFaults {
+		faults = corpus.AllFaults()
+	}
+	srv, err := server.New(dialect.ServerName(name), faults)
+	if err != nil {
+		return nil, fmt.Errorf("open %s: %w", name, err)
+	}
+	srv.SetStress(o.stress)
+	return srv, nil
+}
+
+// ---------------------------------------------------------------------------
+// Single server
+
+type singleDB struct{ srv *server.Server }
+
+// Open returns a single simulated server.
+func Open(name ServerName, opts ...Option) (DB, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	srv, err := newServer(name, o)
+	if err != nil {
+		return nil, err
+	}
+	return &singleDB{srv: srv}, nil
+}
+
+func (s *singleDB) Exec(sql string) (*Result, error) {
+	res, lat, err := s.srv.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(res, lat), nil
+}
+
+func (s *singleDB) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// Diverse middleware
+
+type diverseDB struct{ d *middleware.DiverseServer }
+
+// OpenDiverse returns a fault-tolerant diverse server over the named
+// replicas (two replicas detect failures; three or more also mask them
+// by majority voting).
+func OpenDiverse(names ...ServerName) (DB, error) {
+	return OpenDiverseWith(nil, names...)
+}
+
+// OpenDiverseWith is OpenDiverse with options.
+func OpenDiverseWith(opts []Option, names ...ServerName) (DB, error) {
+	if len(names) == 0 {
+		return nil, errors.New("divsql: OpenDiverse needs at least one server name")
+	}
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	servers := make([]*server.Server, 0, len(names))
+	for _, n := range names {
+		srv, err := newServer(n, o)
+		if err != nil {
+			return nil, err
+		}
+		servers = append(servers, srv)
+	}
+	cfg := middleware.DefaultConfig()
+	cfg.Rephrase = o.rephrase
+	cfg.AutoResync = o.autoResync
+	cfg.PerfThreshold = o.perfThresh
+	d, err := middleware.New(cfg, servers...)
+	if err != nil {
+		return nil, err
+	}
+	return &diverseDB{d: d}, nil
+}
+
+func (d *diverseDB) Exec(sql string) (*Result, error) {
+	res, lat, err := d.d.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(res, lat), nil
+}
+
+func (d *diverseDB) Close() error { return nil }
+
+// DiverseMetrics is the middleware's event counters.
+type DiverseMetrics = middleware.Metrics
+
+// Metrics returns the diverse middleware's counters; ok is false when
+// db is not a diverse server.
+func Metrics(db DB) (DiverseMetrics, bool) {
+	d, ok := db.(*diverseDB)
+	if !ok {
+		return DiverseMetrics{}, false
+	}
+	return d.d.Metrics(), true
+}
+
+// ---------------------------------------------------------------------------
+// Non-diverse replication baseline
+
+type replicatedDB struct{ g *replication.Group }
+
+// OpenReplicated returns the paper's baseline: n identical replicas of
+// one product under primary/backup replication with the fail-stop
+// assumption (only crashes are detected; results are never compared).
+func OpenReplicated(name ServerName, n int, opts ...Option) (DB, error) {
+	if n <= 0 {
+		return nil, errors.New("divsql: OpenReplicated needs n >= 1")
+	}
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	servers := make([]*server.Server, 0, n)
+	for i := 0; i < n; i++ {
+		srv, err := newServer(name, o)
+		if err != nil {
+			return nil, err
+		}
+		servers = append(servers, srv)
+	}
+	g, err := replication.NewGroup(o.autoRestart, servers...)
+	if err != nil {
+		return nil, err
+	}
+	return &replicatedDB{g: g}, nil
+}
+
+func (r *replicatedDB) Exec(sql string) (*Result, error) {
+	res, lat, err := r.g.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(res, lat), nil
+}
+
+func (r *replicatedDB) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// helpers
+
+func convertResult(res *engine.Result, lat time.Duration) *Result {
+	out := &Result{Latency: lat}
+	if res == nil {
+		return out
+	}
+	out.Affected = res.Affected
+	if res.Kind == engine.ResultRows {
+		out.Columns = append([]string(nil), res.Columns...)
+		out.Rows = make([]Row, len(res.Rows))
+		for i, r := range res.Rows {
+			row := make(Row, len(r))
+			for j, v := range r {
+				row[j] = v.String()
+			}
+			out.Rows[i] = row
+		}
+	}
+	return out
+}
+
+// Executor exposes the internal executor of a DB for advanced uses
+// (driving the TPC-C workload, serving over the wire protocol). All DBs
+// returned by this package implement it.
+func Executor(db DB) (core.Executor, bool) {
+	switch x := db.(type) {
+	case *singleDB:
+		return x.srv, true
+	case *diverseDB:
+		return x.d, true
+	case *replicatedDB:
+		return x.g, true
+	default:
+		return nil, false
+	}
+}

@@ -1,0 +1,193 @@
+package divsql
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestOpenSingle(t *testing.T) {
+	for _, name := range AllServers() {
+		db, err := Open(name)
+		if err != nil {
+			t.Fatalf("Open(%s): %v", name, err)
+		}
+		if _, err := db.Exec("CREATE TABLE T (A INT)"); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := db.Exec("INSERT INTO T VALUES (1)"); err != nil {
+			t.Fatal(err)
+		}
+		res, err := db.Exec("SELECT A FROM T")
+		if err != nil || len(res.Rows) != 1 || res.Rows[0][0] != "1" {
+			t.Errorf("%s select: %+v %v", name, res, err)
+		}
+		if err := db.Close(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestOpenDiverseMasksInjectedFault(t *testing.T) {
+	// The full calibrated fault corpus is injected; querying inside a
+	// known failure region (bug PG-77's arithmetic) must still give the
+	// right answer through a masking triple.
+	db, err := OpenDiverse(PG, OR, IB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE R (N FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO R VALUES (1.00000007)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("SELECT N * 16777216.0 AS P FROM R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] == "1.6777218e+07" {
+		t.Error("client received PG's wrong value; majority should mask it")
+	}
+	m, ok := Metrics(db)
+	if !ok || m.MaskedFailures == 0 {
+		t.Errorf("metrics: %+v ok=%v", m, ok)
+	}
+}
+
+func TestOpenDiversePairDetects(t *testing.T) {
+	db, err := OpenDiverseWith([]Option{WithRephrasing(false)}, PG, OR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE R (N FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO R VALUES (1.00000007)"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = db.Exec("SELECT N * 16777216.0 AS P FROM R")
+	if err == nil || !strings.Contains(err.Error(), "divergence") {
+		t.Errorf("pair must detect: %v", err)
+	}
+}
+
+func TestOpenReplicatedReturnsWrongDataSilently(t *testing.T) {
+	db, err := OpenReplicated(PG, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE R (N FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO R VALUES (1.00000007)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("SELECT N * 16777216.0 AS P FROM R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != "1.6777218e+07" {
+		t.Errorf("baseline should silently return the wrong value, got %v", res.Rows[0][0])
+	}
+}
+
+func TestWithFaultsDisabled(t *testing.T) {
+	db, err := Open(PG, WithFaults(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// Engine quirks remain (they are the server's nature), but no
+	// corpus faults are injected; a plain query works.
+	if _, err := db.Exec("CREATE TABLE T (A INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO T VALUES (2)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("SELECT A FROM T")
+	if err != nil || res.Rows[0][0] != "2" {
+		t.Errorf("%+v %v", res, err)
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := OpenDiverse(); err == nil {
+		t.Error("OpenDiverse() must require names")
+	}
+	if _, err := OpenReplicated(PG, 0); err == nil {
+		t.Error("OpenReplicated n=0 must fail")
+	}
+	if _, err := Open("NOPE"); err == nil {
+		t.Error("unknown server must fail")
+	}
+}
+
+func TestExecutorExposed(t *testing.T) {
+	db, err := Open(OR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Executor(db); !ok {
+		t.Error("single server must expose an executor")
+	}
+	var fake DB = fakeDB{}
+	if _, ok := Executor(fake); ok {
+		t.Error("foreign DB must not expose an executor")
+	}
+}
+
+type fakeDB struct{}
+
+func (fakeDB) Exec(string) (*Result, error) { return nil, errors.New("no") }
+func (fakeDB) Close() error                 { return nil }
+
+func TestRunStudyReproducesHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study in short mode")
+	}
+	rep, err := RunStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxCoincident != 2 || rep.CoincidentBugs != 12 || rep.NonDetectable != 4 {
+		t.Errorf("headline: %+v", rep)
+	}
+	if rep.IncorrectResultPct < 64.4 || rep.IncorrectResultPct > 64.6 {
+		t.Errorf("incorrect-result pct %.2f", rep.IncorrectResultPct)
+	}
+	if rep.CrashPct < 17.0 || rep.CrashPct > 17.2 {
+		t.Errorf("crash pct %.2f", rep.CrashPct)
+	}
+	for name, tbl := range map[string]string{
+		"Table1": rep.Table1, "Table2": rep.Table2,
+		"Table3": rep.Table3, "Table4": rep.Table4,
+		"Headline": rep.Headline, "Gains": rep.Gains,
+	} {
+		if len(tbl) < 80 {
+			t.Errorf("%s too short", name)
+		}
+	}
+}
+
+func TestAffectedCount(t *testing.T) {
+	db, err := Open(IB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE T (A INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO T VALUES (1), (2), (3)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("UPDATE T SET A = A + 1")
+	if err != nil || res.Affected != 3 {
+		t.Errorf("affected: %+v %v", res, err)
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: open a diverse fault-tolerant SQL server assembled from
+// three simulated off-the-shelf products and run a few statements. A
+// silently-wrong result from one replica is detected and masked by the
+// majority — the scenario the paper's Section 2.1 motivates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"divsql"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Three diverse replicas: detection AND masking by majority.
+	db, err := divsql.OpenDiverse(divsql.PG, divsql.OR, divsql.MS)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	stmts := []string{
+		`CREATE TABLE ACCOUNTS (ID INT PRIMARY KEY, OWNER VARCHAR(30), BALANCE FLOAT)`,
+		`INSERT INTO ACCOUNTS VALUES (1, 'ada', 100.25)`,
+		`INSERT INTO ACCOUNTS VALUES (2, 'grace', 310.5)`,
+		`INSERT INTO ACCOUNTS VALUES (3, 'edsger', 42.75)`,
+		`UPDATE ACCOUNTS SET BALANCE = BALANCE + 10 WHERE ID = 1`,
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			return fmt.Errorf("%s: %w", s, err)
+		}
+	}
+
+	res, err := db.Exec(`SELECT OWNER, BALANCE FROM ACCOUNTS WHERE BALANCE > 50 ORDER BY BALANCE DESC`)
+	if err != nil {
+		return err
+	}
+	fmt.Println("columns:", res.Columns)
+	for _, row := range res.Rows {
+		fmt.Println("row:    ", row)
+	}
+
+	if m, ok := divsql.Metrics(db); ok {
+		fmt.Printf("\nmiddleware: %d statements, %d unanimous, %d failures masked, %d divergences detected\n",
+			m.Statements, m.Unanimous, m.MaskedFailures, m.DetectedSplits)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"time"
+
+	"divsql/internal/engine"
+)
+
+// ReplicaResult is one replica's response to a broadcast statement.
+type ReplicaResult struct {
+	Name    string
+	Res     *engine.Result
+	Err     error
+	Crashed bool
+	Latency time.Duration
+}
+
+// Verdict is the adjudicator's decision over a set of replica responses.
+type Verdict struct {
+	// Agreed is the result backed by the largest agreeing group of
+	// non-erroring replicas (nil when no replica succeeded).
+	Agreed *engine.Result
+	// AgreeIdx are the indexes of the replicas in the winning group.
+	AgreeIdx []int
+	// Outliers are replicas that returned a different result than the
+	// winning group (detected value failures).
+	Outliers []int
+	// Errored are replicas that returned an error.
+	Errored []int
+	// CrashedIdx are replicas whose engine crashed.
+	CrashedIdx []int
+	// Unanimous is true when every replica returned the agreed result.
+	Unanimous bool
+	// Majority is true when the winning group is a strict majority of
+	// all replicas.
+	Majority bool
+	// Split is true when at least two non-erroring replicas disagree and
+	// no group reaches a strict majority (e.g. a 1-1 split in a pair):
+	// the failure is detected but cannot be masked by voting.
+	Split bool
+}
+
+// Adjudicate groups replica responses by normalized result digest and
+// elects the largest group. Ties are broken toward the group containing
+// the lowest replica index, which makes the adjudication deterministic;
+// with two replicas a tie is reported as Split (detection without
+// masking), the configuration the paper's Section 4.3 analyses.
+func Adjudicate(results []ReplicaResult, opts CompareOptions) Verdict {
+	var v Verdict
+	groups := make(map[string][]int)
+	order := make([]string, 0, len(results))
+	ok := 0
+	for i, r := range results {
+		if r.Crashed {
+			v.CrashedIdx = append(v.CrashedIdx, i)
+			continue
+		}
+		if r.Err != nil {
+			v.Errored = append(v.Errored, i)
+			continue
+		}
+		ok++
+		d := Digest(r.Res, opts)
+		if _, seen := groups[d]; !seen {
+			order = append(order, d)
+		}
+		groups[d] = append(groups[d], i)
+	}
+	if ok == 0 {
+		return v
+	}
+	best := ""
+	for _, d := range order {
+		if best == "" || len(groups[d]) > len(groups[best]) {
+			best = d
+		}
+	}
+	v.AgreeIdx = groups[best]
+	v.Agreed = results[v.AgreeIdx[0]].Res
+	for _, d := range order {
+		if d == best {
+			continue
+		}
+		v.Outliers = append(v.Outliers, groups[d]...)
+	}
+	v.Unanimous = len(v.AgreeIdx) == len(results)
+	v.Majority = 2*len(v.AgreeIdx) > len(results)
+	v.Split = len(v.Outliers) > 0 && !v.Majority
+	return v
+}

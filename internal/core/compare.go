@@ -1,0 +1,154 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"divsql/internal/engine"
+	"divsql/internal/sql/types"
+)
+
+// CompareOptions configures the result comparator. The defaults implement
+// the paper's requirement (Section 4.3) that "the comparison algorithm
+// must be written to allow for possible differences in the representation
+// of correct results, e.g. different numbers of digits in the
+// representation of floating point numbers, padding of characters in
+// character strings".
+type CompareOptions struct {
+	// OrderSensitive compares rows in order (set when the query had an
+	// ORDER BY); otherwise rows are compared as multisets.
+	OrderSensitive bool
+	// FloatSigDigits is the number of significant digits at which
+	// floating-point cells are considered equal (0 means exact).
+	FloatSigDigits int
+	// TrimStrings ignores leading/trailing whitespace (CHAR padding).
+	TrimStrings bool
+	// CompareColumnNames also compares result column names.
+	CompareColumnNames bool
+}
+
+// DefaultCompareOptions returns the tolerant defaults used by the study
+// and the middleware.
+func DefaultCompareOptions() CompareOptions {
+	return CompareOptions{
+		FloatSigDigits:     9,
+		TrimStrings:        true,
+		CompareColumnNames: true,
+	}
+}
+
+// StrictCompareOptions disables every normalization (used by the
+// comparator ablation experiment).
+func StrictCompareOptions() CompareOptions {
+	return CompareOptions{OrderSensitive: true, CompareColumnNames: true}
+}
+
+// NormalizeCell canonicalizes one value under the options.
+func NormalizeCell(v types.Value, opts CompareOptions) string {
+	switch v.K {
+	case types.KindNull:
+		return "\x00NULL"
+	case types.KindFloat:
+		if opts.FloatSigDigits > 0 {
+			return "n:" + strconv.FormatFloat(v.F, 'e', opts.FloatSigDigits-1, 64)
+		}
+		return "n:" + strconv.FormatFloat(v.F, 'g', -1, 64)
+	case types.KindInt:
+		if opts.FloatSigDigits > 0 {
+			// Integers and integral floats compare equal (3 vs 3.0).
+			return "n:" + strconv.FormatFloat(float64(v.I), 'e', opts.FloatSigDigits-1, 64)
+		}
+		return "n:" + strconv.FormatInt(v.I, 10)
+	case types.KindString, types.KindDate:
+		s := v.S
+		if opts.TrimStrings {
+			s = strings.TrimRight(s, " ")
+		}
+		return "s:" + s
+	case types.KindBool:
+		if v.B {
+			return "b:1"
+		}
+		return "b:0"
+	default:
+		return "?" + v.String()
+	}
+}
+
+// Digest produces a canonical signature of a result set under the
+// options. Two results with equal digests are considered equivalent
+// representations of the same output.
+func Digest(res *engine.Result, opts CompareOptions) string {
+	if res == nil {
+		return "<nil>"
+	}
+	var b strings.Builder
+	if res.Kind != engine.ResultRows {
+		b.WriteString("affected:")
+		b.WriteString(strconv.FormatInt(res.Affected, 10))
+		return b.String()
+	}
+	if opts.CompareColumnNames {
+		for _, c := range res.Columns {
+			b.WriteString(strings.ToUpper(c))
+			b.WriteByte('\x1f')
+		}
+	} else {
+		b.WriteString(strconv.Itoa(len(res.Columns)))
+	}
+	b.WriteByte('\n')
+	rows := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		var rb strings.Builder
+		for _, v := range row {
+			rb.WriteString(NormalizeCell(v, opts))
+			rb.WriteByte('\x1f')
+		}
+		rows[i] = rb.String()
+	}
+	if !opts.OrderSensitive {
+		sort.Strings(rows)
+	}
+	for _, r := range rows {
+		b.WriteString(r)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Equal reports whether two results are equivalent under the options.
+func Equal(a, b *engine.Result, opts CompareOptions) bool {
+	return Digest(a, opts) == Digest(b, opts)
+}
+
+// Diff returns a short human-readable description of the first
+// difference between two results, or "" when equal.
+func Diff(a, b *engine.Result, opts CompareOptions) string {
+	if Equal(a, b, opts) {
+		return ""
+	}
+	if a == nil || b == nil {
+		return "one result missing"
+	}
+	if a.Kind != b.Kind {
+		return "result kinds differ"
+	}
+	if a.Kind != engine.ResultRows {
+		return "affected row counts differ"
+	}
+	if len(a.Columns) != len(b.Columns) {
+		return "column counts differ"
+	}
+	if opts.CompareColumnNames {
+		for i := range a.Columns {
+			if !strings.EqualFold(a.Columns[i], b.Columns[i]) {
+				return "column names differ: " + a.Columns[i] + " vs " + b.Columns[i]
+			}
+		}
+	}
+	if len(a.Rows) != len(b.Rows) {
+		return "row counts differ"
+	}
+	return "row contents differ"
+}

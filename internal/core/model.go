@@ -1,0 +1,119 @@
+// Package core implements the paper's failure model — the primary
+// conceptual contribution of the study: the classification of server
+// failures by type and detectability, the representation-tolerant result
+// comparator, and the N-version adjudicator. Both the fault-diversity
+// study harness (internal/study) and the diverse replication middleware
+// (internal/middleware) are built on this package.
+package core
+
+import (
+	"time"
+
+	"divsql/internal/engine"
+)
+
+// FailureType classifies a failure by its effect, following Section 4.1
+// of the paper.
+type FailureType int
+
+// Failure types.
+const (
+	// FailureNone means no failure was observed.
+	FailureNone FailureType = iota
+	// EngineCrash is a crash or halt of the core server engine.
+	EngineCrash
+	// IncorrectResult is an incorrect output without an engine crash —
+	// either a silently wrong result set or a spurious error message.
+	IncorrectResult
+	// Performance is a correct output with an unacceptable time penalty.
+	Performance
+	// OtherFailure covers the remaining failures (aborted connections,
+	// silent acceptance of invalid statements, state corruption).
+	OtherFailure
+)
+
+// String returns the paper's name for the failure type.
+func (f FailureType) String() string {
+	switch f {
+	case FailureNone:
+		return "none"
+	case EngineCrash:
+		return "engine crash"
+	case IncorrectResult:
+		return "incorrect result"
+	case Performance:
+		return "performance"
+	case OtherFailure:
+		return "other"
+	default:
+		return "unknown"
+	}
+}
+
+// RunStatus is the outcome of attempting to run a bug script on one
+// server — the row structure of the paper's Table 1.
+type RunStatus int
+
+// Run statuses.
+const (
+	// StatusCannotRun means the script uses functionality the server
+	// lacks (dialect-specific bug).
+	StatusCannotRun RunStatus = iota + 1
+	// StatusFurtherWork means the script could not be translated
+	// automatically into the server's dialect.
+	StatusFurtherWork
+	// StatusNoFailure means the script ran and no failure was observed
+	// (a Heisenbug, or the fault does not exist on this server).
+	StatusNoFailure
+	// StatusFailure means the script ran and a failure was observed.
+	StatusFailure
+)
+
+// String names the status.
+func (s RunStatus) String() string {
+	switch s {
+	case StatusCannotRun:
+		return "cannot run (functionality missing)"
+	case StatusFurtherWork:
+		return "further work"
+	case StatusNoFailure:
+		return "no failure"
+	case StatusFailure:
+		return "failure"
+	default:
+		return "unknown"
+	}
+}
+
+// Classification is the full classification of one (bug, server) run.
+type Classification struct {
+	Status RunStatus
+	// Type and SelfEvident are meaningful only when Status is
+	// StatusFailure.
+	Type FailureType
+	// SelfEvident reports whether the failure announces itself (crash,
+	// error message, timeout) per Section 4.1.
+	SelfEvident bool
+	// Detail is a human-readable account of the deviation.
+	Detail string
+}
+
+// IsFailure reports whether the run failed.
+func (c Classification) IsFailure() bool { return c.Status == StatusFailure }
+
+// ExecOutcome is the observable outcome of executing one statement.
+type ExecOutcome struct {
+	Result  *engine.Result
+	Err     error
+	Crashed bool
+	Latency time.Duration
+}
+
+// Executor runs SQL and reports results with simulated latency. It is
+// implemented by single simulated servers, by the diverse middleware and
+// by the non-diverse replication baseline, so workloads (e.g. the TPC-C
+// harness) can drive any configuration.
+type Executor interface {
+	// Exec executes one SQL statement.
+	Exec(sql string) (*engine.Result, time.Duration, error)
+}

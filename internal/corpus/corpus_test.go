@@ -1,0 +1,213 @@
+package corpus
+
+import (
+	"testing"
+
+	"divsql/internal/core"
+	"divsql/internal/dialect"
+	"divsql/internal/sql/parser"
+)
+
+// paper counts: bugs per reporting server (Section 4.1).
+var paperCounts = map[dialect.ServerName]int{
+	dialect.IB: 55, dialect.PG: 57, dialect.OR: 18, dialect.MS: 51,
+}
+
+func TestCorpusSize(t *testing.T) {
+	bugs := All()
+	if len(bugs) != 181 {
+		t.Fatalf("corpus has %d bugs, want 181", len(bugs))
+	}
+	for srv, want := range paperCounts {
+		if got := len(ByServer(bugs, srv)); got != want {
+			t.Errorf("%s: %d bugs, want %d", srv, got, want)
+		}
+	}
+}
+
+func TestBugIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, b := range All() {
+		if seen[b.ID] {
+			t.Errorf("duplicate bug ID %s", b.ID)
+		}
+		seen[b.ID] = true
+	}
+}
+
+func TestEveryScriptParses(t *testing.T) {
+	for _, b := range All() {
+		stmts, err := parser.ParseScript(b.Script)
+		if err != nil {
+			t.Errorf("%s script: %v", b.ID, err)
+			continue
+		}
+		if len(stmts) < 2 {
+			t.Errorf("%s: suspiciously short script (%d statements)", b.ID, len(stmts))
+		}
+	}
+}
+
+func TestExpectationsCoverAllServers(t *testing.T) {
+	for _, b := range All() {
+		for _, s := range dialect.AllServers {
+			if _, ok := b.Expected[s]; !ok {
+				t.Errorf("%s: no expectation for %s", b.ID, s)
+			}
+		}
+		own := b.Expected[b.Server]
+		if own.Status == core.StatusCannotRun || own.Status == core.StatusFurtherWork {
+			t.Errorf("%s: cannot run on its own server", b.ID)
+		}
+		if b.Heisen != (own.Status == core.StatusNoFailure) {
+			t.Errorf("%s: Heisen flag inconsistent with expectation", b.ID)
+		}
+	}
+}
+
+// Table 1 marginals: cannot-run / further-work / run counts per
+// (reporting, target) pair, straight from the paper.
+func TestRunnabilityMarginals(t *testing.T) {
+	type marg struct{ cannot, fw, run int }
+	want := map[dialect.ServerName]map[dialect.ServerName]marg{
+		dialect.IB: {dialect.PG: {23, 5, 27}, dialect.OR: {20, 4, 31}, dialect.MS: {16, 6, 33}},
+		dialect.PG: {dialect.IB: {32, 2, 23}, dialect.OR: {27, 0, 30}, dialect.MS: {24, 0, 33}},
+		dialect.OR: {dialect.IB: {13, 1, 4}, dialect.MS: {13, 1, 4}, dialect.PG: {12, 2, 4}},
+		dialect.MS: {dialect.IB: {36, 3, 12}, dialect.OR: {32, 7, 12}, dialect.PG: {31, 2, 18}},
+	}
+	bugs := All()
+	for rep, inner := range want {
+		for tgt, m := range inner {
+			var cannot, fw, run int
+			for _, b := range ByServer(bugs, rep) {
+				switch b.Expected[tgt].Status {
+				case core.StatusCannotRun:
+					cannot++
+				case core.StatusFurtherWork:
+					fw++
+				default:
+					run++
+				}
+			}
+			if cannot != m.cannot || fw != m.fw || run != m.run {
+				t.Errorf("%s on %s: cannot/fw/run = %d/%d/%d, want %d/%d/%d",
+					rep, tgt, cannot, fw, run, m.cannot, m.fw, m.run)
+			}
+		}
+	}
+}
+
+// Table 1 own-server failure-type rows.
+func TestOwnFailureTypeMarginals(t *testing.T) {
+	type row struct{ perf, crash, irse, irnse, othse, othnse, nofail int }
+	want := map[dialect.ServerName]row{
+		dialect.IB: {3, 7, 4, 23, 2, 8, 8},
+		dialect.PG: {0, 11, 14, 20, 2, 5, 5},
+		dialect.OR: {1, 3, 3, 7, 0, 0, 4},
+		dialect.MS: {6, 5, 10, 17, 1, 0, 12},
+	}
+	for srv, w := range want {
+		var got row
+		for _, b := range ByServer(All(), srv) {
+			e := b.Expected[srv]
+			switch {
+			case e.Status == core.StatusNoFailure:
+				got.nofail++
+			case e.Type == core.Performance:
+				got.perf++
+			case e.Type == core.EngineCrash:
+				got.crash++
+			case e.Type == core.IncorrectResult && e.SelfEvident:
+				got.irse++
+			case e.Type == core.IncorrectResult:
+				got.irnse++
+			case e.Type == core.OtherFailure && e.SelfEvident:
+				got.othse++
+			case e.Type == core.OtherFailure:
+				got.othnse++
+			}
+		}
+		if got != w {
+			t.Errorf("%s failure types: %+v want %+v", srv, got, w)
+		}
+	}
+}
+
+// Table 4: the cross-failure structure must be exactly the paper's.
+func TestCrossFailureStructure(t *testing.T) {
+	crosses := map[string][]dialect.ServerName{}
+	for _, b := range All() {
+		for _, s := range dialect.AllServers {
+			if s == b.Server {
+				continue
+			}
+			if b.Expected[s].Status == core.StatusFailure {
+				crosses[b.ID] = append(crosses[b.ID], s)
+			}
+		}
+	}
+	want := map[string][]dialect.ServerName{
+		"IB-223512":  {dialect.PG},
+		"IB-217042":  {dialect.MS},
+		"IB-222476":  {dialect.MS},
+		"MS-58544":   {dialect.IB},
+		"PG-43":      {dialect.MS},
+		"PG-77":      {dialect.MS},
+		"OR-1059835": {dialect.PG},
+		"MS-54428":   {dialect.PG},
+		"MS-56516":   {dialect.PG},
+		"MS-58158":   {dialect.PG},
+		"MS-58253":   {dialect.PG},
+		"MS-351180":  {dialect.PG},
+		"MS-56775":   {dialect.PG},
+	}
+	if len(crosses) != len(want) {
+		t.Errorf("cross-failing bugs: %v, want 13", crosses)
+	}
+	for id, servers := range want {
+		got := crosses[id]
+		if len(got) != len(servers) || (len(got) == 1 && got[0] != servers[0]) {
+			t.Errorf("%s cross-fails %v, want %v", id, got, servers)
+		}
+	}
+}
+
+func TestFaultsBelongToTheirBug(t *testing.T) {
+	for _, b := range All() {
+		for _, f := range b.Faults {
+			if f.BugID != b.ID {
+				t.Errorf("%s carries fault for %s", b.ID, f.BugID)
+			}
+		}
+	}
+	if len(AllFaults()) == 0 {
+		t.Error("no faults collected")
+	}
+}
+
+func TestRunsOnHelper(t *testing.T) {
+	for _, b := range All() {
+		if !b.RunsOn(b.Server) {
+			t.Errorf("%s: RunsOn(own) false", b.ID)
+		}
+	}
+}
+
+func TestGeneratedFaultTablesAreUnique(t *testing.T) {
+	// Each generated bug's fault must target a table unique to the bug,
+	// so that faults never leak into other bugs' runs.
+	tables := map[string]string{}
+	for _, b := range All() {
+		for _, f := range b.Faults {
+			tbl := f.Trigger.Table
+			if tbl == "" {
+				t.Errorf("%s: fault without table trigger", b.ID)
+				continue
+			}
+			if owner, seen := tables[tbl]; seen && owner != b.ID {
+				t.Errorf("table %s shared by %s and %s", tbl, owner, b.ID)
+			}
+			tables[tbl] = b.ID
+		}
+	}
+}

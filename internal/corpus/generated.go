@@ -1,0 +1,432 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"divsql/internal/core"
+	"divsql/internal/dialect"
+	"divsql/internal/fault"
+	"divsql/internal/sql/ast"
+)
+
+// failClass is the calibrated failure class of one generated bug on its
+// own server.
+type failClass int
+
+const (
+	fcHeisen   failClass = iota + 1 // no failure on a quiet server
+	fcPerf                          // performance failure (SE)
+	fcCrash                         // engine crash (SE)
+	fcIRSE                          // incorrect result, self-evident
+	fcOtherSE                       // other failure, self-evident (conn abort)
+	fcIRNSE                         // incorrect result, non-self-evident
+	fcOtherNSE                      // other failure, non-self-evident
+)
+
+func (fc failClass) expect() Expect {
+	switch fc {
+	case fcHeisen:
+		return expectOK()
+	case fcPerf:
+		return expectFail(core.Performance, true)
+	case fcCrash:
+		return expectFail(core.EngineCrash, true)
+	case fcIRSE:
+		return expectFail(core.IncorrectResult, true)
+	case fcOtherSE:
+		return expectFail(core.OtherFailure, true)
+	case fcIRNSE:
+		return expectFail(core.IncorrectResult, false)
+	case fcOtherNSE:
+		return expectFail(core.OtherFailure, false)
+	default:
+		return expectOK()
+	}
+}
+
+// comboGen describes the generated bugs of one (owner, run-set)
+// combination: counts of Heisenbugs and of self-evident / non-self-
+// evident failures. The numbers are the solution of the constraint
+// system in DESIGN.md §5, minus the hand-made bugs' contributions.
+type comboGen struct {
+	// others are the non-owner servers the script runs on.
+	others []dialect.ServerName
+	heisen int
+	se     int
+	nse    int
+	// fw maps excluded servers to how many of this combination's bugs
+	// are excluded for "further work" (the rest are "cannot run").
+	fw map[dialect.ServerName]int
+}
+
+func (cg comboGen) count() int { return cg.heisen + cg.se + cg.nse }
+
+// ownerPlan is the full generation plan for one server's bugs.
+type ownerPlan struct {
+	owner  dialect.ServerName
+	combos []comboGen
+	// sePool / nsePool list the failure classes to draw for SE/NSE
+	// failures, in order (Table 1's type rows minus hand-made bugs).
+	sePool  []failClass
+	nsePool []failClass
+}
+
+func repeatFC(fc failClass, n int) []failClass {
+	out := make([]failClass, n)
+	for i := range out {
+		out[i] = fc
+	}
+	return out
+}
+
+func concatFC(parts ...[]failClass) []failClass {
+	var out []failClass
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+func plans() []ownerPlan {
+	return []ownerPlan{
+		{
+			owner: dialect.IB,
+			combos: []comboGen{
+				{others: []dialect.ServerName{dialect.PG, dialect.OR, dialect.MS}, heisen: 7, se: 2, nse: 8},
+				{others: []dialect.ServerName{dialect.PG, dialect.OR}, heisen: 0, se: 3, nse: 0},
+				{others: []dialect.ServerName{dialect.PG, dialect.MS}, heisen: 0, se: 2, nse: 0},
+				{others: []dialect.ServerName{dialect.OR, dialect.MS}, heisen: 0, se: 0, nse: 8},
+				{others: []dialect.ServerName{dialect.PG}, heisen: 0, se: 2, nse: 0},
+				{others: []dialect.ServerName{dialect.MS}, heisen: 0, se: 2, nse: 1},
+				{others: nil, heisen: 1, se: 5, nse: 11,
+					fw: map[dialect.ServerName]int{dialect.PG: 5, dialect.OR: 4, dialect.MS: 6}},
+			},
+			sePool: concatFC(repeatFC(fcPerf, 3), repeatFC(fcCrash, 7),
+				repeatFC(fcIRSE, 4), repeatFC(fcOtherSE, 2)),
+			nsePool: concatFC(repeatFC(fcIRNSE, 20), repeatFC(fcOtherNSE, 8)),
+		},
+		{
+			owner: dialect.PG,
+			combos: []comboGen{
+				{others: []dialect.ServerName{dialect.IB, dialect.OR, dialect.MS}, heisen: 3, se: 2, nse: 12},
+				{others: []dialect.ServerName{dialect.IB, dialect.MS}, heisen: 0, se: 2, nse: 0},
+				{others: []dialect.ServerName{dialect.OR, dialect.MS}, heisen: 0, se: 5, nse: 3},
+				{others: []dialect.ServerName{dialect.IB}, heisen: 0, se: 3, nse: 0},
+				{others: []dialect.ServerName{dialect.OR}, heisen: 0, se: 2, nse: 1},
+				{others: []dialect.ServerName{dialect.MS}, heisen: 0, se: 1, nse: 3},
+				{others: nil, heisen: 2, se: 11, nse: 5,
+					fw: map[dialect.ServerName]int{dialect.IB: 2}},
+			},
+			sePool: concatFC(repeatFC(fcCrash, 11), repeatFC(fcIRSE, 13),
+				repeatFC(fcOtherSE, 2)),
+			nsePool: concatFC(repeatFC(fcIRNSE, 19), repeatFC(fcOtherNSE, 5)),
+		},
+		{
+			owner: dialect.OR,
+			combos: []comboGen{
+				{others: []dialect.ServerName{dialect.IB, dialect.PG, dialect.MS}, heisen: 0, se: 3, nse: 0},
+				{others: []dialect.ServerName{dialect.IB, dialect.MS}, heisen: 1, se: 0, nse: 0},
+				{others: nil, heisen: 3, se: 4, nse: 6,
+					fw: map[dialect.ServerName]int{dialect.IB: 1, dialect.PG: 2, dialect.MS: 1}},
+			},
+			sePool:  concatFC(repeatFC(fcPerf, 1), repeatFC(fcCrash, 3), repeatFC(fcIRSE, 3)),
+			nsePool: repeatFC(fcIRNSE, 6),
+		},
+		{
+			owner: dialect.MS,
+			combos: []comboGen{
+				{others: []dialect.ServerName{dialect.IB, dialect.PG, dialect.OR}, heisen: 3, se: 2, nse: 1},
+				{others: []dialect.ServerName{dialect.IB, dialect.PG}, heisen: 1, se: 2, nse: 0},
+				{others: []dialect.ServerName{dialect.IB, dialect.OR}, heisen: 1, se: 0, nse: 1},
+				{others: []dialect.ServerName{dialect.PG, dialect.OR}, heisen: 0, se: 0, nse: 1},
+				{others: []dialect.ServerName{dialect.PG}, heisen: 0, se: 2, nse: 0,
+					fw: map[dialect.ServerName]int{dialect.OR: 2}},
+				{others: []dialect.ServerName{dialect.OR}, heisen: 1, se: 0, nse: 1},
+				{others: nil, heisen: 5, se: 14, nse: 9,
+					fw: map[dialect.ServerName]int{dialect.IB: 3, dialect.PG: 2, dialect.OR: 5}},
+			},
+			sePool: concatFC(repeatFC(fcPerf, 6), repeatFC(fcCrash, 5),
+				repeatFC(fcIRSE, 8), repeatFC(fcOtherSE, 1)),
+			nsePool: repeatFC(fcIRNSE, 13),
+		},
+	}
+}
+
+// Availability atoms: the construct embedded in a script to exclude one
+// target server, either entirely (functionality missing) or from
+// automatic translation (further work). See the dialect catalogue.
+func cannotAtom(target dialect.ServerName) string {
+	switch target {
+	case dialect.PG:
+		return "GEN_UUID(NAME) AS XPG"
+	case dialect.OR:
+		return "BIT_LENGTH(NAME) AS XOR"
+	case dialect.MS:
+		return "LPAD(NAME, 12) AS XMS"
+	case dialect.IB:
+		return "DATEDIFF(D, '2001-01-01') AS XIB"
+	default:
+		return ""
+	}
+}
+
+func fwAtom(target dialect.ServerName) string {
+	switch target {
+	case dialect.PG:
+		return "DATE_FMT(D, 'YYYY-MM-DD') AS FPG"
+	case dialect.OR:
+		return "NUM_FMT(AMT, '999.99') AS FOR1"
+	case dialect.MS:
+		return "STR_FMT(NAME, 'U') AS FMS"
+	case dialect.IB:
+		return "BIN_FMT(ID, 'B8') AS FIB"
+	default:
+		return ""
+	}
+}
+
+var mutationCycle = []fault.Mutation{
+	fault.MutDropLastRow,
+	fault.MutOffByOne,
+	fault.MutNullCell,
+	fault.MutDupFirstRow,
+	fault.MutEmptyResult,
+	fault.MutScaleFloats,
+}
+
+// generated builds the 168 template-generated bugs.
+func generated() []Bug {
+	var bugs []Bug
+	mutIdx := 0
+	for _, plan := range plans() {
+		seq := 0
+		sePool := plan.sePool
+		nsePool := plan.nsePool
+		for _, cg := range plan.combos {
+			classes := make([]failClass, 0, cg.count())
+			for i := 0; i < cg.heisen; i++ {
+				classes = append(classes, fcHeisen)
+			}
+			for i := 0; i < cg.se; i++ {
+				classes = append(classes, sePool[0])
+				sePool = sePool[1:]
+			}
+			for i := 0; i < cg.nse; i++ {
+				classes = append(classes, nsePool[0])
+				nsePool = nsePool[1:]
+			}
+			fwLeft := make(map[dialect.ServerName]int, len(cg.fw))
+			for s, n := range cg.fw {
+				fwLeft[s] = n
+			}
+			for i, fc := range classes {
+				b := buildGenerated(plan.owner, seq, i, fc, cg, fwLeft, &mutIdx)
+				bugs = append(bugs, b)
+				seq++
+			}
+		}
+		if len(sePool) != 0 || len(nsePool) != 0 {
+			panic(fmt.Sprintf("corpus calibration broken for %s: %d SE / %d NSE classes left over",
+				plan.owner, len(sePool), len(nsePool)))
+		}
+		wantGenerated := map[dialect.ServerName]int{
+			dialect.IB: 52, dialect.PG: 55, dialect.OR: 17, dialect.MS: 44,
+		}
+		mustTotal(plan.owner, seq, wantGenerated[plan.owner])
+	}
+	return bugs
+}
+
+// bugNumber renders repository-style identifiers per server.
+func bugNumber(owner dialect.ServerName, seq int) string {
+	switch owner {
+	case dialect.IB:
+		return fmt.Sprintf("IB-%d", 210100+seq)
+	case dialect.PG:
+		return fmt.Sprintf("PG-%d", 101+seq)
+	case dialect.OR:
+		return fmt.Sprintf("OR-%d", 1060100+seq)
+	case dialect.MS:
+		return fmt.Sprintf("MS-%d", 50100+seq)
+	default:
+		return fmt.Sprintf("%s-%d", owner, seq)
+	}
+}
+
+func buildGenerated(owner dialect.ServerName, seq, comboIdx int, fc failClass,
+	cg comboGen, fwLeft map[dialect.ServerName]int, mutIdx *int) Bug {
+
+	id := bugNumber(owner, seq)
+	table := fmt.Sprintf("T%s%04d", owner, seq)
+
+	runs := map[dialect.ServerName]bool{owner: true}
+	for _, s := range cg.others {
+		runs[s] = true
+	}
+
+	// Decide exclusion reasons and collect atoms.
+	var atoms []string
+	expected := map[dialect.ServerName]Expect{}
+	for _, s := range dialect.AllServers {
+		if runs[s] {
+			continue
+		}
+		if fwLeft[s] > 0 {
+			fwLeft[s]--
+			atoms = append(atoms, fwAtom(s))
+			expected[s] = expectFW()
+		} else {
+			atoms = append(atoms, cannotAtom(s))
+			expected[s] = expectCannot()
+		}
+	}
+	for _, s := range cg.others {
+		expected[s] = expectOK()
+	}
+	expected[owner] = fc.expect()
+
+	script := generatedScript(owner, table, comboIdx%5, atoms, fc == fcOtherNSE)
+
+	bug := Bug{
+		ID:       id,
+		Server:   owner,
+		Title:    generatedTitle(fc, comboIdx%5),
+		Script:   script,
+		Expected: expected,
+		Heisen:   fc == fcHeisen,
+	}
+
+	switch fc {
+	case fcHeisen:
+		bug.Faults = []fault.Fault{{
+			BugID:   id,
+			Server:  owner,
+			Trigger: fault.Trigger{Table: table, Flag: ast.FlagSelect, UnderStressOnly: true},
+			Effect:  fault.Effect{Kind: fault.EffectMutateResult, Mutation: fault.MutDropLastRow},
+		}}
+	case fcPerf:
+		bug.Faults = []fault.Fault{{
+			BugID:   id,
+			Server:  owner,
+			Trigger: fault.Trigger{Table: table, Flag: ast.FlagSelect},
+			Effect:  fault.Effect{Kind: fault.EffectLatency, LatencyMillis: 5000},
+		}}
+	case fcCrash:
+		bug.Faults = []fault.Fault{{
+			BugID:   id,
+			Server:  owner,
+			Trigger: fault.Trigger{Table: table, Flag: ast.FlagSelect},
+			Effect:  fault.Effect{Kind: fault.EffectCrash},
+		}}
+	case fcIRSE:
+		bug.Faults = []fault.Fault{{
+			BugID:   id,
+			Server:  owner,
+			Trigger: fault.Trigger{Table: table, Flag: ast.FlagSelect},
+			Effect:  fault.Effect{Kind: fault.EffectError, Message: "internal error: query processor raised a spurious exception"},
+		}}
+	case fcOtherSE:
+		bug.Faults = []fault.Fault{{
+			BugID:   id,
+			Server:  owner,
+			Trigger: fault.Trigger{Table: table, Flag: ast.FlagSelect},
+			Effect:  fault.Effect{Kind: fault.EffectAbortConnection, Message: "connection forcibly closed by server"},
+		}}
+	case fcIRNSE:
+		m := mutationCycle[*mutIdx%len(mutationCycle)]
+		*mutIdx++
+		bug.Faults = []fault.Fault{{
+			BugID:   id,
+			Server:  owner,
+			Trigger: fault.Trigger{Table: table, Flag: ast.FlagSelect},
+			Effect:  fault.Effect{Kind: fault.EffectMutateResult, Mutation: m},
+		}}
+	case fcOtherNSE:
+		bug.Faults = []fault.Fault{{
+			BugID:   id,
+			Server:  owner,
+			Trigger: fault.Trigger{Table: table, Flag: ast.FlagInsert},
+			Effect:  fault.Effect{Kind: fault.EffectSuppressError},
+		}}
+	}
+	return bug
+}
+
+func generatedTitle(fc failClass, variant int) string {
+	shape := [...]string{
+		"filtered projection", "IN-subquery", "grouped aggregation",
+		"self-join", "pattern/range predicate",
+	}[variant]
+	switch fc {
+	case fcHeisen:
+		return "sporadic wrong result on " + shape + " (not reproducible when quiet)"
+	case fcPerf:
+		return "pathological execution time on " + shape
+	case fcCrash:
+		return "engine crash on " + shape
+	case fcIRSE:
+		return "spurious error raised on " + shape
+	case fcOtherSE:
+		return "connection aborted on " + shape
+	case fcIRNSE:
+		return "silently wrong result on " + shape
+	case fcOtherNSE:
+		return "invalid statement silently accepted on " + shape
+	default:
+		return shape
+	}
+}
+
+// generatedScript produces the reproduction script. Every script creates
+// a uniquely named table (the fault's failure region), populates it, and
+// ends with exactly one query whose shape varies per bug. The script is
+// written in the owner's dialect (MS SQL 7 spells the date type
+// DATETIME; the translator maps it for the other servers).
+func generatedScript(owner dialect.ServerName, table string, variant int, atoms []string, withDupInsert bool) string {
+	dateType := "DATE"
+	if owner == dialect.MS {
+		dateType = "DATETIME"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE TABLE %s (ID INT PRIMARY KEY, NAME VARCHAR(30), AMT FLOAT, D %s);\n", table, dateType)
+	fmt.Fprintf(&b, "INSERT INTO %s VALUES (1, 'alpha', 10.5, '2001-03-01');\n", table)
+	fmt.Fprintf(&b, "INSERT INTO %s VALUES (2, 'beta', 20.25, '2001-03-02');\n", table)
+	fmt.Fprintf(&b, "INSERT INTO %s VALUES (3, 'gamma', 7.75, '2001-03-03');\n", table)
+	if withDupInsert {
+		// Primary-key violation: the oracle rejects it; the buggy server
+		// silently accepts (and ignores) it.
+		fmt.Fprintf(&b, "INSERT INTO %s VALUES (1, 'dup', 1.5, '2001-03-04');\n", table)
+	}
+	atomSel := ""
+	if len(atoms) > 0 {
+		atomSel = ", " + strings.Join(atoms, ", ")
+	}
+	switch variant {
+	case 0:
+		fmt.Fprintf(&b, "SELECT ID, NAME, AMT%s FROM %s WHERE AMT > 8 ORDER BY ID;", atomSel, table)
+	case 1:
+		fmt.Fprintf(&b, "SELECT NAME, AMT%s FROM %s WHERE ID IN (SELECT ID FROM %s WHERE AMT > 8) ORDER BY NAME;",
+			atomSel, table, table)
+	case 2:
+		fmt.Fprintf(&b, "SELECT NAME, COUNT(*) AS N, SUM(AMT) AS TOTAL%s FROM %s GROUP BY NAME ORDER BY NAME;",
+			atomSel, table)
+	case 3:
+		fmt.Fprintf(&b, "SELECT A.NAME, B.AMT%s FROM %s A INNER JOIN %s B ON A.ID = B.ID ORDER BY A.NAME;",
+			replaceRefs(atomSel, "A"), table, table)
+	default:
+		fmt.Fprintf(&b, "SELECT ID, NAME%s FROM %s WHERE NAME LIKE 'a%%' OR AMT BETWEEN 5 AND 15 ORDER BY ID;",
+			atomSel, table)
+	}
+	return b.String()
+}
+
+// replaceRefs qualifies the atom column references for the join variant.
+func replaceRefs(atomSel, alias string) string {
+	s := atomSel
+	for _, col := range []string{"NAME", "AMT", "ID", "D"} {
+		s = strings.ReplaceAll(s, "("+col, "("+alias+"."+col)
+		s = strings.ReplaceAll(s, " "+col+",", " "+alias+"."+col+",")
+	}
+	return s
+}

@@ -1,0 +1,210 @@
+package corpus
+
+import (
+	"divsql/internal/core"
+	"divsql/internal/dialect"
+	"divsql/internal/fault"
+	"divsql/internal/sql/ast"
+)
+
+// handmade returns the 13 cross-server bugs of the paper's Table 4,
+// modelled on the descriptions in Section 5. Their failures are realized
+// by the engine quirks installed in the dialects (internal/dialect) plus,
+// for the five clustered-index bugs, per-bug fault injections on MS.
+func handmade() []Bug {
+	return []Bug{
+		{
+			ID:     "IB-223512",
+			Server: dialect.IB,
+			Title:  "DROP TABLE incorrectly allowed to drop a view (SQL-92 violation)",
+			Script: `
+CREATE TABLE T223512 (A INTEGER);
+INSERT INTO T223512 VALUES (1);
+INSERT INTO T223512 VALUES (2);
+CREATE VIEW V223512 AS SELECT A FROM T223512 WHERE A > 1;
+DROP TABLE V223512;
+CREATE VIEW V223512 AS SELECT A FROM T223512;
+SELECT A FROM V223512 ORDER BY A;`,
+			Expected: map[dialect.ServerName]Expect{
+				dialect.IB: expectFail(core.IncorrectResult, false),
+				dialect.PG: expectFail(core.IncorrectResult, false), // identical: non-detectable
+				dialect.OR: expectOK(),
+				dialect.MS: expectOK(),
+			},
+		},
+		{
+			ID:     "IB-217042",
+			Server: dialect.IB,
+			Title:  "DEFAULT values not validated against the column type at CREATE TABLE",
+			Script: `
+CREATE TABLE T217042 (A INTEGER DEFAULT 'ABC', B INTEGER);
+INSERT INTO T217042 (B) VALUES (1);
+SELECT A, B FROM T217042;`,
+			Expected: map[dialect.ServerName]Expect{
+				dialect.IB: expectFail(core.IncorrectResult, false),
+				dialect.PG: expectOK(),
+				dialect.OR: expectOK(),
+				dialect.MS: expectFail(core.IncorrectResult, false), // identical: non-detectable
+			},
+		},
+		{
+			ID:     "IB-222476",
+			Server: dialect.IB,
+			Title:  "empty field names returned for unaliased AVG and SUM",
+			Script: `
+CREATE TABLE T222476 (A INTEGER);
+INSERT INTO T222476 VALUES (2);
+INSERT INTO T222476 VALUES (4);
+SELECT AVG(A), SUM(A) FROM T222476;`,
+			Expected: map[dialect.ServerName]Expect{
+				dialect.IB: expectFail(core.IncorrectResult, false),
+				dialect.PG: expectOK(),
+				dialect.OR: expectOK(),
+				dialect.MS: expectFail(core.IncorrectResult, true), // MS raises an error: detectable
+			},
+		},
+		{
+			ID:     "MS-58544",
+			Server: dialect.MS,
+			Title:  "LEFT OUTER JOIN on a view defined with DISTINCT returns duplicate rows",
+			Script: `
+CREATE TABLE T58544A (ID INT, TAG VARCHAR(20));
+CREATE TABLE T58544B (ID INT);
+INSERT INTO T58544A VALUES (1, 'x');
+INSERT INTO T58544B VALUES (1);
+INSERT INTO T58544B VALUES (1);
+CREATE VIEW V58544 AS SELECT DISTINCT ID FROM T58544B;
+SELECT A.ID, GEN_UUID(A.TAG) AS U FROM T58544A A LEFT OUTER JOIN V58544 V ON A.ID = V.ID;`,
+			Expected: map[dialect.ServerName]Expect{
+				dialect.MS: expectFail(core.IncorrectResult, false),
+				dialect.IB: expectFail(core.IncorrectResult, false), // identical: non-detectable
+				dialect.OR: expectOK(),
+				dialect.PG: expectCannot(), // GEN_UUID missing on PG 7.0
+			},
+		},
+		{
+			ID:     "PG-43",
+			Server: dialect.PG,
+			Title:  "complex SELECT with nested NOT IN over parenthesized UNION subqueries",
+			Script: `
+CREATE TABLE PRODUCT43 (ID INT, NAME VARCHAR(30), PRICE FLOAT);
+CREATE TABLE PRODSPECIAL43 (PRODUCT_ID INT, PRICE FLOAT, START_DATE DATE, END_DATE DATE);
+INSERT INTO PRODUCT43 VALUES (1, 'keyboard', 10);
+INSERT INTO PRODUCT43 VALUES (2, 'monitor', 45);
+INSERT INTO PRODUCT43 VALUES (3, 'cable', 5);
+INSERT INTO PRODSPECIAL43 VALUES (2, 39, '2000-09-01', '2000-09-30');
+SELECT P.ID AS ID, P.NAME AS NAME FROM PRODUCT43 P WHERE P.ID IN
+ (SELECT ID FROM PRODUCT43 WHERE PRICE >= '9.00' AND PRICE <= '50' AND ID NOT IN
+   ((SELECT PRODUCT_ID FROM PRODSPECIAL43 WHERE START_DATE <= '2000-9-6' AND END_DATE >= '2000-9-6')
+    UNION
+    (SELECT PRODUCT_ID FROM PRODSPECIAL43 WHERE PRICE >= '9.00' AND PRICE <= '50' AND START_DATE <= '2000-9-6' AND END_DATE >= '2000-9-6')));`,
+			Expected: map[dialect.ServerName]Expect{
+				dialect.PG: expectFail(core.IncorrectResult, true), // parse error
+				dialect.MS: expectFail(core.IncorrectResult, true), // incorrect parse tree surfaces an error
+				dialect.IB: expectOK(),
+				dialect.OR: expectOK(),
+			},
+		},
+		{
+			ID:     "PG-77",
+			Server: dialect.PG,
+			Title:  "arithmetic precision loss in floating-point multiplication",
+			Script: `
+CREATE TABLE T77 (N FLOAT, D1 DATE, D2 DATE);
+INSERT INTO T77 VALUES (1.00000007, '2000-01-10', '2000-01-01');
+SELECT N * 16777216.0 AS PRECISE, DATEDIFF(D1, D2) AS DD FROM T77;`,
+			Expected: map[dialect.ServerName]Expect{
+				dialect.PG: expectFail(core.IncorrectResult, false),
+				dialect.MS: expectFail(core.IncorrectResult, false), // identical: non-detectable
+				dialect.OR: expectOK(),
+				dialect.IB: expectCannot(), // DATEDIFF missing on IB 6
+			},
+		},
+		{
+			ID:     "OR-1059835",
+			Server: dialect.OR,
+			Title:  "MOD returns a wrong result for negative dividends",
+			Script: `
+CREATE TABLE T1059835 (A NUMBER, D1 DATE, S VARCHAR2(10));
+INSERT INTO T1059835 VALUES (-7, '2001-02-02', 'x');
+SELECT MOD(A, 3) AS M, DATEDIFF(D1, '2001-01-31') AS DD, LPAD(S, 3) AS PADDED FROM T1059835;`,
+			Expected: map[dialect.ServerName]Expect{
+				dialect.OR: expectFail(core.IncorrectResult, false),
+				dialect.PG: expectFail(core.IncorrectResult, false), // different wrong result: detectable
+				dialect.IB: expectCannot(),                          // DATEDIFF missing
+				dialect.MS: expectCannot(),                          // LPAD missing
+			},
+		},
+		clusteredBug("MS-54428", "incorrect PRIMARY KEY constraint failure on clustered table",
+			fault.Effect{Kind: fault.EffectError, Message: "INSERT failed: PRIMARY KEY constraint violated (no duplicate present)"},
+			ast.FlagInsert, core.IncorrectResult, true),
+		clusteredBug("MS-56516", "wrong error raised querying a clustered table",
+			fault.Effect{Kind: fault.EffectError, Message: "internal query processor error on clustered index scan"},
+			ast.FlagSelect, core.IncorrectResult, true),
+		clusteredBug("MS-58158", "row silently missing from clustered index scan",
+			fault.Effect{Kind: fault.EffectMutateResult, Mutation: fault.MutDropLastRow},
+			ast.FlagSelect, core.IncorrectResult, false),
+		clusteredBug("MS-58253", "off-by-one key returned from clustered index scan",
+			fault.Effect{Kind: fault.EffectMutateResult, Mutation: fault.MutOffByOne},
+			ast.FlagSelect, core.IncorrectResult, false),
+		clusteredBug("MS-351180", "NULL returned instead of key value from clustered index",
+			fault.Effect{Kind: fault.EffectMutateResult, Mutation: fault.MutNullCell},
+			ast.FlagSelect, core.IncorrectResult, false),
+		{
+			ID:     "MS-56775",
+			Server: dialect.MS,
+			Title:  "sporadic wrong results from clustered table (not reproducible on a quiet server)",
+			Script: clusteredScript("T56775"),
+			Heisen: true,
+			Faults: []fault.Fault{{
+				BugID:   "MS-56775",
+				Server:  dialect.MS,
+				Trigger: fault.Trigger{Table: "T56775", Flag: ast.FlagSelect, UnderStressOnly: true},
+				Effect:  fault.Effect{Kind: fault.EffectMutateResult, Mutation: fault.MutDropLastRow},
+			}},
+			Expected: map[dialect.ServerName]Expect{
+				dialect.MS: expectOK(),                             // Heisenbug: no failure when quiet
+				dialect.PG: expectFail(core.IncorrectResult, true), // clustered-index defect
+				dialect.IB: expectCannot(),
+				dialect.OR: expectCannot(),
+			},
+		},
+	}
+}
+
+// clusteredScript builds the common script shape of the five MSSQL
+// clustered-index bugs (plus 56775): create, cluster, populate, query.
+func clusteredScript(table string) string {
+	return `
+CREATE TABLE ` + table + ` (ID INT PRIMARY KEY, V VARCHAR(20));
+CREATE CLUSTERED INDEX IX` + table + ` ON ` + table + ` (ID);
+INSERT INTO ` + table + ` VALUES (1, 'first');
+INSERT INTO ` + table + ` VALUES (2, 'second');
+INSERT INTO ` + table + ` VALUES (3, 'third');
+SELECT ID, V FROM ` + table + ` ORDER BY ID;`
+}
+
+// clusteredBug builds one of the five MSSQL bugs whose scripts also fail
+// in PostgreSQL — "at the beginning of the bug script", when the
+// clustered index is created (the pre-7.0.3 PG defect).
+func clusteredBug(id, title string, effect fault.Effect, flag ast.Flag, msType core.FailureType, msSelfEvident bool) Bug {
+	table := "T" + id[3:]
+	return Bug{
+		ID:     id,
+		Server: dialect.MS,
+		Title:  title,
+		Script: clusteredScript(table),
+		Faults: []fault.Fault{{
+			BugID:   id,
+			Server:  dialect.MS,
+			Trigger: fault.Trigger{Table: table, Flag: flag},
+			Effect:  effect,
+		}},
+		Expected: map[dialect.ServerName]Expect{
+			dialect.MS: expectFail(msType, msSelfEvident),
+			dialect.PG: expectFail(core.IncorrectResult, true), // fails at CREATE CLUSTERED INDEX
+			dialect.IB: expectCannot(),
+			dialect.OR: expectCannot(),
+		},
+	}
+}

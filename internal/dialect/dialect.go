@@ -1,0 +1,278 @@
+// Package dialect defines the four simulated server dialects: which SQL
+// features, functions and types each accepts, how constructs are spelled,
+// and which engine quirks each server carries. The dialect layer is what
+// makes the four servers built on one engine genuinely diverse: scripts
+// written for one server may be untranslatable ("functionality missing")
+// or unportable without manual work ("further work") for another, exactly
+// mirroring the paper's three-way runnability classification.
+package dialect
+
+import (
+	"fmt"
+
+	"divsql/internal/engine"
+	"divsql/internal/sql/ast"
+	"divsql/internal/sql/types"
+)
+
+// ServerName identifies one of the four simulated servers. The paper's
+// abbreviations are kept: IB (Interbase 6.0), PG (PostgreSQL 7.0.0),
+// OR (Oracle 8.0.5), MS (MSSQL 7).
+type ServerName string
+
+// The four simulated servers.
+const (
+	IB ServerName = "IB"
+	PG ServerName = "PG"
+	OR ServerName = "OR"
+	MS ServerName = "MS"
+)
+
+// AllServers lists the four servers in the paper's order.
+var AllServers = []ServerName{IB, PG, OR, MS}
+
+// LongName returns the descriptive name of the simulated product.
+func (s ServerName) LongName() string {
+	switch s {
+	case IB:
+		return "Interbase 6.0 (simulated)"
+	case PG:
+		return "PostgreSQL 7.0.0 (simulated)"
+	case OR:
+		return "Oracle 8.0.5 (simulated)"
+	case MS:
+		return "MS SQL Server 7 (simulated)"
+	default:
+		return string(s)
+	}
+}
+
+// Feature identifies one dialect capability used by the translator and
+// the runnability checker.
+type Feature string
+
+// Syntax-level features.
+const (
+	FeatRowLimit       Feature = "row-limit"
+	FeatClusteredIndex Feature = "clustered-index"
+	FeatViewUnion      Feature = "view-union"
+	FeatViewDistinct   Feature = "view-distinct"
+	FeatSequences      Feature = "sequences"
+)
+
+// FuncFeature returns the feature id for a canonical function.
+func FuncFeature(canonical string) Feature {
+	return Feature("func:" + canonical)
+}
+
+// TypeFeature returns the feature id for a canonical type.
+func TypeFeature(canonical string) Feature {
+	return Feature("type:" + canonical)
+}
+
+// Dialect describes one simulated server's accepted SQL.
+type Dialect struct {
+	Name ServerName
+
+	// limitSyn is the row-limiting syntax; ast.LimitNone when the
+	// dialect has none (OR-sim).
+	limitSyn ast.LimitSyntax
+
+	// funcsByLocal maps the dialect spelling of a function to its spec.
+	funcsByLocal map[string]*FuncSpec
+	// typesByLocal maps the dialect spelling of a type to its spec.
+	typesByLocal map[string]*TypeSpec
+
+	supportsClustered    bool
+	supportsViewUnion    bool
+	supportsViewDistinct bool
+	supportsSequences    bool
+
+	quirks engine.Quirks
+}
+
+// New returns the dialect definition for a server.
+func New(name ServerName) (*Dialect, error) {
+	d := &Dialect{
+		Name:         name,
+		funcsByLocal: make(map[string]*FuncSpec),
+		typesByLocal: make(map[string]*TypeSpec),
+	}
+	for _, fs := range FuncCatalog() {
+		if local, ok := fs.Names[name]; ok {
+			d.funcsByLocal[local] = fs
+		}
+	}
+	for _, ts := range TypeCatalog() {
+		for _, local := range ts.Names[name] {
+			d.typesByLocal[local] = ts
+		}
+	}
+	switch name {
+	case IB:
+		d.limitSyn = ast.LimitRows
+		d.supportsClustered = false
+		d.supportsViewUnion = true
+		d.supportsViewDistinct = true
+		d.supportsSequences = true
+		d.quirks = engine.Quirks{
+			AllowDropTableOnView:    true, // bug 223512
+			SkipDefaultTypeCheck:    true, // bug 217042(3)
+			BlankAggregateAliases:   true, // bug 222476
+			LeftJoinDistinctViewDup: true, // bug 58544 (shared region)
+		}
+	case PG:
+		d.limitSyn = ast.LimitLimit
+		d.supportsClustered = true // accepted, but defective (see quirks)
+		d.supportsViewUnion = false
+		d.supportsViewDistinct = true
+		d.supportsSequences = true
+		d.quirks = engine.Quirks{
+			AllowDropTableOnView:    true, // bug 223512 (shared region)
+			ClusteredIndexError:     true, // the pre-7.0.3 clustered-index bug
+			ParenUnionSubqueryError: true, // bug 43
+			FloatMulPrecisionLoss:   true, // bug 77
+			ModNegativeAbs:          true, // 1059835's failure region on PG
+		}
+	case OR:
+		d.limitSyn = ast.LimitNone
+		d.supportsClustered = false
+		d.supportsViewUnion = true
+		d.supportsViewDistinct = true
+		d.supportsSequences = true
+		d.quirks = engine.Quirks{
+			ModNegativePlus: true, // bug 1059835
+		}
+	case MS:
+		d.limitSyn = ast.LimitTop
+		d.supportsClustered = true
+		d.supportsViewUnion = true
+		d.supportsViewDistinct = true
+		d.supportsSequences = false
+		d.quirks = engine.Quirks{
+			SkipDefaultTypeCheck:       true, // bug 217042(3) (shared region)
+			UnaliasedAggregateError:    true, // bug 222476's MS manifestation
+			LeftJoinDistinctViewDup:    true, // bug 58544
+			ParenUnionSubqueryMisparse: true, // bug 43's MS manifestation
+			FloatMulPrecisionLoss:      true, // bug 77 (shared region)
+		}
+	default:
+		return nil, fmt.Errorf("unknown server %q", name)
+	}
+	return d, nil
+}
+
+// MustNew is New for static server names.
+func MustNew(name ServerName) *Dialect {
+	d, err := New(name)
+	if err != nil {
+		panic(err) // static misconfiguration: fail at startup
+	}
+	return d
+}
+
+// Quirks returns the server's engine quirk set.
+func (d *Dialect) Quirks() engine.Quirks { return d.quirks }
+
+// LimitSyntax returns the dialect's row-limiting syntax.
+func (d *Dialect) LimitSyntax() ast.LimitSyntax { return d.limitSyn }
+
+// Supports reports whether the dialect supports a feature.
+func (d *Dialect) Supports(f Feature) bool {
+	switch f {
+	case FeatRowLimit:
+		return d.limitSyn != ast.LimitNone
+	case FeatClusteredIndex:
+		return d.supportsClustered
+	case FeatViewUnion:
+		return d.supportsViewUnion
+	case FeatViewDistinct:
+		return d.supportsViewDistinct
+	case FeatSequences:
+		return d.supportsSequences
+	}
+	for _, fs := range FuncCatalog() {
+		if FuncFeature(fs.Canonical) == f {
+			_, ok := fs.Names[d.Name]
+			return ok
+		}
+	}
+	for _, ts := range TypeCatalog() {
+		if TypeFeature(ts.Canonical) == f {
+			return len(ts.Names[d.Name]) > 0
+		}
+	}
+	return false
+}
+
+// FuncSpecByLocal resolves a function as spelled in this dialect.
+func (d *Dialect) FuncSpecByLocal(name string) (*FuncSpec, bool) {
+	fs, ok := d.funcsByLocal[name]
+	return fs, ok
+}
+
+// TypeSpecByLocal resolves a type as spelled in this dialect.
+func (d *Dialect) TypeSpecByLocal(name string) (*TypeSpec, bool) {
+	ts, ok := d.typesByLocal[name]
+	return ts, ok
+}
+
+// EngineConfig assembles the engine configuration for a server: its
+// function registry (under local spellings), type resolver and quirks.
+func (d *Dialect) EngineConfig() engine.Config {
+	builtins := engine.AllBuiltins()
+	funcs := make(map[string]engine.Builtin, len(d.funcsByLocal))
+	for local, fs := range d.funcsByLocal {
+		impl, ok := builtins[fs.Canonical]
+		if !ok {
+			impl, ok = extensionBuiltins()[fs.Canonical]
+		}
+		if !ok {
+			continue
+		}
+		impl.Name = local
+		funcs[local] = impl
+	}
+	return engine.Config{
+		Funcs:       funcs,
+		ResolveType: d.resolveType,
+		Quirks:      d.quirks,
+	}
+}
+
+// OracleConfig returns the engine configuration of the pristine
+// reference server used as the study's correctness oracle: it resolves
+// every dialect's type spellings permissively and understands every
+// dialect's function spellings (all bound to the correct, quirk-free
+// implementations).
+func OracleConfig() engine.Config {
+	builtins := engine.AllBuiltins()
+	ext := extensionBuiltins()
+	funcs := make(map[string]engine.Builtin, len(builtins)+len(ext))
+	for name, b := range builtins {
+		funcs[name] = b
+	}
+	for _, fs := range FuncCatalog() {
+		impl, ok := builtins[fs.Canonical]
+		if !ok {
+			impl, ok = ext[fs.Canonical]
+		}
+		if !ok {
+			continue
+		}
+		for _, local := range fs.Names {
+			li := impl
+			li.Name = local
+			funcs[local] = li
+		}
+	}
+	return engine.Config{Funcs: funcs, ResolveType: engine.ResolveTypePermissive}
+}
+
+func (d *Dialect) resolveType(tn ast.TypeName) (types.Kind, error) {
+	ts, ok := d.typesByLocal[tn.Name]
+	if !ok {
+		return 0, fmt.Errorf("type %s is not supported by %s", tn.Name, d.Name.LongName())
+	}
+	return ts.Kind, nil
+}

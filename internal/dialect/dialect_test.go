@@ -1,0 +1,181 @@
+package dialect
+
+import (
+	"testing"
+
+	"divsql/internal/sql/ast"
+)
+
+func TestNewAllServers(t *testing.T) {
+	for _, n := range AllServers {
+		d, err := New(n)
+		if err != nil {
+			t.Fatalf("New(%s): %v", n, err)
+		}
+		if d.Name != n {
+			t.Errorf("name %s", d.Name)
+		}
+		if n.LongName() == string(n) {
+			t.Errorf("missing long name for %s", n)
+		}
+	}
+	if _, err := New("XX"); err == nil {
+		t.Error("unknown server must fail")
+	}
+}
+
+func TestQuirkAssignment(t *testing.T) {
+	ib := MustNew(IB).Quirks()
+	pg := MustNew(PG).Quirks()
+	or := MustNew(OR).Quirks()
+	ms := MustNew(MS).Quirks()
+
+	// Shared failure regions of the paper's Table 4 bugs.
+	if !ib.AllowDropTableOnView || !pg.AllowDropTableOnView {
+		t.Error("bug 223512 region must be shared by IB and PG")
+	}
+	if or.AllowDropTableOnView || ms.AllowDropTableOnView {
+		t.Error("bug 223512 region must not exist on OR/MS")
+	}
+	if !ib.SkipDefaultTypeCheck || !ms.SkipDefaultTypeCheck {
+		t.Error("bug 217042 region must be shared by IB and MS")
+	}
+	if !ib.LeftJoinDistinctViewDup || !ms.LeftJoinDistinctViewDup {
+		t.Error("bug 58544 region must be shared by IB and MS")
+	}
+	if !pg.FloatMulPrecisionLoss || !ms.FloatMulPrecisionLoss {
+		t.Error("bug 77 region must be shared by PG and MS")
+	}
+	if !pg.ClusteredIndexError {
+		t.Error("PG must carry the clustered-index defect")
+	}
+	if !or.ModNegativePlus || !pg.ModNegativeAbs {
+		t.Error("bug 1059835 regions must differ between OR and PG")
+	}
+	if pg.ModNegativePlus {
+		t.Error("PG must not carry OR's MOD manifestation")
+	}
+}
+
+func TestFeatureSupport(t *testing.T) {
+	cases := []struct {
+		server ServerName
+		feat   Feature
+		want   bool
+	}{
+		{PG, FeatViewUnion, false}, // the paper's own example (bug 217138)
+		{IB, FeatViewUnion, true},
+		{MS, FeatClusteredIndex, true},
+		{PG, FeatClusteredIndex, true}, // accepted, though defective
+		{IB, FeatClusteredIndex, false},
+		{OR, FeatClusteredIndex, false},
+		{MS, FeatSequences, false},
+		{IB, FeatSequences, true},
+		{OR, FeatRowLimit, false},
+		{PG, FeatRowLimit, true},
+		{PG, FuncFeature("GEN_UUID"), false},
+		{IB, FuncFeature("GEN_UUID"), true},
+		{OR, FuncFeature("BIT_LENGTH"), false},
+		{MS, FuncFeature("LPAD"), false},
+		{IB, FuncFeature("DATEDIFF"), false},
+		{MS, TypeFeature("MONEY"), true},
+		{PG, TypeFeature("MONEY"), false},
+	}
+	for _, tc := range cases {
+		d := MustNew(tc.server)
+		if got := d.Supports(tc.feat); got != tc.want {
+			t.Errorf("%s supports %s = %v, want %v", tc.server, tc.feat, got, tc.want)
+		}
+	}
+}
+
+func TestFuncSpellings(t *testing.T) {
+	ms := MustNew(MS)
+	if _, ok := ms.FuncSpecByLocal("LEN"); !ok {
+		t.Error("MS must spell LENGTH as LEN")
+	}
+	if _, ok := ms.FuncSpecByLocal("LENGTH"); ok {
+		t.Error("MS must not accept LENGTH")
+	}
+	or := MustNew(OR)
+	if _, ok := or.FuncSpecByLocal("NVL"); !ok {
+		t.Error("OR must offer NVL")
+	}
+	ib := MustNew(IB)
+	spec, ok := ib.FuncSpecByLocal("GEN_ID")
+	if !ok || !spec.SeqFunc {
+		t.Error("IB must offer GEN_ID as a sequence function")
+	}
+}
+
+func TestTypeResolution(t *testing.T) {
+	cfgMS := MustNew(MS).EngineConfig()
+	if _, err := cfgMS.ResolveType(ast.TypeName{Name: "DATE"}); err == nil {
+		t.Error("MS must reject DATE (spells it DATETIME)")
+	}
+	if _, err := cfgMS.ResolveType(ast.TypeName{Name: "DATETIME"}); err != nil {
+		t.Errorf("MS DATETIME: %v", err)
+	}
+	cfgOR := MustNew(OR).EngineConfig()
+	if _, err := cfgOR.ResolveType(ast.TypeName{Name: "VARCHAR2", Args: []int{10}}); err != nil {
+		t.Errorf("OR VARCHAR2: %v", err)
+	}
+	if _, err := cfgOR.ResolveType(ast.TypeName{Name: "MONEY"}); err == nil {
+		t.Error("OR must reject MONEY")
+	}
+}
+
+func TestEngineConfigHasLocalFunctions(t *testing.T) {
+	cfg := MustNew(MS).EngineConfig()
+	if _, ok := cfg.Funcs["LEN"]; !ok {
+		t.Error("MS engine config must register LEN")
+	}
+	if _, ok := cfg.Funcs["LENGTH"]; ok {
+		t.Error("MS engine config must not register LENGTH")
+	}
+	if _, ok := cfg.Funcs["GEN_UUID"]; !ok {
+		t.Error("MS engine config must register GEN_UUID")
+	}
+}
+
+func TestOracleConfigUnderstandsEverySpelling(t *testing.T) {
+	cfg := OracleConfig()
+	for _, name := range []string{"LEN", "LENGTH", "NVL", "ISNULL", "COALESCE", "GEN_ID", "NEXTVAL", "GEN_UUID", "LPAD", "DATEDIFF", "DATE_FMT"} {
+		if _, ok := cfg.Funcs[name]; !ok {
+			t.Errorf("oracle config missing %s", name)
+		}
+	}
+	for _, tn := range []string{"DATE", "DATETIME", "NUMBER", "VARCHAR2", "MONEY", "INT"} {
+		if _, err := cfg.ResolveType(ast.TypeName{Name: tn}); err != nil {
+			t.Errorf("oracle config type %s: %v", tn, err)
+		}
+	}
+}
+
+func TestCatalogConsistency(t *testing.T) {
+	seen := map[string]bool{}
+	for _, fs := range FuncCatalog() {
+		if fs.Canonical == "" || len(fs.Names) == 0 {
+			t.Errorf("bad func spec %+v", fs)
+		}
+		if seen[fs.Canonical] {
+			t.Errorf("duplicate canonical %s", fs.Canonical)
+		}
+		seen[fs.Canonical] = true
+		for srv, local := range fs.Names {
+			if local == "" {
+				t.Errorf("%s: empty spelling for %s", fs.Canonical, srv)
+			}
+		}
+		for srv := range fs.NoAutoTranslate {
+			if _, ok := fs.Names[srv]; !ok {
+				t.Errorf("%s: NoAutoTranslate for unsupported server %s", fs.Canonical, srv)
+			}
+		}
+	}
+	for _, ts := range TypeCatalog() {
+		if ts.Canonical == "" {
+			t.Errorf("bad type spec %+v", ts)
+		}
+	}
+}

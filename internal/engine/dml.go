@@ -1,0 +1,313 @@
+package engine
+
+import (
+	"fmt"
+
+	"divsql/internal/sql/ast"
+	"divsql/internal/sql/types"
+)
+
+func (e *Engine) execInsert(ins *ast.Insert) (*Result, error) {
+	t, ok := e.tables[up(ins.Table)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrTableNotFound, ins.Table)
+	}
+	targets, err := insertTargets(t, ins.Columns)
+	if err != nil {
+		return nil, err
+	}
+
+	var sourceRows [][]types.Value
+	if ins.Select != nil {
+		res, err := e.evalSelect(ins.Select, nil)
+		if err != nil {
+			return nil, err
+		}
+		sourceRows = res.Rows
+	} else {
+		for _, exprRow := range ins.Rows {
+			row := make([]types.Value, 0, len(exprRow))
+			for _, ex := range exprRow {
+				v, err := e.evalExpr(ex, nil)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, v)
+			}
+			sourceRows = append(sourceRows, row)
+		}
+	}
+
+	inserted := 0
+	for _, src := range sourceRows {
+		if len(src) != len(targets) {
+			return nil, fmt.Errorf("INSERT has %d values for %d columns", len(src), len(targets))
+		}
+		row, err := e.buildRow(t, targets, src)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.checkConstraints(t, row, -1); err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+		inserted++
+	}
+	if inserted > 0 {
+		n := inserted
+		e.logUndo(func() { t.Rows = t.Rows[:len(t.Rows)-n] })
+	}
+	return &Result{Kind: ResultCount, Affected: int64(inserted)}, nil
+}
+
+// insertTargets maps the INSERT column list to column indexes (all
+// columns, in order, when the list is empty).
+func insertTargets(t *Table, cols []string) ([]int, error) {
+	if len(cols) == 0 {
+		idx := make([]int, len(t.Cols))
+		for i := range t.Cols {
+			idx[i] = i
+		}
+		return idx, nil
+	}
+	idx := make([]int, 0, len(cols))
+	seen := make(map[int]bool, len(cols))
+	for _, c := range cols {
+		i := t.colIndex(c)
+		if i < 0 {
+			return nil, fmt.Errorf("unknown column %s in table %s", c, t.Name)
+		}
+		if seen[i] {
+			return nil, fmt.Errorf("column %s specified twice", c)
+		}
+		seen[i] = true
+		idx = append(idx, i)
+	}
+	return idx, nil
+}
+
+// buildRow produces a full storage row from target column values,
+// applying defaults, coercion and NOT NULL checks.
+func (e *Engine) buildRow(t *Table, targets []int, src []types.Value) ([]types.Value, error) {
+	row := make([]types.Value, len(t.Cols))
+	provided := make([]bool, len(t.Cols))
+	for i, ci := range targets {
+		v, err := coerce(src[i], t.Cols[ci].Kind)
+		if err != nil {
+			return nil, fmt.Errorf("column %s: %w", t.Cols[ci].Name, err)
+		}
+		row[ci] = v
+		provided[ci] = true
+	}
+	for ci, col := range t.Cols {
+		if provided[ci] {
+			continue
+		}
+		switch {
+		case col.Default != nil:
+			dv, err := e.evalConst(col.Default)
+			if err != nil {
+				return nil, err
+			}
+			if col.RawDefault {
+				// Quirk path (bug 217042(3)): the invalid default was
+				// accepted at CREATE TABLE and is applied verbatim,
+				// bypassing coercion — an ill-typed value lands in the row.
+				row[ci] = dv
+				continue
+			}
+			cv, err := coerce(dv, col.Kind)
+			if err != nil {
+				return nil, fmt.Errorf("default for column %s: %w", col.Name, err)
+			}
+			row[ci] = cv
+		default:
+			row[ci] = types.Null()
+		}
+	}
+	for ci, col := range t.Cols {
+		if col.NotNull && row[ci].IsNull() {
+			return nil, fmt.Errorf("%w: column %s is NOT NULL", ErrConstraint, col.Name)
+		}
+	}
+	return row, nil
+}
+
+// checkConstraints verifies PK/UNIQUE/CHECK for a candidate row. skipIdx
+// excludes one row position (the row being updated), -1 for inserts.
+func (e *Engine) checkConstraints(t *Table, row []types.Value, skipIdx int) error {
+	keysets := make([][]int, 0, 1+len(t.Uniques))
+	if len(t.PKCols) > 0 {
+		keysets = append(keysets, t.PKCols)
+	}
+	keysets = append(keysets, t.Uniques...)
+	for _, key := range keysets {
+		allSet := true
+		for _, ci := range key {
+			if row[ci].IsNull() {
+				allSet = false
+			}
+		}
+		if !allSet {
+			continue // NULLs never collide under UNIQUE
+		}
+		for ri, existing := range t.Rows {
+			if ri == skipIdx {
+				continue
+			}
+			same := true
+			for _, ci := range key {
+				if !types.Identical(existing[ci], row[ci]) {
+					same = false
+					break
+				}
+			}
+			if same {
+				return fmt.Errorf("%w: duplicate key in table %s", ErrConstraint, t.Name)
+			}
+		}
+	}
+	for _, chk := range t.Checks {
+		sc := &scope{cols: tableScopeCols(t), vals: row}
+		v, err := e.evalExpr(chk, sc)
+		if err != nil {
+			return err
+		}
+		if types.TruthOf(v) == types.False {
+			return fmt.Errorf("%w: CHECK failed on table %s", ErrConstraint, t.Name)
+		}
+	}
+	return nil
+}
+
+func tableScopeCols(t *Table) []scopeCol {
+	cols := make([]scopeCol, len(t.Cols))
+	for i, c := range t.Cols {
+		cols[i] = scopeCol{qual: t.Name, name: c.Name}
+	}
+	return cols
+}
+
+// findDuplicate returns the index of a row that collides with another on
+// the given key columns, or -1.
+func (t *Table) findDuplicate(key []int) int {
+	seen := make(map[string]bool, len(t.Rows))
+	for ri, row := range t.Rows {
+		allSet := true
+		var kb []byte
+		for _, ci := range key {
+			if row[ci].IsNull() {
+				allSet = false
+				break
+			}
+			kb = append(kb, row[ci].String()...)
+			kb = append(kb, 0x1f)
+		}
+		if !allSet {
+			continue
+		}
+		k := string(kb)
+		if seen[k] {
+			return ri
+		}
+		seen[k] = true
+	}
+	return -1
+}
+
+func (e *Engine) execUpdate(upd *ast.Update) (*Result, error) {
+	t, ok := e.tables[up(upd.Table)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrTableNotFound, upd.Table)
+	}
+	setIdx := make([]int, len(upd.Sets))
+	for i, sc := range upd.Sets {
+		ci := t.colIndex(sc.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("unknown column %s in table %s", sc.Column, t.Name)
+		}
+		setIdx[i] = ci
+	}
+	cols := tableScopeCols(t)
+	var affected int64
+	type change struct {
+		ri  int
+		old []types.Value
+	}
+	var changes []change
+	for ri, row := range t.Rows {
+		if upd.Where != nil {
+			sc := &scope{cols: cols, vals: row}
+			v, err := e.evalExpr(upd.Where, sc)
+			if err != nil {
+				return nil, err
+			}
+			if types.TruthOf(v) != types.True {
+				continue
+			}
+		}
+		newRow := append([]types.Value(nil), row...)
+		for i, scl := range upd.Sets {
+			sc := &scope{cols: cols, vals: row}
+			v, err := e.evalExpr(scl.Value, sc)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := coerce(v, t.Cols[setIdx[i]].Kind)
+			if err != nil {
+				return nil, fmt.Errorf("column %s: %w", t.Cols[setIdx[i]].Name, err)
+			}
+			if t.Cols[setIdx[i]].NotNull && cv.IsNull() {
+				return nil, fmt.Errorf("%w: column %s is NOT NULL", ErrConstraint, t.Cols[setIdx[i]].Name)
+			}
+			newRow[setIdx[i]] = cv
+		}
+		if err := e.checkConstraints(t, newRow, ri); err != nil {
+			return nil, err
+		}
+		changes = append(changes, change{ri: ri, old: row})
+		t.Rows[ri] = newRow
+		affected++
+	}
+	if len(changes) > 0 {
+		saved := changes
+		e.logUndo(func() {
+			for _, ch := range saved {
+				t.Rows[ch.ri] = ch.old
+			}
+		})
+	}
+	return &Result{Kind: ResultCount, Affected: affected}, nil
+}
+
+func (e *Engine) execDelete(del *ast.Delete) (*Result, error) {
+	t, ok := e.tables[up(del.Table)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrTableNotFound, del.Table)
+	}
+	cols := tableScopeCols(t)
+	kept := t.Rows[:0:0]
+	var affected int64
+	oldRows := t.Rows
+	for _, row := range t.Rows {
+		del2 := true
+		if del.Where != nil {
+			sc := &scope{cols: cols, vals: row}
+			v, err := e.evalExpr(del.Where, sc)
+			if err != nil {
+				return nil, err
+			}
+			del2 = types.TruthOf(v) == types.True
+		}
+		if del2 {
+			affected++
+		} else {
+			kept = append(kept, row)
+		}
+	}
+	if affected > 0 {
+		t.Rows = kept
+		e.logUndo(func() { t.Rows = oldRows })
+	}
+	return &Result{Kind: ResultCount, Affected: affected}, nil
+}

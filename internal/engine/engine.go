@@ -1,0 +1,687 @@
+// Package engine implements the in-memory relational engine that underlies
+// every simulated SQL server. One engine codebase is shared by the four
+// simulated servers; diversity is created above it by the dialect layer
+// (what each server accepts) and the quirk/fault layer (how each server
+// misbehaves). A pristine engine — default Config, zero Quirks — serves as
+// the correctness oracle for the fault-diversity study.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"divsql/internal/sql/ast"
+	"divsql/internal/sql/types"
+)
+
+// Sentinel errors. SQLError wraps statement-level failures so callers can
+// distinguish "the server returned an error message" (self-evident
+// failure, in the paper's terms) from internal Go errors.
+var (
+	// ErrTableNotFound is returned for references to missing tables.
+	ErrTableNotFound = errors.New("table or view not found")
+	// ErrDuplicateObject is returned when a CREATE collides with an
+	// existing object.
+	ErrDuplicateObject = errors.New("object already exists")
+	// ErrConstraint is returned for constraint violations.
+	ErrConstraint = errors.New("constraint violation")
+	// ErrType is returned for type errors.
+	ErrType = errors.New("type error")
+	// ErrNoTransaction is returned for COMMIT/ROLLBACK outside a
+	// transaction.
+	ErrNoTransaction = errors.New("no transaction in progress")
+)
+
+// ResultKind classifies what a Result carries.
+type ResultKind int
+
+// Result kinds.
+const (
+	ResultRows ResultKind = iota + 1
+	ResultCount
+	ResultDDL
+)
+
+// Result is the outcome of one successfully executed statement.
+type Result struct {
+	Kind     ResultKind
+	Columns  []string
+	Rows     [][]types.Value
+	Affected int64
+}
+
+// Clone returns a deep copy of the result (rows share immutable values).
+func (r *Result) Clone() *Result {
+	if r == nil {
+		return nil
+	}
+	cp := &Result{Kind: r.Kind, Affected: r.Affected}
+	cp.Columns = append([]string(nil), r.Columns...)
+	cp.Rows = make([][]types.Value, len(r.Rows))
+	for i, row := range r.Rows {
+		cp.Rows[i] = append([]types.Value(nil), row...)
+	}
+	return cp
+}
+
+// Quirks are always-present behavioural deviations of a simulated server's
+// engine. Each models one of the shared ("coincident") faults reported in
+// the paper; a quirk only becomes a failure when a demand hits its failure
+// region, exactly as for the real products.
+type Quirks struct {
+	// AllowDropTableOnView lets DROP TABLE remove a view (IB bug 223512;
+	// shared by PG). Violates SQL-92, which requires DROP VIEW.
+	AllowDropTableOnView bool
+	// SkipDefaultTypeCheck skips validation of DEFAULT values against the
+	// column type at CREATE TABLE time (IB bug 217042(3); shared by MS).
+	SkipDefaultTypeCheck bool
+	// BlankAggregateAliases makes unaliased AVG/SUM result columns carry
+	// empty names (IB bug 222476's manifestation on IB).
+	BlankAggregateAliases bool
+	// UnaliasedAggregateError makes a SELECT with an unaliased AVG/SUM
+	// fail with a spurious error (bug 222476's manifestation on MS).
+	UnaliasedAggregateError bool
+	// LeftJoinDistinctViewDup skips the DISTINCT of a view expanded as the
+	// right side of a LEFT OUTER JOIN, yielding duplicated rows
+	// (MS bug 58544; shared by IB).
+	LeftJoinDistinctViewDup bool
+	// ClusteredIndexError fails any CREATE CLUSTERED INDEX (the PG bug,
+	// fixed in 7.0.3, that made five MSSQL bug scripts fail in PG).
+	ClusteredIndexError bool
+	// ParenUnionSubqueryError fails a [NOT] IN subquery built from
+	// parenthesized UNION branches (PG bug 43's manifestation on PG: a
+	// parsing error).
+	ParenUnionSubqueryError bool
+	// ParenUnionSubqueryMisparse makes the same construct return a
+	// spurious "column not found" error after building an incorrect parse
+	// tree (bug 43's manifestation on MS).
+	ParenUnionSubqueryMisparse bool
+	// FloatMulPrecisionLoss rounds float multiplication through 32-bit
+	// precision (PG bug 77; shared by MS). Identical on both servers.
+	FloatMulPrecisionLoss bool
+	// ModNegativePlus makes MOD with a negative dividend return
+	// result+|divisor| (OR bug 1059835).
+	ModNegativePlus bool
+	// ModNegativeAbs makes MOD with a negative dividend return the
+	// absolute value (the distinct PG manifestation of the same failure
+	// region, so the two servers return different incorrect results).
+	ModNegativeAbs bool
+}
+
+// Builtin implements one scalar or aggregate SQL function.
+type Builtin struct {
+	Name string
+	// MinArgs/MaxArgs bound the argument count (MaxArgs -1 = variadic).
+	MinArgs, MaxArgs int
+	// Fn evaluates the function. For aggregate functions Fn is nil and
+	// Aggregate is set instead.
+	Fn func(ctx *FuncContext, args []types.Value) (types.Value, error)
+	// Aggregate marks the function as an aggregate (AVG, SUM, ...).
+	Aggregate bool
+	// SeqFunc marks sequence-advancing functions (NEXTVAL, GEN_ID),
+	// whose first argument is a sequence name rather than a value.
+	SeqFunc bool
+}
+
+// FuncContext gives builtins access to engine state (sequences).
+type FuncContext struct {
+	Eng *Engine
+}
+
+// Config parameterizes an engine instance. The zero Config, completed by
+// Defaults, is the pristine oracle configuration.
+type Config struct {
+	// ResolveType maps a dialect type name to a storage kind. When nil,
+	// the permissive resolver (union of all dialects) is used.
+	ResolveType func(ast.TypeName) (types.Kind, error)
+	// Funcs maps upper-cased function names to implementations. When nil,
+	// the full builtin set is available.
+	Funcs map[string]Builtin
+	// Quirks are the engine-level behavioural deviations.
+	Quirks Quirks
+}
+
+// Engine is one single-session in-memory SQL engine.
+type Engine struct {
+	cfg    Config
+	tables map[string]*Table
+	views  map[string]*View
+	indexs map[string]*Index
+	seqs   map[string]*Sequence
+
+	inTxn bool
+	undo  []func()
+}
+
+// Table is a base table.
+type Table struct {
+	Name    string
+	Cols    []Column
+	Rows    [][]types.Value
+	PKCols  []int
+	Uniques [][]int
+	Checks  []ast.Expr
+}
+
+// Column is one column of a base table.
+type Column struct {
+	Name    string
+	Kind    types.Kind
+	NotNull bool
+	// Default is the declared default expression (nil when absent).
+	Default ast.Expr
+	// RawDefault marks a default stored without type validation (the
+	// SkipDefaultTypeCheck quirk), so it is applied verbatim on insert.
+	RawDefault bool
+}
+
+// View is a named stored query.
+type View struct {
+	Name    string
+	Columns []string
+	Select  *ast.Select
+}
+
+// Index is secondary-index metadata; UNIQUE indexes are enforced.
+type Index struct {
+	Name      string
+	Table     string
+	Cols      []int
+	Unique    bool
+	Clustered bool
+}
+
+// Sequence is a monotonic generator.
+type Sequence struct {
+	Name string
+	Next int64
+}
+
+// New returns an engine with the given configuration.
+func New(cfg Config) *Engine {
+	if cfg.ResolveType == nil {
+		cfg.ResolveType = ResolveTypePermissive
+	}
+	if cfg.Funcs == nil {
+		cfg.Funcs = AllBuiltins()
+	}
+	return &Engine{
+		cfg:    cfg,
+		tables: make(map[string]*Table),
+		views:  make(map[string]*View),
+		indexs: make(map[string]*Index),
+		seqs:   make(map[string]*Sequence),
+	}
+}
+
+// NewOracle returns a pristine engine: permissive dialect, no quirks.
+func NewOracle() *Engine { return New(Config{}) }
+
+// Quirks exposes the engine's quirk set (used by tests).
+func (e *Engine) Quirks() Quirks { return e.cfg.Quirks }
+
+// ResolveTypePermissive understands the union of all dialect type names.
+func ResolveTypePermissive(tn ast.TypeName) (types.Kind, error) {
+	switch tn.Name {
+	case "INT", "INTEGER", "SMALLINT", "BIGINT", "INT4", "INT8", "NUMBER":
+		return types.KindInt, nil
+	case "FLOAT", "REAL", "DOUBLE", "DOUBLE PRECISION", "NUMERIC", "DECIMAL", "MONEY":
+		return types.KindFloat, nil
+	case "VARCHAR", "CHAR", "CHARACTER", "TEXT", "NVARCHAR", "VARCHAR2", "CLOB":
+		return types.KindString, nil
+	case "DATE", "DATETIME", "TIMESTAMP":
+		return types.KindDate, nil
+	case "BOOLEAN", "BOOL", "BIT":
+		return types.KindBool, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown type %s", ErrType, tn.Name)
+	}
+}
+
+// Exec executes one parsed statement.
+func (e *Engine) Exec(st ast.Statement) (*Result, error) {
+	switch x := st.(type) {
+	case *ast.CreateTable:
+		return e.execCreateTable(x)
+	case *ast.CreateView:
+		return e.execCreateView(x)
+	case *ast.CreateIndex:
+		return e.execCreateIndex(x)
+	case *ast.CreateSequence:
+		return e.execCreateSequence(x)
+	case *ast.DropTable:
+		return e.execDropTable(x)
+	case *ast.DropView:
+		return e.execDropView(x)
+	case *ast.DropIndex:
+		return e.execDropIndex(x)
+	case *ast.DropSequence:
+		return e.execDropSequence(x)
+	case *ast.Insert:
+		return e.execInsert(x)
+	case *ast.Update:
+		return e.execUpdate(x)
+	case *ast.Delete:
+		return e.execDelete(x)
+	case *ast.Begin:
+		return e.execBegin()
+	case *ast.Commit:
+		return e.execCommit()
+	case *ast.Rollback:
+		return e.execRollback()
+	case *ast.Select:
+		res, err := e.evalSelect(x, nil)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	default:
+		return nil, fmt.Errorf("unsupported statement %T", st)
+	}
+}
+
+func up(s string) string { return strings.ToUpper(s) }
+
+func (e *Engine) objectExists(name string) bool {
+	n := up(name)
+	if _, ok := e.tables[n]; ok {
+		return true
+	}
+	if _, ok := e.views[n]; ok {
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+
+func (e *Engine) execCreateTable(ct *ast.CreateTable) (*Result, error) {
+	name := up(ct.Name)
+	if e.objectExists(name) {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateObject, name)
+	}
+	if len(ct.Columns) == 0 {
+		return nil, fmt.Errorf("table %s has no columns", name)
+	}
+	t := &Table{Name: name}
+	seen := make(map[string]bool, len(ct.Columns))
+	for _, cd := range ct.Columns {
+		cn := up(cd.Name)
+		if seen[cn] {
+			return nil, fmt.Errorf("duplicate column %s", cn)
+		}
+		seen[cn] = true
+		kind, err := e.cfg.ResolveType(cd.Type)
+		if err != nil {
+			return nil, err
+		}
+		col := Column{Name: cn, Kind: kind, NotNull: cd.NotNull || cd.PrimaryKey, Default: cd.Default}
+		if cd.Default != nil {
+			dv, err := e.evalConst(cd.Default)
+			if err != nil {
+				return nil, fmt.Errorf("invalid DEFAULT for %s: %w", cn, err)
+			}
+			if !dv.IsNull() {
+				if _, cerr := coerce(dv, kind); cerr != nil {
+					if e.cfg.Quirks.SkipDefaultTypeCheck {
+						// Quirk: accept the invalid default and store it
+						// verbatim (IB bug 217042(3), shared by MS).
+						col.RawDefault = true
+					} else {
+						return nil, fmt.Errorf("DEFAULT value for column %s: %w", cn, cerr)
+					}
+				}
+			}
+		}
+		t.Cols = append(t.Cols, col)
+		if cd.PrimaryKey {
+			t.PKCols = append(t.PKCols, len(t.Cols)-1)
+		}
+		if cd.Unique {
+			t.Uniques = append(t.Uniques, []int{len(t.Cols) - 1})
+		}
+		if cd.Check != nil {
+			t.Checks = append(t.Checks, cd.Check)
+		}
+	}
+	for _, tc := range ct.Constraints {
+		switch {
+		case len(tc.PrimaryKey) > 0:
+			if len(t.PKCols) > 0 {
+				return nil, fmt.Errorf("%w: multiple primary keys on %s", ErrConstraint, name)
+			}
+			idxs, err := t.columnIndexes(tc.PrimaryKey)
+			if err != nil {
+				return nil, err
+			}
+			t.PKCols = idxs
+			for _, i := range idxs {
+				t.Cols[i].NotNull = true
+			}
+		case len(tc.Unique) > 0:
+			idxs, err := t.columnIndexes(tc.Unique)
+			if err != nil {
+				return nil, err
+			}
+			t.Uniques = append(t.Uniques, idxs)
+		case tc.Check != nil:
+			t.Checks = append(t.Checks, tc.Check)
+		}
+	}
+	e.tables[name] = t
+	e.logUndo(func() { delete(e.tables, name) })
+	return &Result{Kind: ResultDDL}, nil
+}
+
+func (t *Table) columnIndexes(names []string) ([]int, error) {
+	idxs := make([]int, 0, len(names))
+	for _, n := range names {
+		i := t.colIndex(n)
+		if i < 0 {
+			return nil, fmt.Errorf("unknown column %s in table %s", n, t.Name)
+		}
+		idxs = append(idxs, i)
+	}
+	return idxs, nil
+}
+
+func (t *Table) colIndex(name string) int {
+	n := up(name)
+	for i, c := range t.Cols {
+		if c.Name == n {
+			return i
+		}
+	}
+	return -1
+}
+
+func (e *Engine) execCreateView(cv *ast.CreateView) (*Result, error) {
+	name := up(cv.Name)
+	if e.objectExists(name) {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateObject, name)
+	}
+	// Validate the definition by executing it once against current state.
+	if _, err := e.evalSelect(cv.Select, nil); err != nil {
+		return nil, fmt.Errorf("invalid view definition: %w", err)
+	}
+	cols := make([]string, len(cv.Columns))
+	for i, c := range cv.Columns {
+		cols[i] = up(c)
+	}
+	e.views[name] = &View{Name: name, Columns: cols, Select: cv.Select}
+	e.logUndo(func() { delete(e.views, name) })
+	return &Result{Kind: ResultDDL}, nil
+}
+
+func (e *Engine) execCreateIndex(ci *ast.CreateIndex) (*Result, error) {
+	name := up(ci.Name)
+	if _, ok := e.indexs[name]; ok {
+		return nil, fmt.Errorf("%w: index %s", ErrDuplicateObject, name)
+	}
+	if ci.Clustered && e.cfg.Quirks.ClusteredIndexError {
+		// Quirk: the PG 7.0.0 clustered-index defect that made five MSSQL
+		// bug scripts fail at the start when run on PostgreSQL.
+		return nil, fmt.Errorf("internal error: cannot create clustered index %s", name)
+	}
+	t, ok := e.tables[up(ci.Table)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrTableNotFound, ci.Table)
+	}
+	cols, err := t.columnIndexes(ci.Columns)
+	if err != nil {
+		return nil, err
+	}
+	if ci.Unique {
+		if dup := t.findDuplicate(cols); dup >= 0 {
+			return nil, fmt.Errorf("%w: duplicate key creating unique index %s", ErrConstraint, name)
+		}
+		t.Uniques = append(t.Uniques, cols)
+		uPos := len(t.Uniques) - 1
+		e.logUndo(func() { t.Uniques = t.Uniques[:uPos] })
+	}
+	e.indexs[name] = &Index{Name: name, Table: t.Name, Cols: cols, Unique: ci.Unique, Clustered: ci.Clustered}
+	e.logUndo(func() { delete(e.indexs, name) })
+	return &Result{Kind: ResultDDL}, nil
+}
+
+func (e *Engine) execCreateSequence(cs *ast.CreateSequence) (*Result, error) {
+	name := up(cs.Name)
+	if _, ok := e.seqs[name]; ok {
+		return nil, fmt.Errorf("%w: sequence %s", ErrDuplicateObject, name)
+	}
+	start := cs.Start
+	if start == 0 {
+		start = 1
+	}
+	e.seqs[name] = &Sequence{Name: name, Next: start}
+	e.logUndo(func() { delete(e.seqs, name) })
+	return &Result{Kind: ResultDDL}, nil
+}
+
+func (e *Engine) execDropTable(dt *ast.DropTable) (*Result, error) {
+	name := up(dt.Name)
+	if t, ok := e.tables[name]; ok {
+		delete(e.tables, name)
+		e.logUndo(func() { e.tables[name] = t })
+		return &Result{Kind: ResultDDL}, nil
+	}
+	if v, ok := e.views[name]; ok && e.cfg.Quirks.AllowDropTableOnView {
+		// Quirk: DROP TABLE silently removes a view (IB bug 223512,
+		// shared by PG). SQL-92 requires DROP VIEW here.
+		delete(e.views, name)
+		e.logUndo(func() { e.views[name] = v })
+		return &Result{Kind: ResultDDL}, nil
+	}
+	return nil, fmt.Errorf("%w: %s", ErrTableNotFound, name)
+}
+
+func (e *Engine) execDropView(dv *ast.DropView) (*Result, error) {
+	name := up(dv.Name)
+	v, ok := e.views[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: view %s", ErrTableNotFound, name)
+	}
+	delete(e.views, name)
+	e.logUndo(func() { e.views[name] = v })
+	return &Result{Kind: ResultDDL}, nil
+}
+
+func (e *Engine) execDropIndex(di *ast.DropIndex) (*Result, error) {
+	name := up(di.Name)
+	ix, ok := e.indexs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: index %s", ErrTableNotFound, name)
+	}
+	delete(e.indexs, name)
+	e.logUndo(func() { e.indexs[name] = ix })
+	return &Result{Kind: ResultDDL}, nil
+}
+
+func (e *Engine) execDropSequence(ds *ast.DropSequence) (*Result, error) {
+	name := up(ds.Name)
+	s, ok := e.seqs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: sequence %s", ErrTableNotFound, name)
+	}
+	delete(e.seqs, name)
+	e.logUndo(func() { e.seqs[name] = s })
+	return &Result{Kind: ResultDDL}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+//
+// The engine implements single-session transactions with an undo log:
+// every mutation registers its inverse; ROLLBACK applies the inverses in
+// reverse order. Outside a transaction statements auto-commit (the undo
+// log is discarded after each statement by the session layer calling
+// EndStatement).
+
+func (e *Engine) execBegin() (*Result, error) {
+	if e.inTxn {
+		return nil, errors.New("transaction already in progress")
+	}
+	e.inTxn = true
+	e.undo = e.undo[:0]
+	return &Result{Kind: ResultDDL}, nil
+}
+
+func (e *Engine) execCommit() (*Result, error) {
+	if !e.inTxn {
+		return nil, ErrNoTransaction
+	}
+	e.inTxn = false
+	e.undo = nil
+	return &Result{Kind: ResultDDL}, nil
+}
+
+func (e *Engine) execRollback() (*Result, error) {
+	if !e.inTxn {
+		return nil, ErrNoTransaction
+	}
+	for i := len(e.undo) - 1; i >= 0; i-- {
+		e.undo[i]()
+	}
+	e.inTxn = false
+	e.undo = nil
+	return &Result{Kind: ResultDDL}, nil
+}
+
+// InTxn reports whether an explicit transaction is open.
+func (e *Engine) InTxn() bool { return e.inTxn }
+
+// Abort rolls back any open transaction (used on connection aborts).
+func (e *Engine) Abort() {
+	if e.inTxn {
+		for i := len(e.undo) - 1; i >= 0; i-- {
+			e.undo[i]()
+		}
+		e.inTxn = false
+		e.undo = nil
+	}
+}
+
+// EndStatement finalizes autocommit bookkeeping after each statement.
+func (e *Engine) EndStatement() {
+	if !e.inTxn {
+		e.undo = nil
+	}
+}
+
+func (e *Engine) logUndo(fn func()) {
+	if e.inTxn {
+		e.undo = append(e.undo, fn)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// State transfer (used by the replication middleware for resync)
+
+// Snapshot deep-copies the full engine state.
+func (e *Engine) Snapshot() *State {
+	st := &State{
+		Tables: make(map[string]*Table, len(e.tables)),
+		Views:  make(map[string]*View, len(e.views)),
+		Indexs: make(map[string]*Index, len(e.indexs)),
+		Seqs:   make(map[string]*Sequence, len(e.seqs)),
+	}
+	for n, t := range e.tables {
+		ct := &Table{
+			Name:    t.Name,
+			Cols:    append([]Column(nil), t.Cols...),
+			PKCols:  append([]int(nil), t.PKCols...),
+			Checks:  append([]ast.Expr(nil), t.Checks...),
+			Uniques: make([][]int, len(t.Uniques)),
+		}
+		for i, u := range t.Uniques {
+			ct.Uniques[i] = append([]int(nil), u...)
+		}
+		ct.Rows = make([][]types.Value, len(t.Rows))
+		for i, r := range t.Rows {
+			ct.Rows[i] = append([]types.Value(nil), r...)
+		}
+		st.Tables[n] = ct
+	}
+	for n, v := range e.views {
+		cv := *v
+		st.Views[n] = &cv
+	}
+	for n, ix := range e.indexs {
+		ci := *ix
+		st.Indexs[n] = &ci
+	}
+	for n, s := range e.seqs {
+		cs := *s
+		st.Seqs[n] = &cs
+	}
+	return st
+}
+
+// Restore replaces the engine state with a snapshot.
+func (e *Engine) Restore(st *State) {
+	e.tables = st.Tables
+	e.views = st.Views
+	e.indexs = st.Indexs
+	e.seqs = st.Seqs
+	e.inTxn = false
+	e.undo = nil
+}
+
+// Reset drops all state.
+func (e *Engine) Reset() {
+	e.tables = make(map[string]*Table)
+	e.views = make(map[string]*View)
+	e.indexs = make(map[string]*Index)
+	e.seqs = make(map[string]*Sequence)
+	e.inTxn = false
+	e.undo = nil
+}
+
+// State is a deep copy of engine state for state transfer.
+type State struct {
+	Tables map[string]*Table
+	Views  map[string]*View
+	Indexs map[string]*Index
+	Seqs   map[string]*Sequence
+}
+
+// TableNames lists the base tables (sorted order is the caller's concern).
+func (e *Engine) TableNames() []string {
+	names := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		names = append(names, n)
+	}
+	return names
+}
+
+// ViewNames lists the views.
+func (e *Engine) ViewNames() []string {
+	names := make([]string, 0, len(e.views))
+	for n := range e.views {
+		names = append(names, n)
+	}
+	return names
+}
+
+// HasView reports whether a view with the given name exists.
+func (e *Engine) HasView(name string) bool {
+	_, ok := e.views[up(name)]
+	return ok
+}
+
+// HasTable reports whether a base table with the given name exists.
+func (e *Engine) HasTable(name string) bool {
+	_, ok := e.tables[up(name)]
+	return ok
+}
+
+// TableRowCount returns the number of rows in a base table.
+func (e *Engine) TableRowCount(name string) (int, error) {
+	t, ok := e.tables[up(name)]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrTableNotFound, name)
+	}
+	return len(t.Rows), nil
+}

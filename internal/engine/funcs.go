@@ -1,0 +1,286 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"divsql/internal/sql/ast"
+	"divsql/internal/sql/types"
+)
+
+// evalFunc evaluates a non-aggregate function call. Aggregates reaching
+// this point are being used outside a grouping context, which is an
+// error.
+func (e *Engine) evalFunc(fc *ast.FuncCall, sc *scope) (types.Value, error) {
+	name := strings.ToUpper(fc.Name)
+	if isAggregateName(name) {
+		return types.Value{}, fmt.Errorf("invalid use of aggregate function %s", name)
+	}
+	b, ok := e.cfg.Funcs[name]
+	if !ok {
+		return types.Value{}, fmt.Errorf("unknown function %s", name)
+	}
+	if b.SeqFunc {
+		return e.evalSeqFunc(name, fc, sc)
+	}
+	if len(fc.Args) < b.MinArgs || (b.MaxArgs >= 0 && len(fc.Args) > b.MaxArgs) {
+		return types.Value{}, fmt.Errorf("wrong number of arguments to %s", name)
+	}
+	args := make([]types.Value, len(fc.Args))
+	for i, a := range fc.Args {
+		v, err := e.evalExpr(a, sc)
+		if err != nil {
+			return types.Value{}, err
+		}
+		args[i] = v
+	}
+	return b.Fn(&FuncContext{Eng: e}, args)
+}
+
+// evalSeqFunc handles sequence-advancing functions, whose first argument
+// is a sequence name written as a bare identifier or string.
+func (e *Engine) evalSeqFunc(name string, fc *ast.FuncCall, sc *scope) (types.Value, error) {
+	if len(fc.Args) < 1 {
+		return types.Value{}, fmt.Errorf("%s requires a sequence name", name)
+	}
+	var seqName string
+	switch a := fc.Args[0].(type) {
+	case *ast.ColumnRef:
+		seqName = a.Column
+	case *ast.Literal:
+		if a.Val.K == types.KindString {
+			seqName = a.Val.S
+		}
+	}
+	if seqName == "" {
+		return types.Value{}, fmt.Errorf("%s requires a sequence name", name)
+	}
+	incr := int64(1)
+	if len(fc.Args) >= 2 {
+		v, err := e.evalExpr(fc.Args[1], sc)
+		if err != nil {
+			return types.Value{}, err
+		}
+		incr = v.AsInt()
+	}
+	return e.SequenceNext(seqName, incr)
+}
+
+// SequenceNext advances a sequence by incr and returns the new value.
+func (e *Engine) SequenceNext(name string, incr int64) (types.Value, error) {
+	s, ok := e.seqs[up(name)]
+	if !ok {
+		return types.Value{}, fmt.Errorf("%w: sequence %s", ErrTableNotFound, name)
+	}
+	val := s.Next
+	s.Next += incr
+	e.logUndo(func() { s.Next = val })
+	return types.NewInt(val), nil
+}
+
+// argNull reports whether any argument is NULL (the common NULL-in,
+// NULL-out rule for scalar functions).
+func argNull(args []types.Value) bool {
+	for _, a := range args {
+		if a.IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// AllBuiltins returns the full scalar-function catalogue keyed by
+// canonical name. Dialects remap subsets of these under their own names.
+func AllBuiltins() map[string]Builtin {
+	m := make(map[string]Builtin)
+	add := func(b Builtin) { m[b.Name] = b }
+
+	add(Builtin{Name: "UPPER", MinArgs: 1, MaxArgs: 1, Fn: func(_ *FuncContext, a []types.Value) (types.Value, error) {
+		if argNull(a) {
+			return types.Null(), nil
+		}
+		return types.NewString(strings.ToUpper(a[0].String())), nil
+	}})
+	add(Builtin{Name: "LOWER", MinArgs: 1, MaxArgs: 1, Fn: func(_ *FuncContext, a []types.Value) (types.Value, error) {
+		if argNull(a) {
+			return types.Null(), nil
+		}
+		return types.NewString(strings.ToLower(a[0].String())), nil
+	}})
+	add(Builtin{Name: "LENGTH", MinArgs: 1, MaxArgs: 1, Fn: func(_ *FuncContext, a []types.Value) (types.Value, error) {
+		if argNull(a) {
+			return types.Null(), nil
+		}
+		return types.NewInt(int64(len(a[0].String()))), nil
+	}})
+	add(Builtin{Name: "TRIM", MinArgs: 1, MaxArgs: 1, Fn: func(_ *FuncContext, a []types.Value) (types.Value, error) {
+		if argNull(a) {
+			return types.Null(), nil
+		}
+		return types.NewString(strings.TrimSpace(a[0].String())), nil
+	}})
+	add(Builtin{Name: "SUBSTR", MinArgs: 2, MaxArgs: 3, Fn: func(_ *FuncContext, a []types.Value) (types.Value, error) {
+		if argNull(a) {
+			return types.Null(), nil
+		}
+		s := a[0].String()
+		start := int(a[1].AsInt())
+		if start < 1 {
+			start = 1
+		}
+		if start > len(s) {
+			return types.NewString(""), nil
+		}
+		rest := s[start-1:]
+		if len(a) == 3 {
+			n := int(a[2].AsInt())
+			if n < 0 {
+				n = 0
+			}
+			if n < len(rest) {
+				rest = rest[:n]
+			}
+		}
+		return types.NewString(rest), nil
+	}})
+	add(Builtin{Name: "REPLACE", MinArgs: 3, MaxArgs: 3, Fn: func(_ *FuncContext, a []types.Value) (types.Value, error) {
+		if argNull(a) {
+			return types.Null(), nil
+		}
+		return types.NewString(strings.ReplaceAll(a[0].String(), a[1].String(), a[2].String())), nil
+	}})
+	add(Builtin{Name: "ABS", MinArgs: 1, MaxArgs: 1, Fn: func(_ *FuncContext, a []types.Value) (types.Value, error) {
+		if argNull(a) {
+			return types.Null(), nil
+		}
+		v, err := numericOperand(a[0])
+		if err != nil {
+			return types.Value{}, err
+		}
+		if v.K == types.KindInt {
+			return types.NewInt(abs64(v.I)), nil
+		}
+		return types.NewFloat(math.Abs(v.F)), nil
+	}})
+	add(Builtin{Name: "SIGN", MinArgs: 1, MaxArgs: 1, Fn: func(_ *FuncContext, a []types.Value) (types.Value, error) {
+		if argNull(a) {
+			return types.Null(), nil
+		}
+		v, err := numericOperand(a[0])
+		if err != nil {
+			return types.Value{}, err
+		}
+		f := v.AsFloat()
+		switch {
+		case f > 0:
+			return types.NewInt(1), nil
+		case f < 0:
+			return types.NewInt(-1), nil
+		default:
+			return types.NewInt(0), nil
+		}
+	}})
+	add(Builtin{Name: "FLOOR", MinArgs: 1, MaxArgs: 1, Fn: func(_ *FuncContext, a []types.Value) (types.Value, error) {
+		if argNull(a) {
+			return types.Null(), nil
+		}
+		v, err := numericOperand(a[0])
+		if err != nil {
+			return types.Value{}, err
+		}
+		return types.NewFloat(math.Floor(v.AsFloat())), nil
+	}})
+	add(Builtin{Name: "CEIL", MinArgs: 1, MaxArgs: 1, Fn: func(_ *FuncContext, a []types.Value) (types.Value, error) {
+		if argNull(a) {
+			return types.Null(), nil
+		}
+		v, err := numericOperand(a[0])
+		if err != nil {
+			return types.Value{}, err
+		}
+		return types.NewFloat(math.Ceil(v.AsFloat())), nil
+	}})
+	add(Builtin{Name: "ROUND", MinArgs: 1, MaxArgs: 2, Fn: func(_ *FuncContext, a []types.Value) (types.Value, error) {
+		if argNull(a) {
+			return types.Null(), nil
+		}
+		v, err := numericOperand(a[0])
+		if err != nil {
+			return types.Value{}, err
+		}
+		digits := 0
+		if len(a) == 2 {
+			digits = int(a[1].AsInt())
+		}
+		scale := math.Pow(10, float64(digits))
+		return types.NewFloat(math.Round(v.AsFloat()*scale) / scale), nil
+	}})
+	add(Builtin{Name: "POWER", MinArgs: 2, MaxArgs: 2, Fn: func(_ *FuncContext, a []types.Value) (types.Value, error) {
+		if argNull(a) {
+			return types.Null(), nil
+		}
+		x, err := numericOperand(a[0])
+		if err != nil {
+			return types.Value{}, err
+		}
+		y, err := numericOperand(a[1])
+		if err != nil {
+			return types.Value{}, err
+		}
+		return types.NewFloat(math.Pow(x.AsFloat(), y.AsFloat())), nil
+	}})
+	add(Builtin{Name: "SQRT", MinArgs: 1, MaxArgs: 1, Fn: func(_ *FuncContext, a []types.Value) (types.Value, error) {
+		if argNull(a) {
+			return types.Null(), nil
+		}
+		v, err := numericOperand(a[0])
+		if err != nil {
+			return types.Value{}, err
+		}
+		if v.AsFloat() < 0 {
+			return types.Value{}, fmt.Errorf("%w: SQRT of negative number", ErrType)
+		}
+		return types.NewFloat(math.Sqrt(v.AsFloat())), nil
+	}})
+	add(Builtin{Name: "MOD", MinArgs: 2, MaxArgs: 2, Fn: func(ctx *FuncContext, a []types.Value) (types.Value, error) {
+		if argNull(a) {
+			return types.Null(), nil
+		}
+		l, err := numericOperand(a[0])
+		if err != nil {
+			return types.Value{}, err
+		}
+		r, err := numericOperand(a[1])
+		if err != nil {
+			return types.Value{}, err
+		}
+		return ctx.Eng.mod(l, r)
+	}})
+	add(Builtin{Name: "COALESCE", MinArgs: 1, MaxArgs: -1, Fn: func(_ *FuncContext, a []types.Value) (types.Value, error) {
+		for _, v := range a {
+			if !v.IsNull() {
+				return v, nil
+			}
+		}
+		return types.Null(), nil
+	}})
+	add(Builtin{Name: "NULLIF", MinArgs: 2, MaxArgs: 2, Fn: func(_ *FuncContext, a []types.Value) (types.Value, error) {
+		if !a[0].IsNull() && !a[1].IsNull() && types.Equal(a[0], a[1]) {
+			return types.Null(), nil
+		}
+		return a[0], nil
+	}})
+	add(Builtin{Name: "CONCAT", MinArgs: 2, MaxArgs: -1, Fn: func(_ *FuncContext, a []types.Value) (types.Value, error) {
+		var sb strings.Builder
+		for _, v := range a {
+			if v.IsNull() {
+				continue
+			}
+			sb.WriteString(v.String())
+		}
+		return types.NewString(sb.String()), nil
+	}})
+	add(Builtin{Name: "NEXTVAL", MinArgs: 1, MaxArgs: 2, SeqFunc: true})
+	return m
+}

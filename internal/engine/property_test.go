@@ -1,0 +1,279 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"divsql/internal/sql/types"
+)
+
+// sanitize maps arbitrary fuzz strings into safe SQL string literals.
+func sqlString(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+// Property: INSERT then SELECT round-trips values (modulo coercion into
+// the column types).
+func TestInsertSelectRoundTrip(t *testing.T) {
+	f := func(a int64, fraw int64, s string) bool {
+		fl := float64(fraw) / 16 // dyadic floats round-trip exactly
+		e := NewOracle()
+		if _, err := execSQL(e, "CREATE TABLE RT (A INT, B FLOAT, S VARCHAR(100))"); err != nil {
+			return false
+		}
+		ins := fmt.Sprintf("INSERT INTO RT VALUES (%d, %g, %s)", a, fl, sqlString(s))
+		if _, err := execSQL(e, ins); err != nil {
+			return false
+		}
+		res, err := execSQL(e, "SELECT A, B, S FROM RT")
+		if err != nil || len(res.Rows) != 1 {
+			return false
+		}
+		row := res.Rows[0]
+		return row[0].I == a && row[1].AsFloat() == fl && row[2].S == s
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ROLLBACK restores exactly the pre-transaction state for any
+// interleaving of inserts, updates and deletes.
+func TestRollbackRestoresState(t *testing.T) {
+	f := func(vals []int8, updates []int8) bool {
+		e := NewOracle()
+		if _, err := execSQL(e, "CREATE TABLE RB (A INT)"); err != nil {
+			return false
+		}
+		for _, v := range vals {
+			if _, err := execSQL(e, fmt.Sprintf("INSERT INTO RB VALUES (%d)", v)); err != nil {
+				return false
+			}
+		}
+		before, err := execSQL(e, "SELECT A FROM RB ORDER BY A")
+		if err != nil {
+			return false
+		}
+		if _, err := execSQL(e, "BEGIN TRANSACTION"); err != nil {
+			return false
+		}
+		for i, u := range updates {
+			var stmt string
+			switch i % 3 {
+			case 0:
+				stmt = fmt.Sprintf("INSERT INTO RB VALUES (%d)", u)
+			case 1:
+				stmt = fmt.Sprintf("UPDATE RB SET A = A + 1 WHERE A < %d", u)
+			default:
+				stmt = fmt.Sprintf("DELETE FROM RB WHERE A = %d", u)
+			}
+			if _, err := execSQL(e, stmt); err != nil {
+				return false
+			}
+		}
+		if _, err := execSQL(e, "ROLLBACK"); err != nil {
+			return false
+		}
+		after, err := execSQL(e, "SELECT A FROM RB ORDER BY A")
+		if err != nil {
+			return false
+		}
+		if len(before.Rows) != len(after.Rows) {
+			return false
+		}
+		for i := range before.Rows {
+			if !types.Identical(before.Rows[i][0], after.Rows[i][0]) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: UNION result is a deduplicated superset — |A UNION B| is at
+// least max(|distinct A|, |distinct B|) and at most |distinct A| +
+// |distinct B|, and contains no duplicates.
+func TestUnionBounds(t *testing.T) {
+	f := func(av, bv []int8) bool {
+		e := NewOracle()
+		if _, err := execSQL(e, "CREATE TABLE UA (X INT)"); err != nil {
+			return false
+		}
+		if _, err := execSQL(e, "CREATE TABLE UB (X INT)"); err != nil {
+			return false
+		}
+		for _, v := range av {
+			if _, err := execSQL(e, fmt.Sprintf("INSERT INTO UA VALUES (%d)", v)); err != nil {
+				return false
+			}
+		}
+		for _, v := range bv {
+			if _, err := execSQL(e, fmt.Sprintf("INSERT INTO UB VALUES (%d)", v)); err != nil {
+				return false
+			}
+		}
+		da, err := execSQL(e, "SELECT DISTINCT X FROM UA")
+		if err != nil {
+			return false
+		}
+		db, err := execSQL(e, "SELECT DISTINCT X FROM UB")
+		if err != nil {
+			return false
+		}
+		un, err := execSQL(e, "SELECT X FROM UA UNION SELECT X FROM UB")
+		if err != nil {
+			return false
+		}
+		n, na, nb := len(un.Rows), len(da.Rows), len(db.Rows)
+		if n < na || n < nb || n > na+nb {
+			return false
+		}
+		seen := make(map[string]bool, n)
+		for _, r := range un.Rows {
+			k := r[0].String()
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: COUNT(*) equals the number of inserted rows; SUM equals the
+// arithmetic sum.
+func TestAggregateConsistency(t *testing.T) {
+	f := func(vals []int16) bool {
+		e := NewOracle()
+		if _, err := execSQL(e, "CREATE TABLE AG (X INT)"); err != nil {
+			return false
+		}
+		var sum int64
+		for _, v := range vals {
+			sum += int64(v)
+			if _, err := execSQL(e, fmt.Sprintf("INSERT INTO AG VALUES (%d)", v)); err != nil {
+				return false
+			}
+		}
+		res, err := execSQL(e, "SELECT COUNT(*) AS N, SUM(X) AS S FROM AG")
+		if err != nil || len(res.Rows) != 1 {
+			return false
+		}
+		if res.Rows[0][0].I != int64(len(vals)) {
+			return false
+		}
+		if len(vals) == 0 {
+			return res.Rows[0][1].IsNull()
+		}
+		return res.Rows[0][1].I == sum
+	}
+	cfg := &quick.Config{MaxCount: 100}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: WHERE x AND y filters to the intersection of the individual
+// filters (over non-NULL data).
+func TestConjunctionIntersection(t *testing.T) {
+	f := func(vals []int8, lo, hi int8) bool {
+		e := NewOracle()
+		if _, err := execSQL(e, "CREATE TABLE CJ (X INT)"); err != nil {
+			return false
+		}
+		for _, v := range vals {
+			if _, err := execSQL(e, fmt.Sprintf("INSERT INTO CJ VALUES (%d)", v)); err != nil {
+				return false
+			}
+		}
+		a, err := execSQL(e, fmt.Sprintf("SELECT X FROM CJ WHERE X >= %d", lo))
+		if err != nil {
+			return false
+		}
+		b, err := execSQL(e, fmt.Sprintf("SELECT X FROM CJ WHERE X <= %d", hi))
+		if err != nil {
+			return false
+		}
+		both, err := execSQL(e, fmt.Sprintf("SELECT X FROM CJ WHERE X >= %d AND X <= %d", lo, hi))
+		if err != nil {
+			return false
+		}
+		// Count multiset intersection size.
+		counts := map[int64]int{}
+		for _, r := range a.Rows {
+			counts[r[0].I]++
+		}
+		inter := 0
+		for _, r := range b.Rows {
+			if counts[r[0].I] > 0 {
+				counts[r[0].I]--
+				inter++
+			}
+		}
+		return len(both.Rows) == inter
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: snapshot/restore is a faithful round-trip across arbitrary
+// table contents.
+func TestSnapshotRoundTrip(t *testing.T) {
+	f := func(vals []int16, names []string) bool {
+		e := NewOracle()
+		if _, err := execSQL(e, "CREATE TABLE SN (X INT, S VARCHAR(50))"); err != nil {
+			return false
+		}
+		for i, v := range vals {
+			name := "n"
+			if i < len(names) {
+				name = names[i]
+			}
+			if len(name) > 40 {
+				name = name[:40]
+			}
+			ins := fmt.Sprintf("INSERT INTO SN VALUES (%d, %s)", v, sqlString(name))
+			if _, err := execSQL(e, ins); err != nil {
+				return false
+			}
+		}
+		before, err := execSQL(e, "SELECT X, S FROM SN ORDER BY X, S")
+		if err != nil {
+			return false
+		}
+		snap := e.Snapshot()
+		if _, err := execSQL(e, "DELETE FROM SN"); err != nil {
+			return false
+		}
+		e.Restore(snap)
+		after, err := execSQL(e, "SELECT X, S FROM SN ORDER BY X, S")
+		if err != nil || len(after.Rows) != len(before.Rows) {
+			return false
+		}
+		for i := range before.Rows {
+			for j := range before.Rows[i] {
+				if !types.Identical(before.Rows[i][j], after.Rows[i][j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

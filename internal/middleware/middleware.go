@@ -1,0 +1,463 @@
+// Package middleware implements the fault-tolerant SQL server that the
+// paper motivates: diverse modular redundancy over off-the-shelf servers.
+// Every statement is broadcast to all replicas; the normalized results
+// are adjudicated (detection with two replicas, masking by majority with
+// three or more); failed or outvoted replicas are quarantined, restarted
+// and resynchronized by state transfer from a healthy replica.
+//
+// Unlike the crash-only data-replication solutions the paper criticizes
+// (see internal/replication for that baseline), this middleware detects
+// and contains non-fail-stop failures: wrong results, spurious errors
+// and performance outliers — exactly the failure classes Table 1 shows
+// dominate the field data.
+package middleware
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"divsql/internal/core"
+	"divsql/internal/engine"
+	"divsql/internal/server"
+)
+
+// Sentinel errors.
+var (
+	// ErrNoReplicas is returned when a diverse server is built without
+	// replicas.
+	ErrNoReplicas = errors.New("diverse server needs at least one replica")
+	// ErrAllReplicasFailed is returned when no replica produced a result.
+	ErrAllReplicasFailed = errors.New("all replicas failed")
+)
+
+// DivergenceError reports a detected disagreement that could not be
+// masked (a 1-1 split in a two-version configuration): the paper's
+// "detection without masking" case. The client sees a detected failure
+// instead of silently wrong data.
+type DivergenceError struct {
+	Replicas []string
+	Detail   string
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("replica divergence detected (%s): %s",
+		strings.Join(e.Replicas, " vs "), e.Detail)
+}
+
+// ReadPolicy selects how queries (SELECTs) are executed. The paper's
+// conclusions envisage exactly this dial: "The user could decide on an
+// ongoing basis which architecture is giving the best trade-off between
+// performance and dependability, from a single server to the most
+// pessimistic fault-tolerant configuration (with tight synchronisation
+// and comparison of results at each query)."
+type ReadPolicy int
+
+// Read policies.
+const (
+	// ReadCompareAll broadcasts every query and compares all results —
+	// the most pessimistic configuration; full detection coverage.
+	ReadCompareAll ReadPolicy = iota + 1
+	// ReadOne sends queries to a single (rotating) replica and reserves
+	// broadcasting/voting for state-changing statements. Faster, but a
+	// replica's wrong query result reaches the client undetected — the
+	// dependability cost is measured by BenchmarkMaskingAblation.
+	ReadOne
+)
+
+// Config tunes the middleware.
+type Config struct {
+	// Compare configures result normalization (defaults to the paper's
+	// representation-tolerant comparison).
+	Compare core.CompareOptions
+	// Reads selects the query execution policy (default ReadCompareAll).
+	Reads ReadPolicy
+	// Rephrase retries disagreeing replicas with a logically equivalent
+	// rewriting of the query before quarantining them (the wrapper
+	// approach of reference [9]); it masks Heisenbug-like divergences.
+	Rephrase bool
+	// AutoResync restores quarantined or crashed replicas from a healthy
+	// replica's state and returns them to service.
+	AutoResync bool
+	// PerfThreshold flags a replica as a performance outlier when it is
+	// slower than the fastest replica by at least this much. Zero
+	// disables performance monitoring.
+	PerfThreshold time.Duration
+}
+
+// DefaultConfig returns the recommended configuration.
+func DefaultConfig() Config {
+	return Config{
+		Compare:       core.DefaultCompareOptions(),
+		Reads:         ReadCompareAll,
+		Rephrase:      true,
+		AutoResync:    true,
+		PerfThreshold: time.Second,
+	}
+}
+
+// Metrics counts middleware events. Retrieve a consistent snapshot with
+// DiverseServer.Metrics.
+type Metrics struct {
+	Statements        int64
+	Unanimous         int64
+	MaskedFailures    int64 // outvoted wrong results masked by majority
+	DetectedSplits    int64 // divergences detected but not maskable
+	ReplicaErrors     int64 // error messages outvoted by healthy replicas
+	CrashesDetected   int64
+	PerfOutliers      int64
+	RephraseRecovered int64
+	Resyncs           int64
+}
+
+// replica wraps one diverse server with its health state.
+type replica struct {
+	srv         *server.Server
+	quarantined bool
+	// pendingResync marks a quarantined replica awaiting state transfer
+	// at the next transaction boundary (resyncing from a donor that is
+	// mid-transaction would copy uncommitted state).
+	pendingResync bool
+	suspicions    int
+}
+
+// DiverseServer is the fault-tolerant diverse SQL server.
+type DiverseServer struct {
+	mu       sync.Mutex
+	cfg      Config
+	replicas []*replica
+	metrics  Metrics
+}
+
+var _ core.Executor = (*DiverseServer)(nil)
+
+// New assembles a diverse server from replicas. The replica set may mix
+// any of the simulated servers; the paper's analysis corresponds to
+// two-version (detection) and three-or-more (masking) configurations.
+func New(cfg Config, servers ...*server.Server) (*DiverseServer, error) {
+	if len(servers) == 0 {
+		return nil, ErrNoReplicas
+	}
+	if cfg.Compare.FloatSigDigits == 0 && !cfg.Compare.OrderSensitive {
+		cfg.Compare = core.DefaultCompareOptions()
+	}
+	d := &DiverseServer{cfg: cfg}
+	for _, s := range servers {
+		d.replicas = append(d.replicas, &replica{srv: s})
+	}
+	return d, nil
+}
+
+// ReplicaNames lists the replica identities in order.
+func (d *DiverseServer) ReplicaNames() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := make([]string, len(d.replicas))
+	for i, r := range d.replicas {
+		names[i] = string(r.srv.Name())
+	}
+	return names
+}
+
+// Metrics returns a snapshot of the counters.
+func (d *DiverseServer) Metrics() Metrics {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.metrics
+}
+
+// QuarantinedReplicas lists replicas currently out of service.
+func (d *DiverseServer) QuarantinedReplicas() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []string
+	for _, r := range d.replicas {
+		if r.quarantined {
+			out = append(out, string(r.srv.Name()))
+		}
+	}
+	return out
+}
+
+// Exec broadcasts one statement to every active replica, adjudicates the
+// responses and returns the agreed result. The reported latency is the
+// slowest active replica's (replicas run in parallel).
+func (d *DiverseServer) Exec(sql string) (*engine.Result, time.Duration, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.metrics.Statements++
+	d.flushPendingResyncs()
+
+	active := make([]*replica, 0, len(d.replicas))
+	for _, r := range d.replicas {
+		if !r.quarantined {
+			active = append(active, r)
+		}
+	}
+	if len(active) == 0 {
+		return nil, 0, ErrAllReplicasFailed
+	}
+
+	if d.cfg.Reads == ReadOne && isQuery(sql) && !d.inTxnAny(active) {
+		return d.execReadOne(active, sql)
+	}
+
+	results := d.broadcast(active, sql)
+
+	// Performance containment: flag replicas slower than the fastest by
+	// the configured threshold. (Their results still vote.)
+	if d.cfg.PerfThreshold > 0 {
+		fastest := time.Duration(-1)
+		for _, rr := range results {
+			if rr.Err == nil && (fastest < 0 || rr.Latency < fastest) {
+				fastest = rr.Latency
+			}
+		}
+		for _, rr := range results {
+			if rr.Err == nil && fastest >= 0 && rr.Latency-fastest >= d.cfg.PerfThreshold {
+				d.metrics.PerfOutliers++
+			}
+		}
+	}
+
+	verdict := core.Adjudicate(results, d.cfg.Compare)
+
+	// Crash handling: restart and resync crashed replicas.
+	for _, i := range verdict.CrashedIdx {
+		d.metrics.CrashesDetected++
+		d.recover(active[i], active, verdict)
+	}
+
+	if verdict.Agreed == nil && len(verdict.Errored) == len(results)-len(verdict.CrashedIdx) {
+		// Every live replica returned an error: treat the (agreeing)
+		// error as the statement's legitimate outcome.
+		if len(verdict.Errored) > 0 {
+			return nil, maxLatency(results), results[verdict.Errored[0]].Err
+		}
+		return nil, maxLatency(results), ErrAllReplicasFailed
+	}
+
+	// Error containment. Errors and successes are votes like any other
+	// outcome: when more replicas error than agree on a result, the
+	// error is taken as the statement's legitimate outcome and the
+	// minority that accepted the statement is the suspect (this is how
+	// silently-accepted invalid statements — the paper's "other
+	// non-self-evident" failures — are contained). A 1-1 split in a
+	// pair is detected but cannot be adjudicated.
+	if len(verdict.Errored) > 0 && verdict.Agreed != nil {
+		switch {
+		case len(verdict.Errored) > len(verdict.AgreeIdx):
+			d.metrics.MaskedFailures += int64(len(verdict.AgreeIdx))
+			for _, i := range verdict.AgreeIdx {
+				d.suspect(active[i], active, verdict)
+			}
+			return nil, maxLatency(results), results[verdict.Errored[0]].Err
+		case len(verdict.Errored) == len(verdict.AgreeIdx) && len(verdict.Outliers) == 0:
+			d.metrics.DetectedSplits++
+			names := make([]string, 0, len(results))
+			for _, rr := range results {
+				names = append(names, rr.Name)
+			}
+			return nil, maxLatency(results), &DivergenceError{
+				Replicas: names,
+				Detail:   "one replica errored, the other succeeded: " + results[verdict.Errored[0]].Err.Error(),
+			}
+		default:
+			d.metrics.ReplicaErrors += int64(len(verdict.Errored))
+			for _, i := range verdict.Errored {
+				d.suspect(active[i], active, verdict)
+			}
+		}
+	}
+
+	// Value containment: outvoted or split results.
+	if len(verdict.Outliers) > 0 {
+		recovered := d.tryRephrase(active, results, verdict, sql)
+		if !recovered {
+			if verdict.Majority {
+				d.metrics.MaskedFailures += int64(len(verdict.Outliers))
+				for _, i := range verdict.Outliers {
+					d.suspect(active[i], active, verdict)
+				}
+			} else {
+				d.metrics.DetectedSplits++
+				names := make([]string, 0, len(results))
+				for _, rr := range results {
+					names = append(names, rr.Name)
+				}
+				return nil, maxLatency(results), &DivergenceError{
+					Replicas: names,
+					Detail:   core.Diff(results[verdict.AgreeIdx[0]].Res, results[verdict.Outliers[0]].Res, d.cfg.Compare),
+				}
+			}
+		}
+	}
+
+	if verdict.Unanimous {
+		d.metrics.Unanimous++
+	}
+	return verdict.Agreed, maxLatency(results), nil
+}
+
+// broadcast runs the statement on every replica concurrently.
+func (d *DiverseServer) broadcast(active []*replica, sql string) []core.ReplicaResult {
+	results := make([]core.ReplicaResult, len(active))
+	var wg sync.WaitGroup
+	for i, r := range active {
+		wg.Add(1)
+		go func(i int, r *replica) {
+			defer wg.Done()
+			res, lat, err := r.srv.Exec(sql)
+			results[i] = core.ReplicaResult{
+				Name:    string(r.srv.Name()),
+				Res:     res,
+				Err:     err,
+				Crashed: errors.Is(err, server.ErrCrashed),
+				Latency: lat,
+			}
+		}(i, r)
+	}
+	wg.Wait()
+	return results
+}
+
+// tryRephrase re-executes the statement, rewritten into a logically
+// equivalent form, on the outlier replicas; if the rephrased query now
+// agrees with the majority the divergence is treated as transient.
+func (d *DiverseServer) tryRephrase(active []*replica, results []core.ReplicaResult, verdict core.Verdict, sql string) bool {
+	if !d.cfg.Rephrase || verdict.Agreed == nil {
+		return false
+	}
+	rephrased, changed := Rephrase(sql)
+	if !changed {
+		return false
+	}
+	agreedDigest := core.Digest(verdict.Agreed, d.cfg.Compare)
+	allRecovered := true
+	for _, i := range verdict.Outliers {
+		res, _, err := active[i].srv.Exec(rephrased)
+		if err != nil || core.Digest(res, d.cfg.Compare) != agreedDigest {
+			allRecovered = false
+			break
+		}
+	}
+	if allRecovered {
+		d.metrics.RephraseRecovered++
+		_ = results
+	}
+	return allRecovered
+}
+
+// suspect records a replica misbehaviour and resynchronizes it from a
+// healthy peer so that error propagation is contained.
+func (d *DiverseServer) suspect(r *replica, active []*replica, verdict core.Verdict) {
+	r.suspicions++
+	d.recover(r, active, verdict)
+}
+
+// recover restarts (if crashed) and resyncs a replica from the first
+// healthy member of the agreeing group. When the donor is inside a
+// client transaction the resync is deferred to the next transaction
+// boundary (copying uncommitted state would corrupt the replica if the
+// transaction later rolled back); the replica is quarantined meanwhile.
+func (d *DiverseServer) recover(r *replica, active []*replica, verdict core.Verdict) {
+	if !d.cfg.AutoResync {
+		r.quarantined = true
+		return
+	}
+	if r.srv.Crashed() {
+		r.srv.Restart()
+	}
+	var donor *replica
+	for _, i := range verdict.AgreeIdx {
+		if active[i] != r {
+			donor = active[i]
+			break
+		}
+	}
+	if donor == nil {
+		// No healthy donor: keep the replica in service with its own
+		// state (it may still agree on subsequent statements).
+		return
+	}
+	if donor.srv.InTxn() {
+		r.quarantined = true
+		r.pendingResync = true
+		return
+	}
+	r.srv.Restore(donor.srv.Snapshot())
+	d.metrics.Resyncs++
+}
+
+// flushPendingResyncs completes deferred state transfers once a healthy
+// donor is at a transaction boundary, returning the replicas to service.
+func (d *DiverseServer) flushPendingResyncs() {
+	for _, r := range d.replicas {
+		if !r.pendingResync {
+			continue
+		}
+		var donor *replica
+		for _, cand := range d.replicas {
+			if cand != r && !cand.quarantined && !cand.srv.Crashed() && !cand.srv.InTxn() {
+				donor = cand
+				break
+			}
+		}
+		if donor == nil {
+			continue // try again on a later statement
+		}
+		r.srv.Restore(donor.srv.Snapshot())
+		r.pendingResync = false
+		r.quarantined = false
+		d.metrics.Resyncs++
+	}
+}
+
+// execReadOne serves a query from a single rotating replica; crashed
+// replicas fail over to the next one. Results are NOT compared: this is
+// the performance end of the paper's trade-off dial.
+func (d *DiverseServer) execReadOne(active []*replica, sql string) (*engine.Result, time.Duration, error) {
+	n := len(active)
+	start := int(d.metrics.Statements) % n
+	for i := 0; i < n; i++ {
+		r := active[(start+i)%n]
+		res, lat, err := r.srv.Exec(sql)
+		if errors.Is(err, server.ErrCrashed) {
+			d.metrics.CrashesDetected++
+			if d.cfg.AutoResync {
+				r.srv.Restart()
+			}
+			continue
+		}
+		return res, lat, err
+	}
+	return nil, 0, ErrAllReplicasFailed
+}
+
+// inTxnAny reports whether any replica has an open transaction (queries
+// inside transactions must see the transaction's own writes, so they
+// are always broadcast).
+func (d *DiverseServer) inTxnAny(active []*replica) bool {
+	for _, r := range active {
+		if r.srv.InTxn() {
+			return true
+		}
+	}
+	return false
+}
+
+func isQuery(sql string) bool {
+	return strings.HasPrefix(strings.ToUpper(strings.TrimSpace(sql)), "SELECT")
+}
+
+func maxLatency(results []core.ReplicaResult) time.Duration {
+	var m time.Duration
+	for _, r := range results {
+		if r.Latency > m {
+			m = r.Latency
+		}
+	}
+	return m
+}

@@ -1,0 +1,381 @@
+package middleware
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"divsql/internal/dialect"
+	"divsql/internal/fault"
+	"divsql/internal/server"
+	"divsql/internal/sql/ast"
+)
+
+func newServers(t *testing.T, faults []fault.Fault, names ...dialect.ServerName) []*server.Server {
+	t.Helper()
+	out := make([]*server.Server, 0, len(names))
+	for _, n := range names {
+		s, err := server.New(n, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func newDiverse(t *testing.T, faults []fault.Fault, names ...dialect.ServerName) *DiverseServer {
+	t.Helper()
+	d, err := New(DefaultConfig(), newServers(t, faults, names...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func mustExec(t *testing.T, d *DiverseServer, sql string) {
+	t.Helper()
+	if _, _, err := d.Exec(sql); err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+}
+
+func TestNewRequiresReplicas(t *testing.T) {
+	if _, err := New(DefaultConfig()); !errors.Is(err, ErrNoReplicas) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestUnanimousPath(t *testing.T) {
+	d := newDiverse(t, nil, dialect.PG, dialect.OR, dialect.MS)
+	mustExec(t, d, "CREATE TABLE T (A INT)")
+	mustExec(t, d, "INSERT INTO T VALUES (1)")
+	res, _, err := d.Exec("SELECT A FROM T")
+	if err != nil || res.Rows[0][0].I != 1 {
+		t.Fatalf("select: %v %v", res, err)
+	}
+	m := d.Metrics()
+	if m.Unanimous != 3 || m.MaskedFailures != 0 {
+		t.Errorf("metrics: %+v", m)
+	}
+}
+
+func TestMajorityMasksWrongResult(t *testing.T) {
+	faults := []fault.Fault{{
+		BugID:   "wrong",
+		Server:  dialect.PG,
+		Trigger: fault.Trigger{Table: "T", Flag: ast.FlagSelect},
+		Effect:  fault.Effect{Kind: fault.EffectMutateResult, Mutation: fault.MutOffByOne},
+	}}
+	d := newDiverse(t, faults, dialect.PG, dialect.OR, dialect.MS)
+	mustExec(t, d, "CREATE TABLE T (A INT)")
+	mustExec(t, d, "INSERT INTO T VALUES (10)")
+	res, _, err := d.Exec("SELECT A FROM T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 10 {
+		t.Errorf("client saw the wrong value %v", res.Rows[0][0])
+	}
+	m := d.Metrics()
+	if m.MaskedFailures == 0 {
+		t.Errorf("masking not recorded: %+v", m)
+	}
+	if m.Resyncs == 0 {
+		t.Errorf("outvoted replica not resynced: %+v", m)
+	}
+	// After resync the faulty replica is back in agreement for
+	// non-triggering statements.
+	res, _, err = d.Exec("SELECT A + 1 AS B FROM T WHERE A = 10")
+	if err != nil || res.Rows[0][0].I != 11 {
+		t.Errorf("after resync: %v %v", res, err)
+	}
+}
+
+func TestPairDetectsWithoutMasking(t *testing.T) {
+	faults := []fault.Fault{{
+		BugID:   "wrong",
+		Server:  dialect.PG,
+		Trigger: fault.Trigger{Table: "T", Flag: ast.FlagSelect},
+		Effect:  fault.Effect{Kind: fault.EffectMutateResult, Mutation: fault.MutOffByOne},
+	}}
+	cfg := DefaultConfig()
+	cfg.Rephrase = false
+	d, err := New(cfg, newServers(t, faults, dialect.PG, dialect.OR)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, d, "CREATE TABLE T (A INT)")
+	mustExec(t, d, "INSERT INTO T VALUES (5)")
+	_, _, err = d.Exec("SELECT A FROM T")
+	var div *DivergenceError
+	if !errors.As(err, &div) {
+		t.Fatalf("want divergence, got %v", err)
+	}
+	if d.Metrics().DetectedSplits != 1 {
+		t.Errorf("metrics: %+v", d.Metrics())
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	faults := []fault.Fault{{
+		BugID:   "crash",
+		Server:  dialect.OR,
+		Trigger: fault.Trigger{Table: "T", Flag: ast.FlagGroupBy},
+		Effect:  fault.Effect{Kind: fault.EffectCrash},
+	}}
+	d := newDiverse(t, faults, dialect.PG, dialect.OR, dialect.MS)
+	mustExec(t, d, "CREATE TABLE T (A INT)")
+	mustExec(t, d, "INSERT INTO T VALUES (1)")
+	mustExec(t, d, "INSERT INTO T VALUES (2)")
+	// Crashes OR; the other two answer.
+	res, _, err := d.Exec("SELECT A, COUNT(*) AS N FROM T GROUP BY A")
+	if err != nil || len(res.Rows) != 2 {
+		t.Fatalf("grouped select: %v %v", res, err)
+	}
+	m := d.Metrics()
+	if m.CrashesDetected != 1 || m.Resyncs == 0 {
+		t.Errorf("metrics: %+v", m)
+	}
+	// The restarted replica serves again.
+	res, _, err = d.Exec("SELECT A FROM T WHERE A = 1")
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("after recovery: %v %v", res, err)
+	}
+	if len(d.QuarantinedReplicas()) != 0 {
+		t.Errorf("quarantined: %v", d.QuarantinedReplicas())
+	}
+}
+
+func TestErrorMajorityWins(t *testing.T) {
+	// One replica silently accepts an invalid statement (Other-NSE
+	// class); the majority's error is the adjudicated outcome.
+	faults := []fault.Fault{{
+		BugID:   "accept",
+		Server:  dialect.PG,
+		Trigger: fault.Trigger{Table: "T", Flag: ast.FlagInsert},
+		Effect:  fault.Effect{Kind: fault.EffectSuppressError},
+	}}
+	d := newDiverse(t, faults, dialect.PG, dialect.OR, dialect.MS)
+	mustExec(t, d, "CREATE TABLE T (A INT PRIMARY KEY)")
+	mustExec(t, d, "INSERT INTO T VALUES (1)")
+	// Duplicate key: OR and MS error (correctly); PG wrongly accepts.
+	_, _, err := d.Exec("INSERT INTO T VALUES (1)")
+	if err == nil || !strings.Contains(err.Error(), "constraint") {
+		t.Fatalf("majority error must win: %v", err)
+	}
+	if d.Metrics().MaskedFailures == 0 {
+		t.Errorf("acceptance failure not masked: %+v", d.Metrics())
+	}
+}
+
+func TestLegitimateErrorsPassThrough(t *testing.T) {
+	d := newDiverse(t, nil, dialect.PG, dialect.OR, dialect.MS)
+	mustExec(t, d, "CREATE TABLE T (A INT)")
+	if _, _, err := d.Exec("SELECT NOPE FROM T"); err == nil {
+		t.Error("unknown column must error")
+	}
+	if _, _, err := d.Exec("INSERT INTO MISSING VALUES (1)"); err == nil {
+		t.Error("missing table must error")
+	}
+	m := d.Metrics()
+	if m.MaskedFailures != 0 || m.DetectedSplits != 0 {
+		t.Errorf("legitimate errors misclassified: %+v", m)
+	}
+}
+
+func TestDeferredResyncAtTxnBoundary(t *testing.T) {
+	faults := []fault.Fault{{
+		BugID:   "err",
+		Server:  dialect.MS,
+		Trigger: fault.Trigger{Table: "T", Flag: ast.FlagUpdate},
+		Effect:  fault.Effect{Kind: fault.EffectError, Message: "spurious"},
+	}}
+	d := newDiverse(t, faults, dialect.PG, dialect.OR, dialect.MS)
+	mustExec(t, d, "CREATE TABLE T (A INT)")
+	mustExec(t, d, "INSERT INTO T VALUES (1)")
+	mustExec(t, d, "BEGIN TRANSACTION")
+	// MS errors inside the transaction: it must be quarantined and NOT
+	// resynced from a mid-transaction donor.
+	mustExec(t, d, "UPDATE T SET A = 2")
+	if len(d.QuarantinedReplicas()) != 1 {
+		t.Fatalf("quarantined: %v", d.QuarantinedReplicas())
+	}
+	mustExec(t, d, "ROLLBACK")
+	// The next statement flushes the pending resync with committed
+	// (rolled back) state; all replicas agree on A = 1.
+	res, _, err := d.Exec("SELECT A FROM T")
+	if err != nil || res.Rows[0][0].I != 1 {
+		t.Fatalf("after rollback: %v %v", res, err)
+	}
+	if len(d.QuarantinedReplicas()) != 0 {
+		t.Errorf("replica not reinstated: %v", d.QuarantinedReplicas())
+	}
+}
+
+func TestRephraseBetween(t *testing.T) {
+	out, changed := Rephrase("SELECT A FROM T WHERE A BETWEEN 1 AND 5")
+	if !changed || !strings.Contains(out, ">= 1") || !strings.Contains(out, "<= 5") {
+		t.Errorf("rephrase: %q", out)
+	}
+}
+
+func TestRephraseInList(t *testing.T) {
+	out, changed := Rephrase("SELECT A FROM T WHERE A IN (1, 2)")
+	if !changed || !strings.Contains(out, "OR") {
+		t.Errorf("rephrase: %q", out)
+	}
+}
+
+func TestRephrasePreservesSemantics(t *testing.T) {
+	srv, err := server.New(dialect.PG, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := []string{
+		"CREATE TABLE T (A INT, B VARCHAR(5))",
+		"INSERT INTO T VALUES (1, 'x'), (2, 'y'), (3, NULL), (NULL, 'z')",
+	}
+	for _, s := range setup {
+		if _, _, err := srv.Exec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := []string{
+		"SELECT A FROM T WHERE A BETWEEN 1 AND 2 ORDER BY A",
+		"SELECT A FROM T WHERE A IN (1, 3) ORDER BY A",
+		"SELECT A FROM T WHERE A = 2 AND B = 'y'",
+		"SELECT A FROM T WHERE A = 1 OR A = 3 ORDER BY A",
+		"SELECT A FROM T WHERE A NOT IN (1, 2) ORDER BY A",
+		"SELECT A FROM T WHERE NOT (A BETWEEN 2 AND 3)",
+	}
+	for _, q := range queries {
+		orig, _, err := srv.Exec(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		rq, changed := Rephrase(q)
+		if !changed {
+			t.Errorf("no rewriting for %q", q)
+			continue
+		}
+		re, _, err := srv.Exec(rq)
+		if err != nil {
+			t.Fatalf("rephrased %q: %v", rq, err)
+		}
+		if len(orig.Rows) != len(re.Rows) {
+			t.Errorf("%q vs %q: %d rows vs %d", q, rq, len(orig.Rows), len(re.Rows))
+		}
+	}
+}
+
+func TestAllReplicasDown(t *testing.T) {
+	faults := []fault.Fault{
+		{BugID: "c1", Server: dialect.PG, Trigger: fault.Trigger{Table: "T", Flag: ast.FlagSelect},
+			Effect: fault.Effect{Kind: fault.EffectCrash}},
+		{BugID: "c2", Server: dialect.OR, Trigger: fault.Trigger{Table: "T", Flag: ast.FlagSelect},
+			Effect: fault.Effect{Kind: fault.EffectCrash}},
+	}
+	cfg := DefaultConfig()
+	cfg.AutoResync = false
+	d, err := New(cfg, newServers(t, faults, dialect.PG, dialect.OR)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, d, "CREATE TABLE T (A INT)")
+	if _, _, err := d.Exec("SELECT A FROM T"); err == nil {
+		t.Error("want failure when every replica crashes")
+	}
+}
+
+func TestReplicaNames(t *testing.T) {
+	d := newDiverse(t, nil, dialect.IB, dialect.MS)
+	names := d.ReplicaNames()
+	if len(names) != 2 || names[0] != "IB" || names[1] != "MS" {
+		t.Errorf("names: %v", names)
+	}
+}
+
+func TestReadOnePolicySkipsComparison(t *testing.T) {
+	faults := []fault.Fault{{
+		BugID:   "wrong",
+		Server:  dialect.PG,
+		Trigger: fault.Trigger{Table: "T", Flag: ast.FlagSelect},
+		Effect:  fault.Effect{Kind: fault.EffectMutateResult, Mutation: fault.MutOffByOne},
+	}}
+	cfg := DefaultConfig()
+	cfg.Reads = ReadOne
+	d, err := New(cfg, newServers(t, faults, dialect.PG, dialect.OR)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, d, "CREATE TABLE T (A INT)")
+	mustExec(t, d, "INSERT INTO T VALUES (5)")
+	// Reads rotate across replicas without comparison: over several
+	// queries both the correct (OR) and the wrong (PG) value surface —
+	// the dependability cost of the performance end of the dial.
+	sawWrong, sawRight := false, false
+	for i := 0; i < 6; i++ {
+		res, _, err := d.Exec("SELECT A FROM T")
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch res.Rows[0][0].I {
+		case 5:
+			sawRight = true
+		case 6:
+			sawWrong = true
+		}
+	}
+	if !sawRight || !sawWrong {
+		t.Errorf("read-one rotation: right=%v wrong=%v", sawRight, sawWrong)
+	}
+	if d.Metrics().DetectedSplits != 0 {
+		t.Error("read-one must not compare")
+	}
+}
+
+func TestReadOneFailsOverOnCrash(t *testing.T) {
+	faults := []fault.Fault{{
+		BugID:   "crash",
+		Server:  dialect.PG,
+		Trigger: fault.Trigger{Table: "T", Flag: ast.FlagSelect},
+		Effect:  fault.Effect{Kind: fault.EffectCrash},
+	}}
+	cfg := DefaultConfig()
+	cfg.Reads = ReadOne
+	d, err := New(cfg, newServers(t, faults, dialect.PG, dialect.OR)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, d, "CREATE TABLE T (A INT)")
+	mustExec(t, d, "INSERT INTO T VALUES (1)")
+	for i := 0; i < 4; i++ {
+		res, _, err := d.Exec("SELECT A FROM T")
+		if err != nil || res.Rows[0][0].I != 1 {
+			t.Fatalf("read %d: %v %v", i, res, err)
+		}
+	}
+	if d.Metrics().CrashesDetected == 0 {
+		t.Error("crash failover not recorded")
+	}
+}
+
+func TestReadOneBroadcastsInsideTransactions(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Reads = ReadOne
+	d, err := New(cfg, newServers(t, nil, dialect.PG, dialect.OR)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, d, "CREATE TABLE T (A INT)")
+	mustExec(t, d, "BEGIN TRANSACTION")
+	mustExec(t, d, "INSERT INTO T VALUES (9)")
+	// Inside the transaction the query must see the uncommitted write on
+	// EVERY replica, so it is broadcast rather than read-one.
+	res, _, err := d.Exec("SELECT A FROM T")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].I != 9 {
+		t.Fatalf("txn read: %v %v", res, err)
+	}
+	mustExec(t, d, "COMMIT")
+}

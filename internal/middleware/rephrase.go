@@ -1,0 +1,127 @@
+package middleware
+
+import (
+	"divsql/internal/sql/ast"
+	"divsql/internal/sql/parser"
+)
+
+// Rephrase rewrites a statement into a logically equivalent form, the
+// wrapper technique of the paper's reference [9] ("wrappers rephrasing
+// queries into alternative, logically equivalent sets of statements").
+// A rephrased query exercises different code paths in a server, so a
+// replica that failed through a Heisenbug or a narrow failure region may
+// answer the rephrased form correctly.
+//
+// Rewritings applied (bottom-up, all semantics-preserving):
+//
+//   - x BETWEEN a AND b      ->  x >= a AND x <= b
+//   - x IN (v1, v2, ...)     ->  x = v1 OR x = v2 OR ...
+//   - a AND b / a OR b       ->  b AND a / b OR a (operand commutation)
+//   - a = b (literals last)  ->  b = a
+//
+// It returns the rewritten SQL and whether anything changed.
+func Rephrase(sql string) (string, bool) {
+	st, err := parser.Parse(sql)
+	if err != nil {
+		return sql, false
+	}
+	r := &rephraser{}
+	r.statement(st)
+	if !r.changed {
+		return sql, false
+	}
+	return ast.Render(st), true
+}
+
+type rephraser struct {
+	changed bool
+}
+
+func (r *rephraser) statement(st ast.Statement) {
+	switch x := st.(type) {
+	case *ast.Select:
+		r.sel(x)
+	case *ast.Update:
+		x.Where = r.expr(x.Where)
+	case *ast.Delete:
+		x.Where = r.expr(x.Where)
+	case *ast.Insert:
+		if x.Select != nil {
+			r.sel(x.Select)
+		}
+	}
+}
+
+func (r *rephraser) sel(s *ast.Select) {
+	if s == nil {
+		return
+	}
+	s.Where = r.expr(s.Where)
+	s.Having = r.expr(s.Having)
+	for i := range s.From {
+		for j := range s.From[i].Joins {
+			s.From[i].Joins[j].On = r.expr(s.From[i].Joins[j].On)
+		}
+		if s.From[i].Table.Subquery != nil {
+			r.sel(s.From[i].Table.Subquery)
+		}
+	}
+	r.sel(s.Union)
+}
+
+func (r *rephraser) expr(e ast.Expr) ast.Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *ast.Between:
+		lo := &ast.Binary{Op: ast.OpGe, L: x.X, R: x.Lo}
+		hi := &ast.Binary{Op: ast.OpLe, L: x.X, R: x.Hi}
+		r.changed = true
+		var out ast.Expr = &ast.Binary{Op: ast.OpAnd, L: lo, R: hi}
+		if x.Not {
+			out = &ast.Unary{Op: "NOT", X: out}
+		}
+		return out
+	case *ast.In:
+		if x.Select == nil && len(x.List) > 0 && len(x.List) <= 8 {
+			var out ast.Expr
+			for _, item := range x.List {
+				eq := ast.Expr(&ast.Binary{Op: ast.OpEq, L: x.X, R: item})
+				if out == nil {
+					out = eq
+				} else {
+					out = &ast.Binary{Op: ast.OpOr, L: out, R: eq}
+				}
+			}
+			r.changed = true
+			if x.Not {
+				return &ast.Unary{Op: "NOT", X: out}
+			}
+			return out
+		}
+		return x
+	case *ast.Binary:
+		x.L = r.expr(x.L)
+		x.R = r.expr(x.R)
+		switch x.Op {
+		case ast.OpAnd, ast.OpOr:
+			// Commute: evaluation order differs, result does not
+			// (three-valued logic AND/OR are symmetric).
+			x.L, x.R = x.R, x.L
+			r.changed = true
+		case ast.OpEq:
+			if _, lit := x.L.(*ast.Literal); !lit {
+				if _, rlit := x.R.(*ast.Literal); rlit {
+					x.L, x.R = x.R, x.L
+					r.changed = true
+				}
+			}
+		}
+		return x
+	case *ast.Unary:
+		x.X = r.expr(x.X)
+		return x
+	default:
+		return e
+	}
+}

@@ -1,0 +1,208 @@
+// Package reliability implements the reasoning of Section 6.1 of the
+// paper: extrapolating from counts of common bugs to the reliability of
+// a diverse 1-out-of-2 server.
+//
+// The paper's simplified model: a user of product A considers switching
+// to a fault-tolerant diverse pair AB. Over a reference period, mA bugs
+// were reported for A; of these, only mAB also cause B to fail. Under
+// the simplifying assumptions of Section 6.1 (failures of one replica
+// are masked; only coincident failures are system failures), the
+// expected system-failure count falls from mA to mAB, so the ratio
+// mAB/mA bounds the residual failure rate and mA/mAB is the reliability
+// gain.
+//
+// The package also quantifies two of the paper's caveats:
+//
+//   - imperfect failure reporting (only a fraction p of failures are
+//     reported): the expected ratio is unchanged but its uncertainty
+//     grows — EstimateWithReporting propagates a binomial model;
+//   - usage-profile variation (Adams' effect): per-bug failure rates are
+//     heavy-tailed across installations, so the count ratio may badly
+//     misestimate the rate ratio for a specific installation —
+//     ProfileSensitivity simulates installations with Pareto-distributed
+//     per-bug rates and reports quantiles of the realized gain.
+package reliability
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"divsql/internal/dialect"
+	"divsql/internal/study"
+)
+
+// PairGain is the Section 6.1 estimate for one (primary, diverse
+// partner) ordered pair.
+type PairGain struct {
+	Primary dialect.ServerName
+	Partner dialect.ServerName
+	// MA is the number of the primary's bugs that caused it to fail.
+	MA int
+	// MAB is the number of those bugs that also fail the partner.
+	MAB int
+	// NonDetectable is the subset of MAB with identical failures (no
+	// error containment possible even with comparison).
+	NonDetectable int
+}
+
+// Ratio returns mAB/mA, the residual failure fraction (0 when mA is 0).
+func (p PairGain) Ratio() float64 {
+	if p.MA == 0 {
+		return 0
+	}
+	return float64(p.MAB) / float64(p.MA)
+}
+
+// Gain returns the reliability gain factor mA/mAB; +Inf when no common
+// bugs were observed.
+func (p PairGain) Gain() float64 {
+	if p.MAB == 0 {
+		return math.Inf(1)
+	}
+	return float64(p.MA) / float64(p.MAB)
+}
+
+// Report is the full Section 6 analysis.
+type Report struct {
+	Pairs []PairGain
+}
+
+// FromStudy derives the pair gains from a completed study.
+func FromStudy(res *study.Result) *Report {
+	rep := &Report{}
+	for _, primary := range dialect.AllServers {
+		for _, partner := range dialect.AllServers {
+			if partner == primary {
+				continue
+			}
+			pg := PairGain{Primary: primary, Partner: partner}
+			for i := range res.Bugs {
+				bug := &res.Bugs[i]
+				if bug.Server != primary {
+					continue
+				}
+				own := res.Runs[bug.ID][primary]
+				other := res.Runs[bug.ID][partner]
+				if own == nil || !own.Class.IsFailure() {
+					continue
+				}
+				pg.MA++
+				if other != nil && other.Class.IsFailure() {
+					pg.MAB++
+					if !own.Class.SelfEvident && !other.Class.SelfEvident {
+						pg.NonDetectable++
+					}
+				}
+			}
+			rep.Pairs = append(rep.Pairs, pg)
+		}
+	}
+	return rep
+}
+
+// Render prints the report.
+func (r *Report) Render() string {
+	var b strings.Builder
+	b.WriteString("Section 6 reliability-gain estimates (primary -> diverse pair)\n")
+	b.WriteString("pair      mA   mAB  residual-ratio  gain\n")
+	for _, p := range r.Pairs {
+		gain := "inf"
+		if p.MAB > 0 {
+			gain = fmt.Sprintf("%.1fx", p.Gain())
+		}
+		fmt.Fprintf(&b, "%s+%s   %4d  %4d     %6.4f      %s\n",
+			p.Primary, p.Partner, p.MA, p.MAB, p.Ratio(), gain)
+	}
+	return b.String()
+}
+
+// Estimate is a ratio with a symmetric uncertainty half-width.
+type Estimate struct {
+	Ratio     float64
+	HalfWidth float64
+}
+
+// EstimateWithReporting models imperfect failure reporting: each failure
+// is reported independently with probability p, so the observed counts
+// are binomial thinnings of the true ones. The expected ratio is
+// unchanged; the half-width is a delta-method 95% interval that widens
+// as p decreases (the paper: "both terms in the ratio would be larger
+// and affected by wider uncertainty").
+func EstimateWithReporting(pg PairGain, p float64) (Estimate, error) {
+	if p <= 0 || p > 1 {
+		return Estimate{}, fmt.Errorf("reporting probability %v out of (0, 1]", p)
+	}
+	if pg.MA == 0 {
+		return Estimate{}, fmt.Errorf("no failures observed for %s", pg.Primary)
+	}
+	// True counts scale as observed/p; the ratio estimator's relative
+	// variance is approximately (1-p)/p * (1/mAB + 1/mA) by the delta
+	// method on two binomials.
+	ratio := pg.Ratio()
+	if pg.MAB == 0 {
+		// Upper bound via the rule of three on the numerator.
+		return Estimate{Ratio: 0, HalfWidth: 3 / (p * float64(pg.MA))}, nil
+	}
+	relVar := (1 - p) / p * (1/float64(pg.MAB) + 1/float64(pg.MA))
+	return Estimate{Ratio: ratio, HalfWidth: 1.96 * ratio * math.Sqrt(relVar)}, nil
+}
+
+// ProfileResult summarizes the Adams-effect simulation.
+type ProfileResult struct {
+	// Quantiles of the per-installation residual failure-rate ratio.
+	P10, P50, P90 float64
+	// MeanRatio is the mean across installations.
+	MeanRatio float64
+}
+
+// ProfileSensitivity simulates installations whose per-bug failure rates
+// are drawn from a Pareto distribution with the given shape (Adams 1984
+// observed very heavy-tailed per-bug rates; shape values near 1 are
+// heavy-tailed). For each simulated installation, the realized residual
+// ratio is (rate mass of the mAB common bugs) / (rate mass of all mA
+// bugs) under an installation-specific random rate assignment. The
+// spread of this ratio across installations quantifies how little the
+// count ratio alone says about a specific installation's gain.
+func ProfileSensitivity(pg PairGain, shape float64, installations int, seed int64) (ProfileResult, error) {
+	if pg.MA == 0 || pg.MAB > pg.MA {
+		return ProfileResult{}, fmt.Errorf("invalid pair counts mA=%d mAB=%d", pg.MA, pg.MAB)
+	}
+	if shape <= 0 {
+		return ProfileResult{}, fmt.Errorf("shape must be positive, got %v", shape)
+	}
+	if installations <= 0 {
+		return ProfileResult{}, fmt.Errorf("installations must be positive, got %d", installations)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ratios := make([]float64, 0, installations)
+	for k := 0; k < installations; k++ {
+		var total, common float64
+		for i := 0; i < pg.MA; i++ {
+			// Pareto(shape) via inverse transform.
+			r := math.Pow(1-rng.Float64(), -1/shape) - 1
+			total += r
+			if i < pg.MAB {
+				common += r
+			}
+		}
+		if total == 0 {
+			ratios = append(ratios, 0)
+			continue
+		}
+		ratios = append(ratios, common/total)
+	}
+	sort.Float64s(ratios)
+	q := func(p float64) float64 {
+		idx := int(p * float64(len(ratios)-1))
+		return ratios[idx]
+	}
+	mean := 0.0
+	for _, r := range ratios {
+		mean += r
+	}
+	mean /= float64(len(ratios))
+	return ProfileResult{P10: q(0.10), P50: q(0.50), P90: q(0.90), MeanRatio: mean}, nil
+}

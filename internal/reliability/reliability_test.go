@@ -1,0 +1,162 @@
+package reliability
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"divsql/internal/dialect"
+	"divsql/internal/study"
+)
+
+var (
+	once sync.Once
+	res  *study.Result
+	rerr error
+)
+
+func studyResult(t *testing.T) *study.Result {
+	t.Helper()
+	once.Do(func() {
+		res, rerr = study.New().Run()
+	})
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	return res
+}
+
+func findPair(rep *Report, a, b dialect.ServerName) PairGain {
+	for _, p := range rep.Pairs {
+		if p.Primary == a && p.Partner == b {
+			return p
+		}
+	}
+	return PairGain{}
+}
+
+func TestFromStudyMatchesTable4(t *testing.T) {
+	rep := FromStudy(studyResult(t))
+	cases := []struct {
+		a, b    dialect.ServerName
+		ma, mab int
+	}{
+		{dialect.IB, dialect.PG, 47, 1},
+		{dialect.IB, dialect.OR, 47, 0},
+		{dialect.IB, dialect.MS, 47, 2},
+		{dialect.PG, dialect.MS, 52, 2},
+		{dialect.OR, dialect.PG, 14, 1},
+		{dialect.MS, dialect.PG, 39, 5},
+		{dialect.MS, dialect.IB, 39, 1},
+		{dialect.MS, dialect.OR, 39, 0},
+	}
+	for _, tc := range cases {
+		p := findPair(rep, tc.a, tc.b)
+		if p.MA != tc.ma || p.MAB != tc.mab {
+			t.Errorf("%s+%s: mA=%d mAB=%d, want %d/%d", tc.a, tc.b, p.MA, p.MAB, tc.ma, tc.mab)
+		}
+	}
+}
+
+func TestRatioAndGain(t *testing.T) {
+	p := PairGain{MA: 50, MAB: 2}
+	if r := p.Ratio(); r != 0.04 {
+		t.Errorf("ratio %v", r)
+	}
+	if g := p.Gain(); g != 25 {
+		t.Errorf("gain %v", g)
+	}
+	zero := PairGain{MA: 50, MAB: 0}
+	if !math.IsInf(zero.Gain(), 1) {
+		t.Error("gain with no common bugs must be +Inf")
+	}
+	if (PairGain{}).Ratio() != 0 {
+		t.Error("empty pair ratio must be 0")
+	}
+}
+
+func TestEstimateWithReporting(t *testing.T) {
+	p := PairGain{MA: 47, MAB: 2}
+	full, err := EstimateWithReporting(p, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.HalfWidth != 0 {
+		t.Errorf("perfect reporting must have zero width, got %v", full.HalfWidth)
+	}
+	half, err := EstimateWithReporting(p, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenth, err := EstimateWithReporting(p, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tenth.HalfWidth > half.HalfWidth && half.HalfWidth > 0) {
+		t.Errorf("uncertainty must grow as reporting degrades: %v vs %v", half, tenth)
+	}
+	if half.Ratio != p.Ratio() {
+		t.Error("expected ratio unchanged by thinning")
+	}
+	// Zero common bugs: rule-of-three upper bound.
+	zb, err := EstimateWithReporting(PairGain{MA: 47}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zb.HalfWidth <= 0 {
+		t.Error("zero-numerator bound must be positive")
+	}
+	if _, err := EstimateWithReporting(p, 0); err == nil {
+		t.Error("p=0 must be rejected")
+	}
+	if _, err := EstimateWithReporting(PairGain{}, 0.5); err == nil {
+		t.Error("mA=0 must be rejected")
+	}
+}
+
+func TestProfileSensitivity(t *testing.T) {
+	p := PairGain{MA: 47, MAB: 2}
+	r, err := ProfileSensitivity(p, 1.1, 2000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r.P10 <= r.P50 && r.P50 <= r.P90) {
+		t.Errorf("quantiles disordered: %+v", r)
+	}
+	if r.P90 <= r.P10 {
+		t.Errorf("heavy-tailed rates must spread the ratio: %+v", r)
+	}
+	// Determinism.
+	r2, err := ProfileSensitivity(p, 1.1, 2000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != r2 {
+		t.Error("profile simulation not deterministic for a fixed seed")
+	}
+	// Heavier tails (smaller shape) spread more.
+	heavy, _ := ProfileSensitivity(p, 0.8, 2000, 42)
+	light, _ := ProfileSensitivity(p, 5.0, 2000, 42)
+	if heavy.P90-heavy.P10 <= light.P90-light.P10 {
+		t.Errorf("tail weight must widen the spread: heavy %+v light %+v", heavy, light)
+	}
+	// Input validation.
+	if _, err := ProfileSensitivity(PairGain{}, 1, 10, 1); err == nil {
+		t.Error("invalid counts must be rejected")
+	}
+	if _, err := ProfileSensitivity(p, -1, 10, 1); err == nil {
+		t.Error("negative shape must be rejected")
+	}
+	if _, err := ProfileSensitivity(p, 1, 0, 1); err == nil {
+		t.Error("zero installations must be rejected")
+	}
+}
+
+func TestRenderReport(t *testing.T) {
+	rep := FromStudy(studyResult(t))
+	text := rep.Render()
+	if !strings.Contains(text, "IB+PG") || !strings.Contains(text, "gain") {
+		t.Errorf("render: %q", text)
+	}
+}

@@ -1,0 +1,145 @@
+// Package replication implements the baseline the paper argues against:
+// conventional data replication over identical servers under the
+// fail-stop assumption. The primary executes every statement; updates
+// are propagated to the backups; the only failures detected are clean
+// crashes, on which a backup is promoted.
+//
+// Because results are never compared, non-fail-stop failures — wrong
+// results, spurious errors, silent acceptance of invalid statements —
+// pass straight through to the client and are *propagated to every
+// replica*, exactly the shortcoming described in Section 2.1.
+package replication
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"time"
+
+	"divsql/internal/core"
+	"divsql/internal/engine"
+	"divsql/internal/server"
+)
+
+// ErrNoReplicas is returned when the group is built empty.
+var ErrNoReplicas = errors.New("replication group needs at least one server")
+
+// ErrGroupDown is returned when every replica has crashed.
+var ErrGroupDown = errors.New("all replicas have crashed")
+
+// Metrics counts replication events.
+type Metrics struct {
+	Statements  int64
+	Failovers   int64
+	Propagated  int64
+	UncheckedOK int64 // results returned to clients without comparison
+}
+
+// Group is a primary/backup replication group of identical servers.
+type Group struct {
+	mu       sync.Mutex
+	servers  []*server.Server
+	primary  int
+	metrics  Metrics
+	restarts bool
+}
+
+var _ core.Executor = (*Group)(nil)
+
+// NewGroup builds a replication group; servers[0] starts as primary.
+// When autoRestart is set, crashed primaries are restarted and rejoin as
+// backups after failover (warm standby).
+func NewGroup(autoRestart bool, servers ...*server.Server) (*Group, error) {
+	if len(servers) == 0 {
+		return nil, ErrNoReplicas
+	}
+	return &Group{servers: servers, restarts: autoRestart}, nil
+}
+
+// Primary returns the current primary's name.
+func (g *Group) Primary() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return string(g.servers[g.primary].Name())
+}
+
+// Metrics returns a snapshot of the counters.
+func (g *Group) Metrics() Metrics {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.metrics
+}
+
+// Exec executes the statement on the primary and, for state-changing
+// statements, propagates it to the backups. Only crash failures trigger
+// recovery; results are returned unchecked.
+func (g *Group) Exec(sql string) (*engine.Result, time.Duration, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.metrics.Statements++
+
+	for attempts := 0; attempts < len(g.servers)+1; attempts++ {
+		prim := g.servers[g.primary]
+		res, lat, err := prim.Exec(sql)
+		if errors.Is(err, server.ErrCrashed) {
+			if !g.failover() {
+				return nil, lat, ErrGroupDown
+			}
+			continue
+		}
+		if err != nil {
+			// Under the fail-stop assumption a non-crash error is assumed
+			// to be the statement's legitimate outcome; it is NOT treated
+			// as a server failure.
+			return nil, lat, err
+		}
+		if isStateChanging(sql) {
+			g.propagate(sql)
+		}
+		g.metrics.UncheckedOK++
+		return res, lat, nil
+	}
+	return nil, 0, ErrGroupDown
+}
+
+// failover promotes the next live backup. It returns false when none is
+// available.
+func (g *Group) failover() bool {
+	g.metrics.Failovers++
+	crashed := g.servers[g.primary]
+	if g.restarts {
+		crashed.Restart()
+		// Rejoin with state copied from a live peer below, once a new
+		// primary is found.
+	}
+	for i := range g.servers {
+		cand := (g.primary + 1 + i) % len(g.servers)
+		if !g.servers[cand].Crashed() {
+			if g.restarts && cand != g.primary {
+				crashed.Restore(g.servers[cand].Snapshot())
+			}
+			g.primary = cand
+			return true
+		}
+	}
+	return false
+}
+
+// propagate replays an update on every backup. Failures of individual
+// backups are ignored unless they crash (fail-stop assumption); wrong
+// results cannot occur here because backups' outputs are never read —
+// which is precisely how incorrect updates spread silently.
+func (g *Group) propagate(sql string) {
+	for i, s := range g.servers {
+		if i == g.primary || s.Crashed() {
+			continue
+		}
+		_, _, _ = s.Exec(sql)
+		g.metrics.Propagated++
+	}
+}
+
+func isStateChanging(sql string) bool {
+	up := strings.ToUpper(strings.TrimSpace(sql))
+	return !strings.HasPrefix(up, "SELECT")
+}

@@ -1,0 +1,268 @@
+// Package server assembles a simulated off-the-shelf SQL server: the
+// shared relational engine configured with one dialect (what the server
+// accepts), that dialect's quirk set, and a registry of injected faults
+// (how the server misbehaves). A Server presents the observable contract
+// of the paper's study subjects: it executes SQL text, returning results,
+// error messages, simulated latencies, engine crashes, and connection
+// aborts.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"divsql/internal/dialect"
+	"divsql/internal/engine"
+	"divsql/internal/fault"
+	"divsql/internal/sql/ast"
+	"divsql/internal/sql/parser"
+)
+
+// Sentinel errors observable by clients.
+var (
+	// ErrCrashed is returned once the server's engine has crashed; every
+	// subsequent call fails until Restart.
+	ErrCrashed = errors.New("engine crash: server is down")
+	// ErrConnAborted models a dropped client connection: the engine
+	// survives, the session's transaction is rolled back.
+	ErrConnAborted = errors.New("connection aborted by server")
+)
+
+// BaseLatency is the simulated execution time of a healthy statement.
+const BaseLatency = time.Millisecond
+
+// Server is one simulated SQL server instance.
+type Server struct {
+	mu      sync.Mutex
+	name    dialect.ServerName
+	d       *dialect.Dialect
+	eng     *engine.Engine
+	faults  *fault.Registry
+	crashed bool
+	stress  bool
+	log     []string // successfully executed state-changing statements
+}
+
+// New builds a server of the given name carrying the provided faults
+// (only those registered for this server are installed).
+func New(name dialect.ServerName, faults []fault.Fault) (*Server, error) {
+	d, err := dialect.New(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		name:   name,
+		d:      d,
+		eng:    engine.New(d.EngineConfig()),
+		faults: fault.NewRegistry(name, faults),
+	}, nil
+}
+
+// NewOracle builds the pristine reference server: permissive dialect
+// (it understands every server's spellings), no quirks, no faults. It is
+// the correctness oracle of the study.
+func NewOracle() *Server {
+	return &Server{
+		name:   "ORACLE-REF",
+		eng:    engine.New(dialect.OracleConfig()),
+		faults: fault.NewRegistry("ORACLE-REF", nil),
+	}
+}
+
+// Name returns the server's identity.
+func (s *Server) Name() dialect.ServerName { return s.name }
+
+// Dialect returns the server's dialect (nil for the pristine oracle).
+func (s *Server) Dialect() *dialect.Dialect { return s.d }
+
+// SetStress toggles the stressful environment in which Heisenbug-class
+// faults can manifest (Section 3.2 of the paper).
+func (s *Server) SetStress(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stress = on
+}
+
+// Crashed reports whether the engine is down.
+func (s *Server) Crashed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed
+}
+
+// Restart brings a crashed server back up. Committed state survives (the
+// simulated servers journal to stable storage); any open transaction was
+// already rolled back by the crash.
+func (s *Server) Restart() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crashed = false
+}
+
+// Exec executes one SQL statement, returning the result and the
+// simulated latency.
+func (s *Server) Exec(sql string) (*engine.Result, time.Duration, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return nil, 0, ErrCrashed
+	}
+	st, err := parser.Parse(sql)
+	if err != nil {
+		return nil, BaseLatency, fmt.Errorf("syntax error: %w", err)
+	}
+	if err := s.checkDialect(st); err != nil {
+		return nil, BaseLatency, err
+	}
+
+	latency := BaseLatency
+	var matched *fault.Fault
+	if s.d != nil {
+		fp := ast.FingerprintOf(st)
+		matched = s.faults.Match(fp, s.stress)
+	}
+	if matched != nil {
+		switch matched.Effect.Kind {
+		case fault.EffectCrash:
+			s.eng.Abort()
+			s.crashed = true
+			return nil, latency, ErrCrashed
+		case fault.EffectError:
+			return nil, latency, errors.New(matched.Effect.Message)
+		case fault.EffectAbortConnection:
+			s.eng.Abort()
+			return nil, latency, ErrConnAborted
+		case fault.EffectLatency:
+			latency += time.Duration(matched.Effect.LatencyMillis) * time.Millisecond
+		}
+	}
+
+	res, execErr := s.eng.Exec(st)
+	s.eng.EndStatement()
+	if matched != nil && matched.Effect.Kind == fault.EffectSuppressError && execErr != nil {
+		// The fault swallows a legitimate error: the invalid statement is
+		// silently "accepted" (and has no effect).
+		return &engine.Result{Kind: engine.ResultDDL}, latency, nil
+	}
+	if execErr != nil {
+		return nil, latency, execErr
+	}
+	if matched != nil && matched.Effect.Kind == fault.EffectMutateResult {
+		res = fault.Apply(matched.Effect.Mutation, res)
+	}
+	if isStateChanging(st) {
+		s.log = append(s.log, sql)
+	}
+	return res, latency, nil
+}
+
+// checkDialect rejects constructs the server's dialect does not offer
+// (the parser accepts the superset; real servers reject at parse time).
+func (s *Server) checkDialect(st ast.Statement) error {
+	if s.d == nil {
+		return nil // pristine oracle accepts everything
+	}
+	switch x := st.(type) {
+	case *ast.CreateView:
+		if x.Select != nil && x.Select.Union != nil && !s.d.Supports(dialect.FeatViewUnion) {
+			return fmt.Errorf("syntax error: %s does not support UNION in view definitions", s.name)
+		}
+	case *ast.CreateIndex:
+		if x.Clustered && !s.d.Supports(dialect.FeatClusteredIndex) {
+			return fmt.Errorf("syntax error: %s does not support CLUSTERED indexes", s.name)
+		}
+	case *ast.CreateSequence:
+		if !s.d.Supports(dialect.FeatSequences) {
+			return fmt.Errorf("syntax error: %s does not support sequences", s.name)
+		}
+	case *ast.Select:
+		if x.LimitSyn != ast.LimitNone {
+			if x.LimitSyn != s.d.LimitSyntax() {
+				return fmt.Errorf("syntax error: row-limit syntax not accepted by %s", s.name)
+			}
+		}
+	}
+	return nil
+}
+
+func isStateChanging(st ast.Statement) bool {
+	switch st.(type) {
+	case *ast.Select:
+		return false
+	default:
+		return true
+	}
+}
+
+// ExecScript executes a whole script, stopping at a crash (remaining
+// statements cannot be submitted to a dead server). It returns one
+// outcome per submitted statement.
+func (s *Server) ExecScript(script string) ([]StmtOutcome, error) {
+	stmts, err := parser.SplitScript(script)
+	if err != nil {
+		return nil, err
+	}
+	outcomes := make([]StmtOutcome, 0, len(stmts))
+	for _, stmt := range stmts {
+		res, lat, err := s.Exec(stmt)
+		out := StmtOutcome{SQL: stmt, Res: res, Err: err, Latency: lat}
+		if errors.Is(err, ErrCrashed) {
+			out.Crashed = true
+			outcomes = append(outcomes, out)
+			break
+		}
+		outcomes = append(outcomes, out)
+	}
+	return outcomes, nil
+}
+
+// StmtOutcome is the observable outcome of one script statement.
+type StmtOutcome struct {
+	SQL     string
+	Res     *engine.Result
+	Err     error
+	Crashed bool
+	Latency time.Duration
+}
+
+// InTxn reports whether a client transaction is open on this server.
+func (s *Server) InTxn() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.InTxn()
+}
+
+// Snapshot captures the engine state for state transfer.
+func (s *Server) Snapshot() *engine.State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Snapshot()
+}
+
+// Restore replaces the engine state (used for replica resync).
+func (s *Server) Restore(st *engine.State) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.eng.Restore(st)
+}
+
+// Reset drops all state (fresh install).
+func (s *Server) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.eng.Reset()
+	s.log = nil
+	s.crashed = false
+}
+
+// Log returns the successfully executed state-changing statements.
+func (s *Server) Log() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.log...)
+}
+
+// FaultCount reports how many faults are installed (used by tests).
+func (s *Server) FaultCount() int { return s.faults.Len() }

@@ -1,0 +1,252 @@
+package server
+
+import (
+	"errors"
+	"testing"
+
+	"divsql/internal/dialect"
+	"divsql/internal/fault"
+	"divsql/internal/sql/ast"
+)
+
+func TestNewServersForAllNames(t *testing.T) {
+	for _, n := range dialect.AllServers {
+		s, err := New(n, nil)
+		if err != nil {
+			t.Fatalf("New(%s): %v", n, err)
+		}
+		if s.Name() != n || s.Crashed() {
+			t.Errorf("server %s state wrong", n)
+		}
+	}
+}
+
+func TestExecBasics(t *testing.T) {
+	s, _ := New(dialect.PG, nil)
+	if _, _, err := s.Exec("CREATE TABLE T (A INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Exec("INSERT INTO T VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	res, lat, err := s.Exec("SELECT A FROM T")
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("select: %v %v", res, err)
+	}
+	if lat < BaseLatency {
+		t.Errorf("latency %v below base", lat)
+	}
+	if got := len(s.Log()); got != 2 {
+		t.Errorf("statement log has %d entries, want 2 (SELECT excluded)", got)
+	}
+}
+
+func TestDialectGatesAtServer(t *testing.T) {
+	pg, _ := New(dialect.PG, nil)
+	if _, _, err := pg.Exec("CREATE VIEW V AS SELECT 1 AS X UNION SELECT 2 AS X"); err == nil {
+		t.Error("PG must reject UNION views")
+	}
+	ib, _ := New(dialect.IB, nil)
+	if _, _, err := ib.Exec("CREATE TABLE T (A INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ib.Exec("CREATE CLUSTERED INDEX IX ON T (A)"); err == nil {
+		t.Error("IB must reject clustered indexes")
+	}
+	ms, _ := New(dialect.MS, nil)
+	if _, _, err := ms.Exec("CREATE SEQUENCE SQ"); err == nil {
+		t.Error("MS must reject sequences")
+	}
+	if _, _, err := ms.Exec("SELECT 1 AS X LIMIT 1"); err == nil {
+		t.Error("MS must reject LIMIT syntax")
+	}
+	if _, _, err := ms.Exec("SELECT TOP 1 1 AS X"); err != nil {
+		t.Errorf("MS must accept TOP: %v", err)
+	}
+}
+
+func TestCrashAndRestart(t *testing.T) {
+	faults := []fault.Fault{{
+		BugID:   "crash-bug",
+		Server:  dialect.OR,
+		Trigger: fault.Trigger{Table: "BOOM", Flag: ast.FlagSelect},
+		Effect:  fault.Effect{Kind: fault.EffectCrash},
+	}}
+	s, _ := New(dialect.OR, faults)
+	if _, _, err := s.Exec("CREATE TABLE BOOM (A INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Exec("CREATE TABLE SAFE (A INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Exec("INSERT INTO SAFE VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := s.Exec("SELECT A FROM BOOM")
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want crash, got %v", err)
+	}
+	if !s.Crashed() {
+		t.Error("server must be down")
+	}
+	if _, _, err := s.Exec("SELECT 1 AS X"); !errors.Is(err, ErrCrashed) {
+		t.Error("down server must reject statements")
+	}
+	s.Restart()
+	if s.Crashed() {
+		t.Error("restart failed")
+	}
+	// Committed state survives the crash; the fault itself is permanent,
+	// so the crashing query would crash the server again (a Bohrbug) —
+	// state is checked through an unaffected table.
+	res, _, err := s.Exec("SELECT COUNT(*) AS N FROM SAFE")
+	if err != nil || res.Rows[0][0].I != 1 {
+		t.Errorf("state after restart: %v %v", res, err)
+	}
+	if _, _, err := s.Exec("SELECT A FROM BOOM"); !errors.Is(err, ErrCrashed) {
+		t.Error("permanent fault must crash the server again")
+	}
+}
+
+func TestFaultEffects(t *testing.T) {
+	faults := []fault.Fault{
+		{BugID: "err", Server: dialect.IB, Trigger: fault.Trigger{Table: "E1", Flag: ast.FlagSelect},
+			Effect: fault.Effect{Kind: fault.EffectError, Message: "spurious"}},
+		{BugID: "lat", Server: dialect.IB, Trigger: fault.Trigger{Table: "L1", Flag: ast.FlagSelect},
+			Effect: fault.Effect{Kind: fault.EffectLatency, LatencyMillis: 5000}},
+		{BugID: "mut", Server: dialect.IB, Trigger: fault.Trigger{Table: "M1", Flag: ast.FlagSelect},
+			Effect: fault.Effect{Kind: fault.EffectMutateResult, Mutation: fault.MutOffByOne}},
+		{BugID: "sup", Server: dialect.IB, Trigger: fault.Trigger{Table: "S1", Flag: ast.FlagInsert},
+			Effect: fault.Effect{Kind: fault.EffectSuppressError}},
+		{BugID: "abort", Server: dialect.IB, Trigger: fault.Trigger{Table: "A1", Flag: ast.FlagSelect},
+			Effect: fault.Effect{Kind: fault.EffectAbortConnection, Message: "closed"}},
+	}
+	s, _ := New(dialect.IB, faults)
+	for _, tbl := range []string{"E1", "L1", "M1", "S1", "A1"} {
+		if _, _, err := s.Exec("CREATE TABLE " + tbl + " (A INT PRIMARY KEY)"); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Exec("INSERT INTO " + tbl + " VALUES (7)"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := s.Exec("SELECT A FROM E1"); err == nil || err.Error() != "spurious" {
+		t.Errorf("error effect: %v", err)
+	}
+	_, lat, err := s.Exec("SELECT A FROM L1")
+	if err != nil || lat < 5000*BaseLatency {
+		t.Errorf("latency effect: %v %v", lat, err)
+	}
+	res, _, err := s.Exec("SELECT A FROM M1")
+	if err != nil || res.Rows[0][0].I != 8 {
+		t.Errorf("mutate effect: %v %v", res, err)
+	}
+	// Duplicate key suppressed: reported OK, nothing inserted.
+	if _, _, err := s.Exec("INSERT INTO S1 VALUES (7)"); err != nil {
+		t.Errorf("suppress effect: %v", err)
+	}
+	res, _, _ = s.Exec("SELECT COUNT(*) AS N FROM S1")
+	if res.Rows[0][0].I != 1 {
+		t.Errorf("suppressed insert must not apply: %v", res.Rows[0][0])
+	}
+	if _, _, err := s.Exec("SELECT A FROM A1"); !errors.Is(err, ErrConnAborted) {
+		t.Errorf("abort effect: %v", err)
+	}
+	if s.Crashed() {
+		t.Error("conn abort must not crash the engine")
+	}
+}
+
+func TestStressOnlyFaults(t *testing.T) {
+	faults := []fault.Fault{{
+		BugID:   "heisen",
+		Server:  dialect.MS,
+		Trigger: fault.Trigger{Table: "H1", Flag: ast.FlagSelect, UnderStressOnly: true},
+		Effect:  fault.Effect{Kind: fault.EffectMutateResult, Mutation: fault.MutDropLastRow},
+	}}
+	s, _ := New(dialect.MS, faults)
+	if _, _, err := s.Exec("CREATE TABLE H1 (A INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Exec("INSERT INTO H1 VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	res, _, _ := s.Exec("SELECT A FROM H1")
+	if len(res.Rows) != 1 {
+		t.Error("heisenbug fired on a quiet server")
+	}
+	s.SetStress(true)
+	res, _, _ = s.Exec("SELECT A FROM H1")
+	if len(res.Rows) != 0 {
+		t.Error("heisenbug must fire under stress")
+	}
+}
+
+func TestExecScriptStopsAtCrash(t *testing.T) {
+	faults := []fault.Fault{{
+		BugID:   "crash",
+		Server:  dialect.PG,
+		Trigger: fault.Trigger{Table: "C1", Flag: ast.FlagInsert},
+		Effect:  fault.Effect{Kind: fault.EffectCrash},
+	}}
+	s, _ := New(dialect.PG, faults)
+	out, err := s.ExecScript("CREATE TABLE C1 (A INT); INSERT INTO C1 VALUES (1); SELECT A FROM C1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || !out[1].Crashed {
+		t.Errorf("script outcomes: %+v", out)
+	}
+}
+
+func TestSnapshotRestoreAcrossServers(t *testing.T) {
+	a, _ := New(dialect.PG, nil)
+	b, _ := New(dialect.OR, nil)
+	if _, _, err := a.Exec("CREATE TABLE T (A INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Exec("INSERT INTO T VALUES (42)"); err != nil {
+		t.Fatal(err)
+	}
+	b.Restore(a.Snapshot())
+	res, _, err := b.Exec("SELECT A FROM T")
+	if err != nil || res.Rows[0][0].I != 42 {
+		t.Errorf("state transfer: %v %v", res, err)
+	}
+}
+
+func TestOracleAcceptsAllDialectSpellings(t *testing.T) {
+	o := NewOracle()
+	for _, sql := range []string{
+		"CREATE TABLE T1 (A DATETIME)",
+		"CREATE TABLE T2 (A NUMBER, B VARCHAR2(5))",
+		"SELECT LEN('abc') AS L",
+		"SELECT LENGTH('abc') AS L",
+		"SELECT NVL(NULL, 1) AS C",
+		"SELECT ISNULL(NULL, 1) AS C",
+		"SELECT GEN_UUID('x') AS U",
+	} {
+		if _, _, err := o.Exec(sql); err != nil {
+			t.Errorf("oracle rejects %q: %v", sql, err)
+		}
+	}
+}
+
+func TestInTxnVisible(t *testing.T) {
+	s, _ := New(dialect.PG, nil)
+	if s.InTxn() {
+		t.Error("fresh server in txn")
+	}
+	if _, _, err := s.Exec("BEGIN TRANSACTION"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.InTxn() {
+		t.Error("txn not visible")
+	}
+	if _, _, err := s.Exec("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+	if s.InTxn() {
+		t.Error("txn not closed")
+	}
+}

@@ -1,0 +1,588 @@
+// Package ast defines the abstract syntax tree for the SQL dialects
+// understood by the simulated servers, together with statement
+// fingerprinting (used by the fault-injection layer to locate failure
+// regions) and rendering back to SQL text (used by the dialect
+// translator).
+package ast
+
+import (
+	"strings"
+
+	"divsql/internal/sql/types"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	node()
+}
+
+// Statement is implemented by every executable statement.
+type Statement interface {
+	Node
+	stmt()
+}
+
+// Expr is implemented by every expression node.
+type Expr interface {
+	Node
+	expr()
+}
+
+// ---------------------------------------------------------------------------
+// Types
+
+// TypeName is a column type as written in the source, e.g. VARCHAR(20).
+type TypeName struct {
+	Name string // upper-cased type keyword as written (dialect specific)
+	Args []int  // length / precision arguments
+}
+
+// ---------------------------------------------------------------------------
+// DDL statements
+
+// ColumnDef is one column of a CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	Type       TypeName
+	Default    Expr // nil when absent
+	NotNull    bool
+	PrimaryKey bool
+	Unique     bool
+	Check      Expr // nil when absent
+}
+
+// TableConstraint is a table-level constraint of a CREATE TABLE.
+type TableConstraint struct {
+	Name       string
+	PrimaryKey []string // column names; empty when not a PK constraint
+	Unique     []string
+	Check      Expr
+}
+
+// CreateTable is CREATE TABLE name (...).
+type CreateTable struct {
+	Name        string
+	Columns     []ColumnDef
+	Constraints []TableConstraint
+}
+
+// CreateView is CREATE VIEW name [(cols)] AS select.
+type CreateView struct {
+	Name    string
+	Columns []string
+	Select  *Select
+}
+
+// CreateIndex is CREATE [UNIQUE] [CLUSTERED] INDEX name ON table (cols).
+type CreateIndex struct {
+	Name      string
+	Table     string
+	Columns   []string
+	Unique    bool
+	Clustered bool
+}
+
+// CreateSequence is CREATE SEQUENCE/GENERATOR name.
+type CreateSequence struct {
+	Name  string
+	Start int64
+}
+
+// DropTable is DROP TABLE name.
+type DropTable struct{ Name string }
+
+// DropView is DROP VIEW name.
+type DropView struct{ Name string }
+
+// DropIndex is DROP INDEX name.
+type DropIndex struct{ Name string }
+
+// DropSequence is DROP SEQUENCE name.
+type DropSequence struct{ Name string }
+
+// ---------------------------------------------------------------------------
+// DML statements
+
+// Insert is INSERT INTO table [(cols)] VALUES (...)[, (...)] | select.
+type Insert struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+	Select  *Select
+}
+
+// SetClause is one assignment of an UPDATE statement.
+type SetClause struct {
+	Column string
+	Value  Expr
+}
+
+// Update is UPDATE table SET ... [WHERE ...].
+type Update struct {
+	Table string
+	Sets  []SetClause
+	Where Expr
+}
+
+// Delete is DELETE FROM table [WHERE ...].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+
+// Begin starts a transaction.
+type Begin struct{}
+
+// Commit commits the current transaction.
+type Commit struct{}
+
+// Rollback aborts the current transaction.
+type Rollback struct{}
+
+// ---------------------------------------------------------------------------
+// Queries
+
+// JoinType enumerates join flavours.
+type JoinType int
+
+// Join flavours.
+const (
+	JoinInner JoinType = iota + 1
+	JoinLeft
+	JoinRight
+	JoinFull
+	JoinCross
+)
+
+// String returns the SQL keyword for the join type.
+func (j JoinType) String() string {
+	switch j {
+	case JoinInner:
+		return "INNER JOIN"
+	case JoinLeft:
+		return "LEFT OUTER JOIN"
+	case JoinRight:
+		return "RIGHT OUTER JOIN"
+	case JoinFull:
+		return "FULL OUTER JOIN"
+	case JoinCross:
+		return "CROSS JOIN"
+	default:
+		return "JOIN"
+	}
+}
+
+// TableRef is a table, view or derived-table reference in FROM.
+type TableRef struct {
+	Name     string  // table or view name; empty for derived tables
+	Alias    string  // optional correlation name
+	Subquery *Select // non-nil for derived tables
+}
+
+// Join is one JOIN clause attached to a FROM item.
+type Join struct {
+	Type  JoinType
+	Right TableRef
+	On    Expr // nil for CROSS JOIN
+}
+
+// FromItem is one comma-separated FROM entry with its join chain.
+type FromItem struct {
+	Table TableRef
+	Joins []Join
+}
+
+// SelectItem is one projection of a SELECT list.
+type SelectItem struct {
+	Star      bool   // SELECT * or tbl.*
+	StarTable string // qualifier of tbl.*
+	Expr      Expr
+	Alias     string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// LimitSyntax records which dialect row-limiting construct was used.
+type LimitSyntax int
+
+// Row-limit syntaxes.
+const (
+	LimitNone LimitSyntax = iota
+	LimitLimit
+	LimitTop
+	LimitRows
+)
+
+// Select is a (possibly compound) query expression.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []FromItem
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int64
+	LimitSyn LimitSyntax
+
+	// Compound query: this SELECT UNION [ALL] Union.
+	Union    *Select
+	UnionAll bool
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// BinaryOp enumerates binary operators.
+type BinaryOp int
+
+// Binary operators.
+const (
+	OpAdd BinaryOp = iota + 1
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpConcat
+)
+
+// String returns the SQL spelling of the operator.
+func (o BinaryOp) String() string {
+	switch o {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpConcat:
+		return "||"
+	default:
+		return "?"
+	}
+}
+
+// Literal is a constant value.
+type Literal struct{ Val types.Value }
+
+// ColumnRef is a (possibly qualified) column reference.
+type ColumnRef struct {
+	Table  string
+	Column string
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   BinaryOp
+	L, R Expr
+}
+
+// Unary is -x, +x or NOT x.
+type Unary struct {
+	Op string // "-", "+", "NOT"
+	X  Expr
+}
+
+// FuncCall is a function invocation, including aggregates.
+type FuncCall struct {
+	Name     string // upper-cased, as written in the source dialect
+	Args     []Expr
+	Star     bool // COUNT(*)
+	Distinct bool // COUNT(DISTINCT x) / AVG(DISTINCT x)
+}
+
+// In is expr [NOT] IN (list | subquery).
+type In struct {
+	X      Expr
+	Not    bool
+	List   []Expr
+	Select *Select
+}
+
+// Exists is [NOT] EXISTS (subquery).
+type Exists struct {
+	Not    bool
+	Select *Select
+}
+
+// Subquery is a scalar subquery used as an expression.
+type Subquery struct{ Select *Select }
+
+// Between is expr [NOT] BETWEEN lo AND hi.
+type Between struct {
+	X      Expr
+	Not    bool
+	Lo, Hi Expr
+}
+
+// Like is expr [NOT] LIKE pattern.
+type Like struct {
+	X       Expr
+	Not     bool
+	Pattern Expr
+}
+
+// IsNull is expr IS [NOT] NULL.
+type IsNull struct {
+	X   Expr
+	Not bool
+}
+
+// WhenClause is one WHEN ... THEN ... arm of a CASE.
+type WhenClause struct {
+	Cond Expr
+	Then Expr
+}
+
+// Case is CASE [operand] WHEN ... THEN ... [ELSE ...] END.
+type Case struct {
+	Operand Expr // nil for searched CASE
+	Whens   []WhenClause
+	Else    Expr
+}
+
+// Cast is CAST(expr AS type).
+type Cast struct {
+	X  Expr
+	To TypeName
+}
+
+// ---------------------------------------------------------------------------
+// Interface plumbing
+
+func (*CreateTable) node()    {}
+func (*CreateView) node()     {}
+func (*CreateIndex) node()    {}
+func (*CreateSequence) node() {}
+func (*DropTable) node()      {}
+func (*DropView) node()       {}
+func (*DropIndex) node()      {}
+func (*DropSequence) node()   {}
+func (*Insert) node()         {}
+func (*Update) node()         {}
+func (*Delete) node()         {}
+func (*Begin) node()          {}
+func (*Commit) node()         {}
+func (*Rollback) node()       {}
+func (*Select) node()         {}
+
+func (*CreateTable) stmt()    {}
+func (*CreateView) stmt()     {}
+func (*CreateIndex) stmt()    {}
+func (*CreateSequence) stmt() {}
+func (*DropTable) stmt()      {}
+func (*DropView) stmt()       {}
+func (*DropIndex) stmt()      {}
+func (*DropSequence) stmt()   {}
+func (*Insert) stmt()         {}
+func (*Update) stmt()         {}
+func (*Delete) stmt()         {}
+func (*Begin) stmt()          {}
+func (*Commit) stmt()         {}
+func (*Rollback) stmt()       {}
+func (*Select) stmt()         {}
+
+func (*Literal) node()   {}
+func (*ColumnRef) node() {}
+func (*Binary) node()    {}
+func (*Unary) node()     {}
+func (*FuncCall) node()  {}
+func (*In) node()        {}
+func (*Exists) node()    {}
+func (*Subquery) node()  {}
+func (*Between) node()   {}
+func (*Like) node()      {}
+func (*IsNull) node()    {}
+func (*Case) node()      {}
+func (*Cast) node()      {}
+
+func (*Literal) expr()   {}
+func (*ColumnRef) expr() {}
+func (*Binary) expr()    {}
+func (*Unary) expr()     {}
+func (*FuncCall) expr()  {}
+func (*In) expr()        {}
+func (*Exists) expr()    {}
+func (*Subquery) expr()  {}
+func (*Between) expr()   {}
+func (*Like) expr()      {}
+func (*IsNull) expr()    {}
+func (*Case) expr()      {}
+func (*Cast) expr()      {}
+
+// ---------------------------------------------------------------------------
+// Walking
+
+// WalkExprs calls fn for every expression reachable from e (including e).
+func WalkExprs(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *Binary:
+		WalkExprs(x.L, fn)
+		WalkExprs(x.R, fn)
+	case *Unary:
+		WalkExprs(x.X, fn)
+	case *FuncCall:
+		for _, a := range x.Args {
+			WalkExprs(a, fn)
+		}
+	case *In:
+		WalkExprs(x.X, fn)
+		for _, a := range x.List {
+			WalkExprs(a, fn)
+		}
+		if x.Select != nil {
+			WalkSelectExprs(x.Select, fn)
+		}
+	case *Exists:
+		WalkSelectExprs(x.Select, fn)
+	case *Subquery:
+		WalkSelectExprs(x.Select, fn)
+	case *Between:
+		WalkExprs(x.X, fn)
+		WalkExprs(x.Lo, fn)
+		WalkExprs(x.Hi, fn)
+	case *Like:
+		WalkExprs(x.X, fn)
+		WalkExprs(x.Pattern, fn)
+	case *IsNull:
+		WalkExprs(x.X, fn)
+	case *Case:
+		WalkExprs(x.Operand, fn)
+		for _, w := range x.Whens {
+			WalkExprs(w.Cond, fn)
+			WalkExprs(w.Then, fn)
+		}
+		WalkExprs(x.Else, fn)
+	case *Cast:
+		WalkExprs(x.X, fn)
+	}
+}
+
+// WalkSelectExprs calls fn for every expression inside a SELECT,
+// descending into derived tables, subqueries and UNION branches.
+func WalkSelectExprs(s *Select, fn func(Expr)) {
+	if s == nil {
+		return
+	}
+	for _, it := range s.Items {
+		WalkExprs(it.Expr, fn)
+	}
+	for _, f := range s.From {
+		if f.Table.Subquery != nil {
+			WalkSelectExprs(f.Table.Subquery, fn)
+		}
+		for _, j := range f.Joins {
+			if j.Right.Subquery != nil {
+				WalkSelectExprs(j.Right.Subquery, fn)
+			}
+			WalkExprs(j.On, fn)
+		}
+	}
+	WalkExprs(s.Where, fn)
+	for _, g := range s.GroupBy {
+		WalkExprs(g, fn)
+	}
+	WalkExprs(s.Having, fn)
+	for _, o := range s.OrderBy {
+		WalkExprs(o.Expr, fn)
+	}
+	WalkSelectExprs(s.Union, fn)
+}
+
+// Tables returns the set of table/view names referenced by the statement
+// (targets of DDL/DML and every FROM reference), upper-cased.
+func Tables(st Statement) map[string]bool {
+	set := make(map[string]bool)
+	add := func(n string) {
+		if n != "" {
+			set[strings.ToUpper(n)] = true
+		}
+	}
+	var fromSelect func(s *Select)
+	fromSelect = func(s *Select) {
+		if s == nil {
+			return
+		}
+		for _, f := range s.From {
+			add(f.Table.Name)
+			fromSelect(f.Table.Subquery)
+			for _, j := range f.Joins {
+				add(j.Right.Name)
+				fromSelect(j.Right.Subquery)
+			}
+		}
+		WalkSelectExprs(s, func(e Expr) {
+			switch x := e.(type) {
+			case *In:
+				fromSelect(x.Select)
+			case *Exists:
+				fromSelect(x.Select)
+			case *Subquery:
+				fromSelect(x.Select)
+			}
+		})
+		fromSelect(s.Union)
+	}
+	switch x := st.(type) {
+	case *CreateTable:
+		add(x.Name)
+	case *CreateView:
+		add(x.Name)
+		fromSelect(x.Select)
+	case *CreateIndex:
+		add(x.Table)
+	case *DropTable:
+		add(x.Name)
+	case *DropView:
+		add(x.Name)
+	case *Insert:
+		add(x.Table)
+		fromSelect(x.Select)
+	case *Update:
+		add(x.Table)
+	case *Delete:
+		add(x.Table)
+	case *Select:
+		fromSelect(x)
+	}
+	return set
+}

@@ -1,0 +1,276 @@
+package ast
+
+import (
+	"sort"
+	"strings"
+)
+
+// Flag is a syntactic/semantic feature observed in a statement. Fault
+// triggers match on sets of flags plus referenced tables — this is the
+// executable analogue of the paper's "failure region" notion: the set of
+// demands that can activate a fault.
+type Flag string
+
+// Statement feature flags.
+const (
+	FlagSelect       Flag = "SELECT"
+	FlagInsert       Flag = "INSERT"
+	FlagUpdate       Flag = "UPDATE"
+	FlagDelete       Flag = "DELETE"
+	FlagCreateTable  Flag = "CREATE_TABLE"
+	FlagCreateView   Flag = "CREATE_VIEW"
+	FlagCreateIndex  Flag = "CREATE_INDEX"
+	FlagDropTable    Flag = "DROP_TABLE"
+	FlagDropView     Flag = "DROP_VIEW"
+	FlagDistinct     Flag = "DISTINCT"
+	FlagUnion        Flag = "UNION"
+	FlagLeftJoin     Flag = "LEFT_JOIN"
+	FlagFullJoin     Flag = "FULL_JOIN"
+	FlagJoin         Flag = "JOIN"
+	FlagGroupBy      Flag = "GROUP_BY"
+	FlagHaving       Flag = "HAVING"
+	FlagOrderBy      Flag = "ORDER_BY"
+	FlagSubquery     Flag = "SUBQUERY"
+	FlagInSubquery   Flag = "IN_SUBQUERY"
+	FlagNotIn        Flag = "NOT_IN"
+	FlagExists       Flag = "EXISTS"
+	FlagAggregate    Flag = "AGGREGATE"
+	FlagAvg          Flag = "AVG"
+	FlagSum          Flag = "SUM"
+	FlagMod          Flag = "MOD"
+	FlagArith        Flag = "ARITHMETIC"
+	FlagLike         Flag = "LIKE"
+	FlagBetween      Flag = "BETWEEN"
+	FlagCase         Flag = "CASE"
+	FlagCast         Flag = "CAST"
+	FlagDefault      Flag = "DEFAULT"
+	FlagCheck        Flag = "CHECK"
+	FlagPrimaryKey   Flag = "PRIMARY_KEY"
+	FlagClusteredIdx Flag = "CLUSTERED_INDEX"
+	FlagLimit        Flag = "LIMIT"
+	FlagViewUnion    Flag = "VIEW_UNION"
+	FlagViewDistinct Flag = "VIEW_DISTINCT"
+	FlagTransaction  Flag = "TRANSACTION"
+)
+
+// Fingerprint summarizes the syntactic shape of one statement.
+type Fingerprint struct {
+	Tables map[string]bool
+	Flags  map[Flag]bool
+	Funcs  map[string]bool // upper-cased function names used
+}
+
+// Has reports whether the fingerprint carries the flag.
+func (fp Fingerprint) Has(f Flag) bool { return fp.Flags[f] }
+
+// UsesTable reports whether the statement references the named table.
+func (fp Fingerprint) UsesTable(name string) bool {
+	return fp.Tables[strings.ToUpper(name)]
+}
+
+// UsesFunc reports whether the statement calls the named function.
+func (fp Fingerprint) UsesFunc(name string) bool {
+	return fp.Funcs[strings.ToUpper(name)]
+}
+
+// String renders a stable, human-readable digest (for logs and tests).
+func (fp Fingerprint) String() string {
+	flags := make([]string, 0, len(fp.Flags))
+	for f := range fp.Flags {
+		flags = append(flags, string(f))
+	}
+	sort.Strings(flags)
+	tables := make([]string, 0, len(fp.Tables))
+	for t := range fp.Tables {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	return strings.Join(flags, "|") + " @ " + strings.Join(tables, ",")
+}
+
+var aggregateFuncs = map[string]bool{
+	"AVG": true, "SUM": true, "COUNT": true, "MIN": true, "MAX": true,
+}
+
+// FingerprintOf computes the fingerprint of a statement.
+func FingerprintOf(st Statement) Fingerprint {
+	fp := Fingerprint{
+		Tables: Tables(st),
+		Flags:  make(map[Flag]bool),
+		Funcs:  make(map[string]bool),
+	}
+	set := func(f Flag) { fp.Flags[f] = true }
+
+	exprFlags := func(e Expr) {
+		WalkExprs(e, func(e Expr) {
+			switch x := e.(type) {
+			case *Binary:
+				switch x.Op {
+				case OpAdd, OpSub, OpMul, OpDiv:
+					set(FlagArith)
+				case OpMod:
+					set(FlagArith)
+					set(FlagMod)
+				}
+			case *FuncCall:
+				fp.Funcs[strings.ToUpper(x.Name)] = true
+				up := strings.ToUpper(x.Name)
+				if aggregateFuncs[up] {
+					set(FlagAggregate)
+				}
+				switch up {
+				case "AVG":
+					set(FlagAvg)
+				case "SUM":
+					set(FlagSum)
+				case "MOD":
+					set(FlagMod)
+				}
+			case *In:
+				if x.Select != nil {
+					set(FlagSubquery)
+					set(FlagInSubquery)
+				}
+				if x.Not {
+					set(FlagNotIn)
+				}
+			case *Exists:
+				set(FlagSubquery)
+				set(FlagExists)
+			case *Subquery:
+				set(FlagSubquery)
+			case *Like:
+				set(FlagLike)
+			case *Between:
+				set(FlagBetween)
+			case *Case:
+				set(FlagCase)
+			case *Cast:
+				set(FlagCast)
+			}
+		})
+	}
+
+	var selFlags func(s *Select)
+	selFlags = func(s *Select) {
+		if s == nil {
+			return
+		}
+		if s.Distinct {
+			set(FlagDistinct)
+		}
+		if s.Union != nil {
+			set(FlagUnion)
+		}
+		if len(s.GroupBy) > 0 {
+			set(FlagGroupBy)
+		}
+		if s.Having != nil {
+			set(FlagHaving)
+		}
+		if len(s.OrderBy) > 0 {
+			set(FlagOrderBy)
+		}
+		if s.LimitSyn != LimitNone {
+			set(FlagLimit)
+		}
+		for _, f := range s.From {
+			for _, j := range f.Joins {
+				set(FlagJoin)
+				switch j.Type {
+				case JoinLeft, JoinRight:
+					set(FlagLeftJoin)
+				case JoinFull:
+					set(FlagFullJoin)
+				}
+			}
+			selFlags(f.Table.Subquery)
+			for _, j := range f.Joins {
+				selFlags(j.Right.Subquery)
+			}
+		}
+		WalkSelectExprs(s, func(e Expr) {
+			switch x := e.(type) {
+			case *In:
+				selFlags(x.Select)
+			case *Exists:
+				selFlags(x.Select)
+			case *Subquery:
+				selFlags(x.Select)
+			}
+		})
+		selFlags(s.Union)
+	}
+
+	switch x := st.(type) {
+	case *Select:
+		set(FlagSelect)
+		selFlags(x)
+		WalkSelectExprs(x, exprFlags)
+	case *Insert:
+		set(FlagInsert)
+		for _, row := range x.Rows {
+			for _, e := range row {
+				exprFlags(e)
+			}
+		}
+		if x.Select != nil {
+			selFlags(x.Select)
+			WalkSelectExprs(x.Select, exprFlags)
+		}
+	case *Update:
+		set(FlagUpdate)
+		for _, sc := range x.Sets {
+			exprFlags(sc.Value)
+		}
+		exprFlags(x.Where)
+	case *Delete:
+		set(FlagDelete)
+		exprFlags(x.Where)
+	case *CreateTable:
+		set(FlagCreateTable)
+		for _, c := range x.Columns {
+			if c.Default != nil {
+				set(FlagDefault)
+			}
+			if c.Check != nil {
+				set(FlagCheck)
+			}
+			if c.PrimaryKey {
+				set(FlagPrimaryKey)
+			}
+		}
+		for _, c := range x.Constraints {
+			if len(c.PrimaryKey) > 0 {
+				set(FlagPrimaryKey)
+			}
+			if c.Check != nil {
+				set(FlagCheck)
+			}
+		}
+	case *CreateView:
+		set(FlagCreateView)
+		if x.Select != nil {
+			if x.Select.Distinct {
+				set(FlagViewDistinct)
+			}
+			if x.Select.Union != nil {
+				set(FlagViewUnion)
+			}
+			selFlags(x.Select)
+			WalkSelectExprs(x.Select, exprFlags)
+		}
+	case *CreateIndex:
+		set(FlagCreateIndex)
+		if x.Clustered {
+			set(FlagClusteredIdx)
+		}
+	case *DropTable:
+		set(FlagDropTable)
+	case *DropView:
+		set(FlagDropView)
+	case *Begin, *Commit, *Rollback:
+		set(FlagTransaction)
+	}
+	return fp
+}

@@ -1,0 +1,430 @@
+package ast
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Render serializes a statement back to SQL text. The output is accepted
+// by the parser (round-trip property) and is the vehicle by which the
+// dialect translator re-targets a script: it rewrites the AST and renders
+// it in the destination dialect's spelling.
+func Render(st Statement) string {
+	var b strings.Builder
+	renderStmt(&b, st)
+	return b.String()
+}
+
+func renderStmt(b *strings.Builder, st Statement) {
+	switch x := st.(type) {
+	case *CreateTable:
+		b.WriteString("CREATE TABLE ")
+		b.WriteString(x.Name)
+		b.WriteString(" (")
+		for i, c := range x.Columns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderColumnDef(b, c)
+		}
+		for _, tc := range x.Constraints {
+			b.WriteString(", ")
+			renderTableConstraint(b, tc)
+		}
+		b.WriteString(")")
+	case *CreateView:
+		b.WriteString("CREATE VIEW ")
+		b.WriteString(x.Name)
+		if len(x.Columns) > 0 {
+			b.WriteString(" (")
+			b.WriteString(strings.Join(x.Columns, ", "))
+			b.WriteString(")")
+		}
+		b.WriteString(" AS ")
+		renderSelect(b, x.Select)
+	case *CreateIndex:
+		b.WriteString("CREATE ")
+		if x.Unique {
+			b.WriteString("UNIQUE ")
+		}
+		if x.Clustered {
+			b.WriteString("CLUSTERED ")
+		}
+		b.WriteString("INDEX ")
+		b.WriteString(x.Name)
+		b.WriteString(" ON ")
+		b.WriteString(x.Table)
+		b.WriteString(" (")
+		b.WriteString(strings.Join(x.Columns, ", "))
+		b.WriteString(")")
+	case *CreateSequence:
+		b.WriteString("CREATE SEQUENCE ")
+		b.WriteString(x.Name)
+		if x.Start != 0 {
+			b.WriteString(" START WITH ")
+			b.WriteString(strconv.FormatInt(x.Start, 10))
+		}
+	case *DropTable:
+		b.WriteString("DROP TABLE ")
+		b.WriteString(x.Name)
+	case *DropView:
+		b.WriteString("DROP VIEW ")
+		b.WriteString(x.Name)
+	case *DropIndex:
+		b.WriteString("DROP INDEX ")
+		b.WriteString(x.Name)
+	case *DropSequence:
+		b.WriteString("DROP SEQUENCE ")
+		b.WriteString(x.Name)
+	case *Insert:
+		b.WriteString("INSERT INTO ")
+		b.WriteString(x.Table)
+		if len(x.Columns) > 0 {
+			b.WriteString(" (")
+			b.WriteString(strings.Join(x.Columns, ", "))
+			b.WriteString(")")
+		}
+		if x.Select != nil {
+			b.WriteString(" ")
+			renderSelect(b, x.Select)
+		} else {
+			b.WriteString(" VALUES ")
+			for i, row := range x.Rows {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString("(")
+				for j, e := range row {
+					if j > 0 {
+						b.WriteString(", ")
+					}
+					renderExpr(b, e)
+				}
+				b.WriteString(")")
+			}
+		}
+	case *Update:
+		b.WriteString("UPDATE ")
+		b.WriteString(x.Table)
+		b.WriteString(" SET ")
+		for i, sc := range x.Sets {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(sc.Column)
+			b.WriteString(" = ")
+			renderExpr(b, sc.Value)
+		}
+		if x.Where != nil {
+			b.WriteString(" WHERE ")
+			renderExpr(b, x.Where)
+		}
+	case *Delete:
+		b.WriteString("DELETE FROM ")
+		b.WriteString(x.Table)
+		if x.Where != nil {
+			b.WriteString(" WHERE ")
+			renderExpr(b, x.Where)
+		}
+	case *Begin:
+		b.WriteString("BEGIN TRANSACTION")
+	case *Commit:
+		b.WriteString("COMMIT")
+	case *Rollback:
+		b.WriteString("ROLLBACK")
+	case *Select:
+		renderSelect(b, x)
+	}
+}
+
+func renderColumnDef(b *strings.Builder, c ColumnDef) {
+	b.WriteString(c.Name)
+	b.WriteString(" ")
+	renderType(b, c.Type)
+	if c.Default != nil {
+		b.WriteString(" DEFAULT ")
+		renderExpr(b, c.Default)
+	}
+	if c.NotNull {
+		b.WriteString(" NOT NULL")
+	}
+	if c.PrimaryKey {
+		b.WriteString(" PRIMARY KEY")
+	}
+	if c.Unique {
+		b.WriteString(" UNIQUE")
+	}
+	if c.Check != nil {
+		b.WriteString(" CHECK (")
+		renderExpr(b, c.Check)
+		b.WriteString(")")
+	}
+}
+
+func renderTableConstraint(b *strings.Builder, tc TableConstraint) {
+	if tc.Name != "" {
+		b.WriteString("CONSTRAINT ")
+		b.WriteString(tc.Name)
+		b.WriteString(" ")
+	}
+	switch {
+	case len(tc.PrimaryKey) > 0:
+		b.WriteString("PRIMARY KEY (")
+		b.WriteString(strings.Join(tc.PrimaryKey, ", "))
+		b.WriteString(")")
+	case len(tc.Unique) > 0:
+		b.WriteString("UNIQUE (")
+		b.WriteString(strings.Join(tc.Unique, ", "))
+		b.WriteString(")")
+	case tc.Check != nil:
+		b.WriteString("CHECK (")
+		renderExpr(b, tc.Check)
+		b.WriteString(")")
+	}
+}
+
+func renderType(b *strings.Builder, t TypeName) {
+	b.WriteString(t.Name)
+	if len(t.Args) > 0 {
+		b.WriteString("(")
+		for i, a := range t.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(strconv.Itoa(a))
+		}
+		b.WriteString(")")
+	}
+}
+
+func renderSelect(b *strings.Builder, s *Select) {
+	if s == nil {
+		return
+	}
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if s.LimitSyn == LimitTop {
+		b.WriteString("TOP ")
+		b.WriteString(strconv.FormatInt(s.Limit, 10))
+		b.WriteString(" ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case it.Star && it.StarTable != "":
+			b.WriteString(it.StarTable)
+			b.WriteString(".*")
+		case it.Star:
+			b.WriteString("*")
+		default:
+			renderExpr(b, it.Expr)
+			if it.Alias != "" {
+				b.WriteString(" AS ")
+				b.WriteString(it.Alias)
+			}
+		}
+	}
+	if len(s.From) > 0 {
+		b.WriteString(" FROM ")
+		for i, f := range s.From {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderTableRef(b, f.Table)
+			for _, j := range f.Joins {
+				b.WriteString(" ")
+				b.WriteString(j.Type.String())
+				b.WriteString(" ")
+				renderTableRef(b, j.Right)
+				if j.On != nil {
+					b.WriteString(" ON ")
+					renderExpr(b, j.On)
+				}
+			}
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		renderExpr(b, s.Where)
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderExpr(b, g)
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		renderExpr(b, s.Having)
+	}
+	if s.Union != nil {
+		b.WriteString(" UNION ")
+		if s.UnionAll {
+			b.WriteString("ALL ")
+		}
+		renderSelect(b, s.Union)
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderExpr(b, o.Expr)
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	switch s.LimitSyn {
+	case LimitLimit:
+		b.WriteString(" LIMIT ")
+		b.WriteString(strconv.FormatInt(s.Limit, 10))
+	case LimitRows:
+		b.WriteString(" ROWS ")
+		b.WriteString(strconv.FormatInt(s.Limit, 10))
+	}
+}
+
+func renderTableRef(b *strings.Builder, t TableRef) {
+	if t.Subquery != nil {
+		b.WriteString("(")
+		renderSelect(b, t.Subquery)
+		b.WriteString(")")
+	} else {
+		b.WriteString(t.Name)
+	}
+	if t.Alias != "" {
+		b.WriteString(" ")
+		b.WriteString(t.Alias)
+	}
+}
+
+func renderExpr(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *Literal:
+		b.WriteString(x.Val.SQLLiteral())
+	case *ColumnRef:
+		if x.Table != "" {
+			b.WriteString(x.Table)
+			b.WriteString(".")
+		}
+		b.WriteString(x.Column)
+	case *Binary:
+		b.WriteString("(")
+		renderExpr(b, x.L)
+		b.WriteString(" ")
+		b.WriteString(x.Op.String())
+		b.WriteString(" ")
+		renderExpr(b, x.R)
+		b.WriteString(")")
+	case *Unary:
+		b.WriteString(x.Op)
+		if x.Op == "NOT" {
+			b.WriteString(" ")
+		}
+		b.WriteString("(")
+		renderExpr(b, x.X)
+		b.WriteString(")")
+	case *FuncCall:
+		b.WriteString(x.Name)
+		b.WriteString("(")
+		if x.Star {
+			b.WriteString("*")
+		} else {
+			if x.Distinct {
+				b.WriteString("DISTINCT ")
+			}
+			for i, a := range x.Args {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				renderExpr(b, a)
+			}
+		}
+		b.WriteString(")")
+	case *In:
+		renderExpr(b, x.X)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" IN (")
+		if x.Select != nil {
+			renderSelect(b, x.Select)
+		} else {
+			for i, a := range x.List {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				renderExpr(b, a)
+			}
+		}
+		b.WriteString(")")
+	case *Exists:
+		if x.Not {
+			b.WriteString("NOT ")
+		}
+		b.WriteString("EXISTS (")
+		renderSelect(b, x.Select)
+		b.WriteString(")")
+	case *Subquery:
+		b.WriteString("(")
+		renderSelect(b, x.Select)
+		b.WriteString(")")
+	case *Between:
+		renderExpr(b, x.X)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" BETWEEN ")
+		renderExpr(b, x.Lo)
+		b.WriteString(" AND ")
+		renderExpr(b, x.Hi)
+	case *Like:
+		renderExpr(b, x.X)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" LIKE ")
+		renderExpr(b, x.Pattern)
+	case *IsNull:
+		renderExpr(b, x.X)
+		b.WriteString(" IS ")
+		if x.Not {
+			b.WriteString("NOT ")
+		}
+		b.WriteString("NULL")
+	case *Case:
+		b.WriteString("CASE")
+		if x.Operand != nil {
+			b.WriteString(" ")
+			renderExpr(b, x.Operand)
+		}
+		for _, w := range x.Whens {
+			b.WriteString(" WHEN ")
+			renderExpr(b, w.Cond)
+			b.WriteString(" THEN ")
+			renderExpr(b, w.Then)
+		}
+		if x.Else != nil {
+			b.WriteString(" ELSE ")
+			renderExpr(b, x.Else)
+		}
+		b.WriteString(" END")
+	case *Cast:
+		b.WriteString("CAST(")
+		renderExpr(b, x.X)
+		b.WriteString(" AS ")
+		renderType(b, x.To)
+		b.WriteString(")")
+	}
+}

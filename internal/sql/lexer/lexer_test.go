@@ -1,0 +1,190 @@
+package lexer
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	toks, err := Tokenize("SELECT a, b FROM t WHERE x = 1.5;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{
+		TokKeyword, TokIdent, TokComma, TokIdent, TokKeyword, TokIdent,
+		TokKeyword, TokIdent, TokOp, TokNumber, TokSemicolon, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count %d want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: kind %v want %v (%q)", i, got[i], want[i], toks[i].Text)
+		}
+	}
+}
+
+func TestKeywordCaseInsensitive(t *testing.T) {
+	toks, err := Tokenize("select Select SELECT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range toks[:3] {
+		if tok.Kind != TokKeyword || tok.Text != "SELECT" {
+			t.Errorf("got %v %q", tok.Kind, tok.Text)
+		}
+	}
+}
+
+func TestStringLiterals(t *testing.T) {
+	toks, err := Tokenize("'hello' 'it''s' ''")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"hello", "it's", ""}
+	for i, w := range want {
+		if toks[i].Kind != TokString || toks[i].Text != w {
+			t.Errorf("string %d: %q want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestQuotedIdentifiers(t *testing.T) {
+	toks, err := Tokenize(`"Mixed Case" [bracketed name]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokIdent || toks[0].Text != "Mixed Case" {
+		t.Errorf("quoted ident: %v %q", toks[0].Kind, toks[0].Text)
+	}
+	if toks[1].Kind != TokIdent || toks[1].Text != "bracketed name" {
+		t.Errorf("bracketed ident: %v %q", toks[1].Kind, toks[1].Text)
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := map[string]string{
+		"42":      "42",
+		"3.14":    "3.14",
+		".5":      ".5",
+		"1e10":    "1e10",
+		"2.5E-3":  "2.5E-3",
+		"1.5e+10": "1.5e+10",
+	}
+	for in, want := range cases {
+		toks, err := Tokenize(in)
+		if err != nil {
+			t.Errorf("Tokenize(%q): %v", in, err)
+			continue
+		}
+		if toks[0].Kind != TokNumber || toks[0].Text != want {
+			t.Errorf("Tokenize(%q) = %q (%v)", in, toks[0].Text, toks[0].Kind)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks, err := Tokenize("SELECT -- line comment\n 1 /* block\ncomment */ + 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{TokKeyword, TokNumber, TokOp, TokNumber, TokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("with comments: %v", toks)
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	toks, err := Tokenize("a <> b != c <= d >= e || f % g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tok := range toks {
+		if tok.Kind == TokOp {
+			ops = append(ops, tok.Text)
+		}
+	}
+	want := []string{"<>", "<>", "<=", ">=", "||", "%"}
+	if len(ops) != len(want) {
+		t.Fatalf("ops %v want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d: %q want %q (!= must normalize to <>)", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{"'unterminated", `"unterminated`, "[unterminated", "/* unterminated", "a ? b"} {
+		if _, err := Tokenize(bad); err == nil {
+			t.Errorf("Tokenize(%q) should fail", bad)
+		}
+	}
+}
+
+func TestPositionsReported(t *testing.T) {
+	toks, err := Tokenize("ab cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != 0 || toks[1].Pos != 3 {
+		t.Errorf("positions: %d, %d", toks[0].Pos, toks[1].Pos)
+	}
+}
+
+// Property: the lexer terminates and never panics on arbitrary input.
+func TestLexerNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = Tokenize(s)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tokenizing valid identifier soup yields only ident/keyword
+// tokens plus EOF.
+func TestLexerIdentSoup(t *testing.T) {
+	f := func(words []string) bool {
+		src := ""
+		for _, w := range words {
+			clean := ""
+			for _, r := range w {
+				if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') {
+					clean += string(r)
+				}
+			}
+			if clean != "" {
+				src += clean + " "
+			}
+		}
+		toks, err := Tokenize(src)
+		if err != nil {
+			return false
+		}
+		for _, tok := range toks {
+			if tok.Kind != TokIdent && tok.Kind != TokKeyword && tok.Kind != TokEOF {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,274 @@
+package parser
+
+import (
+	"testing"
+	"testing/quick"
+
+	"divsql/internal/sql/ast"
+)
+
+func parseOne(t *testing.T, src string) ast.Statement {
+	t.Helper()
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return st
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st := parseOne(t, `CREATE TABLE T (
+		A INT PRIMARY KEY,
+		B VARCHAR(30) NOT NULL,
+		C FLOAT DEFAULT 1.5,
+		D DATE,
+		CHECK (A > 0),
+		UNIQUE (B, D)
+	)`)
+	ct, ok := st.(*ast.CreateTable)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if ct.Name != "T" || len(ct.Columns) != 4 || len(ct.Constraints) != 2 {
+		t.Errorf("parsed: %+v", ct)
+	}
+	if !ct.Columns[0].PrimaryKey || !ct.Columns[1].NotNull || ct.Columns[2].Default == nil {
+		t.Errorf("column attributes wrong: %+v", ct.Columns)
+	}
+	if ct.Columns[1].Type.Name != "VARCHAR" || ct.Columns[1].Type.Args[0] != 30 {
+		t.Errorf("type: %+v", ct.Columns[1].Type)
+	}
+}
+
+func TestParseSelectShape(t *testing.T) {
+	st := parseOne(t, `SELECT DISTINCT A.X AS C1, COUNT(*) AS N
+		FROM T1 A LEFT OUTER JOIN T2 B ON A.ID = B.ID, T3
+		WHERE A.X > 3 AND B.Y IN (SELECT Y FROM T4)
+		GROUP BY A.X HAVING COUNT(*) > 1
+		ORDER BY C1 DESC LIMIT 10`)
+	sel, ok := st.(*ast.Select)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if !sel.Distinct || len(sel.Items) != 2 || len(sel.From) != 2 {
+		t.Errorf("select shape: %+v", sel)
+	}
+	if len(sel.From[0].Joins) != 1 || sel.From[0].Joins[0].Type != ast.JoinLeft {
+		t.Errorf("join: %+v", sel.From[0].Joins)
+	}
+	if len(sel.GroupBy) != 1 || sel.Having == nil || len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc {
+		t.Errorf("clauses: %+v", sel)
+	}
+	if sel.Limit != 10 || sel.LimitSyn != ast.LimitLimit {
+		t.Errorf("limit: %d %v", sel.Limit, sel.LimitSyn)
+	}
+}
+
+func TestParseTop(t *testing.T) {
+	st := parseOne(t, "SELECT TOP 3 A FROM T")
+	sel := st.(*ast.Select)
+	if sel.Limit != 3 || sel.LimitSyn != ast.LimitTop {
+		t.Errorf("top: %+v", sel)
+	}
+}
+
+func TestParseUnionChain(t *testing.T) {
+	st := parseOne(t, "SELECT A FROM T UNION ALL SELECT B FROM U UNION SELECT C FROM V ORDER BY 1")
+	sel := st.(*ast.Select)
+	if sel.Union == nil || !sel.UnionAll {
+		t.Fatalf("first union: %+v", sel)
+	}
+	if sel.Union.Union == nil || sel.Union.UnionAll {
+		t.Fatalf("second union: %+v", sel.Union)
+	}
+	if len(sel.OrderBy) != 1 {
+		t.Errorf("order by must attach to the head select")
+	}
+}
+
+func TestParseParenthesizedUnionInSubquery(t *testing.T) {
+	// The shape of the paper's bug-43 script.
+	st := parseOne(t, `SELECT ID FROM P WHERE ID NOT IN
+		((SELECT A FROM X) UNION (SELECT B FROM Y))`)
+	sel := st.(*ast.Select)
+	in, ok := sel.Where.(*ast.In)
+	if !ok || !in.Not || in.Select == nil {
+		t.Fatalf("where: %+v", sel.Where)
+	}
+	if in.Select.Union == nil {
+		t.Error("paren union lost")
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	st := parseOne(t, "SELECT 1 + 2 * 3 AS X")
+	sel := st.(*ast.Select)
+	bin, ok := sel.Items[0].Expr.(*ast.Binary)
+	if !ok || bin.Op != ast.OpAdd {
+		t.Fatalf("top op: %+v", sel.Items[0].Expr)
+	}
+	r, ok := bin.R.(*ast.Binary)
+	if !ok || r.Op != ast.OpMul {
+		t.Errorf("* must bind tighter than +: %+v", bin.R)
+	}
+}
+
+func TestParseNotVariants(t *testing.T) {
+	for _, src := range []string{
+		"SELECT A FROM T WHERE A NOT IN (1, 2)",
+		"SELECT A FROM T WHERE A NOT BETWEEN 1 AND 2",
+		"SELECT A FROM T WHERE A NOT LIKE 'x%'",
+		"SELECT A FROM T WHERE A IS NOT NULL",
+		"SELECT A FROM T WHERE NOT EXISTS (SELECT 1 FROM U)",
+		"SELECT A FROM T WHERE NOT (A = 1)",
+	} {
+		parseOne(t, src)
+	}
+}
+
+func TestParseCaseCastFunctions(t *testing.T) {
+	parseOne(t, `SELECT CASE WHEN A > 0 THEN 'pos' ELSE 'neg' END AS S,
+		CASE A WHEN 1 THEN 'one' END AS O,
+		CAST(A AS VARCHAR(10)) AS C,
+		COUNT(DISTINCT B) AS D
+		FROM T`)
+}
+
+func TestParseDMLAndDDL(t *testing.T) {
+	for _, src := range []string{
+		"INSERT INTO T VALUES (1, 'a'), (2, 'b')",
+		"INSERT INTO T (A, B) SELECT X, Y FROM U",
+		"UPDATE T SET A = A + 1, B = 'x' WHERE A < 10",
+		"DELETE FROM T WHERE A IS NULL",
+		"CREATE VIEW V (C1, C2) AS SELECT A, B FROM T",
+		"CREATE UNIQUE CLUSTERED INDEX IX ON T (A, B)",
+		"CREATE SEQUENCE SQ START WITH 100",
+		"CREATE GENERATOR G1",
+		"DROP TABLE T", "DROP VIEW V", "DROP INDEX IX", "DROP SEQUENCE SQ",
+		"BEGIN TRANSACTION", "BEGIN WORK", "COMMIT", "ROLLBACK WORK",
+	} {
+		parseOne(t, src)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"SELECT",
+		"SELECT FROM T",
+		"CREATE TABLE T ()",
+		"INSERT INTO T",
+		"UPDATE T WHERE A = 1",
+		"SELECT A FROM T WHERE",
+		"SELECT A FROM T GROUP",
+		"FOO BAR",
+		"SELECT A FROM T; extra garbage",
+		"CASE WHEN",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseScriptSplitsStatements(t *testing.T) {
+	stmts, err := ParseScript("CREATE TABLE T (A INT); INSERT INTO T VALUES (1);; SELECT A FROM T;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("got %d statements", len(stmts))
+	}
+}
+
+func TestSplitScriptRespectsStrings(t *testing.T) {
+	parts, err := SplitScript("INSERT INTO T VALUES ('a;b'); SELECT A FROM T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 {
+		t.Fatalf("split: %q", parts)
+	}
+	if parts[0] != "INSERT INTO T VALUES ('a;b')" {
+		t.Errorf("first part: %q", parts[0])
+	}
+}
+
+// Round trip: parse -> render -> parse -> render must be a fixed point.
+func TestRenderRoundTrip(t *testing.T) {
+	sources := []string{
+		"SELECT DISTINCT A, B AS X FROM T WHERE A > 1 ORDER BY A DESC LIMIT 5",
+		"SELECT TOP 2 A FROM T",
+		"SELECT A FROM T UNION ALL SELECT B FROM U",
+		"SELECT COUNT(*) AS N, SUM(X) AS S FROM T GROUP BY Y HAVING COUNT(*) > 2",
+		"SELECT A.X FROM T1 A LEFT OUTER JOIN T2 B ON A.ID = B.ID",
+		"SELECT A FROM T WHERE A IN (SELECT B FROM U WHERE C = 'x')",
+		"SELECT A FROM T WHERE A BETWEEN 1 AND 10 AND B LIKE 'x%' OR C IS NOT NULL",
+		"SELECT CASE WHEN A = 1 THEN 'one' ELSE 'other' END AS W FROM T",
+		"SELECT CAST(A AS INT) AS C, MOD(A, 3) AS M FROM T",
+		"INSERT INTO T (A, B) VALUES (1, 'x'), (2, NULL)",
+		"INSERT INTO T SELECT A, B FROM U",
+		"UPDATE T SET A = (A + 1) WHERE B IN (1, 2, 3)",
+		"DELETE FROM T WHERE NOT (A = 2)",
+		"CREATE TABLE T (A INT PRIMARY KEY, B VARCHAR(10) DEFAULT 'x' NOT NULL, CHECK ((A > 0)))",
+		"CREATE VIEW V AS SELECT DISTINCT A FROM T",
+		"CREATE UNIQUE INDEX IX ON T (A)",
+		"SELECT ID FROM P WHERE ID NOT IN ((SELECT A FROM X) UNION (SELECT B FROM Y))",
+	}
+	for _, src := range sources {
+		st1, err := Parse(src)
+		if err != nil {
+			t.Errorf("parse %q: %v", src, err)
+			continue
+		}
+		r1 := ast.Render(st1)
+		st2, err := Parse(r1)
+		if err != nil {
+			t.Errorf("re-parse of render %q -> %q: %v", src, r1, err)
+			continue
+		}
+		r2 := ast.Render(st2)
+		if r1 != r2 {
+			t.Errorf("render not a fixed point:\n  src: %s\n  r1:  %s\n  r2:  %s", src, r1, r2)
+		}
+	}
+}
+
+// Property: the parser never panics on arbitrary input.
+func TestParserNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = Parse(s)
+		_, _ = ParseScript(s)
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any statement that parses renders to something that parses
+// again (restricted to fuzzing around SQL-ish tokens to hit the parser's
+// success paths more often).
+func TestParseRenderReparse(t *testing.T) {
+	pieces := []string{
+		"SELECT", "FROM", "WHERE", "A", "B", "T", "1", "'x'", "=", ",",
+		"(", ")", "*", "AND", "OR", "IN", "NOT", "GROUP", "BY", "ORDER",
+	}
+	f := func(idx []uint8) bool {
+		src := ""
+		for _, i := range idx {
+			src += pieces[int(i)%len(pieces)] + " "
+		}
+		st, err := Parse(src)
+		if err != nil {
+			return true // invalid input: fine
+		}
+		_, err = Parse(ast.Render(st))
+		return err == nil
+	}
+	cfg := &quick.Config{MaxCount: 2000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,234 @@
+// Package study implements the paper's experimental procedure: run every
+// bug script on every server (translating dialects first), classify each
+// outcome observationally against a pristine oracle, and aggregate the
+// classifications into the paper's Tables 1-4 and headline statistics.
+package study
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"divsql/internal/core"
+	"divsql/internal/corpus"
+	"divsql/internal/dialect"
+	"divsql/internal/fault"
+	"divsql/internal/server"
+	"divsql/internal/translate"
+)
+
+// PerfThreshold is the extra latency (relative to the oracle) beyond
+// which a run is classified as a performance failure.
+const PerfThreshold = time.Second
+
+// Run is the full record of one (bug, server) execution.
+type Run struct {
+	Bug    string
+	Server dialect.ServerName
+	Class  core.Classification
+	// Stmts are the per-statement outcomes (empty when the script could
+	// not be translated). Used for pairwise detectability analysis.
+	Stmts []server.StmtOutcome
+	// OracleStmts are the oracle's outcomes on the same script.
+	OracleStmts []server.StmtOutcome
+}
+
+// Study runs the bug corpus across the simulated servers.
+type Study struct {
+	// Bugs is the corpus (corpus.All() by default).
+	Bugs []corpus.Bug
+	// Faults is the full injected-fault set.
+	Faults []fault.Fault
+	// Stress enables the stressful environment in which Heisenbugs can
+	// manifest (Section 3.2's follow-up experiment).
+	Stress bool
+}
+
+// New returns a study over the full calibrated corpus.
+func New() *Study {
+	return &Study{Bugs: corpus.All(), Faults: corpus.AllFaults()}
+}
+
+// Result holds every run of the study, indexed by bug and server.
+type Result struct {
+	Bugs []corpus.Bug
+	// Runs[bugID][server] is the classified run.
+	Runs map[string]map[dialect.ServerName]*Run
+}
+
+// Run executes the full study: every bug, translated and executed on
+// every server, classified against a fresh oracle.
+func (s *Study) Run() (*Result, error) {
+	res := &Result{
+		Bugs: s.Bugs,
+		Runs: make(map[string]map[dialect.ServerName]*Run, len(s.Bugs)),
+	}
+	for i := range s.Bugs {
+		bug := &s.Bugs[i]
+		perServer := make(map[dialect.ServerName]*Run, len(dialect.AllServers))
+		for _, target := range dialect.AllServers {
+			run, err := s.runOne(bug, target)
+			if err != nil {
+				return nil, fmt.Errorf("bug %s on %s: %w", bug.ID, target, err)
+			}
+			perServer[target] = run
+		}
+		res.Runs[bug.ID] = perServer
+	}
+	return res, nil
+}
+
+// runOne executes one bug on one server. The script is translated when
+// the target differs from the reporting server; translation failures
+// produce the CannotRun/FurtherWork classifications.
+func (s *Study) runOne(bug *corpus.Bug, target dialect.ServerName) (*Run, error) {
+	run := &Run{Bug: bug.ID, Server: target}
+	script := bug.Script
+	if target != bug.Server {
+		translated, err := translate.Script(script, bug.Server, target)
+		var miss *translate.FunctionalityMissingError
+		var further *translate.FurtherWorkError
+		switch {
+		case errors.As(err, &miss):
+			run.Class = core.Classification{Status: core.StatusCannotRun, Detail: miss.Detail}
+			return run, nil
+		case errors.As(err, &further):
+			run.Class = core.Classification{Status: core.StatusFurtherWork, Detail: further.Detail}
+			return run, nil
+		case err != nil:
+			return nil, err
+		}
+		script = translated
+	}
+
+	srv, err := server.New(target, s.Faults)
+	if err != nil {
+		return nil, err
+	}
+	srv.SetStress(s.Stress)
+	orc := server.NewOracle()
+
+	sOut, err := srv.ExecScript(script)
+	if err != nil {
+		return nil, fmt.Errorf("server script: %w", err)
+	}
+	oOut, err := orc.ExecScript(script)
+	if err != nil {
+		return nil, fmt.Errorf("oracle script: %w", err)
+	}
+	run.Stmts = sOut
+	run.OracleStmts = oOut
+	run.Class = Classify(sOut, oOut)
+	return run, nil
+}
+
+// Classify derives the paper's classification of one run purely from the
+// observable behaviour of the server compared with the oracle:
+//
+//   - an engine crash is an Engine Crash failure (self-evident);
+//   - an error message where the oracle succeeds is self-evident — an
+//     Incorrect Result failure, or Other for connection aborts;
+//   - visibly wrong query output with no error is a non-self-evident
+//     Incorrect Result failure (this includes query output produced by
+//     statements the oracle rejects);
+//   - silently accepting a non-query statement the oracle rejects,
+//     without any later output deviation, is a non-self-evident Other
+//     failure;
+//   - a correct run that exceeds the oracle's time by PerfThreshold is a
+//     Performance failure (self-evident).
+func Classify(sOut, oOut []server.StmtOutcome) core.Classification {
+	var dataEvent, acceptEvent, perfEvent bool
+	var detail string
+	for i, so := range sOut {
+		if so.Crashed {
+			return core.Classification{
+				Status: core.StatusFailure, Type: core.EngineCrash, SelfEvident: true,
+				Detail: "engine crashed on: " + so.SQL,
+			}
+		}
+		if i >= len(oOut) {
+			break
+		}
+		oo := oOut[i]
+		switch {
+		case so.Err != nil && oo.Err == nil:
+			typ := core.IncorrectResult
+			if errors.Is(so.Err, server.ErrConnAborted) {
+				typ = core.OtherFailure
+			}
+			return core.Classification{
+				Status: core.StatusFailure, Type: typ, SelfEvident: true,
+				Detail: so.Err.Error(),
+			}
+		case so.Err == nil && oo.Err != nil:
+			if isSelect(so.SQL) {
+				dataEvent = true
+				detail = "query succeeded where it should have failed"
+			} else {
+				acceptEvent = true
+				detail = "invalid statement accepted: " + oo.Err.Error()
+			}
+		case so.Err == nil && oo.Err == nil:
+			if isSelect(so.SQL) {
+				opts := core.DefaultCompareOptions()
+				opts.OrderSensitive = hasOrderBy(so.SQL)
+				if d := core.Diff(so.Res, oo.Res, opts); d != "" {
+					dataEvent = true
+					detail = d
+				}
+			}
+			if so.Latency-oo.Latency >= PerfThreshold {
+				perfEvent = true
+			}
+		}
+	}
+	switch {
+	case dataEvent:
+		return core.Classification{Status: core.StatusFailure, Type: core.IncorrectResult, Detail: detail}
+	case acceptEvent:
+		return core.Classification{Status: core.StatusFailure, Type: core.OtherFailure, Detail: detail}
+	case perfEvent:
+		return core.Classification{
+			Status: core.StatusFailure, Type: core.Performance, SelfEvident: true,
+			Detail: "execution time exceeded acceptance threshold",
+		}
+	default:
+		return core.Classification{Status: core.StatusNoFailure}
+	}
+}
+
+func isSelect(sql string) bool {
+	return strings.HasPrefix(strings.ToUpper(strings.TrimSpace(sql)), "SELECT")
+}
+
+func hasOrderBy(sql string) bool {
+	return strings.Contains(strings.ToUpper(sql), "ORDER BY")
+}
+
+// identicalFailure reports whether two failing runs produced
+// indistinguishable observable behaviour (the paper's non-detectable
+// case): same per-statement error pattern and identical query outputs.
+func identicalFailure(a, b *Run) bool {
+	if len(a.Stmts) != len(b.Stmts) {
+		return false
+	}
+	opts := core.DefaultCompareOptions()
+	for i := range a.Stmts {
+		sa, sb := a.Stmts[i], b.Stmts[i]
+		if (sa.Err != nil) != (sb.Err != nil) {
+			return false
+		}
+		if sa.Err != nil {
+			continue
+		}
+		if isSelect(sa.SQL) {
+			o := opts
+			o.OrderSensitive = hasOrderBy(sa.SQL)
+			if !core.Equal(sa.Res, sb.Res, o) {
+				return false
+			}
+		}
+	}
+	return true
+}

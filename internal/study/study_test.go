@@ -1,0 +1,288 @@
+package study
+
+import (
+	"sync"
+	"testing"
+
+	"divsql/internal/core"
+	"divsql/internal/dialect"
+)
+
+// runOnce caches the (deterministic) full study run across tests in this
+// package; the run executes 181 scripts × 4 servers.
+var (
+	studyOnce sync.Once
+	studyRes  *Result
+	studyErr  error
+)
+
+func fullRun(t *testing.T) *Result {
+	t.Helper()
+	studyOnce.Do(func() {
+		studyRes, studyErr = New().Run()
+	})
+	if studyErr != nil {
+		t.Fatalf("study run: %v", studyErr)
+	}
+	return studyRes
+}
+
+// TestMeasuredMatchesCalibratedExpectations is the keystone: every
+// (bug, server) classification measured by actually translating and
+// executing the script must equal the corpus expectation.
+func TestMeasuredMatchesCalibratedExpectations(t *testing.T) {
+	res := fullRun(t)
+	for i := range res.Bugs {
+		bug := &res.Bugs[i]
+		for _, srv := range dialect.AllServers {
+			exp := bug.Expected[srv]
+			got := res.Runs[bug.ID][srv].Class
+			if exp.Status != got.Status {
+				t.Errorf("%s on %s: status %v want %v (%s)", bug.ID, srv, got.Status, exp.Status, got.Detail)
+				continue
+			}
+			if got.Status == core.StatusFailure &&
+				(exp.Type != got.Type || exp.SelfEvident != got.SelfEvident) {
+				t.Errorf("%s on %s: %v/SE=%v want %v/SE=%v",
+					bug.ID, srv, got.Type, got.SelfEvident, exp.Type, exp.SelfEvident)
+			}
+		}
+	}
+}
+
+// TestTable1MatchesPaper pins every cell of the paper's Table 1.
+func TestTable1MatchesPaper(t *testing.T) {
+	res := fullRun(t)
+	t1 := res.BuildTable1()
+	// Row vectors per (reported, target) in the paper's column order:
+	// total, cannot, fw, run, nofail, fail, perf, crash, irse, irnse, othse, othnse.
+	want := map[dialect.ServerName]map[dialect.ServerName][12]int{
+		dialect.IB: {
+			dialect.IB: {55, 0, 0, 55, 8, 47, 3, 7, 4, 23, 2, 8},
+			dialect.PG: {55, 23, 5, 27, 26, 1, 0, 0, 0, 1, 0, 0},
+			dialect.OR: {55, 20, 4, 31, 31, 0, 0, 0, 0, 0, 0, 0},
+			dialect.MS: {55, 16, 6, 33, 31, 2, 0, 0, 1, 1, 0, 0},
+		},
+		dialect.PG: {
+			dialect.PG: {57, 0, 0, 57, 5, 52, 0, 11, 14, 20, 2, 5},
+			dialect.IB: {57, 32, 2, 23, 23, 0, 0, 0, 0, 0, 0, 0},
+			dialect.OR: {57, 27, 0, 30, 30, 0, 0, 0, 0, 0, 0, 0},
+			dialect.MS: {57, 24, 0, 33, 31, 2, 0, 0, 1, 1, 0, 0},
+		},
+		dialect.OR: {
+			dialect.OR: {18, 0, 0, 18, 4, 14, 1, 3, 3, 7, 0, 0},
+			dialect.IB: {18, 13, 1, 4, 4, 0, 0, 0, 0, 0, 0, 0},
+			dialect.MS: {18, 13, 1, 4, 4, 0, 0, 0, 0, 0, 0, 0},
+			dialect.PG: {18, 12, 2, 4, 3, 1, 0, 0, 0, 1, 0, 0},
+		},
+		dialect.MS: {
+			dialect.MS: {51, 0, 0, 51, 12, 39, 6, 5, 10, 17, 1, 0},
+			dialect.IB: {51, 36, 3, 12, 11, 1, 0, 0, 0, 1, 0, 0},
+			dialect.OR: {51, 32, 7, 12, 12, 0, 0, 0, 0, 0, 0, 0},
+			dialect.PG: {51, 31, 2, 18, 12, 6, 0, 0, 6, 0, 0, 0},
+		},
+	}
+	for rep, inner := range want {
+		for tgt, w := range inner {
+			c := t1.Cells[rep][tgt]
+			got := [12]int{c.Total, c.CannotRun, c.FurtherWork, c.TotalRun, c.NoFailure,
+				c.Failure, c.Perf, c.Crash, c.IRSelf, c.IRNonSelf, c.OtherSelf, c.OtherNSelf}
+			if got != w {
+				t.Errorf("Table1 %s->%s:\n  got  %v\n  want %v", rep, tgt, got, w)
+			}
+		}
+	}
+}
+
+// TestTable2MatchesPaper pins Table 2, modulo the paper's own internal
+// inconsistency: Table 1 implies 29 bugs with no failure on their own
+// server of which exactly one (MS 56775) fails elsewhere, so 28 must
+// fail nowhere — the paper's row sums to 27. Our measured table shows 13
+// (not 12) in the all-four cell and 30 (not 31) one-server failures
+// there; every other cell matches the paper exactly.
+func TestTable2MatchesPaper(t *testing.T) {
+	res := fullRun(t)
+	t2 := res.BuildTable2()
+	type cell struct{ total, nofail, one, two int }
+	want := map[Combo]cell{
+		"IB+PG+OR+MS": {47, 13, 30, 4}, // paper prints 12/31: see doc comment
+		"IB+PG+OR":    {3, 0, 3, 0},
+		"IB+PG+MS":    {7, 1, 6, 0},
+		"IB+OR+MS":    {12, 2, 9, 1},
+		"PG+OR+MS":    {10, 0, 9, 1},
+		"IB+PG":       {5, 0, 5, 0},
+		"IB+MS":       {3, 0, 3, 0},
+		"IB+OR":       {0, 0, 0, 0},
+		"PG+OR":       {4, 0, 3, 1},
+		"PG+MS":       {12, 0, 7, 5},
+		"OR+MS":       {2, 1, 1, 0},
+		"IB":          {17, 1, 16, 0},
+		"PG":          {18, 2, 16, 0},
+		"MS":          {28, 5, 23, 0},
+		"OR":          {13, 3, 10, 0},
+	}
+	for combo, w := range want {
+		c := t2.Cells[combo]
+		if c == nil {
+			t.Errorf("missing combo %s", combo)
+			continue
+		}
+		got := cell{c.Total, c.NoFailure, c.FailOne, c.FailTwo}
+		if got != w {
+			t.Errorf("Table2 %s: got %+v want %+v", combo, got, w)
+		}
+		if c.FailMore != 0 {
+			t.Errorf("Table2 %s: %d bugs failed >2 servers", combo, c.FailMore)
+		}
+	}
+	if res.MaxCoincident() != 2 {
+		t.Errorf("max coincident = %d, want 2 (the paper: none failed more than two)", res.MaxCoincident())
+	}
+}
+
+// TestTable3DetectabilityMatchesPaper pins the detectability analysis.
+// The one-of-two failure counts drift slightly from the printed table
+// (the paper's Tables 2 and 3 are mutually inconsistent about bugs whose
+// cross-failures land outside the home+failing pair — see
+// EXPERIMENTS.md); the detectability columns, which carry the paper's
+// conclusion, match exactly.
+func TestTable3DetectabilityMatchesPaper(t *testing.T) {
+	res := fullRun(t)
+	t3 := res.BuildTable3()
+	type detect struct{ nonDetect, bothSE, bothNSE int }
+	want := map[string]detect{
+		"IB+PG": {1, 0, 0},
+		"IB+OR": {0, 0, 0},
+		"IB+MS": {2, 1, 0},
+		"PG+OR": {0, 0, 1},
+		"PG+MS": {1, 6, 0},
+		"OR+MS": {0, 0, 0},
+	}
+	totalND := 0
+	for _, p := range PairOrder {
+		row := t3.Rows[p]
+		w := want[p.String()]
+		got := detect{row.NonDetectable, row.BothSelf, row.BothNonSelf}
+		if got != w {
+			t.Errorf("Table3 %s detectability: got %+v want %+v", p, got, w)
+		}
+		totalND += row.NonDetectable
+	}
+	if totalND != 4 {
+		t.Errorf("non-detectable total = %d, want 4 (the paper's headline)", totalND)
+	}
+	// Runnable-on-both counts are fully determined by Table 2 and match.
+	runWant := map[string]int{"IB+PG": 62, "IB+OR": 62, "IB+MS": 69, "PG+OR": 64, "PG+MS": 76, "OR+MS": 71}
+	for _, p := range PairOrder {
+		if got := t3.Rows[p].TotalRun; got != runWant[p.String()] {
+			t.Errorf("Table3 %s run: %d want %d", p, got, runWant[p.String()])
+		}
+	}
+	// 1-of-2 self-evident counts match the paper exactly.
+	seWant := map[string]int{"IB+PG": 17, "IB+OR": 8, "IB+MS": 11, "PG+OR": 13, "PG+MS": 18, "OR+MS": 7}
+	for _, p := range PairOrder {
+		if got := t3.Rows[p].OneSelfEvident; got != seWant[p.String()] {
+			t.Errorf("Table3 %s 1of2-SE: %d want %d", p, got, seWant[p.String()])
+		}
+	}
+}
+
+// TestTable4MatchesPaper pins the coincident-failure matrix exactly.
+func TestTable4MatchesPaper(t *testing.T) {
+	res := fullRun(t)
+	t4 := res.BuildTable4()
+	want := map[dialect.ServerName]map[dialect.ServerName]int{
+		dialect.IB: {dialect.PG: 1, dialect.OR: 0, dialect.MS: 2},
+		dialect.PG: {dialect.IB: 0, dialect.OR: 0, dialect.MS: 2},
+		dialect.OR: {dialect.IB: 0, dialect.PG: 1, dialect.MS: 0},
+		dialect.MS: {dialect.IB: 1, dialect.PG: 6, dialect.OR: 0},
+	}
+	for rep, inner := range want {
+		for tgt, n := range inner {
+			if got := t4.Counts[rep][tgt]; got != n {
+				t.Errorf("Table4 %s->%s: %d want %d (%v)", rep, tgt, got, n, t4.BugIDs[rep][tgt])
+			}
+		}
+	}
+}
+
+// TestHeadlineMatchesPaper pins the statistics quoted in the abstract
+// and conclusions.
+func TestHeadlineMatchesPaper(t *testing.T) {
+	res := fullRun(t)
+	h := res.BuildHeadline()
+	if h.OwnFailures != 152 {
+		t.Errorf("own failures %d want 152", h.OwnFailures)
+	}
+	if h.IncorrectResults != 98 || h.IncorrectPct < 64.4 || h.IncorrectPct > 64.6 {
+		t.Errorf("incorrect results %d (%.2f%%), want 98 (64.5%%)", h.IncorrectResults, h.IncorrectPct)
+	}
+	if h.Crashes != 26 || h.CrashPct < 17.0 || h.CrashPct > 17.2 {
+		t.Errorf("crashes %d (%.2f%%), want 26 (17.1%%)", h.Crashes, h.CrashPct)
+	}
+	if h.MaxCoincident != 2 || h.CoincidentBugs != 12 || h.NonDetectable != 4 {
+		t.Errorf("coincidence stats: %+v", h)
+	}
+}
+
+// TestOracleNeverFailsOnOthersBugs reproduces the paper's observation
+// that "Oracle was the only server that never failed when running on it
+// the reported bugs of the other servers."
+func TestOracleNeverFailsOnOthersBugs(t *testing.T) {
+	res := fullRun(t)
+	for i := range res.Bugs {
+		bug := &res.Bugs[i]
+		if bug.Server == dialect.OR {
+			continue
+		}
+		if run := res.Runs[bug.ID][dialect.OR]; run.Class.IsFailure() {
+			t.Errorf("%s failed on OR", bug.ID)
+		}
+	}
+}
+
+// TestStressRunManifestsHeisenbugs runs the Section 3.2 follow-up: in a
+// stressful environment the Heisenbugs manifest on their own servers.
+func TestStressRunManifestsHeisenbugs(t *testing.T) {
+	s := New()
+	s.Stress = true
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet := fullRun(t)
+	manifested := 0
+	for i := range res.Bugs {
+		bug := &res.Bugs[i]
+		if !bug.Heisen {
+			continue
+		}
+		q := quiet.Runs[bug.ID][bug.Server].Class
+		st := res.Runs[bug.ID][bug.Server].Class
+		if q.IsFailure() {
+			t.Errorf("%s failed while quiet", bug.ID)
+		}
+		if st.IsFailure() {
+			manifested++
+		}
+	}
+	if manifested == 0 {
+		t.Error("no Heisenbug manifested under stress")
+	}
+}
+
+// TestRendersProduceOutput sanity-checks the table renderers.
+func TestRendersProduceOutput(t *testing.T) {
+	res := fullRun(t)
+	for name, text := range map[string]string{
+		"t1": res.BuildTable1().Render(),
+		"t2": res.BuildTable2().Render(),
+		"t3": res.BuildTable3().Render(),
+		"t4": res.BuildTable4().Render(),
+		"hl": res.BuildHeadline().Render(),
+	} {
+		if len(text) < 100 {
+			t.Errorf("%s render too short: %q", name, text)
+		}
+	}
+}

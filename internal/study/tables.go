@@ -1,0 +1,534 @@
+package study
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"divsql/internal/core"
+	"divsql/internal/dialect"
+)
+
+// ---------------------------------------------------------------------------
+// Table 1 — results of running the bug scripts on all four servers
+
+// Table1Cell is one column of the paper's Table 1: the outcome counts of
+// running one reporting-server's bugs on one target server.
+type Table1Cell struct {
+	Reported dialect.ServerName
+	Target   dialect.ServerName
+
+	Total       int
+	CannotRun   int
+	FurtherWork int
+	TotalRun    int
+	NoFailure   int
+	Failure     int
+
+	Perf       int
+	Crash      int
+	IRSelf     int
+	IRNonSelf  int
+	OtherSelf  int
+	OtherNSelf int
+}
+
+// Table1 is the full table: for each reporting server, the outcome of
+// its bugs on each of the four servers (own server first, as in the
+// paper's grey columns).
+type Table1 struct {
+	Cells map[dialect.ServerName]map[dialect.ServerName]*Table1Cell
+}
+
+// columnOrder reproduces the paper's column order per reporting server.
+func columnOrder(reported dialect.ServerName) []dialect.ServerName {
+	switch reported {
+	case dialect.IB:
+		return []dialect.ServerName{dialect.IB, dialect.PG, dialect.OR, dialect.MS}
+	case dialect.PG:
+		return []dialect.ServerName{dialect.PG, dialect.IB, dialect.OR, dialect.MS}
+	case dialect.OR:
+		return []dialect.ServerName{dialect.OR, dialect.IB, dialect.MS, dialect.PG}
+	default:
+		return []dialect.ServerName{dialect.MS, dialect.IB, dialect.OR, dialect.PG}
+	}
+}
+
+// BuildTable1 aggregates the study result into Table 1.
+func (r *Result) BuildTable1() *Table1 {
+	t := &Table1{Cells: make(map[dialect.ServerName]map[dialect.ServerName]*Table1Cell)}
+	for _, rep := range dialect.AllServers {
+		t.Cells[rep] = make(map[dialect.ServerName]*Table1Cell)
+		for _, tgt := range dialect.AllServers {
+			t.Cells[rep][tgt] = &Table1Cell{Reported: rep, Target: tgt}
+		}
+	}
+	for i := range r.Bugs {
+		bug := &r.Bugs[i]
+		for tgt, run := range r.Runs[bug.ID] {
+			c := t.Cells[bug.Server][tgt]
+			c.Total++
+			switch run.Class.Status {
+			case core.StatusCannotRun:
+				c.CannotRun++
+			case core.StatusFurtherWork:
+				c.FurtherWork++
+			case core.StatusNoFailure:
+				c.TotalRun++
+				c.NoFailure++
+			case core.StatusFailure:
+				c.TotalRun++
+				c.Failure++
+				switch run.Class.Type {
+				case core.Performance:
+					c.Perf++
+				case core.EngineCrash:
+					c.Crash++
+				case core.IncorrectResult:
+					if run.Class.SelfEvident {
+						c.IRSelf++
+					} else {
+						c.IRNonSelf++
+					}
+				case core.OtherFailure:
+					if run.Class.SelfEvident {
+						c.OtherSelf++
+					} else {
+						c.OtherNSelf++
+					}
+				}
+			}
+		}
+	}
+	return t
+}
+
+// Render prints Table 1 in the paper's layout.
+func (t *Table1) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 1. Results of running the bug scripts on all four servers\n")
+	header := []string{"row"}
+	var cells []*Table1Cell
+	for _, rep := range dialect.AllServers {
+		for _, tgt := range columnOrder(rep) {
+			header = append(header, fmt.Sprintf("%s>%s", rep, tgt))
+			cells = append(cells, t.Cells[rep][tgt])
+		}
+	}
+	rows := []struct {
+		name string
+		get  func(c *Table1Cell) string
+	}{
+		{"Total bug scripts", func(c *Table1Cell) string { return itoa(c.Total) }},
+		{"Cannot be run", func(c *Table1Cell) string {
+			if c.Reported == c.Target {
+				return "n/a"
+			}
+			return itoa(c.CannotRun)
+		}},
+		{"Further work", func(c *Table1Cell) string {
+			if c.Reported == c.Target {
+				return "n/a"
+			}
+			return itoa(c.FurtherWork)
+		}},
+		{"Total run", func(c *Table1Cell) string { return itoa(c.TotalRun) }},
+		{"No failure", func(c *Table1Cell) string { return itoa(c.NoFailure) }},
+		{"Failure observed", func(c *Table1Cell) string { return itoa(c.Failure) }},
+		{"Poor performance", func(c *Table1Cell) string { return itoa(c.Perf) }},
+		{"Engine crash", func(c *Table1Cell) string { return itoa(c.Crash) }},
+		{"Incorrect, self-evident", func(c *Table1Cell) string { return itoa(c.IRSelf) }},
+		{"Incorrect, non-self-evident", func(c *Table1Cell) string { return itoa(c.IRNonSelf) }},
+		{"Other, self-evident", func(c *Table1Cell) string { return itoa(c.OtherSelf) }},
+		{"Other, non-self-evident", func(c *Table1Cell) string { return itoa(c.OtherNSelf) }},
+	}
+	writeRow(&b, header, 28)
+	for _, row := range rows {
+		line := []string{row.name}
+		for _, c := range cells {
+			line = append(line, row.get(c))
+		}
+		writeRow(&b, line, 28)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — server combinations
+
+// Combo identifies a set of servers a bug could be run on, rendered in
+// the paper's naming ("IB, PG, OR, MS", "IB, PG only", "IB only", ...).
+type Combo string
+
+// comboOf derives the combination from the measured run statuses.
+func comboOf(runs map[dialect.ServerName]*Run) Combo {
+	var present []string
+	for _, s := range dialect.AllServers {
+		if run, ok := runs[s]; ok {
+			if run.Class.Status == core.StatusNoFailure || run.Class.Status == core.StatusFailure {
+				present = append(present, string(s))
+			}
+		}
+	}
+	return Combo(strings.Join(present, "+"))
+}
+
+// ComboOrder is the paper's Table 2 column order.
+var ComboOrder = []Combo{
+	"IB+PG+OR+MS", "IB+PG+OR", "IB+PG+MS", "IB+OR+MS", "PG+OR+MS",
+	"IB+PG", "IB+MS", "IB+OR", "PG+OR", "PG+MS", "OR+MS",
+	"IB", "PG", "MS", "OR",
+}
+
+// Table2Cell counts outcomes of one server combination.
+type Table2Cell struct {
+	Combo       Combo
+	Total       int
+	NoFailure   int
+	FailOne     int
+	FailTwo     int
+	FailMore    int // the paper observed none; tracked to verify
+	FailTwoBugs []string
+}
+
+// Table2 aggregates bugs by the combination of servers they ran on.
+type Table2 struct {
+	Cells map[Combo]*Table2Cell
+}
+
+// BuildTable2 aggregates the study result into Table 2.
+func (r *Result) BuildTable2() *Table2 {
+	t := &Table2{Cells: make(map[Combo]*Table2Cell)}
+	for _, c := range ComboOrder {
+		t.Cells[c] = &Table2Cell{Combo: c}
+	}
+	for i := range r.Bugs {
+		bug := &r.Bugs[i]
+		runs := r.Runs[bug.ID]
+		combo := comboOf(runs)
+		cell, ok := t.Cells[combo]
+		if !ok {
+			cell = &Table2Cell{Combo: combo}
+			t.Cells[combo] = cell
+		}
+		cell.Total++
+		failures := 0
+		for _, run := range runs {
+			if run.Class.IsFailure() {
+				failures++
+			}
+		}
+		switch failures {
+		case 0:
+			cell.NoFailure++
+		case 1:
+			cell.FailOne++
+		case 2:
+			cell.FailTwo++
+			cell.FailTwoBugs = append(cell.FailTwoBugs, bug.ID)
+		default:
+			cell.FailMore++
+		}
+	}
+	return t
+}
+
+// MaxCoincident returns the largest number of servers any single bug
+// failed (the paper: "None of the bugs caused a failure in more than two
+// servers").
+func (r *Result) MaxCoincident() int {
+	maxFail := 0
+	for _, runs := range r.Runs {
+		n := 0
+		for _, run := range runs {
+			if run.Class.IsFailure() {
+				n++
+			}
+		}
+		if n > maxFail {
+			maxFail = n
+		}
+	}
+	return maxFail
+}
+
+// Render prints Table 2 in the paper's layout.
+func (t *Table2) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 2. Bug scripts run and effects on different server combinations\n")
+	header := []string{"row"}
+	var cells []*Table2Cell
+	for _, c := range ComboOrder {
+		header = append(header, string(c))
+		cells = append(cells, t.Cells[c])
+	}
+	writeRow(&b, header, 26)
+	rows := []struct {
+		name string
+		get  func(c *Table2Cell) string
+	}{
+		{"Total bug scripts run", func(c *Table2Cell) string { return itoa(c.Total) }},
+		{"Failure in no server", func(c *Table2Cell) string { return itoa(c.NoFailure) }},
+		{"Failure in one server", func(c *Table2Cell) string { return itoa(c.FailOne) }},
+		{"Failure in two servers", func(c *Table2Cell) string {
+			if len(string(c.Combo)) <= 2 {
+				return "n/a"
+			}
+			return itoa(c.FailTwo)
+		}},
+	}
+	for _, row := range rows {
+		line := []string{row.name}
+		for _, c := range cells {
+			line = append(line, row.get(c))
+		}
+		writeRow(&b, line, 26)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 — two-version combinations
+
+// Pair is an unordered server pair.
+type Pair struct{ A, B dialect.ServerName }
+
+func (p Pair) String() string { return string(p.A) + "+" + string(p.B) }
+
+// PairOrder is the paper's Table 3 row order.
+var PairOrder = []Pair{
+	{dialect.IB, dialect.PG}, {dialect.IB, dialect.OR}, {dialect.IB, dialect.MS},
+	{dialect.PG, dialect.OR}, {dialect.PG, dialect.MS}, {dialect.OR, dialect.MS},
+}
+
+// Table3Row summarizes one two-version configuration.
+type Table3Row struct {
+	Pair            Pair
+	TotalRun        int
+	FailureObserved int
+	OneSelfEvident  int
+	OneNonSelf      int
+	NonDetectable   int
+	BothSelf        int
+	BothNonSelf     int
+	// NonDetectableBugs lists the bugs behind the non-detectable count.
+	NonDetectableBugs []string
+}
+
+// Table3 is the two-version analysis.
+type Table3 struct {
+	Rows map[Pair]*Table3Row
+}
+
+// BuildTable3 aggregates the study result into Table 3.
+func (r *Result) BuildTable3() *Table3 {
+	t := &Table3{Rows: make(map[Pair]*Table3Row)}
+	for _, p := range PairOrder {
+		t.Rows[p] = &Table3Row{Pair: p}
+	}
+	for i := range r.Bugs {
+		bug := &r.Bugs[i]
+		runs := r.Runs[bug.ID]
+		for _, p := range PairOrder {
+			ra, rb := runs[p.A], runs[p.B]
+			if ra == nil || rb == nil {
+				continue
+			}
+			ranA := ra.Class.Status == core.StatusNoFailure || ra.Class.Status == core.StatusFailure
+			ranB := rb.Class.Status == core.StatusNoFailure || rb.Class.Status == core.StatusFailure
+			if !ranA || !ranB {
+				continue
+			}
+			row := t.Rows[p]
+			row.TotalRun++
+			failA, failB := ra.Class.IsFailure(), rb.Class.IsFailure()
+			switch {
+			case failA && failB:
+				row.FailureObserved++
+				switch {
+				case ra.Class.SelfEvident || rb.Class.SelfEvident:
+					row.BothSelf++
+				case identicalFailure(ra, rb):
+					row.NonDetectable++
+					row.NonDetectableBugs = append(row.NonDetectableBugs, bug.ID)
+				default:
+					row.BothNonSelf++
+				}
+			case failA || failB:
+				row.FailureObserved++
+				failing := ra
+				if failB {
+					failing = rb
+				}
+				if failing.Class.SelfEvident {
+					row.OneSelfEvident++
+				} else {
+					row.OneNonSelf++
+				}
+			}
+		}
+	}
+	return t
+}
+
+// Render prints Table 3 in the paper's layout.
+func (t *Table3) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 3. Summary of results for the two-version combinations\n")
+	writeRow(&b, []string{"pair", "run", "failure", "1of2 SE", "1of2 NSE", "non-detect", "both SE", "both NSE"}, 12)
+	for _, p := range PairOrder {
+		row := t.Rows[p]
+		writeRow(&b, []string{
+			p.String(), itoa(row.TotalRun), itoa(row.FailureObserved),
+			itoa(row.OneSelfEvident), itoa(row.OneNonSelf),
+			itoa(row.NonDetectable), itoa(row.BothSelf), itoa(row.BothNonSelf),
+		}, 12)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 4 — coincident-failure matrix
+
+// Table4 is the matrix of bugs reported for one server (row) that caused
+// a failure in another server (column).
+type Table4 struct {
+	// Counts[reported][failed] counts cross-failures.
+	Counts map[dialect.ServerName]map[dialect.ServerName]int
+	// BugIDs[reported][failed] lists the bugs.
+	BugIDs map[dialect.ServerName]map[dialect.ServerName][]string
+}
+
+// BuildTable4 aggregates the study result into Table 4.
+func (r *Result) BuildTable4() *Table4 {
+	t := &Table4{
+		Counts: make(map[dialect.ServerName]map[dialect.ServerName]int),
+		BugIDs: make(map[dialect.ServerName]map[dialect.ServerName][]string),
+	}
+	for _, s := range dialect.AllServers {
+		t.Counts[s] = make(map[dialect.ServerName]int)
+		t.BugIDs[s] = make(map[dialect.ServerName][]string)
+	}
+	for i := range r.Bugs {
+		bug := &r.Bugs[i]
+		for tgt, run := range r.Runs[bug.ID] {
+			if tgt == bug.Server {
+				continue
+			}
+			if run.Class.IsFailure() {
+				t.Counts[bug.Server][tgt]++
+				t.BugIDs[bug.Server][tgt] = append(t.BugIDs[bug.Server][tgt], bug.ID)
+			}
+		}
+	}
+	for _, m := range t.BugIDs {
+		for _, ids := range m {
+			sort.Strings(ids)
+		}
+	}
+	return t
+}
+
+// Render prints Table 4 in the paper's layout.
+func (t *Table4) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 4. Bugs causing coincident failures (row: reported for; column: fails in)\n")
+	header := []string{""}
+	for _, s := range dialect.AllServers {
+		header = append(header, string(s))
+	}
+	writeRow(&b, header, 30)
+	for _, rep := range dialect.AllServers {
+		line := []string{string(rep)}
+		for _, tgt := range dialect.AllServers {
+			if rep == tgt {
+				line = append(line, "N/A")
+				continue
+			}
+			n := t.Counts[rep][tgt]
+			if n == 0 {
+				line = append(line, "0")
+			} else {
+				line = append(line, fmt.Sprintf("%d (%s)", n, strings.Join(t.BugIDs[rep][tgt], ",")))
+			}
+		}
+		writeRow(&b, line, 30)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Headline statistics (Section 7)
+
+// Headline are the summary statistics quoted in the paper's conclusions.
+type Headline struct {
+	OwnFailures      int
+	IncorrectResults int
+	Crashes          int
+	IncorrectPct     float64
+	CrashPct         float64
+	MaxCoincident    int
+	CoincidentBugs   int
+	NonDetectable    int
+}
+
+// BuildHeadline computes the headline statistics.
+func (r *Result) BuildHeadline() Headline {
+	var h Headline
+	for i := range r.Bugs {
+		bug := &r.Bugs[i]
+		run := r.Runs[bug.ID][bug.Server]
+		if run == nil || !run.Class.IsFailure() {
+			continue
+		}
+		h.OwnFailures++
+		switch run.Class.Type {
+		case core.IncorrectResult:
+			h.IncorrectResults++
+		case core.EngineCrash:
+			h.Crashes++
+		}
+	}
+	if h.OwnFailures > 0 {
+		h.IncorrectPct = 100 * float64(h.IncorrectResults) / float64(h.OwnFailures)
+		h.CrashPct = 100 * float64(h.Crashes) / float64(h.OwnFailures)
+	}
+	h.MaxCoincident = r.MaxCoincident()
+	t2 := r.BuildTable2()
+	for _, c := range t2.Cells {
+		h.CoincidentBugs += c.FailTwo
+	}
+	t3 := r.BuildTable3()
+	for _, row := range t3.Rows {
+		h.NonDetectable += row.NonDetectable
+	}
+	return h
+}
+
+// Render prints the headline statistics.
+func (h Headline) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Failures on the reporting server:       %d\n", h.OwnFailures)
+	fmt.Fprintf(&b, "  incorrect-result failures:            %d (%.1f%%)\n", h.IncorrectResults, h.IncorrectPct)
+	fmt.Fprintf(&b, "  engine crashes:                       %d (%.1f%%)\n", h.Crashes, h.CrashPct)
+	fmt.Fprintf(&b, "Bugs causing coincident (2-server) failures: %d\n", h.CoincidentBugs)
+	fmt.Fprintf(&b, "Most servers failed by any single bug:  %d\n", h.MaxCoincident)
+	fmt.Fprintf(&b, "Non-detectable coincident failures:     %d\n", h.NonDetectable)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// helpers
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+func writeRow(b *strings.Builder, cells []string, firstWidth int) {
+	for i, c := range cells {
+		if i == 0 {
+			fmt.Fprintf(b, "%-*s", firstWidth, c)
+		} else {
+			fmt.Fprintf(b, " %10s", c)
+		}
+	}
+	b.WriteByte('\n')
+}

@@ -1,0 +1,466 @@
+// Package tpcc implements the TPC-C-like workload the paper uses for
+// statistical testing (Section 7: "We have run a few million queries
+// with various loads including experiments based on the TPC-C
+// benchmark"). The workload is restricted to the SQL subset common to
+// all four simulated dialects — the portability constraint Section 2.1
+// describes for diverse replication — so one statement stream can drive
+// a single server, a non-diverse replication group, or the diverse
+// middleware through the shared core.Executor interface.
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"divsql/internal/core"
+	"divsql/internal/engine"
+)
+
+// Config sizes the generated database.
+type Config struct {
+	Warehouses           int
+	DistrictsPerWH       int
+	CustomersPerDistrict int
+	Items                int
+	Seed                 int64
+}
+
+// DefaultConfig returns a laptop-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		Warehouses:           2,
+		DistrictsPerWH:       2,
+		CustomersPerDistrict: 10,
+		Items:                20,
+		Seed:                 1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Warehouses <= 0 || c.DistrictsPerWH <= 0 || c.CustomersPerDistrict <= 0 || c.Items <= 0 {
+		return errors.New("tpcc: all sizes must be positive")
+	}
+	return nil
+}
+
+// Setup creates and populates the schema through the executor. All
+// column types belong to the common dialect subset (dates are stored as
+// ISO strings because the four dialects disagree on date type names).
+func Setup(exec core.Executor, cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	ddl := []string{
+		`CREATE TABLE WAREHOUSE (W_ID INT PRIMARY KEY, W_NAME VARCHAR(10), W_YTD FLOAT)`,
+		`CREATE TABLE DISTRICT (D_ID INT, D_W_ID INT, D_NAME VARCHAR(10), D_YTD FLOAT, D_NEXT_O_ID INT, PRIMARY KEY (D_W_ID, D_ID))`,
+		`CREATE TABLE CUSTOMER (C_ID INT, C_D_ID INT, C_W_ID INT, C_NAME VARCHAR(16), C_BALANCE FLOAT, C_PAYMENT_CNT INT, PRIMARY KEY (C_W_ID, C_D_ID, C_ID))`,
+		`CREATE TABLE ITEM (I_ID INT PRIMARY KEY, I_NAME VARCHAR(24), I_PRICE FLOAT)`,
+		`CREATE TABLE STOCK (S_I_ID INT, S_W_ID INT, S_QUANTITY INT, S_YTD INT, PRIMARY KEY (S_W_ID, S_I_ID))`,
+		`CREATE TABLE ORDERS (O_ID INT, O_D_ID INT, O_W_ID INT, O_C_ID INT, O_OL_CNT INT, O_ENTRY_D VARCHAR(10), PRIMARY KEY (O_W_ID, O_D_ID, O_ID))`,
+		`CREATE TABLE ORDER_LINE (OL_O_ID INT, OL_D_ID INT, OL_W_ID INT, OL_NUMBER INT, OL_I_ID INT, OL_QUANTITY INT, OL_AMOUNT FLOAT, PRIMARY KEY (OL_W_ID, OL_D_ID, OL_O_ID, OL_NUMBER))`,
+		`CREATE TABLE NEW_ORDER (NO_O_ID INT, NO_D_ID INT, NO_W_ID INT, PRIMARY KEY (NO_W_ID, NO_D_ID, NO_O_ID))`,
+		`CREATE TABLE HISTORY (H_ID INT PRIMARY KEY, H_C_ID INT, H_W_ID INT, H_AMOUNT FLOAT, H_DATE VARCHAR(10))`,
+	}
+	for _, stmt := range ddl {
+		if _, _, err := exec.Exec(stmt); err != nil {
+			return fmt.Errorf("tpcc setup: %w", err)
+		}
+	}
+	for w := 1; w <= cfg.Warehouses; w++ {
+		if err := execf(exec, "INSERT INTO WAREHOUSE VALUES (%d, 'WH%d', 0)", w, w); err != nil {
+			return err
+		}
+		for d := 1; d <= cfg.DistrictsPerWH; d++ {
+			if err := execf(exec, "INSERT INTO DISTRICT VALUES (%d, %d, 'D%d_%d', 0, 1)", d, w, w, d); err != nil {
+				return err
+			}
+			for c := 1; c <= cfg.CustomersPerDistrict; c++ {
+				if err := execf(exec, "INSERT INTO CUSTOMER VALUES (%d, %d, %d, 'cust_%d_%d_%d', 0, 0)",
+					c, d, w, w, d, c); err != nil {
+					return err
+				}
+			}
+		}
+		for i := 1; i <= cfg.Items; i++ {
+			if err := execf(exec, "INSERT INTO STOCK VALUES (%d, %d, 100, 0)", i, w); err != nil {
+				return err
+			}
+		}
+	}
+	for i := 1; i <= cfg.Items; i++ {
+		// Prices are multiples of 0.25 so arithmetic stays exact in every
+		// replica's float representation.
+		price := float64((i%40)+1) * 0.25
+		if err := execf(exec, "INSERT INTO ITEM VALUES (%d, 'item_%d', %g)", i, i, price); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func execf(exec core.Executor, format string, args ...any) error {
+	sql := fmt.Sprintf(format, args...)
+	if _, _, err := exec.Exec(sql); err != nil {
+		return fmt.Errorf("tpcc: %s: %w", sql, err)
+	}
+	return nil
+}
+
+// TxType enumerates the transaction mix.
+type TxType int
+
+// Transaction types (approximate TPC-C mix).
+const (
+	TxNewOrder TxType = iota + 1
+	TxPayment
+	TxOrderStatus
+	TxDelivery
+	TxStockLevel
+)
+
+// String names the transaction type.
+func (t TxType) String() string {
+	switch t {
+	case TxNewOrder:
+		return "NewOrder"
+	case TxPayment:
+		return "Payment"
+	case TxOrderStatus:
+		return "OrderStatus"
+	case TxDelivery:
+		return "Delivery"
+	case TxStockLevel:
+		return "StockLevel"
+	default:
+		return "Unknown"
+	}
+}
+
+// Metrics summarizes a workload run.
+type Metrics struct {
+	Transactions int
+	Statements   int
+	PerType      map[TxType]int
+	Errors       int
+	Divergences  int // detected replica divergences (diverse mode only)
+	SimLatency   time.Duration
+}
+
+// Driver issues the transaction mix against an executor.
+type Driver struct {
+	cfg     Config
+	rng     *rand.Rand
+	histSeq int
+}
+
+// NewDriver builds a deterministic driver for the configuration.
+func NewDriver(cfg Config) *Driver {
+	return &Driver{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Run executes n transactions, returning the aggregate metrics. Errors
+// of individual transactions are counted, not fatal (the load keeps
+// going, as in the paper's campaigns).
+func (d *Driver) Run(exec core.Executor, n int) (Metrics, error) {
+	m := Metrics{PerType: make(map[TxType]int)}
+	for i := 0; i < n; i++ {
+		tt := d.pickType()
+		m.PerType[tt]++
+		m.Transactions++
+		stmts, lat, err := d.runTx(exec, tt)
+		m.Statements += stmts
+		m.SimLatency += lat
+		if err != nil {
+			m.Errors++
+			var div *divergenceMarker
+			if errors.As(err, &div) {
+				m.Divergences++
+			}
+		}
+	}
+	return m, nil
+}
+
+// divergenceMarker adapts middleware divergence errors without importing
+// the middleware package (matched by substring).
+type divergenceMarker struct{ err error }
+
+func (d *divergenceMarker) Error() string { return d.err.Error() }
+
+func (d *Driver) pickType() TxType {
+	r := d.rng.Intn(100)
+	switch {
+	case r < 45:
+		return TxNewOrder
+	case r < 88:
+		return TxPayment
+	case r < 92:
+		return TxOrderStatus
+	case r < 96:
+		return TxDelivery
+	default:
+		return TxStockLevel
+	}
+}
+
+func (d *Driver) wh() int       { return 1 + d.rng.Intn(d.cfg.Warehouses) }
+func (d *Driver) district() int { return 1 + d.rng.Intn(d.cfg.DistrictsPerWH) }
+func (d *Driver) customer() int { return 1 + d.rng.Intn(d.cfg.CustomersPerDistrict) }
+func (d *Driver) item() int     { return 1 + d.rng.Intn(d.cfg.Items) }
+
+// runTx executes one transaction; it returns the number of statements
+// submitted and the accumulated simulated latency.
+func (d *Driver) runTx(exec core.Executor, tt TxType) (int, time.Duration, error) {
+	switch tt {
+	case TxNewOrder:
+		return d.newOrder(exec)
+	case TxPayment:
+		return d.payment(exec)
+	case TxOrderStatus:
+		return d.orderStatus(exec)
+	case TxDelivery:
+		return d.delivery(exec)
+	default:
+		return d.stockLevel(exec)
+	}
+}
+
+// step executes one statement, accumulating counters.
+type txRun struct {
+	exec  core.Executor
+	stmts int
+	lat   time.Duration
+}
+
+func (t *txRun) do(format string, args ...any) (*engine.Result, error) {
+	sql := fmt.Sprintf(format, args...)
+	res, lat, err := t.exec.Exec(sql)
+	t.stmts++
+	t.lat += lat
+	return res, err
+}
+
+// abort rolls back after a failure inside an open transaction.
+func (t *txRun) abort() {
+	_, _, _ = t.exec.Exec("ROLLBACK")
+	t.stmts++
+}
+
+func (d *Driver) newOrder(exec core.Executor) (int, time.Duration, error) {
+	t := &txRun{exec: exec}
+	w, dist, cust := d.wh(), d.district(), d.customer()
+	lines := 2 + d.rng.Intn(3)
+	items := make([]int, lines)
+	qtys := make([]int, lines)
+	for i := range items {
+		items[i] = d.item()
+		qtys[i] = 1 + d.rng.Intn(5)
+	}
+
+	if _, err := t.do("BEGIN TRANSACTION"); err != nil {
+		return t.stmts, t.lat, err
+	}
+	res, err := t.do("SELECT D_NEXT_O_ID FROM DISTRICT WHERE D_W_ID = %d AND D_ID = %d", w, dist)
+	if err != nil || len(res.Rows) != 1 {
+		t.abort()
+		if err == nil {
+			err = errors.New("tpcc: district not found")
+		}
+		return t.stmts, t.lat, err
+	}
+	oid := res.Rows[0][0].AsInt()
+	steps := []string{
+		fmt.Sprintf("UPDATE DISTRICT SET D_NEXT_O_ID = %d WHERE D_W_ID = %d AND D_ID = %d", oid+1, w, dist),
+		fmt.Sprintf("INSERT INTO ORDERS VALUES (%d, %d, %d, %d, %d, '2026-06-10')", oid, dist, w, cust, lines),
+		fmt.Sprintf("INSERT INTO NEW_ORDER VALUES (%d, %d, %d)", oid, dist, w),
+	}
+	for _, s := range steps {
+		if _, err := t.do("%s", s); err != nil {
+			t.abort()
+			return t.stmts, t.lat, err
+		}
+	}
+	for i := 0; i < lines; i++ {
+		res, err := t.do("SELECT I_PRICE FROM ITEM WHERE I_ID = %d", items[i])
+		if err != nil || len(res.Rows) != 1 {
+			t.abort()
+			if err == nil {
+				err = errors.New("tpcc: item not found")
+			}
+			return t.stmts, t.lat, err
+		}
+		price := res.Rows[0][0].AsFloat()
+		amount := price * float64(qtys[i])
+		if _, err := t.do("UPDATE STOCK SET S_QUANTITY = S_QUANTITY - %d, S_YTD = S_YTD + %d WHERE S_W_ID = %d AND S_I_ID = %d",
+			qtys[i], qtys[i], w, items[i]); err != nil {
+			t.abort()
+			return t.stmts, t.lat, err
+		}
+		if _, err := t.do("INSERT INTO ORDER_LINE VALUES (%d, %d, %d, %d, %d, %d, %g)",
+			oid, dist, w, i+1, items[i], qtys[i], amount); err != nil {
+			t.abort()
+			return t.stmts, t.lat, err
+		}
+	}
+	_, err = t.do("COMMIT")
+	return t.stmts, t.lat, err
+}
+
+func (d *Driver) payment(exec core.Executor) (int, time.Duration, error) {
+	t := &txRun{exec: exec}
+	w, dist, cust := d.wh(), d.district(), d.customer()
+	amount := float64(1+d.rng.Intn(200)) * 0.25
+	d.histSeq++
+	if _, err := t.do("BEGIN TRANSACTION"); err != nil {
+		return t.stmts, t.lat, err
+	}
+	steps := []string{
+		fmt.Sprintf("UPDATE WAREHOUSE SET W_YTD = W_YTD + %g WHERE W_ID = %d", amount, w),
+		fmt.Sprintf("UPDATE DISTRICT SET D_YTD = D_YTD + %g WHERE D_W_ID = %d AND D_ID = %d", amount, w, dist),
+		fmt.Sprintf("UPDATE CUSTOMER SET C_BALANCE = C_BALANCE - %g, C_PAYMENT_CNT = C_PAYMENT_CNT + 1 WHERE C_W_ID = %d AND C_D_ID = %d AND C_ID = %d",
+			amount, w, dist, cust),
+		fmt.Sprintf("INSERT INTO HISTORY VALUES (%d, %d, %d, %g, '2026-06-10')", d.histSeq, cust, w, amount),
+	}
+	for _, s := range steps {
+		if _, err := t.do("%s", s); err != nil {
+			t.abort()
+			return t.stmts, t.lat, err
+		}
+	}
+	_, err := t.do("COMMIT")
+	return t.stmts, t.lat, err
+}
+
+func (d *Driver) orderStatus(exec core.Executor) (int, time.Duration, error) {
+	t := &txRun{exec: exec}
+	w, dist, cust := d.wh(), d.district(), d.customer()
+	if _, err := t.do("SELECT C_NAME, C_BALANCE FROM CUSTOMER WHERE C_W_ID = %d AND C_D_ID = %d AND C_ID = %d",
+		w, dist, cust); err != nil {
+		return t.stmts, t.lat, err
+	}
+	// Most recent order of the customer (MAX instead of LIMIT: row
+	// limiting is not in the common dialect subset).
+	res, err := t.do("SELECT MAX(O_ID) AS LAST_O FROM ORDERS WHERE O_W_ID = %d AND O_D_ID = %d AND O_C_ID = %d",
+		w, dist, cust)
+	if err != nil {
+		return t.stmts, t.lat, err
+	}
+	if len(res.Rows) == 1 && !res.Rows[0][0].IsNull() {
+		oid := res.Rows[0][0].AsInt()
+		if _, err := t.do("SELECT OL_I_ID, OL_QUANTITY, OL_AMOUNT FROM ORDER_LINE WHERE OL_W_ID = %d AND OL_D_ID = %d AND OL_O_ID = %d ORDER BY OL_NUMBER",
+			w, dist, oid); err != nil {
+			return t.stmts, t.lat, err
+		}
+	}
+	return t.stmts, t.lat, nil
+}
+
+func (d *Driver) delivery(exec core.Executor) (int, time.Duration, error) {
+	t := &txRun{exec: exec}
+	w, dist := d.wh(), d.district()
+	if _, err := t.do("BEGIN TRANSACTION"); err != nil {
+		return t.stmts, t.lat, err
+	}
+	res, err := t.do("SELECT MIN(NO_O_ID) AS OLDEST FROM NEW_ORDER WHERE NO_W_ID = %d AND NO_D_ID = %d", w, dist)
+	if err != nil {
+		t.abort()
+		return t.stmts, t.lat, err
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].IsNull() {
+		_, err = t.do("COMMIT") // nothing to deliver
+		return t.stmts, t.lat, err
+	}
+	oid := res.Rows[0][0].AsInt()
+	if _, err := t.do("DELETE FROM NEW_ORDER WHERE NO_W_ID = %d AND NO_D_ID = %d AND NO_O_ID = %d", w, dist, oid); err != nil {
+		t.abort()
+		return t.stmts, t.lat, err
+	}
+	res, err = t.do("SELECT O_C_ID FROM ORDERS WHERE O_W_ID = %d AND O_D_ID = %d AND O_ID = %d", w, dist, oid)
+	if err != nil || len(res.Rows) != 1 {
+		t.abort()
+		if err == nil {
+			err = errors.New("tpcc: delivered order missing")
+		}
+		return t.stmts, t.lat, err
+	}
+	cust := res.Rows[0][0].AsInt()
+	if _, err := t.do("UPDATE CUSTOMER SET C_BALANCE = C_BALANCE + (SELECT SUM(OL_AMOUNT) FROM ORDER_LINE WHERE OL_W_ID = %d AND OL_D_ID = %d AND OL_O_ID = %d) WHERE C_W_ID = %d AND C_D_ID = %d AND C_ID = %d",
+		w, dist, oid, w, dist, cust); err != nil {
+		t.abort()
+		return t.stmts, t.lat, err
+	}
+	_, err = t.do("COMMIT")
+	return t.stmts, t.lat, err
+}
+
+func (d *Driver) stockLevel(exec core.Executor) (int, time.Duration, error) {
+	t := &txRun{exec: exec}
+	w := d.wh()
+	_, err := t.do("SELECT COUNT(*) AS LOW_STOCK FROM STOCK WHERE S_W_ID = %d AND S_QUANTITY < 50", w)
+	return t.stmts, t.lat, err
+}
+
+// CheckConsistency verifies the workload's invariants, detecting silent
+// state corruption:
+//
+//   - every district's D_NEXT_O_ID equals 1 + its greatest order id;
+//   - every warehouse's W_YTD equals the sum of its districts' D_YTD;
+//   - every order has exactly O_OL_CNT order lines.
+func CheckConsistency(exec core.Executor) error {
+	res, _, err := exec.Exec("SELECT D_W_ID, D_ID, D_NEXT_O_ID FROM DISTRICT ORDER BY D_W_ID, D_ID")
+	if err != nil {
+		return fmt.Errorf("consistency: %w", err)
+	}
+	for _, row := range res.Rows {
+		w, dID, next := row[0].AsInt(), row[1].AsInt(), row[2].AsInt()
+		mres, _, err := exec.Exec(fmt.Sprintf(
+			"SELECT MAX(O_ID) AS M FROM ORDERS WHERE O_W_ID = %d AND O_D_ID = %d", w, dID))
+		if err != nil {
+			return err
+		}
+		maxO := int64(0)
+		if len(mres.Rows) == 1 && !mres.Rows[0][0].IsNull() {
+			maxO = mres.Rows[0][0].AsInt()
+		}
+		if next != maxO+1 {
+			return fmt.Errorf("consistency: district (%d,%d) next=%d max(O_ID)=%d", w, dID, next, maxO)
+		}
+	}
+	res, _, err = exec.Exec("SELECT W_ID, W_YTD FROM WAREHOUSE ORDER BY W_ID")
+	if err != nil {
+		return err
+	}
+	for _, row := range res.Rows {
+		w, ytd := row[0].AsInt(), row[1].AsFloat()
+		sres, _, err := exec.Exec(fmt.Sprintf("SELECT SUM(D_YTD) AS S FROM DISTRICT WHERE D_W_ID = %d", w))
+		if err != nil {
+			return err
+		}
+		sum := 0.0
+		if len(sres.Rows) == 1 && !sres.Rows[0][0].IsNull() {
+			sum = sres.Rows[0][0].AsFloat()
+		}
+		if diff := ytd - sum; diff > 0.001 || diff < -0.001 {
+			return fmt.Errorf("consistency: warehouse %d W_YTD=%g sum(D_YTD)=%g", w, ytd, sum)
+		}
+	}
+	res, _, err = exec.Exec("SELECT O_W_ID, O_D_ID, O_ID, O_OL_CNT FROM ORDERS ORDER BY O_W_ID, O_D_ID, O_ID")
+	if err != nil {
+		return err
+	}
+	for _, row := range res.Rows {
+		w, dID, oid, cnt := row[0].AsInt(), row[1].AsInt(), row[2].AsInt(), row[3].AsInt()
+		cres, _, err := exec.Exec(fmt.Sprintf(
+			"SELECT COUNT(*) AS N FROM ORDER_LINE WHERE OL_W_ID = %d AND OL_D_ID = %d AND OL_O_ID = %d", w, dID, oid))
+		if err != nil {
+			return err
+		}
+		if got := cres.Rows[0][0].AsInt(); got != cnt {
+			return fmt.Errorf("consistency: order (%d,%d,%d) has %d lines, wants %d", w, dID, oid, got, cnt)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,274 @@
+// Package translate ports a SQL script from one simulated server dialect
+// to another, reproducing the paper's methodology: each bug script was
+// written for the server that reported it and had to be translated into
+// the other servers' dialects before it could be run there.
+//
+// Translation has three outcomes, mirroring Table 1's row structure:
+//
+//   - success: a rewritten script in the target dialect;
+//   - *FunctionalityMissingError: the script uses a construct the target
+//     server does not offer at all ("Bug script cannot be run");
+//   - *FurtherWorkError: the construct exists on the target but the
+//     translator has no automatic rule for it ("Further Work").
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"divsql/internal/dialect"
+	"divsql/internal/sql/ast"
+	"divsql/internal/sql/parser"
+	"divsql/internal/sql/types"
+)
+
+// FunctionalityMissingError reports a construct absent from the target.
+type FunctionalityMissingError struct {
+	Feature dialect.Feature
+	Detail  string
+	Target  dialect.ServerName
+}
+
+func (e *FunctionalityMissingError) Error() string {
+	return fmt.Sprintf("functionality missing on %s: %s", e.Target, e.Detail)
+}
+
+// FurtherWorkError reports a construct with no automatic translation.
+type FurtherWorkError struct {
+	Feature dialect.Feature
+	Detail  string
+	Target  dialect.ServerName
+}
+
+func (e *FurtherWorkError) Error() string {
+	return fmt.Sprintf("no automatic translation to %s: %s", e.Target, e.Detail)
+}
+
+// Script translates a full semicolon-separated script between dialects.
+// On success it returns the script rendered in the target dialect.
+func Script(script string, from, to dialect.ServerName) (string, error) {
+	stmts, err := parser.ParseScript(script)
+	if err != nil {
+		return "", fmt.Errorf("parse source script: %w", err)
+	}
+	srcD, err := dialect.New(from)
+	if err != nil {
+		return "", err
+	}
+	dstD, err := dialect.New(to)
+	if err != nil {
+		return "", err
+	}
+	tr := &translator{src: srcD, dst: dstD}
+	for _, st := range stmts {
+		tr.statement(st)
+	}
+	if err := tr.verdict(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for i, st := range stmts {
+		if i > 0 {
+			b.WriteString(";\n")
+		}
+		b.WriteString(ast.Render(st))
+	}
+	b.WriteString(";")
+	return b.String(), nil
+}
+
+type translator struct {
+	src, dst *dialect.Dialect
+
+	missing []*FunctionalityMissingError
+	further []*FurtherWorkError
+}
+
+// verdict prioritizes "functionality missing" over "further work", the
+// way the paper's Table 1 classifies scripts with multiple obstacles.
+func (t *translator) verdict() error {
+	if len(t.missing) > 0 {
+		return t.missing[0]
+	}
+	if len(t.further) > 0 {
+		return t.further[0]
+	}
+	return nil
+}
+
+func (t *translator) miss(f dialect.Feature, detail string) {
+	t.missing = append(t.missing, &FunctionalityMissingError{Feature: f, Detail: detail, Target: t.dst.Name})
+}
+
+func (t *translator) fw(f dialect.Feature, detail string) {
+	t.further = append(t.further, &FurtherWorkError{Feature: f, Detail: detail, Target: t.dst.Name})
+}
+
+func (t *translator) statement(st ast.Statement) {
+	switch x := st.(type) {
+	case *ast.CreateTable:
+		for i := range x.Columns {
+			t.typeName(&x.Columns[i].Type)
+			t.expr(x.Columns[i].Default)
+			t.expr(x.Columns[i].Check)
+		}
+		for _, tc := range x.Constraints {
+			t.expr(tc.Check)
+		}
+	case *ast.CreateView:
+		if x.Select != nil {
+			if x.Select.Union != nil && !t.dst.Supports(dialect.FeatViewUnion) {
+				t.miss(dialect.FeatViewUnion, "UNION inside a view definition")
+			}
+			if x.Select.Distinct && !t.dst.Supports(dialect.FeatViewDistinct) {
+				t.miss(dialect.FeatViewDistinct, "DISTINCT inside a view definition")
+			}
+			t.sel(x.Select)
+		}
+	case *ast.CreateIndex:
+		if x.Clustered && !t.dst.Supports(dialect.FeatClusteredIndex) {
+			t.miss(dialect.FeatClusteredIndex, "CLUSTERED indexes")
+		}
+	case *ast.CreateSequence:
+		if !t.dst.Supports(dialect.FeatSequences) {
+			t.miss(dialect.FeatSequences, "sequences/generators")
+		}
+	case *ast.DropSequence:
+		if !t.dst.Supports(dialect.FeatSequences) {
+			t.miss(dialect.FeatSequences, "sequences/generators")
+		}
+	case *ast.Insert:
+		for _, row := range x.Rows {
+			for _, e := range row {
+				t.expr(e)
+			}
+		}
+		if x.Select != nil {
+			t.sel(x.Select)
+		}
+	case *ast.Update:
+		for i := range x.Sets {
+			t.expr(x.Sets[i].Value)
+		}
+		t.expr(x.Where)
+	case *ast.Delete:
+		t.expr(x.Where)
+	case *ast.Select:
+		t.sel(x)
+	}
+}
+
+func (t *translator) sel(s *ast.Select) {
+	if s == nil {
+		return
+	}
+	if s.LimitSyn != ast.LimitNone {
+		if !t.dst.Supports(dialect.FeatRowLimit) {
+			t.miss(dialect.FeatRowLimit, "row-limiting (LIMIT/TOP/ROWS)")
+		} else {
+			s.LimitSyn = t.dst.LimitSyntax()
+		}
+	}
+	for i := range s.Items {
+		t.expr(s.Items[i].Expr)
+	}
+	for _, f := range s.From {
+		if f.Table.Subquery != nil {
+			t.sel(f.Table.Subquery)
+		}
+		for _, j := range f.Joins {
+			if j.Right.Subquery != nil {
+				t.sel(j.Right.Subquery)
+			}
+			t.expr(j.On)
+		}
+	}
+	t.expr(s.Where)
+	for _, g := range s.GroupBy {
+		t.expr(g)
+	}
+	t.expr(s.Having)
+	for i := range s.OrderBy {
+		t.expr(s.OrderBy[i].Expr)
+	}
+	t.sel(s.Union)
+}
+
+func (t *translator) typeName(tn *ast.TypeName) {
+	spec, ok := t.src.TypeSpecByLocal(tn.Name)
+	if !ok {
+		// Unknown even to the source dialect; leave it for the server to
+		// reject at run time.
+		return
+	}
+	names := spec.Names[t.dst.Name]
+	if len(names) == 0 {
+		t.miss(dialect.TypeFeature(spec.Canonical), fmt.Sprintf("type %s", tn.Name))
+		return
+	}
+	preferred := names[0]
+	if tn.Name != preferred {
+		// Keep the spelling if the target also accepts it; otherwise use
+		// the target's preferred spelling.
+		accepted := false
+		for _, n := range names {
+			if n == tn.Name {
+				accepted = true
+				break
+			}
+		}
+		if !accepted {
+			tn.Name = preferred
+			if preferred == "DATETIME" || preferred == "DATE" {
+				tn.Args = nil
+			}
+		}
+	}
+}
+
+func (t *translator) expr(e ast.Expr) {
+	ast.WalkExprs(e, func(n ast.Expr) {
+		switch x := n.(type) {
+		case *ast.FuncCall:
+			t.funcCall(x)
+		case *ast.Cast:
+			t.typeName(&x.To)
+		case *ast.In:
+			if x.Select != nil {
+				t.sel(x.Select)
+			}
+		case *ast.Exists:
+			t.sel(x.Select)
+		case *ast.Subquery:
+			t.sel(x.Select)
+		}
+	})
+}
+
+func (t *translator) funcCall(fc *ast.FuncCall) {
+	spec, ok := t.src.FuncSpecByLocal(fc.Name)
+	if !ok {
+		// Not in the source dialect either; the source server would have
+		// rejected it. Leave unchanged.
+		return
+	}
+	dstName, ok := spec.Names[t.dst.Name]
+	if !ok {
+		t.miss(dialect.FuncFeature(spec.Canonical), fmt.Sprintf("function %s", fc.Name))
+		return
+	}
+	if spec.NoAutoTranslate[t.dst.Name] {
+		t.fw(dialect.FuncFeature(spec.Canonical), fmt.Sprintf("function %s (vendor-specific semantics)", fc.Name))
+		return
+	}
+	fc.Name = dstName
+	if spec.SeqFunc {
+		// GEN_ID(gen, n) <-> NEXTVAL(seq): adjust arity.
+		if t.dst.Name == dialect.IB && len(fc.Args) == 1 {
+			fc.Args = append(fc.Args, &ast.Literal{Val: types.NewInt(1)})
+		}
+		if t.dst.Name != dialect.IB && len(fc.Args) == 2 {
+			fc.Args = fc.Args[:1]
+		}
+	}
+}

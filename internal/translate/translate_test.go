@@ -1,0 +1,140 @@
+package translate
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"divsql/internal/dialect"
+)
+
+func mustTranslate(t *testing.T, script string, from, to dialect.ServerName) string {
+	t.Helper()
+	out, err := Script(script, from, to)
+	if err != nil {
+		t.Fatalf("translate %s->%s: %v", from, to, err)
+	}
+	return out
+}
+
+func wantMissing(t *testing.T, script string, from, to dialect.ServerName) {
+	t.Helper()
+	_, err := Script(script, from, to)
+	var miss *FunctionalityMissingError
+	if !errors.As(err, &miss) {
+		t.Fatalf("translate %s->%s: want FunctionalityMissing, got %v", from, to, err)
+	}
+}
+
+func wantFurtherWork(t *testing.T, script string, from, to dialect.ServerName) {
+	t.Helper()
+	_, err := Script(script, from, to)
+	var fw *FurtherWorkError
+	if !errors.As(err, &fw) {
+		t.Fatalf("translate %s->%s: want FurtherWork, got %v", from, to, err)
+	}
+}
+
+func TestIdentityConstructsPassThrough(t *testing.T) {
+	out := mustTranslate(t, "SELECT A, B FROM T WHERE A > 1;", dialect.IB, dialect.PG)
+	if !strings.Contains(out, "SELECT A, B FROM T") {
+		t.Errorf("unexpected output %q", out)
+	}
+}
+
+func TestFunctionRenames(t *testing.T) {
+	out := mustTranslate(t, "SELECT LENGTH(NAME) AS L FROM T;", dialect.PG, dialect.MS)
+	if !strings.Contains(out, "LEN(NAME)") {
+		t.Errorf("LENGTH->LEN rename missing: %q", out)
+	}
+	out = mustTranslate(t, "SELECT COALESCE(A, 0) AS C FROM T;", dialect.PG, dialect.OR)
+	if !strings.Contains(out, "NVL(A, 0)") {
+		t.Errorf("COALESCE->NVL rename missing: %q", out)
+	}
+	out = mustTranslate(t, "SELECT ISNULL(A, 0) AS C FROM T;", dialect.MS, dialect.IB)
+	if !strings.Contains(out, "COALESCE(A, 0)") {
+		t.Errorf("ISNULL->COALESCE rename missing: %q", out)
+	}
+}
+
+func TestSequenceFunctionArity(t *testing.T) {
+	out := mustTranslate(t, "SELECT GEN_ID(SQ, 1) AS V;", dialect.IB, dialect.PG)
+	if !strings.Contains(out, "NEXTVAL(SQ)") {
+		t.Errorf("GEN_ID->NEXTVAL: %q", out)
+	}
+	out = mustTranslate(t, "SELECT NEXTVAL(SQ) AS V;", dialect.PG, dialect.IB)
+	if !strings.Contains(out, "GEN_ID(SQ, 1)") {
+		t.Errorf("NEXTVAL->GEN_ID: %q", out)
+	}
+	wantMissing(t, "SELECT NEXTVAL(SQ) AS V;", dialect.PG, dialect.MS)
+}
+
+func TestTypeRenames(t *testing.T) {
+	out := mustTranslate(t, "CREATE TABLE T (A INT, D DATE);", dialect.PG, dialect.MS)
+	if !strings.Contains(out, "DATETIME") {
+		t.Errorf("DATE->DATETIME: %q", out)
+	}
+	out = mustTranslate(t, "CREATE TABLE T (A DATETIME);", dialect.MS, dialect.OR)
+	if !strings.Contains(out, "A DATE") {
+		t.Errorf("DATETIME->DATE: %q", out)
+	}
+	wantMissing(t, "CREATE TABLE T (A MONEY);", dialect.MS, dialect.PG)
+}
+
+func TestRowLimitTranslation(t *testing.T) {
+	out := mustTranslate(t, "SELECT A FROM T ORDER BY A LIMIT 5;", dialect.PG, dialect.MS)
+	if !strings.Contains(out, "TOP 5") {
+		t.Errorf("LIMIT->TOP: %q", out)
+	}
+	out = mustTranslate(t, "SELECT TOP 5 A FROM T;", dialect.MS, dialect.IB)
+	if !strings.Contains(out, "ROWS 5") {
+		t.Errorf("TOP->ROWS: %q", out)
+	}
+	wantMissing(t, "SELECT A FROM T LIMIT 5;", dialect.PG, dialect.OR)
+}
+
+func TestAvailabilityAtoms(t *testing.T) {
+	wantMissing(t, "SELECT GEN_UUID(A) AS U FROM T;", dialect.IB, dialect.PG)
+	wantMissing(t, "SELECT BIT_LENGTH(A) AS B FROM T;", dialect.PG, dialect.OR)
+	wantMissing(t, "SELECT LPAD(A, 3) AS P FROM T;", dialect.OR, dialect.MS)
+	wantMissing(t, "SELECT DATEDIFF(A, B) AS D FROM T;", dialect.MS, dialect.IB)
+}
+
+func TestFurtherWorkAtoms(t *testing.T) {
+	wantFurtherWork(t, "SELECT DATE_FMT(D, 'YYYY') AS F FROM T;", dialect.IB, dialect.PG)
+	wantFurtherWork(t, "SELECT NUM_FMT(A, '9.9') AS F FROM T;", dialect.PG, dialect.OR)
+	wantFurtherWork(t, "SELECT STR_FMT(A, 'x') AS F FROM T;", dialect.IB, dialect.MS)
+	wantFurtherWork(t, "SELECT BIN_FMT(A, 'b') AS F FROM T;", dialect.MS, dialect.IB)
+	// ... but translatable everywhere else.
+	mustTranslate(t, "SELECT DATE_FMT(D, 'YYYY') AS F FROM T;", dialect.IB, dialect.MS)
+	mustTranslate(t, "SELECT NUM_FMT(A, '9.9') AS F FROM T;", dialect.PG, dialect.MS)
+}
+
+func TestMissingDominatesFurtherWork(t *testing.T) {
+	// A script with both obstacles classifies as "cannot be run".
+	wantMissing(t, "SELECT GEN_UUID(A) AS U, DATE_FMT(D, 'Y') AS F FROM T;", dialect.IB, dialect.PG)
+}
+
+func TestSyntaxGates(t *testing.T) {
+	wantMissing(t, "CREATE VIEW V AS SELECT A FROM T UNION SELECT B FROM U;", dialect.IB, dialect.PG)
+	mustTranslate(t, "CREATE VIEW V AS SELECT A FROM T UNION SELECT B FROM U;", dialect.IB, dialect.OR)
+	wantMissing(t, "CREATE CLUSTERED INDEX IX ON T (A);", dialect.MS, dialect.IB)
+	mustTranslate(t, "CREATE CLUSTERED INDEX IX ON T (A);", dialect.MS, dialect.PG)
+	wantMissing(t, "CREATE SEQUENCE SQ;", dialect.PG, dialect.MS)
+}
+
+func TestTranslatedScriptKeepsStatementCount(t *testing.T) {
+	script := `CREATE TABLE T (A INT, D DATE);
+INSERT INTO T VALUES (1, '2001-01-01');
+SELECT A, LENGTH('abc') AS L FROM T;`
+	out := mustTranslate(t, script, dialect.PG, dialect.MS)
+	if got := strings.Count(out, ";"); got != 3 {
+		t.Errorf("statement count changed: %q", out)
+	}
+}
+
+func TestSourceSyntaxErrorReported(t *testing.T) {
+	if _, err := Script("NOT SQL AT ALL", dialect.IB, dialect.PG); err == nil {
+		t.Error("want parse error")
+	}
+}

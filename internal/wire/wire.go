@@ -1,0 +1,267 @@
+// Package wire implements a small line-oriented TCP protocol through
+// which any core.Executor — a single simulated server, a non-diverse
+// replication group, or the diverse middleware — can serve network
+// clients. This is the "middleware for data replication with diverse SQL
+// servers" deployment shape the paper's conclusions call for.
+//
+// Protocol (text, one request per line):
+//
+//	C: EXEC <sql>\n            (the SQL must not contain newlines)
+//	S: OK <ncols> <nrows> <latency_us>\n
+//	   <tab-separated column names>\n     (only when ncols > 0)
+//	   <tab-separated row values>\n x nrows
+//	   .\n
+//	or
+//	S: ERR <message>\n
+//
+// NULL cells are transmitted as the literal \N.
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"divsql/internal/core"
+	"divsql/internal/engine"
+	"divsql/internal/sql/types"
+)
+
+// nullToken is the wire representation of SQL NULL.
+const nullToken = `\N`
+
+// Server serves an Executor over TCP.
+type Server struct {
+	exec core.Executor
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer wraps an executor.
+func NewServer(exec core.Executor) *Server {
+	return &Server{exec: exec, conns: make(map[net.Conn]bool)}
+}
+
+// Listen starts accepting connections on addr ("host:port"; port 0
+// picks a free port). It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("wire listen: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	rd := bufio.NewReader(conn)
+	wr := bufio.NewWriter(conn)
+	for {
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case strings.HasPrefix(line, "EXEC "):
+			s.handleExec(wr, strings.TrimPrefix(line, "EXEC "))
+		case line == "PING":
+			fmt.Fprint(wr, "OK 0 0 0\n.\n")
+		case line == "QUIT":
+			_ = wr.Flush()
+			return
+		default:
+			fmt.Fprintf(wr, "ERR unknown command\n")
+		}
+		if err := wr.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handleExec(wr *bufio.Writer, sql string) {
+	res, lat, err := s.exec.Exec(sql)
+	if err != nil {
+		fmt.Fprintf(wr, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+		return
+	}
+	ncols, nrows := 0, 0
+	if res != nil && res.Kind == engine.ResultRows {
+		ncols, nrows = len(res.Columns), len(res.Rows)
+	}
+	fmt.Fprintf(wr, "OK %d %d %d\n", ncols, nrows, lat.Microseconds())
+	if ncols > 0 {
+		fmt.Fprintln(wr, strings.Join(res.Columns, "\t"))
+		for _, row := range res.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				if v.IsNull() {
+					cells[i] = nullToken
+				} else {
+					cells[i] = strings.ReplaceAll(v.String(), "\t", " ")
+				}
+			}
+			fmt.Fprintln(wr, strings.Join(cells, "\t"))
+		}
+	}
+	fmt.Fprintln(wr, ".")
+}
+
+// Close stops the listener, closes open connections and waits for the
+// connection goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+// Result is a decoded wire response.
+type Result struct {
+	Columns []string
+	Rows    [][]types.Value
+	Latency time.Duration
+}
+
+// Client is a connection to a wire server.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	rd   *bufio.Reader
+}
+
+// Dial connects to a wire server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("wire dial: %w", err)
+	}
+	return &Client{conn: conn, rd: bufio.NewReader(conn)}, nil
+}
+
+// Exec sends one statement and decodes the response. SQL containing
+// newlines is flattened to spaces.
+func (c *Client) Exec(sql string) (*Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	flat := strings.ReplaceAll(strings.ReplaceAll(sql, "\r", " "), "\n", " ")
+	if _, err := fmt.Fprintf(c.conn, "EXEC %s\n", flat); err != nil {
+		return nil, fmt.Errorf("wire send: %w", err)
+	}
+	head, err := c.rd.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("wire recv: %w", err)
+	}
+	head = strings.TrimRight(head, "\r\n")
+	if strings.HasPrefix(head, "ERR ") {
+		return nil, errors.New(strings.TrimPrefix(head, "ERR "))
+	}
+	var ncols, nrows int
+	var latUS int64
+	if _, err := fmt.Sscanf(head, "OK %d %d %d", &ncols, &nrows, &latUS); err != nil {
+		return nil, fmt.Errorf("wire: malformed response %q", head)
+	}
+	res := &Result{Latency: time.Duration(latUS) * time.Microsecond}
+	if ncols > 0 {
+		colLine, err := c.rd.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		res.Columns = strings.Split(strings.TrimRight(colLine, "\r\n"), "\t")
+		for i := 0; i < nrows; i++ {
+			rowLine, err := c.rd.ReadString('\n')
+			if err != nil {
+				return nil, err
+			}
+			cells := strings.Split(strings.TrimRight(rowLine, "\r\n"), "\t")
+			row := make([]types.Value, len(cells))
+			for j, cell := range cells {
+				row[j] = decodeCell(cell)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	term, err := c.rd.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	if strings.TrimRight(term, "\r\n") != "." {
+		return nil, fmt.Errorf("wire: missing terminator, got %q", term)
+	}
+	return res, nil
+}
+
+// decodeCell reconstructs a typed value from its wire form. Numbers
+// become numeric values; everything else stays a string.
+func decodeCell(cell string) types.Value {
+	if cell == nullToken {
+		return types.Null()
+	}
+	if i, err := strconv.ParseInt(cell, 10, 64); err == nil {
+		return types.NewInt(i)
+	}
+	if f, err := strconv.ParseFloat(cell, 64); err == nil {
+		return types.NewFloat(f)
+	}
+	return types.NewString(cell)
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, _ = fmt.Fprint(c.conn, "QUIT\n")
+	return c.conn.Close()
+}

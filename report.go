@@ -1,0 +1,68 @@
+package divsql
+
+import (
+	"divsql/internal/reliability"
+	"divsql/internal/study"
+)
+
+// StudyReport packages the reproduced paper artefacts.
+type StudyReport struct {
+	// Table1 .. Table4 are the paper's tables rendered as text.
+	Table1, Table2, Table3, Table4 string
+	// Headline is the summary-statistics block (Section 7).
+	Headline string
+	// Gains is the Section 6 reliability-gain table.
+	Gains string
+
+	// IncorrectResultPct and CrashPct are the headline fractions of
+	// own-server failures (the paper: 64.5% and 17.1%).
+	IncorrectResultPct float64
+	CrashPct           float64
+	// MaxCoincident is the largest number of servers any bug failed
+	// (the paper: 2).
+	MaxCoincident int
+	// CoincidentBugs counts bugs failing two servers (the paper: 12).
+	CoincidentBugs int
+	// NonDetectable counts coincident failures with identical outputs
+	// (the paper: 4).
+	NonDetectable int
+
+	result *study.Result
+}
+
+// RunStudy executes the full fault-diversity study — all 181 bug
+// scripts, translated and executed on all four simulated servers — and
+// returns the reproduced tables.
+func RunStudy() (*StudyReport, error) {
+	return runStudy(false)
+}
+
+// RunStudyStress is RunStudy in the stressful environment where
+// Heisenbug-class faults can manifest.
+func RunStudyStress() (*StudyReport, error) {
+	return runStudy(true)
+}
+
+func runStudy(stress bool) (*StudyReport, error) {
+	s := study.New()
+	s.Stress = stress
+	res, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	h := res.BuildHeadline()
+	return &StudyReport{
+		Table1:             res.BuildTable1().Render(),
+		Table2:             res.BuildTable2().Render(),
+		Table3:             res.BuildTable3().Render(),
+		Table4:             res.BuildTable4().Render(),
+		Headline:           h.Render(),
+		Gains:              reliability.FromStudy(res).Render(),
+		IncorrectResultPct: h.IncorrectPct,
+		CrashPct:           h.CrashPct,
+		MaxCoincident:      h.MaxCoincident,
+		CoincidentBugs:     h.CoincidentBugs,
+		NonDetectable:      h.NonDetectable,
+		result:             res,
+	}, nil
+}

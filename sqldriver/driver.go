@@ -1,0 +1,280 @@
+// Package sqldriver adapts the divsql endpoints to Go's standard
+// database/sql interface, so the simulated servers and the diverse
+// middleware can be used by any code written against database/sql — the
+// natural integration point for a replication middleware in the Go
+// ecosystem.
+//
+// Data source names select the configuration:
+//
+//	single:PG                 one simulated server
+//	diverse:PG,OR,MS          diverse fault-tolerant server
+//	replicated:PG,3           non-diverse primary/backup group
+//
+// Register-and-open:
+//
+//	db, err := sql.Open("divsql", "diverse:PG,OR,MS")
+package sqldriver
+
+import (
+	"database/sql"
+	"database/sql/driver"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+
+	"divsql"
+	"divsql/internal/core"
+	"divsql/internal/engine"
+	"divsql/internal/sql/types"
+)
+
+// DriverName is the name registered with database/sql.
+const DriverName = "divsql"
+
+var registerOnce sync.Once
+
+// Register installs the driver under DriverName. It is safe to call more
+// than once.
+func Register() {
+	registerOnce.Do(func() {
+		sql.Register(DriverName, &Driver{})
+	})
+}
+
+// Driver implements driver.Driver.
+type Driver struct{}
+
+var _ driver.Driver = (*Driver)(nil)
+
+// Open parses the DSN and builds the endpoint.
+func (d *Driver) Open(dsn string) (driver.Conn, error) {
+	db, err := openDSN(dsn)
+	if err != nil {
+		return nil, err
+	}
+	exec, ok := divsql.Executor(db)
+	if !ok {
+		return nil, fmt.Errorf("sqldriver: endpoint %q exposes no executor", dsn)
+	}
+	return &conn{db: db, exec: exec}, nil
+}
+
+func openDSN(dsn string) (divsql.DB, error) {
+	mode, arg, ok := strings.Cut(dsn, ":")
+	if !ok {
+		return nil, fmt.Errorf("sqldriver: malformed DSN %q (want mode:args)", dsn)
+	}
+	switch mode {
+	case "single":
+		return divsql.Open(divsql.ServerName(strings.TrimSpace(arg)))
+	case "diverse":
+		var names []divsql.ServerName
+		for _, p := range strings.Split(arg, ",") {
+			names = append(names, divsql.ServerName(strings.TrimSpace(p)))
+		}
+		return divsql.OpenDiverse(names...)
+	case "replicated":
+		name, nStr, ok := strings.Cut(arg, ",")
+		n := 2
+		if ok {
+			v, err := strconv.Atoi(strings.TrimSpace(nStr))
+			if err != nil {
+				return nil, fmt.Errorf("sqldriver: bad replica count %q", nStr)
+			}
+			n = v
+		}
+		return divsql.OpenReplicated(divsql.ServerName(strings.TrimSpace(name)), n)
+	default:
+		return nil, fmt.Errorf("sqldriver: unknown mode %q", mode)
+	}
+}
+
+// conn is one database/sql connection.
+type conn struct {
+	db   divsql.DB
+	exec core.Executor
+}
+
+var _ driver.Conn = (*conn)(nil)
+
+// Prepare returns a statement. Placeholders (?) are interpolated at
+// execution time (the simulated wire has no parameter binding, matching
+// the paper-era client model).
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	return &stmt{conn: c, query: query, numInput: strings.Count(query, "?")}, nil
+}
+
+// Close releases the endpoint.
+func (c *conn) Close() error { return c.db.Close() }
+
+// Begin starts a transaction.
+func (c *conn) Begin() (driver.Tx, error) {
+	if _, _, err := c.exec.Exec("BEGIN TRANSACTION"); err != nil {
+		return nil, err
+	}
+	return &tx{conn: c}, nil
+}
+
+type tx struct{ conn *conn }
+
+func (t *tx) Commit() error {
+	_, _, err := t.conn.exec.Exec("COMMIT")
+	return err
+}
+
+func (t *tx) Rollback() error {
+	_, _, err := t.conn.exec.Exec("ROLLBACK")
+	return err
+}
+
+type stmt struct {
+	conn     *conn
+	query    string
+	numInput int
+}
+
+var _ driver.Stmt = (*stmt)(nil)
+
+func (s *stmt) Close() error  { return nil }
+func (s *stmt) NumInput() int { return s.numInput }
+
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	sqlText, err := interpolate(s.query, args)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := s.conn.exec.Exec(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	var affected int64
+	if res != nil {
+		affected = res.Affected
+	}
+	return result{affected: affected}, nil
+}
+
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	sqlText, err := interpolate(s.query, args)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := s.conn.exec.Exec(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil || res.Kind != engine.ResultRows {
+		return &rows{}, nil
+	}
+	return &rows{cols: res.Columns, data: res.Rows}, nil
+}
+
+type result struct{ affected int64 }
+
+func (r result) LastInsertId() (int64, error) {
+	return 0, errors.New("sqldriver: LastInsertId is not supported")
+}
+
+func (r result) RowsAffected() (int64, error) { return r.affected, nil }
+
+type rows struct {
+	cols []string
+	data [][]types.Value
+	pos  int
+}
+
+var _ driver.Rows = (*rows)(nil)
+
+func (r *rows) Columns() []string { return r.cols }
+func (r *rows) Close() error      { return nil }
+
+func (r *rows) Next(dest []driver.Value) error {
+	if r.pos >= len(r.data) {
+		return io.EOF
+	}
+	row := r.data[r.pos]
+	r.pos++
+	for i := range dest {
+		if i >= len(row) {
+			dest[i] = nil
+			continue
+		}
+		dest[i] = toDriverValue(row[i])
+	}
+	return nil
+}
+
+func toDriverValue(v types.Value) driver.Value {
+	switch v.K {
+	case types.KindNull:
+		return nil
+	case types.KindInt:
+		return v.I
+	case types.KindFloat:
+		return v.F
+	case types.KindBool:
+		return v.B
+	default:
+		return v.S
+	}
+}
+
+// interpolate substitutes ? placeholders with SQL literals. Question
+// marks inside string literals are preserved.
+func interpolate(query string, args []driver.Value) (string, error) {
+	if len(args) == 0 {
+		return query, nil
+	}
+	var b strings.Builder
+	argIdx := 0
+	inString := false
+	for i := 0; i < len(query); i++ {
+		ch := query[i]
+		switch {
+		case ch == '\'':
+			inString = !inString
+			b.WriteByte(ch)
+		case ch == '?' && !inString:
+			if argIdx >= len(args) {
+				return "", fmt.Errorf("sqldriver: not enough arguments for query (have %d)", len(args))
+			}
+			lit, err := literal(args[argIdx])
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(lit)
+			argIdx++
+		default:
+			b.WriteByte(ch)
+		}
+	}
+	if argIdx != len(args) {
+		return "", fmt.Errorf("sqldriver: %d arguments supplied, %d placeholders found", len(args), argIdx)
+	}
+	return b.String(), nil
+}
+
+func literal(v driver.Value) (string, error) {
+	switch x := v.(type) {
+	case nil:
+		return "NULL", nil
+	case int64:
+		return strconv.FormatInt(x, 10), nil
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64), nil
+	case bool:
+		if x {
+			return "TRUE", nil
+		}
+		return "FALSE", nil
+	case string:
+		return "'" + strings.ReplaceAll(x, "'", "''") + "'", nil
+	case []byte:
+		return "'" + strings.ReplaceAll(string(x), "'", "''") + "'", nil
+	default:
+		return "", fmt.Errorf("sqldriver: unsupported argument type %T", v)
+	}
+}

@@ -1,0 +1,169 @@
+package sqldriver
+
+import (
+	"database/sql"
+	"database/sql/driver"
+	"strings"
+	"testing"
+)
+
+func open(t *testing.T, dsn string) *sql.DB {
+	t.Helper()
+	Register()
+	db, err := sql.Open(DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = db.Close() })
+	// database/sql pools connections; our endpoints are stateful, so a
+	// single connection must serve the whole test.
+	db.SetMaxOpenConns(1)
+	return db
+}
+
+func TestSingleServerThroughDatabaseSQL(t *testing.T) {
+	db := open(t, "single:PG")
+	if _, err := db.Exec("CREATE TABLE T (A INT, S VARCHAR(20))"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("INSERT INTO T VALUES (?, ?), (?, ?)", 1, "one", 2, "two")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.RowsAffected(); n != 2 {
+		t.Errorf("affected %d", n)
+	}
+	rows, err := db.Query("SELECT A, S FROM T WHERE A >= ? ORDER BY A", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var got []string
+	for rows.Next() {
+		var a int64
+		var s string
+		if err := rows.Scan(&a, &s); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, s)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "one" || got[1] != "two" {
+		t.Errorf("rows: %v", got)
+	}
+}
+
+func TestDiverseThroughDatabaseSQL(t *testing.T) {
+	db := open(t, "diverse:PG,OR,MS")
+	if _, err := db.Exec("CREATE TABLE T (A INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO T VALUES (?)", 7); err != nil {
+		t.Fatal(err)
+	}
+	var a int64
+	if err := db.QueryRow("SELECT A FROM T").Scan(&a); err != nil {
+		t.Fatal(err)
+	}
+	if a != 7 {
+		t.Errorf("a = %d", a)
+	}
+}
+
+func TestTransactionsThroughDatabaseSQL(t *testing.T) {
+	db := open(t, "single:OR")
+	if _, err := db.Exec("CREATE TABLE T (A INT)"); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("INSERT INTO T VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	if err := db.QueryRow("SELECT COUNT(*) AS N FROM T").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("rollback left %d rows", n)
+	}
+	tx, err = db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("INSERT INTO T VALUES (2)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.QueryRow("SELECT COUNT(*) AS N FROM T").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("commit left %d rows", n)
+	}
+}
+
+func TestNullScan(t *testing.T) {
+	db := open(t, "single:IB")
+	if _, err := db.Exec("CREATE TABLE T (A INT, S VARCHAR(10))"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO T VALUES (?, ?)", nil, "x"); err != nil {
+		t.Fatal(err)
+	}
+	var a sql.NullInt64
+	var s string
+	if err := db.QueryRow("SELECT A, S FROM T").Scan(&a, &s); err != nil {
+		t.Fatal(err)
+	}
+	if a.Valid || s != "x" {
+		t.Errorf("null scan: %+v %q", a, s)
+	}
+}
+
+func TestInterpolation(t *testing.T) {
+	out, err := interpolate("SELECT * FROM T WHERE A = ? AND S = ?", []driver.Value{int64(1), "o'brien"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "A = 1") || !strings.Contains(out, "'o''brien'") {
+		t.Errorf("interpolated: %q", out)
+	}
+	// '?' inside string literals survives.
+	out, err = interpolate("INSERT INTO T VALUES ('why?', ?)", []driver.Value{int64(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "'why?'") || !strings.Contains(out, "2") {
+		t.Errorf("interpolated: %q", out)
+	}
+	if _, err := interpolate("SELECT ?", nil); err != nil {
+		t.Error("missing argument not detected")
+	}
+	if _, err := interpolate("SELECT 1", []driver.Value{int64(1)}); err == nil {
+		t.Error("extra argument not detected")
+	}
+}
+
+func TestBadDSNs(t *testing.T) {
+	Register()
+	for _, dsn := range []string{"nonsense", "weird:PG", "replicated:PG,x"} {
+		db, err := sql.Open(DriverName, dsn)
+		if err != nil {
+			continue // some errors surface at Open
+		}
+		if err := db.Ping(); err == nil {
+			t.Errorf("DSN %q must fail", dsn)
+		}
+		_ = db.Close()
+	}
+}
