@@ -78,11 +78,38 @@ type Result struct {
 // DB is a SQL endpoint: a single simulated server, a non-diverse
 // replication group, or a diverse fault-tolerant server.
 type DB interface {
-	// Exec executes one SQL statement.
+	// Exec executes one SQL statement on the endpoint's default session.
 	Exec(sql string) (*Result, error)
+	// Session opens a client session: an independent transaction scope.
+	// Sessions of one endpoint execute concurrently (queries in
+	// parallel, writes serialized); each session is used by one client
+	// at a time, like a connection.
+	Session() (Session, error)
 	// Close releases the endpoint.
 	Close() error
 }
+
+// Session is one client session of a DB: its own transaction scope.
+// BEGIN/COMMIT/ROLLBACK on one session never affect another.
+type Session interface {
+	// Exec executes one SQL statement in this session.
+	Exec(sql string) (*Result, error)
+	// Close rolls back any open transaction and releases the session.
+	Close() error
+}
+
+// coreSession adapts a core.Session to the public Session interface.
+type coreSession struct{ s core.Session }
+
+func (cs *coreSession) Exec(sql string) (*Result, error) {
+	res, lat, err := cs.s.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(res, lat), nil
+}
+
+func (cs *coreSession) Close() error { return cs.s.Close() }
 
 // Option configures Open* constructors.
 type Option func(*options)
@@ -169,6 +196,10 @@ func (s *singleDB) Exec(sql string) (*Result, error) {
 	return convertResult(res, lat), nil
 }
 
+func (s *singleDB) Session() (Session, error) {
+	return &coreSession{s: s.srv.OpenSession()}, nil
+}
+
 func (s *singleDB) Close() error { return nil }
 
 // ---------------------------------------------------------------------------
@@ -217,6 +248,10 @@ func (d *diverseDB) Exec(sql string) (*Result, error) {
 		return nil, err
 	}
 	return convertResult(res, lat), nil
+}
+
+func (d *diverseDB) Session() (Session, error) {
+	return &coreSession{s: d.d.OpenSession()}, nil
 }
 
 func (d *diverseDB) Close() error { return nil }
@@ -271,6 +306,10 @@ func (r *replicatedDB) Exec(sql string) (*Result, error) {
 		return nil, err
 	}
 	return convertResult(res, lat), nil
+}
+
+func (r *replicatedDB) Session() (Session, error) {
+	return &coreSession{s: r.g.OpenSession()}, nil
 }
 
 func (r *replicatedDB) Close() error { return nil }

@@ -1,0 +1,3 @@
+module divsql
+
+go 1.24

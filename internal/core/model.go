@@ -117,3 +117,22 @@ type Executor interface {
 	// Exec executes one SQL statement.
 	Exec(sql string) (*engine.Result, time.Duration, error)
 }
+
+// Session is a session-scoped executor: one client's transaction scope on
+// an endpoint. Sessions of one endpoint execute concurrently (read-only
+// statements in parallel, writes serialized below); a session itself is
+// used by one client at a time, like a database connection.
+type Session interface {
+	Executor
+	// Close rolls back any open transaction and releases the session.
+	Close() error
+}
+
+// SessionExecutor is an Executor that can open per-client sessions. The
+// plain Exec remains as a default-session convenience: every endpoint in
+// this module implements both.
+type SessionExecutor interface {
+	Executor
+	// OpenSession opens a new session on the endpoint.
+	OpenSession() Session
+}

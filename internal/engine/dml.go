@@ -7,8 +7,8 @@ import (
 	"divsql/internal/sql/types"
 )
 
-func (e *Engine) execInsert(ins *ast.Insert) (*Result, error) {
-	t, ok := e.tables[up(ins.Table)]
+func (e *Session) execInsert(ins *ast.Insert) (*Result, error) {
+	t, ok := e.eng.tables[up(ins.Table)]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrTableNotFound, ins.Table)
 	}
@@ -54,10 +54,40 @@ func (e *Engine) execInsert(ins *ast.Insert) (*Result, error) {
 		inserted++
 	}
 	if inserted > 0 {
-		n := inserted
-		e.logUndo(func() { t.Rows = t.Rows[:len(t.Rows)-n] })
+		// Undo by row identity, not by position: other sessions'
+		// statements may land between this insert and a rollback, so
+		// truncating the tail could remove their rows instead of ours.
+		added := make([][]types.Value, inserted)
+		copy(added, t.Rows[len(t.Rows)-inserted:])
+		e.logUndo(func() { t.removeRowsByIdentity(added) })
 	}
 	return &Result{Kind: ResultCount, Affected: int64(inserted)}, nil
+}
+
+// removeRowsByIdentity deletes the given row slices from the table,
+// matching by slice identity rather than value, so a rollback removes
+// exactly the transaction's own rows even when statements from other
+// sessions interleaved after the insert.
+func (t *Table) removeRowsByIdentity(rows [][]types.Value) {
+	drop := make(map[*types.Value]bool, len(rows))
+	for _, r := range rows {
+		if len(r) > 0 {
+			drop[&r[0]] = true
+		}
+	}
+	kept := t.Rows[:0]
+	for _, r := range t.Rows {
+		if len(r) > 0 && drop[&r[0]] {
+			continue
+		}
+		kept = append(kept, r)
+	}
+	t.Rows = kept
+}
+
+// sameRow reports whether two rows are the same storage slice.
+func sameRow(a, b []types.Value) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
 }
 
 // insertTargets maps the INSERT column list to column indexes (all
@@ -88,7 +118,7 @@ func insertTargets(t *Table, cols []string) ([]int, error) {
 
 // buildRow produces a full storage row from target column values,
 // applying defaults, coercion and NOT NULL checks.
-func (e *Engine) buildRow(t *Table, targets []int, src []types.Value) ([]types.Value, error) {
+func (e *Session) buildRow(t *Table, targets []int, src []types.Value) ([]types.Value, error) {
 	row := make([]types.Value, len(t.Cols))
 	provided := make([]bool, len(t.Cols))
 	for i, ci := range targets {
@@ -135,7 +165,7 @@ func (e *Engine) buildRow(t *Table, targets []int, src []types.Value) ([]types.V
 
 // checkConstraints verifies PK/UNIQUE/CHECK for a candidate row. skipIdx
 // excludes one row position (the row being updated), -1 for inserts.
-func (e *Engine) checkConstraints(t *Table, row []types.Value, skipIdx int) error {
+func (e *Session) checkConstraints(t *Table, row []types.Value, skipIdx int) error {
 	keysets := make([][]int, 0, 1+len(t.Uniques))
 	if len(t.PKCols) > 0 {
 		keysets = append(keysets, t.PKCols)
@@ -215,8 +245,8 @@ func (t *Table) findDuplicate(key []int) int {
 	return -1
 }
 
-func (e *Engine) execUpdate(upd *ast.Update) (*Result, error) {
-	t, ok := e.tables[up(upd.Table)]
+func (e *Session) execUpdate(upd *ast.Update) (*Result, error) {
+	t, ok := e.eng.tables[up(upd.Table)]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrTableNotFound, upd.Table)
 	}
@@ -231,8 +261,7 @@ func (e *Engine) execUpdate(upd *ast.Update) (*Result, error) {
 	cols := tableScopeCols(t)
 	var affected int64
 	type change struct {
-		ri  int
-		old []types.Value
+		old, new []types.Value
 	}
 	var changes []change
 	for ri, row := range t.Rows {
@@ -265,28 +294,47 @@ func (e *Engine) execUpdate(upd *ast.Update) (*Result, error) {
 		if err := e.checkConstraints(t, newRow, ri); err != nil {
 			return nil, err
 		}
-		changes = append(changes, change{ri: ri, old: row})
+		changes = append(changes, change{old: row, new: newRow})
 		t.Rows[ri] = newRow
 		affected++
 	}
 	if len(changes) > 0 {
+		// Undo by row identity: find the replacement row wherever it now
+		// sits and swap the original back. Positional restore would panic
+		// or clobber other sessions' rows if the table shifted between
+		// the update and the rollback; identity restore is a no-op for a
+		// row another session deleted meanwhile. One position map keeps
+		// the rollback linear in the table size.
 		saved := changes
 		e.logUndo(func() {
-			for _, ch := range saved {
-				t.Rows[ch.ri] = ch.old
+			pos := make(map[*types.Value]int, len(t.Rows))
+			for ri, r := range t.Rows {
+				if len(r) > 0 {
+					pos[&r[0]] = ri
+				}
+			}
+			for i := len(saved) - 1; i >= 0; i-- {
+				ch := saved[i]
+				if len(ch.new) == 0 {
+					continue
+				}
+				if ri, ok := pos[&ch.new[0]]; ok {
+					t.Rows[ri] = ch.old
+				}
 			}
 		})
 	}
 	return &Result{Kind: ResultCount, Affected: affected}, nil
 }
 
-func (e *Engine) execDelete(del *ast.Delete) (*Result, error) {
-	t, ok := e.tables[up(del.Table)]
+func (e *Session) execDelete(del *ast.Delete) (*Result, error) {
+	t, ok := e.eng.tables[up(del.Table)]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrTableNotFound, del.Table)
 	}
 	cols := tableScopeCols(t)
 	kept := t.Rows[:0:0]
+	var removed [][]types.Value
 	var affected int64
 	oldRows := t.Rows
 	for _, row := range t.Rows {
@@ -300,6 +348,7 @@ func (e *Engine) execDelete(del *ast.Delete) (*Result, error) {
 			del2 = types.TruthOf(v) == types.True
 		}
 		if del2 {
+			removed = append(removed, row)
 			affected++
 		} else {
 			kept = append(kept, row)
@@ -307,7 +356,27 @@ func (e *Engine) execDelete(del *ast.Delete) (*Result, error) {
 	}
 	if affected > 0 {
 		t.Rows = kept
-		e.logUndo(func() { t.Rows = oldRows })
+		e.logUndo(func() {
+			// When the table is untouched since the delete (every kept row
+			// still in place), restore the original snapshot — exact order
+			// and all. Otherwise other sessions' statements interleaved:
+			// re-append the removed rows instead, so a stale snapshot
+			// cannot erase their committed changes.
+			untouched := len(t.Rows) == len(kept)
+			if untouched {
+				for i := range kept {
+					if !sameRow(t.Rows[i], kept[i]) {
+						untouched = false
+						break
+					}
+				}
+			}
+			if untouched {
+				t.Rows = oldRows
+			} else {
+				t.Rows = append(t.Rows, removed...)
+			}
+		})
 	}
 	return &Result{Kind: ResultCount, Affected: affected}, nil
 }

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"divsql/internal/sql/ast"
 	"divsql/internal/sql/types"
@@ -124,9 +125,10 @@ type Builtin struct {
 	SeqFunc bool
 }
 
-// FuncContext gives builtins access to engine state (sequences).
+// FuncContext gives builtins access to the executing session (and through
+// it the engine state, e.g. for sequences).
 type FuncContext struct {
-	Eng *Engine
+	Sess *Session
 }
 
 // Config parameterizes an engine instance. The zero Config, completed by
@@ -142,16 +144,26 @@ type Config struct {
 	Quirks Quirks
 }
 
-// Engine is one single-session in-memory SQL engine.
+// Engine is one in-memory SQL engine shared by any number of sessions.
+//
+// Catalog and table state is guarded by an RWMutex: read-only statements
+// from concurrent sessions execute in parallel, while state-changing
+// statements serialize. Per-session state (the open transaction and its
+// undo log) lives on Session; the engine only keeps a registry of its
+// sessions so that crashes and state transfers can abort or discard every
+// open transaction at once.
 type Engine struct {
+	mu     sync.RWMutex
 	cfg    Config
 	tables map[string]*Table
 	views  map[string]*View
 	indexs map[string]*Index
 	seqs   map[string]*Sequence
 
-	inTxn bool
-	undo  []func()
+	// sessions registers every live session (including the lazily created
+	// default session def, which backs the sessionless compatibility API).
+	sessions map[*Session]struct{}
+	def      *Session
 }
 
 // Table is a base table.
@@ -207,11 +219,12 @@ func New(cfg Config) *Engine {
 		cfg.Funcs = AllBuiltins()
 	}
 	return &Engine{
-		cfg:    cfg,
-		tables: make(map[string]*Table),
-		views:  make(map[string]*View),
-		indexs: make(map[string]*Index),
-		seqs:   make(map[string]*Sequence),
+		cfg:      cfg,
+		tables:   make(map[string]*Table),
+		views:    make(map[string]*View),
+		indexs:   make(map[string]*Index),
+		seqs:     make(map[string]*Sequence),
+		sessions: make(map[*Session]struct{}),
 	}
 }
 
@@ -239,8 +252,9 @@ func ResolveTypePermissive(tn ast.TypeName) (types.Kind, error) {
 	}
 }
 
-// Exec executes one parsed statement.
-func (e *Engine) Exec(st ast.Statement) (*Result, error) {
+// exec dispatches one parsed statement. The caller (Session.Exec) holds
+// the engine lock in the appropriate mode.
+func (e *Session) exec(st ast.Statement) (*Result, error) {
 	switch x := st.(type) {
 	case *ast.CreateTable:
 		return e.execCreateTable(x)
@@ -283,12 +297,12 @@ func (e *Engine) Exec(st ast.Statement) (*Result, error) {
 
 func up(s string) string { return strings.ToUpper(s) }
 
-func (e *Engine) objectExists(name string) bool {
+func (e *Session) objectExists(name string) bool {
 	n := up(name)
-	if _, ok := e.tables[n]; ok {
+	if _, ok := e.eng.tables[n]; ok {
 		return true
 	}
-	if _, ok := e.views[n]; ok {
+	if _, ok := e.eng.views[n]; ok {
 		return true
 	}
 	return false
@@ -297,7 +311,7 @@ func (e *Engine) objectExists(name string) bool {
 // ---------------------------------------------------------------------------
 // DDL
 
-func (e *Engine) execCreateTable(ct *ast.CreateTable) (*Result, error) {
+func (e *Session) execCreateTable(ct *ast.CreateTable) (*Result, error) {
 	name := up(ct.Name)
 	if e.objectExists(name) {
 		return nil, fmt.Errorf("%w: %s", ErrDuplicateObject, name)
@@ -313,7 +327,7 @@ func (e *Engine) execCreateTable(ct *ast.CreateTable) (*Result, error) {
 			return nil, fmt.Errorf("duplicate column %s", cn)
 		}
 		seen[cn] = true
-		kind, err := e.cfg.ResolveType(cd.Type)
+		kind, err := e.eng.cfg.ResolveType(cd.Type)
 		if err != nil {
 			return nil, err
 		}
@@ -325,7 +339,7 @@ func (e *Engine) execCreateTable(ct *ast.CreateTable) (*Result, error) {
 			}
 			if !dv.IsNull() {
 				if _, cerr := coerce(dv, kind); cerr != nil {
-					if e.cfg.Quirks.SkipDefaultTypeCheck {
+					if e.eng.cfg.Quirks.SkipDefaultTypeCheck {
 						// Quirk: accept the invalid default and store it
 						// verbatim (IB bug 217042(3), shared by MS).
 						col.RawDefault = true
@@ -370,8 +384,8 @@ func (e *Engine) execCreateTable(ct *ast.CreateTable) (*Result, error) {
 			t.Checks = append(t.Checks, tc.Check)
 		}
 	}
-	e.tables[name] = t
-	e.logUndo(func() { delete(e.tables, name) })
+	e.eng.tables[name] = t
+	e.logUndo(func() { delete(e.eng.tables, name) })
 	return &Result{Kind: ResultDDL}, nil
 }
 
@@ -397,7 +411,7 @@ func (t *Table) colIndex(name string) int {
 	return -1
 }
 
-func (e *Engine) execCreateView(cv *ast.CreateView) (*Result, error) {
+func (e *Session) execCreateView(cv *ast.CreateView) (*Result, error) {
 	name := up(cv.Name)
 	if e.objectExists(name) {
 		return nil, fmt.Errorf("%w: %s", ErrDuplicateObject, name)
@@ -410,22 +424,22 @@ func (e *Engine) execCreateView(cv *ast.CreateView) (*Result, error) {
 	for i, c := range cv.Columns {
 		cols[i] = up(c)
 	}
-	e.views[name] = &View{Name: name, Columns: cols, Select: cv.Select}
-	e.logUndo(func() { delete(e.views, name) })
+	e.eng.views[name] = &View{Name: name, Columns: cols, Select: cv.Select}
+	e.logUndo(func() { delete(e.eng.views, name) })
 	return &Result{Kind: ResultDDL}, nil
 }
 
-func (e *Engine) execCreateIndex(ci *ast.CreateIndex) (*Result, error) {
+func (e *Session) execCreateIndex(ci *ast.CreateIndex) (*Result, error) {
 	name := up(ci.Name)
-	if _, ok := e.indexs[name]; ok {
+	if _, ok := e.eng.indexs[name]; ok {
 		return nil, fmt.Errorf("%w: index %s", ErrDuplicateObject, name)
 	}
-	if ci.Clustered && e.cfg.Quirks.ClusteredIndexError {
+	if ci.Clustered && e.eng.cfg.Quirks.ClusteredIndexError {
 		// Quirk: the PG 7.0.0 clustered-index defect that made five MSSQL
 		// bug scripts fail at the start when run on PostgreSQL.
 		return nil, fmt.Errorf("internal error: cannot create clustered index %s", name)
 	}
-	t, ok := e.tables[up(ci.Table)]
+	t, ok := e.eng.tables[up(ci.Table)]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrTableNotFound, ci.Table)
 	}
@@ -438,141 +452,117 @@ func (e *Engine) execCreateIndex(ci *ast.CreateIndex) (*Result, error) {
 			return nil, fmt.Errorf("%w: duplicate key creating unique index %s", ErrConstraint, name)
 		}
 		t.Uniques = append(t.Uniques, cols)
-		uPos := len(t.Uniques) - 1
-		e.logUndo(func() { t.Uniques = t.Uniques[:uPos] })
+		// Undo by identity, not position: another session may have
+		// appended its own keyset before this rollback runs, and a
+		// positional truncation would drop it (or resurrect stale ones).
+		added := cols
+		e.logUndo(func() {
+			for i, u := range t.Uniques {
+				if len(u) > 0 && len(added) > 0 && &u[0] == &added[0] {
+					t.Uniques = append(t.Uniques[:i], t.Uniques[i+1:]...)
+					break
+				}
+			}
+		})
 	}
-	e.indexs[name] = &Index{Name: name, Table: t.Name, Cols: cols, Unique: ci.Unique, Clustered: ci.Clustered}
-	e.logUndo(func() { delete(e.indexs, name) })
+	e.eng.indexs[name] = &Index{Name: name, Table: t.Name, Cols: cols, Unique: ci.Unique, Clustered: ci.Clustered}
+	e.logUndo(func() { delete(e.eng.indexs, name) })
 	return &Result{Kind: ResultDDL}, nil
 }
 
-func (e *Engine) execCreateSequence(cs *ast.CreateSequence) (*Result, error) {
+func (e *Session) execCreateSequence(cs *ast.CreateSequence) (*Result, error) {
 	name := up(cs.Name)
-	if _, ok := e.seqs[name]; ok {
+	if _, ok := e.eng.seqs[name]; ok {
 		return nil, fmt.Errorf("%w: sequence %s", ErrDuplicateObject, name)
 	}
 	start := cs.Start
 	if start == 0 {
 		start = 1
 	}
-	e.seqs[name] = &Sequence{Name: name, Next: start}
-	e.logUndo(func() { delete(e.seqs, name) })
+	e.eng.seqs[name] = &Sequence{Name: name, Next: start}
+	e.logUndo(func() { delete(e.eng.seqs, name) })
 	return &Result{Kind: ResultDDL}, nil
 }
 
-func (e *Engine) execDropTable(dt *ast.DropTable) (*Result, error) {
+func (e *Session) execDropTable(dt *ast.DropTable) (*Result, error) {
 	name := up(dt.Name)
-	if t, ok := e.tables[name]; ok {
-		delete(e.tables, name)
-		e.logUndo(func() { e.tables[name] = t })
+	if t, ok := e.eng.tables[name]; ok {
+		delete(e.eng.tables, name)
+		e.logUndo(func() { e.eng.tables[name] = t })
 		return &Result{Kind: ResultDDL}, nil
 	}
-	if v, ok := e.views[name]; ok && e.cfg.Quirks.AllowDropTableOnView {
+	if v, ok := e.eng.views[name]; ok && e.eng.cfg.Quirks.AllowDropTableOnView {
 		// Quirk: DROP TABLE silently removes a view (IB bug 223512,
 		// shared by PG). SQL-92 requires DROP VIEW here.
-		delete(e.views, name)
-		e.logUndo(func() { e.views[name] = v })
+		delete(e.eng.views, name)
+		e.logUndo(func() { e.eng.views[name] = v })
 		return &Result{Kind: ResultDDL}, nil
 	}
 	return nil, fmt.Errorf("%w: %s", ErrTableNotFound, name)
 }
 
-func (e *Engine) execDropView(dv *ast.DropView) (*Result, error) {
+func (e *Session) execDropView(dv *ast.DropView) (*Result, error) {
 	name := up(dv.Name)
-	v, ok := e.views[name]
+	v, ok := e.eng.views[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: view %s", ErrTableNotFound, name)
 	}
-	delete(e.views, name)
-	e.logUndo(func() { e.views[name] = v })
+	delete(e.eng.views, name)
+	e.logUndo(func() { e.eng.views[name] = v })
 	return &Result{Kind: ResultDDL}, nil
 }
 
-func (e *Engine) execDropIndex(di *ast.DropIndex) (*Result, error) {
+func (e *Session) execDropIndex(di *ast.DropIndex) (*Result, error) {
 	name := up(di.Name)
-	ix, ok := e.indexs[name]
+	ix, ok := e.eng.indexs[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: index %s", ErrTableNotFound, name)
 	}
-	delete(e.indexs, name)
-	e.logUndo(func() { e.indexs[name] = ix })
+	delete(e.eng.indexs, name)
+	e.logUndo(func() { e.eng.indexs[name] = ix })
 	return &Result{Kind: ResultDDL}, nil
 }
 
-func (e *Engine) execDropSequence(ds *ast.DropSequence) (*Result, error) {
+func (e *Session) execDropSequence(ds *ast.DropSequence) (*Result, error) {
 	name := up(ds.Name)
-	s, ok := e.seqs[name]
+	s, ok := e.eng.seqs[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: sequence %s", ErrTableNotFound, name)
 	}
-	delete(e.seqs, name)
-	e.logUndo(func() { e.seqs[name] = s })
+	delete(e.eng.seqs, name)
+	e.logUndo(func() { e.eng.seqs[name] = s })
 	return &Result{Kind: ResultDDL}, nil
 }
 
 // ---------------------------------------------------------------------------
-// Transactions
+// Sessionless compatibility API
 //
-// The engine implements single-session transactions with an undo log:
-// every mutation registers its inverse; ROLLBACK applies the inverses in
-// reverse order. Outside a transaction statements auto-commit (the undo
-// log is discarded after each statement by the session layer calling
-// EndStatement).
+// Transactions (BEGIN/COMMIT/ROLLBACK with an undo log) are per-session
+// state and live on Session — see session.go. The methods below keep the
+// original single-session surface working by delegating to a lazily
+// created default session.
 
-func (e *Engine) execBegin() (*Result, error) {
-	if e.inTxn {
-		return nil, errors.New("transaction already in progress")
-	}
-	e.inTxn = true
-	e.undo = e.undo[:0]
-	return &Result{Kind: ResultDDL}, nil
+// Exec executes one parsed statement on the engine's default session.
+func (e *Engine) Exec(st ast.Statement) (*Result, error) {
+	return e.DefaultSession().Exec(st)
 }
 
-func (e *Engine) execCommit() (*Result, error) {
-	if !e.inTxn {
-		return nil, ErrNoTransaction
-	}
-	e.inTxn = false
-	e.undo = nil
-	return &Result{Kind: ResultDDL}, nil
-}
+// InTxn reports whether the default session has an open transaction.
+func (e *Engine) InTxn() bool { return e.DefaultSession().InTxn() }
 
-func (e *Engine) execRollback() (*Result, error) {
-	if !e.inTxn {
-		return nil, ErrNoTransaction
-	}
-	for i := len(e.undo) - 1; i >= 0; i-- {
-		e.undo[i]()
-	}
-	e.inTxn = false
-	e.undo = nil
-	return &Result{Kind: ResultDDL}, nil
-}
+// Abort rolls back the default session's open transaction (used on
+// connection aborts of the sessionless API).
+func (e *Engine) Abort() { e.DefaultSession().Abort() }
 
-// InTxn reports whether an explicit transaction is open.
-func (e *Engine) InTxn() bool { return e.inTxn }
-
-// Abort rolls back any open transaction (used on connection aborts).
-func (e *Engine) Abort() {
-	if e.inTxn {
-		for i := len(e.undo) - 1; i >= 0; i-- {
-			e.undo[i]()
-		}
-		e.inTxn = false
-		e.undo = nil
-	}
-}
-
-// EndStatement finalizes autocommit bookkeeping after each statement.
+// EndStatement finalizes autocommit bookkeeping of the default session.
+// Session.Exec already autocommits; the method remains for callers of the
+// original single-session API.
 func (e *Engine) EndStatement() {
-	if !e.inTxn {
-		e.undo = nil
-	}
-}
-
-func (e *Engine) logUndo(fn func()) {
-	if e.inTxn {
-		e.undo = append(e.undo, fn)
+	s := e.DefaultSession()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !s.inTxn {
+		s.undo = nil
 	}
 }
 
@@ -581,6 +571,8 @@ func (e *Engine) logUndo(fn func()) {
 
 // Snapshot deep-copies the full engine state.
 func (e *Engine) Snapshot() *State {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	st := &State{
 		Tables: make(map[string]*Table, len(e.tables)),
 		Views:  make(map[string]*View, len(e.views)),
@@ -619,24 +611,28 @@ func (e *Engine) Snapshot() *State {
 	return st
 }
 
-// Restore replaces the engine state with a snapshot.
+// Restore replaces the engine state with a snapshot. Transactions open on
+// any session are discarded, not rolled back: their undo entries refer to
+// the replaced state.
 func (e *Engine) Restore(st *State) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.tables = st.Tables
 	e.views = st.Views
 	e.indexs = st.Indexs
 	e.seqs = st.Seqs
-	e.inTxn = false
-	e.undo = nil
+	e.discardAllTxnsLocked()
 }
 
-// Reset drops all state.
+// Reset drops all state. Open transactions on every session are discarded.
 func (e *Engine) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.tables = make(map[string]*Table)
 	e.views = make(map[string]*View)
 	e.indexs = make(map[string]*Index)
 	e.seqs = make(map[string]*Sequence)
-	e.inTxn = false
-	e.undo = nil
+	e.discardAllTxnsLocked()
 }
 
 // State is a deep copy of engine state for state transfer.
@@ -649,6 +645,8 @@ type State struct {
 
 // TableNames lists the base tables (sorted order is the caller's concern).
 func (e *Engine) TableNames() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	names := make([]string, 0, len(e.tables))
 	for n := range e.tables {
 		names = append(names, n)
@@ -658,6 +656,8 @@ func (e *Engine) TableNames() []string {
 
 // ViewNames lists the views.
 func (e *Engine) ViewNames() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	names := make([]string, 0, len(e.views))
 	for n := range e.views {
 		names = append(names, n)
@@ -667,18 +667,24 @@ func (e *Engine) ViewNames() []string {
 
 // HasView reports whether a view with the given name exists.
 func (e *Engine) HasView(name string) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	_, ok := e.views[up(name)]
 	return ok
 }
 
 // HasTable reports whether a base table with the given name exists.
 func (e *Engine) HasTable(name string) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	_, ok := e.tables[up(name)]
 	return ok
 }
 
 // TableRowCount returns the number of rows in a base table.
 func (e *Engine) TableRowCount(name string) (int, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	t, ok := e.tables[up(name)]
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrTableNotFound, name)

@@ -52,11 +52,11 @@ func (sc *scope) lookup(qual, name string) (types.Value, bool, error) {
 
 // evalConst evaluates an expression with no row context (DEFAULT values,
 // literal-only expressions).
-func (e *Engine) evalConst(x ast.Expr) (types.Value, error) {
+func (e *Session) evalConst(x ast.Expr) (types.Value, error) {
 	return e.evalExpr(x, nil)
 }
 
-func (e *Engine) evalExpr(x ast.Expr, sc *scope) (types.Value, error) {
+func (e *Session) evalExpr(x ast.Expr, sc *scope) (types.Value, error) {
 	switch n := x.(type) {
 	case *ast.Literal:
 		return n.Val, nil
@@ -156,7 +156,7 @@ func (e *Engine) evalExpr(x ast.Expr, sc *scope) (types.Value, error) {
 		if err != nil {
 			return types.Value{}, err
 		}
-		kind, err := e.cfg.ResolveType(n.To)
+		kind, err := e.eng.cfg.ResolveType(n.To)
 		if err != nil {
 			return types.Value{}, err
 		}
@@ -212,7 +212,7 @@ func compareCoercing(a, b types.Value) (int, error) {
 	return types.Compare(a, b)
 }
 
-func (e *Engine) evalBinary(n *ast.Binary, sc *scope) (types.Value, error) {
+func (e *Session) evalBinary(n *ast.Binary, sc *scope) (types.Value, error) {
 	switch n.Op {
 	case ast.OpAnd:
 		l, err := e.evalExpr(n.L, sc)
@@ -294,7 +294,7 @@ func numericOperand(v types.Value) (types.Value, error) {
 	return types.Value{}, fmt.Errorf("%w: %s is not numeric", ErrType, v.K)
 }
 
-func (e *Engine) arith(op ast.BinaryOp, l, r types.Value) (types.Value, error) {
+func (e *Session) arith(op ast.BinaryOp, l, r types.Value) (types.Value, error) {
 	if l.IsNull() || r.IsNull() {
 		return types.Null(), nil
 	}
@@ -323,7 +323,7 @@ func (e *Engine) arith(op ast.BinaryOp, l, r types.Value) (types.Value, error) {
 			return types.NewInt(l.I * r.I), nil
 		}
 		f := l.AsFloat() * r.AsFloat()
-		if e.cfg.Quirks.FloatMulPrecisionLoss {
+		if e.eng.cfg.Quirks.FloatMulPrecisionLoss {
 			// Quirk (PG bug 77, shared by MS): the result passes through
 			// 32-bit precision, silently losing significant digits.
 			f = float64(float32(f))
@@ -348,7 +348,7 @@ func (e *Engine) arith(op ast.BinaryOp, l, r types.Value) (types.Value, error) {
 // dividend. Two quirks model the paper's arithmetic bugs (OR 1059835 and
 // the PG member of the same failure region) with different incorrect
 // results, so a diverse pair detects the failure.
-func (e *Engine) mod(l, r types.Value) (types.Value, error) {
+func (e *Session) mod(l, r types.Value) (types.Value, error) {
 	if r.AsFloat() == 0 {
 		return types.Value{}, ErrDivideByZero
 	}
@@ -356,9 +356,9 @@ func (e *Engine) mod(l, r types.Value) (types.Value, error) {
 		res := l.I % r.I
 		if l.I < 0 {
 			switch {
-			case e.cfg.Quirks.ModNegativePlus && res != 0:
+			case e.eng.cfg.Quirks.ModNegativePlus && res != 0:
 				res += abs64(r.I)
-			case e.cfg.Quirks.ModNegativeAbs:
+			case e.eng.cfg.Quirks.ModNegativeAbs:
 				res = abs64(res)
 			}
 		}
@@ -367,9 +367,9 @@ func (e *Engine) mod(l, r types.Value) (types.Value, error) {
 	res := math.Mod(l.AsFloat(), r.AsFloat())
 	if l.AsFloat() < 0 {
 		switch {
-		case e.cfg.Quirks.ModNegativePlus && res != 0:
+		case e.eng.cfg.Quirks.ModNegativePlus && res != 0:
 			res += math.Abs(r.AsFloat())
-		case e.cfg.Quirks.ModNegativeAbs:
+		case e.eng.cfg.Quirks.ModNegativeAbs:
 			res = math.Abs(res)
 		}
 	}
@@ -383,7 +383,7 @@ func abs64(i int64) int64 {
 	return i
 }
 
-func (e *Engine) evalUnary(n *ast.Unary, sc *scope) (types.Value, error) {
+func (e *Session) evalUnary(n *ast.Unary, sc *scope) (types.Value, error) {
 	v, err := e.evalExpr(n.X, sc)
 	if err != nil {
 		return types.Value{}, err
@@ -410,7 +410,7 @@ func (e *Engine) evalUnary(n *ast.Unary, sc *scope) (types.Value, error) {
 	}
 }
 
-func (e *Engine) evalIn(n *ast.In, sc *scope) (types.Value, error) {
+func (e *Session) evalIn(n *ast.In, sc *scope) (types.Value, error) {
 	v, err := e.evalExpr(n.X, sc)
 	if err != nil {
 		return types.Value{}, err
@@ -418,12 +418,12 @@ func (e *Engine) evalIn(n *ast.In, sc *scope) (types.Value, error) {
 	var candidates []types.Value
 	if n.Select != nil {
 		if n.Select.Union != nil {
-			if e.cfg.Quirks.ParenUnionSubqueryError {
+			if e.eng.cfg.Quirks.ParenUnionSubqueryError {
 				// Quirk (PG bug 43): the parser chokes on UNION branches
 				// inside an IN subquery.
 				return types.Value{}, errors.New("parse error: unexpected UNION in subquery")
 			}
-			if e.cfg.Quirks.ParenUnionSubqueryMisparse {
+			if e.eng.cfg.Quirks.ParenUnionSubqueryMisparse {
 				// Quirk (bug 43 on MS): an incorrect parse tree is built
 				// for the UNION subquery and a spurious resolution error
 				// surfaces when the tree is evaluated.
@@ -471,7 +471,7 @@ func (e *Engine) evalIn(n *ast.In, sc *scope) (types.Value, error) {
 	return types.NewBool(n.Not), nil
 }
 
-func (e *Engine) evalCase(n *ast.Case, sc *scope) (types.Value, error) {
+func (e *Session) evalCase(n *ast.Case, sc *scope) (types.Value, error) {
 	if n.Operand != nil {
 		op, err := e.evalExpr(n.Operand, sc)
 		if err != nil {

@@ -12,12 +12,12 @@ import (
 // evalFunc evaluates a non-aggregate function call. Aggregates reaching
 // this point are being used outside a grouping context, which is an
 // error.
-func (e *Engine) evalFunc(fc *ast.FuncCall, sc *scope) (types.Value, error) {
+func (e *Session) evalFunc(fc *ast.FuncCall, sc *scope) (types.Value, error) {
 	name := strings.ToUpper(fc.Name)
 	if isAggregateName(name) {
 		return types.Value{}, fmt.Errorf("invalid use of aggregate function %s", name)
 	}
-	b, ok := e.cfg.Funcs[name]
+	b, ok := e.eng.cfg.Funcs[name]
 	if !ok {
 		return types.Value{}, fmt.Errorf("unknown function %s", name)
 	}
@@ -35,12 +35,12 @@ func (e *Engine) evalFunc(fc *ast.FuncCall, sc *scope) (types.Value, error) {
 		}
 		args[i] = v
 	}
-	return b.Fn(&FuncContext{Eng: e}, args)
+	return b.Fn(&FuncContext{Sess: e}, args)
 }
 
 // evalSeqFunc handles sequence-advancing functions, whose first argument
 // is a sequence name written as a bare identifier or string.
-func (e *Engine) evalSeqFunc(name string, fc *ast.FuncCall, sc *scope) (types.Value, error) {
+func (e *Session) evalSeqFunc(name string, fc *ast.FuncCall, sc *scope) (types.Value, error) {
 	if len(fc.Args) < 1 {
 		return types.Value{}, fmt.Errorf("%s requires a sequence name", name)
 	}
@@ -68,8 +68,8 @@ func (e *Engine) evalSeqFunc(name string, fc *ast.FuncCall, sc *scope) (types.Va
 }
 
 // SequenceNext advances a sequence by incr and returns the new value.
-func (e *Engine) SequenceNext(name string, incr int64) (types.Value, error) {
-	s, ok := e.seqs[up(name)]
+func (e *Session) SequenceNext(name string, incr int64) (types.Value, error) {
+	s, ok := e.eng.seqs[up(name)]
 	if !ok {
 		return types.Value{}, fmt.Errorf("%w: sequence %s", ErrTableNotFound, name)
 	}
@@ -255,7 +255,7 @@ func AllBuiltins() map[string]Builtin {
 		if err != nil {
 			return types.Value{}, err
 		}
-		return ctx.Eng.mod(l, r)
+		return ctx.Sess.mod(l, r)
 	}})
 	add(Builtin{Name: "COALESCE", MinArgs: 1, MaxArgs: -1, Fn: func(_ *FuncContext, a []types.Value) (types.Value, error) {
 		for _, v := range a {

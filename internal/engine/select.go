@@ -24,7 +24,7 @@ type relation struct {
 // trailing columns in the source scope and stripped after sorting. For
 // DISTINCT/UNION results, SQL requires the keys to appear in the output,
 // so they are resolved against the output columns.
-func (e *Engine) evalSelect(s *ast.Select, outer *scope) (*Result, error) {
+func (e *Session) evalSelect(s *ast.Select, outer *scope) (*Result, error) {
 	simple := s.Union == nil && !s.Distinct
 	if simple && len(s.OrderBy) > 0 {
 		res, err := e.evalSelectHiddenOrder(s, outer)
@@ -70,7 +70,7 @@ func applyLimit(s *ast.Select, res *Result) {
 // evalSelectHiddenOrder evaluates a simple SELECT, computing non-
 // positional ORDER BY keys as hidden trailing columns in the source
 // scope, sorting, then stripping the hidden columns.
-func (e *Engine) evalSelectHiddenOrder(s *ast.Select, outer *scope) (*Result, error) {
+func (e *Session) evalSelectHiddenOrder(s *ast.Select, outer *scope) (*Result, error) {
 	cp := *s
 	cp.Items = append([]ast.SelectItem(nil), s.Items...)
 	// keyCol[k] >= 0 identifies the hidden column (offset from the end);
@@ -158,7 +158,7 @@ func rowKey(row []types.Value) string {
 	return b.String()
 }
 
-func orderRows(e *Engine, res *Result, order []ast.OrderItem, outer *scope) error {
+func orderRows(e *Session, res *Result, order []ast.OrderItem, outer *scope) error {
 	outCols := make([]scopeCol, len(res.Columns))
 	for i, c := range res.Columns {
 		outCols[i] = scopeCol{name: up(c)}
@@ -240,7 +240,7 @@ func compareForSort(a, b types.Value) int {
 // ---------------------------------------------------------------------------
 // Core SELECT (one branch, before UNION/ORDER/LIMIT)
 
-func (e *Engine) evalSelectCore(s *ast.Select, outer *scope) (*Result, error) {
+func (e *Session) evalSelectCore(s *ast.Select, outer *scope) (*Result, error) {
 	rel, err := e.buildFrom(s, outer)
 	if err != nil {
 		return nil, err
@@ -324,7 +324,7 @@ func isAggregateName(name string) bool {
 // subqueries resolves against the relation columns or an enclosing
 // scope. Subqueries are skipped: they establish their own FROM scopes
 // and are validated when evaluated.
-func (e *Engine) validateRefs(x ast.Expr, cols []scopeCol, outer *scope) error {
+func (e *Session) validateRefs(x ast.Expr, cols []scopeCol, outer *scope) error {
 	var walk func(ast.Expr) error
 	walk = func(n ast.Expr) error {
 		switch v := n.(type) {
@@ -344,7 +344,7 @@ func (e *Engine) validateRefs(x ast.Expr, cols []scopeCol, outer *scope) error {
 		case *ast.Unary:
 			return walk(v.X)
 		case *ast.FuncCall:
-			if b, ok := e.cfg.Funcs[strings.ToUpper(v.Name)]; ok && b.SeqFunc {
+			if b, ok := e.eng.cfg.Funcs[strings.ToUpper(v.Name)]; ok && b.SeqFunc {
 				return nil // first argument is a sequence name, not a column
 			}
 			for _, a := range v.Args {
@@ -400,7 +400,7 @@ func (e *Engine) validateRefs(x ast.Expr, cols []scopeCol, outer *scope) error {
 }
 
 // buildFrom constructs the source relation of a SELECT.
-func (e *Engine) buildFrom(s *ast.Select, outer *scope) (*relation, error) {
+func (e *Session) buildFrom(s *ast.Select, outer *scope) (*relation, error) {
 	if len(s.From) == 0 {
 		return &relation{rows: [][]types.Value{{}}}, nil
 	}
@@ -419,13 +419,13 @@ func (e *Engine) buildFrom(s *ast.Select, outer *scope) (*relation, error) {
 	return rel, nil
 }
 
-func (e *Engine) buildFromItem(fi ast.FromItem, outer *scope) (*relation, error) {
+func (e *Session) buildFromItem(fi ast.FromItem, outer *scope) (*relation, error) {
 	left, err := e.tableRefRelation(fi.Table, outer, false)
 	if err != nil {
 		return nil, err
 	}
 	for _, j := range fi.Joins {
-		skipDistinct := j.Type == ast.JoinLeft && e.cfg.Quirks.LeftJoinDistinctViewDup
+		skipDistinct := j.Type == ast.JoinLeft && e.eng.cfg.Quirks.LeftJoinDistinctViewDup
 		right, err := e.tableRefRelation(j.Right, outer, skipDistinct)
 		if err != nil {
 			return nil, err
@@ -452,7 +452,7 @@ func crossProduct(a, b *relation) *relation {
 	return out
 }
 
-func (e *Engine) joinRelations(a, b *relation, j ast.Join, outer *scope) (*relation, error) {
+func (e *Session) joinRelations(a, b *relation, j ast.Join, outer *scope) (*relation, error) {
 	out := &relation{cols: append(append([]scopeCol(nil), a.cols...), b.cols...)}
 	if j.Type == ast.JoinCross || j.On == nil {
 		return crossProduct(a, b), nil
@@ -508,7 +508,7 @@ func (e *Engine) joinRelations(a, b *relation, j ast.Join, outer *scope) (*relat
 // derived table. skipViewDistinct implements the LeftJoinDistinctViewDup
 // quirk: the DISTINCT of a view definition is dropped when the view is
 // expanded on the right of a LEFT OUTER JOIN.
-func (e *Engine) tableRefRelation(tr ast.TableRef, outer *scope, skipViewDistinct bool) (*relation, error) {
+func (e *Session) tableRefRelation(tr ast.TableRef, outer *scope, skipViewDistinct bool) (*relation, error) {
 	if tr.Subquery != nil {
 		res, err := e.evalSelect(tr.Subquery, outer)
 		if err != nil {
@@ -521,7 +521,7 @@ func (e *Engine) tableRefRelation(tr ast.TableRef, outer *scope, skipViewDistinc
 	if tr.Alias != "" {
 		qual = up(tr.Alias)
 	}
-	if t, ok := e.tables[name]; ok {
+	if t, ok := e.eng.tables[name]; ok {
 		rel := &relation{cols: make([]scopeCol, len(t.Cols))}
 		for i, c := range t.Cols {
 			rel.cols[i] = scopeCol{qual: qual, name: c.Name}
@@ -529,7 +529,7 @@ func (e *Engine) tableRefRelation(tr ast.TableRef, outer *scope, skipViewDistinc
 		rel.rows = append(rel.rows, t.Rows...)
 		return rel, nil
 	}
-	if v, ok := e.views[name]; ok {
+	if v, ok := e.eng.views[name]; ok {
 		sel := v.Select
 		if skipViewDistinct && sel.Distinct {
 			cp := *sel
@@ -562,7 +562,7 @@ func resultToRelation(res *Result, qual string) *relation {
 // ---------------------------------------------------------------------------
 // Projection
 
-func (e *Engine) projectRows(s *ast.Select, rel *relation, outer *scope) (*Result, error) {
+func (e *Session) projectRows(s *ast.Select, rel *relation, outer *scope) (*Result, error) {
 	cols, exprs, err := e.expandItems(s, rel)
 	if err != nil {
 		return nil, err
@@ -594,7 +594,7 @@ type projExpr struct {
 
 // expandItems resolves the SELECT list into output column names and
 // projection expressions, expanding * and tbl.*.
-func (e *Engine) expandItems(s *ast.Select, rel *relation) ([]string, []projExpr, error) {
+func (e *Session) expandItems(s *ast.Select, rel *relation) ([]string, []projExpr, error) {
 	var cols []string
 	var exprs []projExpr
 	for _, it := range s.Items {
@@ -631,7 +631,7 @@ func (e *Engine) expandItems(s *ast.Select, rel *relation) ([]string, []projExpr
 
 // outputName determines the result column name for a projection item,
 // honouring the unaliased-aggregate quirks (bug 222476).
-func (e *Engine) outputName(it ast.SelectItem) (string, error) {
+func (e *Session) outputName(it ast.SelectItem) (string, error) {
 	if it.Alias != "" {
 		return up(it.Alias), nil
 	}
@@ -641,12 +641,12 @@ func (e *Engine) outputName(it ast.SelectItem) (string, error) {
 	case *ast.FuncCall:
 		name := strings.ToUpper(x.Name)
 		if name == "AVG" || name == "SUM" {
-			if e.cfg.Quirks.UnaliasedAggregateError {
+			if e.eng.cfg.Quirks.UnaliasedAggregateError {
 				// Quirk (bug 222476 on MS): unaliased AVG/SUM makes the
 				// statement fail with a spurious internal error.
 				return "", fmt.Errorf("internal error: unnamed aggregate result column in %s()", name)
 			}
-			if e.cfg.Quirks.BlankAggregateAliases {
+			if e.eng.cfg.Quirks.BlankAggregateAliases {
 				// Quirk (bug 222476 on IB): the field name comes back
 				// empty, although the value itself is correct.
 				return "", nil
@@ -667,7 +667,7 @@ func renderExprName(x ast.Expr) string {
 // ---------------------------------------------------------------------------
 // Grouped projection (GROUP BY / aggregates)
 
-func (e *Engine) projectGrouped(s *ast.Select, rel *relation, outer *scope) (*Result, error) {
+func (e *Session) projectGrouped(s *ast.Select, rel *relation, outer *scope) (*Result, error) {
 	type group struct {
 		key  string
 		rows [][]types.Value
@@ -740,7 +740,7 @@ func (e *Engine) projectGrouped(s *ast.Select, rel *relation, outer *scope) (*Re
 // evalGroupExpr evaluates an expression in grouped context: aggregate
 // calls accumulate over the group's rows; other leaves resolve against
 // the group's first row.
-func (e *Engine) evalGroupExpr(x ast.Expr, groupRows [][]types.Value, cols []scopeCol, outer *scope) (types.Value, error) {
+func (e *Session) evalGroupExpr(x ast.Expr, groupRows [][]types.Value, cols []scopeCol, outer *scope) (types.Value, error) {
 	if fc, ok := x.(*ast.FuncCall); ok && isAggregateName(fc.Name) {
 		return e.evalAggregate(fc, groupRows, cols, outer)
 	}
@@ -773,7 +773,7 @@ func (e *Engine) evalGroupExpr(x ast.Expr, groupRows [][]types.Value, cols []sco
 	}
 }
 
-func (e *Engine) evalAggregate(fc *ast.FuncCall, groupRows [][]types.Value, cols []scopeCol, outer *scope) (types.Value, error) {
+func (e *Session) evalAggregate(fc *ast.FuncCall, groupRows [][]types.Value, cols []scopeCol, outer *scope) (types.Value, error) {
 	name := strings.ToUpper(fc.Name)
 	if fc.Star {
 		if name != "COUNT" {

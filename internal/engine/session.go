@@ -1,0 +1,268 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+
+	"divsql/internal/sql/ast"
+)
+
+// Session is one client session of an Engine: the unit of transaction
+// scope. Any number of sessions share one engine; each carries its own
+// open-transaction flag and undo log, so BEGIN on one session never
+// affects another.
+//
+// Concurrency model: a session is owned by one client (one goroutine at a
+// time), like a database connection; the engine arbitrates between
+// sessions with its RWMutex. Read-only statements from different sessions
+// run in parallel; state-changing statements serialize. Transactions use
+// an undo log over the shared state — writes become visible to other
+// sessions immediately (READ UNCOMMITTED). Undo entries target rows by
+// identity, so a rollback removes or restores exactly the transaction's
+// own rows even when other sessions' statements interleaved; concurrent
+// transactions are therefore isolated as long as they touch disjoint
+// rows (write-write races on the same row remain the application's
+// concern), which is the contract the workload layers (warehouse-pinned
+// TPC-C terminals, wire clients on their own tables) follow.
+type Session struct {
+	eng    *Engine
+	closed bool
+
+	inTxn bool
+	undo  []func()
+}
+
+// NewSession opens a session on the engine.
+func (e *Engine) NewSession() *Session {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := &Session{eng: e}
+	e.sessions[s] = struct{}{}
+	return s
+}
+
+// DefaultSession returns the lazily created session backing the engine's
+// sessionless compatibility API (Engine.Exec and friends).
+func (e *Engine) DefaultSession() *Session {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.def == nil {
+		e.def = &Session{eng: e}
+		e.sessions[e.def] = struct{}{}
+	}
+	return e.def
+}
+
+// Engine returns the engine the session executes on.
+func (s *Session) Engine() *Engine { return s.eng }
+
+// Close rolls back any open transaction and unregisters the session. A
+// closed session rejects further statements.
+func (s *Session) Close() error {
+	e := s.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.abortLocked()
+	s.closed = true
+	delete(e.sessions, s)
+	if e.def == s {
+		e.def = nil
+	}
+	return nil
+}
+
+// ErrSessionClosed is returned by statements on a closed session.
+var ErrSessionClosed = errors.New("session is closed")
+
+// Exec executes one parsed statement in this session. Pure queries run
+// under the engine's read lock (parallel across sessions); everything
+// else — DML, DDL, transaction control, and SELECTs that advance a
+// sequence — takes the write lock.
+func (s *Session) Exec(st ast.Statement) (*Result, error) {
+	e := s.eng
+	if sel, ok := st.(*ast.Select); ok {
+		e.mu.RLock()
+		if !s.closed && e.selectAdvancesSequences(sel) == false {
+			defer e.mu.RUnlock()
+			if s.closed {
+				return nil, ErrSessionClosed
+			}
+			return s.exec(st)
+		}
+		e.mu.RUnlock()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	res, err := s.exec(st)
+	if !s.inTxn {
+		// Autocommit: outside an explicit transaction every statement
+		// commits on completion, so the undo entries are discarded.
+		s.undo = nil
+	}
+	return res, err
+}
+
+// SelectAdvancesSequences reports whether evaluating the query would
+// mutate engine state: it calls a sequence-advancing function directly,
+// or reads a view whose definition (transitively) does. Such a SELECT
+// must be treated as a write by every layer (the engine's lock mode,
+// the middleware's cross-session ordering and read policies).
+func (e *Engine) SelectAdvancesSequences(sel *ast.Select) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.selectAdvancesSequences(sel)
+}
+
+// selectAdvancesSequences is SelectAdvancesSequences with the engine
+// lock already held (in at least read mode). The view chain is resolved
+// at classification time — views can be dropped and recreated, so a
+// flag stored at CREATE VIEW would go stale.
+func (e *Engine) selectAdvancesSequences(sel *ast.Select) bool {
+	return e.selectAdvances(sel, nil)
+}
+
+func (e *Engine) selectAdvances(sel *ast.Select, visited map[string]bool) bool {
+	advances := false
+	ast.WalkSelectExprs(sel, func(x ast.Expr) {
+		if fc, ok := x.(*ast.FuncCall); ok {
+			if b, known := e.cfg.Funcs[strings.ToUpper(fc.Name)]; known && b.SeqFunc {
+				advances = true
+			}
+		}
+	})
+	if advances {
+		return true
+	}
+	for name := range ast.Tables(sel) {
+		v, ok := e.views[name]
+		if !ok || visited[name] {
+			continue
+		}
+		if visited == nil {
+			visited = make(map[string]bool)
+		}
+		visited[name] = true
+		if e.selectAdvances(v.Select, visited) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+//
+// A session implements transactions with an undo log: every mutation
+// registers its inverse; ROLLBACK applies the inverses in reverse order.
+// Outside a transaction statements auto-commit (Session.Exec discards the
+// undo log after each statement).
+
+func (s *Session) execBegin() (*Result, error) {
+	if s.inTxn {
+		return nil, errors.New("transaction already in progress")
+	}
+	s.inTxn = true
+	s.undo = s.undo[:0]
+	return &Result{Kind: ResultDDL}, nil
+}
+
+func (s *Session) execCommit() (*Result, error) {
+	if !s.inTxn {
+		return nil, ErrNoTransaction
+	}
+	s.inTxn = false
+	s.undo = nil
+	return &Result{Kind: ResultDDL}, nil
+}
+
+func (s *Session) execRollback() (*Result, error) {
+	if !s.inTxn {
+		return nil, ErrNoTransaction
+	}
+	s.rollbackLocked()
+	return &Result{Kind: ResultDDL}, nil
+}
+
+func (s *Session) rollbackLocked() {
+	for i := len(s.undo) - 1; i >= 0; i-- {
+		s.undo[i]()
+	}
+	s.inTxn = false
+	s.undo = nil
+}
+
+func (s *Session) logUndo(fn func()) {
+	if s.inTxn {
+		s.undo = append(s.undo, fn)
+	}
+}
+
+// InTxn reports whether the session has an explicit transaction open.
+func (s *Session) InTxn() bool {
+	s.eng.mu.RLock()
+	defer s.eng.mu.RUnlock()
+	return s.inTxn
+}
+
+// Abort rolls back the session's open transaction, if any (used when the
+// session's connection drops).
+func (s *Session) Abort() {
+	s.eng.mu.Lock()
+	defer s.eng.mu.Unlock()
+	s.abortLocked()
+}
+
+func (s *Session) abortLocked() {
+	if s.inTxn {
+		s.rollbackLocked()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Engine-wide session operations
+
+// AbortAll rolls back every session's open transaction (an engine crash:
+// committed state survives, in-flight transactions do not).
+func (e *Engine) AbortAll() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for s := range e.sessions {
+		s.abortLocked()
+	}
+}
+
+// AnyInTxn reports whether any session has an open transaction (used to
+// gate state transfers on transaction boundaries).
+func (e *Engine) AnyInTxn() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for s := range e.sessions {
+		if s.inTxn {
+			return true
+		}
+	}
+	return false
+}
+
+// SessionCount reports the number of live sessions (for tests and
+// introspection).
+func (e *Engine) SessionCount() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.sessions)
+}
+
+// discardAllTxnsLocked clears every session's transaction state without
+// applying undo entries (the state they refer to has been replaced).
+func (e *Engine) discardAllTxnsLocked() {
+	for s := range e.sessions {
+		s.inTxn = false
+		s.undo = nil
+	}
+}

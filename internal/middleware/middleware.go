@@ -5,6 +5,17 @@
 // three or more); failed or outvoted replicas are quarantined, restarted
 // and resynchronized by state transfer from a healthy replica.
 //
+// Clients attach through sessions (NewSession): each client session maps
+// to one session per replica, so transactions stay per-client and the
+// broadcast + adjudication of each statement happens within the client's
+// own session. Sessions execute concurrently: queries from different
+// sessions run in parallel (sharing a read lock), while state-changing
+// statements serialize across sessions so that every replica applies
+// writes in the same order — the determinism replicated adjudication
+// depends on. Quarantine and resynchronization are engine-wide: a state
+// transfer waits for a transaction boundary of EVERY session on the
+// donor, and discards in-flight transactions on the restored replica.
+//
 // Unlike the crash-only data-replication solutions the paper criticizes
 // (see internal/replication for that baseline), this middleware detects
 // and contains non-fail-stop failures: wrong results, spurious errors
@@ -125,13 +136,26 @@ type replica struct {
 
 // DiverseServer is the fault-tolerant diverse SQL server.
 type DiverseServer struct {
+	// mu guards the replica set, the metrics and the default session.
 	mu       sync.Mutex
 	cfg      Config
 	replicas []*replica
 	metrics  Metrics
+	def      *Session
+
+	// execMu orders statements across sessions: state-changing statements
+	// take it exclusively, so every replica applies writes in one global
+	// order (and reads never interleave with a write broadcast, which
+	// would surface as spurious divergence); queries share it, so
+	// read-only sessions proceed in parallel.
+	execMu sync.RWMutex
 }
 
-var _ core.Executor = (*DiverseServer)(nil)
+var (
+	_ core.Executor        = (*DiverseServer)(nil)
+	_ core.SessionExecutor = (*DiverseServer)(nil)
+	_ core.Session         = (*Session)(nil)
+)
 
 // New assembles a diverse server from replicas. The replica set may mix
 // any of the simulated servers; the paper's analysis corresponds to
@@ -148,6 +172,75 @@ func New(cfg Config, servers ...*server.Server) (*DiverseServer, error) {
 		d.replicas = append(d.replicas, &replica{srv: s})
 	}
 	return d, nil
+}
+
+// Session is one client session of the diverse server: it holds one
+// server session per replica, so the client's transaction scope spans
+// the whole replica set while remaining invisible to other clients.
+type Session struct {
+	d *DiverseServer
+	// mu serializes statements of this session (a session is one client).
+	mu   sync.Mutex
+	subs []*server.Session // index-aligned with d.replicas
+}
+
+// NewSession opens a client session across every replica.
+func (d *DiverseServer) NewSession() *Session {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.newSessionLocked()
+}
+
+func (d *DiverseServer) newSessionLocked() *Session {
+	cs := &Session{d: d}
+	for _, r := range d.replicas {
+		cs.subs = append(cs.subs, r.srv.NewSession())
+	}
+	return cs
+}
+
+// OpenSession implements core.SessionExecutor.
+func (d *DiverseServer) OpenSession() core.Session { return d.NewSession() }
+
+// defaultSession backs the sessionless Exec convenience.
+func (d *DiverseServer) defaultSession() *Session {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.def == nil {
+		d.def = d.newSessionLocked()
+	}
+	return d.def
+}
+
+// classifierServer picks the replica that classifies statements: the
+// first non-quarantined one, whose catalog reflects what the active set
+// has applied (a quarantined replica may have missed DDL, e.g. a view
+// wrapping a sequence call, and would misclassify queries over it).
+// Falls back to replica 0 when everything is quarantined — the caller
+// fails with ErrAllReplicasFailed anyway.
+func (d *DiverseServer) classifierServer() *server.Server {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, r := range d.replicas {
+		if !r.quarantined {
+			return r.srv
+		}
+	}
+	return d.replicas[0].srv
+}
+
+// Close rolls back the session's open transaction on every replica and
+// releases the per-replica sessions.
+func (cs *Session) Close() error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	var first error
+	for _, sub := range cs.subs {
+		if err := sub.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // ReplicaNames lists the replica identities in order.
@@ -181,30 +274,61 @@ func (d *DiverseServer) QuarantinedReplicas() []string {
 	return out
 }
 
-// Exec broadcasts one statement to every active replica, adjudicates the
-// responses and returns the agreed result. The reported latency is the
-// slowest active replica's (replicas run in parallel).
+// Exec executes one statement on the default session (the sessionless
+// convenience API).
 func (d *DiverseServer) Exec(sql string) (*engine.Result, time.Duration, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.metrics.Statements++
-	d.flushPendingResyncs()
+	return d.defaultSession().Exec(sql)
+}
 
-	active := make([]*replica, 0, len(d.replicas))
-	for _, r := range d.replicas {
+// Exec broadcasts one statement to every active replica within this
+// session, adjudicates the responses and returns the agreed result. The
+// reported latency is the slowest active replica's (replicas run in
+// parallel).
+func (cs *Session) Exec(sql string) (*engine.Result, time.Duration, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	d := cs.d
+	// A statement counts as a query only if it is genuinely read-only:
+	// a SELECT that advances a sequence mutates replica state and must
+	// go down the write path, or replicas would apply it in different
+	// orders (spurious divergence) — and ReadOne would desynchronize
+	// sequence state entirely. Any replica can classify; they share the
+	// view/sequence schema.
+	query := isQuery(sql) && d.classifierServer().ReadOnly(sql)
+	if query {
+		d.execMu.RLock()
+		defer d.execMu.RUnlock()
+	} else {
+		d.execMu.Lock()
+		defer d.execMu.Unlock()
+	}
+
+	d.mu.Lock()
+	d.metrics.Statements++
+	stmtNo := d.metrics.Statements
+	d.flushPendingResyncs()
+	var active []*replica
+	var subs []*server.Session
+	for i, r := range d.replicas {
 		if !r.quarantined {
 			active = append(active, r)
+			subs = append(subs, cs.subs[i])
 		}
 	}
+	readOne := d.cfg.Reads == ReadOne && query && !anyInTxn(subs)
+	d.mu.Unlock()
+
 	if len(active) == 0 {
 		return nil, 0, ErrAllReplicasFailed
 	}
-
-	if d.cfg.Reads == ReadOne && isQuery(sql) && !d.inTxnAny(active) {
-		return d.execReadOne(active, sql)
+	if readOne {
+		return cs.execReadOne(active, subs, sql, stmtNo)
 	}
 
-	results := d.broadcast(active, sql)
+	results := broadcast(active, subs, sql)
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
 
 	// Performance containment: flag replicas slower than the fastest by
 	// the configured threshold. (Their results still vote.)
@@ -274,7 +398,7 @@ func (d *DiverseServer) Exec(sql string) (*engine.Result, time.Duration, error) 
 
 	// Value containment: outvoted or split results.
 	if len(verdict.Outliers) > 0 {
-		recovered := d.tryRephrase(active, results, verdict, sql)
+		recovered := d.tryRephrase(subs, results, verdict, sql)
 		if !recovered {
 			if verdict.Majority {
 				d.metrics.MaskedFailures += int64(len(verdict.Outliers))
@@ -301,32 +425,34 @@ func (d *DiverseServer) Exec(sql string) (*engine.Result, time.Duration, error) 
 	return verdict.Agreed, maxLatency(results), nil
 }
 
-// broadcast runs the statement on every replica concurrently.
-func (d *DiverseServer) broadcast(active []*replica, sql string) []core.ReplicaResult {
+// broadcast runs the statement on every active replica concurrently,
+// through this session's per-replica sessions.
+func broadcast(active []*replica, subs []*server.Session, sql string) []core.ReplicaResult {
 	results := make([]core.ReplicaResult, len(active))
 	var wg sync.WaitGroup
-	for i, r := range active {
+	for i := range active {
 		wg.Add(1)
-		go func(i int, r *replica) {
+		go func(i int) {
 			defer wg.Done()
-			res, lat, err := r.srv.Exec(sql)
+			res, lat, err := subs[i].Exec(sql)
 			results[i] = core.ReplicaResult{
-				Name:    string(r.srv.Name()),
+				Name:    string(active[i].srv.Name()),
 				Res:     res,
 				Err:     err,
 				Crashed: errors.Is(err, server.ErrCrashed),
 				Latency: lat,
 			}
-		}(i, r)
+		}(i)
 	}
 	wg.Wait()
 	return results
 }
 
 // tryRephrase re-executes the statement, rewritten into a logically
-// equivalent form, on the outlier replicas; if the rephrased query now
-// agrees with the majority the divergence is treated as transient.
-func (d *DiverseServer) tryRephrase(active []*replica, results []core.ReplicaResult, verdict core.Verdict, sql string) bool {
+// equivalent form, on the outlier replicas (within the same session); if
+// the rephrased query now agrees with the majority the divergence is
+// treated as transient.
+func (d *DiverseServer) tryRephrase(subs []*server.Session, results []core.ReplicaResult, verdict core.Verdict, sql string) bool {
 	if !d.cfg.Rephrase || verdict.Agreed == nil {
 		return false
 	}
@@ -337,7 +463,7 @@ func (d *DiverseServer) tryRephrase(active []*replica, results []core.ReplicaRes
 	agreedDigest := core.Digest(verdict.Agreed, d.cfg.Compare)
 	allRecovered := true
 	for _, i := range verdict.Outliers {
-		res, _, err := active[i].srv.Exec(rephrased)
+		res, _, err := subs[i].Exec(rephrased)
 		if err != nil || core.Digest(res, d.cfg.Compare) != agreedDigest {
 			allRecovered = false
 			break
@@ -358,10 +484,12 @@ func (d *DiverseServer) suspect(r *replica, active []*replica, verdict core.Verd
 }
 
 // recover restarts (if crashed) and resyncs a replica from the first
-// healthy member of the agreeing group. When the donor is inside a
-// client transaction the resync is deferred to the next transaction
-// boundary (copying uncommitted state would corrupt the replica if the
-// transaction later rolled back); the replica is quarantined meanwhile.
+// healthy member of the agreeing group. When any session holds an open
+// transaction on the donor the resync is deferred to the next
+// transaction boundary (copying uncommitted state would corrupt the
+// replica if the transaction later rolled back); the replica is
+// quarantined meanwhile. Transactions other sessions hold on the
+// restored replica are discarded by the state transfer.
 func (d *DiverseServer) recover(r *replica, active []*replica, verdict core.Verdict) {
 	if !d.cfg.AutoResync {
 		r.quarantined = true
@@ -382,7 +510,7 @@ func (d *DiverseServer) recover(r *replica, active []*replica, verdict core.Verd
 		// state (it may still agree on subsequent statements).
 		return
 	}
-	if donor.srv.InTxn() {
+	if donor.srv.InTxnAny() {
 		r.quarantined = true
 		r.pendingResync = true
 		return
@@ -392,7 +520,15 @@ func (d *DiverseServer) recover(r *replica, active []*replica, verdict core.Verd
 }
 
 // flushPendingResyncs completes deferred state transfers once a healthy
-// donor is at a transaction boundary, returning the replicas to service.
+// donor is at a transaction boundary (of every session), returning the
+// replicas to service.
+//
+// Known limitation: under sustained transactional load from many
+// sessions, some session may always be inside BEGIN..COMMIT on every
+// healthy donor, so the pending replica can wait a long time for a
+// global boundary. A production design would take a consistent donor
+// snapshot (copy-on-write or per-session redo shipping) instead of
+// waiting; tracked as a ROADMAP item.
 func (d *DiverseServer) flushPendingResyncs() {
 	for _, r := range d.replicas {
 		if !r.pendingResync {
@@ -400,7 +536,7 @@ func (d *DiverseServer) flushPendingResyncs() {
 		}
 		var donor *replica
 		for _, cand := range d.replicas {
-			if cand != r && !cand.quarantined && !cand.srv.Crashed() && !cand.srv.InTxn() {
+			if cand != r && !cand.quarantined && !cand.srv.Crashed() && !cand.srv.InTxnAny() {
 				donor = cand
 				break
 			}
@@ -418,16 +554,20 @@ func (d *DiverseServer) flushPendingResyncs() {
 // execReadOne serves a query from a single rotating replica; crashed
 // replicas fail over to the next one. Results are NOT compared: this is
 // the performance end of the paper's trade-off dial.
-func (d *DiverseServer) execReadOne(active []*replica, sql string) (*engine.Result, time.Duration, error) {
+func (cs *Session) execReadOne(active []*replica, subs []*server.Session, sql string, stmtNo int64) (*engine.Result, time.Duration, error) {
+	d := cs.d
 	n := len(active)
-	start := int(d.metrics.Statements) % n
+	start := int(stmtNo) % n
 	for i := 0; i < n; i++ {
-		r := active[(start+i)%n]
-		res, lat, err := r.srv.Exec(sql)
+		k := (start + i) % n
+		res, lat, err := subs[k].Exec(sql)
 		if errors.Is(err, server.ErrCrashed) {
+			d.mu.Lock()
 			d.metrics.CrashesDetected++
-			if d.cfg.AutoResync {
-				r.srv.Restart()
+			autoResync := d.cfg.AutoResync
+			d.mu.Unlock()
+			if autoResync {
+				active[k].srv.Restart()
 			}
 			continue
 		}
@@ -436,12 +576,12 @@ func (d *DiverseServer) execReadOne(active []*replica, sql string) (*engine.Resu
 	return nil, 0, ErrAllReplicasFailed
 }
 
-// inTxnAny reports whether any replica has an open transaction (queries
-// inside transactions must see the transaction's own writes, so they
-// are always broadcast).
-func (d *DiverseServer) inTxnAny(active []*replica) bool {
-	for _, r := range active {
-		if r.srv.InTxn() {
+// anyInTxn reports whether any of the session's replica sessions has an
+// open transaction (queries inside transactions must see the
+// transaction's own writes, so they are always broadcast).
+func anyInTxn(subs []*server.Session) bool {
+	for _, sub := range subs {
+		if sub.InTxn() {
 			return true
 		}
 	}

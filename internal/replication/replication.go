@@ -8,6 +8,13 @@
 // results, spurious errors, silent acceptance of invalid statements —
 // pass straight through to the client and are *propagated to every
 // replica*, exactly the shortcoming described in Section 2.1.
+//
+// Clients attach through sessions (NewSession): each client session maps
+// to one session per group member, so a client's transaction survives a
+// failover onto whichever member is promoted. The group serializes
+// statements across sessions (primary/backup log shipping imposes a
+// single global order — the scalability cost of the baseline, in
+// contrast to the diverse middleware's parallel reads).
 package replication
 
 import (
@@ -42,9 +49,14 @@ type Group struct {
 	primary  int
 	metrics  Metrics
 	restarts bool
+	def      *Session
 }
 
-var _ core.Executor = (*Group)(nil)
+var (
+	_ core.Executor        = (*Group)(nil)
+	_ core.SessionExecutor = (*Group)(nil)
+	_ core.Session         = (*Session)(nil)
+)
 
 // NewGroup builds a replication group; servers[0] starts as primary.
 // When autoRestart is set, crashed primaries are restarted and rejoin as
@@ -54,6 +66,52 @@ func NewGroup(autoRestart bool, servers ...*server.Server) (*Group, error) {
 		return nil, ErrNoReplicas
 	}
 	return &Group{servers: servers, restarts: autoRestart}, nil
+}
+
+// Session is one client session of the group: one server session per
+// member, so the client's transaction scope follows the primary across
+// failovers.
+type Session struct {
+	g    *Group
+	subs []*server.Session // index-aligned with g.servers
+}
+
+// NewSession opens a client session on every group member.
+func (g *Group) NewSession() *Session {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.newSessionLocked()
+}
+
+func (g *Group) newSessionLocked() *Session {
+	gs := &Session{g: g}
+	for _, s := range g.servers {
+		gs.subs = append(gs.subs, s.NewSession())
+	}
+	return gs
+}
+
+// OpenSession implements core.SessionExecutor.
+func (g *Group) OpenSession() core.Session { return g.NewSession() }
+
+// Close rolls back the session's open transaction on every member.
+func (gs *Session) Close() error {
+	var first error
+	for _, sub := range gs.subs {
+		if err := sub.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (g *Group) defaultSession() *Session {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.def == nil {
+		g.def = g.newSessionLocked()
+	}
+	return g.def
 }
 
 // Primary returns the current primary's name.
@@ -70,16 +128,22 @@ func (g *Group) Metrics() Metrics {
 	return g.metrics
 }
 
+// Exec executes the statement on the default session.
+func (g *Group) Exec(sql string) (*engine.Result, time.Duration, error) {
+	return g.defaultSession().Exec(sql)
+}
+
 // Exec executes the statement on the primary and, for state-changing
 // statements, propagates it to the backups. Only crash failures trigger
 // recovery; results are returned unchecked.
-func (g *Group) Exec(sql string) (*engine.Result, time.Duration, error) {
+func (gs *Session) Exec(sql string) (*engine.Result, time.Duration, error) {
+	g := gs.g
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.metrics.Statements++
 
 	for attempts := 0; attempts < len(g.servers)+1; attempts++ {
-		prim := g.servers[g.primary]
+		prim := gs.subs[g.primary]
 		res, lat, err := prim.Exec(sql)
 		if errors.Is(err, server.ErrCrashed) {
 			if !g.failover() {
@@ -94,7 +158,7 @@ func (g *Group) Exec(sql string) (*engine.Result, time.Duration, error) {
 			return nil, lat, err
 		}
 		if isStateChanging(sql) {
-			g.propagate(sql)
+			g.propagate(gs, sql)
 		}
 		g.metrics.UncheckedOK++
 		return res, lat, nil
@@ -125,16 +189,18 @@ func (g *Group) failover() bool {
 	return false
 }
 
-// propagate replays an update on every backup. Failures of individual
-// backups are ignored unless they crash (fail-stop assumption); wrong
-// results cannot occur here because backups' outputs are never read —
-// which is precisely how incorrect updates spread silently.
-func (g *Group) propagate(sql string) {
+// propagate replays an update on every backup, within the same client
+// session (so transactional updates stay inside the client's transaction
+// on every member). Failures of individual backups are ignored unless
+// they crash (fail-stop assumption); wrong results cannot occur here
+// because backups' outputs are never read — which is precisely how
+// incorrect updates spread silently.
+func (g *Group) propagate(gs *Session, sql string) {
 	for i, s := range g.servers {
 		if i == g.primary || s.Crashed() {
 			continue
 		}
-		_, _, _ = s.Exec(sql)
+		_, _, _ = gs.subs[i].Exec(sql)
 		g.metrics.Propagated++
 	}
 }

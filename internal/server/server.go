@@ -5,6 +5,13 @@
 // of the paper's study subjects: it executes SQL text, returning results,
 // error messages, simulated latencies, engine crashes, and connection
 // aborts.
+//
+// Clients attach through sessions (NewSession): each session carries its
+// own transaction scope, and sessions execute concurrently — parsing and
+// dialect checks run fully in parallel, while the shared engine lets
+// read-only statements overlap and serializes writes. The sessionless
+// Server.Exec remains as a default-session convenience. An engine crash
+// takes every session's open transaction down with it.
 package server
 
 import (
@@ -13,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"divsql/internal/core"
 	"divsql/internal/dialect"
 	"divsql/internal/engine"
 	"divsql/internal/fault"
@@ -35,15 +43,31 @@ const BaseLatency = time.Millisecond
 
 // Server is one simulated SQL server instance.
 type Server struct {
-	mu      sync.Mutex
-	name    dialect.ServerName
-	d       *dialect.Dialect
-	eng     *engine.Engine
-	faults  *fault.Registry
+	name   dialect.ServerName
+	d      *dialect.Dialect
+	eng    *engine.Engine
+	faults *fault.Registry
+
+	mu      sync.Mutex // guards crashed, stress, log, def
 	crashed bool
 	stress  bool
 	log     []string // successfully executed state-changing statements
+	def     *Session
 }
+
+// Session is one client session of a server: its own transaction scope
+// over the shared engine. Obtain one with NewSession; a session is used
+// by one client at a time, like a connection.
+type Session struct {
+	srv *Server
+	es  *engine.Session
+}
+
+var (
+	_ core.Executor        = (*Server)(nil)
+	_ core.SessionExecutor = (*Server)(nil)
+	_ core.Session         = (*Session)(nil)
+)
 
 // New builds a server of the given name carrying the provided faults
 // (only those registered for this server are installed).
@@ -101,14 +125,61 @@ func (s *Server) Restart() {
 	s.crashed = false
 }
 
-// Exec executes one SQL statement, returning the result and the
-// simulated latency.
-func (s *Server) Exec(sql string) (*engine.Result, time.Duration, error) {
+// NewSession opens a client session.
+func (s *Server) NewSession() *Session {
+	return &Session{srv: s, es: s.eng.NewSession()}
+}
+
+// OpenSession implements core.SessionExecutor.
+func (s *Server) OpenSession() core.Session { return s.NewSession() }
+
+// defaultSession returns the session backing the sessionless API.
+func (s *Server) defaultSession() *Session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.def == nil {
+		s.def = &Session{srv: s, es: s.eng.DefaultSession()}
+	}
+	return s.def
+}
+
+// Exec executes one SQL statement on the server's default session,
+// returning the result and the simulated latency.
+func (s *Server) Exec(sql string) (*engine.Result, time.Duration, error) {
+	return s.defaultSession().Exec(sql)
+}
+
+// crash halts the engine: every session's open transaction is rolled
+// back (committed state survives) and all subsequent statements fail
+// with ErrCrashed until Restart.
+func (s *Server) crash() {
+	s.mu.Lock()
+	s.crashed = true
+	s.mu.Unlock()
+	s.eng.AbortAll()
+}
+
+// Close rolls back the session's open transaction and releases it.
+func (c *Session) Close() error { return c.es.Close() }
+
+// InTxn reports whether this session has an open transaction.
+func (c *Session) InTxn() bool { return c.es.InTxn() }
+
+// Server returns the server the session is attached to.
+func (c *Session) Server() *Server { return c.srv }
+
+// Exec executes one SQL statement in this session, returning the result
+// and the simulated latency.
+func (c *Session) Exec(sql string) (*engine.Result, time.Duration, error) {
+	s := c.srv
+	s.mu.Lock()
 	if s.crashed {
+		s.mu.Unlock()
 		return nil, 0, ErrCrashed
 	}
+	stress := s.stress
+	s.mu.Unlock()
+
 	st, err := parser.Parse(sql)
 	if err != nil {
 		return nil, BaseLatency, fmt.Errorf("syntax error: %w", err)
@@ -121,26 +192,36 @@ func (s *Server) Exec(sql string) (*engine.Result, time.Duration, error) {
 	var matched *fault.Fault
 	if s.d != nil {
 		fp := ast.FingerprintOf(st)
-		matched = s.faults.Match(fp, s.stress)
+		matched = s.faults.Match(fp, stress)
 	}
 	if matched != nil {
 		switch matched.Effect.Kind {
 		case fault.EffectCrash:
-			s.eng.Abort()
-			s.crashed = true
+			s.crash()
 			return nil, latency, ErrCrashed
 		case fault.EffectError:
 			return nil, latency, errors.New(matched.Effect.Message)
 		case fault.EffectAbortConnection:
-			s.eng.Abort()
+			// Only this session's connection drops; other sessions keep
+			// their transactions.
+			c.es.Abort()
 			return nil, latency, ErrConnAborted
 		case fault.EffectLatency:
 			latency += time.Duration(matched.Effect.LatencyMillis) * time.Millisecond
 		}
 	}
 
-	res, execErr := s.eng.Exec(st)
-	s.eng.EndStatement()
+	res, execErr := c.es.Exec(st)
+	// Re-check the crash flag: another session may have crashed the
+	// server while this statement was in flight. The outcome of such a
+	// statement is ambiguous (as on a real server that dies mid-request);
+	// the client sees the crash, never a "healthy" result.
+	s.mu.Lock()
+	crashedNow := s.crashed
+	s.mu.Unlock()
+	if crashedNow {
+		return nil, latency, ErrCrashed
+	}
 	if matched != nil && matched.Effect.Kind == fault.EffectSuppressError && execErr != nil {
 		// The fault swallows a legitimate error: the invalid statement is
 		// silently "accepted" (and has no effect).
@@ -153,9 +234,27 @@ func (s *Server) Exec(sql string) (*engine.Result, time.Duration, error) {
 		res = fault.Apply(matched.Effect.Mutation, res)
 	}
 	if isStateChanging(st) {
+		s.mu.Lock()
 		s.log = append(s.log, sql)
+		s.mu.Unlock()
 	}
 	return res, latency, nil
+}
+
+// ReadOnly reports whether sql is a pure query on this server: a SELECT
+// that does not (directly or through views) advance a sequence. A parse
+// failure classifies as not read-only — the conservative direction for
+// callers deciding lock modes or read policies.
+func (s *Server) ReadOnly(sql string) bool {
+	st, err := parser.Parse(sql)
+	if err != nil {
+		return false
+	}
+	sel, ok := st.(*ast.Select)
+	if !ok {
+		return false
+	}
+	return !s.eng.SelectAdvancesSequences(sel)
 }
 
 // checkDialect rejects constructs the server's dialect does not offer
@@ -196,9 +295,9 @@ func isStateChanging(st ast.Statement) bool {
 	}
 }
 
-// ExecScript executes a whole script, stopping at a crash (remaining
-// statements cannot be submitted to a dead server). It returns one
-// outcome per submitted statement.
+// ExecScript executes a whole script on the default session, stopping at
+// a crash (remaining statements cannot be submitted to a dead server).
+// It returns one outcome per submitted statement.
 func (s *Server) ExecScript(script string) ([]StmtOutcome, error) {
 	stmts, err := parser.SplitScript(script)
 	if err != nil {
@@ -227,32 +326,31 @@ type StmtOutcome struct {
 	Latency time.Duration
 }
 
-// InTxn reports whether a client transaction is open on this server.
+// InTxn reports whether the default session has a transaction open.
 func (s *Server) InTxn() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.eng.InTxn()
+	return s.defaultSession().InTxn()
 }
+
+// InTxnAny reports whether any session has a transaction open (used by
+// the middleware to gate state transfers on transaction boundaries).
+func (s *Server) InTxnAny() bool { return s.eng.AnyInTxn() }
 
 // Snapshot captures the engine state for state transfer.
 func (s *Server) Snapshot() *engine.State {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.eng.Snapshot()
 }
 
-// Restore replaces the engine state (used for replica resync).
+// Restore replaces the engine state (used for replica resync). Open
+// transactions on every session are discarded.
 func (s *Server) Restore(st *engine.State) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.eng.Restore(st)
 }
 
 // Reset drops all state (fresh install).
 func (s *Server) Reset() {
+	s.eng.Reset()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.eng.Reset()
 	s.log = nil
 	s.crashed = false
 }

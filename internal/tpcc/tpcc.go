@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"divsql/internal/core"
@@ -149,22 +150,84 @@ type Metrics struct {
 	SimLatency   time.Duration
 }
 
+// merge folds another run's counters into m.
+func (m *Metrics) merge(o Metrics) {
+	m.Transactions += o.Transactions
+	m.Statements += o.Statements
+	m.Errors += o.Errors
+	m.Divergences += o.Divergences
+	m.SimLatency += o.SimLatency
+	for tt, n := range o.PerType {
+		m.PerType[tt] += n
+	}
+}
+
+// Mix weights the transaction types (the weights need not sum to 100).
+// The zero Mix is replaced by DefaultMix.
+type Mix struct {
+	NewOrder, Payment, OrderStatus, Delivery, StockLevel int
+}
+
+// DefaultMix approximates the standard TPC-C transaction mix.
+func DefaultMix() Mix { return Mix{NewOrder: 45, Payment: 43, OrderStatus: 4, Delivery: 4, StockLevel: 4} }
+
+// ReadHeavyMix skews the mix toward the read-only transactions
+// (OrderStatus, StockLevel). Read-only statements from concurrent
+// terminals execute in parallel, so this is the mix where session-level
+// parallelism pays off most.
+func ReadHeavyMix() Mix { return Mix{NewOrder: 5, Payment: 5, OrderStatus: 45, Delivery: 5, StockLevel: 40} }
+
+func (mx Mix) total() int {
+	return mx.NewOrder + mx.Payment + mx.OrderStatus + mx.Delivery + mx.StockLevel
+}
+
 // Driver issues the transaction mix against an executor.
 type Driver struct {
-	cfg     Config
-	rng     *rand.Rand
-	histSeq int
+	cfg      Config
+	rng      *rand.Rand
+	histSeq  int
+	mix      Mix
+	terminal int // 0: unpinned; >0: one-based terminal id
 }
 
 // NewDriver builds a deterministic driver for the configuration.
 func NewDriver(cfg Config) *Driver {
-	return &Driver{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return &Driver{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), mix: DefaultMix()}
+}
+
+// NewTerminalDriver builds the driver of one terminal of a concurrent
+// run. Terminals are one-based; each is pinned to its own warehouse and
+// draws HISTORY ids from a disjoint range, so terminals whose warehouses
+// differ touch disjoint rows — the isolation contract of the engine's
+// concurrent sessions. Terminals beyond the warehouse count wrap around
+// and share a warehouse: their transactions then contend on the same
+// rows (e.g. two NewOrders drawing one D_NEXT_O_ID), which surfaces as
+// counted per-transaction errors, not corruption.
+func NewTerminalDriver(cfg Config, mix Mix, terminal int) *Driver {
+	if mix.total() <= 0 {
+		mix = DefaultMix()
+	}
+	return &Driver{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed + int64(terminal)*7919)),
+		histSeq:  (terminal - 1) * 10_000_000,
+		mix:      mix,
+		terminal: terminal,
+	}
 }
 
 // Run executes n transactions, returning the aggregate metrics. Errors
 // of individual transactions are counted, not fatal (the load keeps
 // going, as in the paper's campaigns).
 func (d *Driver) Run(exec core.Executor, n int) (Metrics, error) {
+	return d.run(exec, n, false)
+}
+
+// run executes n transactions. When simulateLatency is set the driver
+// sleeps each transaction's accumulated simulated latency, modelling the
+// client-observed round-trip of the paper's campaigns; concurrent
+// terminals overlap those waits.
+func (d *Driver) run(exec core.Executor, n int, simulateLatency bool) (Metrics, error) {
 	m := Metrics{PerType: make(map[TxType]int)}
 	for i := 0; i < n; i++ {
 		tt := d.pickType()
@@ -180,8 +243,70 @@ func (d *Driver) Run(exec core.Executor, n int) (Metrics, error) {
 				m.Divergences++
 			}
 		}
+		if simulateLatency && lat > 0 {
+			time.Sleep(lat)
+		}
 	}
 	return m, nil
+}
+
+// ConcurrentOptions configures a multi-terminal run.
+type ConcurrentOptions struct {
+	// Terminals is the number of concurrent client terminals; each runs
+	// in its own session when the executor supports sessions.
+	Terminals int
+	// TxPerTerminal is the number of transactions each terminal issues.
+	TxPerTerminal int
+	// Mix weights the transaction types (zero value: DefaultMix).
+	Mix Mix
+	// SimulateLatency makes each terminal experience the simulated
+	// statement latencies as real time, so the benchmark's throughput
+	// reflects how concurrent sessions overlap server waits.
+	SimulateLatency bool
+}
+
+// RunConcurrent drives the mix from opts.Terminals concurrent terminals.
+// When the executor supports sessions (core.SessionExecutor), each
+// terminal runs in its own session — its own transaction scope — which
+// is what makes concurrent transactional terminals sound; otherwise all
+// terminals share the executor. Terminals are pinned to warehouses
+// (wrapping when there are more terminals than warehouses), keeping
+// writers disjoint.
+func RunConcurrent(exec core.Executor, cfg Config, opts ConcurrentOptions) (Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	if opts.Terminals <= 0 {
+		opts.Terminals = 1
+	}
+	merged := Metrics{PerType: make(map[TxType]int)}
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	for term := 1; term <= opts.Terminals; term++ {
+		wg.Add(1)
+		go func(term int) {
+			defer wg.Done()
+			texec := exec
+			if se, ok := exec.(core.SessionExecutor); ok {
+				sess := se.OpenSession()
+				defer func() { _ = sess.Close() }()
+				texec = sess
+			}
+			d := NewTerminalDriver(cfg, opts.Mix, term)
+			m, err := d.run(texec, opts.TxPerTerminal, opts.SimulateLatency)
+			mu.Lock()
+			defer mu.Unlock()
+			merged.merge(m)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}(term)
+	}
+	wg.Wait()
+	return merged, firstErr
 }
 
 // divergenceMarker adapts middleware divergence errors without importing
@@ -191,22 +316,27 @@ type divergenceMarker struct{ err error }
 func (d *divergenceMarker) Error() string { return d.err.Error() }
 
 func (d *Driver) pickType() TxType {
-	r := d.rng.Intn(100)
+	r := d.rng.Intn(d.mix.total())
 	switch {
-	case r < 45:
+	case r < d.mix.NewOrder:
 		return TxNewOrder
-	case r < 88:
+	case r < d.mix.NewOrder+d.mix.Payment:
 		return TxPayment
-	case r < 92:
+	case r < d.mix.NewOrder+d.mix.Payment+d.mix.OrderStatus:
 		return TxOrderStatus
-	case r < 96:
+	case r < d.mix.NewOrder+d.mix.Payment+d.mix.OrderStatus+d.mix.Delivery:
 		return TxDelivery
 	default:
 		return TxStockLevel
 	}
 }
 
-func (d *Driver) wh() int       { return 1 + d.rng.Intn(d.cfg.Warehouses) }
+func (d *Driver) wh() int {
+	if d.terminal > 0 {
+		return 1 + (d.terminal-1)%d.cfg.Warehouses
+	}
+	return 1 + d.rng.Intn(d.cfg.Warehouses)
+}
 func (d *Driver) district() int { return 1 + d.rng.Intn(d.cfg.DistrictsPerWH) }
 func (d *Driver) customer() int { return 1 + d.rng.Intn(d.cfg.CustomersPerDistrict) }
 func (d *Driver) item() int     { return 1 + d.rng.Intn(d.cfg.Items) }

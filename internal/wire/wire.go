@@ -4,6 +4,12 @@
 // clients. This is the "middleware for data replication with diverse SQL
 // servers" deployment shape the paper's conclusions call for.
 //
+// When the executor supports sessions (core.SessionExecutor — every
+// endpoint in this module does), each TCP connection gets its own
+// session: transactions are scoped to the connection, concurrent
+// connections execute in parallel, and a dropped connection rolls back
+// only its own open transaction.
+//
 // Protocol (text, one request per line):
 //
 //	C: EXEC <sql>\n            (the SQL must not contain newlines)
@@ -94,6 +100,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
+	// One session per connection: the connection's transaction scope.
+	// Closing the session on exit rolls back an open transaction if the
+	// client disconnected mid-transaction — without touching any other
+	// connection's session.
+	exec := s.exec
+	if se, ok := s.exec.(core.SessionExecutor); ok {
+		sess := se.OpenSession()
+		defer func() { _ = sess.Close() }()
+		exec = sess
+	}
 	rd := bufio.NewReader(conn)
 	wr := bufio.NewWriter(conn)
 	for {
@@ -104,7 +120,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		line = strings.TrimRight(line, "\r\n")
 		switch {
 		case strings.HasPrefix(line, "EXEC "):
-			s.handleExec(wr, strings.TrimPrefix(line, "EXEC "))
+			handleExec(exec, wr, strings.TrimPrefix(line, "EXEC "))
 		case line == "PING":
 			fmt.Fprint(wr, "OK 0 0 0\n.\n")
 		case line == "QUIT":
@@ -119,8 +135,8 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-func (s *Server) handleExec(wr *bufio.Writer, sql string) {
-	res, lat, err := s.exec.Exec(sql)
+func handleExec(exec core.Executor, wr *bufio.Writer, sql string) {
+	res, lat, err := exec.Exec(sql)
 	if err != nil {
 		fmt.Fprintf(wr, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
 		return

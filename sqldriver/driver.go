@@ -13,6 +13,15 @@
 // Register-and-open:
 //
 //	db, err := sql.Open("divsql", "diverse:PG,OR,MS")
+//
+// Endpoints are shared per DSN for the lifetime of the process and each
+// database/sql connection maps to one session of the endpoint — so Go's
+// connection pool actually pools: every pooled connection sees the same
+// data, transactions are scoped to their connection, and concurrent
+// connections execute in parallel. Closing a connection closes only its
+// session (the endpoint and its data survive, as for a networked DBMS).
+// Append a '#label' fragment to a DSN to force a distinct endpoint
+// instance ("single:PG#test2" is a different database than "single:PG").
 package sqldriver
 
 import (
@@ -49,9 +58,35 @@ type Driver struct{}
 
 var _ driver.Driver = (*Driver)(nil)
 
-// Open parses the DSN and builds the endpoint.
+// endpoints caches one endpoint per DSN so that every connection of a
+// database/sql pool attaches to the same database.
+var (
+	endpointsMu sync.Mutex
+	endpoints   = map[string]core.SessionExecutor{}
+)
+
+// Open resolves the DSN to its (shared) endpoint and opens one session
+// on it: the connection.
 func (d *Driver) Open(dsn string) (driver.Conn, error) {
-	db, err := openDSN(dsn)
+	ep, err := endpointFor(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return &conn{sess: ep.OpenSession()}, nil
+}
+
+// endpointFor returns the endpoint for a DSN, building it on first use.
+// The cache key is the full DSN including any '#label' fragment; the
+// fragment is stripped before parsing, so labels select distinct
+// instances of otherwise identical configurations.
+func endpointFor(dsn string) (core.SessionExecutor, error) {
+	endpointsMu.Lock()
+	defer endpointsMu.Unlock()
+	if ep, ok := endpoints[dsn]; ok {
+		return ep, nil
+	}
+	base, _, _ := strings.Cut(dsn, "#")
+	db, err := openDSN(base)
 	if err != nil {
 		return nil, err
 	}
@@ -59,7 +94,12 @@ func (d *Driver) Open(dsn string) (driver.Conn, error) {
 	if !ok {
 		return nil, fmt.Errorf("sqldriver: endpoint %q exposes no executor", dsn)
 	}
-	return &conn{db: db, exec: exec}, nil
+	ep, ok := exec.(core.SessionExecutor)
+	if !ok {
+		return nil, fmt.Errorf("sqldriver: endpoint %q does not support sessions", dsn)
+	}
+	endpoints[dsn] = ep
+	return ep, nil
 }
 
 func openDSN(dsn string) (divsql.DB, error) {
@@ -92,10 +132,10 @@ func openDSN(dsn string) (divsql.DB, error) {
 	}
 }
 
-// conn is one database/sql connection.
+// conn is one database/sql connection: one session of the shared
+// endpoint, carrying the connection's transaction scope.
 type conn struct {
-	db   divsql.DB
-	exec core.Executor
+	sess core.Session
 }
 
 var _ driver.Conn = (*conn)(nil)
@@ -107,12 +147,13 @@ func (c *conn) Prepare(query string) (driver.Stmt, error) {
 	return &stmt{conn: c, query: query, numInput: strings.Count(query, "?")}, nil
 }
 
-// Close releases the endpoint.
-func (c *conn) Close() error { return c.db.Close() }
+// Close releases the connection's session, rolling back any open
+// transaction. The endpoint itself (and its data) survives.
+func (c *conn) Close() error { return c.sess.Close() }
 
-// Begin starts a transaction.
+// Begin starts a transaction on this connection's session.
 func (c *conn) Begin() (driver.Tx, error) {
-	if _, _, err := c.exec.Exec("BEGIN TRANSACTION"); err != nil {
+	if _, _, err := c.sess.Exec("BEGIN TRANSACTION"); err != nil {
 		return nil, err
 	}
 	return &tx{conn: c}, nil
@@ -121,12 +162,12 @@ func (c *conn) Begin() (driver.Tx, error) {
 type tx struct{ conn *conn }
 
 func (t *tx) Commit() error {
-	_, _, err := t.conn.exec.Exec("COMMIT")
+	_, _, err := t.conn.sess.Exec("COMMIT")
 	return err
 }
 
 func (t *tx) Rollback() error {
-	_, _, err := t.conn.exec.Exec("ROLLBACK")
+	_, _, err := t.conn.sess.Exec("ROLLBACK")
 	return err
 }
 
@@ -146,7 +187,7 @@ func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := s.conn.exec.Exec(sqlText)
+	res, _, err := s.conn.sess.Exec(sqlText)
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +203,7 @@ func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := s.conn.exec.Exec(sqlText)
+	res, _, err := s.conn.sess.Exec(sqlText)
 	if err != nil {
 		return nil, err
 	}

@@ -3,21 +3,24 @@ package sqldriver
 import (
 	"database/sql"
 	"database/sql/driver"
+	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
+
+var openSeq atomic.Int64
 
 func open(t *testing.T, dsn string) *sql.DB {
 	t.Helper()
 	Register()
-	db, err := sql.Open(DriverName, dsn)
+	// A unique '#label' per call gives every test a fresh endpoint
+	// instance; within the test, all pooled connections share it.
+	db, err := sql.Open(DriverName, fmt.Sprintf("%s#%s-%d", dsn, t.Name(), openSeq.Add(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = db.Close() })
-	// database/sql pools connections; our endpoints are stateful, so a
-	// single connection must serve the whole test.
-	db.SetMaxOpenConns(1)
 	return db
 }
 

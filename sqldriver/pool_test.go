@@ -1,0 +1,134 @@
+package sqldriver
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestPooledConnectionsShareOneDatabase: with endpoints cached per DSN,
+// every connection of the pool attaches to the same database — the fix
+// for the original driver, where each pooled connection silently opened
+// its own empty database.
+func TestPooledConnectionsShareOneDatabase(t *testing.T) {
+	db := open(t, "single:PG")
+	db.SetMaxOpenConns(4)
+	if _, err := db.Exec("CREATE TABLE T (A INT)"); err != nil {
+		t.Fatal(err)
+	}
+	// Force several distinct pooled connections and use each: all of
+	// them must see (and extend) the same table.
+	ctx := context.Background()
+	conns := make([]*sql.Conn, 0, 3)
+	for i := 0; i < 3; i++ {
+		c, err := db.Conn(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+		if _, err := c.ExecContext(ctx, fmt.Sprintf("INSERT INTO T VALUES (%d)", i)); err != nil {
+			t.Fatalf("conn %d: %v", i, err)
+		}
+	}
+	for i, c := range conns {
+		var n int64
+		if err := c.QueryRowContext(ctx, "SELECT COUNT(*) AS N FROM T").Scan(&n); err != nil {
+			t.Fatal(err)
+		}
+		if n != 3 {
+			t.Errorf("conn %d sees %d rows, want 3", i, n)
+		}
+		_ = c.Close()
+	}
+}
+
+// TestPooledTransactionsAreConnectionScoped: transactions on two pooled
+// connections are independent — one rolling back does not disturb the
+// other committing.
+func TestPooledTransactionsAreConnectionScoped(t *testing.T) {
+	db := open(t, "single:OR")
+	db.SetMaxOpenConns(4)
+	if _, err := db.Exec("CREATE TABLE TA (A INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE TB (A INT)"); err != nil {
+		t.Fatal(err)
+	}
+	txA, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	txB, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txA.Exec("INSERT INTO TA VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txB.Exec("INSERT INTO TB VALUES (2)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := txA.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := txB.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	if err := db.QueryRow("SELECT COUNT(*) AS N FROM TA").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("TA: rolled-back row survived (%d rows)", n)
+	}
+	if err := db.QueryRow("SELECT COUNT(*) AS N FROM TB").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("TB: committed row lost (%d rows)", n)
+	}
+}
+
+// TestConcurrentPooledWorkload drives a diverse endpoint from concurrent
+// goroutines through database/sql. Run with -race.
+func TestConcurrentPooledWorkload(t *testing.T) {
+	db := open(t, "diverse:PG,OR,MS")
+	db.SetMaxOpenConns(4)
+	const workers = 4
+	const rounds = 8
+	for i := 0; i < workers; i++ {
+		if _, err := db.Exec(fmt.Sprintf("CREATE TABLE P%d (X INT)", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if _, err := db.Exec(fmt.Sprintf("INSERT INTO P%d VALUES (%d)", i, r)); err != nil {
+					t.Errorf("worker %d: %v", i, err)
+					return
+				}
+				var n int64
+				if err := db.QueryRow(fmt.Sprintf("SELECT COUNT(*) AS N FROM P%d", i)).Scan(&n); err != nil {
+					t.Errorf("worker %d: %v", i, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		var n int64
+		if err := db.QueryRow(fmt.Sprintf("SELECT COUNT(*) AS N FROM P%d", i)).Scan(&n); err != nil {
+			t.Fatal(err)
+		}
+		if n != rounds {
+			t.Errorf("P%d has %d rows, want %d", i, n, rounds)
+		}
+	}
+}
