@@ -17,6 +17,7 @@ import (
 	"divsql/internal/core"
 	"divsql/internal/corpus"
 	"divsql/internal/dialect"
+	"divsql/internal/difftest"
 	"divsql/internal/middleware"
 	"divsql/internal/reliability"
 	"divsql/internal/replication"
@@ -474,4 +475,42 @@ func BenchmarkReadPolicyTradeoff(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkDiffFuzz measures the differential harness's adjudicated
+// throughput: generated statements executed on four servers plus the
+// oracle, each adjudicated with the representation-tolerant comparator.
+// The custom metric stmts/s is the number of generated (5-way
+// adjudicated) statements per second.
+func BenchmarkDiffFuzz(b *testing.B) {
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := difftest.CalibratedConfig(int64(i+1), 1000)
+		cfg.Shrink = false
+		res, err := difftest.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Statements
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "stmts/s")
+}
+
+// BenchmarkDiffFuzzFaultFree is the clean-path baseline: no faults, no
+// divergences, pure generate-execute-adjudicate cost.
+func BenchmarkDiffFuzzFaultFree(b *testing.B) {
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := difftest.Run(difftest.DefaultConfig(int64(i+1), 1000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Divergences) != 0 {
+			b.Fatalf("fault-free run diverged: %s", res.Render(false))
+		}
+		total += res.Statements
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "stmts/s")
 }

@@ -1,0 +1,60 @@
+// Command divfuzz hunts for cross-server divergences with generated
+// workloads: it feeds a seeded, schema-aware SQL stream (internal/qgen)
+// through the four simulated servers and the pristine oracle, and
+// reports every fingerprint-deduplicated divergence with a shrunk,
+// replayable reproduction (internal/difftest).
+//
+// Usage:
+//
+//	divfuzz [-seed N] [-n N] [-streams N] [-faults=false] [-stress]
+//	        [-shrink=false] [-maxreports N] [-v]
+//
+// With -faults (the default) the harness is armed with the calibrated
+// 181-bug corpus fault set and the generator's table pool targets the
+// faults' trigger regions. With -faults=false the run is the smoke
+// configuration: the common dialect subset must be divergence-free, so
+// any finding is a harness or engine bug and the exit status is 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"divsql/internal/difftest"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "generator seed (same seed, same stream, same findings)")
+	n := flag.Int("n", 5000, "statements per stream")
+	streams := flag.Int("streams", 1, "concurrent client streams (disjoint table namespaces)")
+	faults := flag.Bool("faults", true, "arm the calibrated corpus fault set")
+	stress := flag.Bool("stress", false, "stressful environment (Heisenbug triggers active)")
+	shrink := flag.Bool("shrink", true, "shrink each divergence to a minimal repro stream")
+	maxReports := flag.Int("maxreports", 6, "shrunk reports per server")
+	verbose := flag.Bool("v", false, "print full repro reports")
+	flag.Parse()
+
+	var cfg difftest.Config
+	if *faults {
+		cfg = difftest.CalibratedConfig(*seed, *n)
+	} else {
+		cfg = difftest.DefaultConfig(*seed, *n)
+	}
+	cfg.Streams = *streams
+	cfg.Stress = *stress
+	cfg.Shrink = *shrink
+	cfg.MaxReportsPerServer = *maxReports
+
+	res, err := difftest.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "divfuzz:", err)
+		os.Exit(2)
+	}
+	fmt.Print(res.Render(*verbose))
+
+	if !*faults && len(res.Divergences) > 0 {
+		fmt.Fprintln(os.Stderr, "divfuzz: divergences in the fault-free configuration — harness or engine bug")
+		os.Exit(1)
+	}
+}

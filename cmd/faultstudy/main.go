@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	faultstudy [-table N] [-summary] [-gains] [-stress] [-bugs]
+//	faultstudy [-table N] [-summary] [-gains] [-stress] [-bugs] [-dedup]
 //
 // With no flags, everything is printed.
 package main
@@ -27,24 +27,28 @@ func main() {
 	gains := flag.Bool("gains", false, "print the Section 6 reliability-gain estimates")
 	stress := flag.Bool("stress", false, "run in the stressful environment (Heisenbugs can manifest)")
 	bugs := flag.Bool("bugs", false, "list every bug with its per-server classification")
+	dedup := flag.Bool("dedup", false, "print per-server failures deduplicated by statement fingerprint")
 	flag.Parse()
 
-	if err := run(*table, *summary, *gains, *stress, *bugs); err != nil {
+	if err := run(*table, *summary, *gains, *stress, *bugs, *dedup); err != nil {
 		fmt.Fprintln(os.Stderr, "faultstudy:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, summary, gains, stress, bugs bool) error {
+func run(table int, summary, gains, stress, bugs, dedup bool) error {
 	s := study.New()
 	s.Stress = stress
 	res, err := s.Run()
 	if err != nil {
 		return err
 	}
-	all := table == 0 && !summary && !gains && !bugs
+	all := table == 0 && !summary && !gains && !bugs && !dedup
 	if bugs {
 		printBugs(res)
+	}
+	if dedup {
+		fmt.Println(res.RenderDedup())
 	}
 	if all || table == 1 {
 		fmt.Println(res.BuildTable1().Render())

@@ -1,0 +1,47 @@
+package corpus
+
+import (
+	"testing"
+
+	"divsql/internal/sql/ast"
+	"divsql/internal/sql/parser"
+)
+
+// The differential workload generator (internal/qgen) emits ASTs and
+// ships them to the servers as rendered SQL, so ast.Render must be a
+// faithful, re-parseable serialization for every construct the corpus
+// exercises. This property test runs parse -> render -> parse over every
+// statement of every bug script: the second render must be a fixed point
+// and the statement's fingerprint (the fault-trigger key) must survive.
+func TestCorpusRenderRoundTrip(t *testing.T) {
+	seen := 0
+	for _, bug := range All() {
+		stmts, err := parser.SplitScript(bug.Script)
+		if err != nil {
+			t.Fatalf("%s: split: %v", bug.ID, err)
+		}
+		for _, sql := range stmts {
+			st1, err := parser.Parse(sql)
+			if err != nil {
+				t.Fatalf("%s: parse %q: %v", bug.ID, sql, err)
+			}
+			r1 := ast.Render(st1)
+			st2, err := parser.Parse(r1)
+			if err != nil {
+				t.Errorf("%s: render not re-parseable:\n  src:    %s\n  render: %s\n  error:  %v", bug.ID, sql, r1, err)
+				continue
+			}
+			if r2 := ast.Render(st2); r2 != r1 {
+				t.Errorf("%s: render not a fixed point:\n  src: %s\n  r1:  %s\n  r2:  %s", bug.ID, sql, r1, r2)
+			}
+			fp1, fp2 := ast.FingerprintOf(st1).String(), ast.FingerprintOf(st2).String()
+			if fp1 != fp2 {
+				t.Errorf("%s: fingerprint changed across render:\n  src: %s\n  fp1: %s\n  fp2: %s", bug.ID, sql, fp1, fp2)
+			}
+			seen++
+		}
+	}
+	if seen < 500 {
+		t.Fatalf("round-tripped only %d statements; corpus should provide many more", seen)
+	}
+}

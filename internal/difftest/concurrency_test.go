@@ -1,0 +1,48 @@
+package difftest
+
+import (
+	"testing"
+
+	"divsql/internal/dialect"
+)
+
+// Concurrent client streams share the four servers but work in disjoint
+// table namespaces, so fault-free adjudication stays exact while the
+// per-session execution path of every layer runs genuinely in parallel
+// (this test is most valuable under -race, which CI enables).
+func TestConcurrentStreamsFaultFree(t *testing.T) {
+	cfg := DefaultConfig(11, 400)
+	cfg.Streams = 4
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Divergences) != 0 {
+		for _, d := range res.Divergences {
+			t.Errorf("stream %d diverged on %s: [%s] %s (%s)", d.Stream, d.Server, d.Class.Type, d.SQL, d.Class.Detail)
+		}
+	}
+	if res.Statements != 4*400 {
+		t.Errorf("adjudicated %d statements, want %d", res.Statements, 4*400)
+	}
+}
+
+// With faults armed, concurrent streams must still find the injected
+// divergences; collateral crash observations from sibling streams are
+// acceptable, but every divergence must name a real server.
+func TestConcurrentStreamsCalibrated(t *testing.T) {
+	cfg := CalibratedConfig(13, 700)
+	cfg.Streams = 4
+	cfg.Shrink = false
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range dialect.AllServers {
+		total += res.PerServer[s]
+	}
+	if total == 0 {
+		t.Error("concurrent calibrated run found nothing")
+	}
+}

@@ -1,0 +1,462 @@
+// Package difftest is the differential divergence-hunting harness: it
+// replays seeded, schema-aware statement streams (internal/qgen) through
+// the four simulated servers and the pristine oracle, adjudicates every
+// statement with the paper's representation-tolerant comparator and
+// observational failure classification, deduplicates divergences by
+// statement fingerprint (the paper's per-bug counting), shrinks each
+// first occurrence to a minimal repro stream by greedy statement
+// elision, and emits self-contained, replayable reports.
+//
+// The paper studies a fixed 181-bug corpus; this harness scales its
+// central question — do diverse servers fail on the same statement? — to
+// open-ended generated workloads, in the spirit of automated database
+// testing work (Rigger & Su's pivoted query synthesis and successors).
+//
+// With fault injection disabled and the generator's CommonProfile, a run
+// must report zero divergences: every server implements the common
+// dialect subset identically to the oracle. Every divergence under
+// injection is therefore attributable to a fault (or, under concurrent
+// streams, to a fault's collateral crash observed by another stream).
+package difftest
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"divsql/internal/core"
+	"divsql/internal/corpus"
+	"divsql/internal/dialect"
+	"divsql/internal/fault"
+	"divsql/internal/qgen"
+	"divsql/internal/server"
+	"divsql/internal/sql/ast"
+	"divsql/internal/sql/parser"
+	"divsql/internal/study"
+)
+
+// Config parameterizes one differential run.
+type Config struct {
+	// Seed drives the workload generator (and, with it, the whole run:
+	// same config, same divergence set on a single stream).
+	Seed int64
+	// N is the number of statements per stream.
+	N int
+	// Streams is the number of concurrent client streams. Each stream
+	// works in its own table namespace so adjudication stays exact; more
+	// than one stream exercises the per-session execution path of every
+	// layer (run under -race).
+	Streams int
+	// Gen overrides the generator profile (nil: qgen.CommonProfile).
+	// Seed, NamePrefix and TableNames are managed per stream.
+	Gen *qgen.Options
+	// Servers under test (default: all four).
+	Servers []dialect.ServerName
+	// Faults is the injected fault set (nil: fault-free configuration).
+	Faults []fault.Fault
+	// Stress enables the stressful environment (Heisenbug triggers).
+	Stress bool
+	// Shrink minimizes the stream behind each deduplicated divergence
+	// and builds a replayable report.
+	Shrink bool
+	// MaxReportsPerServer caps shrinking work (divergences beyond the
+	// cap are still counted and listed, just not shrunk). 0 means 6.
+	MaxReportsPerServer int
+}
+
+// DefaultConfig is the fault-free smoke configuration.
+func DefaultConfig(seed int64, n int) Config {
+	return Config{Seed: seed, N: n, Streams: 1, Shrink: true}
+}
+
+// CalibratedConfig arms the harness with the full corpus fault set and
+// points the generator's table-name pool at the faults' trigger tables,
+// one per (server, effect-kind), so generated statements fall into every
+// server's calibrated failure regions.
+func CalibratedConfig(seed int64, n int) Config {
+	cfg := Config{Seed: seed, N: n, Streams: 1, Shrink: true, Faults: corpus.AllFaults()}
+	gen := qgen.CommonProfile(seed)
+	gen.TableNames = triggerTables(cfg.Faults)
+	cfg.Gen = &gen
+	return cfg
+}
+
+// triggerTables picks one trigger table per (server, effect kind,
+// stress-only) slot from the fault set, in deterministic corpus order.
+// Stress-only (Heisenbug) regions get their own slots so a -stress run
+// aims at them too; on a quiet run their tables are ordinary workload
+// tables.
+func triggerTables(faults []fault.Fault) []string {
+	type slot struct {
+		s      dialect.ServerName
+		k      fault.EffectKind
+		stress bool
+	}
+	seen := make(map[slot]bool)
+	dup := make(map[string]bool)
+	var out []string
+	for _, f := range faults {
+		if f.Trigger.Table == "" || dup[f.Trigger.Table] {
+			continue
+		}
+		sl := slot{f.Server, f.Effect.Kind, f.Trigger.UnderStressOnly}
+		if seen[sl] {
+			continue
+		}
+		seen[sl] = true
+		dup[f.Trigger.Table] = true
+		out = append(out, f.Trigger.Table)
+	}
+	return out
+}
+
+// Divergence is one deduplicated deviation of one server from the
+// oracle: all occurrences whose triggering statements share a syntactic
+// fingerprint count as one. For table-scoped faults hit by repeated
+// statements of one shape this matches the paper's per-bug counting; a
+// broad failure region still splits across the distinct statement
+// shapes that fall into it, so the distinct-fingerprint count is an
+// upper bound on distinct faults, not a bug census.
+type Divergence struct {
+	Server      dialect.ServerName
+	Fingerprint string
+	Class       core.Classification
+	// SQL is the first triggering statement observed.
+	SQL string
+	// Stream and Index locate the first occurrence.
+	Stream, Index int
+	// Count is the number of raw occurrences collapsed into this record.
+	Count int
+	// Report is the shrunk, replayable reproduction (nil when shrinking
+	// was disabled or the per-server report cap was reached).
+	Report *Report
+}
+
+// Result is the outcome of one differential run.
+type Result struct {
+	// Statements is the number of generated statements adjudicated.
+	Statements int
+	// Execs counts statement executions across all endpoints.
+	Execs int
+	// Divergences is the deduplicated list, sorted by server then
+	// fingerprint.
+	Divergences []*Divergence
+	// PerServer counts deduplicated divergences per server.
+	PerServer map[dialect.ServerName]int
+	// Raw counts total (pre-dedup) divergent statement executions.
+	Raw int
+	// Elapsed is the wall-clock run time.
+	Elapsed time.Duration
+}
+
+type dedupKey struct {
+	server dialect.ServerName
+	fp     string
+}
+
+// hunt is the shared state of one run.
+type hunt struct {
+	cfg     Config
+	servers []*server.Server
+	orc     *server.Server
+
+	mu      sync.Mutex
+	seen    map[dedupKey]*Divergence
+	pending []pendingShrink
+	raw     int
+}
+
+type pendingShrink struct {
+	key     dedupKey
+	history []string
+}
+
+// Run executes one differential run.
+func Run(cfg Config) (*Result, error) {
+	start := time.Now()
+	if cfg.N <= 0 {
+		cfg.N = 1000
+	}
+	if cfg.Streams <= 0 {
+		cfg.Streams = 1
+	}
+	if len(cfg.Servers) == 0 {
+		cfg.Servers = append([]dialect.ServerName(nil), dialect.AllServers...)
+	}
+	if cfg.MaxReportsPerServer == 0 {
+		cfg.MaxReportsPerServer = 6
+	}
+	h := &hunt{cfg: cfg, seen: make(map[dedupKey]*Divergence)}
+	for _, name := range cfg.Servers {
+		srv, err := server.New(name, cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		srv.SetStress(cfg.Stress)
+		h.servers = append(h.servers, srv)
+	}
+	h.orc = server.NewOracle()
+
+	var wg sync.WaitGroup
+	for s := 0; s < cfg.Streams; s++ {
+		wg.Add(1)
+		go func(stream int) {
+			defer wg.Done()
+			h.runStream(stream)
+		}(s)
+	}
+	wg.Wait()
+
+	res := &Result{
+		Statements: cfg.N * cfg.Streams,
+		Execs:      cfg.N * cfg.Streams * (len(cfg.Servers) + 1),
+		PerServer:  make(map[dialect.ServerName]int),
+		Raw:        h.raw,
+	}
+	for _, d := range h.seen {
+		res.Divergences = append(res.Divergences, d)
+		res.PerServer[d.Server]++
+	}
+	sort.Slice(res.Divergences, func(i, j int) bool {
+		a, b := res.Divergences[i], res.Divergences[j]
+		if a.Server != b.Server {
+			return serverRank(cfg.Servers, a.Server) < serverRank(cfg.Servers, b.Server)
+		}
+		return a.Fingerprint < b.Fingerprint
+	})
+
+	if cfg.Shrink {
+		sort.Slice(h.pending, func(i, j int) bool {
+			a, b := h.pending[i], h.pending[j]
+			if a.key.server != b.key.server {
+				return serverRank(cfg.Servers, a.key.server) < serverRank(cfg.Servers, b.key.server)
+			}
+			return a.key.fp < b.key.fp
+		})
+		for _, p := range h.pending {
+			rep := shrinkAndReport(cfg, p.key, p.history)
+			if rep != nil {
+				h.seen[p.key].Report = rep
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func serverRank(order []dialect.ServerName, s dialect.ServerName) int {
+	for i, n := range order {
+		if n == s {
+			return i
+		}
+	}
+	return len(order)
+}
+
+// genOptionsFor derives the per-stream generator options: distinct seed,
+// a private table namespace, and a round-robin share of the trigger-
+// table pool.
+func (h *hunt) genOptionsFor(stream int) qgen.Options {
+	var opts qgen.Options
+	if h.cfg.Gen != nil {
+		opts = *h.cfg.Gen
+	} else {
+		opts = qgen.CommonProfile(h.cfg.Seed)
+	}
+	opts.Seed = h.cfg.Seed + int64(stream)*1_000_003
+	if h.cfg.Streams > 1 {
+		opts.NamePrefix = fmt.Sprintf("S%d_%s", stream, opts.NamePrefix)
+		var share []string
+		for i, t := range opts.TableNames {
+			if i%h.cfg.Streams == stream {
+				share = append(share, t)
+			}
+		}
+		opts.TableNames = share
+	}
+	return opts
+}
+
+// runStream drives one client stream in lockstep across every endpoint:
+// the statement is executed on the oracle and all servers (each through
+// this stream's own session, concurrently), then each server's outcome
+// is adjudicated against the oracle's before the next statement.
+func (h *hunt) runStream(stream int) {
+	gen := qgen.New(h.genOptionsFor(stream))
+	oSess := h.orc.NewSession()
+	defer oSess.Close()
+	sess := make([]*server.Session, len(h.servers))
+	for i, srv := range h.servers {
+		sess[i] = srv.NewSession()
+		defer sess[i].Close()
+	}
+
+	history := make([]string, 0, h.cfg.N)
+	outs := make([]server.StmtOutcome, len(sess)+1)
+	pendingResync := make([]bool, len(sess))
+	for i := 0; i < h.cfg.N; i++ {
+		st := gen.Next()
+		sql := ast.Render(st)
+		history = append(history, sql)
+
+		var wg sync.WaitGroup
+		exec := func(slot int, e core.Executor) {
+			defer wg.Done()
+			res, lat, err := e.Exec(sql)
+			outs[slot] = server.StmtOutcome{
+				SQL: sql, Res: res, Err: err, Latency: lat,
+				Crashed: errors.Is(err, server.ErrCrashed),
+			}
+		}
+		wg.Add(len(sess) + 1)
+		go exec(len(sess), oSess)
+		for j := range sess {
+			go exec(j, sess[j])
+		}
+		wg.Wait()
+
+		oo := outs[len(sess)]
+		for j := range sess {
+			so := outs[j]
+			if so.Crashed {
+				// Bring the server back (committed state survives) so the
+				// hunt continues; the crash itself is the divergence.
+				h.servers[j].Restart()
+			}
+			cls := classifyPair(st, so, oo)
+			if cls.IsFailure() {
+				h.record(h.servers[j].Name(), st, sql, cls, history, stream, i)
+				if stateDiverging(st, so, oo, cls) {
+					pendingResync[j] = true
+				}
+			}
+		}
+		// A state-diverging fault (crash, missed or extra write, dropped
+		// connection) would cascade: every later statement over the
+		// affected state diverges too, burying the signal and blaming the
+		// wrong region. Resync the server from the oracle at the next
+		// transaction boundary — the same donor-copy the diverse
+		// middleware uses for replica rejoin. Only the single-stream
+		// precision mode can do this (with concurrent streams the oracle
+		// snapshot could carry sibling streams' open transactions).
+		if h.cfg.Streams == 1 && !oSess.InTxn() {
+			for j := range pendingResync {
+				if pendingResync[j] {
+					h.servers[j].Restore(h.orc.Snapshot())
+					pendingResync[j] = false
+				}
+			}
+		}
+	}
+}
+
+// stateDiverging reports whether a divergent outcome implies the
+// server's durable state now differs from the oracle's (so the hunt
+// must resync before adjudicating further statements). Mutated or
+// wrongly-produced query output leaves state intact; crashes (open
+// transactions lost), dropped connections (transaction rolled back on
+// one side only) and error mismatches on writes do not.
+func stateDiverging(st ast.Statement, so, oo server.StmtOutcome, cls core.Classification) bool {
+	if cls.Type == core.EngineCrash {
+		return true
+	}
+	if errors.Is(so.Err, server.ErrConnAborted) {
+		return true
+	}
+	if _, isSel := st.(*ast.Select); isSel {
+		return false
+	}
+	return (so.Err == nil) != (oo.Err == nil)
+}
+
+// record deduplicates one divergent execution by (server, fingerprint).
+func (h *hunt) record(name dialect.ServerName, st ast.Statement, sql string, cls core.Classification, history []string, stream, index int) {
+	key := dedupKey{name, ast.FingerprintOf(st).String()}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if d, ok := h.seen[key]; ok {
+		d.Count++
+		h.raw++
+		return
+	}
+	h.raw++
+	h.seen[key] = &Divergence{
+		Server: name, Fingerprint: key.fp, Class: cls,
+		SQL: sql, Stream: stream, Index: index, Count: 1,
+	}
+	if h.cfg.Shrink && h.perServerPending(name) < h.cfg.MaxReportsPerServer {
+		h.pending = append(h.pending, pendingShrink{
+			key:     key,
+			history: append([]string(nil), history...),
+		})
+	}
+}
+
+func (h *hunt) perServerPending(name dialect.ServerName) int {
+	n := 0
+	for _, p := range h.pending {
+		if p.key.server == name {
+			n++
+		}
+	}
+	return n
+}
+
+// classifyPair adjudicates one statement's outcome on a server against
+// the oracle's, following the study's observational classification.
+func classifyPair(st ast.Statement, so, oo server.StmtOutcome) core.Classification {
+	sel, isSel := st.(*ast.Select)
+	switch {
+	case so.Crashed:
+		return core.Classification{
+			Status: core.StatusFailure, Type: core.EngineCrash, SelfEvident: true,
+			Detail: "engine crashed on: " + so.SQL,
+		}
+	case so.Err != nil && oo.Err == nil:
+		typ := core.IncorrectResult
+		if errors.Is(so.Err, server.ErrConnAborted) {
+			typ = core.OtherFailure
+		}
+		return core.Classification{
+			Status: core.StatusFailure, Type: typ, SelfEvident: true,
+			Detail: so.Err.Error(),
+		}
+	case so.Err == nil && oo.Err != nil:
+		if isSel {
+			return core.Classification{
+				Status: core.StatusFailure, Type: core.IncorrectResult,
+				Detail: "query succeeded where it should have failed",
+			}
+		}
+		return core.Classification{
+			Status: core.StatusFailure, Type: core.OtherFailure,
+			Detail: "invalid statement accepted: " + oo.Err.Error(),
+		}
+	case so.Err == nil && oo.Err == nil:
+		if isSel {
+			opts := core.DefaultCompareOptions()
+			opts.OrderSensitive = len(sel.OrderBy) > 0
+			if d := core.Diff(so.Res, oo.Res, opts); d != "" {
+				return core.Classification{Status: core.StatusFailure, Type: core.IncorrectResult, Detail: d}
+			}
+		}
+		if so.Latency-oo.Latency >= study.PerfThreshold {
+			return core.Classification{
+				Status: core.StatusFailure, Type: core.Performance, SelfEvident: true,
+				Detail: "execution time exceeded acceptance threshold",
+			}
+		}
+	}
+	return core.Classification{Status: core.StatusNoFailure}
+}
+
+// classifySQL is classifyPair for replayed statements (text only).
+func classifySQL(sql string, so, oo server.StmtOutcome) core.Classification {
+	st, err := parser.Parse(sql)
+	if err != nil {
+		st = nil
+	}
+	return classifyPair(st, so, oo)
+}

@@ -1,0 +1,124 @@
+package difftest
+
+import (
+	"fmt"
+	"strings"
+
+	"divsql/internal/core"
+	"divsql/internal/dialect"
+	"divsql/internal/fault"
+	"divsql/internal/server"
+)
+
+// Report is a self-contained, replayable reproduction of one
+// divergence: the minimal statement stream (schema DDL, data and the
+// trigger), the fault configuration, and every server's observed
+// behavior on the trigger statement. Feed it to Replay to confirm.
+type Report struct {
+	// Server is the divergent server.
+	Server dialect.ServerName
+	// Fingerprint identifies the fault region (dedup key).
+	Fingerprint string
+	// Seed is the generator seed of the originating run.
+	Seed int64
+	// Faults and Stress reproduce the originating configuration.
+	Faults []fault.Fault
+	Stress bool
+	// Stream is the minimal statement sequence.
+	Stream []string
+	// Trigger is the diverging statement, at TriggerIndex in Stream.
+	Trigger      string
+	TriggerIndex int
+	// Class is the observational failure classification.
+	Class core.Classification
+	// Behavior records each server's outcome on the trigger statement;
+	// OracleBehavior is the pristine reference outcome.
+	Behavior       map[dialect.ServerName]string
+	OracleBehavior string
+}
+
+// resultSummary renders a compact row/affected summary of an outcome.
+func resultSummary(out server.StmtOutcome) string {
+	res := out.Res
+	if res == nil {
+		return "ok"
+	}
+	d := core.Digest(res, core.DefaultCompareOptions())
+	if len(res.Rows) > 0 || len(res.Columns) > 0 {
+		return fmt.Sprintf("%d row(s), digest %08x", len(res.Rows), fnv32(d))
+	}
+	return fmt.Sprintf("ok (affected %d)", res.Affected)
+}
+
+// fnv32 is a tiny stable hash for digest display.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// Render prints the report in a replayable, human-readable form.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== divergence on %s (%s, %s)\n", r.Server, r.Class.Type, evidence(r.Class))
+	fmt.Fprintf(&b, "fingerprint: %s\n", r.Fingerprint)
+	fmt.Fprintf(&b, "seed %d, %d statement(s), trigger #%d\n", r.Seed, len(r.Stream), r.TriggerIndex+1)
+	b.WriteString("--- minimal stream\n")
+	for i, s := range r.Stream {
+		marker := "   "
+		if i == r.TriggerIndex {
+			marker = ">>>"
+		}
+		fmt.Fprintf(&b, "%s %s;\n", marker, s)
+	}
+	b.WriteString("--- observed behavior on trigger\n")
+	fmt.Fprintf(&b, "    %-10s %s\n", "ORACLE:", r.OracleBehavior)
+	for _, s := range dialect.AllServers {
+		if beh, ok := r.Behavior[s]; ok {
+			mark := ""
+			if s == r.Server {
+				mark = "  <-- divergent"
+			}
+			fmt.Fprintf(&b, "    %-10s %s%s\n", string(s)+":", beh, mark)
+		}
+	}
+	if r.Class.Detail != "" {
+		fmt.Fprintf(&b, "detail: %s\n", r.Class.Detail)
+	}
+	return b.String()
+}
+
+func evidence(c core.Classification) string {
+	if c.SelfEvident {
+		return "self-evident"
+	}
+	return "non-self-evident"
+}
+
+// Render prints the run summary: adjudication volume, per-server
+// deduplicated divergence counts, and the shrunk reports.
+func (r *Result) Render(verbose bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "differential run: %d statements adjudicated (%d executions) in %v\n",
+		r.Statements, r.Execs, r.Elapsed.Round(1000000))
+	if r.Statements > 0 && r.Elapsed > 0 {
+		fmt.Fprintf(&b, "throughput: %.0f statements/s adjudicated\n",
+			float64(r.Statements)/r.Elapsed.Seconds())
+	}
+	fmt.Fprintf(&b, "divergences: %d distinct fingerprints (%d raw occurrences)\n", len(r.Divergences), r.Raw)
+	for _, s := range dialect.AllServers {
+		if n, ok := r.PerServer[s]; ok {
+			fmt.Fprintf(&b, "  %s: %d\n", s, n)
+		}
+	}
+	for _, d := range r.Divergences {
+		fmt.Fprintf(&b, "- %s [%s] x%d: %s\n", d.Server, d.Class.Type, d.Count, d.SQL)
+		if verbose && d.Report != nil {
+			b.WriteString(d.Report.Render())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,290 @@
+package difftest
+
+import (
+	"strings"
+
+	"divsql/internal/dialect"
+	"divsql/internal/server"
+	"divsql/internal/sql/ast"
+	"divsql/internal/sql/parser"
+	"divsql/internal/study"
+)
+
+// maxShrinkReplays bounds the replay budget of one shrink: greedy
+// elision is quadratic in the worst case, and a report that is merely
+// small is still useful.
+const maxShrinkReplays = 400
+
+// shrinkAndReport minimizes the statement history behind one divergence
+// and packages it as a self-contained, replayable report. The shrink is
+// semantic, not positional: a candidate list survives when replaying it
+// on a fresh server/oracle pair still produces a divergence with the
+// original (server, fingerprint) key.
+func shrinkAndReport(cfg Config, key dedupKey, history []string) *Report {
+	shr := &shrinker{cfg: cfg, key: key}
+	if !shr.reproduces(history) {
+		// Not reproducible from this stream's history alone (concurrent
+		// streams can observe a crash another stream triggered). No
+		// minimal repro exists in this stream; report nothing.
+		return nil
+	}
+
+	// Pass 1: dependency slice — keep only statements whose referenced
+	// tables reach the trigger statement's tables (plus transaction
+	// control). This collapses the quadratic elision to the relevant
+	// tail. Fall back to the full history when slicing breaks repro.
+	sliced := dependencySlice(history)
+	if !shr.reproduces(sliced) {
+		sliced = history
+	}
+
+	// Pass 2: greedy statement elision to a fixed point (budgeted).
+	min := shr.elide(sliced)
+	return buildReport(cfg, key, min)
+}
+
+type shrinker struct {
+	cfg     Config
+	key     dedupKey
+	replays int
+}
+
+// elide removes statements whose absence preserves the divergence,
+// ddmin-style: chunks from half the stream down to single statements,
+// scanning backwards (later statements depend on earlier ones, so
+// removing from the back converges faster). The final single-statement
+// passes run to a fixed point, so the result is 1-minimal unless the
+// replay budget runs out first.
+func (s *shrinker) elide(stmts []string) []string {
+	cur := append([]string(nil), stmts...)
+	chunk := len(cur) / 2
+	if chunk < 1 {
+		chunk = 1
+	}
+	for {
+		changed := false
+		for start := len(cur) - chunk; start > -chunk; start -= chunk {
+			if s.replays >= maxShrinkReplays {
+				return cur
+			}
+			lo, hi := start, start+chunk
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > len(cur) || lo >= hi {
+				continue
+			}
+			cand := make([]string, 0, len(cur)-(hi-lo))
+			cand = append(cand, cur[:lo]...)
+			cand = append(cand, cur[hi:]...)
+			if s.reproduces(cand) {
+				cur = cand
+				changed = true
+			}
+		}
+		if chunk > 1 {
+			chunk /= 2
+			continue
+		}
+		if !changed {
+			return cur
+		}
+	}
+}
+
+// reproduces replays the candidate stream on a fresh (server, oracle)
+// pair through the study's executor path and checks whether any
+// statement diverges with the shrinker's (server, fingerprint) key.
+func (s *shrinker) reproduces(stmts []string) bool {
+	s.replays++
+	srv, err := server.New(s.key.server, s.cfg.Faults)
+	if err != nil {
+		return false
+	}
+	srv.SetStress(s.cfg.Stress)
+	orc := server.NewOracle()
+	sOut := study.RunSource(srv, study.SliceSource(stmts))
+	oOut := study.RunSource(orc, study.SliceSource(stmts))
+	return divergesWith(s.key, sOut, oOut) >= 0
+}
+
+// divergesWith scans paired outcomes for a divergence whose triggering
+// statement carries the key's fingerprint; it returns the statement
+// index or -1.
+func divergesWith(key dedupKey, sOut, oOut []server.StmtOutcome) int {
+	for i := range sOut {
+		if i >= len(oOut) {
+			break
+		}
+		cls := classifySQL(sOut[i].SQL, sOut[i], oOut[i])
+		if !cls.IsFailure() {
+			continue
+		}
+		st, err := parser.Parse(sOut[i].SQL)
+		if err != nil {
+			continue
+		}
+		if ast.FingerprintOf(st).String() == key.fp {
+			return i
+		}
+	}
+	return -1
+}
+
+// dependencySlice keeps the statements whose table sets transitively
+// reach the final (trigger) statement's tables, plus transaction
+// control. Statements over unrelated tables cannot influence the
+// divergence under the engine's disjoint-rows isolation contract.
+func dependencySlice(history []string) []string {
+	if len(history) == 0 {
+		return history
+	}
+	parsed := make([]ast.Statement, len(history))
+	for i, sql := range history {
+		parsed[i], _ = parser.Parse(sql)
+	}
+	needed := map[string]bool{}
+	last := parsed[len(history)-1]
+	if last == nil {
+		return history
+	}
+	for t := range ast.Tables(last) {
+		needed[t] = true
+	}
+	keep := make([]bool, len(history))
+	keep[len(history)-1] = true
+	for i := len(history) - 2; i >= 0; i-- {
+		st := parsed[i]
+		if st == nil {
+			keep[i] = true
+			continue
+		}
+		switch st.(type) {
+		case *ast.Begin, *ast.Commit, *ast.Rollback:
+			keep[i] = true
+			continue
+		}
+		tabs := ast.Tables(st)
+		hit := false
+		for t := range tabs {
+			if needed[t] {
+				hit = true
+				break
+			}
+		}
+		// Name-bearing DDL without table references (DROP INDEX etc.)
+		// stays only if its name matches a needed object.
+		if !hit {
+			if name := ddlObjectName(st); name != "" && needed[strings.ToUpper(name)] {
+				hit = true
+			}
+		}
+		if hit {
+			keep[i] = true
+			for t := range tabs {
+				needed[t] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(history))
+	for i, k := range keep {
+		if k {
+			out = append(out, history[i])
+		}
+	}
+	return out
+}
+
+// ddlObjectName names DDL statements whose target is not a table
+// reference (so ast.Tables misses it).
+func ddlObjectName(st ast.Statement) string {
+	switch x := st.(type) {
+	case *ast.CreateIndex:
+		return x.Table
+	case *ast.CreateSequence:
+		return x.Name
+	case *ast.DropSequence:
+		return x.Name
+	}
+	return ""
+}
+
+// Replay re-executes a report's statement stream on a fresh server and
+// oracle (same faults and stress setting as the original run) and
+// reports whether the recorded divergence reproduces.
+func Replay(r *Report) (bool, error) {
+	srv, err := server.New(r.Server, r.Faults)
+	if err != nil {
+		return false, err
+	}
+	srv.SetStress(r.Stress)
+	orc := server.NewOracle()
+	sOut := study.RunSource(srv, study.SliceSource(r.Stream))
+	oOut := study.RunSource(orc, study.SliceSource(r.Stream))
+	return divergesWith(dedupKey{r.Server, r.Fingerprint}, sOut, oOut) >= 0, nil
+}
+
+// behaviorOf summarizes one endpoint's outcome on the trigger statement.
+func behaviorOf(out server.StmtOutcome) string {
+	switch {
+	case out.Crashed:
+		return "engine crash"
+	case out.Err != nil:
+		return "error: " + out.Err.Error()
+	case out.Res == nil:
+		return "no result"
+	default:
+		return resultSummary(out)
+	}
+}
+
+// buildReport replays the minimal stream on every server plus the
+// oracle, recording each one's observed behavior on the trigger
+// statement — the report is self-contained: schema, data, statements
+// and per-server behavior.
+func buildReport(cfg Config, key dedupKey, stream []string) *Report {
+	r := &Report{
+		Server:      key.server,
+		Fingerprint: key.fp,
+		Seed:        cfg.Seed,
+		Faults:      cfg.Faults,
+		Stress:      cfg.Stress,
+		Stream:      append([]string(nil), stream...),
+		Behavior:    make(map[dialect.ServerName]string),
+	}
+	orc := server.NewOracle()
+	oOut := study.RunSource(orc, study.SliceSource(stream))
+
+	// Locate the trigger on the divergent server first, then record what
+	// every server does on that same statement.
+	r.TriggerIndex = len(stream) - 1
+	if srv, err := server.New(key.server, cfg.Faults); err == nil {
+		srv.SetStress(cfg.Stress)
+		sOut := study.RunSource(srv, study.SliceSource(stream))
+		if idx := divergesWith(key, sOut, oOut); idx >= 0 {
+			r.TriggerIndex = idx
+			r.Class = classifySQL(sOut[idx].SQL, sOut[idx], oOut[idx])
+		}
+	}
+	r.Trigger = stream[r.TriggerIndex]
+	if r.TriggerIndex < len(oOut) {
+		r.OracleBehavior = behaviorOf(oOut[r.TriggerIndex])
+	}
+	for _, name := range dialect.AllServers {
+		srv, err := server.New(name, cfg.Faults)
+		if err != nil {
+			continue
+		}
+		srv.SetStress(cfg.Stress)
+		sOut := study.RunSource(srv, study.SliceSource(stream))
+		switch {
+		case r.TriggerIndex < len(sOut):
+			r.Behavior[name] = behaviorOf(sOut[r.TriggerIndex])
+		case len(sOut) > 0 && sOut[len(sOut)-1].Crashed:
+			r.Behavior[name] = "engine crash (before trigger)"
+		default:
+			r.Behavior[name] = "no outcome"
+		}
+	}
+	return r
+}

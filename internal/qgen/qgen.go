@@ -1,0 +1,423 @@
+// Package qgen is a seeded, reproducible generator of schema-aware SQL
+// workloads. It tracks the live schema it has built (tables, columns and
+// their types, views, indexes, sequences) and emits a weighted stream of
+// DDL, DML and queries — joins, subqueries, aggregates, expressions —
+// over the dialect subset shared by all four simulated servers.
+//
+// The generator is the workload half of the differential-testing rig
+// (internal/difftest replays its streams through every server and the
+// pristine oracle). Its default CommonProfile is calibrated to the
+// simulated servers' known quirk regions: constructs on which a healthy
+// server legitimately differs from the oracle (float multiplication
+// precision, MOD of negative dividends, unaliased aggregates, DISTINCT
+// views under LEFT JOIN, vendor row-limit syntax, sequences) are held
+// behind feature toggles, so that with fault injection disabled a stream
+// produces zero oracle divergences and every divergence found under
+// injection is attributable to a fault.
+//
+// Determinism contract: the same Options (including Seed) produce a
+// byte-identical statement stream, on any platform. Every choice flows
+// from the seeded PRNG and ordered slices; no map iteration.
+package qgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"divsql/internal/sql/ast"
+	"divsql/internal/sql/types"
+)
+
+// Options configure a Generator.
+type Options struct {
+	// Seed drives every random choice.
+	Seed int64
+
+	// --- Feature toggles -------------------------------------------------
+	// All default to off in CommonProfile because each one either is not
+	// in the four dialects' common subset or falls into a known engine
+	// quirk region (and would make even a fault-free server diverge from
+	// the oracle).
+
+	// Sequences enables CREATE SEQUENCE / NEXTVAL (not offered by MS).
+	Sequences bool
+	// RowLimit emits the given row-limiting syntax (dialect specific).
+	RowLimit ast.LimitSyntax
+	// Mod enables MOD/% expressions (quirk region on PG and OR for
+	// negative dividends).
+	Mod bool
+	// FloatMul enables multiplication with float operands (quirk region
+	// on PG and MS: 32-bit precision loss).
+	FloatMul bool
+	// DistinctViews enables DISTINCT in view definitions (quirk region on
+	// IB and MS under LEFT JOIN).
+	DistinctViews bool
+
+	// --- Structural weights and caps ------------------------------------
+
+	// Weights select the statement class (relative, need not sum to 100).
+	WeightDDL, WeightInsert, WeightUpdate, WeightDelete, WeightSelect, WeightTxn int
+
+	// MinTables is kept alive (DROP TABLE is suppressed below it);
+	// MaxTables caps CREATE TABLE.
+	MinTables, MaxTables int
+	// MaxColumns caps columns per table (≥ 2).
+	MaxColumns int
+	// MaxJoins caps joined tables per SELECT (0 disables joins).
+	MaxJoins int
+	// MaxExprDepth caps expression nesting.
+	MaxExprDepth int
+	// MaxSubqueryDepth caps subquery nesting (0 disables subqueries).
+	MaxSubqueryDepth int
+	// MaxInsertRows caps rows per INSERT.
+	MaxInsertRows int
+	// Views enables CREATE VIEW and view references in FROM.
+	Views bool
+	// Indexes enables CREATE/DROP INDEX.
+	Indexes bool
+	// Unions enables UNION/UNION ALL queries.
+	Unions bool
+	// Transactions enables BEGIN/COMMIT/ROLLBACK around runs of work.
+	Transactions bool
+
+	// --- Naming ----------------------------------------------------------
+
+	// TableNames seeds the table-name pool: CREATE TABLE prefers these
+	// names until exhausted. The differential harness points this at the
+	// corpus faults' trigger tables so generated statements fall into the
+	// calibrated failure regions.
+	TableNames []string
+	// NamePrefix namespaces every generated (non-pool) table, view and
+	// index name. Concurrent client streams use distinct prefixes so
+	// their workloads touch disjoint state and adjudication stays exact.
+	NamePrefix string
+}
+
+// CommonProfile returns the default options: the common dialect subset,
+// quirk regions avoided, all structural features on.
+func CommonProfile(seed int64) Options {
+	return Options{
+		Seed:         seed,
+		WeightDDL:    7,
+		WeightInsert: 28,
+		WeightUpdate: 12,
+		WeightDelete: 5,
+		WeightSelect: 42,
+		WeightTxn:    6,
+
+		MinTables:        2,
+		MaxTables:        8,
+		MaxColumns:       5,
+		MaxJoins:         2,
+		MaxExprDepth:     3,
+		MaxSubqueryDepth: 2,
+		MaxInsertRows:    3,
+		Views:            true,
+		Indexes:          true,
+		Unions:           true,
+		Transactions:     true,
+	}
+}
+
+// column is the generator's record of one column it created.
+type column struct {
+	name     string
+	kind     types.Kind // KindInt, KindFloat or KindString
+	typeName ast.TypeName
+	notNull  bool
+	pk       bool
+	nonNeg   bool // CHECK (col >= 0)
+}
+
+// relation is a base table or a view the generator created.
+type relation struct {
+	name   string
+	cols   []column
+	isView bool
+	// base is the underlying table name for views.
+	base string
+	// nextPK feeds unique primary-key values (base tables only).
+	nextPK int64
+	// hasPK reports whether cols contains a primary key.
+	hasPK bool
+	// rows approximates the inserted row count (weighting only).
+	rows int
+}
+
+func (r *relation) col(i int) *column { return &r.cols[i] }
+
+// pick returns a random column index satisfying want (or -1).
+func (r *relation) pick(rnd *rand.Rand, want func(*column) bool) int {
+	idx := make([]int, 0, len(r.cols))
+	for i := range r.cols {
+		if want(&r.cols[i]) {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return -1
+	}
+	return idx[rnd.Intn(len(idx))]
+}
+
+// Generator emits one deterministic statement stream.
+type Generator struct {
+	opts Options
+	rnd  *rand.Rand
+
+	tables  []*relation // base tables, creation order
+	views   []*relation
+	indexes []struct{ name, table string }
+	seqs    []string
+
+	pool    []string // unused pool names
+	tableN  int      // synthetic name counters
+	viewN   int
+	indexN  int
+	seqN    int
+	inTxn   bool
+	snap    *schemaSnapshot // schema state as of BEGIN (rollback target)
+	emitted int
+}
+
+// schemaSnapshot captures the schema-tracking state at a transaction
+// boundary so ROLLBACK can rewind the generator along with the servers.
+type schemaSnapshot struct {
+	tables  []*relation
+	views   []*relation
+	indexes []struct{ name, table string }
+	seqs    []string
+	pool    []string
+}
+
+// New returns a generator over the options. Zero-valued caps fall back
+// to the CommonProfile values so a partially-filled Options is usable.
+func New(opts Options) *Generator {
+	def := CommonProfile(opts.Seed)
+	if opts.WeightDDL+opts.WeightInsert+opts.WeightUpdate+opts.WeightDelete+opts.WeightSelect+opts.WeightTxn == 0 {
+		opts.WeightDDL, opts.WeightInsert, opts.WeightUpdate = def.WeightDDL, def.WeightInsert, def.WeightUpdate
+		opts.WeightDelete, opts.WeightSelect, opts.WeightTxn = def.WeightDelete, def.WeightSelect, def.WeightTxn
+	}
+	if opts.MinTables == 0 {
+		opts.MinTables = def.MinTables
+	}
+	if opts.MaxTables == 0 {
+		opts.MaxTables = def.MaxTables
+	}
+	if opts.MaxTables < opts.MinTables {
+		opts.MaxTables = opts.MinTables
+	}
+	if opts.MaxColumns < 2 {
+		opts.MaxColumns = def.MaxColumns
+	}
+	if opts.MaxInsertRows == 0 {
+		opts.MaxInsertRows = def.MaxInsertRows
+	}
+	if opts.MaxExprDepth == 0 {
+		opts.MaxExprDepth = def.MaxExprDepth
+	}
+	// Pool tables must all be creatable.
+	if n := len(opts.TableNames) + opts.MinTables; opts.MaxTables < n {
+		opts.MaxTables = n
+	}
+	return &Generator{
+		opts: opts,
+		rnd:  rand.New(rand.NewSource(opts.Seed)),
+		pool: append([]string(nil), opts.TableNames...),
+	}
+}
+
+// Emitted reports how many statements the generator has produced.
+func (g *Generator) Emitted() int { return g.emitted }
+
+// Next produces the next statement of the stream.
+func (g *Generator) Next() ast.Statement {
+	g.emitted++
+	// Bootstrap: nothing is queryable until tables exist and hold rows.
+	if len(g.tables) < g.opts.MinTables {
+		return g.genCreateTable()
+	}
+	for {
+		switch g.pickClass() {
+		case classDDL:
+			if st := g.genDDL(); st != nil {
+				return st
+			}
+		case classInsert:
+			if st := g.genInsert(); st != nil {
+				return st
+			}
+		case classUpdate:
+			if st := g.genUpdate(); st != nil {
+				return st
+			}
+		case classDelete:
+			if st := g.genDelete(); st != nil {
+				return st
+			}
+		case classSelect:
+			if st := g.genSelect(); st != nil {
+				return st
+			}
+		case classTxn:
+			if st := g.genTxn(); st != nil {
+				return st
+			}
+		}
+	}
+}
+
+// NextSQL renders the next statement.
+func (g *Generator) NextSQL() string { return ast.Render(g.Next()) }
+
+// Stream is a bounded statement source over a generator. It satisfies
+// the study's statement-stream interface (Next() (string, bool)), so
+// generated workloads run through the same executor path as the corpus.
+type Stream struct {
+	G         *Generator
+	Remaining int
+}
+
+// NewStream bounds a generator to n statements.
+func NewStream(g *Generator, n int) *Stream { return &Stream{G: g, Remaining: n} }
+
+// Next implements the statement-stream contract.
+func (s *Stream) Next() (string, bool) {
+	if s.Remaining <= 0 {
+		return "", false
+	}
+	s.Remaining--
+	return s.G.NextSQL(), true
+}
+
+type stmtClass int
+
+const (
+	classDDL stmtClass = iota
+	classInsert
+	classUpdate
+	classDelete
+	classSelect
+	classTxn
+)
+
+func (g *Generator) pickClass() stmtClass {
+	o := g.opts
+	wTxn := o.WeightTxn
+	if !o.Transactions {
+		wTxn = 0
+	}
+	total := o.WeightDDL + o.WeightInsert + o.WeightUpdate + o.WeightDelete + o.WeightSelect + wTxn
+	if total <= 0 {
+		// Degenerate profile (e.g. only WeightTxn set with Transactions
+		// off): queries are the only class that is always generable.
+		return classSelect
+	}
+	n := g.rnd.Intn(total)
+	for _, c := range []struct {
+		w int
+		c stmtClass
+	}{
+		{o.WeightDDL, classDDL},
+		{o.WeightInsert, classInsert},
+		{o.WeightUpdate, classUpdate},
+		{o.WeightDelete, classDelete},
+		{o.WeightSelect, classSelect},
+		{wTxn, classTxn},
+	} {
+		if n < c.w {
+			return c.c
+		}
+		n -= c.w
+	}
+	return classSelect
+}
+
+// ---------------------------------------------------------------------------
+// Naming
+
+func (g *Generator) tableName() string {
+	if len(g.pool) > 0 {
+		n := g.pool[0]
+		g.pool = g.pool[1:]
+		return n
+	}
+	g.tableN++
+	return fmt.Sprintf("%sQT%d", g.opts.NamePrefix, g.tableN)
+}
+
+func (g *Generator) viewName() string {
+	g.viewN++
+	return fmt.Sprintf("%sQV%d", g.opts.NamePrefix, g.viewN)
+}
+
+func (g *Generator) indexName() string {
+	g.indexN++
+	return fmt.Sprintf("%sQIX%d", g.opts.NamePrefix, g.indexN)
+}
+
+func (g *Generator) seqName() string {
+	g.seqN++
+	return fmt.Sprintf("%sQSQ%d", g.opts.NamePrefix, g.seqN)
+}
+
+// ---------------------------------------------------------------------------
+// Relation selection
+
+func (g *Generator) anyTable() *relation {
+	if len(g.tables) == 0 {
+		return nil
+	}
+	return g.tables[g.rnd.Intn(len(g.tables))]
+}
+
+// anyRelation returns a table or (when views are on) a view.
+func (g *Generator) anyRelation() *relation {
+	n := len(g.tables)
+	if g.opts.Views {
+		n += len(g.views)
+	}
+	if n == 0 {
+		return nil
+	}
+	i := g.rnd.Intn(n)
+	if i < len(g.tables) {
+		return g.tables[i]
+	}
+	return g.views[i-len(g.tables)]
+}
+
+func (g *Generator) dropRelation(name string, view bool) {
+	if view {
+		for i, v := range g.views {
+			if v.name == name {
+				g.views = append(g.views[:i], g.views[i+1:]...)
+				return
+			}
+		}
+		return
+	}
+	for i, t := range g.tables {
+		if t.name == name {
+			g.tables = append(g.tables[:i], g.tables[i+1:]...)
+			break
+		}
+	}
+	// Views over a dropped table become invalid; forget them so later
+	// queries do not reference a broken view. (Selecting a broken view
+	// errors identically on every server, but it wastes stream budget.)
+	kept := g.views[:0]
+	for _, v := range g.views {
+		if v.base != name {
+			kept = append(kept, v)
+		}
+	}
+	g.views = kept
+	keptIx := g.indexes[:0]
+	for _, ix := range g.indexes {
+		if ix.table != name {
+			keptIx = append(keptIx, ix)
+		}
+	}
+	g.indexes = keptIx
+}

@@ -1,0 +1,149 @@
+package study
+
+import (
+	"testing"
+
+	"divsql/internal/corpus"
+	"divsql/internal/dialect"
+	"divsql/internal/server"
+)
+
+func TestScriptSourceMatchesExecScript(t *testing.T) {
+	// The stream path must be observationally identical to the legacy
+	// whole-script path for every corpus script on its own server.
+	for _, bug := range corpus.All()[:20] {
+		srvA, err := server.New(bug.Server, bug.Faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy, err := srvA.ExecScript(bug.Script)
+		if err != nil {
+			t.Fatalf("%s: %v", bug.ID, err)
+		}
+		srvB, err := server.New(bug.Server, bug.Faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := ScriptSource(bug.Script)
+		if err != nil {
+			t.Fatalf("%s: %v", bug.ID, err)
+		}
+		streamed := RunSource(srvB, src)
+		if len(streamed) != len(legacy) {
+			t.Fatalf("%s: stream ran %d statements, script path %d", bug.ID, len(streamed), len(legacy))
+		}
+		for i := range streamed {
+			if (streamed[i].Err != nil) != (legacy[i].Err != nil) ||
+				streamed[i].Crashed != legacy[i].Crashed {
+				t.Errorf("%s stmt %d: stream (%v,%v) vs script (%v,%v)",
+					bug.ID, i, streamed[i].Err, streamed[i].Crashed, legacy[i].Err, legacy[i].Crashed)
+			}
+		}
+	}
+}
+
+func TestRunPairClassifiesLikeStudy(t *testing.T) {
+	res, err := New().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check a handful of bugs: re-running through RunPair must give
+	// the same classification the full study recorded.
+	checked := 0
+	for _, bug := range corpus.All() {
+		if checked >= 10 {
+			break
+		}
+		run := res.Runs[bug.ID][bug.Server]
+		if run == nil {
+			continue
+		}
+		srv, err := server.New(bug.Server, corpus.AllFaults())
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := ScriptSource(bug.Script)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cls, _, _ := RunPair(srv, server.NewOracle(), src)
+		if cls.Status != run.Class.Status || cls.Type != run.Class.Type {
+			t.Errorf("%s: RunPair %v/%v, study %v/%v", bug.ID, cls.Status, cls.Type, run.Class.Status, run.Class.Type)
+		}
+		checked++
+	}
+}
+
+func TestDedupFailuresCollapsesSharedRegions(t *testing.T) {
+	res, err := New().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := res.DedupFailures()
+	for _, s := range dialect.AllServers {
+		raw := 0
+		for _, g := range groups[s] {
+			raw += len(g.Bugs)
+			if len(g.Bugs) == 0 {
+				t.Errorf("%s: empty failure group %q", s, g.Fingerprint)
+			}
+		}
+		// Every failing run must be accounted for exactly once.
+		failing := 0
+		for _, bug := range res.Bugs {
+			run := res.Runs[bug.ID][s]
+			if run != nil && run.Class.IsFailure() {
+				failing++
+			}
+		}
+		if raw != failing {
+			t.Errorf("%s: dedup covers %d runs, study recorded %d failures", s, raw, failing)
+		}
+	}
+	if out := res.RenderDedup(); len(out) == 0 {
+		t.Error("RenderDedup returned nothing")
+	}
+}
+
+func TestDedupCollapsesOneBugTriggeredTwice(t *testing.T) {
+	// Two scripts exercising the same fault region (same table, same
+	// statement shape) must collapse into one failure group: the paper
+	// counts bugs, not triggerings.
+	base := corpus.All()
+	var proto *corpus.Bug
+	for i := range base {
+		b := &base[i]
+		if b.Server == dialect.IB && len(b.Faults) > 0 &&
+			b.Expected[dialect.IB].Status == base[i].Expected[dialect.IB].Status && b.RunsOn(dialect.IB) {
+			proto = b
+			break
+		}
+	}
+	if proto == nil {
+		t.Skip("no fault-carrying IB bug in corpus")
+	}
+	dup := *proto
+	dup.ID = proto.ID + "-dup"
+	s := &Study{Bugs: []corpus.Bug{*proto, dup}, Faults: proto.Faults}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runA := res.Runs[proto.ID][dialect.IB]
+	if runA == nil || !runA.Class.IsFailure() {
+		t.Skipf("prototype bug %s did not fail on its own server in isolation", proto.ID)
+	}
+	groups := res.DedupFailures()[dialect.IB]
+	if len(groups) != 1 {
+		t.Fatalf("got %d groups, want 1: %+v", len(groups), groups)
+	}
+	if len(groups[0].Bugs) != 2 {
+		t.Errorf("group must contain both scripts, got %v", groups[0].Bugs)
+	}
+}
+
+func TestFailureFingerprintOnNonFailure(t *testing.T) {
+	if _, ok := (&Run{}).FailureFingerprint(); ok {
+		t.Error("non-failing run must not produce a fingerprint")
+	}
+}

@@ -109,17 +109,11 @@ func (s *Study) runOne(bug *corpus.Bug, target dialect.ServerName) (*Run, error)
 	srv.SetStress(s.Stress)
 	orc := server.NewOracle()
 
-	sOut, err := srv.ExecScript(script)
+	src, err := ScriptSource(script)
 	if err != nil {
-		return nil, fmt.Errorf("server script: %w", err)
+		return nil, fmt.Errorf("script: %w", err)
 	}
-	oOut, err := orc.ExecScript(script)
-	if err != nil {
-		return nil, fmt.Errorf("oracle script: %w", err)
-	}
-	run.Stmts = sOut
-	run.OracleStmts = oOut
-	run.Class = Classify(sOut, oOut)
+	run.Class, run.Stmts, run.OracleStmts = RunPair(srv, orc, src)
 	return run, nil
 }
 
@@ -138,14 +132,23 @@ func (s *Study) runOne(bug *corpus.Bug, target dialect.ServerName) (*Run, error)
 //   - a correct run that exceeds the oracle's time by PerfThreshold is a
 //     Performance failure (self-evident).
 func Classify(sOut, oOut []server.StmtOutcome) core.Classification {
+	cls, _ := ClassifyIndexed(sOut, oOut)
+	return cls
+}
+
+// ClassifyIndexed is Classify plus the index of the statement on which
+// the run first deviated from the oracle (-1 when no failure). The index
+// is what fingerprint-based failure deduplication keys on.
+func ClassifyIndexed(sOut, oOut []server.StmtOutcome) (core.Classification, int) {
 	var dataEvent, acceptEvent, perfEvent bool
-	var detail string
+	var dataDetail, acceptDetail string
+	dataIdx, acceptIdx, perfIdx := -1, -1, -1
 	for i, so := range sOut {
 		if so.Crashed {
 			return core.Classification{
 				Status: core.StatusFailure, Type: core.EngineCrash, SelfEvident: true,
 				Detail: "engine crashed on: " + so.SQL,
-			}
+			}, i
 		}
 		if i >= len(oOut) {
 			break
@@ -160,41 +163,53 @@ func Classify(sOut, oOut []server.StmtOutcome) core.Classification {
 			return core.Classification{
 				Status: core.StatusFailure, Type: typ, SelfEvident: true,
 				Detail: so.Err.Error(),
-			}
+			}, i
 		case so.Err == nil && oo.Err != nil:
 			if isSelect(so.SQL) {
+				if !dataEvent {
+					dataIdx = i
+					dataDetail = "query succeeded where it should have failed"
+				}
 				dataEvent = true
-				detail = "query succeeded where it should have failed"
 			} else {
+				if !acceptEvent {
+					acceptIdx = i
+					acceptDetail = "invalid statement accepted: " + oo.Err.Error()
+				}
 				acceptEvent = true
-				detail = "invalid statement accepted: " + oo.Err.Error()
 			}
 		case so.Err == nil && oo.Err == nil:
 			if isSelect(so.SQL) {
 				opts := core.DefaultCompareOptions()
 				opts.OrderSensitive = hasOrderBy(so.SQL)
 				if d := core.Diff(so.Res, oo.Res, opts); d != "" {
+					if !dataEvent {
+						dataIdx = i
+						dataDetail = d
+					}
 					dataEvent = true
-					detail = d
 				}
 			}
 			if so.Latency-oo.Latency >= PerfThreshold {
+				if !perfEvent {
+					perfIdx = i
+				}
 				perfEvent = true
 			}
 		}
 	}
 	switch {
 	case dataEvent:
-		return core.Classification{Status: core.StatusFailure, Type: core.IncorrectResult, Detail: detail}
+		return core.Classification{Status: core.StatusFailure, Type: core.IncorrectResult, Detail: dataDetail}, dataIdx
 	case acceptEvent:
-		return core.Classification{Status: core.StatusFailure, Type: core.OtherFailure, Detail: detail}
+		return core.Classification{Status: core.StatusFailure, Type: core.OtherFailure, Detail: acceptDetail}, acceptIdx
 	case perfEvent:
 		return core.Classification{
 			Status: core.StatusFailure, Type: core.Performance, SelfEvident: true,
 			Detail: "execution time exceeded acceptance threshold",
-		}
+		}, perfIdx
 	default:
-		return core.Classification{Status: core.StatusNoFailure}
+		return core.Classification{Status: core.StatusNoFailure}, -1
 	}
 }
 
