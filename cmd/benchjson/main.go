@@ -1,0 +1,113 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON document on stdout, so CI can publish one
+// machine-readable benchmark artifact per commit (BENCH_<sha>.json) and
+// the performance trajectory of the project accumulates across PRs.
+//
+// Usage:
+//
+//	go test -bench . -benchtime=1x ./... | benchjson -sha $GITHUB_SHA > BENCH_$GITHUB_SHA.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func main() {
+	sha := flag.String("sha", "", "commit SHA recorded in the document")
+	flag.Parse()
+	doc, err := Parse(os.Stdin, *sha)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// Doc is the benchmark artifact document.
+type Doc struct {
+	SHA        string      `json:"sha,omitempty"`
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	Package    string      `json:"-"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Package string  `json:"package,omitempty"`
+	Name    string  `json:"name"`
+	Iters   int64   `json:"iterations"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Extra holds additional value/unit pairs (B/op, allocs/op, or
+	// custom ReportMetric units such as tx/s).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Parse reads `go test -bench` output and extracts the result lines.
+func Parse(r io.Reader, sha string) (*Doc, error) {
+	doc := &Doc{SHA: sha}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		switch {
+		case len(fields) >= 2 && fields[0] == "pkg:":
+			pkg = fields[1]
+		case len(fields) >= 2 && fields[0] == "goos:":
+			doc.GoOS = fields[1]
+		case len(fields) >= 2 && fields[0] == "goarch:":
+			doc.GoArch = fields[1]
+		case len(fields) >= 3 && isBenchName(fields[0]):
+			b, ok := parseBench(pkg, fields)
+			if ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+func isBenchName(s string) bool {
+	return len(s) > len("Benchmark") && strings.HasPrefix(s, "Benchmark")
+}
+
+// parseBench parses "BenchmarkName-8  120  9123 ns/op  64 B/op ...".
+func parseBench(pkg string, fields []string) (Benchmark, bool) {
+	b := Benchmark{Package: pkg, Name: fields[0]}
+	if _, err := fmt.Sscan(fields[1], &b.Iters); err != nil {
+		return b, false
+	}
+	// The remainder alternates value, unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		var v float64
+		if _, err := fmt.Sscan(fields[i], &v); err != nil {
+			return b, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Extra == nil {
+			b.Extra = make(map[string]float64)
+		}
+		b.Extra[unit] = v
+	}
+	return b, true
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: divsql/internal/tpcc
+cpu: Intel(R) Xeon(R) Processor
+BenchmarkTPCCConcurrent/terminals=1-8         	       1	   2246000 ns/op	       445.0 tx/s
+BenchmarkTPCCConcurrent/terminals=16-8        	       1	    305000 ns/op	      3278 tx/s
+some unrelated chatter line
+PASS
+ok  	divsql/internal/tpcc	2.551s
+pkg: divsql
+BenchmarkComparatorNormalization 	      10	      3491 ns/op	         1.000 strict-false-alarms/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample), "abc123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.SHA != "abc123" || doc.GoOS != "linux" || doc.GoArch != "amd64" {
+		t.Errorf("header: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	b0 := doc.Benchmarks[0]
+	if b0.Package != "divsql/internal/tpcc" || b0.Name != "BenchmarkTPCCConcurrent/terminals=1-8" {
+		t.Errorf("bench 0: %+v", b0)
+	}
+	if b0.Iters != 1 || b0.NsPerOp != 2246000 {
+		t.Errorf("bench 0 numbers: %+v", b0)
+	}
+	if b0.Extra["tx/s"] != 445.0 {
+		t.Errorf("bench 0 extra: %+v", b0.Extra)
+	}
+	b2 := doc.Benchmarks[2]
+	if b2.Package != "divsql" || b2.NsPerOp != 3491 || b2.Extra["strict-false-alarms/op"] != 1.0 {
+		t.Errorf("bench 2: %+v", b2)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	doc, err := Parse(strings.NewReader("PASS\nok\n"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Errorf("benchmarks from empty input: %+v", doc.Benchmarks)
+	}
+}

@@ -7,13 +7,22 @@
 // Usage:
 //
 //	divfuzz [-seed N] [-n N] [-streams N] [-faults=false] [-stress]
-//	        [-shrink=false] [-maxreports N] [-v]
+//	        [-sequences] [-shrink=false] [-maxreports N] [-o FILE] [-v]
 //
 // With -faults (the default) the harness is armed with the calibrated
 // 181-bug corpus fault set and the generator's table pool targets the
 // faults' trigger regions. With -faults=false the run is the smoke
 // configuration: the common dialect subset must be divergence-free, so
 // any finding is a harness or engine bug and the exit status is 1.
+//
+// Concurrent hunting is the default (-streams 4): per-stream scoped
+// oracle snapshots give multi-stream runs the same resync precision and
+// cascade-free attribution as a single stream, so the extra streams buy
+// throughput without costing adjudication quality.
+//
+// -sequences enables sequence DDL and sequence-advancing SELECTs
+// (NEXTVAL) in the stream, restricting the run to the PG/OR server set
+// (MS has no sequences; IB spells the function GEN_ID).
 package main
 
 import (
@@ -27,11 +36,13 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "generator seed (same seed, same stream, same findings)")
 	n := flag.Int("n", 5000, "statements per stream")
-	streams := flag.Int("streams", 1, "concurrent client streams (disjoint table namespaces)")
+	streams := flag.Int("streams", 4, "concurrent client streams (disjoint table namespaces, per-stream oracle resync)")
 	faults := flag.Bool("faults", true, "arm the calibrated corpus fault set")
 	stress := flag.Bool("stress", false, "stressful environment (Heisenbug triggers active)")
+	sequences := flag.Bool("sequences", false, "exercise sequence-advancing SELECTs (PG/OR server set)")
 	shrink := flag.Bool("shrink", true, "shrink each divergence to a minimal repro stream")
 	maxReports := flag.Int("maxreports", 6, "shrunk reports per server")
+	out := flag.String("o", "", "also write the report to this file (CI artifact)")
 	verbose := flag.Bool("v", false, "print full repro reports")
 	flag.Parse()
 
@@ -45,13 +56,25 @@ func main() {
 	cfg.Stress = *stress
 	cfg.Shrink = *shrink
 	cfg.MaxReportsPerServer = *maxReports
+	if *sequences {
+		cfg = cfg.WithSequences()
+	}
 
 	res, err := difftest.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "divfuzz:", err)
 		os.Exit(2)
 	}
-	fmt.Print(res.Render(*verbose))
+	report := res.Render(*verbose)
+	fmt.Print(report)
+	if *out != "" {
+		// Artifacts always carry the full repro reports, independent of
+		// the console verbosity.
+		if err := os.WriteFile(*out, []byte(res.Render(true)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "divfuzz: write report:", err)
+			os.Exit(2)
+		}
+	}
 
 	if !*faults && len(res.Divergences) > 0 {
 		fmt.Fprintln(os.Stderr, "divfuzz: divergences in the fault-free configuration — harness or engine bug")

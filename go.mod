@@ -1,3 +1,3 @@
 module divsql
 
-go 1.24
+go 1.23

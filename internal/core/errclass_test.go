@@ -1,0 +1,55 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"divsql/internal/engine"
+)
+
+func TestErrorClassSentinels(t *testing.T) {
+	cases := []struct {
+		err  error
+		want ErrClass
+	}{
+		{nil, ClassNone},
+		{fmt.Errorf("%w: T", engine.ErrTableNotFound), ClassAbsentObject},
+		{fmt.Errorf("%w: T", engine.ErrDuplicateObject), ClassDuplicate},
+		{fmt.Errorf("%w: duplicate key in table T", engine.ErrConstraint), ClassConstraint},
+		{fmt.Errorf("%w: unknown type FOO", engine.ErrType), ClassType},
+		{engine.ErrNoTransaction, ClassNoTransaction},
+		{errors.New("syntax error: unexpected token"), ClassSyntax},
+		{errors.New("engine crash: server is down"), ClassCrash},
+		{errors.New("connection aborted by server"), ClassConnAborted},
+		{errors.New("unknown column NOPE"), ClassUnknownName},
+		{errors.New("spurious deadlock detected"), ClassOther},
+	}
+	for _, c := range cases {
+		if got := ErrorClass(c.err); got != c.want {
+			t.Errorf("ErrorClass(%v) = %s, want %s", c.err, got, c.want)
+		}
+	}
+}
+
+// Differently-worded messages of the same category agree; a category
+// swap does not. This is what lets the differential harness catch a
+// fault that replaces one error with another — previously invisible
+// because both endpoints "errored".
+func TestSameErrorClass(t *testing.T) {
+	legit := fmt.Errorf("%w: duplicate key in table T", engine.ErrConstraint)
+	reworded := errors.New("UNIQUE constraint failed on T")
+	swapped := errors.New("spurious internal failure")
+	if !SameErrorClass(legit, reworded) {
+		t.Error("same-category errors must agree")
+	}
+	if SameErrorClass(legit, swapped) {
+		t.Error("category swap must be detected")
+	}
+	if !SameErrorClass(nil, nil) {
+		t.Error("two successes agree")
+	}
+	if SameErrorClass(nil, legit) {
+		t.Error("success vs error must disagree")
+	}
+}

@@ -23,12 +23,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"divsql/internal/core"
 	"divsql/internal/corpus"
 	"divsql/internal/dialect"
+	"divsql/internal/engine"
 	"divsql/internal/fault"
 	"divsql/internal/qgen"
 	"divsql/internal/server"
@@ -47,7 +49,10 @@ type Config struct {
 	// Streams is the number of concurrent client streams. Each stream
 	// works in its own table namespace so adjudication stays exact; more
 	// than one stream exercises the per-session execution path of every
-	// layer (run under -race).
+	// layer (run under -race). Every stream — concurrent or not — keeps
+	// its own oracle resync: after a state-diverging fault the server is
+	// realigned from a committed oracle snapshot scoped to the stream's
+	// namespace, so cascades are cut without disturbing sibling streams.
 	Streams int
 	// Gen overrides the generator profile (nil: qgen.CommonProfile).
 	// Seed, NamePrefix and TableNames are managed per stream.
@@ -80,6 +85,24 @@ func CalibratedConfig(seed int64, n int) Config {
 	gen := qgen.CommonProfile(seed)
 	gen.TableNames = triggerTables(cfg.Faults)
 	cfg.Gen = &gen
+	return cfg
+}
+
+// WithSequences returns the config adjusted to exercise sequences end to
+// end: the generator emits CREATE SEQUENCE and sequence-advancing
+// SELECTs (NEXTVAL), and the server set is restricted to the servers
+// that spell the canonical NEXTVAL — PG and OR. MS offers no sequences
+// at all and IB spells the function GEN_ID, so either would reject the
+// shared stream at the dialect gate and drown the run in spurious
+// divergences.
+func (cfg Config) WithSequences() Config {
+	gen := qgen.CommonProfile(cfg.Seed)
+	if cfg.Gen != nil {
+		gen = *cfg.Gen
+	}
+	gen.Sequences = true
+	cfg.Gen = &gen
+	cfg.Servers = []dialect.ServerName{dialect.PG, dialect.OR}
 	return cfg
 }
 
@@ -279,12 +302,31 @@ func (h *hunt) genOptionsFor(stream int) qgen.Options {
 	return opts
 }
 
+// streamScope builds the keep-predicate for one stream's namespace: the
+// stream's generated-name prefix plus its share of the trigger-table
+// pool. A single-stream hunt owns the whole engine.
+func (h *hunt) streamScope(opts qgen.Options) func(string) bool {
+	if h.cfg.Streams == 1 {
+		return func(string) bool { return true }
+	}
+	pool := make(map[string]bool, len(opts.TableNames))
+	for _, n := range opts.TableNames {
+		pool[strings.ToUpper(n)] = true
+	}
+	prefix := strings.ToUpper(opts.NamePrefix)
+	return func(name string) bool {
+		return pool[name] || (prefix != "" && strings.HasPrefix(name, prefix))
+	}
+}
+
 // runStream drives one client stream in lockstep across every endpoint:
 // the statement is executed on the oracle and all servers (each through
 // this stream's own session, concurrently), then each server's outcome
 // is adjudicated against the oracle's before the next statement.
 func (h *hunt) runStream(stream int) {
-	gen := qgen.New(h.genOptionsFor(stream))
+	opts := h.genOptionsFor(stream)
+	gen := qgen.New(opts)
+	scope := h.streamScope(opts)
 	oSess := h.orc.NewSession()
 	defer oSess.Close()
 	sess := make([]*server.Session, len(h.servers))
@@ -318,6 +360,12 @@ func (h *hunt) runStream(stream int) {
 		wg.Wait()
 
 		oo := outs[len(sess)]
+		seqAdvances := false
+		if sel, isSel := st.(*ast.Select); isSel {
+			// A sequence-advancing SELECT mutates state: if it diverged,
+			// the sequence counters are desynchronized too.
+			seqAdvances = h.orc.SelectAdvancesSequences(sel)
+		}
 		for j := range sess {
 			so := outs[j]
 			if so.Crashed {
@@ -328,7 +376,7 @@ func (h *hunt) runStream(stream int) {
 			cls := classifyPair(st, so, oo)
 			if cls.IsFailure() {
 				h.record(h.servers[j].Name(), st, sql, cls, history, stream, i)
-				if stateDiverging(st, so, oo, cls) {
+				if stateDiverging(st, so, oo, cls, seqAdvances) {
 					pendingResync[j] = true
 				}
 			}
@@ -336,17 +384,28 @@ func (h *hunt) runStream(stream int) {
 		// A state-diverging fault (crash, missed or extra write, dropped
 		// connection) would cascade: every later statement over the
 		// affected state diverges too, burying the signal and blaming the
-		// wrong region. Resync the server from the oracle at the next
-		// transaction boundary — the same donor-copy the diverse
-		// middleware uses for replica rejoin. Only the single-stream
-		// precision mode can do this (with concurrent streams the oracle
-		// snapshot could carry sibling streams' open transactions).
-		if h.cfg.Streams == 1 && !oSess.InTxn() {
+		// wrong region. Resync the server from the oracle at the stream's
+		// next transaction boundary. The oracle snapshot is a committed-
+		// state image (sibling streams' open transactions are rewound on
+		// the copy-on-write clone) and the restore is scoped to this
+		// stream's namespace, so concurrent hunts stay as precise as the
+		// single-stream mode: siblings' state, transactions and
+		// adjudication are untouched.
+		if !oSess.InTxn() {
+			var snap *engine.State
 			for j := range pendingResync {
-				if pendingResync[j] {
-					h.servers[j].Restore(h.orc.Snapshot())
-					pendingResync[j] = false
+				if !pendingResync[j] {
+					continue
 				}
+				if snap == nil {
+					snap = h.orc.Snapshot()
+				}
+				// A fault may have desynchronized this stream's server-side
+				// transaction (e.g. a dropped connection rolled it back);
+				// clear it before installing the oracle image.
+				sess[j].Abort()
+				h.servers[j].RestoreScoped(snap, scope)
+				pendingResync[j] = false
 			}
 		}
 	}
@@ -357,8 +416,9 @@ func (h *hunt) runStream(stream int) {
 // must resync before adjudicating further statements). Mutated or
 // wrongly-produced query output leaves state intact; crashes (open
 // transactions lost), dropped connections (transaction rolled back on
-// one side only) and error mismatches on writes do not.
-func stateDiverging(st ast.Statement, so, oo server.StmtOutcome, cls core.Classification) bool {
+// one side only), error mismatches on writes and diverging sequence-
+// advancing SELECTs (counter desync) do not.
+func stateDiverging(st ast.Statement, so, oo server.StmtOutcome, cls core.Classification, seqAdvances bool) bool {
 	if cls.Type == core.EngineCrash {
 		return true
 	}
@@ -366,7 +426,7 @@ func stateDiverging(st ast.Statement, so, oo server.StmtOutcome, cls core.Classi
 		return true
 	}
 	if _, isSel := st.(*ast.Select); isSel {
-		return false
+		return seqAdvances && cls.Type != core.Performance
 	}
 	return (so.Err == nil) != (oo.Err == nil)
 }
@@ -433,6 +493,21 @@ func classifyPair(st ast.Statement, so, oo server.StmtOutcome) core.Classificati
 		return core.Classification{
 			Status: core.StatusFailure, Type: core.OtherFailure,
 			Detail: "invalid statement accepted: " + oo.Err.Error(),
+		}
+	case so.Err != nil && oo.Err != nil:
+		// Both endpoints rejected the statement — but a fault can swap
+		// one error for another. Compare normalized error classes, not
+		// error presence: a "spurious deadlock" where a constraint
+		// violation belongs is an incorrect result even though the
+		// statement "failed" on both sides. Wording differences within a
+		// class are representational and tolerated, exactly like float
+		// formatting in correct results.
+		if sc, oc := core.ErrorClass(so.Err), core.ErrorClass(oo.Err); sc != oc {
+			return core.Classification{
+				Status: core.StatusFailure, Type: core.IncorrectResult,
+				Detail: fmt.Sprintf("error class mismatch: server %s (%q) vs oracle %s (%q)",
+					sc, so.Err.Error(), oc, oo.Err.Error()),
+			}
 		}
 	case so.Err == nil && oo.Err == nil:
 		if isSel {

@@ -47,6 +47,12 @@ type shrinker struct {
 	cfg     Config
 	key     dedupKey
 	replays int
+
+	// srv/orc are built once and Reset between probes: a shrink replays
+	// hundreds of candidate streams, and rebuilding the server (dialect
+	// tables, fault registry) per probe dominated the shrink budget.
+	srv *server.Server
+	orc *server.Server
 }
 
 // elide removes statements whose absence preserves the divergence,
@@ -92,19 +98,24 @@ func (s *shrinker) elide(stmts []string) []string {
 	}
 }
 
-// reproduces replays the candidate stream on a fresh (server, oracle)
+// reproduces replays the candidate stream on a reset (server, oracle)
 // pair through the study's executor path and checks whether any
 // statement diverges with the shrinker's (server, fingerprint) key.
 func (s *shrinker) reproduces(stmts []string) bool {
 	s.replays++
-	srv, err := server.New(s.key.server, s.cfg.Faults)
-	if err != nil {
-		return false
+	if s.srv == nil {
+		srv, err := server.New(s.key.server, s.cfg.Faults)
+		if err != nil {
+			return false
+		}
+		srv.SetStress(s.cfg.Stress)
+		s.srv = srv
+		s.orc = server.NewOracle()
 	}
-	srv.SetStress(s.cfg.Stress)
-	orc := server.NewOracle()
-	sOut := study.RunSource(srv, study.SliceSource(stmts))
-	oOut := study.RunSource(orc, study.SliceSource(stmts))
+	s.srv.Reset()
+	s.orc.Reset()
+	sOut := study.RunSource(s.srv, study.SliceSource(stmts))
+	oOut := study.RunSource(s.orc, study.SliceSource(stmts))
 	return divergesWith(s.key, sOut, oOut) >= 0
 }
 

@@ -8,7 +8,7 @@ import (
 )
 
 func (e *Session) execInsert(ins *ast.Insert) (*Result, error) {
-	t, ok := e.eng.tables[up(ins.Table)]
+	t, ok := e.eng.st.tables[up(ins.Table)]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrTableNotFound, ins.Table)
 	}
@@ -39,15 +39,29 @@ func (e *Session) execInsert(ins *ast.Insert) (*Result, error) {
 	}
 
 	inserted := 0
+	// Statement atomicity: a failure on any row unwinds the rows this
+	// statement already appended. Without this, a mid-statement error
+	// would leave rows that no undo record covers — ROLLBACK would keep
+	// them and Snapshot's committed-image rewind would leak them.
+	undoPartial := func() {
+		if inserted > 0 {
+			partial := make([][]types.Value, inserted)
+			copy(partial, t.Rows[len(t.Rows)-inserted:])
+			t.removeRowsByIdentity(partial)
+		}
+	}
 	for _, src := range sourceRows {
 		if len(src) != len(targets) {
+			undoPartial()
 			return nil, fmt.Errorf("INSERT has %d values for %d columns", len(src), len(targets))
 		}
 		row, err := e.buildRow(t, targets, src)
 		if err != nil {
+			undoPartial()
 			return nil, err
 		}
 		if err := e.checkConstraints(t, row, -1); err != nil {
+			undoPartial()
 			return nil, err
 		}
 		t.Rows = append(t.Rows, row)
@@ -59,7 +73,12 @@ func (e *Session) execInsert(ins *ast.Insert) (*Result, error) {
 		// truncating the tail could remove their rows instead of ours.
 		added := make([][]types.Value, inserted)
 		copy(added, t.Rows[len(t.Rows)-inserted:])
-		e.logUndo(func() { t.removeRowsByIdentity(added) })
+		tname := t.Name
+		e.logUndo(func(dst *state, _ bool) {
+			if dt, ok := dst.tables[tname]; ok {
+				dt.removeRowsByIdentity(added)
+			}
+		})
 	}
 	return &Result{Kind: ResultCount, Affected: int64(inserted)}, nil
 }
@@ -246,7 +265,7 @@ func (t *Table) findDuplicate(key []int) int {
 }
 
 func (e *Session) execUpdate(upd *ast.Update) (*Result, error) {
-	t, ok := e.eng.tables[up(upd.Table)]
+	t, ok := e.eng.st.tables[up(upd.Table)]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrTableNotFound, upd.Table)
 	}
@@ -264,11 +283,25 @@ func (e *Session) execUpdate(upd *ast.Update) (*Result, error) {
 		old, new []types.Value
 	}
 	var changes []change
+	// Statement atomicity: a failure on any row swaps back the rows this
+	// statement already replaced (see execInsert for why partial effects
+	// must not survive an error).
+	undoPartial := func() {
+		for i := len(changes) - 1; i >= 0; i-- {
+			for ri, r := range t.Rows {
+				if sameRow(r, changes[i].new) {
+					t.Rows[ri] = changes[i].old
+					break
+				}
+			}
+		}
+	}
 	for ri, row := range t.Rows {
 		if upd.Where != nil {
 			sc := &scope{cols: cols, vals: row}
 			v, err := e.evalExpr(upd.Where, sc)
 			if err != nil {
+				undoPartial()
 				return nil, err
 			}
 			if types.TruthOf(v) != types.True {
@@ -280,18 +313,22 @@ func (e *Session) execUpdate(upd *ast.Update) (*Result, error) {
 			sc := &scope{cols: cols, vals: row}
 			v, err := e.evalExpr(scl.Value, sc)
 			if err != nil {
+				undoPartial()
 				return nil, err
 			}
 			cv, err := coerce(v, t.Cols[setIdx[i]].Kind)
 			if err != nil {
+				undoPartial()
 				return nil, fmt.Errorf("column %s: %w", t.Cols[setIdx[i]].Name, err)
 			}
 			if t.Cols[setIdx[i]].NotNull && cv.IsNull() {
+				undoPartial()
 				return nil, fmt.Errorf("%w: column %s is NOT NULL", ErrConstraint, t.Cols[setIdx[i]].Name)
 			}
 			newRow[setIdx[i]] = cv
 		}
 		if err := e.checkConstraints(t, newRow, ri); err != nil {
+			undoPartial()
 			return nil, err
 		}
 		changes = append(changes, change{old: row, new: newRow})
@@ -305,8 +342,12 @@ func (e *Session) execUpdate(upd *ast.Update) (*Result, error) {
 		// the update and the rollback; identity restore is a no-op for a
 		// row another session deleted meanwhile. One position map keeps
 		// the rollback linear in the table size.
-		saved := changes
-		e.logUndo(func() {
+		saved, tname := changes, t.Name
+		e.logUndo(func(dst *state, _ bool) {
+			t, ok := dst.tables[tname]
+			if !ok {
+				return
+			}
 			pos := make(map[*types.Value]int, len(t.Rows))
 			for ri, r := range t.Rows {
 				if len(r) > 0 {
@@ -328,7 +369,7 @@ func (e *Session) execUpdate(upd *ast.Update) (*Result, error) {
 }
 
 func (e *Session) execDelete(del *ast.Delete) (*Result, error) {
-	t, ok := e.eng.tables[up(del.Table)]
+	t, ok := e.eng.st.tables[up(del.Table)]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrTableNotFound, del.Table)
 	}
@@ -356,12 +397,20 @@ func (e *Session) execDelete(del *ast.Delete) (*Result, error) {
 	}
 	if affected > 0 {
 		t.Rows = kept
-		e.logUndo(func() {
+		tname := t.Name
+		e.logUndo(func(dst *state, toSnap bool) {
+			t, ok := dst.tables[tname]
+			if !ok {
+				return
+			}
 			// When the table is untouched since the delete (every kept row
-			// still in place), restore the original snapshot — exact order
+			// still in place), restore the original row list — exact order
 			// and all. Otherwise other sessions' statements interleaved:
-			// re-append the removed rows instead, so a stale snapshot
-			// cannot erase their committed changes.
+			// re-append the removed rows instead, so a stale row list
+			// cannot erase their committed changes. A snapshot clone gets
+			// a fresh backing array: oldRows aliases the live table's
+			// storage, which a later live rollback would hand back to the
+			// (mutable) live plane.
 			untouched := len(t.Rows) == len(kept)
 			if untouched {
 				for i := range kept {
@@ -371,9 +420,12 @@ func (e *Session) execDelete(del *ast.Delete) (*Result, error) {
 					}
 				}
 			}
-			if untouched {
+			switch {
+			case untouched && toSnap:
+				t.Rows = append([][]types.Value(nil), oldRows...)
+			case untouched:
 				t.Rows = oldRows
-			} else {
+			default:
 				t.Rows = append(t.Rows, removed...)
 			}
 		})

@@ -152,18 +152,35 @@ type Config struct {
 // undo log) lives on Session; the engine only keeps a registry of its
 // sessions so that crashes and state transfers can abort or discard every
 // open transaction at once.
+//
+// The live state is one copy shared by every session (READ UNCOMMITTED
+// visibility); the committed image is derived on demand by Snapshot,
+// which clones the catalog headers copy-on-write and rewinds the open
+// transactions' undo records on the clone — see snapshot.go.
 type Engine struct {
-	mu     sync.RWMutex
-	cfg    Config
-	tables map[string]*Table
-	views  map[string]*View
-	indexs map[string]*Index
-	seqs   map[string]*Sequence
+	mu  sync.RWMutex
+	cfg Config
+	st  state
+
+	// commitSeq is the commit high-water mark: it advances on every
+	// committed state-changing statement or transaction, and is stamped
+	// into snapshots so resync redo can be anchored to the image.
+	commitSeq uint64
 
 	// sessions registers every live session (including the lazily created
 	// default session def, which backs the sessionless compatibility API).
 	sessions map[*Session]struct{}
 	def      *Session
+}
+
+// state is the catalog + data of one engine: the live plane, or a
+// copy-on-write clone of it being rewound into a committed snapshot.
+// Undo records (undoFn) apply to either.
+type state struct {
+	tables map[string]*Table
+	views  map[string]*View
+	indexs map[string]*Index
+	seqs   map[string]*Sequence
 }
 
 // Table is a base table.
@@ -220,11 +237,17 @@ func New(cfg Config) *Engine {
 	}
 	return &Engine{
 		cfg:      cfg,
-		tables:   make(map[string]*Table),
-		views:    make(map[string]*View),
-		indexs:   make(map[string]*Index),
-		seqs:     make(map[string]*Sequence),
+		st:       newState(),
 		sessions: make(map[*Session]struct{}),
+	}
+}
+
+func newState() state {
+	return state{
+		tables: make(map[string]*Table),
+		views:  make(map[string]*View),
+		indexs: make(map[string]*Index),
+		seqs:   make(map[string]*Sequence),
 	}
 }
 
@@ -299,10 +322,10 @@ func up(s string) string { return strings.ToUpper(s) }
 
 func (e *Session) objectExists(name string) bool {
 	n := up(name)
-	if _, ok := e.eng.tables[n]; ok {
+	if _, ok := e.eng.st.tables[n]; ok {
 		return true
 	}
-	if _, ok := e.eng.views[n]; ok {
+	if _, ok := e.eng.st.views[n]; ok {
 		return true
 	}
 	return false
@@ -384,8 +407,8 @@ func (e *Session) execCreateTable(ct *ast.CreateTable) (*Result, error) {
 			t.Checks = append(t.Checks, tc.Check)
 		}
 	}
-	e.eng.tables[name] = t
-	e.logUndo(func() { delete(e.eng.tables, name) })
+	e.eng.st.tables[name] = t
+	e.logUndo(func(dst *state, _ bool) { delete(dst.tables, name) })
 	return &Result{Kind: ResultDDL}, nil
 }
 
@@ -424,14 +447,14 @@ func (e *Session) execCreateView(cv *ast.CreateView) (*Result, error) {
 	for i, c := range cv.Columns {
 		cols[i] = up(c)
 	}
-	e.eng.views[name] = &View{Name: name, Columns: cols, Select: cv.Select}
-	e.logUndo(func() { delete(e.eng.views, name) })
+	e.eng.st.views[name] = &View{Name: name, Columns: cols, Select: cv.Select}
+	e.logUndo(func(dst *state, _ bool) { delete(dst.views, name) })
 	return &Result{Kind: ResultDDL}, nil
 }
 
 func (e *Session) execCreateIndex(ci *ast.CreateIndex) (*Result, error) {
 	name := up(ci.Name)
-	if _, ok := e.eng.indexs[name]; ok {
+	if _, ok := e.eng.st.indexs[name]; ok {
 		return nil, fmt.Errorf("%w: index %s", ErrDuplicateObject, name)
 	}
 	if ci.Clustered && e.eng.cfg.Quirks.ClusteredIndexError {
@@ -439,7 +462,7 @@ func (e *Session) execCreateIndex(ci *ast.CreateIndex) (*Result, error) {
 		// bug scripts fail at the start when run on PostgreSQL.
 		return nil, fmt.Errorf("internal error: cannot create clustered index %s", name)
 	}
-	t, ok := e.eng.tables[up(ci.Table)]
+	t, ok := e.eng.st.tables[up(ci.Table)]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrTableNotFound, ci.Table)
 	}
@@ -455,8 +478,14 @@ func (e *Session) execCreateIndex(ci *ast.CreateIndex) (*Result, error) {
 		// Undo by identity, not position: another session may have
 		// appended its own keyset before this rollback runs, and a
 		// positional truncation would drop it (or resurrect stale ones).
-		added := cols
-		e.logUndo(func() {
+		// Snapshot clones share the inner keyset slices, so the identity
+		// match resolves on a clone too.
+		added, tname := cols, t.Name
+		e.logUndo(func(dst *state, _ bool) {
+			t, ok := dst.tables[tname]
+			if !ok {
+				return
+			}
 			for i, u := range t.Uniques {
 				if len(u) > 0 && len(added) > 0 && &u[0] == &added[0] {
 					t.Uniques = append(t.Uniques[:i], t.Uniques[i+1:]...)
@@ -465,37 +494,46 @@ func (e *Session) execCreateIndex(ci *ast.CreateIndex) (*Result, error) {
 			}
 		})
 	}
-	e.eng.indexs[name] = &Index{Name: name, Table: t.Name, Cols: cols, Unique: ci.Unique, Clustered: ci.Clustered}
-	e.logUndo(func() { delete(e.eng.indexs, name) })
+	e.eng.st.indexs[name] = &Index{Name: name, Table: t.Name, Cols: cols, Unique: ci.Unique, Clustered: ci.Clustered}
+	e.logUndo(func(dst *state, _ bool) { delete(dst.indexs, name) })
 	return &Result{Kind: ResultDDL}, nil
 }
 
 func (e *Session) execCreateSequence(cs *ast.CreateSequence) (*Result, error) {
 	name := up(cs.Name)
-	if _, ok := e.eng.seqs[name]; ok {
+	if _, ok := e.eng.st.seqs[name]; ok {
 		return nil, fmt.Errorf("%w: sequence %s", ErrDuplicateObject, name)
 	}
 	start := cs.Start
 	if start == 0 {
 		start = 1
 	}
-	e.eng.seqs[name] = &Sequence{Name: name, Next: start}
-	e.logUndo(func() { delete(e.eng.seqs, name) })
+	e.eng.st.seqs[name] = &Sequence{Name: name, Next: start}
+	e.logUndo(func(dst *state, _ bool) { delete(dst.seqs, name) })
 	return &Result{Kind: ResultDDL}, nil
 }
 
 func (e *Session) execDropTable(dt *ast.DropTable) (*Result, error) {
 	name := up(dt.Name)
-	if t, ok := e.eng.tables[name]; ok {
-		delete(e.eng.tables, name)
-		e.logUndo(func() { e.eng.tables[name] = t })
+	if t, ok := e.eng.st.tables[name]; ok {
+		delete(e.eng.st.tables, name)
+		// On a snapshot clone the table header is copied: a later live
+		// rollback re-adds (and then mutates) the original, which must
+		// not reach through into a published immutable image.
+		e.logUndo(func(dst *state, toSnap bool) {
+			if toSnap {
+				dst.tables[name] = t.cloneHeader()
+			} else {
+				dst.tables[name] = t
+			}
+		})
 		return &Result{Kind: ResultDDL}, nil
 	}
-	if v, ok := e.eng.views[name]; ok && e.eng.cfg.Quirks.AllowDropTableOnView {
+	if v, ok := e.eng.st.views[name]; ok && e.eng.cfg.Quirks.AllowDropTableOnView {
 		// Quirk: DROP TABLE silently removes a view (IB bug 223512,
 		// shared by PG). SQL-92 requires DROP VIEW here.
-		delete(e.eng.views, name)
-		e.logUndo(func() { e.eng.views[name] = v })
+		delete(e.eng.st.views, name)
+		e.logUndo(func(dst *state, _ bool) { dst.views[name] = v })
 		return &Result{Kind: ResultDDL}, nil
 	}
 	return nil, fmt.Errorf("%w: %s", ErrTableNotFound, name)
@@ -503,34 +541,43 @@ func (e *Session) execDropTable(dt *ast.DropTable) (*Result, error) {
 
 func (e *Session) execDropView(dv *ast.DropView) (*Result, error) {
 	name := up(dv.Name)
-	v, ok := e.eng.views[name]
+	v, ok := e.eng.st.views[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: view %s", ErrTableNotFound, name)
 	}
-	delete(e.eng.views, name)
-	e.logUndo(func() { e.eng.views[name] = v })
+	delete(e.eng.st.views, name)
+	e.logUndo(func(dst *state, _ bool) { dst.views[name] = v })
 	return &Result{Kind: ResultDDL}, nil
 }
 
 func (e *Session) execDropIndex(di *ast.DropIndex) (*Result, error) {
 	name := up(di.Name)
-	ix, ok := e.eng.indexs[name]
+	ix, ok := e.eng.st.indexs[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: index %s", ErrTableNotFound, name)
 	}
-	delete(e.eng.indexs, name)
-	e.logUndo(func() { e.eng.indexs[name] = ix })
+	delete(e.eng.st.indexs, name)
+	e.logUndo(func(dst *state, _ bool) { dst.indexs[name] = ix })
 	return &Result{Kind: ResultDDL}, nil
 }
 
 func (e *Session) execDropSequence(ds *ast.DropSequence) (*Result, error) {
 	name := up(ds.Name)
-	s, ok := e.eng.seqs[name]
+	s, ok := e.eng.st.seqs[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: sequence %s", ErrTableNotFound, name)
 	}
-	delete(e.eng.seqs, name)
-	e.logUndo(func() { e.eng.seqs[name] = s })
+	delete(e.eng.st.seqs, name)
+	// Sequences mutate in place (Next), so a snapshot clone gets its own
+	// copy rather than sharing the live struct.
+	e.logUndo(func(dst *state, toSnap bool) {
+		if toSnap {
+			cp := *s
+			dst.seqs[name] = &cp
+		} else {
+			dst.seqs[name] = s
+		}
+	})
 	return &Result{Kind: ResultDDL}, nil
 }
 
@@ -566,89 +613,12 @@ func (e *Engine) EndStatement() {
 	}
 }
 
-// ---------------------------------------------------------------------------
-// State transfer (used by the replication middleware for resync)
-
-// Snapshot deep-copies the full engine state.
-func (e *Engine) Snapshot() *State {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	st := &State{
-		Tables: make(map[string]*Table, len(e.tables)),
-		Views:  make(map[string]*View, len(e.views)),
-		Indexs: make(map[string]*Index, len(e.indexs)),
-		Seqs:   make(map[string]*Sequence, len(e.seqs)),
-	}
-	for n, t := range e.tables {
-		ct := &Table{
-			Name:    t.Name,
-			Cols:    append([]Column(nil), t.Cols...),
-			PKCols:  append([]int(nil), t.PKCols...),
-			Checks:  append([]ast.Expr(nil), t.Checks...),
-			Uniques: make([][]int, len(t.Uniques)),
-		}
-		for i, u := range t.Uniques {
-			ct.Uniques[i] = append([]int(nil), u...)
-		}
-		ct.Rows = make([][]types.Value, len(t.Rows))
-		for i, r := range t.Rows {
-			ct.Rows[i] = append([]types.Value(nil), r...)
-		}
-		st.Tables[n] = ct
-	}
-	for n, v := range e.views {
-		cv := *v
-		st.Views[n] = &cv
-	}
-	for n, ix := range e.indexs {
-		ci := *ix
-		st.Indexs[n] = &ci
-	}
-	for n, s := range e.seqs {
-		cs := *s
-		st.Seqs[n] = &cs
-	}
-	return st
-}
-
-// Restore replaces the engine state with a snapshot. Transactions open on
-// any session are discarded, not rolled back: their undo entries refer to
-// the replaced state.
-func (e *Engine) Restore(st *State) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.tables = st.Tables
-	e.views = st.Views
-	e.indexs = st.Indexs
-	e.seqs = st.Seqs
-	e.discardAllTxnsLocked()
-}
-
-// Reset drops all state. Open transactions on every session are discarded.
-func (e *Engine) Reset() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.tables = make(map[string]*Table)
-	e.views = make(map[string]*View)
-	e.indexs = make(map[string]*Index)
-	e.seqs = make(map[string]*Sequence)
-	e.discardAllTxnsLocked()
-}
-
-// State is a deep copy of engine state for state transfer.
-type State struct {
-	Tables map[string]*Table
-	Views  map[string]*View
-	Indexs map[string]*Index
-	Seqs   map[string]*Sequence
-}
-
 // TableNames lists the base tables (sorted order is the caller's concern).
 func (e *Engine) TableNames() []string {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	names := make([]string, 0, len(e.tables))
-	for n := range e.tables {
+	names := make([]string, 0, len(e.st.tables))
+	for n := range e.st.tables {
 		names = append(names, n)
 	}
 	return names
@@ -658,8 +628,8 @@ func (e *Engine) TableNames() []string {
 func (e *Engine) ViewNames() []string {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	names := make([]string, 0, len(e.views))
-	for n := range e.views {
+	names := make([]string, 0, len(e.st.views))
+	for n := range e.st.views {
 		names = append(names, n)
 	}
 	return names
@@ -669,7 +639,7 @@ func (e *Engine) ViewNames() []string {
 func (e *Engine) HasView(name string) bool {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	_, ok := e.views[up(name)]
+	_, ok := e.st.views[up(name)]
 	return ok
 }
 
@@ -677,7 +647,7 @@ func (e *Engine) HasView(name string) bool {
 func (e *Engine) HasTable(name string) bool {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	_, ok := e.tables[up(name)]
+	_, ok := e.st.tables[up(name)]
 	return ok
 }
 
@@ -685,7 +655,7 @@ func (e *Engine) HasTable(name string) bool {
 func (e *Engine) TableRowCount(name string) (int, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	t, ok := e.tables[up(name)]
+	t, ok := e.st.tables[up(name)]
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrTableNotFound, name)
 	}

@@ -69,13 +69,18 @@ func (e *Session) evalSeqFunc(name string, fc *ast.FuncCall, sc *scope) (types.V
 
 // SequenceNext advances a sequence by incr and returns the new value.
 func (e *Session) SequenceNext(name string, incr int64) (types.Value, error) {
-	s, ok := e.eng.seqs[up(name)]
+	n := up(name)
+	s, ok := e.eng.st.seqs[n]
 	if !ok {
 		return types.Value{}, fmt.Errorf("%w: sequence %s", ErrTableNotFound, name)
 	}
 	val := s.Next
 	s.Next += incr
-	e.logUndo(func() { s.Next = val })
+	e.logUndo(func(dst *state, _ bool) {
+		if sq, ok := dst.seqs[n]; ok {
+			sq.Next = val
+		}
+	})
 	return types.NewInt(val), nil
 }
 

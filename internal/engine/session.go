@@ -29,8 +29,18 @@ type Session struct {
 	closed bool
 
 	inTxn bool
-	undo  []func()
+	undo  []undoFn
 }
+
+// undoFn is one undo record: the inverse of one mutation, applicable to
+// an arbitrary state plane. dst is the live state during ROLLBACK and a
+// copy-on-write clone during Snapshot's committed-image rewind; toSnap
+// distinguishes the two so records that re-install dropped objects can
+// copy mutable structures instead of sharing them with the live plane.
+// Records resolve tables and sequences by name within dst and rows by
+// slice identity (identities are preserved by the snapshot's header
+// clone), so the same record is correct on either plane.
+type undoFn func(dst *state, toSnap bool)
 
 // NewSession opens a session on the engine.
 func (e *Engine) NewSession() *Session {
@@ -85,7 +95,7 @@ func (s *Session) Exec(st ast.Statement) (*Result, error) {
 	e := s.eng
 	if sel, ok := st.(*ast.Select); ok {
 		e.mu.RLock()
-		if !s.closed && e.selectAdvancesSequences(sel) == false {
+		if !s.closed && !e.selectAdvancesSequences(sel) {
 			defer e.mu.RUnlock()
 			if s.closed {
 				return nil, ErrSessionClosed
@@ -102,7 +112,19 @@ func (s *Session) Exec(st ast.Statement) (*Result, error) {
 	res, err := s.exec(st)
 	if !s.inTxn {
 		// Autocommit: outside an explicit transaction every statement
-		// commits on completion, so the undo entries are discarded.
+		// commits on completion, so the undo entries are discarded and
+		// the commit high-water mark advances past the statement. (Every
+		// statement on this write-lock path mutates state — pure SELECTs
+		// returned early above; a SELECT here advances a sequence.)
+		if err == nil {
+			switch st.(type) {
+			case *ast.Begin, *ast.Commit, *ast.Rollback:
+				// BEGIN opens a transaction; COMMIT advanced the mark in
+				// execCommit; ROLLBACK commits nothing.
+			default:
+				e.commitSeq++
+			}
+		}
 		s.undo = nil
 	}
 	return res, err
@@ -140,7 +162,7 @@ func (e *Engine) selectAdvances(sel *ast.Select, visited map[string]bool) bool {
 		return true
 	}
 	for name := range ast.Tables(sel) {
-		v, ok := e.views[name]
+		v, ok := e.st.views[name]
 		if !ok || visited[name] {
 			continue
 		}
@@ -176,6 +198,9 @@ func (s *Session) execCommit() (*Result, error) {
 	if !s.inTxn {
 		return nil, ErrNoTransaction
 	}
+	if len(s.undo) > 0 {
+		s.eng.commitSeq++
+	}
 	s.inTxn = false
 	s.undo = nil
 	return &Result{Kind: ResultDDL}, nil
@@ -191,13 +216,13 @@ func (s *Session) execRollback() (*Result, error) {
 
 func (s *Session) rollbackLocked() {
 	for i := len(s.undo) - 1; i >= 0; i-- {
-		s.undo[i]()
+		s.undo[i](&s.eng.st, false)
 	}
 	s.inTxn = false
 	s.undo = nil
 }
 
-func (s *Session) logUndo(fn func()) {
+func (s *Session) logUndo(fn undoFn) {
 	if s.inTxn {
 		s.undo = append(s.undo, fn)
 	}

@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"divsql/internal/sql/types"
+)
+
+// This file implements the copy-on-write consistent-snapshot subsystem.
+//
+// The engine's live state is READ UNCOMMITTED: writes become visible to
+// every session the moment they execute, and a session's open
+// transaction is represented only by its undo log. A state transfer that
+// copied the live state verbatim could therefore ship uncommitted data —
+// which is why resync historically had to wait for a global transaction
+// boundary (every session idle), a boundary that may never come under
+// sustained transactional load.
+//
+// Snapshot removes the wait. It produces a consistent image of the
+// COMMITTED state at the instant of the call, with no quiescence:
+//
+//  1. Clone the catalog headers copy-on-write under the read lock. Maps,
+//     Table headers and row-slice headers are copied; the row storage
+//     ([]types.Value) is shared, because rows are immutable once written
+//     (UPDATE replaces the row slice, it never mutates one in place).
+//     The clone is O(catalog + row count), not O(data).
+//  2. Rewind every open transaction on the clone: undo records are
+//     functions over an abstract *state, so the same records that
+//     implement ROLLBACK on the live plane peel the uncommitted changes
+//     off the clone. Records target tables by name and rows by slice
+//     identity; identities are preserved by the header clone, so the
+//     rewind lands exactly on the transaction's own changes.
+//
+// The result is immutable: nothing in the engine retains a reference to
+// the clone's headers, and the shared row storage is never written in
+// place. Restore installs a snapshot by cloning headers again, so one
+// State can be restored into any number of engines (and the donor keeps
+// executing throughout).
+
+// State is an immutable, consistent image of an engine's committed
+// state, produced by Snapshot and consumed by Restore/RestoreScoped.
+type State struct {
+	Tables map[string]*Table
+	Views  map[string]*View
+	Indexs map[string]*Index
+	Seqs   map[string]*Sequence
+	// CommitSeq is the donor's commit high-water mark at the instant the
+	// snapshot was taken: every mutation committed up to (and none after)
+	// this point is included. Redo shipped on top of the image anchors
+	// here.
+	CommitSeq uint64
+}
+
+// cloneHeader copies a table's mutable headers — the struct, the outer
+// Rows and Uniques slices — while sharing the immutable storage: column
+// definitions, check expressions, inner keyset slices and the row value
+// slices themselves.
+func (t *Table) cloneHeader() *Table {
+	ct := *t
+	ct.Rows = append([][]types.Value(nil), t.Rows...)
+	ct.Uniques = append([][]int(nil), t.Uniques...)
+	return &ct
+}
+
+// cloneForSnapshot copies the state's headers copy-on-write. Views and
+// indexes are immutable structs and are shared; sequences mutate in
+// place (Next) and are copied; tables get cloneHeader.
+func (s *state) cloneForSnapshot() *state {
+	cl := &state{
+		tables: make(map[string]*Table, len(s.tables)),
+		views:  make(map[string]*View, len(s.views)),
+		indexs: make(map[string]*Index, len(s.indexs)),
+		seqs:   make(map[string]*Sequence, len(s.seqs)),
+	}
+	for n, t := range s.tables {
+		cl.tables[n] = t.cloneHeader()
+	}
+	for n, v := range s.views {
+		cl.views[n] = v
+	}
+	for n, ix := range s.indexs {
+		cl.indexs[n] = ix
+	}
+	for n, sq := range s.seqs {
+		cp := *sq
+		cl.seqs[n] = &cp
+	}
+	return cl
+}
+
+// Snapshot returns a consistent image of the committed state at this
+// instant. It never waits for transaction boundaries: open transactions
+// are rewound on a copy-on-write clone while the live state — including
+// those transactions — keeps executing. Concurrent readers proceed
+// throughout (Snapshot holds only the read lock).
+func (e *Engine) Snapshot() *State {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	cl := e.st.cloneForSnapshot()
+	for s := range e.sessions {
+		if !s.inTxn {
+			continue
+		}
+		for i := len(s.undo) - 1; i >= 0; i-- {
+			s.undo[i](cl, true)
+		}
+	}
+	return &State{
+		Tables:    cl.tables,
+		Views:     cl.views,
+		Indexs:    cl.indexs,
+		Seqs:      cl.seqs,
+		CommitSeq: e.commitSeq,
+	}
+}
+
+// CommitSeq returns the engine's commit high-water mark.
+func (e *Engine) CommitSeq() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.commitSeq
+}
+
+// Restore replaces the engine state with a snapshot. The snapshot stays
+// immutable: headers are cloned on installation, so the same State can
+// be restored into several engines (or twice into one). Transactions
+// open on any session are discarded, not rolled back: their undo records
+// refer to the replaced state.
+func (e *Engine) Restore(st *State) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	src := state{tables: st.Tables, views: st.Views, indexs: st.Indexs, seqs: st.Seqs}
+	e.st = *src.cloneForSnapshot()
+	e.discardAllTxnsLocked()
+}
+
+// RestoreScoped replaces only the engine objects selected by keep with
+// the snapshot's objects selected by keep, leaving the rest of the
+// engine — including other sessions' open transactions over it —
+// untouched. This is the per-stream resync primitive: a differential
+// stream working in its own table namespace can realign one server with
+// the oracle without disturbing sibling streams' state or transactions.
+//
+// The caller is responsible for the scoped sessions' transaction state
+// (e.g. aborting its own open transaction first): RestoreScoped discards
+// nothing, and undo records of a transaction that touched replaced
+// objects would rewind into the newly installed state.
+func (e *Engine) RestoreScoped(st *State, keep func(name string) bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for n := range e.st.tables {
+		if keep(n) {
+			delete(e.st.tables, n)
+		}
+	}
+	for n := range e.st.views {
+		if keep(n) {
+			delete(e.st.views, n)
+		}
+	}
+	for n := range e.st.indexs {
+		if keep(n) {
+			delete(e.st.indexs, n)
+		}
+	}
+	for n := range e.st.seqs {
+		if keep(n) {
+			delete(e.st.seqs, n)
+		}
+	}
+	for n, t := range st.Tables {
+		if keep(n) {
+			e.st.tables[n] = t.cloneHeader()
+		}
+	}
+	for n, v := range st.Views {
+		if keep(n) {
+			e.st.views[n] = v
+		}
+	}
+	for n, ix := range st.Indexs {
+		if keep(n) {
+			e.st.indexs[n] = ix
+		}
+	}
+	for n, sq := range st.Seqs {
+		if keep(n) {
+			cp := *sq
+			e.st.seqs[n] = &cp
+		}
+	}
+}
+
+// Reset drops all state. Open transactions on every session are discarded.
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.st = newState()
+	e.discardAllTxnsLocked()
+}

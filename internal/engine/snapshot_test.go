@@ -1,0 +1,378 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"divsql/internal/sql/parser"
+)
+
+// sessExec parses and executes one statement on a session.
+func sessExec(t *testing.T, s *Session, sql string) *Result {
+	t.Helper()
+	st, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	res, err := s.Exec(st)
+	if err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+	return res
+}
+
+// snapRowCount restores a snapshot into a scratch engine and counts a
+// table's rows there, proving the image is self-contained.
+func snapRowCount(t *testing.T, st *State, table string) int {
+	t.Helper()
+	scratch := New(Config{})
+	scratch.Restore(st)
+	n, err := scratch.TableRowCount(table)
+	if err != nil {
+		t.Fatalf("restored snapshot: %v", err)
+	}
+	return n
+}
+
+// A snapshot taken while a transaction is open must contain committed
+// state only — no waiting for the transaction to close.
+func TestSnapshotExcludesOpenTransaction(t *testing.T) {
+	e := New(Config{})
+	s1 := e.NewSession()
+	s2 := e.NewSession()
+	sessExec(t, s1, "CREATE TABLE T (A INT)")
+	sessExec(t, s1, "INSERT INTO T VALUES (1), (2)")
+
+	sessExec(t, s2, "BEGIN TRANSACTION")
+	sessExec(t, s2, "INSERT INTO T VALUES (3)")
+	sessExec(t, s2, "UPDATE T SET A = 10 WHERE A = 1")
+	sessExec(t, s2, "DELETE FROM T WHERE A = 2")
+	sessExec(t, s2, "CREATE TABLE U (B INT)")
+
+	if !e.AnyInTxn() {
+		t.Fatal("transaction must be open")
+	}
+	snap := e.Snapshot()
+
+	// Live state sees the uncommitted changes (READ UNCOMMITTED)...
+	if n, _ := e.TableRowCount("T"); n != 2 { // 1 inserted, 1 deleted
+		t.Errorf("live rows: %d", n)
+	}
+	if !e.HasTable("U") {
+		t.Error("live state must see uncommitted CREATE TABLE")
+	}
+	// ...but the snapshot holds the committed image.
+	if n := snapRowCount(t, snap, "T"); n != 2 {
+		t.Errorf("snapshot rows: %d, want the 2 committed rows", n)
+	}
+	scratch := New(Config{})
+	scratch.Restore(snap)
+	if scratch.HasTable("U") {
+		t.Error("snapshot must not contain the uncommitted table")
+	}
+	res, err := execSQL(scratch, "SELECT A FROM T ORDER BY A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rowStrings(res); len(got) != 2 || got[0] != "1" || got[1] != "2" {
+		t.Errorf("snapshot content: %v", got)
+	}
+
+	// The open transaction is untouched by the snapshot and can still
+	// commit on the live plane.
+	sessExec(t, s2, "COMMIT")
+	if n, _ := e.TableRowCount("T"); n != 2 {
+		t.Errorf("after commit: %d", n)
+	}
+	if !e.HasTable("U") {
+		t.Error("commit lost the created table")
+	}
+}
+
+// The snapshot is immutable: mutations committed after the snapshot must
+// not leak into the already-taken image (copy-on-write isolation).
+func TestSnapshotImmutableUnderLaterWrites(t *testing.T) {
+	e := New(Config{})
+	s := e.NewSession()
+	sessExec(t, s, "CREATE TABLE T (A INT)")
+	sessExec(t, s, "INSERT INTO T VALUES (1)")
+	snap := e.Snapshot()
+	sessExec(t, s, "INSERT INTO T VALUES (2), (3)")
+	sessExec(t, s, "UPDATE T SET A = 99 WHERE A = 1")
+	sessExec(t, s, "CREATE SEQUENCE SQ1")
+	if n := snapRowCount(t, snap, "T"); n != 1 {
+		t.Errorf("snapshot mutated: %d rows", n)
+	}
+	scratch := New(Config{})
+	scratch.Restore(snap)
+	res, err := execSQL(scratch, "SELECT A FROM T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rowStrings(res); len(got) != 1 || got[0] != "1" {
+		t.Errorf("snapshot content changed: %v", got)
+	}
+}
+
+// A snapshot rolled into a second engine must not alias the donor: both
+// engines keep executing independently afterwards.
+func TestRestoreIsolatesFromDonor(t *testing.T) {
+	donor := New(Config{})
+	sessExec(t, donor.NewSession(), "CREATE TABLE T (A INT)")
+	sessExec(t, donor.NewSession(), "INSERT INTO T VALUES (1)")
+	snap := donor.Snapshot()
+
+	recv := New(Config{})
+	recv.Restore(snap)
+	sessExec(t, recv.NewSession(), "INSERT INTO T VALUES (2)")
+	sessExec(t, donor.NewSession(), "INSERT INTO T VALUES (3)")
+
+	if n, _ := donor.TableRowCount("T"); n != 2 {
+		t.Errorf("donor rows: %d", n)
+	}
+	if n, _ := recv.TableRowCount("T"); n != 2 {
+		t.Errorf("receiver rows: %d", n)
+	}
+	// The original snapshot is still pristine and restorable again.
+	if n := snapRowCount(t, snap, "T"); n != 1 {
+		t.Errorf("snapshot no longer pristine: %d rows", n)
+	}
+}
+
+// Sequence values advanced inside an open transaction are rewound in the
+// snapshot (this engine's sequences are transactional), and committed
+// advances are included.
+func TestSnapshotSequenceState(t *testing.T) {
+	e := New(Config{})
+	s := e.NewSession()
+	sessExec(t, s, "CREATE SEQUENCE SQ1")
+	sessExec(t, s, "CREATE TABLE T (A INT)")
+	sessExec(t, s, "INSERT INTO T VALUES (1)")
+	sessExec(t, s, "SELECT NEXTVAL(SQ1) AS N FROM T") // committed advance: next = 2
+
+	s2 := e.NewSession()
+	sessExec(t, s2, "BEGIN TRANSACTION")
+	sessExec(t, s2, "SELECT NEXTVAL(SQ1) AS N FROM T") // uncommitted advance
+
+	snap := e.Snapshot()
+	scratch := New(Config{})
+	scratch.Restore(snap)
+	res, err := execSQL(scratch, "SELECT NEXTVAL(SQ1) AS N FROM T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 2 {
+		t.Errorf("snapshot sequence next = %d, want 2 (committed advance only)", res.Rows[0][0].I)
+	}
+	sessExec(t, s2, "ROLLBACK")
+}
+
+// RestoreScoped replaces one namespace only: objects outside the scope —
+// and transactions over them — survive.
+func TestRestoreScopedLeavesSiblingsAlone(t *testing.T) {
+	donor := New(Config{})
+	d := donor.NewSession()
+	sessExec(t, d, "CREATE TABLE S1_T (A INT)")
+	sessExec(t, d, "INSERT INTO S1_T VALUES (1), (2)")
+	snap := donor.Snapshot()
+
+	e := New(Config{})
+	mine := e.NewSession()
+	sib := e.NewSession()
+	sessExec(t, mine, "CREATE TABLE S1_T (A INT)")
+	sessExec(t, mine, "INSERT INTO S1_T VALUES (99)") // diverged content
+	sessExec(t, sib, "CREATE TABLE S2_T (B INT)")
+	sessExec(t, sib, "BEGIN TRANSACTION")
+	sessExec(t, sib, "INSERT INTO S2_T VALUES (7)")
+
+	e.RestoreScoped(snap, func(name string) bool {
+		return len(name) >= 3 && name[:3] == "S1_"
+	})
+
+	// The scoped namespace now mirrors the donor.
+	if n, _ := e.TableRowCount("S1_T"); n != 2 {
+		t.Errorf("scoped table rows: %d", n)
+	}
+	// The sibling's table and its open transaction are untouched.
+	if n, _ := e.TableRowCount("S2_T"); n != 1 {
+		t.Errorf("sibling table rows: %d", n)
+	}
+	if !sib.InTxn() {
+		t.Error("sibling transaction discarded by scoped restore")
+	}
+	sessExec(t, sib, "ROLLBACK")
+	if n, _ := e.TableRowCount("S2_T"); n != 0 {
+		t.Errorf("sibling rollback after scoped restore: %d rows", n)
+	}
+}
+
+// CommitSeq advances with committed work, not with open transactions,
+// and is stamped into snapshots.
+func TestCommitSeqHighWaterMark(t *testing.T) {
+	e := New(Config{})
+	s := e.NewSession()
+	base := e.CommitSeq()
+	sessExec(t, s, "CREATE TABLE T (A INT)")
+	sessExec(t, s, "INSERT INTO T VALUES (1)")
+	if got := e.CommitSeq(); got != base+2 {
+		t.Errorf("commit seq after 2 autocommits: %d, want %d", got, base+2)
+	}
+	sessExec(t, s, "BEGIN TRANSACTION")
+	sessExec(t, s, "INSERT INTO T VALUES (2)")
+	if got := e.CommitSeq(); got != base+2 {
+		t.Errorf("open transaction advanced the mark: %d", got)
+	}
+	snap := e.Snapshot()
+	if snap.CommitSeq != base+2 {
+		t.Errorf("snapshot CommitSeq: %d, want %d", snap.CommitSeq, base+2)
+	}
+	sessExec(t, s, "COMMIT")
+	if got := e.CommitSeq(); got != base+3 {
+		t.Errorf("commit seq after COMMIT: %d, want %d", got, base+3)
+	}
+}
+
+// Consistency under sustained concurrent transactional load (run with
+// -race): writers continuously hold open transactions that insert a
+// fixed-size batch and then commit or roll back; snapshots taken at
+// arbitrary instants must always show a whole number of committed
+// batches per writer's table. A snapshot that leaked uncommitted rows or
+// tore a batch would break the invariant.
+func TestSnapshotConsistentUnderLoad(t *testing.T) {
+	const (
+		writers = 4
+		txns    = 40
+		batch   = 3
+	)
+	e := New(Config{})
+	setup := e.NewSession()
+	for w := 0; w < writers; w++ {
+		sessExec(t, setup, fmt.Sprintf("CREATE TABLE W%d (A INT)", w))
+	}
+
+	var writersWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			s := e.NewSession()
+			defer s.Close()
+			exec := func(sql string) bool {
+				st, err := parser.Parse(sql)
+				if err == nil {
+					_, err = s.Exec(st)
+				}
+				if err != nil {
+					t.Errorf("writer %d: %q: %v", w, sql, err)
+					return false
+				}
+				return true
+			}
+			for i := 0; i < txns; i++ {
+				if !exec("BEGIN TRANSACTION") {
+					return
+				}
+				for b := 0; b < batch; b++ {
+					if !exec(fmt.Sprintf("INSERT INTO W%d VALUES (%d)", w, i*batch+b)) {
+						return
+					}
+				}
+				end := "COMMIT"
+				if i%3 == 0 {
+					end = "ROLLBACK"
+				}
+				if !exec(end) {
+					return
+				}
+			}
+		}(w)
+	}
+
+	var snapErr error
+	var snaps int
+	snapDone := make(chan struct{})
+	go func() {
+		defer close(snapDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := e.Snapshot()
+			snaps++
+			scratch := New(Config{})
+			scratch.Restore(snap)
+			for w := 0; w < writers; w++ {
+				n, err := scratch.TableRowCount(fmt.Sprintf("W%d", w))
+				if err != nil {
+					snapErr = err
+					return
+				}
+				if n%batch != 0 {
+					snapErr = fmt.Errorf("torn snapshot: table W%d has %d rows (not a multiple of %d)", w, n, batch)
+					return
+				}
+			}
+		}
+	}()
+
+	writersWG.Wait()
+	close(stop)
+	<-snapDone
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+	if snaps == 0 {
+		t.Error("no snapshot taken during the load window")
+	}
+}
+
+// A statement that fails mid-way must leave no partial effects: the
+// rows it already applied carry no undo record, so a leak here would
+// survive ROLLBACK and contaminate the committed snapshot image.
+func TestFailedStatementIsAtomic(t *testing.T) {
+	e := New(Config{})
+	s := e.NewSession()
+	sessExec(t, s, "CREATE TABLE T (A INT PRIMARY KEY)")
+	sessExec(t, s, "BEGIN TRANSACTION")
+
+	st, err := parser.Parse("INSERT INTO T VALUES (1), (1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(st); err == nil {
+		t.Fatal("duplicate-key insert must fail")
+	}
+	if n, _ := e.TableRowCount("T"); n != 0 {
+		t.Errorf("failed INSERT left %d partial rows", n)
+	}
+	if n := snapRowCount(t, e.Snapshot(), "T"); n != 0 {
+		t.Errorf("snapshot leaked %d uncommitted rows of a failed statement", n)
+	}
+
+	sessExec(t, s, "INSERT INTO T VALUES (1), (2)")
+	// Updating every row to the same key fails on the second row; the
+	// first row's applied update must be reverted.
+	st, err = parser.Parse("UPDATE T SET A = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(st); err == nil {
+		t.Fatal("conflicting update must fail")
+	}
+	res, err := execSQL(e, "SELECT A FROM T ORDER BY A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rowStrings(res); len(got) != 2 || got[0] != "1" || got[1] != "2" {
+		t.Errorf("failed UPDATE left partial effects: %v", got)
+	}
+
+	sessExec(t, s, "ROLLBACK")
+	if n, _ := e.TableRowCount("T"); n != 0 {
+		t.Errorf("rollback left %d rows", n)
+	}
+}

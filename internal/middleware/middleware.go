@@ -12,9 +12,18 @@
 // sessions run in parallel (sharing a read lock), while state-changing
 // statements serialize across sessions so that every replica applies
 // writes in the same order — the determinism replicated adjudication
-// depends on. Quarantine and resynchronization are engine-wide: a state
-// transfer waits for a transaction boundary of EVERY session on the
-// donor, and discards in-flight transactions on the restored replica.
+// depends on.
+//
+// Resynchronization never waits for a global transaction boundary. A
+// quarantined replica rejoins at the start of the next state-changing
+// statement: the donor serves a copy-on-write snapshot of its COMMITTED
+// state (engine.Snapshot — open transactions are rewound on the clone
+// while the donor keeps executing), and the redo above the snapshot's
+// high-water mark — each client session's in-flight transaction journal
+// — is replayed into the replica's per-client sessions, re-establishing
+// the open transactions the committed image necessarily excludes. Donor
+// sessions can therefore sit mid-transaction under sustained load and
+// the replica still completes its rejoin.
 //
 // Unlike the crash-only data-replication solutions the paper criticizes
 // (see internal/replication for that baseline), this middleware detects
@@ -121,33 +130,46 @@ type Metrics struct {
 	PerfOutliers      int64
 	RephraseRecovered int64
 	Resyncs           int64
+	// JournalReplays counts redo statements shipped on top of committed
+	// snapshots during resync (the open-transaction journals replayed
+	// into a rejoining replica).
+	JournalReplays int64
+	// LastResyncSeq is the donor commit high-water mark of the most
+	// recent snapshot resync.
+	LastResyncSeq uint64
 }
 
 // replica wraps one diverse server with its health state.
 type replica struct {
 	srv         *server.Server
 	quarantined bool
-	// pendingResync marks a quarantined replica awaiting state transfer
-	// at the next transaction boundary (resyncing from a donor that is
-	// mid-transaction would copy uncommitted state).
+	// pendingResync marks a quarantined replica that rejoins at the
+	// start of the next state-changing statement, when the exclusive
+	// statement lock guarantees no statement is in flight anywhere. The
+	// donor does NOT have to be at a transaction boundary: the snapshot
+	// carries committed state only and the open transactions are redone
+	// from the session journals.
 	pendingResync bool
 	suspicions    int
 }
 
 // DiverseServer is the fault-tolerant diverse SQL server.
 type DiverseServer struct {
-	// mu guards the replica set, the metrics and the default session.
+	// mu guards the replica set, the metrics, the session registry and
+	// the default session.
 	mu       sync.Mutex
 	cfg      Config
 	replicas []*replica
 	metrics  Metrics
+	sessions map[*Session]struct{}
 	def      *Session
 
 	// execMu orders statements across sessions: state-changing statements
 	// take it exclusively, so every replica applies writes in one global
 	// order (and reads never interleave with a write broadcast, which
 	// would surface as spurious divergence); queries share it, so
-	// read-only sessions proceed in parallel.
+	// read-only sessions proceed in parallel. Session transaction
+	// journals are written and read only while it is held exclusively.
 	execMu sync.RWMutex
 }
 
@@ -155,6 +177,7 @@ var (
 	_ core.Executor        = (*DiverseServer)(nil)
 	_ core.SessionExecutor = (*DiverseServer)(nil)
 	_ core.Session         = (*Session)(nil)
+	_ core.Snapshotter     = (*DiverseServer)(nil)
 )
 
 // New assembles a diverse server from replicas. The replica set may mix
@@ -167,7 +190,7 @@ func New(cfg Config, servers ...*server.Server) (*DiverseServer, error) {
 	if cfg.Compare.FloatSigDigits == 0 && !cfg.Compare.OrderSensitive {
 		cfg.Compare = core.DefaultCompareOptions()
 	}
-	d := &DiverseServer{cfg: cfg}
+	d := &DiverseServer{cfg: cfg, sessions: make(map[*Session]struct{})}
 	for _, s := range servers {
 		d.replicas = append(d.replicas, &replica{srv: s})
 	}
@@ -182,6 +205,13 @@ type Session struct {
 	// mu serializes statements of this session (a session is one client).
 	mu   sync.Mutex
 	subs []*server.Session // index-aligned with d.replicas
+
+	// inTxn and journal track the session's open transaction as redo for
+	// resync: BEGIN plus every successfully adjudicated state-changing
+	// statement since. Guarded by d.execMu held exclusively (the write
+	// path), which is also when resync replays them.
+	inTxn   bool
+	journal []string
 }
 
 // NewSession opens a client session across every replica.
@@ -196,6 +226,7 @@ func (d *DiverseServer) newSessionLocked() *Session {
 	for _, r := range d.replicas {
 		cs.subs = append(cs.subs, r.srv.NewSession())
 	}
+	d.sessions[cs] = struct{}{}
 	return cs
 }
 
@@ -234,6 +265,13 @@ func (d *DiverseServer) classifierServer() *server.Server {
 func (cs *Session) Close() error {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
+	d := cs.d
+	d.mu.Lock()
+	delete(d.sessions, cs)
+	if d.def == cs {
+		d.def = nil
+	}
+	d.mu.Unlock()
 	var first error
 	for _, sub := range cs.subs {
 		if err := sub.Close(); err != nil && first == nil {
@@ -303,10 +341,53 @@ func (cs *Session) Exec(sql string) (*engine.Result, time.Duration, error) {
 		defer d.execMu.Unlock()
 	}
 
+	res, lat, err := cs.execAdjudicated(sql, query)
+	if !query {
+		// Journal bookkeeping (the exclusive statement lock is held): the
+		// redo a rejoining replica needs on top of a committed snapshot is
+		// exactly BEGIN plus the successfully adjudicated state-changing
+		// statements of every open transaction.
+		cs.noteWrite(sql, err)
+	}
+	return res, lat, err
+}
+
+// noteWrite maintains the session's open-transaction redo journal. Must
+// be called with d.execMu held exclusively.
+func (cs *Session) noteWrite(sql string, err error) {
+	if err != nil {
+		return // a failed statement changed no replica state
+	}
+	up := strings.ToUpper(strings.TrimSpace(sql))
+	switch {
+	case strings.HasPrefix(up, "BEGIN"):
+		cs.inTxn = true
+		cs.journal = append(cs.journal[:0], sql)
+	case strings.HasPrefix(up, "COMMIT"), strings.HasPrefix(up, "ROLLBACK"):
+		cs.inTxn = false
+		cs.journal = nil
+	default:
+		if cs.inTxn {
+			cs.journal = append(cs.journal, sql)
+		}
+	}
+}
+
+// execAdjudicated runs one statement through broadcast + adjudication.
+// The caller holds cs.mu and d.execMu (shared for queries, exclusive for
+// state-changing statements).
+func (cs *Session) execAdjudicated(sql string, query bool) (*engine.Result, time.Duration, error) {
+	d := cs.d
 	d.mu.Lock()
 	d.metrics.Statements++
 	stmtNo := d.metrics.Statements
-	d.flushPendingResyncs()
+	if !query {
+		// The exclusive statement lock is held: no statement is in
+		// flight on any replica, so quarantined replicas can rejoin now
+		// (committed snapshot + journal redo), in time to take part in
+		// this statement's broadcast.
+		d.flushPendingResyncs()
+	}
 	var active []*replica
 	var subs []*server.Session
 	for i, r := range d.replicas {
@@ -471,25 +552,25 @@ func (d *DiverseServer) tryRephrase(subs []*server.Session, results []core.Repli
 	}
 	if allRecovered {
 		d.metrics.RephraseRecovered++
-		_ = results
 	}
 	return allRecovered
 }
 
-// suspect records a replica misbehaviour and resynchronizes it from a
-// healthy peer so that error propagation is contained.
+// suspect records a replica misbehaviour and schedules it for
+// resynchronization from a healthy peer so that error propagation is
+// contained.
 func (d *DiverseServer) suspect(r *replica, active []*replica, verdict core.Verdict) {
 	r.suspicions++
 	d.recover(r, active, verdict)
 }
 
-// recover restarts (if crashed) and resyncs a replica from the first
-// healthy member of the agreeing group. When any session holds an open
-// transaction on the donor the resync is deferred to the next
-// transaction boundary (copying uncommitted state would corrupt the
-// replica if the transaction later rolled back); the replica is
-// quarantined meanwhile. Transactions other sessions hold on the
-// restored replica are discarded by the state transfer.
+// recover restarts a crashed replica and quarantines it for resync when
+// a healthy donor exists. The resync itself happens at the start of the
+// next state-changing statement (flushPendingResyncs), when the
+// exclusive statement lock guarantees no statement is mid-flight on any
+// replica — at most one statement away, never a wait for a transaction
+// boundary. Suspicion raised on the shared query path thus cannot
+// mutate a replica out from under a sibling session's in-flight read.
 func (d *DiverseServer) recover(r *replica, active []*replica, verdict core.Verdict) {
 	if !d.cfg.AutoResync {
 		r.quarantined = true
@@ -498,45 +579,40 @@ func (d *DiverseServer) recover(r *replica, active []*replica, verdict core.Verd
 	if r.srv.Crashed() {
 		r.srv.Restart()
 	}
-	var donor *replica
+	donorExists := false
 	for _, i := range verdict.AgreeIdx {
 		if active[i] != r {
-			donor = active[i]
+			donorExists = true
 			break
 		}
 	}
-	if donor == nil {
+	if !donorExists {
 		// No healthy donor: keep the replica in service with its own
 		// state (it may still agree on subsequent statements).
 		return
 	}
-	if donor.srv.InTxnAny() {
-		r.quarantined = true
-		r.pendingResync = true
-		return
-	}
-	r.srv.Restore(donor.srv.Snapshot())
-	d.metrics.Resyncs++
+	r.quarantined = true
+	r.pendingResync = true
 }
 
-// flushPendingResyncs completes deferred state transfers once a healthy
-// donor is at a transaction boundary (of every session), returning the
-// replicas to service.
+// flushPendingResyncs rejoins quarantined replicas from any healthy
+// donor. Called with d.mu held and d.execMu held exclusively.
 //
-// Known limitation: under sustained transactional load from many
-// sessions, some session may always be inside BEGIN..COMMIT on every
-// healthy donor, so the pending replica can wait a long time for a
-// global boundary. A production design would take a consistent donor
-// snapshot (copy-on-write or per-session redo shipping) instead of
-// waiting; tracked as a ROADMAP item.
+// The donor does not have to be idle: its committed state is captured
+// copy-on-write at this instant (open transactions rewound on the
+// clone), and the redo above the snapshot — every client session's
+// open-transaction journal — is replayed into the rejoining replica's
+// per-client sessions. A journal statement that re-triggers the
+// replica's own fault simply fails there again and will be outvoted on
+// the next adjudication; containment, not repair, is the contract.
 func (d *DiverseServer) flushPendingResyncs() {
-	for _, r := range d.replicas {
+	for idx, r := range d.replicas {
 		if !r.pendingResync {
 			continue
 		}
 		var donor *replica
 		for _, cand := range d.replicas {
-			if cand != r && !cand.quarantined && !cand.srv.Crashed() && !cand.srv.InTxnAny() {
+			if cand != r && !cand.quarantined && !cand.srv.Crashed() {
 				donor = cand
 				break
 			}
@@ -544,10 +620,59 @@ func (d *DiverseServer) flushPendingResyncs() {
 		if donor == nil {
 			continue // try again on a later statement
 		}
-		r.srv.Restore(donor.srv.Snapshot())
+		snap := donor.srv.Snapshot()
+		r.srv.Restore(snap)
+		for cs := range d.sessions {
+			if !cs.inTxn {
+				continue
+			}
+			for _, stmt := range cs.journal {
+				_, _, _ = cs.subs[idx].Exec(stmt)
+				d.metrics.JournalReplays++
+			}
+		}
 		r.pendingResync = false
 		r.quarantined = false
 		d.metrics.Resyncs++
+		d.metrics.LastResyncSeq = snap.CommitSeq
+	}
+}
+
+// Snapshot returns a committed-state image of the first healthy replica
+// (the diverse server's own consistent snapshot, usable to seed another
+// endpoint). It shares the statement lock, so the image aligns with a
+// statement boundary of the global write order. Implements
+// core.Snapshotter.
+func (d *DiverseServer) Snapshot() *engine.State {
+	d.execMu.RLock()
+	defer d.execMu.RUnlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, r := range d.replicas {
+		if !r.quarantined && !r.srv.Crashed() {
+			return r.srv.Snapshot()
+		}
+	}
+	return d.replicas[0].srv.Snapshot()
+}
+
+// Restore installs a snapshot on every replica, discarding open
+// transactions. It takes the statement lock exclusively (no statement
+// may be mid-broadcast) and resets every client session's transaction
+// tracking to match the replicas' post-restore state — stale journals
+// would otherwise be replayed into the next rejoining replica as
+// phantom transactions no donor has. Implements core.Snapshotter.
+func (d *DiverseServer) Restore(st *engine.State) {
+	d.execMu.Lock()
+	defer d.execMu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, r := range d.replicas {
+		r.srv.Restore(st)
+	}
+	for cs := range d.sessions {
+		cs.inTxn = false
+		cs.journal = nil
 	}
 }
 

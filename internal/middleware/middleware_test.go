@@ -81,7 +81,10 @@ func TestMajorityMasksWrongResult(t *testing.T) {
 	if m.MaskedFailures == 0 {
 		t.Errorf("masking not recorded: %+v", m)
 	}
-	if m.Resyncs == 0 {
+	// The outvoted replica rejoins at the next state-changing statement
+	// (resync never interleaves with in-flight reads on the shared path).
+	mustExec(t, d, "INSERT INTO T VALUES (20)")
+	if m := d.Metrics(); m.Resyncs == 0 {
 		t.Errorf("outvoted replica not resynced: %+v", m)
 	}
 	// After resync the faulty replica is back in agreement for
@@ -133,17 +136,26 @@ func TestCrashRecovery(t *testing.T) {
 	if err != nil || len(res.Rows) != 2 {
 		t.Fatalf("grouped select: %v %v", res, err)
 	}
-	m := d.Metrics()
-	if m.CrashesDetected != 1 || m.Resyncs == 0 {
+	if m := d.Metrics(); m.CrashesDetected != 1 {
 		t.Errorf("metrics: %+v", m)
 	}
-	// The restarted replica serves again.
-	res, _, err = d.Exec("SELECT A FROM T WHERE A = 1")
-	if err != nil || len(res.Rows) != 1 {
-		t.Fatalf("after recovery: %v %v", res, err)
+	// The crashed replica is restarted and quarantined; it rejoins at the
+	// start of the next state-changing statement, when the exclusive
+	// statement lock guarantees nothing is in flight on any replica.
+	if len(d.QuarantinedReplicas()) != 1 {
+		t.Fatalf("quarantined: %v", d.QuarantinedReplicas())
+	}
+	mustExec(t, d, "INSERT INTO T VALUES (3)")
+	if m := d.Metrics(); m.Resyncs == 0 {
+		t.Errorf("metrics after rejoin write: %+v", m)
 	}
 	if len(d.QuarantinedReplicas()) != 0 {
 		t.Errorf("quarantined: %v", d.QuarantinedReplicas())
+	}
+	// The restarted replica serves again, in full agreement.
+	res, _, err = d.Exec("SELECT A FROM T ORDER BY A")
+	if err != nil || len(res.Rows) != 3 {
+		t.Fatalf("after recovery: %v %v", res, err)
 	}
 }
 
@@ -184,7 +196,11 @@ func TestLegitimateErrorsPassThrough(t *testing.T) {
 	}
 }
 
-func TestDeferredResyncAtTxnBoundary(t *testing.T) {
+// Resync no longer waits for a transaction boundary: a replica
+// quarantined while the donor sits mid-transaction rejoins on the very
+// next state-changing statement, fed a committed snapshot plus the open
+// transaction's redo journal.
+func TestResyncCompletesInsideOpenTransaction(t *testing.T) {
 	faults := []fault.Fault{{
 		BugID:   "err",
 		Server:  dialect.MS,
@@ -195,17 +211,26 @@ func TestDeferredResyncAtTxnBoundary(t *testing.T) {
 	mustExec(t, d, "CREATE TABLE T (A INT)")
 	mustExec(t, d, "INSERT INTO T VALUES (1)")
 	mustExec(t, d, "BEGIN TRANSACTION")
-	// MS errors inside the transaction: it must be quarantined and NOT
-	// resynced from a mid-transaction donor.
+	// MS errors inside the transaction and is quarantined.
 	mustExec(t, d, "UPDATE T SET A = 2")
 	if len(d.QuarantinedReplicas()) != 1 {
 		t.Fatalf("quarantined: %v", d.QuarantinedReplicas())
 	}
+	// The next write rejoins MS while the transaction is STILL OPEN on
+	// the donors: committed snapshot + journal redo, no boundary wait.
+	mustExec(t, d, "INSERT INTO T VALUES (5)")
+	m := d.Metrics()
+	if m.Resyncs == 0 {
+		t.Fatalf("no resync inside open transaction: %+v", m)
+	}
+	if m.JournalReplays == 0 {
+		t.Errorf("open-transaction redo not shipped: %+v", m)
+	}
 	mustExec(t, d, "ROLLBACK")
-	// The next statement flushes the pending resync with committed
-	// (rolled back) state; all replicas agree on A = 1.
+	// Rolled back everywhere: all replicas agree on A = 1 and the insert
+	// of 5 is gone.
 	res, _, err := d.Exec("SELECT A FROM T")
-	if err != nil || res.Rows[0][0].I != 1 {
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].I != 1 {
 		t.Fatalf("after rollback: %v %v", res, err)
 	}
 	if len(d.QuarantinedReplicas()) != 0 {

@@ -1,0 +1,192 @@
+package middleware
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"divsql/internal/dialect"
+	"divsql/internal/fault"
+	"divsql/internal/sql/ast"
+)
+
+// The acceptance scenario for live resync: donor sessions hold open
+// transactions the whole time, yet the quarantined replica completes its
+// rejoin — committed snapshot plus journal redo — and the held
+// transactions later commit with every replica in agreement.
+func TestResyncWhileDonorsHoldOpenTransactions(t *testing.T) {
+	faults := []fault.Fault{{
+		BugID:   "poison",
+		Server:  dialect.OR,
+		Trigger: fault.Trigger{Table: "POISON", Flag: ast.FlagInsert},
+		Effect:  fault.Effect{Kind: fault.EffectError, Message: "spurious internal failure"},
+	}}
+	d := newDiverse(t, faults, dialect.PG, dialect.OR, dialect.IB)
+	mustExec(t, d, "CREATE TABLE POISON (A INT)")
+	mustExec(t, d, "CREATE TABLE CLEAN (A INT)")
+	const holders = 3
+	for h := 0; h < holders; h++ {
+		mustExec(t, d, fmt.Sprintf("CREATE TABLE H%d (A INT)", h))
+	}
+
+	// Holder sessions open transactions and keep them open.
+	var hs []*Session
+	for h := 0; h < holders; h++ {
+		s := d.NewSession()
+		defer s.Close()
+		hs = append(hs, s)
+		for _, sql := range []string{
+			"BEGIN TRANSACTION",
+			fmt.Sprintf("INSERT INTO H%d VALUES (1)", h),
+			fmt.Sprintf("INSERT INTO H%d VALUES (2)", h),
+		} {
+			if _, _, err := s.Exec(sql); err != nil {
+				t.Fatalf("holder %d: %q: %v", h, sql, err)
+			}
+		}
+	}
+
+	// OR errors on the poison insert and is quarantined; the donors all
+	// sit mid-transaction.
+	mustExec(t, d, "INSERT INTO POISON VALUES (1)")
+	if len(d.QuarantinedReplicas()) != 1 {
+		t.Fatalf("quarantined: %v", d.QuarantinedReplicas())
+	}
+
+	// The next clean write rejoins OR even though every holder still has
+	// its transaction open — the old design would have waited for a
+	// global transaction boundary that never comes here.
+	mustExec(t, d, "INSERT INTO CLEAN VALUES (1)")
+	m := d.Metrics()
+	if m.Resyncs == 0 {
+		t.Fatalf("resync did not complete under open transactions: %+v", m)
+	}
+	// Redo shipping: each holder's journal (BEGIN + 2 inserts) was
+	// replayed into the rejoined replica.
+	if want := int64(holders * 3); m.JournalReplays < want {
+		t.Errorf("journal replays: %d, want >= %d", m.JournalReplays, want)
+	}
+	if len(d.QuarantinedReplicas()) != 0 {
+		t.Fatalf("replica did not rejoin: %v", d.QuarantinedReplicas())
+	}
+
+	// The held transactions keep working — including on the rejoined
+	// replica, whose copy was re-established from the journals — and
+	// commit to a state every replica agrees on.
+	for h, s := range hs {
+		for _, sql := range []string{
+			fmt.Sprintf("INSERT INTO H%d VALUES (3)", h),
+			"COMMIT",
+		} {
+			if _, _, err := s.Exec(sql); err != nil {
+				t.Fatalf("holder %d: %q: %v", h, sql, err)
+			}
+		}
+		res, _, err := d.Exec(fmt.Sprintf("SELECT COUNT(*) AS N FROM H%d", h))
+		if err != nil {
+			t.Fatalf("post-commit count on H%d: %v", h, err)
+		}
+		if res.Rows[0][0].I != 3 {
+			t.Errorf("H%d rows: %d, want 3", h, res.Rows[0][0].I)
+		}
+	}
+	m = d.Metrics()
+	if m.DetectedSplits != 0 {
+		t.Errorf("unexpected splits after rejoin: %+v", m)
+	}
+	if m.ReplicaErrors != 1 { // the single poison insert
+		t.Errorf("replica errors: %+v", m)
+	}
+}
+
+// Sustained concurrent transactional load (run with -race): writer
+// sessions continuously cycle BEGIN..COMMIT/ROLLBACK while a poisoner
+// repeatedly trips one replica's fault. Resyncs must keep completing
+// mid-load, and once the fault stops firing the replica set must reach
+// full agreement again.
+func TestResyncUnderSustainedConcurrentLoad(t *testing.T) {
+	faults := []fault.Fault{{
+		BugID:   "poison",
+		Server:  dialect.OR,
+		Trigger: fault.Trigger{Table: "POISON", Flag: ast.FlagUpdate},
+		Effect:  fault.Effect{Kind: fault.EffectError, Message: "spurious internal failure"},
+	}}
+	d := newDiverse(t, faults, dialect.PG, dialect.OR, dialect.IB)
+	mustExec(t, d, "CREATE TABLE POISON (A INT)")
+	mustExec(t, d, "INSERT INTO POISON VALUES (0)")
+	const writers = 4
+	for w := 0; w < writers; w++ {
+		mustExec(t, d, fmt.Sprintf("CREATE TABLE W%d (A INT)", w))
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := d.NewSession()
+			defer s.Close()
+			for i := 0; i < 25; i++ {
+				stmts := []string{
+					"BEGIN TRANSACTION",
+					fmt.Sprintf("INSERT INTO W%d VALUES (%d)", w, 2*i),
+					fmt.Sprintf("INSERT INTO W%d VALUES (%d)", w, 2*i+1),
+				}
+				if i%4 == 0 {
+					stmts = append(stmts, "ROLLBACK")
+				} else {
+					stmts = append(stmts, "COMMIT")
+				}
+				for _, sql := range stmts {
+					if _, _, err := s.Exec(sql); err != nil {
+						t.Errorf("writer %d: %q: %v", w, sql, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s := d.NewSession()
+		defer s.Close()
+		for i := 0; i < 10; i++ {
+			// OR errors here (outvoted) and is quarantined; concurrent
+			// writer statements trigger the rejoin while transactions are
+			// open all over the donor replicas.
+			if _, _, err := s.Exec("UPDATE POISON SET A = A + 1"); err != nil {
+				t.Errorf("poisoner: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Stop poisoning; one more write flushes any pending rejoin.
+	mustExec(t, d, "INSERT INTO POISON VALUES (99)")
+	m := d.Metrics()
+	if m.Resyncs == 0 {
+		t.Fatalf("no resync completed under load: %+v", m)
+	}
+	if len(d.QuarantinedReplicas()) != 0 {
+		t.Fatalf("replica still quarantined after load: %v", d.QuarantinedReplicas())
+	}
+	if m.DetectedSplits != 0 {
+		t.Errorf("splits under majority configuration: %+v", m)
+	}
+	// Full agreement across the healed replica set.
+	for w := 0; w < writers; w++ {
+		before := d.Metrics().Unanimous
+		res, _, err := d.Exec(fmt.Sprintf("SELECT COUNT(*) AS N FROM W%d", w))
+		if err != nil {
+			t.Fatalf("final count W%d: %v", w, err)
+		}
+		if res.Rows[0][0].I%2 != 0 {
+			t.Errorf("W%d: odd committed row count %d (torn transaction)", w, res.Rows[0][0].I)
+		}
+		if d.Metrics().Unanimous != before+1 {
+			t.Errorf("final count on W%d not unanimous", w)
+		}
+	}
+}

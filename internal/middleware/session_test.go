@@ -106,10 +106,12 @@ func TestConcurrentSessionsWithFaultInjection(t *testing.T) {
 	}
 }
 
-// TestResyncWaitsForOtherSessionsTxns: a replica suspected while a
-// DIFFERENT session holds an open transaction on the donor must wait in
-// quarantine until that transaction ends.
-func TestResyncWaitsForOtherSessionsTxns(t *testing.T) {
+// A replica suspected while a DIFFERENT session holds an open
+// transaction on the donor no longer waits for that transaction to end:
+// it rejoins on the next state-changing statement, with the sibling's
+// open transaction carried over as journal redo on top of the donor's
+// committed snapshot.
+func TestResyncCarriesSiblingSessionTxn(t *testing.T) {
 	faults := []fault.Fault{{
 		BugID:   "err",
 		Server:  dialect.MS,
@@ -132,25 +134,37 @@ func TestResyncWaitsForOtherSessionsTxns(t *testing.T) {
 	// b opens a transaction on another table and keeps it open.
 	mustSess(b, "BEGIN TRANSACTION")
 	mustSess(b, "INSERT INTO U VALUES (9)")
-	// a triggers the spurious error on MS: MS is outvoted; because b is
-	// mid-transaction on every potential donor, the resync must defer.
+	// a triggers the spurious error on MS: MS is outvoted and quarantined.
 	mustSess(a, "UPDATE T SET A = 2")
 	if len(d.QuarantinedReplicas()) != 1 {
 		t.Fatalf("quarantined: %v", d.QuarantinedReplicas())
 	}
-	// Statements while b's transaction is still open must not resync.
+	// Reads never resync (in-flight reads of sibling sessions could be
+	// racing on the shared path)...
 	mustSess(a, "SELECT A FROM T")
 	if len(d.QuarantinedReplicas()) != 1 {
-		t.Fatalf("resynced from a mid-transaction donor: %v", d.QuarantinedReplicas())
+		t.Fatalf("resync on the shared read path: %v", d.QuarantinedReplicas())
 	}
-	mustSess(b, "COMMIT")
-	// The next statement flushes the pending resync.
-	mustSess(a, "SELECT A FROM T")
+	// ...but the very next write does, with b STILL mid-transaction.
+	mustSess(a, "INSERT INTO T VALUES (7)")
 	if len(d.QuarantinedReplicas()) != 0 {
-		t.Errorf("replica not reinstated after txn boundary: %v", d.QuarantinedReplicas())
+		t.Fatalf("replica did not rejoin under b's open transaction: %v", d.QuarantinedReplicas())
 	}
-	res, _, err := a.Exec("SELECT A FROM T")
-	if err != nil || res.Rows[0][0].I != 2 {
+	if m := d.Metrics(); m.JournalReplays < 2 { // b's BEGIN + INSERT redone on MS
+		t.Errorf("sibling transaction not redone: %+v", m)
+	}
+	// b's transaction was carried across the resync: its rollback must
+	// remove the uncommitted row on every replica, unanimously.
+	mustSess(b, "ROLLBACK")
+	res, _, err := a.Exec("SELECT COUNT(*) AS N FROM U")
+	if err != nil || res.Rows[0][0].I != 0 {
+		t.Fatalf("after sibling rollback: %v %v", res, err)
+	}
+	res, _, err = a.Exec("SELECT A FROM T WHERE A = 2")
+	if err != nil || len(res.Rows) != 1 {
 		t.Fatalf("after resync: %v %v", res, err)
+	}
+	if m := d.Metrics(); m.DetectedSplits != 0 {
+		t.Errorf("splits: %+v", m)
 	}
 }

@@ -189,3 +189,28 @@ func TestTransactionsBalanced(t *testing.T) {
 		}
 	}
 }
+
+// With sequences enabled the stream must contain sequence-advancing
+// SELECTs, and every one of them must classify as NOT read-only on the
+// server — the property each layer's write-path gating hangs off.
+func TestSequenceAdvancingSelectsEmitted(t *testing.T) {
+	opts := CommonProfile(5)
+	opts.Sequences = true
+	g := New(opts)
+	orc := server.NewOracle()
+	seen := 0
+	for i := 0; i < 4000; i++ {
+		st := g.Next()
+		sql := ast.Render(st)
+		if _, ok := st.(*ast.Select); ok && strings.Contains(sql, "NEXTVAL(") {
+			if orc.ReadOnly(sql) {
+				t.Fatalf("sequence-advancing SELECT classified read-only: %q", sql)
+			}
+			seen++
+		}
+		_, _, _ = orc.Exec(sql) // keep oracle schema in lockstep
+	}
+	if seen == 0 {
+		t.Fatal("no sequence-advancing SELECT generated in 4000 statements")
+	}
+}

@@ -59,7 +59,9 @@ func (g *Generator) scalar(s scope, depth int) ast.Expr {
 			func() ast.Expr { return &ast.Binary{Op: ast.OpAdd, L: ref, R: lit()} },
 			// Integer multiplication stays integral: no float-precision
 			// quirk region is entered.
-			func() ast.Expr { return &ast.Binary{Op: ast.OpMul, L: ref, R: &ast.Literal{Val: types.NewInt(int64(2 + g.rnd.Intn(5)))}} },
+			func() ast.Expr {
+				return &ast.Binary{Op: ast.OpMul, L: ref, R: &ast.Literal{Val: types.NewInt(int64(2 + g.rnd.Intn(5)))}}
+			},
 			func() ast.Expr { return &ast.FuncCall{Name: "NULLIF", Args: []ast.Expr{ref, lit()}} },
 			func() ast.Expr {
 				return &ast.Case{Whens: []ast.WhenClause{{
@@ -213,6 +215,22 @@ func (g *Generator) existsSubquery(depth int) *ast.Select {
 	}
 }
 
+// seqCallExpr returns NEXTVAL(seq) over a live sequence, or nil when
+// the profile has sequences off or none exists yet. Wiring the call
+// into SELECT items makes the stream exercise the sequence-advancing
+// SELECT classification end to end: every layer must treat such a query
+// as a write (lock mode, ordering, read policy) or the servers drift.
+// Profiles that include MS must keep Sequences off — MS has no
+// sequences, and IB spells the function GEN_ID — so the harness gates
+// this behind a PG/OR server set (see difftest.Config.WithSequences).
+func (g *Generator) seqCallExpr() ast.Expr {
+	if !g.opts.Sequences || len(g.seqs) == 0 {
+		return nil
+	}
+	name := g.seqs[g.rnd.Intn(len(g.seqs))]
+	return &ast.FuncCall{Name: "NEXTVAL", Args: []ast.Expr{&ast.ColumnRef{Column: name}}}
+}
+
 // scalarAggSubquery builds a single-row scalar subquery (aggregate).
 func (g *Generator) scalarAggSubquery() *ast.Select {
 	t := g.anyTable()
@@ -304,6 +322,12 @@ func (g *Generator) genSimpleSelect() ast.Statement {
 	n := 1 + g.rnd.Intn(3)
 	exprs := make([]ast.Expr, 0, n)
 	for i := 0; i < n; i++ {
+		if g.rnd.Intn(7) == 0 {
+			if sq := g.seqCallExpr(); sq != nil {
+				exprs = append(exprs, sq)
+				continue
+			}
+		}
 		if g.opts.MaxSubqueryDepth > 0 && g.rnd.Intn(12) == 0 {
 			if sub := g.scalarAggSubquery(); sub != nil {
 				exprs = append(exprs, &ast.Subquery{Select: sub})

@@ -168,6 +168,15 @@ func (gs *Session) Exec(sql string) (*engine.Result, time.Duration, error) {
 
 // failover promotes the next live backup. It returns false when none is
 // available.
+//
+// Warm-standby rejoin rides on the engine's committed-state snapshot:
+// the restarted server receives the new primary's COMMITTED image (open
+// client transactions are rewound on the copy-on-write clone, so a
+// transaction that later rolls back never contaminates the standby).
+// Unlike the diverse middleware, the baseline ships no redo on top: a
+// client transaction open across the failover simply does not exist on
+// the rejoined backup — propagated statements autocommit there — which
+// is part of the fail-stop baseline's documented weakness.
 func (g *Group) failover() bool {
 	g.metrics.Failovers++
 	crashed := g.servers[g.primary]

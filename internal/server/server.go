@@ -67,6 +67,7 @@ var (
 	_ core.Executor        = (*Server)(nil)
 	_ core.SessionExecutor = (*Server)(nil)
 	_ core.Session         = (*Session)(nil)
+	_ core.Snapshotter     = (*Server)(nil)
 )
 
 // New builds a server of the given name carrying the provided faults
@@ -161,6 +162,12 @@ func (s *Server) crash() {
 
 // Close rolls back the session's open transaction and releases it.
 func (c *Session) Close() error { return c.es.Close() }
+
+// Abort rolls back the session's open transaction, if any, keeping the
+// session usable. The differential harness uses it to clear a
+// transaction that a fault desynchronized from the oracle before
+// restoring the server from an oracle snapshot.
+func (c *Session) Abort() { c.es.Abort() }
 
 // InTxn reports whether this session has an open transaction.
 func (c *Session) InTxn() bool { return c.es.InTxn() }
@@ -257,6 +264,12 @@ func (s *Server) ReadOnly(sql string) bool {
 	return !s.eng.SelectAdvancesSequences(sel)
 }
 
+// SelectAdvancesSequences is ReadOnly for callers that already hold the
+// parsed query (saves the re-parse on hot adjudication paths).
+func (s *Server) SelectAdvancesSequences(sel *ast.Select) bool {
+	return s.eng.SelectAdvancesSequences(sel)
+}
+
 // checkDialect rejects constructs the server's dialect does not offer
 // (the parser accepts the superset; real servers reject at parse time).
 func (s *Server) checkDialect(st ast.Statement) error {
@@ -335,15 +348,30 @@ func (s *Server) InTxn() bool {
 // the middleware to gate state transfers on transaction boundaries).
 func (s *Server) InTxnAny() bool { return s.eng.AnyInTxn() }
 
-// Snapshot captures the engine state for state transfer.
+// Snapshot captures a consistent image of the engine's COMMITTED state
+// at this instant for state transfer. It never waits for transaction
+// boundaries: the engine rewinds open transactions on a copy-on-write
+// clone while the server keeps executing.
 func (s *Server) Snapshot() *engine.State {
 	return s.eng.Snapshot()
 }
+
+// CommitSeq returns the engine's commit high-water mark (stamped into
+// snapshots, used to anchor resync redo).
+func (s *Server) CommitSeq() uint64 { return s.eng.CommitSeq() }
 
 // Restore replaces the engine state (used for replica resync). Open
 // transactions on every session are discarded.
 func (s *Server) Restore(st *engine.State) {
 	s.eng.Restore(st)
+}
+
+// RestoreScoped replaces only the objects selected by keep with the
+// snapshot's objects selected by keep. State — and open transactions —
+// outside the scope are untouched; the caller manages the transaction
+// state of sessions working inside the scope (Session.Abort).
+func (s *Server) RestoreScoped(st *engine.State, keep func(name string) bool) {
+	s.eng.RestoreScoped(st, keep)
 }
 
 // Reset drops all state (fresh install).

@@ -169,13 +169,17 @@ type Mix struct {
 }
 
 // DefaultMix approximates the standard TPC-C transaction mix.
-func DefaultMix() Mix { return Mix{NewOrder: 45, Payment: 43, OrderStatus: 4, Delivery: 4, StockLevel: 4} }
+func DefaultMix() Mix {
+	return Mix{NewOrder: 45, Payment: 43, OrderStatus: 4, Delivery: 4, StockLevel: 4}
+}
 
 // ReadHeavyMix skews the mix toward the read-only transactions
 // (OrderStatus, StockLevel). Read-only statements from concurrent
 // terminals execute in parallel, so this is the mix where session-level
 // parallelism pays off most.
-func ReadHeavyMix() Mix { return Mix{NewOrder: 5, Payment: 5, OrderStatus: 45, Delivery: 5, StockLevel: 40} }
+func ReadHeavyMix() Mix {
+	return Mix{NewOrder: 5, Payment: 5, OrderStatus: 45, Delivery: 5, StockLevel: 40}
+}
 
 func (mx Mix) total() int {
 	return mx.NewOrder + mx.Payment + mx.OrderStatus + mx.Delivery + mx.StockLevel
