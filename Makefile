@@ -1,0 +1,37 @@
+# bash -o pipefail so `go test | tee` failures fail the target (a
+# panicking benchmark must not publish a silently partial artifact).
+SHELL := /bin/bash -o pipefail
+
+GO  ?= go
+# Commit recorded in the benchmark artifact; CI passes the full SHA.
+SHA ?= $(shell git rev-parse --short HEAD)
+
+.PHONY: build test race smoke bench staticcheck
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Fault-free differential smoke: the generated common dialect subset
+# must agree with the oracle on every server; any finding exits 1.
+smoke:
+	$(GO) run ./cmd/divfuzz -seed 1 -n 2000 -streams 4 -faults=false
+	$(GO) run ./cmd/divfuzz -seed 5 -n 2000 -streams 1 -adaptive -maxrows 64 -faults=false
+
+# One-iteration benchmark sweep converted to the machine-readable
+# artifact BENCH_<sha>.json at the repo root, so the performance
+# trajectory accumulates across commits. -benchtime=1x keeps it cheap;
+# run `go test -bench . -benchmem ./...` for statistically tight
+# numbers.
+bench:
+	$(GO) test -bench . -benchtime=1x -run '^$$' ./... | tee bench.txt
+	$(GO) run ./cmd/benchjson -sha "$(SHA)" < bench.txt > "BENCH_$(SHA).json"
+	rm -f bench.txt
+
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1.1 ./...

@@ -497,6 +497,49 @@ func BenchmarkDiffFuzz(b *testing.B) {
 	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "stmts/s")
 }
 
+// BenchmarkDiffFuzzDeep contrasts the two deep-run regimes of the
+// calibrated hunt (experiment D1): the fixed-weight, unbounded-table
+// baseline against the coverage-guided (-adaptive) run with bounded
+// table cardinality (-maxrows). The custom metrics tell the story:
+// us/stmt must stay ~flat for the bounded run as n quadruples (linear
+// total cost — the cardinality bound holding), while it climbs for the
+// unbounded baseline; fingerprints/kstmt shows the coverage feedback
+// converting the same statement budget into more distinct divergence
+// regions.
+func BenchmarkDiffFuzzDeep(b *testing.B) {
+	for _, tc := range []struct {
+		name     string
+		n        int
+		maxRows  int
+		adaptive bool
+	}{
+		{"unbounded-fixed/n=2500", 2500, 0, false},
+		{"unbounded-fixed/n=10000", 10000, 0, false},
+		{"bounded-adaptive/n=2500", 2500, 16, true},
+		{"bounded-adaptive/n=10000", 10000, 16, true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			stmts, fps := 0, 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := difftest.CalibratedConfig(1, tc.n)
+				cfg.Streams = 1
+				cfg.Shrink = false
+				cfg.Adaptive = tc.adaptive
+				cfg.MaxRowsPerTable = tc.maxRows
+				res, err := difftest.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stmts += res.Statements
+				fps += len(res.Divergences)
+			}
+			b.ReportMetric(b.Elapsed().Seconds()*1e6/float64(stmts), "us/stmt")
+			b.ReportMetric(float64(fps)/float64(stmts)*1000, "fingerprints/kstmt")
+		})
+	}
+}
+
 // BenchmarkDiffFuzzFaultFree is the clean-path baseline: no faults, no
 // divergences, pure generate-execute-adjudicate cost.
 func BenchmarkDiffFuzzFaultFree(b *testing.B) {

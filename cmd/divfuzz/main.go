@@ -7,7 +7,8 @@
 // Usage:
 //
 //	divfuzz [-seed N] [-n N] [-streams N] [-faults=false] [-stress]
-//	        [-sequences] [-shrink=false] [-maxreports N] [-o FILE] [-v]
+//	        [-sequences] [-adaptive] [-maxrows N] [-batch N]
+//	        [-shrink=false] [-maxreports N] [-o FILE] [-cov FILE] [-v]
 //
 // With -faults (the default) the harness is armed with the calibrated
 // 181-bug corpus fault set and the generator's table pool targets the
@@ -19,6 +20,15 @@
 // oracle snapshots give multi-stream runs the same resync precision and
 // cascade-free attribution as a single stream, so the extra streams buy
 // throughput without costing adjudication quality.
+//
+// -adaptive closes the coverage feedback loop: each stream retunes the
+// generator's statement-class and query-shape weights from its own
+// observed coverage every -batch statements, so the budget flows to
+// under-explored regions still yielding new divergence fingerprints.
+// -maxrows bounds generated-table cardinality, which keeps adjudicated
+// cost per statement ~flat as -n grows — the two flags together are
+// what make deep hunts (-n 100k+) affordable. Every run prints its
+// coverage summary; -cov writes it to a separate artifact file.
 //
 // -sequences enables sequence DDL and sequence-advancing SELECTs
 // (NEXTVAL) in the stream, restricting the run to the PG/OR server set
@@ -40,9 +50,13 @@ func main() {
 	faults := flag.Bool("faults", true, "arm the calibrated corpus fault set")
 	stress := flag.Bool("stress", false, "stressful environment (Heisenbug triggers active)")
 	sequences := flag.Bool("sequences", false, "exercise sequence-advancing SELECTs (PG/OR server set)")
+	adaptive := flag.Bool("adaptive", false, "coverage-guided: retune generator weights from observed coverage between batches")
+	maxrows := flag.Int("maxrows", 0, "bound generated-table cardinality (0: unbounded); keeps per-statement cost flat on deep runs")
+	batch := flag.Int("batch", 0, "adaptive retargeting interval in statements (0: 500)")
 	shrink := flag.Bool("shrink", true, "shrink each divergence to a minimal repro stream")
 	maxReports := flag.Int("maxreports", 6, "shrunk reports per server")
 	out := flag.String("o", "", "also write the report to this file (CI artifact)")
+	covOut := flag.String("cov", "", "also write the coverage summary to this file (CI artifact)")
 	verbose := flag.Bool("v", false, "print full repro reports")
 	flag.Parse()
 
@@ -56,6 +70,9 @@ func main() {
 	cfg.Stress = *stress
 	cfg.Shrink = *shrink
 	cfg.MaxReportsPerServer = *maxReports
+	cfg.Adaptive = *adaptive
+	cfg.MaxRowsPerTable = *maxrows
+	cfg.FeedbackBatch = *batch
 	if *sequences {
 		cfg = cfg.WithSequences()
 	}
@@ -72,6 +89,12 @@ func main() {
 		// the console verbosity.
 		if err := os.WriteFile(*out, []byte(res.Render(true)), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "divfuzz: write report:", err)
+			os.Exit(2)
+		}
+	}
+	if *covOut != "" && res.Coverage != nil {
+		if err := os.WriteFile(*covOut, []byte(res.Coverage.Render()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "divfuzz: write coverage:", err)
 			os.Exit(2)
 		}
 	}

@@ -7,8 +7,12 @@
 // Usage:
 //
 //	faultstudy [-table N] [-summary] [-gains] [-stress] [-bugs] [-dedup]
+//	           [-yield]
 //
-// With no flags, everything is printed.
+// With no flags, everything is printed. -yield adds the per-server
+// fault-yield stats (statement budget vs failures vs distinct fault
+// regions), the corpus-side view of the quantity the differential
+// harness's coverage feedback optimizes.
 package main
 
 import (
@@ -28,27 +32,31 @@ func main() {
 	stress := flag.Bool("stress", false, "run in the stressful environment (Heisenbugs can manifest)")
 	bugs := flag.Bool("bugs", false, "list every bug with its per-server classification")
 	dedup := flag.Bool("dedup", false, "print per-server failures deduplicated by statement fingerprint")
+	yield_ := flag.Bool("yield", false, "print per-server fault-yield stats (budget vs failures vs distinct regions)")
 	flag.Parse()
 
-	if err := run(*table, *summary, *gains, *stress, *bugs, *dedup); err != nil {
+	if err := run(*table, *summary, *gains, *stress, *bugs, *dedup, *yield_); err != nil {
 		fmt.Fprintln(os.Stderr, "faultstudy:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, summary, gains, stress, bugs, dedup bool) error {
+func run(table int, summary, gains, stress, bugs, dedup, yield_ bool) error {
 	s := study.New()
 	s.Stress = stress
 	res, err := s.Run()
 	if err != nil {
 		return err
 	}
-	all := table == 0 && !summary && !gains && !bugs && !dedup
+	all := table == 0 && !summary && !gains && !bugs && !dedup && !yield_
 	if bugs {
 		printBugs(res)
 	}
 	if dedup {
 		fmt.Println(res.RenderDedup())
+	}
+	if yield_ {
+		fmt.Println(res.RenderYield())
 	}
 	if all || table == 1 {
 		fmt.Println(res.BuildTable1().Render())

@@ -19,7 +19,14 @@
 //     non-diverse baseline it is compared against;
 //
 //   - a TPC-C-like workload for statistical testing of any
-//     configuration.
+//     configuration;
+//
+//   - a differential fuzzing rig (internal/qgen + internal/difftest,
+//     cmd/divfuzz) that scales the paper's question to open-ended
+//     generated workloads: schema-aware statement streams adjudicated
+//     across all four servers and a pristine oracle, with
+//     coverage-guided budget allocation and bounded table cardinality
+//     for deep runs.
 //
 // Quickstart:
 //

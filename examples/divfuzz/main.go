@@ -1,12 +1,17 @@
 // Divfuzz example: hunt for cross-server divergences with a generated,
 // schema-aware workload instead of the fixed bug corpus.
 //
-// The example runs the differential harness twice: fault-free (the
-// oracle-agreement smoke check — zero divergences expected) and armed
-// with the calibrated corpus fault set (every server's injected fault
-// regions become discoverable). Each finding is deduplicated by
-// statement fingerprint, shrunk to a minimal statement stream, and
-// replayed to confirm.
+// The example runs the differential harness three times: fault-free
+// (the oracle-agreement smoke check — zero divergences expected), armed
+// with the calibrated corpus fault set under fixed weights, and armed
+// again with the coverage feedback loop closed plus bounded table
+// cardinality (the -adaptive / -maxrows mode of cmd/divfuzz). The
+// adaptive run retunes the generator's statement-class and query-shape
+// weights from its own observed coverage every few hundred statements,
+// so the same statement budget reaches noticeably more distinct
+// divergence fingerprints; the printed coverage summary shows where the
+// budget went. Each finding is deduplicated by statement fingerprint,
+// shrunk to a minimal statement stream, and replayed to confirm.
 package main
 
 import (
@@ -26,17 +31,37 @@ func main() {
 	fmt.Printf("fault-free: %d statements adjudicated, %d divergences (want 0)\n\n",
 		clean.Statements, len(clean.Divergences))
 
-	// 2. Armed hunt: corpus faults injected, generator pool aimed at
-	// their trigger tables.
-	cfg := difftest.CalibratedConfig(1, 4000)
-	cfg.MaxReportsPerServer = 1
-	res, err := difftest.Run(cfg)
+	// 2. Armed baseline: corpus faults injected, generator pool aimed at
+	// their trigger tables, fixed statement-class weights.
+	base := difftest.CalibratedConfig(1, 4000)
+	base.Streams = 1
+	base.Shrink = false
+	baseline, err := difftest.Run(base)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(res.Render(false))
+	fmt.Printf("fixed weights:    %d distinct divergence fingerprints in %d statements\n",
+		len(baseline.Divergences), baseline.Statements)
 
-	// 3. Shrunk reports replay standalone: print and confirm the first.
+	// 3. The same budget, coverage-guided and cardinality-bounded
+	// (divfuzz -adaptive -maxrows 32): the feedback loop pushes the
+	// stream into regions still yielding new fingerprints, and bounded
+	// tables keep per-statement adjudication cost flat however deep the
+	// run goes.
+	ad := difftest.CalibratedConfig(1, 4000)
+	ad.Streams = 1
+	ad.Adaptive = true
+	ad.MaxRowsPerTable = 32
+	ad.MaxReportsPerServer = 1
+	res, err := difftest.Run(ad)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coverage-guided:  %d distinct divergence fingerprints in %d statements\n\n",
+		len(res.Divergences), res.Statements)
+	fmt.Print(res.Coverage.Render())
+
+	// 4. Shrunk reports replay standalone: print and confirm the first.
 	for _, d := range res.Divergences {
 		if d.Report == nil {
 			continue

@@ -1,0 +1,214 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"divsql/internal/qgen"
+	"divsql/internal/sql/parser"
+)
+
+// A single-stream adaptive run is exactly reproducible: the feedback
+// derives only from the stream's own deterministic observations, so
+// same config, same divergence set.
+func TestAdaptiveDeterminism(t *testing.T) {
+	run := func() map[string]int {
+		cfg := CalibratedConfig(7, 1500)
+		cfg.Streams = 1
+		cfg.Shrink = false
+		cfg.Adaptive = true
+		cfg.MaxRowsPerTable = 32
+		cfg.FeedbackBatch = 250
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]int, len(res.Divergences))
+		for _, d := range res.Divergences {
+			out[string(d.Server)+"|"+d.Fingerprint] = d.Count
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("calibrated adaptive run found nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("adaptive runs disagree: %d vs %d divergences", len(a), len(b))
+	}
+	for k, n := range a {
+		if b[k] != n {
+			t.Fatalf("adaptive runs disagree on %s: %d vs %d", k, n, b[k])
+		}
+	}
+}
+
+// The tentpole claim: with the same seed and statement budget, the
+// coverage-guided run reaches at least as many distinct divergence
+// fingerprints as the fixed-weight baseline (in practice far more: the
+// feedback pushes budget into regions still paying out). Deterministic
+// per seed, so this is a stable regression gate, not a statistical one.
+func TestAdaptiveReachesMoreFingerprints(t *testing.T) {
+	base := CalibratedConfig(1, 3000)
+	base.Shrink = false
+	baseline, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := CalibratedConfig(1, 3000)
+	ad.Shrink = false
+	ad.Adaptive = true
+	ad.MaxRowsPerTable = 32
+	adaptive, err := Run(ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adaptive.Divergences) < len(baseline.Divergences) {
+		t.Fatalf("adaptive found %d fingerprints, baseline %d",
+			len(adaptive.Divergences), len(baseline.Divergences))
+	}
+	t.Logf("fingerprints: adaptive=%d baseline=%d", len(adaptive.Divergences), len(baseline.Divergences))
+}
+
+// Every run exports its coverage signal: class/shape hit counts that
+// sum to the statement budget, fingerprint breadth, and an oracle
+// error-class histogram. The run report renders it.
+func TestCoverageExported(t *testing.T) {
+	cfg := DefaultConfig(3, 800)
+	cfg.Streams = 2
+	cfg.Shrink = false
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := res.Coverage
+	if cov == nil {
+		t.Fatal("no coverage exported")
+	}
+	if cov.Statements != 1600 {
+		t.Fatalf("coverage saw %d statements, want 1600", cov.Statements)
+	}
+	sum := 0
+	for _, b := range cov.ByClass {
+		sum += b.Hits
+	}
+	if sum != 1600 {
+		t.Fatalf("class hits sum to %d, want 1600", sum)
+	}
+	if cov.ByClass[qgen.ClassSelect] == nil || cov.ByClass[qgen.ClassSelect].Hits == 0 {
+		t.Fatal("no SELECT coverage recorded")
+	}
+	if cov.GeneratedFingerprints() == 0 {
+		t.Fatal("no generated-fingerprint breadth recorded")
+	}
+	if len(cov.Errors) == 0 {
+		t.Fatal("no oracle error-class histogram recorded")
+	}
+	if !strings.Contains(res.Render(false), "coverage:") {
+		t.Fatal("run report does not include the coverage summary")
+	}
+}
+
+// The feedback policy in isolation: a bucket hammered without new
+// fingerprints loses budget to an under-explored bucket and to one that
+// still yields new fingerprints; disabled buckets stay disabled; floors
+// keep every enabled bucket alive.
+func TestFeedbackRetargeting(t *testing.T) {
+	base := qgen.Weights{DDL: 0, Insert: 30, Update: 30, Delete: 30, Select: 10, Txn: 10}
+	base.SimpleSelect, base.JoinSelect, base.GroupSelect, base.UnionSelect, base.StarSelect = qgen.DefaultShapeWeights()
+	fb := NewFeedback(base)
+	cov := NewCoverage()
+	cov.ByClass = map[qgen.Class]*BucketCoverage{
+		qgen.ClassInsert: {Hits: 1000, NewFingerprints: 0}, // hammered, dry
+		qgen.ClassUpdate: {Hits: 10, NewFingerprints: 0},   // under-explored
+		qgen.ClassDelete: {Hits: 1000, NewFingerprints: 40}, // still paying out
+	}
+	w := fb.Retarget(cov)
+	if w.DDL != 0 {
+		t.Fatalf("disabled class re-enabled: DDL=%d", w.DDL)
+	}
+	if w.Insert >= w.Update {
+		t.Fatalf("hammered-dry insert (%d) should fall below under-explored update (%d)", w.Insert, w.Update)
+	}
+	if w.Insert >= w.Delete {
+		t.Fatalf("hammered-dry insert (%d) should fall below still-yielding delete (%d)", w.Insert, w.Delete)
+	}
+	for _, c := range []struct {
+		name string
+		v    int
+	}{{"insert", w.Insert}, {"update", w.Update}, {"delete", w.Delete}, {"select", w.Select}, {"txn", w.Txn}} {
+		if c.v < 1 {
+			t.Fatalf("enabled class %s starved to %d; floors must keep it alive", c.name, c.v)
+		}
+	}
+}
+
+// The cardinality bound is what keeps deep runs affordable: with the
+// cap in place, adjudicated cost per statement stays ~flat as the
+// stream deepens (the regression this test guards), instead of growing
+// with table size. The fault-free configuration isolates the
+// generate-execute-adjudicate path; the threshold is generous to stay
+// robust on noisy CI hosts.
+func TestBoundedCostPerStatementStaysFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing regression; skipped under -short")
+	}
+	perStmt := func(n int) float64 {
+		cfg := DefaultConfig(2, n)
+		cfg.Streams = 1
+		cfg.Shrink = false
+		cfg.Adaptive = true
+		cfg.MaxRowsPerTable = 64
+		start := time.Now()
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Divergences) != 0 {
+			t.Fatalf("fault-free run diverged: %s", res.Render(false))
+		}
+		return float64(time.Since(start).Microseconds()) / float64(n)
+	}
+	perStmt(500) // warm up allocator and caches
+	shallow := perStmt(2000)
+	deep := perStmt(8000)
+	if deep > 3*shallow {
+		t.Fatalf("per-statement cost grew from %.0fus to %.0fus over a 4x deeper run; cardinality bound is not holding", shallow, deep)
+	}
+	t.Logf("per-statement cost: %.0fus at n=2000, %.0fus at n=8000", shallow, deep)
+}
+
+// Adaptive runs still honor every statement's replayability contract:
+// whatever the retargeted generator emits must parse (the shrinker and
+// reports re-parse streams from text).
+func TestAdaptiveStreamStillParses(t *testing.T) {
+	cfg := CalibratedConfig(13, 600)
+	cfg.Streams = 1
+	cfg.Adaptive = true
+	cfg.MaxRowsPerTable = 16
+	cfg.FeedbackBatch = 100
+	cfg.Shrink = true
+	cfg.MaxReportsPerServer = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Divergences {
+		if d.Report == nil {
+			continue
+		}
+		for _, sql := range d.Report.Stream {
+			if _, err := parser.Parse(sql); err != nil {
+				t.Fatalf("shrunk stream statement does not parse: %q: %v", sql, err)
+			}
+		}
+		ok, err := Replay(d.Report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("shrunk report from adaptive run does not replay: %s", d.Report.Render())
+		}
+	}
+}

@@ -12,6 +12,14 @@
 // open-ended generated workloads, in the spirit of automated database
 // testing work (Rigger & Su's pivoted query synthesis and successors).
 //
+// Every run exports a Coverage signal (statement-class × fingerprint ×
+// error-class hits, per-class divergence yield), and Config.Adaptive
+// closes the loop: a Feedback controller retargets the generator's
+// Weights plane between batches so the remaining budget flows to
+// under-explored regions still yielding new divergence fingerprints.
+// Config.MaxRowsPerTable bounds generated-table cardinality, holding
+// adjudicated cost per statement ~flat on deep runs.
+//
 // With fault injection disabled and the generator's CommonProfile, a run
 // must report zero divergences: every server implements the common
 // dialect subset identically to the oracle. Every divergence under
@@ -69,6 +77,25 @@ type Config struct {
 	// MaxReportsPerServer caps shrinking work (divergences beyond the
 	// cap are still counted and listed, just not shrunk). 0 means 6.
 	MaxReportsPerServer int
+	// Adaptive closes the coverage feedback loop: each stream runs in
+	// batches of FeedbackBatch statements, and between batches the
+	// generator's Weights plane is retargeted from the stream's own
+	// cumulative coverage (see Feedback), so under-explored statement
+	// classes and shapes — and regions still yielding new divergence
+	// fingerprints — receive the remaining budget. A single-stream
+	// adaptive run is exactly as reproducible as a fixed-weight one: the
+	// feedback derives only from the stream's own deterministic
+	// observations.
+	Adaptive bool
+	// FeedbackBatch is the adaptive retargeting interval in statements
+	// (0: 500).
+	FeedbackBatch int
+	// MaxRowsPerTable bounds generated-table cardinality (plumbed into
+	// qgen.Options.MaxRowsPerTable; 0 leaves the generator profile's
+	// setting). Bounding keeps per-statement evaluation and adjudication
+	// cost ~flat as N grows, which is what makes deep runs (N ≥ 100k)
+	// affordable.
+	MaxRowsPerTable int
 }
 
 // DefaultConfig is the fault-free smoke configuration.
@@ -170,6 +197,9 @@ type Result struct {
 	PerServer map[dialect.ServerName]int
 	// Raw counts total (pre-dedup) divergent statement executions.
 	Raw int
+	// Coverage is the run's aggregated exploration signal (per-class and
+	// per-shape hits, fingerprint breadth, divergence yield).
+	Coverage *Coverage
 	// Elapsed is the wall-clock run time.
 	Elapsed time.Duration
 }
@@ -189,6 +219,7 @@ type hunt struct {
 	seen    map[dedupKey]*Divergence
 	pending []pendingShrink
 	raw     int
+	cov     *Coverage
 }
 
 type pendingShrink struct {
@@ -211,7 +242,10 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.MaxReportsPerServer == 0 {
 		cfg.MaxReportsPerServer = 6
 	}
-	h := &hunt{cfg: cfg, seen: make(map[dedupKey]*Divergence)}
+	if cfg.FeedbackBatch <= 0 {
+		cfg.FeedbackBatch = 500
+	}
+	h := &hunt{cfg: cfg, seen: make(map[dedupKey]*Divergence), cov: NewCoverage()}
 	for _, name := range cfg.Servers {
 		srv, err := server.New(name, cfg.Faults)
 		if err != nil {
@@ -237,6 +271,7 @@ func Run(cfg Config) (*Result, error) {
 		Execs:      cfg.N * cfg.Streams * (len(cfg.Servers) + 1),
 		PerServer:  make(map[dialect.ServerName]int),
 		Raw:        h.raw,
+		Coverage:   h.cov,
 	}
 	for _, d := range h.seen {
 		res.Divergences = append(res.Divergences, d)
@@ -289,6 +324,9 @@ func (h *hunt) genOptionsFor(stream int) qgen.Options {
 		opts = qgen.CommonProfile(h.cfg.Seed)
 	}
 	opts.Seed = h.cfg.Seed + int64(stream)*1_000_003
+	if h.cfg.MaxRowsPerTable > 0 {
+		opts.MaxRowsPerTable = h.cfg.MaxRowsPerTable
+	}
 	if h.cfg.Streams > 1 {
 		opts.NamePrefix = fmt.Sprintf("S%d_%s", stream, opts.NamePrefix)
 		var share []string
@@ -335,6 +373,21 @@ func (h *hunt) runStream(stream int) {
 		defer sess[i].Close()
 	}
 
+	// Per-stream coverage: the feedback controller reads only this
+	// stream's own observations, so an adaptive single-stream run stays
+	// exactly reproducible from its seed. The stream's coverage merges
+	// into the run-level signal at the end.
+	cov := NewCoverage()
+	var fb *Feedback
+	if h.cfg.Adaptive {
+		fb = NewFeedback(gen.Weights())
+	}
+	defer func() {
+		h.mu.Lock()
+		h.cov.Merge(cov)
+		h.mu.Unlock()
+	}()
+
 	history := make([]string, 0, h.cfg.N)
 	outs := make([]server.StmtOutcome, len(sess)+1)
 	pendingResync := make([]bool, len(sess))
@@ -360,6 +413,8 @@ func (h *hunt) runStream(stream int) {
 		wg.Wait()
 
 		oo := outs[len(sess)]
+		fp := ast.FingerprintOf(st).String()
+		cov.Observe(st, fp, oo.Err)
 		seqAdvances := false
 		if sel, isSel := st.(*ast.Select); isSel {
 			// A sequence-advancing SELECT mutates state: if it diverged,
@@ -375,7 +430,8 @@ func (h *hunt) runStream(stream int) {
 			}
 			cls := classifyPair(st, so, oo)
 			if cls.IsFailure() {
-				h.record(h.servers[j].Name(), st, sql, cls, history, stream, i)
+				cov.ObserveDivergence(st, fp)
+				h.record(h.servers[j].Name(), fp, sql, cls, history, stream, i)
 				if stateDiverging(st, so, oo, cls, seqAdvances) {
 					pendingResync[j] = true
 				}
@@ -408,6 +464,12 @@ func (h *hunt) runStream(stream int) {
 				pendingResync[j] = false
 			}
 		}
+		// Between batches, retune the generator's Weights plane from this
+		// stream's cumulative coverage so the remaining budget flows to
+		// under-explored, still-yielding regions.
+		if fb != nil && (i+1)%h.cfg.FeedbackBatch == 0 && i+1 < h.cfg.N {
+			gen.SetWeights(fb.Retarget(cov))
+		}
 	}
 }
 
@@ -432,8 +494,8 @@ func stateDiverging(st ast.Statement, so, oo server.StmtOutcome, cls core.Classi
 }
 
 // record deduplicates one divergent execution by (server, fingerprint).
-func (h *hunt) record(name dialect.ServerName, st ast.Statement, sql string, cls core.Classification, history []string, stream, index int) {
-	key := dedupKey{name, ast.FingerprintOf(st).String()}
+func (h *hunt) record(name dialect.ServerName, fp string, sql string, cls core.Classification, history []string, stream, index int) {
+	key := dedupKey{name, fp}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if d, ok := h.seen[key]; ok {

@@ -108,6 +108,9 @@ func (r *Result) Render(verbose bool) string {
 		fmt.Fprintf(&b, "throughput: %.0f statements/s adjudicated\n",
 			float64(r.Statements)/r.Elapsed.Seconds())
 	}
+	if r.Coverage != nil {
+		b.WriteString(r.Coverage.Render())
+	}
 	fmt.Fprintf(&b, "divergences: %d distinct fingerprints (%d raw occurrences)\n", len(r.Divergences), r.Raw)
 	for _, s := range dialect.AllServers {
 		if n, ok := r.PerServer[s]; ok {

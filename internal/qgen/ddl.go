@@ -51,7 +51,7 @@ func (g *Generator) genDDL() ast.Statement {
 
 func (g *Generator) genCreateTable() ast.Statement {
 	name := g.tableName()
-	rel := &relation{name: name, nextPK: 1}
+	rel := &relation{name: name, nextPK: 1, agedPK: 1}
 	nCols := 2 + g.rnd.Intn(g.opts.MaxColumns-1)
 	var defs []ast.ColumnDef
 	for i := 0; i < nCols; i++ {

@@ -31,14 +31,20 @@ func (g *Generator) word() string {
 }
 
 func (g *Generator) genInsert() ast.Statement {
-	t := g.anyTable()
+	t := g.insertableTable()
 	if t == nil {
-		return nil
+		// Every table sits at the cardinality cap: the INSERT budget
+		// becomes row-aging and UPDATE pressure instead, so deep streams
+		// keep their write mix without growing the tables.
+		return g.genAge()
 	}
 	// Columns in a shuffled (but seeded) order, all listed explicitly.
 	perm := g.rnd.Perm(len(t.cols))
 	cols := make([]string, len(perm))
 	nRows := 1 + g.rnd.Intn(g.opts.MaxInsertRows)
+	if limit := g.opts.MaxRowsPerTable; limit > 0 && t.rows+nRows > limit {
+		nRows = limit - t.rows
+	}
 	rows := make([][]ast.Expr, nRows)
 	for r := range rows {
 		rows[r] = make([]ast.Expr, len(perm))
@@ -118,6 +124,77 @@ func (g *Generator) genUpdate() ast.Statement {
 	return up
 }
 
+// insertableTable picks a table with headroom under the cardinality
+// cap (any table when unbounded); nil when every table is full.
+func (g *Generator) insertableTable() *relation {
+	if g.opts.MaxRowsPerTable <= 0 {
+		return g.anyTable()
+	}
+	cands := make([]*relation, 0, len(g.tables))
+	for _, t := range g.tables {
+		if t.rows < g.opts.MaxRowsPerTable {
+			cands = append(cands, t)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	return cands[g.rnd.Intn(len(cands))]
+}
+
+// genAge converts blocked INSERT pressure into other write work once
+// every table is at the cardinality cap: keyed tables age out their
+// oldest primary-key band (freeing headroom for future inserts), unkeyed
+// tables are occasionally cleared outright, and the rest of the budget
+// becomes UPDATEs so write pressure on the engines is preserved.
+func (g *Generator) genAge() ast.Statement {
+	t := g.anyTable()
+	if t == nil {
+		return nil
+	}
+	switch {
+	case t.hasPK && g.rnd.Intn(3) != 0:
+		return g.genAgeDelete(t)
+	case !t.hasPK && g.rnd.Intn(4) == 0:
+		t.rows = 0
+		return &ast.Delete{Table: t.name}
+	default:
+		return g.genUpdate()
+	}
+}
+
+// genAgeDelete emits DELETE ... WHERE pk < hi over the oldest live
+// primary-key band. Because primary keys are assigned monotonically and
+// every key below agedPK is already gone, the surviving rows all carry
+// keys in [hi, nextPK) — which caps the live row count at nextPK-hi and
+// lets the estimate drop soundly.
+func (g *Generator) genAgeDelete(t *relation) ast.Statement {
+	half := g.opts.MaxRowsPerTable / 2
+	if half < 1 {
+		half = 1
+	}
+	hi := t.agedPK + int64(1+g.rnd.Intn(half))
+	if hi > t.nextPK {
+		hi = t.nextPK
+	}
+	pi := t.pick(g.rnd, func(c *column) bool { return c.pk })
+	if pi < 0 {
+		return nil
+	}
+	t.agedPK = hi
+	if ub := int(t.nextPK - t.agedPK); t.rows > ub {
+		t.rows = ub
+	}
+	return &ast.Delete{
+		Table: t.name,
+		Where: &ast.Binary{
+			Op: ast.OpLt,
+			L:  &ast.ColumnRef{Column: t.col(pi).name},
+			R:  &ast.Literal{Val: types.NewInt(hi)},
+		},
+	}
+}
+
 func (g *Generator) genDelete() ast.Statement {
 	t := g.anyTable()
 	if t == nil {
@@ -125,8 +202,12 @@ func (g *Generator) genDelete() ast.Statement {
 	}
 	del := &ast.Delete{Table: t.name}
 	if g.rnd.Intn(10) < 9 {
-		// Prefer a selective predicate so tables keep their data.
-		ci := t.pick(g.rnd, func(c *column) bool { return c.kind == types.KindInt })
+		// Prefer a selective predicate over a non-key numeric column so
+		// tables keep their data. Key columns grow without bound, so a
+		// fixed threshold over them would eventually match every newer
+		// row; non-key integer literals stay in [0,100) and the >80
+		// threshold clips only a value tail.
+		ci := t.pick(g.rnd, func(c *column) bool { return c.kind == types.KindInt && !c.pk })
 		if ci >= 0 {
 			del.Where = &ast.Binary{
 				Op: ast.OpGt,
@@ -136,8 +217,11 @@ func (g *Generator) genDelete() ast.Statement {
 		} else {
 			del.Where = g.predicate(scope{{"", t}}, 1)
 		}
+		// The predicate may match any number of rows (possibly none), so
+		// the row estimate — an upper bound — stays put.
+		return del
 	}
-	t.rows = 0 // unknown; approximation only
+	t.rows = 0
 	return del
 }
 

@@ -15,9 +15,19 @@
 // produces zero oracle divergences and every divergence found under
 // injection is attributable to a fault.
 //
+// The generator is steerable and deep-run-safe: its statement-class and
+// SELECT-shape distributions form an adaptive Weights plane that
+// callers (difftest's coverage feedback) retarget mid-stream with
+// SetWeights, and Options.MaxRowsPerTable bounds generated-table
+// cardinality — INSERT pressure converts into UPDATEs and row-aging
+// DELETEs at the cap — so per-statement evaluation cost stays flat on
+// arbitrarily long streams.
+//
 // Determinism contract: the same Options (including Seed) produce a
 // byte-identical statement stream, on any platform. Every choice flows
-// from the seeded PRNG and ordered slices; no map iteration.
+// from the seeded PRNG and ordered slices; no map iteration. SetWeights
+// preserves the contract: the stream is a pure function of the seed and
+// the (position, value) sequence of SetWeights calls.
 package qgen
 
 import (
@@ -56,6 +66,9 @@ type Options struct {
 	// --- Structural weights and caps ------------------------------------
 
 	// Weights select the statement class (relative, need not sum to 100).
+	// They seed the generator's adaptive Weights plane; callers can
+	// retarget the plane mid-stream with Generator.SetWeights (see
+	// Weights).
 	WeightDDL, WeightInsert, WeightUpdate, WeightDelete, WeightSelect, WeightTxn int
 
 	// MinTables is kept alive (DROP TABLE is suppressed below it);
@@ -71,6 +84,16 @@ type Options struct {
 	MaxSubqueryDepth int
 	// MaxInsertRows caps rows per INSERT.
 	MaxInsertRows int
+	// MaxRowsPerTable bounds generated-table cardinality (0: unbounded).
+	// The generator tracks a conservative per-table row estimate (an
+	// upper bound on the live row count); once a table's estimate reaches
+	// the cap, INSERT pressure on it is redirected into UPDATEs and
+	// row-aging DELETEs, so table sizes — and with them per-statement
+	// evaluation and adjudication cost — stay bounded no matter how long
+	// the stream runs. The estimates rewind with ROLLBACK exactly like
+	// the rest of the schema tracking, so the bound survives transaction
+	// rewinds.
+	MaxRowsPerTable int
 	// Views enables CREATE VIEW and view references in FROM.
 	Views bool
 	// Indexes enables CREATE/DROP INDEX.
@@ -140,8 +163,17 @@ type relation struct {
 	nextPK int64
 	// hasPK reports whether cols contains a primary key.
 	hasPK bool
-	// rows approximates the inserted row count (weighting only).
+	// rows is a conservative estimate — an upper bound — of the live row
+	// count. INSERT adds its row count; an aging DELETE (a PK band known
+	// to cover every live key below a threshold) and an unconditional
+	// DELETE lower it; a random predicate DELETE does not (it may match
+	// nothing, and the bound must never undershoot reality). The
+	// cardinality cap (Options.MaxRowsPerTable) is enforced against this
+	// estimate.
 	rows int
+	// agedPK is the exclusive upper bound of primary keys removed by
+	// aging: every live PK is >= agedPK. Aging DELETEs advance it.
+	agedPK int64
 }
 
 func (r *relation) col(i int) *column { return &r.cols[i] }
@@ -164,6 +196,7 @@ func (r *relation) pick(rnd *rand.Rand, want func(*column) bool) int {
 type Generator struct {
 	opts Options
 	rnd  *rand.Rand
+	w    Weights // adaptive budget plane (see SetWeights)
 
 	tables  []*relation // base tables, creation order
 	views   []*relation
@@ -223,6 +256,7 @@ func New(opts Options) *Generator {
 	return &Generator{
 		opts: opts,
 		rnd:  rand.New(rand.NewSource(opts.Seed)),
+		w:    weightsFromOptions(opts).sanitize(),
 		pool: append([]string(nil), opts.TableNames...),
 	}
 }
@@ -239,27 +273,27 @@ func (g *Generator) Next() ast.Statement {
 	}
 	for {
 		switch g.pickClass() {
-		case classDDL:
+		case ClassDDL:
 			if st := g.genDDL(); st != nil {
 				return st
 			}
-		case classInsert:
+		case ClassInsert:
 			if st := g.genInsert(); st != nil {
 				return st
 			}
-		case classUpdate:
+		case ClassUpdate:
 			if st := g.genUpdate(); st != nil {
 				return st
 			}
-		case classDelete:
+		case ClassDelete:
 			if st := g.genDelete(); st != nil {
 				return st
 			}
-		case classSelect:
+		case ClassSelect:
 			if st := g.genSelect(); st != nil {
 				return st
 			}
-		case classTxn:
+		case ClassTxn:
 			if st := g.genTxn(); st != nil {
 				return st
 			}
@@ -290,47 +324,21 @@ func (s *Stream) Next() (string, bool) {
 	return s.G.NextSQL(), true
 }
 
-type stmtClass int
-
-const (
-	classDDL stmtClass = iota
-	classInsert
-	classUpdate
-	classDelete
-	classSelect
-	classTxn
-)
-
-func (g *Generator) pickClass() stmtClass {
-	o := g.opts
-	wTxn := o.WeightTxn
-	if !o.Transactions {
+// pickClass draws a statement class from the adaptive Weights plane
+// (weight order matches Classes).
+func (g *Generator) pickClass() Class {
+	w := g.w
+	wTxn := w.Txn
+	if !g.opts.Transactions {
 		wTxn = 0
 	}
-	total := o.WeightDDL + o.WeightInsert + o.WeightUpdate + o.WeightDelete + o.WeightSelect + wTxn
-	if total <= 0 {
-		// Degenerate profile (e.g. only WeightTxn set with Transactions
+	i := g.weightedPick([]int{w.DDL, w.Insert, w.Update, w.Delete, w.Select, wTxn})
+	if i < 0 {
+		// Degenerate plane (e.g. only Txn weighted with Transactions
 		// off): queries are the only class that is always generable.
-		return classSelect
+		return ClassSelect
 	}
-	n := g.rnd.Intn(total)
-	for _, c := range []struct {
-		w int
-		c stmtClass
-	}{
-		{o.WeightDDL, classDDL},
-		{o.WeightInsert, classInsert},
-		{o.WeightUpdate, classUpdate},
-		{o.WeightDelete, classDelete},
-		{o.WeightSelect, classSelect},
-		{wTxn, classTxn},
-	} {
-		if n < c.w {
-			return c.c
-		}
-		n -= c.w
-	}
-	return classSelect
+	return Classes[i]
 }
 
 // ---------------------------------------------------------------------------

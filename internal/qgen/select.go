@@ -256,31 +256,47 @@ func (g *Generator) scalarAggSubquery() *ast.Select {
 // ---------------------------------------------------------------------------
 // Query shapes
 
+// pickShape draws a SELECT shape from the adaptive Weights plane
+// (weight order matches Shapes). Shapes whose structural feature is
+// disabled contribute no weight.
+func (g *Generator) pickShape() Shape {
+	w := g.w
+	wJoin := w.JoinSelect
+	if g.opts.MaxJoins == 0 {
+		wJoin = 0
+	}
+	wUnion := w.UnionSelect
+	if !g.opts.Unions {
+		wUnion = 0
+	}
+	i := g.weightedPick([]int{w.SimpleSelect, wJoin, w.GroupSelect, wUnion, w.StarSelect})
+	if i < 0 {
+		return ShapeSimple
+	}
+	return Shapes[i]
+}
+
 func (g *Generator) genSelect() ast.Statement {
-	switch g.rnd.Intn(10) {
-	case 0, 1, 2:
-		return g.genSimpleSelect()
-	case 3, 4:
-		if g.opts.MaxJoins > 0 {
-			if st := g.genJoinSelect(); st != nil {
-				return st
-			}
+	switch g.pickShape() {
+	case ShapeJoin:
+		if st := g.genJoinSelect(); st != nil {
+			return st
 		}
 		return g.genSimpleSelect()
-	case 5, 6:
+	case ShapeGroup:
 		if st := g.genGroupSelect(); st != nil {
 			return st
 		}
 		return g.genSimpleSelect()
-	case 7:
-		if g.opts.Unions {
-			if st := g.genUnionSelect(); st != nil {
-				return st
-			}
+	case ShapeUnion:
+		if st := g.genUnionSelect(); st != nil {
+			return st
 		}
 		return g.genSimpleSelect()
-	default:
+	case ShapeStar:
 		return g.genStarSelect()
+	default:
+		return g.genSimpleSelect()
 	}
 }
 

@@ -1,0 +1,240 @@
+package qgen
+
+import "divsql/internal/sql/ast"
+
+// Class is the statement-class taxonomy the generator budgets over. It
+// is the unit of the coverage feedback loop: internal/difftest counts
+// hits and divergence yield per class and retargets the generator's
+// Weights between batches.
+type Class string
+
+const (
+	ClassDDL    Class = "ddl"
+	ClassInsert Class = "insert"
+	ClassUpdate Class = "update"
+	ClassDelete Class = "delete"
+	ClassSelect Class = "select"
+	ClassTxn    Class = "txn"
+)
+
+// Classes lists every statement class in deterministic order.
+var Classes = []Class{ClassDDL, ClassInsert, ClassUpdate, ClassDelete, ClassSelect, ClassTxn}
+
+// ClassOf maps an emitted statement back to its class. It is total over
+// everything the generator can produce (and over hand-written streams:
+// any unrecognized statement counts as DDL, the schema-changing
+// catch-all).
+func ClassOf(st ast.Statement) Class {
+	switch st.(type) {
+	case *ast.Insert:
+		return ClassInsert
+	case *ast.Update:
+		return ClassUpdate
+	case *ast.Delete:
+		return ClassDelete
+	case *ast.Select:
+		return ClassSelect
+	case *ast.Begin, *ast.Commit, *ast.Rollback:
+		return ClassTxn
+	default:
+		return ClassDDL
+	}
+}
+
+// Shape is the SELECT sub-taxonomy: the structural query shapes the
+// generator chooses among. Like Class it is a feedback dimension —
+// under-explored shapes can be re-weighted without touching the class
+// budget.
+type Shape string
+
+const (
+	ShapeSimple Shape = "simple"
+	ShapeJoin   Shape = "join"
+	ShapeGroup  Shape = "group"
+	ShapeUnion  Shape = "union"
+	ShapeStar   Shape = "star"
+)
+
+// Shapes lists every SELECT shape in deterministic order.
+var Shapes = []Shape{ShapeSimple, ShapeJoin, ShapeGroup, ShapeUnion, ShapeStar}
+
+// ShapeOf classifies a SELECT by its dominant structural feature. The
+// mapping is derivable from the AST alone, so difftest can attribute
+// coverage without the generator in the loop. Non-SELECT statements
+// return "".
+func ShapeOf(st ast.Statement) Shape {
+	sel, ok := st.(*ast.Select)
+	if !ok {
+		return ""
+	}
+	switch {
+	case sel.Union != nil:
+		return ShapeUnion
+	case len(sel.GroupBy) > 0:
+		return ShapeGroup
+	case len(sel.From) > 0 && len(sel.From[0].Joins) > 0:
+		return ShapeJoin
+	case len(sel.Items) == 1 && sel.Items[0].Star:
+		return ShapeStar
+	default:
+		return ShapeSimple
+	}
+}
+
+// Weights is the generator's adaptive budget plane: relative weights for
+// the statement classes and, within SELECT, for the query shapes. The
+// zero value of a field means "never pick it" (subject to the
+// feasibility fallbacks in Next); an all-zero class row falls back to
+// queries, an all-zero shape row to the simple shape.
+//
+// Weights are plain data so a feedback controller can be pure: read
+// coverage, compute a new Weights, install it with SetWeights. The
+// stream stays deterministic as long as the sequence of SetWeights
+// calls (values and positions in the stream) is itself deterministic —
+// which holds when the controller derives them from the stream's own
+// observed coverage, as difftest's Feedback does.
+type Weights struct {
+	// Statement classes (relative, need not sum to anything).
+	DDL, Insert, Update, Delete, Select, Txn int
+	// SELECT shapes (relative). JoinSelect and UnionSelect are capped by
+	// the structural options (MaxJoins, Unions): a shape whose feature is
+	// disabled is never picked regardless of its weight.
+	SimpleSelect, JoinSelect, GroupSelect, UnionSelect, StarSelect int
+}
+
+// DefaultShapeWeights mirrors the generator's historical fixed SELECT
+// distribution (3/2/2/1/2 over simple/join/group/union/star).
+func DefaultShapeWeights() (simple, join, group, union, star int) {
+	return 3, 2, 2, 1, 2
+}
+
+// weightsFromOptions seeds the plane from the Options' class weights
+// plus the default shape split.
+func weightsFromOptions(o Options) Weights {
+	w := Weights{
+		DDL: o.WeightDDL, Insert: o.WeightInsert, Update: o.WeightUpdate,
+		Delete: o.WeightDelete, Select: o.WeightSelect, Txn: o.WeightTxn,
+	}
+	w.SimpleSelect, w.JoinSelect, w.GroupSelect, w.UnionSelect, w.StarSelect = DefaultShapeWeights()
+	return w
+}
+
+// sanitize clamps negative weights to zero (a controller bug must not
+// panic the PRNG arithmetic).
+func (w Weights) sanitize() Weights {
+	clamp := func(v *int) {
+		if *v < 0 {
+			*v = 0
+		}
+	}
+	for _, p := range []*int{
+		&w.DDL, &w.Insert, &w.Update, &w.Delete, &w.Select, &w.Txn,
+		&w.SimpleSelect, &w.JoinSelect, &w.GroupSelect, &w.UnionSelect, &w.StarSelect,
+	} {
+		clamp(p)
+	}
+	return w
+}
+
+// ClassWeight returns the weight of one class.
+func (w Weights) ClassWeight(c Class) int {
+	switch c {
+	case ClassDDL:
+		return w.DDL
+	case ClassInsert:
+		return w.Insert
+	case ClassUpdate:
+		return w.Update
+	case ClassDelete:
+		return w.Delete
+	case ClassSelect:
+		return w.Select
+	case ClassTxn:
+		return w.Txn
+	}
+	return 0
+}
+
+// SetClassWeight sets the weight of one class.
+func (w *Weights) SetClassWeight(c Class, v int) {
+	switch c {
+	case ClassDDL:
+		w.DDL = v
+	case ClassInsert:
+		w.Insert = v
+	case ClassUpdate:
+		w.Update = v
+	case ClassDelete:
+		w.Delete = v
+	case ClassSelect:
+		w.Select = v
+	case ClassTxn:
+		w.Txn = v
+	}
+}
+
+// ShapeWeight returns the weight of one SELECT shape.
+func (w Weights) ShapeWeight(s Shape) int {
+	switch s {
+	case ShapeSimple:
+		return w.SimpleSelect
+	case ShapeJoin:
+		return w.JoinSelect
+	case ShapeGroup:
+		return w.GroupSelect
+	case ShapeUnion:
+		return w.UnionSelect
+	case ShapeStar:
+		return w.StarSelect
+	}
+	return 0
+}
+
+// SetShapeWeight sets the weight of one SELECT shape.
+func (w *Weights) SetShapeWeight(s Shape, v int) {
+	switch s {
+	case ShapeSimple:
+		w.SimpleSelect = v
+	case ShapeJoin:
+		w.JoinSelect = v
+	case ShapeGroup:
+		w.GroupSelect = v
+	case ShapeUnion:
+		w.UnionSelect = v
+	case ShapeStar:
+		w.StarSelect = v
+	}
+}
+
+// weightedPick draws an index proportionally to the weights, consuming
+// one PRNG value; -1 (and no PRNG consumption) when the total is zero.
+// Both budget planes — statement classes and SELECT shapes — draw
+// through it.
+func (g *Generator) weightedPick(weights []int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return -1
+	}
+	n := g.rnd.Intn(total)
+	for i, w := range weights {
+		if n < w {
+			return i
+		}
+		n -= w
+	}
+	return len(weights) - 1
+}
+
+// Weights returns the generator's current budget plane.
+func (g *Generator) Weights() Weights { return g.w }
+
+// SetWeights retargets the budget plane for all statements generated
+// from here on. Callers retune between batches: difftest's Feedback
+// computes the new plane from the previous batch's coverage so
+// under-explored classes and shapes receive the remaining budget.
+// Setting weights never desynchronizes transaction or schema tracking —
+// it only changes the class/shape distribution of future picks.
+func (g *Generator) SetWeights(w Weights) { g.w = w.sanitize() }

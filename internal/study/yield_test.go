@@ -1,0 +1,57 @@
+package study
+
+import (
+	"strings"
+	"testing"
+
+	"divsql/internal/qgen"
+)
+
+// Yield stats must be internally consistent with the study's own
+// classification and dedup machinery.
+func TestBuildYield(t *testing.T) {
+	res, err := New().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	yields := res.BuildYield()
+	if len(yields) != 4 {
+		t.Fatalf("got %d server yields, want 4", len(yields))
+	}
+	groups := res.DedupFailures()
+	for _, y := range yields {
+		if y.Statements == 0 {
+			t.Errorf("%s: no statement budget recorded", y.Server)
+		}
+		if y.FailingRuns == 0 {
+			t.Errorf("%s: the calibrated corpus must produce failures", y.Server)
+		}
+		if y.DistinctFingerprints != len(groups[y.Server]) {
+			t.Errorf("%s: yield reports %d distinct fingerprints, dedup reports %d",
+				y.Server, y.DistinctFingerprints, len(groups[y.Server]))
+		}
+		if y.DistinctFingerprints > y.FailingRuns {
+			t.Errorf("%s: more distinct fingerprints (%d) than failing runs (%d)",
+				y.Server, y.DistinctFingerprints, y.FailingRuns)
+		}
+		classed := 0
+		for _, n := range y.ByClass {
+			classed += n
+		}
+		if classed > y.FailingRuns {
+			t.Errorf("%s: %d class-attributed failures exceed %d failing runs", y.Server, classed, y.FailingRuns)
+		}
+		if y.FailuresPerKStmt() <= 0 || y.FingerprintsPerKStmt() <= 0 {
+			t.Errorf("%s: zero yield over a failing corpus", y.Server)
+		}
+		// The corpus triggers are statement-shaped; SELECT regions dominate
+		// every server's corpus (sanity that class attribution works).
+		if y.ByClass[qgen.ClassSelect] == 0 {
+			t.Errorf("%s: no SELECT-classified failures; class attribution broken", y.Server)
+		}
+	}
+	out := res.RenderYield()
+	if !strings.Contains(out, "fps/kstmt") {
+		t.Fatalf("render misses header: %s", out)
+	}
+}
