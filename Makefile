@@ -22,6 +22,7 @@ race:
 smoke:
 	$(GO) run ./cmd/divfuzz -seed 1 -n 2000 -streams 4 -faults=false
 	$(GO) run ./cmd/divfuzz -seed 5 -n 2000 -streams 1 -adaptive -maxrows 64 -faults=false
+	$(GO) run ./cmd/divfuzz -seed 7 -n 2000 -streams 2 -params -faults=false
 
 # One-iteration benchmark sweep converted to the machine-readable
 # artifact BENCH_<sha>.json at the repo root, so the performance
@@ -35,3 +36,17 @@ bench:
 
 staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1.1 ./...
+
+# Warn-only perf regression check: diff a fresh artifact against the
+# newest committed BENCH_*.json (by commit date). Usage:
+#   make bench bench-delta
+.PHONY: bench-delta
+bench-delta:
+	@new="BENCH_$(SHA).json"; prev=""; newest=0; \
+	for f in $$(git ls-files 'BENCH_*.json'); do \
+		[ "$$f" = "$$new" ] && continue; \
+		ts=$$(git log -1 --format=%ct -- "$$f"); \
+		if [ "$$ts" -gt "$$newest" ]; then newest=$$ts; prev=$$f; fi; \
+	done; \
+	if [ -z "$$prev" ]; then echo "bench-delta: no committed baseline"; exit 0; fi; \
+	$(GO) run ./cmd/benchdelta -old "$$prev" -new "$$new" $(BENCHDELTA_FLAGS)

@@ -194,60 +194,70 @@ func BenchmarkTPCCConfigurations(b *testing.B) {
 	}
 }
 
-// BenchmarkTPCCConcurrent measures session-level parallelism (experiment
-// C1): wall-clock throughput of the read-heavy TPC-C mix at 1/4/16
-// concurrent terminals against one simulated server. Each terminal runs
-// in its own session and experiences the simulated statement latencies
-// as real time; sessions overlap those waits and read-only statements
-// execute in parallel under the engine's read lock, so throughput scales
-// with the terminal count (the target trajectory is >1.5x at 4 terminals
-// versus 1).
+// BenchmarkTPCCConcurrent measures the execution path's hot-loop cost
+// (experiment C1): wall-clock throughput of the read-heavy TPC-C mix at
+// 1/4/16 concurrent terminals against one simulated server, in both
+// execution modes — inline (every statement rendered to literal SQL and
+// reparsed server-side) and prepared (each terminal prepares the mix's
+// fixed templates once and re-executes them with typed arguments, so the
+// parse leaves the hot loop). Each terminal runs in its own session;
+// read-only statements execute in parallel under the engine's read lock,
+// so throughput scales with the terminal count, and prepared must beat
+// inline at every terminal count. (Simulated latency is not slept here —
+// the benchmark measures the real CPU cost of the path, which the
+// 1ms-per-statement sleep of earlier revisions drowned out.)
 func BenchmarkTPCCConcurrent(b *testing.B) {
 	for _, terminals := range []int{1, 4, 16} {
-		b.Run(fmt.Sprintf("terminals=%d", terminals), func(b *testing.B) {
-			cfg := tpcc.Config{
-				Warehouses:           16,
-				DistrictsPerWH:       2,
-				CustomersPerDistrict: 10,
-				Items:                20,
-				Seed:                 1,
-			}
-			opts := tpcc.ConcurrentOptions{
-				Terminals:       terminals,
-				TxPerTerminal:   20,
-				Mix:             tpcc.ReadHeavyMix(),
-				SimulateLatency: true,
-			}
-			b.ResetTimer()
-			total := 0
-			var busy time.Duration
-			for i := 0; i < b.N; i++ {
-				// Fresh database per iteration: terminals draw HISTORY ids
-				// from fixed per-terminal ranges, so reusing one database
-				// across iterations would turn every Payment into a
-				// duplicate-key error and corrupt the throughput figure.
-				b.StopTimer()
-				srv, err := server.New(dialect.PG, nil)
-				if err != nil {
-					b.Fatal(err)
+		for _, mode := range []string{"inline", "prepared"} {
+			b.Run(fmt.Sprintf("terminals=%d/%s", terminals, mode), func(b *testing.B) {
+				// Small per-warehouse tables keep engine scan cost low, so
+				// the per-statement fixed costs the two modes differ in
+				// (parse + plan vs plan-cache hit) are what the benchmark
+				// resolves.
+				cfg := tpcc.Config{
+					Warehouses:           16,
+					DistrictsPerWH:       2,
+					CustomersPerDistrict: 4,
+					Items:                8,
+					Seed:                 1,
 				}
-				if err := tpcc.Setup(srv, cfg); err != nil {
-					b.Fatal(err)
+				opts := tpcc.ConcurrentOptions{
+					Terminals:     terminals,
+					TxPerTerminal: 50,
+					Mix:           tpcc.ReadHeavyMix(),
+					Prepared:      mode == "prepared",
 				}
-				b.StartTimer()
-				start := time.Now()
-				m, err := tpcc.RunConcurrent(srv, cfg, opts)
-				busy += time.Since(start)
-				if err != nil {
-					b.Fatal(err)
+				b.ResetTimer()
+				total := 0
+				var busy time.Duration
+				for i := 0; i < b.N; i++ {
+					// Fresh database per iteration: terminals draw HISTORY ids
+					// from fixed per-terminal ranges, so reusing one database
+					// across iterations would turn every Payment into a
+					// duplicate-key error and corrupt the throughput figure.
+					b.StopTimer()
+					srv, err := server.New(dialect.PG, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := tpcc.Setup(srv, cfg); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					start := time.Now()
+					m, err := tpcc.RunConcurrent(srv, cfg, opts)
+					busy += time.Since(start)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if m.Errors > 0 {
+						b.Fatalf("%d/%d transactions errored; tx/s would be meaningless", m.Errors, m.Transactions)
+					}
+					total += m.Transactions
 				}
-				if m.Errors > 0 {
-					b.Fatalf("%d/%d transactions errored; tx/s would be meaningless", m.Errors, m.Transactions)
-				}
-				total += m.Transactions
-			}
-			b.ReportMetric(float64(total)/busy.Seconds(), "tx/s")
-		})
+				b.ReportMetric(float64(total)/busy.Seconds(), "tx/s")
+			})
+		}
 	}
 }
 

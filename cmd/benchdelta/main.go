@@ -1,0 +1,155 @@
+// Command benchdelta compares two benchmark artifacts (BENCH_<sha>.json,
+// as produced by cmd/benchjson) and prints a warning line for every
+// benchmark whose performance regressed by more than a threshold. In CI
+// the warnings surface as GitHub annotations on the PR; the step is
+// warn-only — a regression never fails the build, it just gets read.
+//
+// Usage:
+//
+//	benchdelta -old BENCH_aaaa.json -new BENCH_bbbb.json [-threshold 0.15] [-github]
+//
+// Direction matters per metric: ns/op, us/stmt, B/op and allocs/op
+// regress upward; tx/s, stmts/s and other rates regress downward.
+// Benchmarks present in only one artifact are skipped (the suite
+// evolves). Single-iteration artifacts are noisy; that is why the step
+// warns instead of gating.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Doc mirrors cmd/benchjson's artifact document.
+type Doc struct {
+	SHA        string      `json:"sha"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark mirrors cmd/benchjson's result entry.
+type Benchmark struct {
+	Package string             `json:"package"`
+	Name    string             `json:"name"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Extra   map[string]float64 `json:"extra"`
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline artifact (newest committed BENCH_*.json)")
+	newPath := flag.String("new", "", "fresh artifact of this run")
+	threshold := flag.Float64("threshold", 0.15, "relative regression above which a warning is emitted")
+	github := flag.Bool("github", false, "emit GitHub ::warning:: annotations instead of plain lines")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdelta: -old and -new are required")
+		os.Exit(2)
+	}
+	oldDoc, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdelta:", err)
+		os.Exit(2)
+	}
+	newDoc, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdelta:", err)
+		os.Exit(2)
+	}
+	regs := Compare(oldDoc, newDoc, *threshold)
+	for _, r := range regs {
+		if *github {
+			fmt.Printf("::warning title=bench regression::%s\n", r)
+		} else {
+			fmt.Printf("REGRESSION %s\n", r)
+		}
+	}
+	fmt.Printf("benchdelta: %d benchmark(s) compared (%s -> %s), %d regression(s) > %d%%\n",
+		compared(oldDoc, newDoc), oldDoc.SHA, newDoc.SHA, len(regs), int(*threshold*100))
+	// Warn-only by design: exit 0 regardless.
+}
+
+func load(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &d, nil
+}
+
+type benchKey struct{ pkg, name string }
+
+func index(d *Doc) map[benchKey]Benchmark {
+	m := make(map[benchKey]Benchmark, len(d.Benchmarks))
+	for _, b := range d.Benchmarks {
+		m[benchKey{b.Package, b.Name}] = b
+	}
+	return m
+}
+
+func compared(oldDoc, newDoc *Doc) int {
+	oldIx := index(oldDoc)
+	n := 0
+	for _, b := range newDoc.Benchmarks {
+		if _, ok := oldIx[benchKey{b.Package, b.Name}]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// lowerIsBetter classifies a metric unit by its regression direction.
+// Rates (anything per second) improve upward; everything else — times
+// and allocation counts per op or per statement — improves downward.
+func lowerIsBetter(unit string) bool {
+	return !strings.HasSuffix(unit, "/s") && !strings.HasSuffix(unit, "/sec")
+}
+
+// Compare returns a human-readable line per regression beyond the
+// threshold, in the new artifact's benchmark order.
+func Compare(oldDoc, newDoc *Doc, threshold float64) []string {
+	oldIx := index(oldDoc)
+	var out []string
+	for _, nb := range newDoc.Benchmarks {
+		ob, ok := oldIx[benchKey{nb.Package, nb.Name}]
+		if !ok {
+			continue
+		}
+		if r, ok := regression(ob.NsPerOp, nb.NsPerOp, "ns/op", threshold); ok {
+			out = append(out, nb.Name+" "+r)
+		}
+		for unit, nv := range nb.Extra {
+			ov, ok := ob.Extra[unit]
+			if !ok {
+				continue
+			}
+			if r, ok := regression(ov, nv, unit, threshold); ok {
+				out = append(out, nb.Name+" "+r)
+			}
+		}
+	}
+	return out
+}
+
+// regression reports whether new regressed past the threshold relative
+// to old for the unit's direction, with a rendered delta line.
+func regression(old, new float64, unit string, threshold float64) (string, bool) {
+	if old <= 0 || new <= 0 {
+		return "", false // absent or degenerate metric
+	}
+	var rel float64
+	if lowerIsBetter(unit) {
+		rel = (new - old) / old
+	} else {
+		rel = (old - new) / old
+	}
+	if rel <= threshold {
+		return "", false
+	}
+	return fmt.Sprintf("%s %.4g -> %.4g (%+.0f%% worse)", unit, old, new, rel*100), true
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func doc(sha string, benches ...Benchmark) *Doc { return &Doc{SHA: sha, Benchmarks: benches} }
+
+func TestCompareDirections(t *testing.T) {
+	oldDoc := doc("aaa",
+		Benchmark{Package: "p", Name: "BenchmarkA-8", NsPerOp: 100, Extra: map[string]float64{"tx/s": 1000}},
+		Benchmark{Package: "p", Name: "BenchmarkB-8", NsPerOp: 100, Extra: map[string]float64{"us/stmt": 50}},
+		Benchmark{Package: "p", Name: "BenchmarkGone-8", NsPerOp: 1},
+	)
+	newDoc := doc("bbb",
+		// ns/op +50% (regression) and tx/s -50% (regression).
+		Benchmark{Package: "p", Name: "BenchmarkA-8", NsPerOp: 150, Extra: map[string]float64{"tx/s": 500}},
+		// ns/op improves, us/stmt improves: no warnings.
+		Benchmark{Package: "p", Name: "BenchmarkB-8", NsPerOp: 50, Extra: map[string]float64{"us/stmt": 20}},
+		// New benchmark: skipped (no baseline).
+		Benchmark{Package: "p", Name: "BenchmarkNew-8", NsPerOp: 1},
+	)
+	regs := Compare(oldDoc, newDoc, 0.15)
+	if len(regs) != 2 {
+		t.Fatalf("regressions: %v", regs)
+	}
+	joined := strings.Join(regs, "\n")
+	if !strings.Contains(joined, "BenchmarkA-8 ns/op") || !strings.Contains(joined, "BenchmarkA-8 tx/s") {
+		t.Errorf("unexpected regression set:\n%s", joined)
+	}
+}
+
+func TestCompareThreshold(t *testing.T) {
+	oldDoc := doc("aaa", Benchmark{Package: "p", Name: "BenchmarkA-8", NsPerOp: 100})
+	newDoc := doc("bbb", Benchmark{Package: "p", Name: "BenchmarkA-8", NsPerOp: 110})
+	if regs := Compare(oldDoc, newDoc, 0.15); len(regs) != 0 {
+		t.Errorf("+10%% must stay under a 15%% threshold: %v", regs)
+	}
+	if regs := Compare(oldDoc, newDoc, 0.05); len(regs) != 1 {
+		t.Errorf("+10%% must trip a 5%% threshold: %v", regs)
+	}
+}
+
+func TestLowerIsBetter(t *testing.T) {
+	for unit, want := range map[string]bool{
+		"ns/op": true, "B/op": true, "allocs/op": true, "us/stmt": true,
+		"tx/s": false, "stmts/s": false,
+	} {
+		if got := lowerIsBetter(unit); got != want {
+			t.Errorf("lowerIsBetter(%q) = %v, want %v", unit, got, want)
+		}
+	}
+}

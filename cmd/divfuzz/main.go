@@ -7,8 +7,16 @@
 // Usage:
 //
 //	divfuzz [-seed N] [-n N] [-streams N] [-faults=false] [-stress]
-//	        [-sequences] [-adaptive] [-maxrows N] [-batch N]
+//	        [-sequences] [-params] [-adaptive] [-maxrows N] [-batch N]
 //	        [-shrink=false] [-maxreports N] [-o FILE] [-cov FILE] [-v]
+//
+// -params enables the parameterized statement mode: a weighted share of
+// the generated DML/queries executes through prepare/bind with typed
+// argument vectors instead of inline literals, so the hunt reaches each
+// server's bind-time coercion rules (a fault surface inline SQL cannot
+// touch). With faults armed the argument values also target the
+// bind-coercion quirk regions; the fault-free -params gate must stay
+// divergence-free like any other common-subset stream.
 //
 // With -faults (the default) the harness is armed with the calibrated
 // 181-bug corpus fault set and the generator's table pool targets the
@@ -50,6 +58,7 @@ func main() {
 	faults := flag.Bool("faults", true, "arm the calibrated corpus fault set")
 	stress := flag.Bool("stress", false, "stressful environment (Heisenbug triggers active)")
 	sequences := flag.Bool("sequences", false, "exercise sequence-advancing SELECTs (PG/OR server set)")
+	params := flag.Bool("params", false, "parameterized mode: a weighted share of statements executes through prepare/bind with typed argument vectors, covering the servers' bind-time coercion rules")
 	adaptive := flag.Bool("adaptive", false, "coverage-guided: retune generator weights from observed coverage between batches")
 	maxrows := flag.Int("maxrows", 0, "bound generated-table cardinality (0: unbounded); keeps per-statement cost flat on deep runs")
 	batch := flag.Int("batch", 0, "adaptive retargeting interval in statements (0: 500)")
@@ -73,6 +82,7 @@ func main() {
 	cfg.Adaptive = *adaptive
 	cfg.MaxRowsPerTable = *maxrows
 	cfg.FeedbackBatch = *batch
+	cfg.Params = *params
 	if *sequences {
 		cfg = cfg.WithSequences()
 	}

@@ -28,12 +28,20 @@
 //     coverage-guided budget allocation and bounded table cardinality
 //     for deep runs.
 //
+// The execution contract is prepare/bind/execute end to end: Exec(sql)
+// is one-shot prepare-and-execute, and Prepare(sql) plans a statement
+// (with ? or $n placeholders) once for repeated execution with typed
+// arguments, bound server-side under each simulated server's own
+// coercion rules. Results carry both the typed cells (Result.Values)
+// and the string rendering the comparator works over (Result.Rows).
+//
 // Quickstart:
 //
 //	db, _ := divsql.OpenDiverse(divsql.PG, divsql.OR, divsql.MS)
 //	defer db.Close()
 //	db.Exec(`CREATE TABLE T (A INT)`)
-//	db.Exec(`INSERT INTO T VALUES (1)`)
+//	ins, _ := db.Prepare(`INSERT INTO T VALUES (?)`)
+//	ins.Exec(divsql.Int(1))
 //	res, _ := db.Exec(`SELECT A FROM T`)
 //	fmt.Println(res.Rows)
 package divsql
@@ -51,6 +59,7 @@ import (
 	"divsql/internal/middleware"
 	"divsql/internal/replication"
 	"divsql/internal/server"
+	"divsql/internal/sql/types"
 )
 
 // ServerName identifies a simulated server product.
@@ -70,12 +79,28 @@ func AllServers() []ServerName { return []ServerName{IB, PG, OR, MS} }
 // Row is one result row, rendered as strings ("NULL" for SQL NULL).
 type Row []string
 
+// Value is one typed SQL scalar: the argument type of prepared-statement
+// execution and the cell type of Result.Values. Construct arguments with
+// Int, Float, Str, Bool and Null.
+type Value = types.Value
+
+// Typed argument constructors for Stmt.Exec.
+func Int(i int64) Value     { return types.NewInt(i) }
+func Float(f float64) Value { return types.NewFloat(f) }
+func Str(s string) Value    { return types.NewString(s) }
+func Bool(b bool) Value     { return types.NewBool(b) }
+func Null() Value           { return types.Null() }
+
 // Result is the outcome of one statement.
 type Result struct {
 	// Columns are the result column names (empty for non-queries).
 	Columns []string
-	// Rows are the data rows (queries only).
+	// Rows are the data rows rendered as strings — the representation
+	// the comparator and fingerprinting work over ("NULL" for SQL NULL).
 	Rows []Row
+	// Values are the same data rows as typed values (queries only;
+	// index-aligned with Rows).
+	Values [][]Value
 	// Affected is the row count of INSERT/UPDATE/DELETE.
 	Affected int64
 	// Latency is the simulated execution time.
@@ -85,8 +110,12 @@ type Result struct {
 // DB is a SQL endpoint: a single simulated server, a non-diverse
 // replication group, or a diverse fault-tolerant server.
 type DB interface {
-	// Exec executes one SQL statement on the endpoint's default session.
+	// Exec executes one SQL statement on the endpoint's default session
+	// (a one-shot prepare-and-execute).
 	Exec(sql string) (*Result, error)
+	// Prepare plans one statement on the endpoint's default session for
+	// repeated execution with typed arguments (? or $n placeholders).
+	Prepare(sql string) (Stmt, error)
 	// Session opens a client session: an independent transaction scope.
 	// Sessions of one endpoint execute concurrently (queries in
 	// parallel, writes serialized); each session is used by one client
@@ -101,7 +130,24 @@ type DB interface {
 type Session interface {
 	// Exec executes one SQL statement in this session.
 	Exec(sql string) (*Result, error)
+	// Prepare plans one statement in this session for repeated execution
+	// with typed arguments.
+	Prepare(sql string) (Stmt, error)
 	// Close rolls back any open transaction and releases the session.
+	Close() error
+}
+
+// Stmt is a prepared statement: parsed, dialect-checked and planned
+// once, executed any number of times with typed arguments bound
+// server-side (per-dialect coercion rules and all — see
+// engine.BindRules). On a diverse endpoint every execution is broadcast
+// and adjudicated across the replica set like any other statement.
+type Stmt interface {
+	// Exec executes the statement with the given arguments.
+	Exec(args ...Value) (*Result, error)
+	// NumParams reports how many arguments Exec expects.
+	NumParams() int
+	// Close releases the statement.
 	Close() error
 }
 
@@ -116,7 +162,33 @@ func (cs *coreSession) Exec(sql string) (*Result, error) {
 	return convertResult(res, lat), nil
 }
 
+func (cs *coreSession) Prepare(sql string) (Stmt, error) {
+	pe, ok := cs.s.(core.PreparedExecutor)
+	if !ok {
+		return nil, errors.New("divsql: endpoint does not support prepared statements")
+	}
+	st, err := pe.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &coreStmt{st: st}, nil
+}
+
 func (cs *coreSession) Close() error { return cs.s.Close() }
+
+// coreStmt adapts a core.Statement to the public Stmt interface.
+type coreStmt struct{ st core.Statement }
+
+func (s *coreStmt) Exec(args ...Value) (*Result, error) {
+	res, lat, err := s.st.Exec(args...)
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(res, lat), nil
+}
+
+func (s *coreStmt) NumParams() int { return s.st.NumParams() }
+func (s *coreStmt) Close() error   { return s.st.Close() }
 
 // Option configures Open* constructors.
 type Option func(*options)
@@ -203,6 +275,14 @@ func (s *singleDB) Exec(sql string) (*Result, error) {
 	return convertResult(res, lat), nil
 }
 
+func (s *singleDB) Prepare(sql string) (Stmt, error) {
+	st, err := s.srv.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &coreStmt{st: st}, nil
+}
+
 func (s *singleDB) Session() (Session, error) {
 	return &coreSession{s: s.srv.OpenSession()}, nil
 }
@@ -255,6 +335,14 @@ func (d *diverseDB) Exec(sql string) (*Result, error) {
 		return nil, err
 	}
 	return convertResult(res, lat), nil
+}
+
+func (d *diverseDB) Prepare(sql string) (Stmt, error) {
+	st, err := d.d.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &coreStmt{st: st}, nil
 }
 
 func (d *diverseDB) Session() (Session, error) {
@@ -315,6 +403,14 @@ func (r *replicatedDB) Exec(sql string) (*Result, error) {
 	return convertResult(res, lat), nil
 }
 
+func (r *replicatedDB) Prepare(sql string) (Stmt, error) {
+	st, err := r.g.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &coreStmt{st: st}, nil
+}
+
 func (r *replicatedDB) Session() (Session, error) {
 	return &coreSession{s: r.g.OpenSession()}, nil
 }
@@ -333,8 +429,10 @@ func convertResult(res *engine.Result, lat time.Duration) *Result {
 	if res.Kind == engine.ResultRows {
 		out.Columns = append([]string(nil), res.Columns...)
 		out.Rows = make([]Row, len(res.Rows))
+		out.Values = make([][]Value, len(res.Rows))
 		for i, r := range res.Rows {
 			row := make(Row, len(r))
+			out.Values[i] = append([]Value(nil), r...)
 			for j, v := range r {
 				row[j] = v.String()
 			}

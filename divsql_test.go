@@ -144,6 +144,7 @@ func TestExecutorExposed(t *testing.T) {
 type fakeDB struct{}
 
 func (fakeDB) Exec(string) (*Result, error) { return nil, errors.New("no") }
+func (fakeDB) Prepare(string) (Stmt, error) { return nil, errors.New("no") }
 func (fakeDB) Session() (Session, error)    { return nil, errors.New("no") }
 func (fakeDB) Close() error                 { return nil }
 

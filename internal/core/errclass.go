@@ -26,6 +26,7 @@ const (
 	ClassDuplicate     ErrClass = "duplicate-object"
 	ClassConstraint    ErrClass = "constraint"
 	ClassType          ErrClass = "type"
+	ClassBind          ErrClass = "bind"
 	ClassNoTransaction ErrClass = "no-transaction"
 	ClassUnknownName   ErrClass = "unknown-name"
 	ClassOther         ErrClass = "other"
@@ -46,6 +47,8 @@ func ErrorClass(err error) ErrClass {
 		return ClassConstraint
 	case errors.Is(err, engine.ErrType):
 		return ClassType
+	case errors.Is(err, engine.ErrBind):
+		return ClassBind
 	case errors.Is(err, engine.ErrNoTransaction):
 		return ClassNoTransaction
 	}
@@ -65,6 +68,8 @@ func ErrorClass(err error) ErrClass {
 		return ClassConstraint
 	case strings.Contains(msg, "type error"), strings.Contains(msg, "cannot cast"), strings.Contains(msg, "invalid number"):
 		return ClassType
+	case strings.Contains(msg, "bind error"), strings.Contains(msg, "parameter"):
+		return ClassBind
 	case strings.Contains(msg, "no transaction"), strings.Contains(msg, "transaction already in progress"):
 		return ClassNoTransaction
 	case strings.Contains(msg, "unknown column"), strings.Contains(msg, "unknown function"),

@@ -112,7 +112,10 @@ type ExecOutcome struct {
 // Executor runs SQL and reports results with simulated latency. It is
 // implemented by single simulated servers, by the diverse middleware and
 // by the non-diverse replication baseline, so workloads (e.g. the TPC-C
-// harness) can drive any configuration.
+// harness) can drive any configuration. Exec is the one-shot verb of
+// the execution contract; the planned, typed-argument verb is
+// PreparedExecutor/Statement (prepared.go), which every endpoint and
+// session in this module also implements.
 type Executor interface {
 	// Exec executes one SQL statement.
 	Exec(sql string) (*engine.Result, time.Duration, error)

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"divsql/internal/engine"
+	"divsql/internal/sql/types"
+)
+
+// Statement is a prepared statement: parsed, dialect-checked and planned
+// once, executable any number of times with typed arguments. It is the
+// second verb of the execution contract next to Exec(sql) — the paper's
+// subjects all expose it, and how each binds and coerces the arguments
+// is a fault surface of its own (see engine.BindRules).
+//
+// A Statement belongs to the session that prepared it and follows the
+// session's concurrency contract: used by one client at a time.
+type Statement interface {
+	// SQL returns the statement text as prepared (placeholders intact).
+	SQL() string
+	// NumParams reports how many arguments Exec expects.
+	NumParams() int
+	// Exec executes the statement with the given arguments.
+	Exec(args ...types.Value) (*engine.Result, time.Duration, error)
+	// Close releases the statement. Closing is idempotent; the session's
+	// plan cache may keep the underlying plan for later re-preparation.
+	Close() error
+}
+
+// PreparedExecutor is an executor offering the prepare/bind/execute
+// path. Every session (and every endpoint, through its default session)
+// in this module implements it; Exec(sql) remains as a one-shot
+// prepare-and-execute convenience over the same machinery.
+type PreparedExecutor interface {
+	Executor
+	// Prepare parses and validates one statement for later execution.
+	Prepare(sql string) (Statement, error)
+}
+
+// ---------------------------------------------------------------------------
+// Bound-statement text encoding
+//
+// Journals, shrink histories and divergence reports are statement-text
+// streams. A bound statement (text + typed argument vector) is encoded
+// into one line whose suffix is a SQL comment, so the entry still parses
+// and fingerprints as the underlying statement:
+//
+//	INSERT INTO T (A, B) VALUES ($1, $2) --BIND I:1,S:x
+//
+// Arguments use the types.Value kind-tagged encoding, comma-separated.
+
+// bindMarker introduces the encoded argument vector. It starts a SQL
+// line comment, so parsers see only the statement.
+const bindMarker = " --BIND "
+
+// EncodeBound renders a bound statement into its one-line replayable
+// form. With no arguments the SQL is returned verbatim.
+func EncodeBound(sql string, args []types.Value) string {
+	if len(args) == 0 {
+		return sql
+	}
+	enc := make([]string, len(args))
+	for i, v := range args {
+		enc[i] = v.Encode()
+	}
+	return sql + bindMarker + strings.Join(enc, ",")
+}
+
+// DecodeBound splits a possibly-bound entry back into SQL and arguments.
+// bound reports whether the entry carried an argument vector. An entry
+// whose marker suffix does not decode as an argument vector is treated
+// as plain SQL (the suffix is a SQL comment either way), so statement
+// text that merely contains the marker can never be misinterpreted:
+// encoded argument tokens contain no spaces (Value.Encode escapes them),
+// while free-form comment text almost certainly does.
+func DecodeBound(entry string) (sql string, args []types.Value, bound bool) {
+	i := strings.LastIndex(entry, bindMarker)
+	if i < 0 {
+		return entry, nil, false
+	}
+	for _, tok := range strings.Split(entry[i+len(bindMarker):], ",") {
+		v, err := types.DecodeValue(strings.TrimSpace(tok))
+		if err != nil {
+			return entry, nil, false
+		}
+		args = append(args, v)
+	}
+	return entry[:i], args, true
+}
+
+// ExecEntry executes a possibly-bound encoded entry on an executor,
+// taking the prepare/bind path when the entry carries arguments. This is
+// the single replay primitive behind journal redo, shrink probes and
+// report replays.
+func ExecEntry(exec Executor, entry string) (*engine.Result, time.Duration, error) {
+	sql, args, bound := DecodeBound(entry)
+	if !bound {
+		return exec.Exec(entry)
+	}
+	pe, ok := exec.(PreparedExecutor)
+	if !ok {
+		return nil, 0, fmt.Errorf("executor %T cannot replay a bound statement", exec)
+	}
+	st, err := pe.Prepare(sql)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer st.Close()
+	return st.Exec(args...)
+}

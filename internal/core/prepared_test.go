@@ -1,0 +1,103 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"divsql/internal/sql/types"
+)
+
+func TestEncodeDecodeBound(t *testing.T) {
+	sql := "INSERT INTO T VALUES ($1, $2, $3, $4)"
+	args := []types.Value{
+		types.NewInt(42),
+		types.NewString("a,b\tc\nd\\e"),
+		types.Null(),
+		types.NewFloat(1.25),
+	}
+	entry := EncodeBound(sql, args)
+	if !strings.HasPrefix(entry, sql+" --BIND ") {
+		t.Fatalf("entry: %q", entry)
+	}
+	if strings.Contains(entry, "\n") || strings.Contains(entry, "\t") {
+		t.Fatalf("entry must be one token-safe line: %q", entry)
+	}
+	gotSQL, gotArgs, bound := DecodeBound(entry)
+	if !bound || gotSQL != sql {
+		t.Fatalf("decode: %q %v", gotSQL, bound)
+	}
+	if len(gotArgs) != len(args) {
+		t.Fatalf("args: %v", gotArgs)
+	}
+	for i := range args {
+		if gotArgs[i] != args[i] {
+			t.Errorf("arg %d: %#v want %#v", i, gotArgs[i], args[i])
+		}
+	}
+	// Plain SQL passes through untouched.
+	s2, a2, b2 := DecodeBound(sql)
+	if b2 || s2 != sql || a2 != nil {
+		t.Errorf("plain entry decode: %q %v %v", s2, a2, b2)
+	}
+	if EncodeBound(sql, nil) != sql {
+		t.Error("no args must encode verbatim")
+	}
+}
+
+func TestEncodeBoundTrailingSpacesSurviveReplay(t *testing.T) {
+	// Trailing-space strings are exactly the value class PG's bind rule
+	// distinguishes; the encoding must round-trip them even through
+	// transports and artifact files that trim trailing whitespace.
+	args := []types.Value{types.NewString("abc  ")}
+	entry := EncodeBound("SELECT $1", args)
+	if strings.HasSuffix(entry, " ") {
+		t.Fatalf("encoded entry ends in whitespace (trim-fragile): %q", entry)
+	}
+	_, got, bound := DecodeBound(entry)
+	if !bound || got[0].S != "abc  " {
+		t.Fatalf("trailing spaces lost: %#v", got)
+	}
+}
+
+func TestDecodeBoundMarkerInSQLFallsBack(t *testing.T) {
+	// Statement text that merely contains the marker (a SQL comment)
+	// must not be misread as a bound entry: the suffix is free text, not
+	// encoded tokens, so the entry decodes as plain SQL.
+	entry := "SELECT A FROM T --BIND not encoded args"
+	sql, args, bound := DecodeBound(entry)
+	if bound || sql != entry || args != nil {
+		t.Errorf("marker-in-comment misread: %q %v %v", sql, args, bound)
+	}
+	// A bound entry whose string argument contains the marker text still
+	// round-trips: the argument's spaces are escaped, so LastIndex finds
+	// the real marker.
+	hostile := []types.Value{types.NewString("x --BIND I:1")}
+	sql, args, bound = DecodeBound(EncodeBound("SELECT $1", hostile))
+	if !bound || sql != "SELECT $1" || len(args) != 1 || args[0].S != "x --BIND I:1" {
+		t.Errorf("marker-in-argument mishandled: %q %v %v", sql, args, bound)
+	}
+}
+
+func TestValueEncodeRoundTrip(t *testing.T) {
+	for _, v := range []types.Value{
+		types.Null(),
+		types.NewInt(-7),
+		types.NewFloat(0.30000000000000004),
+		types.NewBool(true),
+		types.NewBool(false),
+		types.NewString(""),
+		types.NewString("with space, comma\tand tab"),
+		types.NewDate("2026-07-29"),
+	} {
+		got, err := types.DecodeValue(v.Encode())
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if got != v {
+			t.Errorf("round trip: %#v -> %q -> %#v", v, v.Encode(), got)
+		}
+	}
+	if _, err := types.DecodeValue("garbage"); err == nil {
+		t.Error("malformed encoding must fail")
+	}
+}

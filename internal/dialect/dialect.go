@@ -89,6 +89,7 @@ type Dialect struct {
 	supportsSequences    bool
 
 	quirks engine.Quirks
+	bind   engine.BindRules
 }
 
 // New returns the dialect definition for a server.
@@ -121,6 +122,9 @@ func New(name ServerName) (*Dialect, error) {
 			BlankAggregateAliases:   true, // bug 222476
 			LeftJoinDistinctViewDup: true, // bug 58544 (shared region)
 		}
+		// IB's client library types loosely: a numeric-looking string
+		// argument is re-typed as a number at bind time.
+		d.bind = engine.BindRules{NumericStringsAsNumbers: true}
 	case PG:
 		d.limitSyn = ast.LimitLimit
 		d.supportsClustered = true // accepted, but defective (see quirks)
@@ -134,6 +138,9 @@ func New(name ServerName) (*Dialect, error) {
 			FloatMulPrecisionLoss:   true, // bug 77
 			ModNegativeAbs:          true, // 1059835's failure region on PG
 		}
+		// PG 7.0-era CHAR bind semantics applied to every string
+		// parameter: trailing spaces are stripped at the bind boundary.
+		d.bind = engine.BindRules{TrimTrailingSpaces: true}
 	case OR:
 		d.limitSyn = ast.LimitNone
 		d.supportsClustered = false
@@ -143,6 +150,9 @@ func New(name ServerName) (*Dialect, error) {
 		d.quirks = engine.Quirks{
 			ModNegativePlus: true, // bug 1059835
 		}
+		// Oracle's VARCHAR2 semantics at the bind boundary: a zero-length
+		// string argument IS NULL.
+		d.bind = engine.BindRules{EmptyStringAsNull: true}
 	case MS:
 		d.limitSyn = ast.LimitTop
 		d.supportsClustered = true
@@ -156,6 +166,9 @@ func New(name ServerName) (*Dialect, error) {
 			ParenUnionSubqueryMisparse: true, // bug 43's MS manifestation
 			FloatMulPrecisionLoss:      true, // bug 77 (shared region)
 		}
+		// MS SQL has no boolean at the bind boundary: boolean arguments
+		// arrive as BIT 0/1 integers.
+		d.bind = engine.BindRules{BoolAsInt: true}
 	default:
 		return nil, fmt.Errorf("unknown server %q", name)
 	}
@@ -173,6 +186,9 @@ func MustNew(name ServerName) *Dialect {
 
 // Quirks returns the server's engine quirk set.
 func (d *Dialect) Quirks() engine.Quirks { return d.quirks }
+
+// BindRules returns the server's bind-time argument coercion rules.
+func (d *Dialect) BindRules() engine.BindRules { return d.bind }
 
 // LimitSyntax returns the dialect's row-limiting syntax.
 func (d *Dialect) LimitSyntax() ast.LimitSyntax { return d.limitSyn }
@@ -237,6 +253,7 @@ func (d *Dialect) EngineConfig() engine.Config {
 		Funcs:       funcs,
 		ResolveType: d.resolveType,
 		Quirks:      d.quirks,
+		Bind:        d.bind,
 	}
 }
 

@@ -120,8 +120,8 @@ func TestFeedbackRetargeting(t *testing.T) {
 	fb := NewFeedback(base)
 	cov := NewCoverage()
 	cov.ByClass = map[qgen.Class]*BucketCoverage{
-		qgen.ClassInsert: {Hits: 1000, NewFingerprints: 0}, // hammered, dry
-		qgen.ClassUpdate: {Hits: 10, NewFingerprints: 0},   // under-explored
+		qgen.ClassInsert: {Hits: 1000, NewFingerprints: 0},  // hammered, dry
+		qgen.ClassUpdate: {Hits: 10, NewFingerprints: 0},    // under-explored
 		qgen.ClassDelete: {Hits: 1000, NewFingerprints: 40}, // still paying out
 	}
 	w := fb.Retarget(cov)

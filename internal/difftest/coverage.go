@@ -39,6 +39,10 @@ type Coverage struct {
 	// ByClass and ByShape index the buckets (ByShape only for SELECTs).
 	ByClass map[qgen.Class]*BucketCoverage
 	ByShape map[qgen.Shape]*BucketCoverage
+	// ByBind splits the same statements along the bind dimension:
+	// inline-literal versus prepared/bound execution (populated — for the
+	// param bucket — only by Params-mode runs).
+	ByBind map[qgen.BindMode]*BucketCoverage
 	// Errors counts statements by the oracle's normalized error class —
 	// ClassNone is the well-formed budget; everything else is budget
 	// spent on statements the common subset rejects.
@@ -46,9 +50,11 @@ type Coverage struct {
 
 	genFPs map[string]bool // distinct generated statement fingerprints
 	divFPs map[string]bool // distinct divergence fingerprints
-	// genFPClass/genFPShape dedup fingerprint breadth per bucket.
+	// genFPClass/genFPShape/genFPBind dedup fingerprint breadth per
+	// bucket.
 	genFPClass map[string]bool
 	genFPShape map[string]bool
+	genFPBind  map[string]bool
 }
 
 // NewCoverage returns an empty coverage accumulator.
@@ -56,11 +62,13 @@ func NewCoverage() *Coverage {
 	return &Coverage{
 		ByClass:    make(map[qgen.Class]*BucketCoverage),
 		ByShape:    make(map[qgen.Shape]*BucketCoverage),
+		ByBind:     make(map[qgen.BindMode]*BucketCoverage),
 		Errors:     make(map[core.ErrClass]int),
 		genFPs:     make(map[string]bool),
 		divFPs:     make(map[string]bool),
 		genFPClass: make(map[string]bool),
 		genFPShape: make(map[string]bool),
+		genFPBind:  make(map[string]bool),
 	}
 }
 
@@ -78,6 +86,15 @@ func (c *Coverage) shapeBucket(sh qgen.Shape) *BucketCoverage {
 	if b == nil {
 		b = &BucketCoverage{}
 		c.ByShape[sh] = b
+	}
+	return b
+}
+
+func (c *Coverage) bindBucket(m qgen.BindMode) *BucketCoverage {
+	b := c.ByBind[m]
+	if b == nil {
+		b = &BucketCoverage{}
+		c.ByBind[m] = b
 	}
 	return b
 }
@@ -100,6 +117,13 @@ func (c *Coverage) Observe(st ast.Statement, fp string, oracleErr error) {
 			c.genFPShape[string(sh)+"\x00"+fp] = true
 			sb.Fingerprints++
 		}
+	}
+	bm := qgen.BindModeOf(st)
+	bb := c.bindBucket(bm)
+	bb.Hits++
+	if !c.genFPBind[string(bm)+"\x00"+fp] {
+		c.genFPBind[string(bm)+"\x00"+fp] = true
+		bb.Fingerprints++
 	}
 	c.genFPs[fp] = true
 	c.Errors[core.ErrorClass(oracleErr)]++
@@ -124,6 +148,11 @@ func (c *Coverage) ObserveDivergence(st ast.Statement, fp string) bool {
 		if isNew {
 			sb.NewFingerprints++
 		}
+	}
+	bb := c.bindBucket(qgen.BindModeOf(st))
+	bb.Divergent++
+	if isNew {
+		bb.NewFingerprints++
 	}
 	return isNew
 }
@@ -157,6 +186,12 @@ func (c *Coverage) Merge(o *Coverage) {
 		b.Divergent += ob.Divergent
 		b.NewFingerprints += ob.NewFingerprints
 	}
+	for bm, ob := range o.ByBind {
+		b := c.bindBucket(bm)
+		b.Hits += ob.Hits
+		b.Divergent += ob.Divergent
+		b.NewFingerprints += ob.NewFingerprints
+	}
 	for ec, n := range o.Errors {
 		c.Errors[ec] += n
 	}
@@ -175,6 +210,13 @@ func (c *Coverage) Merge(o *Coverage) {
 			c.genFPShape[k] = true
 			sh, _, _ := strings.Cut(k, "\x00")
 			c.shapeBucket(qgen.Shape(sh)).Fingerprints++
+		}
+	}
+	for k := range o.genFPBind {
+		if !c.genFPBind[k] {
+			c.genFPBind[k] = true
+			bm, _, _ := strings.Cut(k, "\x00")
+			c.bindBucket(qgen.BindMode(bm)).Fingerprints++
 		}
 	}
 	for fp := range o.divFPs {
@@ -202,6 +244,11 @@ func (c *Coverage) Render() string {
 	for _, sh := range qgen.Shapes {
 		if bc, ok := c.ByShape[sh]; ok {
 			row("q:"+string(sh), bc)
+		}
+	}
+	for _, bm := range qgen.BindModes {
+		if bc, ok := c.ByBind[bm]; ok {
+			row("b:"+string(bm), bc)
 		}
 	}
 	if len(c.Errors) > 0 {
@@ -259,6 +306,9 @@ func (f *Feedback) Retarget(cov *Coverage) qgen.Weights {
 	retargetPlane(f.YieldBoost, qgen.Shapes,
 		f.base.ShapeWeight, w.SetShapeWeight,
 		func(s qgen.Shape) *BucketCoverage { return cov.ByShape[s] })
+	retargetPlane(f.YieldBoost, qgen.BindModes,
+		f.base.BindWeight, w.SetBindWeight,
+		func(m qgen.BindMode) *BucketCoverage { return cov.ByBind[m] })
 	return w
 }
 

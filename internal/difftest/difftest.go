@@ -96,6 +96,15 @@ type Config struct {
 	// cost ~flat as N grows, which is what makes deep runs (N ≥ 100k)
 	// affordable.
 	MaxRowsPerTable int
+	// Params enables the parameterized statement mode: a weighted share
+	// of the generated DML/queries executes through prepare/bind with a
+	// typed argument vector instead of inline literals, so the hunt
+	// covers each server's bind-time coercion rules (engine.BindRules) as
+	// a statement-class dimension of its own. With faults armed the
+	// generator also aims argument values at the bind-coercion quirk
+	// regions; fault-free runs keep safe values and must stay
+	// divergence-free like any other common-subset stream.
+	Params bool
 }
 
 // DefaultConfig is the fault-free smoke configuration.
@@ -327,6 +336,13 @@ func (h *hunt) genOptionsFor(stream int) qgen.Options {
 	if h.cfg.MaxRowsPerTable > 0 {
 		opts.MaxRowsPerTable = h.cfg.MaxRowsPerTable
 	}
+	if h.cfg.Params {
+		opts.Params = true
+		// Quirk-region argument values only make sense when divergences
+		// are expected (faults armed); the fault-free gate must agree
+		// with the oracle byte-for-byte.
+		opts.ParamQuirks = len(h.cfg.Faults) > 0
+	}
 	if h.cfg.Streams > 1 {
 		opts.NamePrefix = fmt.Sprintf("S%d_%s", stream, opts.NamePrefix)
 		var share []string
@@ -393,15 +409,28 @@ func (h *hunt) runStream(stream int) {
 	pendingResync := make([]bool, len(sess))
 	for i := 0; i < h.cfg.N; i++ {
 		st := gen.Next()
+		args := gen.LastArgs()
 		sql := ast.Render(st)
-		history = append(history, sql)
+		// History (and with it divergence records, shrink streams and
+		// reports) carries bound statements in their replayable encoded
+		// form; the suffix is a SQL comment, so parsing, fingerprinting
+		// and dependency slicing all see the bare statement.
+		entry := core.EncodeBound(sql, args)
+		history = append(history, entry)
 
 		var wg sync.WaitGroup
-		exec := func(slot int, e core.Executor) {
+		exec := func(slot int, e *server.Session) {
 			defer wg.Done()
-			res, lat, err := e.Exec(sql)
+			var res *engine.Result
+			var lat time.Duration
+			var err error
+			if args == nil {
+				res, lat, err = e.Exec(sql)
+			} else {
+				res, lat, err = e.ExecArgs(sql, args...)
+			}
 			outs[slot] = server.StmtOutcome{
-				SQL: sql, Res: res, Err: err, Latency: lat,
+				SQL: entry, Res: res, Err: err, Latency: lat,
 				Crashed: errors.Is(err, server.ErrCrashed),
 			}
 		}
@@ -431,7 +460,7 @@ func (h *hunt) runStream(stream int) {
 			cls := classifyPair(st, so, oo)
 			if cls.IsFailure() {
 				cov.ObserveDivergence(st, fp)
-				h.record(h.servers[j].Name(), fp, sql, cls, history, stream, i)
+				h.record(h.servers[j].Name(), fp, entry, cls, history, stream, i)
 				if stateDiverging(st, so, oo, cls, seqAdvances) {
 					pendingResync[j] = true
 				}

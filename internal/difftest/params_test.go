@@ -1,0 +1,90 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"divsql/internal/qgen"
+)
+
+// The fault-free parameterized gate: safe bound values are BindRules
+// identities on every server, so the common subset must agree with the
+// oracle through the prepare/bind path exactly as it does inline.
+func TestParamsFaultFreeAgrees(t *testing.T) {
+	cfg := DefaultConfig(9, 1500)
+	cfg.Params = true
+	cfg.Shrink = false
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Divergences) != 0 {
+		t.Fatalf("fault-free params run diverged:\n%s", res.Render(false))
+	}
+	pb := res.Coverage.ByBind[qgen.BindParam]
+	if pb == nil || pb.Hits == 0 {
+		t.Fatal("no bound statements generated")
+	}
+}
+
+// The calibrated parameterized hunt must reach the bind-coercion fault
+// surface: at least one divergence fingerprint carries the PARAM flag —
+// a statement class inline-literal streams can never produce.
+func TestParamsCalibratedFindsBindDivergences(t *testing.T) {
+	cfg := CalibratedConfig(1, 3000)
+	cfg.Streams = 1
+	cfg.Shrink = false
+	cfg.Params = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paramFPs := 0
+	for _, d := range res.Divergences {
+		if strings.Contains(d.Fingerprint, string("PARAM")) {
+			paramFPs++
+		}
+	}
+	if paramFPs == 0 {
+		t.Fatalf("no PARAM-class divergence fingerprints among %d", len(res.Divergences))
+	}
+	if pb := res.Coverage.ByBind[qgen.BindParam]; pb == nil || pb.Divergent == 0 {
+		t.Errorf("bind coverage bucket recorded no divergences: %+v", res.Coverage.ByBind)
+	}
+}
+
+// A shrunk report whose stream contains bound statements must replay —
+// the encoded entries go back through prepare/bind on fresh servers.
+func TestParamsShrunkReportReplays(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shrinking in short mode")
+	}
+	cfg := CalibratedConfig(1, 1500)
+	cfg.Streams = 1
+	cfg.Params = true
+	cfg.MaxReportsPerServer = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := 0
+	for _, d := range res.Divergences {
+		if d.Report == nil || !strings.Contains(d.Fingerprint, "PARAM") {
+			continue
+		}
+		ok, err := Replay(d.Report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("bound report did not replay:\n%s", d.Report.Render())
+		}
+		replayed++
+		if replayed >= 3 {
+			break
+		}
+	}
+	if replayed == 0 {
+		t.Skip("no PARAM-class divergence got a shrunk report under the cap")
+	}
+}

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"divsql/internal/sql/parser"
+	"divsql/internal/sql/types"
+)
+
+func mustExecBindT(t *testing.T, e *Engine, sql string) {
+	t.Helper()
+	if _, err := execSQL(e, sql); err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+}
+
+func TestExecBindRoundTrip(t *testing.T) {
+	e := NewOracle()
+	mustExecBindT(t, e, "CREATE TABLE T (A INT, S VARCHAR(10))")
+	ins, err := parser.Parse("INSERT INTO T VALUES ($1, $2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.DefaultSession()
+	if _, err := s.ExecBind(ins, []types.Value{types.NewInt(7), types.NewString("x")}); err != nil {
+		t.Fatal(err)
+	}
+	sel, _ := parser.Parse("SELECT S FROM T WHERE A = ?")
+	res, err := s.ExecBind(sel, []types.Value{types.NewInt(7)})
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].S != "x" {
+		t.Fatalf("bound select: %+v %v", res, err)
+	}
+}
+
+func TestExecBindCountMismatch(t *testing.T) {
+	e := NewOracle()
+	mustExecBindT(t, e, "CREATE TABLE T (A INT)")
+	st, _ := parser.Parse("INSERT INTO T VALUES ($1)")
+	s := e.DefaultSession()
+	if _, err := s.ExecBind(st, nil); !errors.Is(err, ErrBind) {
+		t.Errorf("missing arg: %v", err)
+	}
+	if _, err := s.ExecBind(st, []types.Value{types.NewInt(1), types.NewInt(2)}); !errors.Is(err, ErrBind) {
+		t.Errorf("extra arg: %v", err)
+	}
+}
+
+func TestParamsRejectedInDDL(t *testing.T) {
+	e := NewOracle()
+	st, err := parser.Parse("CREATE TABLE T (A INT DEFAULT $1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.DefaultSession().ExecBind(st, []types.Value{types.NewInt(1)}); !errors.Is(err, ErrBind) {
+		t.Errorf("param in DDL must be a bind error, got %v", err)
+	}
+}
+
+func TestUnboundParamErrorsAtEval(t *testing.T) {
+	// The ad-hoc Exec path carries no arguments: evaluating a Param must
+	// fail with a bind error rather than panic or yield NULL.
+	e := NewOracle()
+	mustExecBindT(t, e, "CREATE TABLE T (A INT)")
+	mustExecBindT(t, e, "INSERT INTO T VALUES (1)")
+	st, _ := parser.Parse("SELECT A FROM T WHERE A = $1")
+	if _, err := e.Exec(st); !errors.Is(err, ErrBind) {
+		t.Errorf("unbound param: %v", err)
+	}
+}
+
+func TestBindRulesApply(t *testing.T) {
+	args := func(vs ...types.Value) []types.Value { return vs }
+	cases := []struct {
+		name  string
+		rules BindRules
+		in    types.Value
+		want  string // Value.String() of the coerced argument
+	}{
+		{"oracle-empty-string-null", BindRules{EmptyStringAsNull: true}, types.NewString(""), "NULL"},
+		{"oracle-nonempty-kept", BindRules{EmptyStringAsNull: true}, types.NewString("a"), "a"},
+		{"ib-numeric-string-int", BindRules{NumericStringsAsNumbers: true}, types.NewString("42"), "42"},
+		{"ib-numeric-string-float", BindRules{NumericStringsAsNumbers: true}, types.NewString("1.5"), "1.5"},
+		{"ib-word-kept", BindRules{NumericStringsAsNumbers: true}, types.NewString("a1"), "a1"},
+		{"pg-trailing-trim", BindRules{TrimTrailingSpaces: true}, types.NewString("a  "), "a"},
+		{"ms-bool-int-true", BindRules{BoolAsInt: true}, types.NewBool(true), "1"},
+		{"ms-bool-int-false", BindRules{BoolAsInt: true}, types.NewBool(false), "0"},
+	}
+	for _, tc := range cases {
+		out := tc.rules.Apply(args(tc.in))
+		if got := out[0].String(); got != tc.want {
+			t.Errorf("%s: %s, want %s", tc.name, got, tc.want)
+		}
+	}
+	// Kind checks where String() is ambiguous.
+	if out := (BindRules{NumericStringsAsNumbers: true}).Apply(args(types.NewString("42"))); out[0].K != types.KindInt {
+		t.Errorf("numeric string must re-type to INT, got kind %v", out[0].K)
+	}
+	if out := (BindRules{BoolAsInt: true}).Apply(args(types.NewBool(true))); out[0].K != types.KindInt {
+		t.Errorf("bool must re-type to INT, got kind %v", out[0].K)
+	}
+}
+
+func TestBindRulesApplyDoesNotMutateInput(t *testing.T) {
+	in := []types.Value{types.NewString(""), types.NewInt(1)}
+	out := BindRules{EmptyStringAsNull: true}.Apply(in)
+	if in[0].K != types.KindString {
+		t.Error("caller's vector mutated")
+	}
+	if !out[0].IsNull() || out[1].I != 1 {
+		t.Errorf("coerced vector wrong: %v", out)
+	}
+	// Identity rules return the input slice itself (no allocation).
+	same := BindRules{}.Apply(in)
+	if &same[0] != &in[0] {
+		t.Error("zero rules must pass the vector through")
+	}
+}

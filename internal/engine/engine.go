@@ -142,6 +142,9 @@ type Config struct {
 	Funcs map[string]Builtin
 	// Quirks are the engine-level behavioural deviations.
 	Quirks Quirks
+	// Bind is the server's bind-time argument coercion rule set (the
+	// zero value — the oracle configuration — binds arguments verbatim).
+	Bind BindRules
 }
 
 // Engine is one in-memory SQL engine shared by any number of sessions.

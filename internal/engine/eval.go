@@ -60,6 +60,11 @@ func (e *Session) evalExpr(x ast.Expr, sc *scope) (types.Value, error) {
 	switch n := x.(type) {
 	case *ast.Literal:
 		return n.Val, nil
+	case *ast.Param:
+		if n.N < 1 || n.N > len(e.bind) {
+			return types.Value{}, fmt.Errorf("%w: no value bound for parameter $%d", ErrBind, n.N)
+		}
+		return e.bind[n.N-1], nil
 	case *ast.ColumnRef:
 		v, ok, err := sc.lookupRef(n)
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"divsql/internal/sql/ast"
+	"divsql/internal/sql/types"
 )
 
 // Session is one client session of an Engine: the unit of transaction
@@ -30,6 +31,12 @@ type Session struct {
 
 	inTxn bool
 	undo  []undoFn
+
+	// bind is the argument vector of the currently executing bound
+	// statement (ExecBind); Param nodes resolve against it. A session
+	// executes one statement at a time (one client), so a plain field
+	// under the engine lock suffices.
+	bind []types.Value
 }
 
 // undoFn is one undo record: the inverse of one mutation, applicable to
@@ -90,8 +97,15 @@ var ErrSessionClosed = errors.New("session is closed")
 // Exec executes one parsed statement in this session. Pure queries run
 // under the engine's read lock (parallel across sessions); everything
 // else — DML, DDL, transaction control, and SELECTs that advance a
-// sequence — takes the write lock.
+// sequence — takes the write lock. Statements carrying Param nodes go
+// through ExecBind instead.
 func (s *Session) Exec(st ast.Statement) (*Result, error) {
+	return s.execLocked(st, nil)
+}
+
+// execLocked is the shared body of Exec and ExecBind: it picks the lock
+// mode, installs the bind vector and dispatches the statement.
+func (s *Session) execLocked(st ast.Statement, bind []types.Value) (*Result, error) {
 	e := s.eng
 	if sel, ok := st.(*ast.Select); ok {
 		e.mu.RLock()
@@ -100,7 +114,10 @@ func (s *Session) Exec(st ast.Statement) (*Result, error) {
 			if s.closed {
 				return nil, ErrSessionClosed
 			}
-			return s.exec(st)
+			s.bind = bind
+			res, err := s.exec(st)
+			s.bind = nil
+			return res, err
 		}
 		e.mu.RUnlock()
 	}
@@ -109,7 +126,9 @@ func (s *Session) Exec(st ast.Statement) (*Result, error) {
 	if s.closed {
 		return nil, ErrSessionClosed
 	}
+	s.bind = bind
 	res, err := s.exec(st)
+	s.bind = nil
 	if !s.inTxn {
 		// Autocommit: outside an explicit transaction every statement
 		// commits on completion, so the undo entries are discarded and

@@ -42,6 +42,8 @@ import (
 	"divsql/internal/core"
 	"divsql/internal/engine"
 	"divsql/internal/server"
+	"divsql/internal/sql/ast"
+	"divsql/internal/sql/types"
 )
 
 // Sentinel errors.
@@ -101,6 +103,12 @@ type Config struct {
 	// AutoResync restores quarantined or crashed replicas from a healthy
 	// replica's state and returns them to service.
 	AutoResync bool
+	// IdleRejoin bounds the quarantine window under read-only workloads:
+	// a background poller grabs the exclusive statement lock whenever no
+	// statement is pending and flushes pending resyncs, so a quarantined
+	// replica does not wait for the next write statement. Requires
+	// AutoResync.
+	IdleRejoin bool
 	// PerfThreshold flags a replica as a performance outlier when it is
 	// slower than the fastest replica by at least this much. Zero
 	// disables performance monitoring.
@@ -114,6 +122,7 @@ func DefaultConfig() Config {
 		Reads:         ReadCompareAll,
 		Rephrase:      true,
 		AutoResync:    true,
+		IdleRejoin:    true,
 		PerfThreshold: time.Second,
 	}
 }
@@ -134,6 +143,11 @@ type Metrics struct {
 	// snapshots during resync (the open-transaction journals replayed
 	// into a rejoining replica).
 	JournalReplays int64
+	// IdleRejoins counts resyncs completed by the idle-time rejoin path:
+	// the statement write-lock grabbed in a gap between statements, so a
+	// replica quarantined under a read-only workload does not wait for
+	// the next write.
+	IdleRejoins int64
 	// LastResyncSeq is the donor commit high-water mark of the most
 	// recent snapshot resync.
 	LastResyncSeq uint64
@@ -171,13 +185,22 @@ type DiverseServer struct {
 	// read-only sessions proceed in parallel. Session transaction
 	// journals are written and read only while it is held exclusively.
 	execMu sync.RWMutex
+
+	// idleRejoinArmed marks a live idle-rejoin poller: a background
+	// goroutine that tries to grab execMu exclusively between statements
+	// so quarantined replicas rejoin without waiting for the next write
+	// (bounding the quarantine window under read-only workloads).
+	idleRejoinArmed bool
 }
 
 var (
-	_ core.Executor        = (*DiverseServer)(nil)
-	_ core.SessionExecutor = (*DiverseServer)(nil)
-	_ core.Session         = (*Session)(nil)
-	_ core.Snapshotter     = (*DiverseServer)(nil)
+	_ core.Executor         = (*DiverseServer)(nil)
+	_ core.SessionExecutor  = (*DiverseServer)(nil)
+	_ core.PreparedExecutor = (*DiverseServer)(nil)
+	_ core.Session          = (*Session)(nil)
+	_ core.PreparedExecutor = (*Session)(nil)
+	_ core.Statement        = (*Stmt)(nil)
+	_ core.Snapshotter      = (*DiverseServer)(nil)
 )
 
 // New assembles a diverse server from replicas. The replica set may mix
@@ -318,6 +341,12 @@ func (d *DiverseServer) Exec(sql string) (*engine.Result, time.Duration, error) 
 	return d.defaultSession().Exec(sql)
 }
 
+// Prepare prepares a statement on the default session (implements
+// core.PreparedExecutor).
+func (d *DiverseServer) Prepare(sql string) (core.Statement, error) {
+	return d.defaultSession().Prepare(sql)
+}
+
 // Exec broadcasts one statement to every active replica within this
 // session, adjudicates the responses and returns the agreed result. The
 // reported latency is the slowest active replica's (replicas run in
@@ -325,14 +354,65 @@ func (d *DiverseServer) Exec(sql string) (*engine.Result, time.Duration, error) 
 func (cs *Session) Exec(sql string) (*engine.Result, time.Duration, error) {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
-	d := cs.d
 	// A statement counts as a query only if it is genuinely read-only:
 	// a SELECT that advances a sequence mutates replica state and must
 	// go down the write path, or replicas would apply it in different
 	// orders (spurious divergence) — and ReadOne would desynchronize
 	// sequence state entirely. Any replica can classify; they share the
 	// view/sequence schema.
-	query := isQuery(sql) && d.classifierServer().ReadOnly(sql)
+	query := isQuery(sql) && cs.d.classifierServer().ReadOnly(sql)
+	return cs.execBound(&boundStmt{sql: sql}, query)
+}
+
+// boundStmt is the unit the adjudication path executes: statement text
+// and, when it came through Prepare, the per-replica prepared statements
+// plus the typed argument vector of this execution.
+type boundStmt struct {
+	sql  string
+	args []types.Value
+	// stmts/prepErrs are index-aligned with the replica set when the
+	// statement was prepared; nil for plain text execution. A replica
+	// whose prepare failed votes with that error at execution time, so
+	// divergent prepare-time acceptance is adjudicated like any other
+	// outcome.
+	stmts    []*server.Stmt
+	prepErrs []error
+}
+
+// execOn runs the statement on one replica (identified by its index in
+// the full replica set) through the given per-replica session.
+func (b *boundStmt) execOn(idx int, sub *server.Session) (*engine.Result, time.Duration, error) {
+	if b.stmts == nil {
+		return sub.Exec(b.sql)
+	}
+	if err := b.prepErrs[idx]; err != nil {
+		return nil, server.BaseLatency, err
+	}
+	return b.stmts[idx].Exec(b.args...)
+}
+
+// rephraseOn runs a rephrased form of the statement on one replica,
+// keeping the original execution mode (text, or prepare+bind with the
+// same arguments).
+func (b *boundStmt) rephraseOn(sub *server.Session, rephrased string) (*engine.Result, time.Duration, error) {
+	if b.stmts == nil {
+		return sub.Exec(rephrased)
+	}
+	ps, err := sub.PrepareStmt(rephrased)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ps.Exec(b.args...)
+}
+
+// entry renders the statement in its replayable journal form.
+func (b *boundStmt) entry() string { return core.EncodeBound(b.sql, b.args) }
+
+// execBound is the shared body of Exec and Stmt.Exec: lock-mode
+// selection, broadcast adjudication and journal bookkeeping. The caller
+// holds cs.mu.
+func (cs *Session) execBound(b *boundStmt, query bool) (*engine.Result, time.Duration, error) {
+	d := cs.d
 	if query {
 		d.execMu.RLock()
 		defer d.execMu.RUnlock()
@@ -341,20 +421,138 @@ func (cs *Session) Exec(sql string) (*engine.Result, time.Duration, error) {
 		defer d.execMu.Unlock()
 	}
 
-	res, lat, err := cs.execAdjudicated(sql, query)
+	res, lat, err := cs.execAdjudicated(b, query)
 	if !query {
 		// Journal bookkeeping (the exclusive statement lock is held): the
 		// redo a rejoining replica needs on top of a committed snapshot is
 		// exactly BEGIN plus the successfully adjudicated state-changing
-		// statements of every open transaction.
-		cs.noteWrite(sql, err)
+		// statements of every open transaction. Bound statements are
+		// journaled in their replayable encoded form.
+		cs.noteWrite(b.sql, b.entry(), err)
 	}
 	return res, lat, err
 }
 
-// noteWrite maintains the session's open-transaction redo journal. Must
-// be called with d.execMu held exclusively.
-func (cs *Session) noteWrite(sql string, err error) {
+// Stmt is a prepared statement of one middleware session: one prepared
+// statement per replica, executed under the session's broadcast +
+// adjudication. A replica that rejected the text at prepare time votes
+// with its error on every execution — cross-replica divergence in
+// prepare-time acceptance or bind-time coercion is contained exactly
+// like any other failure. Implements core.Statement.
+type Stmt struct {
+	cs       *Session
+	sql      string
+	np       int
+	isSelect bool
+	stmts    []*server.Stmt
+	prepErrs []error
+}
+
+// Prepare implements core.PreparedExecutor.
+func (cs *Session) Prepare(sql string) (core.Statement, error) {
+	st, err := cs.PrepareStmt(sql)
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// PrepareStmt prepares the statement on every replica session (each
+// parses and dialect-checks once, through its per-session plan cache).
+// It fails only when every replica rejects the text.
+//
+// The shared statement lock is held: resync journal replay (which runs
+// under the exclusive lock, triggered by another session's write or the
+// idle-rejoin poller) prepares bound entries into THIS session's
+// per-replica sessions, and the plan caches it touches are
+// single-client state — preparing concurrently with a replay would be
+// a data race.
+func (cs *Session) PrepareStmt(sql string) (*Stmt, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.d.execMu.RLock()
+	defer cs.d.execMu.RUnlock()
+	ps := &Stmt{
+		cs:       cs,
+		sql:      sql,
+		np:       -1,
+		stmts:    make([]*server.Stmt, len(cs.subs)),
+		prepErrs: make([]error, len(cs.subs)),
+	}
+	var firstErr error
+	for i, sub := range cs.subs {
+		st, err := sub.PrepareStmt(sql)
+		if err != nil {
+			ps.prepErrs[i] = err
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		ps.stmts[i] = st
+		if ps.np < 0 {
+			ps.np = st.NumParams()
+			_, ps.isSelect = st.Bound().(*ast.Select)
+		}
+	}
+	if ps.np < 0 {
+		return nil, firstErr
+	}
+	return ps, nil
+}
+
+// SQL returns the statement text as prepared.
+func (ps *Stmt) SQL() string { return ps.sql }
+
+// NumParams reports how many arguments Exec expects.
+func (ps *Stmt) NumParams() int { return ps.np }
+
+// Close releases the per-replica statements.
+func (ps *Stmt) Close() error {
+	for _, st := range ps.stmts {
+		if st != nil {
+			_ = st.Close()
+		}
+	}
+	return nil
+}
+
+// Exec executes the prepared statement with the given arguments across
+// the replica set, adjudicating the bound results.
+func (ps *Stmt) Exec(args ...types.Value) (*engine.Result, time.Duration, error) {
+	cs := ps.cs
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if len(args) != ps.np {
+		return nil, 0, fmt.Errorf("%w: statement wants %d parameters, %d bound",
+			engine.ErrBind, ps.np, len(args))
+	}
+	query := ps.isSelect && ps.readOnlyOnClassifier()
+	return cs.execBound(&boundStmt{
+		sql: ps.sql, args: args, stmts: ps.stmts, prepErrs: ps.prepErrs,
+	}, query)
+}
+
+// readOnlyOnClassifier classifies the prepared statement on the first
+// active replica that accepted it (resolved per execution — view chains
+// can change). With no such replica the statement conservatively takes
+// the write path.
+func (ps *Stmt) readOnlyOnClassifier() bool {
+	d := ps.cs.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, r := range d.replicas {
+		if !r.quarantined && ps.stmts[i] != nil {
+			return ps.stmts[i].ReadOnly()
+		}
+	}
+	return false
+}
+
+// noteWrite maintains the session's open-transaction redo journal. sql
+// classifies the statement; entry is the replayable (possibly bound)
+// journal form. Must be called with d.execMu held exclusively.
+func (cs *Session) noteWrite(sql, entry string, err error) {
 	if err != nil {
 		return // a failed statement changed no replica state
 	}
@@ -362,13 +560,13 @@ func (cs *Session) noteWrite(sql string, err error) {
 	switch {
 	case strings.HasPrefix(up, "BEGIN"):
 		cs.inTxn = true
-		cs.journal = append(cs.journal[:0], sql)
+		cs.journal = append(cs.journal[:0], entry)
 	case strings.HasPrefix(up, "COMMIT"), strings.HasPrefix(up, "ROLLBACK"):
 		cs.inTxn = false
 		cs.journal = nil
 	default:
 		if cs.inTxn {
-			cs.journal = append(cs.journal, sql)
+			cs.journal = append(cs.journal, entry)
 		}
 	}
 }
@@ -376,7 +574,7 @@ func (cs *Session) noteWrite(sql string, err error) {
 // execAdjudicated runs one statement through broadcast + adjudication.
 // The caller holds cs.mu and d.execMu (shared for queries, exclusive for
 // state-changing statements).
-func (cs *Session) execAdjudicated(sql string, query bool) (*engine.Result, time.Duration, error) {
+func (cs *Session) execAdjudicated(b *boundStmt, query bool) (*engine.Result, time.Duration, error) {
 	d := cs.d
 	d.mu.Lock()
 	d.metrics.Statements++
@@ -389,10 +587,12 @@ func (cs *Session) execAdjudicated(sql string, query bool) (*engine.Result, time
 		d.flushPendingResyncs()
 	}
 	var active []*replica
+	var activeIdx []int
 	var subs []*server.Session
 	for i, r := range d.replicas {
 		if !r.quarantined {
 			active = append(active, r)
+			activeIdx = append(activeIdx, i)
 			subs = append(subs, cs.subs[i])
 		}
 	}
@@ -403,10 +603,10 @@ func (cs *Session) execAdjudicated(sql string, query bool) (*engine.Result, time
 		return nil, 0, ErrAllReplicasFailed
 	}
 	if readOne {
-		return cs.execReadOne(active, subs, sql, stmtNo)
+		return cs.execReadOne(active, activeIdx, subs, b, stmtNo)
 	}
 
-	results := broadcast(active, subs, sql)
+	results := broadcast(active, activeIdx, subs, b)
 
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -479,7 +679,7 @@ func (cs *Session) execAdjudicated(sql string, query bool) (*engine.Result, time
 
 	// Value containment: outvoted or split results.
 	if len(verdict.Outliers) > 0 {
-		recovered := d.tryRephrase(subs, results, verdict, sql)
+		recovered := d.tryRephrase(subs, results, verdict, b)
 		if !recovered {
 			if verdict.Majority {
 				d.metrics.MaskedFailures += int64(len(verdict.Outliers))
@@ -507,15 +707,16 @@ func (cs *Session) execAdjudicated(sql string, query bool) (*engine.Result, time
 }
 
 // broadcast runs the statement on every active replica concurrently,
-// through this session's per-replica sessions.
-func broadcast(active []*replica, subs []*server.Session, sql string) []core.ReplicaResult {
+// through this session's per-replica sessions (prepared statements when
+// the boundStmt carries them).
+func broadcast(active []*replica, activeIdx []int, subs []*server.Session, b *boundStmt) []core.ReplicaResult {
 	results := make([]core.ReplicaResult, len(active))
 	var wg sync.WaitGroup
 	for i := range active {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, lat, err := subs[i].Exec(sql)
+			res, lat, err := b.execOn(activeIdx[i], subs[i])
 			results[i] = core.ReplicaResult{
 				Name:    string(active[i].srv.Name()),
 				Res:     res,
@@ -532,19 +733,20 @@ func broadcast(active []*replica, subs []*server.Session, sql string) []core.Rep
 // tryRephrase re-executes the statement, rewritten into a logically
 // equivalent form, on the outlier replicas (within the same session); if
 // the rephrased query now agrees with the majority the divergence is
-// treated as transient.
-func (d *DiverseServer) tryRephrase(subs []*server.Session, results []core.ReplicaResult, verdict core.Verdict, sql string) bool {
+// treated as transient. Bound statements are re-prepared in rephrased
+// form and executed with the same arguments.
+func (d *DiverseServer) tryRephrase(subs []*server.Session, results []core.ReplicaResult, verdict core.Verdict, b *boundStmt) bool {
 	if !d.cfg.Rephrase || verdict.Agreed == nil {
 		return false
 	}
-	rephrased, changed := Rephrase(sql)
+	rephrased, changed := Rephrase(b.sql)
 	if !changed {
 		return false
 	}
 	agreedDigest := core.Digest(verdict.Agreed, d.cfg.Compare)
 	allRecovered := true
 	for _, i := range verdict.Outliers {
-		res, _, err := subs[i].Exec(rephrased)
+		res, _, err := b.rephraseOn(subs[i], rephrased)
 		if err != nil || core.Digest(res, d.cfg.Compare) != agreedDigest {
 			allRecovered = false
 			break
@@ -593,6 +795,95 @@ func (d *DiverseServer) recover(r *replica, active []*replica, verdict core.Verd
 	}
 	r.quarantined = true
 	r.pendingResync = true
+	// Under a write-bearing workload the next state-changing statement
+	// completes the rejoin; under a read-only workload none may come, so
+	// an idle-time poller grabs the statement lock in a gap between
+	// statements and bounds the quarantine window.
+	d.armIdleRejoin()
+}
+
+// idleRejoinInterval is the poll period of the idle-time rejoin;
+// idleRejoinMaxTries bounds the poller's lifetime (it re-arms on the
+// next quarantine), so a replica with no available donor cannot pin a
+// goroutine forever.
+const (
+	idleRejoinInterval = time.Millisecond
+	idleRejoinMaxTries = 4000
+)
+
+// idleRejoinEscalate is the number of consecutive TryLock misses after
+// which the poller acquires the statement lock blockingly: under
+// sustained read-only load no idle gap ever appears, and a brief
+// writer-preference acquisition (current readers drain, new ones wait
+// one statement's worth) is what actually bounds the quarantine window.
+const idleRejoinEscalate = 20
+
+// armIdleRejoin starts the idle-time rejoin poller unless one is already
+// live. Called with d.mu held.
+func (d *DiverseServer) armIdleRejoin() {
+	if !d.cfg.AutoResync || !d.cfg.IdleRejoin || d.idleRejoinArmed {
+		return
+	}
+	d.idleRejoinArmed = true
+	go d.idleRejoinLoop()
+}
+
+// idleRejoinLoop waits for a gap in the statement stream: when no
+// statement is pending anywhere, TryLock acquires the exclusive
+// statement lock immediately — the same invariant the write path relies
+// on, reached without waiting for a write — and the pending resyncs
+// flush. When the read stream never pauses, the poller escalates to a
+// blocking acquisition, pausing reads for one resync like an ordinary
+// write statement would.
+func (d *DiverseServer) idleRejoinLoop() {
+	misses := 0
+	for i := 0; i < idleRejoinMaxTries; i++ {
+		time.Sleep(idleRejoinInterval)
+		locked := d.execMu.TryLock()
+		if !locked && misses+1 < idleRejoinEscalate {
+			misses++
+			d.mu.Lock()
+			pending := d.anyPendingResync()
+			if !pending {
+				d.idleRejoinArmed = false
+				d.mu.Unlock()
+				return // the write path beat us to it
+			}
+			d.mu.Unlock()
+			continue
+		}
+		if !locked {
+			d.execMu.Lock()
+		}
+		misses = 0
+		d.mu.Lock()
+		before := d.metrics.Resyncs
+		d.flushPendingResyncs()
+		d.metrics.IdleRejoins += d.metrics.Resyncs - before
+		pending := d.anyPendingResync()
+		if !pending {
+			d.idleRejoinArmed = false
+		}
+		d.mu.Unlock()
+		d.execMu.Unlock()
+		if !pending {
+			return
+		}
+	}
+	d.mu.Lock()
+	d.idleRejoinArmed = false
+	d.mu.Unlock()
+}
+
+// anyPendingResync reports whether any replica still waits for resync.
+// Called with d.mu held.
+func (d *DiverseServer) anyPendingResync() bool {
+	for _, r := range d.replicas {
+		if r.pendingResync {
+			return true
+		}
+	}
+	return false
 }
 
 // flushPendingResyncs rejoins quarantined replicas from any healthy
@@ -626,8 +917,10 @@ func (d *DiverseServer) flushPendingResyncs() {
 			if !cs.inTxn {
 				continue
 			}
-			for _, stmt := range cs.journal {
-				_, _, _ = cs.subs[idx].Exec(stmt)
+			for _, entry := range cs.journal {
+				// Bound journal entries replay through the replica's
+				// prepare/bind path (core.ExecEntry decodes the args).
+				_, _, _ = core.ExecEntry(cs.subs[idx], entry)
 				d.metrics.JournalReplays++
 			}
 		}
@@ -679,13 +972,13 @@ func (d *DiverseServer) Restore(st *engine.State) {
 // execReadOne serves a query from a single rotating replica; crashed
 // replicas fail over to the next one. Results are NOT compared: this is
 // the performance end of the paper's trade-off dial.
-func (cs *Session) execReadOne(active []*replica, subs []*server.Session, sql string, stmtNo int64) (*engine.Result, time.Duration, error) {
+func (cs *Session) execReadOne(active []*replica, activeIdx []int, subs []*server.Session, b *boundStmt, stmtNo int64) (*engine.Result, time.Duration, error) {
 	d := cs.d
 	n := len(active)
 	start := int(stmtNo) % n
 	for i := 0; i < n; i++ {
 		k := (start + i) % n
-		res, lat, err := subs[k].Exec(sql)
+		res, lat, err := b.execOn(activeIdx[k], subs[k])
 		if errors.Is(err, server.ErrCrashed) {
 			d.mu.Lock()
 			d.metrics.CrashesDetected++

@@ -1,0 +1,213 @@
+package qgen
+
+import (
+	"strconv"
+
+	"divsql/internal/sql/ast"
+	"divsql/internal/sql/types"
+)
+
+// BindMode is the bind-dimension taxonomy of the Weights plane: whether
+// a generated statement carries its values inline as literals or binds
+// them as typed arguments through the prepare/bind path. Bind-time
+// coercion is a statement-class dimension of its own — the same
+// syntactic shape can agree inline and diverge bound.
+type BindMode string
+
+// Bind modes.
+const (
+	BindInline BindMode = "inline"
+	BindParam  BindMode = "param"
+)
+
+// BindModes lists the bind modes in deterministic order.
+var BindModes = []BindMode{BindInline, BindParam}
+
+// BindModeOf classifies a statement by its bind mode (derivable from the
+// AST alone, like ClassOf/ShapeOf).
+func BindModeOf(st ast.Statement) BindMode {
+	if ast.NumParams(st) > 0 {
+		return BindParam
+	}
+	return BindInline
+}
+
+// maybeParamize converts a freshly generated statement into its bound
+// form — some of its literals become $n placeholders and the values move
+// into the returned argument vector — with probability given by the
+// Weights bind plane. Only DML and queries participate (DDL cannot carry
+// parameters). Returns nil when the statement stays inline.
+func (g *Generator) maybeParamize(st ast.Statement) []types.Value {
+	if !g.opts.Params {
+		return nil
+	}
+	switch st.(type) {
+	case *ast.Insert, *ast.Update, *ast.Delete, *ast.Select:
+	default:
+		return nil
+	}
+	if g.weightedPick([]int{g.w.InlineBind, g.w.ParamBind}) != 1 {
+		return nil
+	}
+	p := &paramizer{g: g}
+	p.statement(st)
+	return p.args
+}
+
+// paramizer rewrites an AST in place, replacing value literals with
+// Param nodes and collecting the argument vector in ordinal order. The
+// walk order is deterministic (slice order), so the rewrite is part of
+// the generator's reproducibility contract.
+type paramizer struct {
+	g    *Generator
+	args []types.Value
+}
+
+func (p *paramizer) statement(st ast.Statement) {
+	switch x := st.(type) {
+	case *ast.Insert:
+		for _, row := range x.Rows {
+			for i := range row {
+				row[i] = p.expr(row[i])
+			}
+		}
+		p.sel(x.Select)
+	case *ast.Update:
+		for i := range x.Sets {
+			x.Sets[i].Value = p.expr(x.Sets[i].Value)
+		}
+		x.Where = p.expr(x.Where)
+	case *ast.Delete:
+		x.Where = p.expr(x.Where)
+	case *ast.Select:
+		p.sel(x)
+	}
+}
+
+// sel paramizes a query's predicates (WHERE, HAVING, join conditions)
+// and descends into derived tables, subqueries and UNION branches.
+// Projection, GROUP BY and ORDER BY expressions stay inline: a bare
+// parameter there is either illegal or meaningless to most dialects.
+func (p *paramizer) sel(s *ast.Select) {
+	if s == nil {
+		return
+	}
+	s.Where = p.expr(s.Where)
+	s.Having = p.expr(s.Having)
+	for i := range s.From {
+		p.sel(s.From[i].Table.Subquery)
+		for j := range s.From[i].Joins {
+			s.From[i].Joins[j].On = p.expr(s.From[i].Joins[j].On)
+			p.sel(s.From[i].Joins[j].Right.Subquery)
+		}
+	}
+	p.sel(s.Union)
+}
+
+func (p *paramizer) expr(e ast.Expr) ast.Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *ast.Literal:
+		return p.lit(x)
+	case *ast.Binary:
+		x.L = p.expr(x.L)
+		x.R = p.expr(x.R)
+		return x
+	case *ast.Unary:
+		x.X = p.expr(x.X)
+		return x
+	case *ast.FuncCall:
+		// Sequence-advancing functions name their sequence in the first
+		// argument; that name must stay a literal.
+		if up := x.Name; up == "NEXTVAL" || up == "GEN_ID" {
+			return x
+		}
+		for i := range x.Args {
+			x.Args[i] = p.expr(x.Args[i])
+		}
+		return x
+	case *ast.In:
+		x.X = p.expr(x.X)
+		for i := range x.List {
+			x.List[i] = p.expr(x.List[i])
+		}
+		p.sel(x.Select)
+		return x
+	case *ast.Exists:
+		p.sel(x.Select)
+		return x
+	case *ast.Subquery:
+		p.sel(x.Select)
+		return x
+	case *ast.Between:
+		x.X = p.expr(x.X)
+		x.Lo = p.expr(x.Lo)
+		x.Hi = p.expr(x.Hi)
+		return x
+	case *ast.Like:
+		x.X = p.expr(x.X)
+		x.Pattern = p.expr(x.Pattern)
+		return x
+	case *ast.IsNull:
+		x.X = p.expr(x.X)
+		return x
+	case *ast.Case:
+		x.Operand = p.expr(x.Operand)
+		for i := range x.Whens {
+			x.Whens[i].Cond = p.expr(x.Whens[i].Cond)
+			x.Whens[i].Then = p.expr(x.Whens[i].Then)
+		}
+		x.Else = p.expr(x.Else)
+		return x
+	case *ast.Cast:
+		x.X = p.expr(x.X)
+		return x
+	default:
+		return e
+	}
+}
+
+// lit replaces one value literal with a Param (half of them, seeded),
+// recording the value as the next argument. In quirk mode the value is
+// sometimes shifted into a bind-coercion failure region — empty strings,
+// trailing spaces, numeric strings, booleans — the regions where the
+// four servers' BindRules legitimately disagree with the oracle.
+func (p *paramizer) lit(l *ast.Literal) ast.Expr {
+	switch l.Val.K {
+	case types.KindInt, types.KindFloat, types.KindString:
+	default:
+		return l // NULL, bool and date literals stay inline
+	}
+	if p.g.rnd.Intn(2) != 0 {
+		return l
+	}
+	v := l.Val
+	if p.g.opts.ParamQuirks {
+		v = p.g.quirkValue(v)
+	}
+	p.args = append(p.args, v)
+	return &ast.Param{N: len(p.args)}
+}
+
+// quirkValue sometimes shifts an argument into a bind-coercion quirk
+// region (ParamQuirks mode, used by calibrated hunts; fault-free gates
+// keep the safe values, on which all BindRules are identities).
+func (g *Generator) quirkValue(v types.Value) types.Value {
+	switch v.K {
+	case types.KindString:
+		switch g.rnd.Intn(6) {
+		case 0:
+			return types.NewString("") // OR binds '' as NULL
+		case 1:
+			return types.NewString(v.S + "  ") // PG trims trailing spaces
+		case 2:
+			return types.NewString(strconv.Itoa(g.rnd.Intn(100))) // IB re-types numeric strings
+		}
+	case types.KindInt:
+		if g.rnd.Intn(8) == 0 {
+			return types.NewBool(v.I%2 == 0) // MS binds booleans as 0/1
+		}
+	}
+	return v
+}

@@ -1,0 +1,124 @@
+package qgen
+
+import (
+	"strings"
+	"testing"
+
+	"divsql/internal/sql/ast"
+	"divsql/internal/sql/types"
+)
+
+func paramOptions(seed int64) Options {
+	o := CommonProfile(seed)
+	o.Params = true
+	return o
+}
+
+func TestParamsModeEmitsBoundStatements(t *testing.T) {
+	g := New(paramOptions(11))
+	bound, inline := 0, 0
+	for i := 0; i < 2000; i++ {
+		st := g.Next()
+		args := g.LastArgs()
+		np := ast.NumParams(st)
+		if np != len(args) {
+			t.Fatalf("stmt %d: %d placeholders, %d args: %s", i, np, len(args), ast.Render(st))
+		}
+		if len(args) > 0 {
+			bound++
+			if BindModeOf(st) != BindParam {
+				t.Fatalf("bound statement classifies as %s", BindModeOf(st))
+			}
+			if !ast.FingerprintOf(st).Has(ast.FlagParam) {
+				t.Fatalf("bound statement lacks FlagParam: %s", ast.Render(st))
+			}
+		} else {
+			inline++
+		}
+	}
+	if bound == 0 || inline == 0 {
+		t.Fatalf("bind plane must mix modes: bound=%d inline=%d", bound, inline)
+	}
+}
+
+func TestParamsModeDeterministic(t *testing.T) {
+	g1 := New(paramOptions(5))
+	g2 := New(paramOptions(5))
+	for i := 0; i < 1000; i++ {
+		s1, s2 := g1.NextSQL(), g2.NextSQL()
+		if s1 != s2 {
+			t.Fatalf("stream diverged at %d:\n%s\n%s", i, s1, s2)
+		}
+	}
+}
+
+func TestParamsSafeValuesWithoutQuirks(t *testing.T) {
+	// Without ParamQuirks every bound value must be a BindRules identity:
+	// non-empty, no trailing spaces, not numeric-looking strings; no
+	// booleans. This is what keeps the fault-free -params gate green.
+	g := New(paramOptions(23))
+	for i := 0; i < 3000; i++ {
+		g.Next()
+		for _, v := range g.LastArgs() {
+			switch v.K {
+			case types.KindBool:
+				t.Fatalf("bool argument in safe mode")
+			case types.KindString:
+				if v.S == "" || strings.TrimRight(v.S, " ") != v.S {
+					t.Fatalf("unsafe string argument %q", v.S)
+				}
+				// Generated strings are lowercase words, possibly with
+				// LIKE wildcards; crucially never numeric-looking.
+				if strings.IndexFunc(v.S, func(r rune) bool {
+					return (r < 'a' || r > 'z') && r != '%' && r != '_'
+				}) >= 0 {
+					t.Fatalf("unexpected string argument %q", v.S)
+				}
+			}
+		}
+	}
+}
+
+func TestParamQuirkValuesAppear(t *testing.T) {
+	o := paramOptions(7)
+	o.ParamQuirks = true
+	g := New(o)
+	var empty, trailing, numeric, boolean bool
+	for i := 0; i < 8000; i++ {
+		g.Next()
+		for _, v := range g.LastArgs() {
+			switch {
+			case v.K == types.KindBool:
+				boolean = true
+			case v.K == types.KindString && v.S == "":
+				empty = true
+			case v.K == types.KindString && strings.HasSuffix(v.S, " "):
+				trailing = true
+			case v.K == types.KindString && strings.IndexFunc(v.S, func(r rune) bool { return r < '0' || r > '9' }) < 0:
+				numeric = true
+			}
+		}
+	}
+	if !empty || !trailing || !numeric || !boolean {
+		t.Errorf("quirk regions unexercised: empty=%v trailing=%v numeric=%v bool=%v",
+			empty, trailing, numeric, boolean)
+	}
+}
+
+func TestBindPlaneRetargetable(t *testing.T) {
+	o := paramOptions(3)
+	g := New(o)
+	w := g.Weights()
+	if w.InlineBind != 1 || w.ParamBind != 2 {
+		t.Fatalf("default bind weights: %+v", w)
+	}
+	// All-inline retarget: no statement binds from here on.
+	w.ParamBind = 0
+	g.SetWeights(w)
+	for i := 0; i < 500; i++ {
+		g.Next()
+		if len(g.LastArgs()) != 0 {
+			t.Fatal("ParamBind=0 must disable binding")
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"divsql/internal/core"
 	"divsql/internal/sql/ast"
 	"divsql/internal/sql/types"
 )
@@ -62,6 +63,19 @@ type Options struct {
 	// DistinctViews enables DISTINCT in view definitions (quirk region on
 	// IB and MS under LEFT JOIN).
 	DistinctViews bool
+	// Params enables the bound statement mode: a weighted share of the
+	// generated DML/queries carries $n placeholders plus a typed
+	// argument vector (Generator.LastArgs) instead of inline literals,
+	// exercising every server's prepare/bind path. The share is the
+	// Weights bind plane (InlineBind/ParamBind), so the coverage
+	// feedback loop can retarget it like any other dimension.
+	Params bool
+	// ParamQuirks additionally shifts some bound argument values into
+	// the servers' bind-coercion failure regions (empty strings,
+	// trailing spaces, numeric strings, booleans — see engine.BindRules).
+	// Off in fault-free gates: safe values pass every server's BindRules
+	// unchanged, so the common subset still agrees with the oracle.
+	ParamQuirks bool
 
 	// --- Structural weights and caps ------------------------------------
 
@@ -211,6 +225,9 @@ type Generator struct {
 	inTxn   bool
 	snap    *schemaSnapshot // schema state as of BEGIN (rollback target)
 	emitted int
+	// lastArgs is the argument vector of the most recent Next() when the
+	// statement was paramized (nil for inline statements).
+	lastArgs []types.Value
 }
 
 // schemaSnapshot captures the schema-tracking state at a transaction
@@ -264,8 +281,20 @@ func New(opts Options) *Generator {
 // Emitted reports how many statements the generator has produced.
 func (g *Generator) Emitted() int { return g.emitted }
 
-// Next produces the next statement of the stream.
+// Next produces the next statement of the stream. In Params mode the
+// statement may carry $n placeholders; LastArgs then holds the typed
+// argument vector of this statement (nil otherwise).
 func (g *Generator) Next() ast.Statement {
+	st := g.nextStmt()
+	g.lastArgs = g.maybeParamize(st)
+	return st
+}
+
+// LastArgs returns the bound-argument vector of the most recent Next()
+// (nil for an inline statement).
+func (g *Generator) LastArgs() []types.Value { return g.lastArgs }
+
+func (g *Generator) nextStmt() ast.Statement {
 	g.emitted++
 	// Bootstrap: nothing is queryable until tables exist and hold rows.
 	if len(g.tables) < g.opts.MinTables {
@@ -301,8 +330,13 @@ func (g *Generator) Next() ast.Statement {
 	}
 }
 
-// NextSQL renders the next statement.
-func (g *Generator) NextSQL() string { return ast.Render(g.Next()) }
+// NextSQL renders the next statement. In Params mode a bound statement
+// is rendered in its replayable encoded form (core.EncodeBound), which
+// the executor paths decode back into prepare/bind/execute.
+func (g *Generator) NextSQL() string {
+	st := g.Next()
+	return core.EncodeBound(ast.Render(st), g.lastArgs)
+}
 
 // Stream is a bounded statement source over a generator. It satisfies
 // the study's statement-stream interface (Next() (string, bool)), so

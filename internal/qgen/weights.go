@@ -100,6 +100,10 @@ type Weights struct {
 	// the structural options (MaxJoins, Unions): a shape whose feature is
 	// disabled is never picked regardless of its weight.
 	SimpleSelect, JoinSelect, GroupSelect, UnionSelect, StarSelect int
+	// Bind plane (relative; only consulted when Options.Params is on):
+	// the share of DML/queries that bind their values as typed arguments
+	// (ParamBind) versus inline literals (InlineBind).
+	InlineBind, ParamBind int
 }
 
 // DefaultShapeWeights mirrors the generator's historical fixed SELECT
@@ -116,8 +120,15 @@ func weightsFromOptions(o Options) Weights {
 		Delete: o.WeightDelete, Select: o.WeightSelect, Txn: o.WeightTxn,
 	}
 	w.SimpleSelect, w.JoinSelect, w.GroupSelect, w.UnionSelect, w.StarSelect = DefaultShapeWeights()
+	if o.Params {
+		w.InlineBind, w.ParamBind = DefaultBindWeights()
+	}
 	return w
 }
+
+// DefaultBindWeights is the starting inline/param split in Params mode:
+// two thirds of the eligible statements bind.
+func DefaultBindWeights() (inline, param int) { return 1, 2 }
 
 // sanitize clamps negative weights to zero (a controller bug must not
 // panic the PRNG arithmetic).
@@ -130,6 +141,7 @@ func (w Weights) sanitize() Weights {
 	for _, p := range []*int{
 		&w.DDL, &w.Insert, &w.Update, &w.Delete, &w.Select, &w.Txn,
 		&w.SimpleSelect, &w.JoinSelect, &w.GroupSelect, &w.UnionSelect, &w.StarSelect,
+		&w.InlineBind, &w.ParamBind,
 	} {
 		clamp(p)
 	}
@@ -188,6 +200,27 @@ func (w Weights) ShapeWeight(s Shape) int {
 		return w.StarSelect
 	}
 	return 0
+}
+
+// BindWeight returns the weight of one bind mode.
+func (w Weights) BindWeight(m BindMode) int {
+	switch m {
+	case BindInline:
+		return w.InlineBind
+	case BindParam:
+		return w.ParamBind
+	}
+	return 0
+}
+
+// SetBindWeight sets the weight of one bind mode.
+func (w *Weights) SetBindWeight(m BindMode, v int) {
+	switch m {
+	case BindInline:
+		w.InlineBind = v
+	case BindParam:
+		w.ParamBind = v
+	}
 }
 
 // SetShapeWeight sets the weight of one SELECT shape.

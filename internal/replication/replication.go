@@ -26,6 +26,7 @@ import (
 	"divsql/internal/core"
 	"divsql/internal/engine"
 	"divsql/internal/server"
+	"divsql/internal/sql/types"
 )
 
 // ErrNoReplicas is returned when the group is built empty.
@@ -53,9 +54,12 @@ type Group struct {
 }
 
 var (
-	_ core.Executor        = (*Group)(nil)
-	_ core.SessionExecutor = (*Group)(nil)
-	_ core.Session         = (*Session)(nil)
+	_ core.Executor         = (*Group)(nil)
+	_ core.SessionExecutor  = (*Group)(nil)
+	_ core.PreparedExecutor = (*Group)(nil)
+	_ core.Session          = (*Session)(nil)
+	_ core.PreparedExecutor = (*Session)(nil)
+	_ core.Statement        = (*Stmt)(nil)
 )
 
 // NewGroup builds a replication group; servers[0] starts as primary.
@@ -131,6 +135,114 @@ func (g *Group) Metrics() Metrics {
 // Exec executes the statement on the default session.
 func (g *Group) Exec(sql string) (*engine.Result, time.Duration, error) {
 	return g.defaultSession().Exec(sql)
+}
+
+// Prepare prepares a statement on the default session (implements
+// core.PreparedExecutor).
+func (g *Group) Prepare(sql string) (core.Statement, error) {
+	return g.defaultSession().Prepare(sql)
+}
+
+// Stmt is a prepared statement of one group session: one prepared
+// statement per member, executed on the primary and propagated to the
+// backups. Implements core.Statement.
+type Stmt struct {
+	gs       *Session
+	sql      string
+	np       int
+	subs     []*server.Stmt // index-aligned with g.servers
+	prepErrs []error
+}
+
+// Prepare implements core.PreparedExecutor. It fails only when every
+// member rejects the text (under the fail-stop assumption a member's
+// prepare error is its legitimate outcome, surfaced if it is primary).
+func (gs *Session) Prepare(sql string) (core.Statement, error) {
+	ps := &Stmt{
+		gs:       gs,
+		sql:      sql,
+		np:       -1,
+		subs:     make([]*server.Stmt, len(gs.subs)),
+		prepErrs: make([]error, len(gs.subs)),
+	}
+	var firstErr error
+	for i, sub := range gs.subs {
+		st, err := sub.PrepareStmt(sql)
+		if err != nil {
+			ps.prepErrs[i] = err
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		ps.subs[i] = st
+		if ps.np < 0 {
+			ps.np = st.NumParams()
+		}
+	}
+	if ps.np < 0 {
+		return nil, firstErr
+	}
+	return ps, nil
+}
+
+// SQL returns the statement text as prepared.
+func (ps *Stmt) SQL() string { return ps.sql }
+
+// NumParams reports how many arguments Exec expects.
+func (ps *Stmt) NumParams() int { return ps.np }
+
+// Close releases the per-member statements.
+func (ps *Stmt) Close() error {
+	for _, st := range ps.subs {
+		if st != nil {
+			_ = st.Close()
+		}
+	}
+	return nil
+}
+
+// Exec executes the bound statement on the primary and propagates
+// state-changing statements (with the same arguments) to the backups —
+// the same unchecked pass-through as the text path.
+func (ps *Stmt) Exec(args ...types.Value) (*engine.Result, time.Duration, error) {
+	gs := ps.gs
+	g := gs.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.metrics.Statements++
+
+	for attempts := 0; attempts < len(g.servers)+1; attempts++ {
+		var res *engine.Result
+		var lat time.Duration
+		var err error
+		if perr := ps.prepErrs[g.primary]; perr != nil {
+			err = perr
+		} else {
+			res, lat, err = ps.subs[g.primary].Exec(args...)
+		}
+		if errors.Is(err, server.ErrCrashed) {
+			if !g.failover() {
+				return nil, lat, ErrGroupDown
+			}
+			continue
+		}
+		if err != nil {
+			return nil, lat, err
+		}
+		if isStateChanging(ps.sql) {
+			for i := range g.servers {
+				if i == g.primary || g.servers[i].Crashed() || ps.subs[i] == nil {
+					continue
+				}
+				_, _, _ = ps.subs[i].Exec(args...)
+				g.metrics.Propagated++
+			}
+		}
+		g.metrics.UncheckedOK++
+		return res, lat, nil
+	}
+	return nil, 0, ErrGroupDown
 }
 
 // Exec executes the statement on the primary and, for state-changing

@@ -1,0 +1,209 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"divsql/internal/dialect"
+	"divsql/internal/sql/types"
+)
+
+func TestPrepareExecRoundTrip(t *testing.T) {
+	s, _ := New(dialect.PG, nil)
+	sess := s.NewSession()
+	defer sess.Close()
+	if _, _, err := sess.Exec("CREATE TABLE T (A INT, S VARCHAR(10))"); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := sess.PrepareStmt("INSERT INTO T VALUES (?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.NumParams() != 2 {
+		t.Fatalf("NumParams = %d", ins.NumParams())
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := ins.Exec(types.NewInt(int64(i)), types.NewString(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sel, err := sess.PrepareStmt("SELECT S FROM T WHERE A = $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := sel.Exec(types.NewInt(1))
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].S != "v1" {
+		t.Fatalf("bound select: %+v %v", res, err)
+	}
+}
+
+func TestPlanCacheReusesPlans(t *testing.T) {
+	s, _ := New(dialect.OR, nil)
+	sess := s.NewSession()
+	defer sess.Close()
+	if _, _, err := sess.Exec("CREATE TABLE T (A INT)"); err != nil {
+		t.Fatal(err)
+	}
+	st1, err := sess.PrepareStmt("SELECT A FROM T WHERE A > ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := sess.PrepareStmt("SELECT A FROM T WHERE A > ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.p != st2.p {
+		t.Error("same text must resolve to the same cached plan")
+	}
+	other := s.NewSession()
+	defer other.Close()
+	st3, err := other.PrepareStmt("SELECT A FROM T WHERE A > ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.p == st1.p {
+		t.Error("plan cache is per session")
+	}
+}
+
+func TestPrepareErrors(t *testing.T) {
+	s, _ := New(dialect.MS, nil)
+	sess := s.NewSession()
+	defer sess.Close()
+	if _, err := sess.PrepareStmt("SELEC nonsense"); err == nil {
+		t.Error("syntax error must fail at prepare time")
+	}
+	// Dialect gates apply at prepare time, like on a real server.
+	if _, err := sess.PrepareStmt("CREATE SEQUENCE SQ1"); err == nil {
+		t.Error("MS has no sequences; prepare must reject")
+	}
+	// Parameters in DDL are rejected at prepare time.
+	if _, err := sess.PrepareStmt("CREATE TABLE P (A INT DEFAULT $1)"); err == nil {
+		t.Error("param in DDL must fail at prepare time")
+	}
+	// Arg-count mismatch is a bind error at execution time.
+	if _, _, err := sess.Exec("CREATE TABLE T (A INT)"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := sess.PrepareStmt("SELECT A FROM T WHERE A = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Exec(); err == nil {
+		t.Error("missing argument must fail")
+	}
+	if _, _, err := st.Exec(types.NewInt(1), types.NewInt(2)); err == nil {
+		t.Error("extra argument must fail")
+	}
+}
+
+func TestDialectBindCoercionDiffers(t *testing.T) {
+	// The same bound argument vector lands differently on different
+	// servers: OR binds '' as NULL, PG stores it as the empty string.
+	setup := func(name dialect.ServerName) *Session {
+		srv, err := New(name, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess := srv.NewSession()
+		if _, _, err := sess.Exec("CREATE TABLE T (S VARCHAR(10))"); err != nil {
+			t.Fatal(err)
+		}
+		st, err := sess.PrepareStmt("INSERT INTO T VALUES ($1)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := st.Exec(types.NewString("")); err != nil {
+			t.Fatal(err)
+		}
+		return sess
+	}
+	orSess := setup(dialect.OR)
+	pgSess := setup(dialect.PG)
+	check := func(sess *Session, wantNull bool, name string) {
+		res, _, err := sess.Exec("SELECT S FROM T")
+		if err != nil || len(res.Rows) != 1 {
+			t.Fatalf("%s: %+v %v", name, res, err)
+		}
+		if got := res.Rows[0][0].IsNull(); got != wantNull {
+			t.Errorf("%s: IsNull=%v want %v", name, got, wantNull)
+		}
+	}
+	check(orSess, true, "OR")
+	check(pgSess, false, "PG")
+}
+
+func TestPrepareOnCrashedServer(t *testing.T) {
+	s, _ := New(dialect.PG, nil)
+	sess := s.NewSession()
+	defer sess.Close()
+	if _, _, err := sess.Exec("CREATE TABLE T (A INT)"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := sess.PrepareStmt("SELECT A FROM T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.crash()
+	if _, err := sess.PrepareStmt("SELECT A FROM T"); !errors.Is(err, ErrCrashed) {
+		t.Errorf("prepare on crashed server: %v", err)
+	}
+	if _, _, err := st.Exec(); !errors.Is(err, ErrCrashed) {
+		t.Errorf("exec on crashed server: %v", err)
+	}
+	s.Restart()
+	if _, _, err := st.Exec(); err != nil {
+		t.Errorf("prepared statement must survive a restart: %v", err)
+	}
+}
+
+func TestLogRingBuffer(t *testing.T) {
+	s, _ := New(dialect.PG, nil)
+	// Disabled by default: no capture, no allocation.
+	if _, _, err := s.Exec("CREATE TABLE T (A INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Log(); got != nil {
+		t.Fatalf("log disabled but captured %v", got)
+	}
+	s.EnableLog(3)
+	for i := 0; i < 5; i++ {
+		if _, _, err := s.Exec(fmt.Sprintf("INSERT INTO T VALUES (%d)", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// SELECTs never log.
+	if _, _, err := s.Exec("SELECT A FROM T"); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Log()
+	want := []string{"INSERT INTO T VALUES (2)", "INSERT INTO T VALUES (3)", "INSERT INTO T VALUES (4)"}
+	if len(got) != len(want) {
+		t.Fatalf("ring kept %d entries: %v", len(got), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("log[%d] = %q want %q", i, got[i], want[i])
+		}
+	}
+	// Bound statements log in their replayable encoded form.
+	st, err := s.defaultSession().PrepareStmt("INSERT INTO T VALUES (?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Exec(types.NewInt(9)); err != nil {
+		t.Fatal(err)
+	}
+	got = s.Log()
+	if last := got[len(got)-1]; last != "INSERT INTO T VALUES (?) --BIND I:9" {
+		t.Errorf("bound log entry: %q", last)
+	}
+	s.DisableLog()
+	if _, _, err := s.Exec("INSERT INTO T VALUES (100)"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Log() != nil {
+		t.Error("disable must stop and clear capture")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"divsql/internal/fault"
 	"divsql/internal/sql/ast"
 	"divsql/internal/sql/parser"
+	"divsql/internal/sql/types"
 )
 
 // Sentinel errors observable by clients.
@@ -48,12 +49,24 @@ type Server struct {
 	eng    *engine.Engine
 	faults *fault.Registry
 
-	mu      sync.Mutex // guards crashed, stress, log, def
+	mu      sync.Mutex // guards crashed, stress, log fields, def
 	crashed bool
 	stress  bool
-	log     []string // successfully executed state-changing statements
 	def     *Session
+
+	// Statement log: opt-in (EnableLog) and ring-buffered, so long-lived
+	// servers and deep fuzzing runs pay neither the append allocation nor
+	// the unbounded growth. logBuf is a fixed-capacity ring; logStart is
+	// the index of the oldest entry; logLen the number of live entries.
+	logOn    bool
+	logBuf   []string
+	logStart int
+	logLen   int
 }
+
+// DefaultLogCapacity is the ring capacity EnableLog uses when given a
+// non-positive capacity.
+const DefaultLogCapacity = 1024
 
 // Session is one client session of a server: its own transaction scope
 // over the shared engine. Obtain one with NewSession; a session is used
@@ -61,13 +74,26 @@ type Server struct {
 type Session struct {
 	srv *Server
 	es  *engine.Session
+
+	// plans is the session's parse-once plan cache: Prepare resolves a
+	// statement text to its parsed, dialect-checked plan exactly once.
+	// Owned by the session's single client, so no lock. Bounded: at
+	// maxSessionPlans the cache is dropped wholesale (re-preparing is
+	// just a reparse).
+	plans map[string]*plan
 }
 
+// maxSessionPlans bounds the per-session plan cache.
+const maxSessionPlans = 512
+
 var (
-	_ core.Executor        = (*Server)(nil)
-	_ core.SessionExecutor = (*Server)(nil)
-	_ core.Session         = (*Session)(nil)
-	_ core.Snapshotter     = (*Server)(nil)
+	_ core.Executor         = (*Server)(nil)
+	_ core.SessionExecutor  = (*Server)(nil)
+	_ core.PreparedExecutor = (*Server)(nil)
+	_ core.Session          = (*Session)(nil)
+	_ core.PreparedExecutor = (*Session)(nil)
+	_ core.Statement        = (*Stmt)(nil)
+	_ core.Snapshotter      = (*Server)(nil)
 )
 
 // New builds a server of the given name carrying the provided faults
@@ -150,6 +176,17 @@ func (s *Server) Exec(sql string) (*engine.Result, time.Duration, error) {
 	return s.defaultSession().Exec(sql)
 }
 
+// Prepare prepares a statement on the server's default session
+// (implements core.PreparedExecutor).
+func (s *Server) Prepare(sql string) (core.Statement, error) {
+	return s.defaultSession().Prepare(sql)
+}
+
+// ExecArgs is one-shot prepare-bind-execute on the default session.
+func (s *Server) ExecArgs(sql string, args ...types.Value) (*engine.Result, time.Duration, error) {
+	return s.defaultSession().ExecArgs(sql, args...)
+}
+
 // crash halts the engine: every session's open transaction is rolled
 // back (committed state survives) and all subsequent statements fail
 // with ErrCrashed until Restart.
@@ -176,7 +213,9 @@ func (c *Session) InTxn() bool { return c.es.InTxn() }
 func (c *Session) Server() *Server { return c.srv }
 
 // Exec executes one SQL statement in this session, returning the result
-// and the simulated latency.
+// and the simulated latency. It is a one-shot prepare-and-execute: the
+// statement is parsed and dialect-checked, then runs through the same
+// execution path as a prepared statement (with no arguments bound).
 func (c *Session) Exec(sql string) (*engine.Result, time.Duration, error) {
 	s := c.srv
 	s.mu.Lock()
@@ -184,7 +223,6 @@ func (c *Session) Exec(sql string) (*engine.Result, time.Duration, error) {
 		s.mu.Unlock()
 		return nil, 0, ErrCrashed
 	}
-	stress := s.stress
 	s.mu.Unlock()
 
 	st, err := parser.Parse(sql)
@@ -194,12 +232,158 @@ func (c *Session) Exec(sql string) (*engine.Result, time.Duration, error) {
 	if err := s.checkDialect(st); err != nil {
 		return nil, BaseLatency, err
 	}
+	return c.run(sql, st, nil, nil)
+}
+
+// ExecArgs is one-shot prepare-bind-execute: the statement is planned
+// through the session's plan cache (so repeated texts parse once) and
+// executed with the given arguments.
+func (c *Session) ExecArgs(sql string, args ...types.Value) (*engine.Result, time.Duration, error) {
+	st, err := c.PrepareStmt(sql)
+	if err != nil {
+		return nil, BaseLatency, err
+	}
+	return st.Exec(args...)
+}
+
+// plan is one parse-once execution plan, cached per session by statement
+// text: the parsed tree, its fingerprint (fault matching) and its
+// parameter count.
+type plan struct {
+	sql string
+	st  ast.Statement
+	fp  ast.Fingerprint
+	np  int
+}
+
+// Stmt is a prepared statement of one session. It implements
+// core.Statement.
+type Stmt struct {
+	sess   *Session
+	p      *plan
+	closed bool
+}
+
+// PrepareStmt parses, dialect-checks and plans one statement for
+// repeated execution. Plans are cached per session by statement text, so
+// re-preparing a text this session has already planned costs a map
+// lookup — the parse leaves the hot path.
+func (c *Session) PrepareStmt(sql string) (*Stmt, error) {
+	s := c.srv
+	s.mu.Lock()
+	crashed := s.crashed
+	s.mu.Unlock()
+	if crashed {
+		return nil, ErrCrashed
+	}
+	p, err := c.plan(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{sess: c, p: p}, nil
+}
+
+// Prepare implements core.PreparedExecutor.
+func (c *Session) Prepare(sql string) (core.Statement, error) {
+	st, err := c.PrepareStmt(sql)
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (c *Session) plan(sql string) (*plan, error) {
+	if p, ok := c.plans[sql]; ok {
+		return p, nil
+	}
+	st, err := parser.Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("syntax error: %w", err)
+	}
+	if err := c.srv.checkDialect(st); err != nil {
+		return nil, err
+	}
+	np := ast.NumParams(st)
+	if err := engine.CheckBindable(st, np); err != nil {
+		return nil, err // parameters in a statement class that cannot bind
+	}
+	p := &plan{sql: sql, st: st, fp: ast.FingerprintOf(st), np: np}
+	if len(c.plans) >= maxSessionPlans {
+		c.plans = nil
+	}
+	if c.plans == nil {
+		c.plans = make(map[string]*plan)
+	}
+	c.plans[sql] = p
+	return p, nil
+}
+
+// SQL returns the statement text as prepared.
+func (st *Stmt) SQL() string { return st.p.sql }
+
+// NumParams reports how many arguments Exec expects.
+func (st *Stmt) NumParams() int { return st.p.np }
+
+// Close releases the statement (the session keeps the cached plan).
+func (st *Stmt) Close() error {
+	st.closed = true
+	return nil
+}
+
+// Bound returns the prepared statement's parsed tree (read-only; used by
+// the middleware to classify the statement without reparsing).
+func (st *Stmt) Bound() ast.Statement { return st.p.st }
+
+// ReadOnly reports whether executing the statement is a pure query: a
+// SELECT that does not (directly or through views) advance a sequence.
+// Resolved per call — view chains can change between executions.
+func (st *Stmt) ReadOnly() bool {
+	sel, ok := st.p.st.(*ast.Select)
+	if !ok {
+		return false
+	}
+	return !st.sess.srv.eng.SelectAdvancesSequences(sel)
+}
+
+// Exec executes the prepared statement with the given arguments. The
+// argument count must match the statement's parameter count; the
+// server's bind-time coercion rules (engine.BindRules) then normalize
+// the values before the plan runs.
+func (st *Stmt) Exec(args ...types.Value) (*engine.Result, time.Duration, error) {
+	if st.closed {
+		return nil, 0, errors.New("statement is closed")
+	}
+	if len(args) != st.p.np {
+		return nil, BaseLatency, fmt.Errorf("%w: statement wants %d parameters, %d bound",
+			engine.ErrBind, st.p.np, len(args))
+	}
+	return st.sess.run(st.p.sql, st.p.st, &st.p.fp, args)
+}
+
+// run executes one planned statement: fault matching on the (cached)
+// fingerprint, engine execution with the bound arguments, fault effects
+// and crash bookkeeping. fp may be nil for ad-hoc statements (computed
+// on demand, and only when the server carries faults at all).
+func (c *Session) run(sql string, st ast.Statement, fp *ast.Fingerprint, args []types.Value) (*engine.Result, time.Duration, error) {
+	s := c.srv
+	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		return nil, 0, ErrCrashed
+	}
+	stress := s.stress
+	s.mu.Unlock()
 
 	latency := BaseLatency
 	var matched *fault.Fault
 	if s.d != nil {
-		fp := ast.FingerprintOf(st)
-		matched = s.faults.Match(fp, stress)
+		var f ast.Fingerprint
+		if fp != nil {
+			f = *fp
+		} else {
+			f = ast.FingerprintOf(st)
+		}
+		matched = s.faults.Match(f, stress)
 	}
 	if matched != nil {
 		switch matched.Effect.Kind {
@@ -218,7 +402,13 @@ func (c *Session) Exec(sql string) (*engine.Result, time.Duration, error) {
 		}
 	}
 
-	res, execErr := c.es.Exec(st)
+	var res *engine.Result
+	var execErr error
+	if args == nil {
+		res, execErr = c.es.Exec(st)
+	} else {
+		res, execErr = c.es.ExecBound(st, args)
+	}
 	// Re-check the crash flag: another session may have crashed the
 	// server while this statement was in flight. The outcome of such a
 	// statement is ambiguous (as on a real server that dies mid-request);
@@ -241,9 +431,7 @@ func (c *Session) Exec(sql string) (*engine.Result, time.Duration, error) {
 		res = fault.Apply(matched.Effect.Mutation, res)
 	}
 	if isStateChanging(st) {
-		s.mu.Lock()
-		s.log = append(s.log, sql)
-		s.mu.Unlock()
+		s.logWrite(core.EncodeBound(sql, args))
 	}
 	return res, latency, nil
 }
@@ -374,20 +562,71 @@ func (s *Server) RestoreScoped(st *engine.State, keep func(name string) bool) {
 	s.eng.RestoreScoped(st, keep)
 }
 
-// Reset drops all state (fresh install).
+// Reset drops all state (fresh install). Log capture stays in whatever
+// mode it was; captured entries are discarded.
 func (s *Server) Reset() {
 	s.eng.Reset()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.log = nil
+	s.logStart, s.logLen = 0, 0
 	s.crashed = false
 }
 
-// Log returns the successfully executed state-changing statements.
+// EnableLog turns on capture of successfully executed state-changing
+// statements into a fixed-capacity ring buffer (the newest capacity
+// entries are kept). Logging is off by default: with no consumer it
+// would only cost an allocation per write on long hunts. A non-positive
+// capacity selects DefaultLogCapacity.
+func (s *Server) EnableLog(capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultLogCapacity
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logOn = true
+	s.logBuf = make([]string, capacity)
+	s.logStart, s.logLen = 0, 0
+}
+
+// DisableLog turns off statement capture and releases the ring.
+func (s *Server) DisableLog() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logOn = false
+	s.logBuf = nil
+	s.logStart, s.logLen = 0, 0
+}
+
+// logWrite records one state-changing statement when logging is enabled.
+func (s *Server) logWrite(entry string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.logOn || len(s.logBuf) == 0 {
+		return
+	}
+	if s.logLen < len(s.logBuf) {
+		s.logBuf[(s.logStart+s.logLen)%len(s.logBuf)] = entry
+		s.logLen++
+		return
+	}
+	s.logBuf[s.logStart] = entry
+	s.logStart = (s.logStart + 1) % len(s.logBuf)
+}
+
+// Log returns the captured state-changing statements, oldest first (at
+// most the ring capacity; nil when logging is disabled). Bound
+// statements appear in the replayable core.EncodeBound form.
 func (s *Server) Log() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]string(nil), s.log...)
+	if !s.logOn || s.logLen == 0 {
+		return nil
+	}
+	out := make([]string, 0, s.logLen)
+	for i := 0; i < s.logLen; i++ {
+		out = append(out, s.logBuf[(s.logStart+i)%len(s.logBuf)])
+	}
+	return out
 }
 
 // FaultCount reports how many faults are installed (used by tests).

@@ -23,6 +23,7 @@ func TestNewServersForAllNames(t *testing.T) {
 
 func TestExecBasics(t *testing.T) {
 	s, _ := New(dialect.PG, nil)
+	s.EnableLog(0)
 	if _, _, err := s.Exec("CREATE TABLE T (A INT)"); err != nil {
 		t.Fatal(err)
 	}

@@ -300,6 +300,13 @@ func (o BinaryOp) String() string {
 // Literal is a constant value.
 type Literal struct{ Val types.Value }
 
+// Param is a statement parameter placeholder: $N in the canonical
+// rendering, with N the 1-based argument ordinal. The parser also accepts
+// the ? spelling, assigning ordinals left to right. A statement carrying
+// Param nodes must be executed through the prepare/bind path with one
+// typed argument per ordinal.
+type Param struct{ N int }
+
 // ColumnRef is a (possibly qualified) column reference.
 type ColumnRef struct {
 	Table  string
@@ -418,6 +425,7 @@ func (*Rollback) stmt()       {}
 func (*Select) stmt()         {}
 
 func (*Literal) node()   {}
+func (*Param) node()     {}
 func (*ColumnRef) node() {}
 func (*Binary) node()    {}
 func (*Unary) node()     {}
@@ -432,6 +440,7 @@ func (*Case) node()      {}
 func (*Cast) node()      {}
 
 func (*Literal) expr()   {}
+func (*Param) expr()     {}
 func (*ColumnRef) expr() {}
 func (*Binary) expr()    {}
 func (*Unary) expr()     {}
@@ -526,6 +535,53 @@ func WalkSelectExprs(s *Select, fn func(Expr)) {
 		WalkExprs(o.Expr, fn)
 	}
 	WalkSelectExprs(s.Union, fn)
+}
+
+// WalkStatementExprs calls fn for every expression reachable from any
+// clause of the statement (INSERT value rows, UPDATE set/where, DELETE
+// where, the whole SELECT tree, column DEFAULTs and CHECKs).
+func WalkStatementExprs(st Statement, fn func(Expr)) {
+	switch x := st.(type) {
+	case *Select:
+		WalkSelectExprs(x, fn)
+	case *Insert:
+		for _, row := range x.Rows {
+			for _, e := range row {
+				WalkExprs(e, fn)
+			}
+		}
+		WalkSelectExprs(x.Select, fn)
+	case *Update:
+		for _, sc := range x.Sets {
+			WalkExprs(sc.Value, fn)
+		}
+		WalkExprs(x.Where, fn)
+	case *Delete:
+		WalkExprs(x.Where, fn)
+	case *CreateTable:
+		for _, c := range x.Columns {
+			WalkExprs(c.Default, fn)
+			WalkExprs(c.Check, fn)
+		}
+		for _, tc := range x.Constraints {
+			WalkExprs(tc.Check, fn)
+		}
+	case *CreateView:
+		WalkSelectExprs(x.Select, fn)
+	}
+}
+
+// NumParams returns the number of bind parameters the statement expects:
+// the highest Param ordinal reachable from any clause (0 for a statement
+// with no placeholders).
+func NumParams(st Statement) int {
+	max := 0
+	WalkStatementExprs(st, func(e Expr) {
+		if p, ok := e.(*Param); ok && p.N > max {
+			max = p.N
+		}
+	})
+	return max
 }
 
 // Tables returns the set of table/view names referenced by the statement

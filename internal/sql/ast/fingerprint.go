@@ -51,6 +51,11 @@ const (
 	FlagViewUnion    Flag = "VIEW_UNION"
 	FlagViewDistinct Flag = "VIEW_DISTINCT"
 	FlagTransaction  Flag = "TRANSACTION"
+	// FlagParam marks statements carrying bind-parameter placeholders:
+	// the prepare/bind execution path, a fault surface of its own (each
+	// server's bind-time type coercion differs). Parameterized statements
+	// therefore fingerprint apart from their inline-literal shapes.
+	FlagParam Flag = "PARAM"
 )
 
 // Fingerprint summarizes the syntactic shape of one statement.
@@ -147,6 +152,8 @@ func FingerprintOf(st Statement) Fingerprint {
 				set(FlagCase)
 			case *Cast:
 				set(FlagCast)
+			case *Param:
+				set(FlagParam)
 			}
 		})
 	}

@@ -313,6 +313,9 @@ func renderExpr(b *strings.Builder, e Expr) {
 		return
 	case *Literal:
 		b.WriteString(x.Val.SQLLiteral())
+	case *Param:
+		b.WriteString("$")
+		b.WriteString(strconv.Itoa(x.N))
 	case *ColumnRef:
 		if x.Table != "" {
 			b.WriteString(x.Table)

@@ -26,6 +26,9 @@ const (
 	TokSemicolon
 	TokDot
 	TokStar
+	// TokParam is a bind-parameter placeholder: "?" (Text "?") or "$n"
+	// (Text is the decimal ordinal).
+	TokParam
 )
 
 // Token is one lexical token.
@@ -225,6 +228,16 @@ func (lx *Lexer) Next() (Token, error) {
 	case c == '*':
 		lx.pos++
 		return Token{Kind: TokStar, Text: "*", Pos: start}, nil
+	case c == '?':
+		lx.pos++
+		return Token{Kind: TokParam, Text: "?", Pos: start}, nil
+	case c == '$' && lx.pos+1 < len(lx.src) && isDigit(lx.src[lx.pos+1]):
+		lx.pos++
+		numStart := lx.pos
+		for lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		return Token{Kind: TokParam, Text: lx.src[numStart:lx.pos], Pos: start}, nil
 	default:
 		for _, op := range [...]string{"<>", "!=", "<=", ">=", "||", "=", "<", ">", "+", "-", "/", "%"} {
 			if strings.HasPrefix(lx.src[lx.pos:], op) {

@@ -129,7 +129,7 @@ func TestOperators(t *testing.T) {
 }
 
 func TestLexErrors(t *testing.T) {
-	for _, bad := range []string{"'unterminated", `"unterminated`, "[unterminated", "/* unterminated", "a ? b"} {
+	for _, bad := range []string{"'unterminated", `"unterminated`, "[unterminated", "/* unterminated", "a ^ b"} {
 		if _, err := Tokenize(bad); err == nil {
 			t.Errorf("Tokenize(%q) should fail", bad)
 		}

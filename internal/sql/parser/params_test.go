@@ -1,0 +1,78 @@
+package parser
+
+import (
+	"testing"
+
+	"divsql/internal/sql/ast"
+)
+
+func TestParamParsing(t *testing.T) {
+	st, err := Parse("SELECT A FROM T WHERE A = ? AND B = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np := ast.NumParams(st); np != 2 {
+		t.Errorf("?-style NumParams = %d", np)
+	}
+	st, err = Parse("SELECT A FROM T WHERE A = $2 AND B = $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np := ast.NumParams(st); np != 2 {
+		t.Errorf("$n-style NumParams = %d", np)
+	}
+	// ? ordinals count left to right, across clauses.
+	st, err = Parse("INSERT INTO T (A, B, C) VALUES (?, ?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*ast.Insert)
+	for i, e := range ins.Rows[0] {
+		p, ok := e.(*ast.Param)
+		if !ok || p.N != i+1 {
+			t.Errorf("row[%d] = %#v, want Param %d", i, e, i+1)
+		}
+	}
+}
+
+func TestParamRenderRoundTrip(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT A FROM T WHERE A = ?",
+		"UPDATE T SET A = $1 WHERE B BETWEEN $2 AND $3",
+		"DELETE FROM T WHERE S LIKE $1",
+		"INSERT INTO T VALUES ($1, ($2 + 1))",
+	} {
+		st, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		rendered := ast.Render(st)
+		st2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", rendered, err)
+		}
+		if ast.FingerprintOf(st).String() != ast.FingerprintOf(st2).String() {
+			t.Errorf("fingerprint drift through render: %q -> %q", sql, rendered)
+		}
+		if ast.NumParams(st) != ast.NumParams(st2) {
+			t.Errorf("param count drift: %q -> %q", sql, rendered)
+		}
+	}
+}
+
+func TestParamFingerprintFlag(t *testing.T) {
+	st, _ := Parse("SELECT A FROM T WHERE A = ?")
+	if !ast.FingerprintOf(st).Has(ast.FlagParam) {
+		t.Error("parameterized statement must carry FlagParam")
+	}
+	st, _ = Parse("SELECT A FROM T WHERE A = 1")
+	if ast.FingerprintOf(st).Has(ast.FlagParam) {
+		t.Error("inline statement must not carry FlagParam")
+	}
+}
+
+func TestBadParamOrdinal(t *testing.T) {
+	if _, err := Parse("SELECT $0"); err == nil {
+		t.Error("$0 must be rejected")
+	}
+}

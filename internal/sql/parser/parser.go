@@ -29,6 +29,10 @@ func (e *SyntaxError) Error() string {
 type Parser struct {
 	toks []lexer.Token
 	pos  int
+	// qmarks counts ? placeholders seen so far: each is assigned the next
+	// 1-based ordinal, the database/sql convention. $n placeholders name
+	// their ordinal explicitly and do not advance the counter.
+	qmarks int
 }
 
 // Parse parses a single SQL statement (an optional trailing semicolon is
@@ -1266,6 +1270,17 @@ func (p *Parser) parsePrimary() (ast.Expr, error) {
 	case t.Kind == lexer.TokString:
 		p.pos++
 		return &ast.Literal{Val: types.NewString(t.Text)}, nil
+	case t.Kind == lexer.TokParam:
+		p.pos++
+		if t.Text == "?" {
+			p.qmarks++
+			return &ast.Param{N: p.qmarks}, nil
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 1 {
+			return nil, p.errf("invalid parameter ordinal $%s", t.Text)
+		}
+		return &ast.Param{N: n}, nil
 	case t.Kind == lexer.TokKeyword && t.Text == "NULL":
 		p.pos++
 		return &ast.Literal{Val: types.Null()}, nil

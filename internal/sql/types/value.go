@@ -137,6 +137,104 @@ func (v Value) SQLLiteral() string {
 	}
 }
 
+// Encode renders the value in the kind-tagged text form used wherever a
+// typed value must cross a text boundary losslessly: the wire protocol's
+// BIND frames and the replayable bound-statement encoding of journals and
+// divergence reports. The form is a single token with no whitespace,
+// tabs, commas or newlines: "N" for NULL, otherwise "<kind>:<payload>"
+// with backslash escapes for the payload's separator and whitespace
+// characters. Spaces are escaped too (\s): encoded values survive any
+// whitespace trimming a transport or artifact file may apply, which
+// matters precisely for the trailing-space values the PG bind rule
+// distinguishes.
+func (v Value) Encode() string {
+	switch v.K {
+	case KindNull:
+		return "N"
+	case KindInt:
+		return "I:" + strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return "F:" + strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindBool:
+		if v.B {
+			return "B:1"
+		}
+		return "B:0"
+	case KindDate:
+		return "D:" + escapePayload(v.S)
+	default:
+		return "S:" + escapePayload(v.S)
+	}
+}
+
+// DecodeValue parses the Encode form back into a Value.
+func DecodeValue(s string) (Value, error) {
+	if s == "N" {
+		return Null(), nil
+	}
+	kind, payload, ok := strings.Cut(s, ":")
+	if !ok {
+		return Value{}, fmt.Errorf("malformed encoded value %q", s)
+	}
+	switch kind {
+	case "I":
+		i, err := strconv.ParseInt(payload, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("malformed encoded int %q", s)
+		}
+		return NewInt(i), nil
+	case "F":
+		f, err := strconv.ParseFloat(payload, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("malformed encoded float %q", s)
+		}
+		return NewFloat(f), nil
+	case "B":
+		return NewBool(payload == "1"), nil
+	case "D":
+		return NewDate(unescapePayload(payload)), nil
+	case "S":
+		return NewString(unescapePayload(payload)), nil
+	default:
+		return Value{}, fmt.Errorf("unknown encoded value kind %q", s)
+	}
+}
+
+var payloadEscaper = strings.NewReplacer(
+	`\`, `\\`, "\t", `\t`, "\n", `\n`, "\r", `\r`, ",", `\c`, " ", `\s`,
+)
+
+func escapePayload(s string) string { return payloadEscaper.Replace(s) }
+
+func unescapePayload(s string) string {
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' || i+1 >= len(s) {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		switch s[i] {
+		case 't':
+			b.WriteByte('\t')
+		case 'n':
+			b.WriteByte('\n')
+		case 'r':
+			b.WriteByte('\r')
+		case 'c':
+			b.WriteByte(',')
+		case 's':
+			b.WriteByte(' ')
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
 // CompareError describes an attempt to compare incomparable values.
 type CompareError struct {
 	Left, Right Kind

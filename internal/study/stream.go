@@ -59,7 +59,9 @@ func Drain(src Source) []string {
 // after a crash (remaining statements cannot be submitted to a dead
 // server). It returns one outcome per submitted statement. exec may be a
 // single server, a session, the diverse middleware — anything satisfying
-// core.Executor.
+// core.Executor. Entries in the bound form (core.EncodeBound) replay
+// through the executor's prepare/bind path, so parameterized divergence
+// reports shrink and replay like any other stream.
 func RunSource(exec core.Executor, src Source) []server.StmtOutcome {
 	var outcomes []server.StmtOutcome
 	for {
@@ -67,7 +69,7 @@ func RunSource(exec core.Executor, src Source) []server.StmtOutcome {
 		if !ok {
 			return outcomes
 		}
-		res, lat, err := exec.Exec(sql)
+		res, lat, err := core.ExecEntry(exec, sql)
 		out := server.StmtOutcome{SQL: sql, Res: res, Err: err, Latency: lat}
 		if errors.Is(err, server.ErrCrashed) {
 			out.Crashed = true

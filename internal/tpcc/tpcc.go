@@ -12,11 +12,13 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
 	"divsql/internal/core"
 	"divsql/internal/engine"
+	"divsql/internal/sql/types"
 )
 
 // Config sizes the generated database.
@@ -192,6 +194,32 @@ type Driver struct {
 	histSeq  int
 	mix      Mix
 	terminal int // 0: unpinned; >0: one-based terminal id
+
+	// prepared selects the prepared-statement execution mode: every
+	// transaction statement is a fixed template with ? placeholders,
+	// prepared once per terminal session and re-executed with typed
+	// arguments — the parse leaves the hot loop. Inline mode renders the
+	// same templates to literal SQL (byte-identical to the historical
+	// statements).
+	prepared bool
+	pe       core.PreparedExecutor
+	cache    map[string]core.Statement
+}
+
+// SetPrepared switches the driver's execution mode (effective once the
+// driver attaches to an executor supporting core.PreparedExecutor).
+func (d *Driver) SetPrepared(on bool) { d.prepared = on }
+
+// attach binds the driver to its executor's prepared path when enabled.
+func (d *Driver) attach(exec core.Executor) {
+	d.pe, d.cache = nil, nil
+	if !d.prepared {
+		return
+	}
+	if pe, ok := exec.(core.PreparedExecutor); ok {
+		d.pe = pe
+		d.cache = make(map[string]core.Statement)
+	}
 }
 
 // NewDriver builds a deterministic driver for the configuration.
@@ -232,6 +260,7 @@ func (d *Driver) Run(exec core.Executor, n int) (Metrics, error) {
 // client-observed round-trip of the paper's campaigns; concurrent
 // terminals overlap those waits.
 func (d *Driver) run(exec core.Executor, n int, simulateLatency bool) (Metrics, error) {
+	d.attach(exec)
 	m := Metrics{PerType: make(map[TxType]int)}
 	for i := 0; i < n; i++ {
 		tt := d.pickType()
@@ -267,6 +296,11 @@ type ConcurrentOptions struct {
 	// statement latencies as real time, so the benchmark's throughput
 	// reflects how concurrent sessions overlap server waits.
 	SimulateLatency bool
+	// Prepared runs every terminal on prepared statements: each of the
+	// mix's fixed statement templates is parsed once per terminal
+	// session and re-executed with typed arguments, so the per-statement
+	// parse cost leaves the hot loop.
+	Prepared bool
 }
 
 // RunConcurrent drives the mix from opts.Terminals concurrent terminals.
@@ -300,6 +334,7 @@ func RunConcurrent(exec core.Executor, cfg Config, opts ConcurrentOptions) (Metr
 				texec = sess
 			}
 			d := NewTerminalDriver(cfg, opts.Mix, term)
+			d.SetPrepared(opts.Prepared)
 			m, err := d.run(texec, opts.TxPerTerminal, opts.SimulateLatency)
 			mu.Lock()
 			defer mu.Unlock()
@@ -362,19 +397,66 @@ func (d *Driver) runTx(exec core.Executor, tt TxType) (int, time.Duration, error
 	}
 }
 
-// step executes one statement, accumulating counters.
+// txRun executes one transaction's statements, accumulating counters.
+// Each statement is a fixed template with ? placeholders: in prepared
+// mode the template is prepared once per terminal session (driver plan
+// cache) and executed with typed arguments; in inline mode the template
+// is rendered to literal SQL, byte-identical to the historical
+// statements.
 type txRun struct {
+	d     *Driver
 	exec  core.Executor
 	stmts int
 	lat   time.Duration
 }
 
-func (t *txRun) do(format string, args ...any) (*engine.Result, error) {
-	sql := fmt.Sprintf(format, args...)
-	res, lat, err := t.exec.Exec(sql)
+func (d *Driver) newTx(exec core.Executor) *txRun { return &txRun{d: d, exec: exec} }
+
+// Typed argument constructors.
+func vi(i int) types.Value     { return types.NewInt(int64(i)) }
+func vl(i int64) types.Value   { return types.NewInt(i) }
+func vf(f float64) types.Value { return types.NewFloat(f) }
+
+func (t *txRun) do(q string, args ...types.Value) (*engine.Result, error) {
 	t.stmts++
+	if t.d.pe != nil {
+		st, ok := t.d.cache[q]
+		if !ok {
+			var err error
+			st, err = t.d.pe.Prepare(q)
+			if err != nil {
+				return nil, err
+			}
+			t.d.cache[q] = st
+		}
+		res, lat, err := st.Exec(args...)
+		t.lat += lat
+		return res, err
+	}
+	res, lat, err := t.exec.Exec(inlineSQL(q, args))
 	t.lat += lat
 	return res, err
+}
+
+// inlineSQL renders a template to literal SQL by substituting each ?
+// with the corresponding argument's SQL literal (the templates carry no
+// '?' inside string literals).
+func inlineSQL(q string, args []types.Value) string {
+	if len(args) == 0 {
+		return q
+	}
+	var b strings.Builder
+	b.Grow(len(q) + 8*len(args))
+	ai := 0
+	for i := 0; i < len(q); i++ {
+		if q[i] == '?' && ai < len(args) {
+			b.WriteString(args[ai].SQLLiteral())
+			ai++
+			continue
+		}
+		b.WriteByte(q[i])
+	}
+	return b.String()
 }
 
 // abort rolls back after a failure inside an open transaction.
@@ -384,7 +466,7 @@ func (t *txRun) abort() {
 }
 
 func (d *Driver) newOrder(exec core.Executor) (int, time.Duration, error) {
-	t := &txRun{exec: exec}
+	t := d.newTx(exec)
 	w, dist, cust := d.wh(), d.district(), d.customer()
 	lines := 2 + d.rng.Intn(3)
 	items := make([]int, lines)
@@ -397,7 +479,7 @@ func (d *Driver) newOrder(exec core.Executor) (int, time.Duration, error) {
 	if _, err := t.do("BEGIN TRANSACTION"); err != nil {
 		return t.stmts, t.lat, err
 	}
-	res, err := t.do("SELECT D_NEXT_O_ID FROM DISTRICT WHERE D_W_ID = %d AND D_ID = %d", w, dist)
+	res, err := t.do("SELECT D_NEXT_O_ID FROM DISTRICT WHERE D_W_ID = ? AND D_ID = ?", vi(w), vi(dist))
 	if err != nil || len(res.Rows) != 1 {
 		t.abort()
 		if err == nil {
@@ -406,19 +488,26 @@ func (d *Driver) newOrder(exec core.Executor) (int, time.Duration, error) {
 		return t.stmts, t.lat, err
 	}
 	oid := res.Rows[0][0].AsInt()
-	steps := []string{
-		fmt.Sprintf("UPDATE DISTRICT SET D_NEXT_O_ID = %d WHERE D_W_ID = %d AND D_ID = %d", oid+1, w, dist),
-		fmt.Sprintf("INSERT INTO ORDERS VALUES (%d, %d, %d, %d, %d, '2026-06-10')", oid, dist, w, cust, lines),
-		fmt.Sprintf("INSERT INTO NEW_ORDER VALUES (%d, %d, %d)", oid, dist, w),
+	type step struct {
+		q    string
+		args []types.Value
+	}
+	steps := []step{
+		{"UPDATE DISTRICT SET D_NEXT_O_ID = ? WHERE D_W_ID = ? AND D_ID = ?",
+			[]types.Value{vl(oid + 1), vi(w), vi(dist)}},
+		{"INSERT INTO ORDERS VALUES (?, ?, ?, ?, ?, '2026-06-10')",
+			[]types.Value{vl(oid), vi(dist), vi(w), vi(cust), vi(lines)}},
+		{"INSERT INTO NEW_ORDER VALUES (?, ?, ?)",
+			[]types.Value{vl(oid), vi(dist), vi(w)}},
 	}
 	for _, s := range steps {
-		if _, err := t.do("%s", s); err != nil {
+		if _, err := t.do(s.q, s.args...); err != nil {
 			t.abort()
 			return t.stmts, t.lat, err
 		}
 	}
 	for i := 0; i < lines; i++ {
-		res, err := t.do("SELECT I_PRICE FROM ITEM WHERE I_ID = %d", items[i])
+		res, err := t.do("SELECT I_PRICE FROM ITEM WHERE I_ID = ?", vi(items[i]))
 		if err != nil || len(res.Rows) != 1 {
 			t.abort()
 			if err == nil {
@@ -428,13 +517,13 @@ func (d *Driver) newOrder(exec core.Executor) (int, time.Duration, error) {
 		}
 		price := res.Rows[0][0].AsFloat()
 		amount := price * float64(qtys[i])
-		if _, err := t.do("UPDATE STOCK SET S_QUANTITY = S_QUANTITY - %d, S_YTD = S_YTD + %d WHERE S_W_ID = %d AND S_I_ID = %d",
-			qtys[i], qtys[i], w, items[i]); err != nil {
+		if _, err := t.do("UPDATE STOCK SET S_QUANTITY = S_QUANTITY - ?, S_YTD = S_YTD + ? WHERE S_W_ID = ? AND S_I_ID = ?",
+			vi(qtys[i]), vi(qtys[i]), vi(w), vi(items[i])); err != nil {
 			t.abort()
 			return t.stmts, t.lat, err
 		}
-		if _, err := t.do("INSERT INTO ORDER_LINE VALUES (%d, %d, %d, %d, %d, %d, %g)",
-			oid, dist, w, i+1, items[i], qtys[i], amount); err != nil {
+		if _, err := t.do("INSERT INTO ORDER_LINE VALUES (?, ?, ?, ?, ?, ?, ?)",
+			vl(oid), vi(dist), vi(w), vi(i+1), vi(items[i]), vi(qtys[i]), vf(amount)); err != nil {
 			t.abort()
 			return t.stmts, t.lat, err
 		}
@@ -444,22 +533,29 @@ func (d *Driver) newOrder(exec core.Executor) (int, time.Duration, error) {
 }
 
 func (d *Driver) payment(exec core.Executor) (int, time.Duration, error) {
-	t := &txRun{exec: exec}
+	t := d.newTx(exec)
 	w, dist, cust := d.wh(), d.district(), d.customer()
 	amount := float64(1+d.rng.Intn(200)) * 0.25
 	d.histSeq++
 	if _, err := t.do("BEGIN TRANSACTION"); err != nil {
 		return t.stmts, t.lat, err
 	}
-	steps := []string{
-		fmt.Sprintf("UPDATE WAREHOUSE SET W_YTD = W_YTD + %g WHERE W_ID = %d", amount, w),
-		fmt.Sprintf("UPDATE DISTRICT SET D_YTD = D_YTD + %g WHERE D_W_ID = %d AND D_ID = %d", amount, w, dist),
-		fmt.Sprintf("UPDATE CUSTOMER SET C_BALANCE = C_BALANCE - %g, C_PAYMENT_CNT = C_PAYMENT_CNT + 1 WHERE C_W_ID = %d AND C_D_ID = %d AND C_ID = %d",
-			amount, w, dist, cust),
-		fmt.Sprintf("INSERT INTO HISTORY VALUES (%d, %d, %d, %g, '2026-06-10')", d.histSeq, cust, w, amount),
+	type step struct {
+		q    string
+		args []types.Value
+	}
+	steps := []step{
+		{"UPDATE WAREHOUSE SET W_YTD = W_YTD + ? WHERE W_ID = ?",
+			[]types.Value{vf(amount), vi(w)}},
+		{"UPDATE DISTRICT SET D_YTD = D_YTD + ? WHERE D_W_ID = ? AND D_ID = ?",
+			[]types.Value{vf(amount), vi(w), vi(dist)}},
+		{"UPDATE CUSTOMER SET C_BALANCE = C_BALANCE - ?, C_PAYMENT_CNT = C_PAYMENT_CNT + 1 WHERE C_W_ID = ? AND C_D_ID = ? AND C_ID = ?",
+			[]types.Value{vf(amount), vi(w), vi(dist), vi(cust)}},
+		{"INSERT INTO HISTORY VALUES (?, ?, ?, ?, '2026-06-10')",
+			[]types.Value{vi(d.histSeq), vi(cust), vi(w), vf(amount)}},
 	}
 	for _, s := range steps {
-		if _, err := t.do("%s", s); err != nil {
+		if _, err := t.do(s.q, s.args...); err != nil {
 			t.abort()
 			return t.stmts, t.lat, err
 		}
@@ -469,23 +565,23 @@ func (d *Driver) payment(exec core.Executor) (int, time.Duration, error) {
 }
 
 func (d *Driver) orderStatus(exec core.Executor) (int, time.Duration, error) {
-	t := &txRun{exec: exec}
+	t := d.newTx(exec)
 	w, dist, cust := d.wh(), d.district(), d.customer()
-	if _, err := t.do("SELECT C_NAME, C_BALANCE FROM CUSTOMER WHERE C_W_ID = %d AND C_D_ID = %d AND C_ID = %d",
-		w, dist, cust); err != nil {
+	if _, err := t.do("SELECT C_NAME, C_BALANCE FROM CUSTOMER WHERE C_W_ID = ? AND C_D_ID = ? AND C_ID = ?",
+		vi(w), vi(dist), vi(cust)); err != nil {
 		return t.stmts, t.lat, err
 	}
 	// Most recent order of the customer (MAX instead of LIMIT: row
 	// limiting is not in the common dialect subset).
-	res, err := t.do("SELECT MAX(O_ID) AS LAST_O FROM ORDERS WHERE O_W_ID = %d AND O_D_ID = %d AND O_C_ID = %d",
-		w, dist, cust)
+	res, err := t.do("SELECT MAX(O_ID) AS LAST_O FROM ORDERS WHERE O_W_ID = ? AND O_D_ID = ? AND O_C_ID = ?",
+		vi(w), vi(dist), vi(cust))
 	if err != nil {
 		return t.stmts, t.lat, err
 	}
 	if len(res.Rows) == 1 && !res.Rows[0][0].IsNull() {
 		oid := res.Rows[0][0].AsInt()
-		if _, err := t.do("SELECT OL_I_ID, OL_QUANTITY, OL_AMOUNT FROM ORDER_LINE WHERE OL_W_ID = %d AND OL_D_ID = %d AND OL_O_ID = %d ORDER BY OL_NUMBER",
-			w, dist, oid); err != nil {
+		if _, err := t.do("SELECT OL_I_ID, OL_QUANTITY, OL_AMOUNT FROM ORDER_LINE WHERE OL_W_ID = ? AND OL_D_ID = ? AND OL_O_ID = ? ORDER BY OL_NUMBER",
+			vi(w), vi(dist), vl(oid)); err != nil {
 			return t.stmts, t.lat, err
 		}
 	}
@@ -493,12 +589,12 @@ func (d *Driver) orderStatus(exec core.Executor) (int, time.Duration, error) {
 }
 
 func (d *Driver) delivery(exec core.Executor) (int, time.Duration, error) {
-	t := &txRun{exec: exec}
+	t := d.newTx(exec)
 	w, dist := d.wh(), d.district()
 	if _, err := t.do("BEGIN TRANSACTION"); err != nil {
 		return t.stmts, t.lat, err
 	}
-	res, err := t.do("SELECT MIN(NO_O_ID) AS OLDEST FROM NEW_ORDER WHERE NO_W_ID = %d AND NO_D_ID = %d", w, dist)
+	res, err := t.do("SELECT MIN(NO_O_ID) AS OLDEST FROM NEW_ORDER WHERE NO_W_ID = ? AND NO_D_ID = ?", vi(w), vi(dist))
 	if err != nil {
 		t.abort()
 		return t.stmts, t.lat, err
@@ -508,11 +604,11 @@ func (d *Driver) delivery(exec core.Executor) (int, time.Duration, error) {
 		return t.stmts, t.lat, err
 	}
 	oid := res.Rows[0][0].AsInt()
-	if _, err := t.do("DELETE FROM NEW_ORDER WHERE NO_W_ID = %d AND NO_D_ID = %d AND NO_O_ID = %d", w, dist, oid); err != nil {
+	if _, err := t.do("DELETE FROM NEW_ORDER WHERE NO_W_ID = ? AND NO_D_ID = ? AND NO_O_ID = ?", vi(w), vi(dist), vl(oid)); err != nil {
 		t.abort()
 		return t.stmts, t.lat, err
 	}
-	res, err = t.do("SELECT O_C_ID FROM ORDERS WHERE O_W_ID = %d AND O_D_ID = %d AND O_ID = %d", w, dist, oid)
+	res, err = t.do("SELECT O_C_ID FROM ORDERS WHERE O_W_ID = ? AND O_D_ID = ? AND O_ID = ?", vi(w), vi(dist), vl(oid))
 	if err != nil || len(res.Rows) != 1 {
 		t.abort()
 		if err == nil {
@@ -521,8 +617,8 @@ func (d *Driver) delivery(exec core.Executor) (int, time.Duration, error) {
 		return t.stmts, t.lat, err
 	}
 	cust := res.Rows[0][0].AsInt()
-	if _, err := t.do("UPDATE CUSTOMER SET C_BALANCE = C_BALANCE + (SELECT SUM(OL_AMOUNT) FROM ORDER_LINE WHERE OL_W_ID = %d AND OL_D_ID = %d AND OL_O_ID = %d) WHERE C_W_ID = %d AND C_D_ID = %d AND C_ID = %d",
-		w, dist, oid, w, dist, cust); err != nil {
+	if _, err := t.do("UPDATE CUSTOMER SET C_BALANCE = C_BALANCE + (SELECT SUM(OL_AMOUNT) FROM ORDER_LINE WHERE OL_W_ID = ? AND OL_D_ID = ? AND OL_O_ID = ?) WHERE C_W_ID = ? AND C_D_ID = ? AND C_ID = ?",
+		vi(w), vi(dist), vl(oid), vi(w), vi(dist), vl(cust)); err != nil {
 		t.abort()
 		return t.stmts, t.lat, err
 	}
@@ -531,9 +627,9 @@ func (d *Driver) delivery(exec core.Executor) (int, time.Duration, error) {
 }
 
 func (d *Driver) stockLevel(exec core.Executor) (int, time.Duration, error) {
-	t := &txRun{exec: exec}
+	t := d.newTx(exec)
 	w := d.wh()
-	_, err := t.do("SELECT COUNT(*) AS LOW_STOCK FROM STOCK WHERE S_W_ID = %d AND S_QUANTITY < 50", w)
+	_, err := t.do("SELECT COUNT(*) AS LOW_STOCK FROM STOCK WHERE S_W_ID = ? AND S_QUANTITY < 50", vi(w))
 	return t.stmts, t.lat, err
 }
 

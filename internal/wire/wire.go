@@ -20,7 +20,25 @@
 //	or
 //	S: ERR <message>\n
 //
-// NULL cells are transmitted as the literal \N.
+// Prepared statements (per connection, so statement scope = session
+// scope, as on a real server):
+//
+//	C: PREPARE <name> <sql>\n  (sql may contain ? or $n placeholders)
+//	S: STMT <name> <nparams>\n  or  ERR <message>\n
+//
+//	C: BIND <name> <arg>\t<arg>...\n   (typed args, see below; none for
+//	                                    a zero-parameter statement)
+//	S: same responses as EXEC (the statement executes server-side with
+//	   the arguments bound — there is no client-side interpolation)
+//
+//	C: CLOSE <name>\n
+//	S: OK 0 0 0\n.\n
+//
+// BIND arguments use the types.Value kind-tagged encoding ("I:42",
+// "F:1.5", "S:text", "B:1", "D:2026-01-01", "N" for NULL; payload tabs
+// and newlines are backslash-escaped), tab-separated.
+//
+// NULL result cells are transmitted as the literal \N.
 package wire
 
 import (
@@ -40,6 +58,9 @@ import (
 
 // nullToken is the wire representation of SQL NULL.
 const nullToken = `\N`
+
+// cellFlattener removes the result framing characters from cell text.
+var cellFlattener = strings.NewReplacer("\t", " ", "\n", " ", "\r", " ")
 
 // Server serves an Executor over TCP.
 type Server struct {
@@ -110,6 +131,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		defer func() { _ = sess.Close() }()
 		exec = sess
 	}
+	// stmts is the connection's prepared-statement table: statements live
+	// exactly as long as the connection (= the session), like on a real
+	// server. Closing the connection releases them with the session.
+	stmts := make(map[string]core.Statement)
 	rd := bufio.NewReader(conn)
 	wr := bufio.NewWriter(conn)
 	for {
@@ -121,6 +146,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		switch {
 		case strings.HasPrefix(line, "EXEC "):
 			handleExec(exec, wr, strings.TrimPrefix(line, "EXEC "))
+		case strings.HasPrefix(line, "PREPARE "):
+			handlePrepare(exec, wr, stmts, strings.TrimPrefix(line, "PREPARE "))
+		case strings.HasPrefix(line, "BIND "):
+			handleBind(wr, stmts, strings.TrimPrefix(line, "BIND "))
+		case strings.HasPrefix(line, "CLOSE "):
+			name := strings.TrimSpace(strings.TrimPrefix(line, "CLOSE "))
+			if st, ok := stmts[name]; ok {
+				_ = st.Close()
+				delete(stmts, name)
+			}
+			fmt.Fprint(wr, "OK 0 0 0\n.\n")
 		case line == "PING":
 			fmt.Fprint(wr, "OK 0 0 0\n.\n")
 		case line == "QUIT":
@@ -135,8 +171,62 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// handlePrepare services one PREPARE frame: "<name> <sql>".
+func handlePrepare(exec core.Executor, wr *bufio.Writer, stmts map[string]core.Statement, req string) {
+	name, sql, ok := strings.Cut(req, " ")
+	if !ok || name == "" || strings.TrimSpace(sql) == "" {
+		fmt.Fprint(wr, "ERR malformed PREPARE (want: PREPARE <name> <sql>)\n")
+		return
+	}
+	pe, can := exec.(core.PreparedExecutor)
+	if !can {
+		fmt.Fprint(wr, "ERR endpoint does not support prepared statements\n")
+		return
+	}
+	st, err := pe.Prepare(sql)
+	if err != nil {
+		fmt.Fprintf(wr, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+		return
+	}
+	if old, dup := stmts[name]; dup {
+		_ = old.Close() // re-preparing a name replaces the statement
+	}
+	stmts[name] = st
+	fmt.Fprintf(wr, "STMT %s %d\n", name, st.NumParams())
+}
+
+// handleBind services one BIND frame: "<name>[ <arg>\t<arg>...]" — it
+// executes the named prepared statement with the decoded typed
+// arguments and answers exactly like EXEC.
+func handleBind(wr *bufio.Writer, stmts map[string]core.Statement, req string) {
+	name, rest, _ := strings.Cut(req, " ")
+	st, ok := stmts[strings.TrimSpace(name)]
+	if !ok {
+		fmt.Fprintf(wr, "ERR unknown prepared statement %q\n", strings.TrimSpace(name))
+		return
+	}
+	var args []types.Value
+	if rest = strings.TrimRight(rest, " "); rest != "" {
+		for _, tok := range strings.Split(rest, "\t") {
+			v, err := types.DecodeValue(tok)
+			if err != nil {
+				fmt.Fprintf(wr, "ERR %s\n", err.Error())
+				return
+			}
+			args = append(args, v)
+		}
+	}
+	res, lat, err := st.Exec(args...)
+	writeResult(wr, res, lat, err)
+}
+
 func handleExec(exec core.Executor, wr *bufio.Writer, sql string) {
 	res, lat, err := exec.Exec(sql)
+	writeResult(wr, res, lat, err)
+}
+
+// writeResult renders one statement outcome in the EXEC response format.
+func writeResult(wr *bufio.Writer, res *engine.Result, lat time.Duration, err error) {
 	if err != nil {
 		fmt.Fprintf(wr, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
 		return
@@ -154,7 +244,10 @@ func handleExec(exec core.Executor, wr *bufio.Writer, sql string) {
 				if v.IsNull() {
 					cells[i] = nullToken
 				} else {
-					cells[i] = strings.ReplaceAll(v.String(), "\t", " ")
+					// Cells are framed by tabs and newlines; both flatten
+					// to spaces (typed BIND arguments can smuggle them into
+					// stored data, which inline SQL never could).
+					cells[i] = cellFlattener.Replace(v.String())
 				}
 			}
 			fmt.Fprintln(wr, strings.Join(cells, "\t"))
@@ -193,9 +286,10 @@ type Result struct {
 
 // Client is a connection to a wire server.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	rd   *bufio.Reader
+	mu     sync.Mutex
+	conn   net.Conn
+	rd     *bufio.Reader
+	nextID int
 }
 
 // Dial connects to a wire server.
@@ -216,6 +310,11 @@ func (c *Client) Exec(sql string) (*Result, error) {
 	if _, err := fmt.Fprintf(c.conn, "EXEC %s\n", flat); err != nil {
 		return nil, fmt.Errorf("wire send: %w", err)
 	}
+	return c.readResult()
+}
+
+// readResult decodes one EXEC/BIND-style response. Caller holds c.mu.
+func (c *Client) readResult() (*Result, error) {
 	head, err := c.rd.ReadString('\n')
 	if err != nil {
 		return nil, fmt.Errorf("wire recv: %w", err)
@@ -257,6 +356,87 @@ func (c *Client) Exec(sql string) (*Result, error) {
 		return nil, fmt.Errorf("wire: missing terminator, got %q", term)
 	}
 	return res, nil
+}
+
+// Stmt is a client-side handle on a server-side prepared statement.
+type Stmt struct {
+	c       *Client
+	name    string
+	sql     string
+	nparams int
+	closed  bool
+}
+
+// Prepare sends a PREPARE frame and returns a handle on the server-side
+// statement. The SQL may contain ? or $n placeholders; the arguments of
+// each execution travel typed in BIND frames — nothing is interpolated
+// into the statement text on either side.
+func (c *Client) Prepare(sql string) (*Stmt, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	name := fmt.Sprintf("s%d", c.nextID)
+	flat := strings.ReplaceAll(strings.ReplaceAll(sql, "\r", " "), "\n", " ")
+	if _, err := fmt.Fprintf(c.conn, "PREPARE %s %s\n", name, flat); err != nil {
+		return nil, fmt.Errorf("wire send: %w", err)
+	}
+	head, err := c.rd.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("wire recv: %w", err)
+	}
+	head = strings.TrimRight(head, "\r\n")
+	if strings.HasPrefix(head, "ERR ") {
+		return nil, errors.New(strings.TrimPrefix(head, "ERR "))
+	}
+	var gotName string
+	var nparams int
+	if _, err := fmt.Sscanf(head, "STMT %s %d", &gotName, &nparams); err != nil || gotName != name {
+		return nil, fmt.Errorf("wire: malformed PREPARE response %q", head)
+	}
+	return &Stmt{c: c, name: name, sql: sql, nparams: nparams}, nil
+}
+
+// SQL returns the statement text as prepared.
+func (st *Stmt) SQL() string { return st.sql }
+
+// NumParams reports how many arguments Exec expects.
+func (st *Stmt) NumParams() int { return st.nparams }
+
+// Exec executes the prepared statement with the given typed arguments
+// via a BIND frame and decodes the response.
+func (st *Stmt) Exec(args ...types.Value) (*Result, error) {
+	st.c.mu.Lock()
+	defer st.c.mu.Unlock()
+	if st.closed {
+		return nil, errors.New("wire: statement is closed")
+	}
+	enc := make([]string, len(args))
+	for i, v := range args {
+		enc[i] = v.Encode()
+	}
+	req := "BIND " + st.name
+	if len(enc) > 0 {
+		req += " " + strings.Join(enc, "\t")
+	}
+	if _, err := fmt.Fprintf(st.c.conn, "%s\n", req); err != nil {
+		return nil, fmt.Errorf("wire send: %w", err)
+	}
+	return st.c.readResult()
+}
+
+// Close deallocates the server-side statement.
+func (st *Stmt) Close() error {
+	st.c.mu.Lock()
+	defer st.c.mu.Unlock()
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	if _, err := fmt.Fprintf(st.c.conn, "CLOSE %s\n", st.name); err != nil {
+		return fmt.Errorf("wire send: %w", err)
+	}
+	_, err := st.c.readResult()
+	return err
 }
 
 // decodeCell reconstructs a typed value from its wire form. Numbers

@@ -25,6 +25,7 @@
 package sqldriver
 
 import (
+	"context"
 	"database/sql"
 	"database/sql/driver"
 	"errors"
@@ -33,6 +34,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"divsql"
 	"divsql/internal/core"
@@ -140,11 +142,20 @@ type conn struct {
 
 var _ driver.Conn = (*conn)(nil)
 
-// Prepare returns a statement. Placeholders (?) are interpolated at
-// execution time (the simulated wire has no parameter binding, matching
-// the paper-era client model).
+// Prepare prepares the statement server-side: the endpoint session
+// parses, dialect-checks and plans the text once (? and $n placeholders
+// both work), and every execution ships typed arguments through the
+// engine's bind path. Nothing is ever interpolated into SQL text.
 func (c *conn) Prepare(query string) (driver.Stmt, error) {
-	return &stmt{conn: c, query: query, numInput: strings.Count(query, "?")}, nil
+	pe, ok := c.sess.(core.PreparedExecutor)
+	if !ok {
+		return nil, fmt.Errorf("sqldriver: endpoint does not support prepared statements")
+	}
+	st, err := pe.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return &stmt{st: st}, nil
 }
 
 // Close releases the connection's session, rolling back any open
@@ -171,23 +182,29 @@ func (t *tx) Rollback() error {
 	return err
 }
 
+// stmt adapts a server-side prepared statement (core.Statement) to
+// database/sql's driver.Stmt. Arguments cross the boundary as typed
+// values — the driver's only job is the driver.Value ↔ types.Value
+// mapping.
 type stmt struct {
-	conn     *conn
-	query    string
-	numInput int
+	st core.Statement
 }
 
-var _ driver.Stmt = (*stmt)(nil)
+var (
+	_ driver.Stmt             = (*stmt)(nil)
+	_ driver.StmtExecContext  = (*stmt)(nil)
+	_ driver.StmtQueryContext = (*stmt)(nil)
+)
 
-func (s *stmt) Close() error  { return nil }
-func (s *stmt) NumInput() int { return s.numInput }
+func (s *stmt) Close() error  { return s.st.Close() }
+func (s *stmt) NumInput() int { return s.st.NumParams() }
 
 func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
-	sqlText, err := interpolate(s.query, args)
+	vals, err := toTypesValues(args)
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := s.conn.sess.Exec(sqlText)
+	res, _, err := s.st.Exec(vals...)
 	if err != nil {
 		return nil, err
 	}
@@ -199,11 +216,11 @@ func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
 }
 
 func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
-	sqlText, err := interpolate(s.query, args)
+	vals, err := toTypesValues(args)
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := s.conn.sess.Exec(sqlText)
+	res, _, err := s.st.Exec(vals...)
 	if err != nil {
 		return nil, err
 	}
@@ -211,6 +228,62 @@ func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
 		return &rows{}, nil
 	}
 	return &rows{cols: res.Columns, data: res.Rows}, nil
+}
+
+// ExecContext implements driver.StmtExecContext (the context is
+// consulted up front; the simulated engines execute synchronously).
+func (s *stmt) ExecContext(ctx context.Context, args []driver.NamedValue) (driver.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.Exec(namedToValues(args))
+}
+
+// QueryContext implements driver.StmtQueryContext.
+func (s *stmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driver.Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.Query(namedToValues(args))
+}
+
+func namedToValues(named []driver.NamedValue) []driver.Value {
+	out := make([]driver.Value, len(named))
+	for i, nv := range named {
+		out[i] = nv.Value
+	}
+	return out
+}
+
+// toTypesValues maps database/sql driver values onto the engine's typed
+// value system. time.Time maps to the engine's DATE (stored normalized
+// as YYYY-MM-DD, the representation the four dialects share).
+func toTypesValues(args []driver.Value) ([]types.Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]types.Value, len(args))
+	for i, a := range args {
+		switch x := a.(type) {
+		case nil:
+			out[i] = types.Null()
+		case int64:
+			out[i] = types.NewInt(x)
+		case float64:
+			out[i] = types.NewFloat(x)
+		case bool:
+			out[i] = types.NewBool(x)
+		case string:
+			out[i] = types.NewString(x)
+		case []byte:
+			out[i] = types.NewString(string(x))
+		case time.Time:
+			out[i] = types.NewDate(x.Format("2006-01-02"))
+		default:
+			return nil, fmt.Errorf("sqldriver: unsupported argument type %T", a)
+		}
+	}
+	return out, nil
 }
 
 type result struct{ affected int64 }
@@ -260,62 +333,5 @@ func toDriverValue(v types.Value) driver.Value {
 		return v.B
 	default:
 		return v.S
-	}
-}
-
-// interpolate substitutes ? placeholders with SQL literals. Question
-// marks inside string literals are preserved.
-func interpolate(query string, args []driver.Value) (string, error) {
-	if len(args) == 0 {
-		return query, nil
-	}
-	var b strings.Builder
-	argIdx := 0
-	inString := false
-	for i := 0; i < len(query); i++ {
-		ch := query[i]
-		switch {
-		case ch == '\'':
-			inString = !inString
-			b.WriteByte(ch)
-		case ch == '?' && !inString:
-			if argIdx >= len(args) {
-				return "", fmt.Errorf("sqldriver: not enough arguments for query (have %d)", len(args))
-			}
-			lit, err := literal(args[argIdx])
-			if err != nil {
-				return "", err
-			}
-			b.WriteString(lit)
-			argIdx++
-		default:
-			b.WriteByte(ch)
-		}
-	}
-	if argIdx != len(args) {
-		return "", fmt.Errorf("sqldriver: %d arguments supplied, %d placeholders found", len(args), argIdx)
-	}
-	return b.String(), nil
-}
-
-func literal(v driver.Value) (string, error) {
-	switch x := v.(type) {
-	case nil:
-		return "NULL", nil
-	case int64:
-		return strconv.FormatInt(x, 10), nil
-	case float64:
-		return strconv.FormatFloat(x, 'g', -1, 64), nil
-	case bool:
-		if x {
-			return "TRUE", nil
-		}
-		return "FALSE", nil
-	case string:
-		return "'" + strings.ReplaceAll(x, "'", "''") + "'", nil
-	case []byte:
-		return "'" + strings.ReplaceAll(string(x), "'", "''") + "'", nil
-	default:
-		return "", fmt.Errorf("sqldriver: unsupported argument type %T", v)
 	}
 }

@@ -133,27 +133,52 @@ func TestNullScan(t *testing.T) {
 	}
 }
 
-func TestInterpolation(t *testing.T) {
-	out, err := interpolate("SELECT * FROM T WHERE A = ? AND S = ?", []driver.Value{int64(1), "o'brien"})
+func TestNoClientSideInterpolation(t *testing.T) {
+	db := open(t, "single:PG")
+	if _, err := db.Exec("CREATE TABLE T (A INT, S VARCHAR(30))"); err != nil {
+		t.Fatal(err)
+	}
+	// Hostile string arguments travel as typed values, never as SQL text:
+	// quotes and placeholder characters in data cannot change the
+	// statement.
+	hostile := "o'brien? $1 '; DROP TABLE T"
+	if _, err := db.Exec("INSERT INTO T VALUES (?, ?)", 1, hostile); err != nil {
+		t.Fatal(err)
+	}
+	var s string
+	if err := db.QueryRow("SELECT S FROM T WHERE A = ?", 1).Scan(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s != hostile {
+		t.Errorf("round-trip mangled the string: %q", s)
+	}
+	// A '?' inside a string literal is not a placeholder.
+	if _, err := db.Exec("INSERT INTO T VALUES (?, 'why?')", 2); err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	if err := db.QueryRow("SELECT COUNT(*) AS N FROM T WHERE S = 'why?'").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("literal '?' mis-handled: %d rows", n)
+	}
+}
+
+func TestToTypesValues(t *testing.T) {
+	vals, err := toTypesValues([]driver.Value{int64(1), 2.5, true, "s", []byte("b"), nil})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "A = 1") || !strings.Contains(out, "'o''brien'") {
-		t.Errorf("interpolated: %q", out)
+	want := []string{"1", "2.5", "TRUE", "s", "b", "NULL"}
+	for i, w := range want {
+		if vals[i].String() != w {
+			t.Errorf("vals[%d] = %s, want %s", i, vals[i], w)
+		}
 	}
-	// '?' inside string literals survives.
-	out, err = interpolate("INSERT INTO T VALUES ('why?', ?)", []driver.Value{int64(2)})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(out, "'why?'") || !strings.Contains(out, "2") {
-		t.Errorf("interpolated: %q", out)
-	}
-	if _, err := interpolate("SELECT ?", nil); err != nil {
-		t.Error("missing argument not detected")
-	}
-	if _, err := interpolate("SELECT 1", []driver.Value{int64(1)}); err == nil {
-		t.Error("extra argument not detected")
+	if _, err := toTypesValues([]driver.Value{struct{}{}}); err == nil ||
+		!strings.Contains(err.Error(), "unsupported argument type") {
+		t.Errorf("unsupported type not rejected: %v", err)
 	}
 }
 

@@ -1,0 +1,127 @@
+package sqldriver
+
+import (
+	"database/sql"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sql.Stmt re-prepares transparently on every pooled connection it is
+// executed on; each connection's session plans the text once and reuses
+// the plan. Concurrent executions across the pool must all work and see
+// one shared database.
+func TestStmtReuseAcrossPooledConns(t *testing.T) {
+	db := open(t, "single:PG")
+	db.SetMaxOpenConns(4)
+	if _, err := db.Exec("CREATE TABLE T (A INT, S VARCHAR(20))"); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := db.Prepare("INSERT INTO T VALUES (?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ins.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				if _, err := ins.Exec(w*100+i, "v"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	sel, err := db.Prepare("SELECT COUNT(*) AS N FROM T WHERE A >= ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sel.Close()
+	var n int64
+	if err := sel.QueryRow(0).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 64 {
+		t.Errorf("pooled inserts: %d rows", n)
+	}
+}
+
+func TestTypedRoundTripsThroughBind(t *testing.T) {
+	db := open(t, "single:PG")
+	if _, err := db.Exec("CREATE TABLE T (A INT, F FLOAT, S VARCHAR(30), B BOOLEAN)"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := db.Prepare("INSERT INTO T VALUES (?, ?, ?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Exec(int64(7), 2.25, "text", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Exec(nil, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	var (
+		a sql.NullInt64
+		f sql.NullFloat64
+		s sql.NullString
+		b sql.NullBool
+	)
+	if err := db.QueryRow("SELECT A, F, S, B FROM T WHERE A IS NOT NULL").Scan(&a, &f, &s, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Int64 != 7 || f.Float64 != 2.25 || s.String != "text" || !b.Bool {
+		t.Errorf("typed round trip: %+v %+v %+v %+v", a, f, s, b)
+	}
+	if err := db.QueryRow("SELECT A, F, S, B FROM T WHERE A IS NULL").Scan(&a, &f, &s, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Valid || f.Valid || s.Valid || b.Valid {
+		t.Errorf("NULL round trip: %+v %+v %+v %+v", a, f, s, b)
+	}
+}
+
+func TestArgMismatchSurfacesAsDriverError(t *testing.T) {
+	db := open(t, "single:PG")
+	if _, err := db.Exec("CREATE TABLE T (A INT)"); err != nil {
+		t.Fatal(err)
+	}
+	// Count mismatches are caught by database/sql against NumInput
+	// (served by the server-side parameter count, not a client-side '?'
+	// scan).
+	if _, err := db.Exec("INSERT INTO T VALUES (?)"); err == nil ||
+		!strings.Contains(err.Error(), "expected 1 arguments") {
+		t.Errorf("missing arg: %v", err)
+	}
+	if _, err := db.Exec("INSERT INTO T VALUES (?)", 1, 2); err == nil ||
+		!strings.Contains(err.Error(), "expected 1 arguments") {
+		t.Errorf("extra arg: %v", err)
+	}
+	// Unsupported Go types surface as driver conversion errors.
+	if _, err := db.Exec("INSERT INTO T VALUES (?)", struct{ X int }{1}); err == nil {
+		t.Error("unsupported argument type must fail")
+	}
+	// Server-side type errors come back from the bind/coercion path.
+	if _, err := db.Exec("INSERT INTO T VALUES (?)", "not-a-number"); err == nil ||
+		!strings.Contains(err.Error(), "INTEGER") {
+		t.Errorf("type mismatch: %v", err)
+	}
+}
+
+func TestPrepareSyntaxErrorSurfacesEarly(t *testing.T) {
+	db := open(t, "single:PG")
+	if _, err := db.Prepare("SELEC nonsense"); err == nil ||
+		!strings.Contains(err.Error(), "syntax error") {
+		t.Errorf("prepare-time syntax error: %v", err)
+	}
+}
