@@ -23,6 +23,8 @@ smoke:
 	$(GO) run ./cmd/divfuzz -seed 1 -n 2000 -streams 4 -faults=false
 	$(GO) run ./cmd/divfuzz -seed 5 -n 2000 -streams 1 -adaptive -maxrows 64 -faults=false
 	$(GO) run ./cmd/divfuzz -seed 7 -n 2000 -streams 2 -params -faults=false
+	$(GO) run ./cmd/divfuzz -seed 9 -n 2000 -streams 2 -planvariants -faults=false
+	$(GO) run ./cmd/divfuzz -seed 11 -n 2000 -streams 2 -params -planvariants -faults=false
 
 # One-iteration benchmark sweep converted to the machine-readable
 # artifact BENCH_<sha>.json at the repo root, so the performance

@@ -7,8 +7,15 @@
 // Usage:
 //
 //	divfuzz [-seed N] [-n N] [-streams N] [-faults=false] [-stress]
-//	        [-sequences] [-params] [-adaptive] [-maxrows N] [-batch N]
-//	        [-shrink=false] [-maxreports N] [-o FILE] [-cov FILE] [-v]
+//	        [-sequences] [-params] [-planvariants] [-adaptive]
+//	        [-maxrows N] [-batch N] [-shrink=false] [-maxreports N]
+//	        [-o FILE] [-cov FILE] [-v]
+//
+// -planvariants arms the DQP-lite self-check oracle: every SELECT the
+// oracle answers is re-executed on the oracle under forced full-scan
+// and index-preferred plans, and any result disagreement is reported as
+// a divergence against the oracle itself — a direct differential test
+// of the engine's analyzer-compiled, index-backed execution path.
 //
 // -params enables the parameterized statement mode: a weighted share of
 // the generated DML/queries executes through prepare/bind with typed
@@ -59,6 +66,7 @@ func main() {
 	stress := flag.Bool("stress", false, "stressful environment (Heisenbug triggers active)")
 	sequences := flag.Bool("sequences", false, "exercise sequence-advancing SELECTs (PG/OR server set)")
 	params := flag.Bool("params", false, "parameterized mode: a weighted share of statements executes through prepare/bind with typed argument vectors, covering the servers' bind-time coercion rules")
+	planVariants := flag.Bool("planvariants", false, "DQP-lite self-check: re-run every answered SELECT on the oracle under forced full-scan and index plans and fail on any disagreement")
 	adaptive := flag.Bool("adaptive", false, "coverage-guided: retune generator weights from observed coverage between batches")
 	maxrows := flag.Int("maxrows", 0, "bound generated-table cardinality (0: unbounded); keeps per-statement cost flat on deep runs")
 	batch := flag.Int("batch", 0, "adaptive retargeting interval in statements (0: 500)")
@@ -83,6 +91,7 @@ func main() {
 	cfg.MaxRowsPerTable = *maxrows
 	cfg.FeedbackBatch = *batch
 	cfg.Params = *params
+	cfg.PlanVariants = *planVariants
 	if *sequences {
 		cfg = cfg.WithSequences()
 	}

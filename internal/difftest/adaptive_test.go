@@ -116,7 +116,7 @@ func TestCoverageExported(t *testing.T) {
 // keep every enabled bucket alive.
 func TestFeedbackRetargeting(t *testing.T) {
 	base := qgen.Weights{DDL: 0, Insert: 30, Update: 30, Delete: 30, Select: 10, Txn: 10}
-	base.SimpleSelect, base.JoinSelect, base.GroupSelect, base.UnionSelect, base.StarSelect = qgen.DefaultShapeWeights()
+	base.SimpleSelect, base.JoinSelect, base.GroupSelect, base.UnionSelect, base.StarSelect, base.PointSelect, base.RangeSelect = qgen.DefaultShapeWeights()
 	fb := NewFeedback(base)
 	cov := NewCoverage()
 	cov.ByClass = map[qgen.Class]*BucketCoverage{

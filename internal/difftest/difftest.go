@@ -39,11 +39,13 @@ import (
 	"divsql/internal/corpus"
 	"divsql/internal/dialect"
 	"divsql/internal/engine"
+	engplan "divsql/internal/engine/plan"
 	"divsql/internal/fault"
 	"divsql/internal/qgen"
 	"divsql/internal/server"
 	"divsql/internal/sql/ast"
 	"divsql/internal/sql/parser"
+	"divsql/internal/sql/types"
 	"divsql/internal/study"
 )
 
@@ -96,6 +98,16 @@ type Config struct {
 	// cost ~flat as N grows, which is what makes deep runs (N ≥ 100k)
 	// affordable.
 	MaxRowsPerTable int
+	// PlanVariants enables the DQP-lite self-check oracle: every
+	// deterministic SELECT the oracle answered without error is re-run on
+	// the oracle under each forced access-path variant (full scan,
+	// index-preferred) and the results compared against the normal
+	// execution. Access-path choice may only change which rows the engine
+	// skipped, never the result, so any disagreement convicts the
+	// compiled/index execution path itself; it is recorded as a
+	// divergence against the oracle. Off by default (it re-executes every
+	// SELECT up to twice); fault-free gates turn it on.
+	PlanVariants bool
 	// Params enables the parameterized statement mode: a weighted share
 	// of the generated DML/queries executes through prepare/bind with a
 	// typed argument vector instead of inline literals, so the hunt
@@ -466,6 +478,17 @@ func (h *hunt) runStream(stream int) {
 				}
 			}
 		}
+		// DQP-lite: re-run the oracle's answered deterministic SELECT
+		// under each forced access-path variant and compare against the
+		// normal execution (see Config.PlanVariants).
+		if h.cfg.PlanVariants && oo.Err == nil && !seqAdvances {
+			if sel, isSel := st.(*ast.Select); isSel {
+				if cls := checkPlanVariants(oSess, sel, args, oo); cls.IsFailure() {
+					cov.ObserveDivergence(st, fp)
+					h.record(h.orc.Name(), fp, entry, cls, history, stream, i)
+				}
+			}
+		}
 		// A state-diverging fault (crash, missed or extra write, dropped
 		// connection) would cascade: every later statement over the
 		// affected state diverges too, burying the signal and blaming the
@@ -612,6 +635,36 @@ func classifyPair(st ast.Statement, so, oo server.StmtOutcome) core.Classificati
 			return core.Classification{
 				Status: core.StatusFailure, Type: core.Performance, SelfEvident: true,
 				Detail: "execution time exceeded acceptance threshold",
+			}
+		}
+	}
+	return core.Classification{Status: core.StatusNoFailure}
+}
+
+// variantForces are the forced access paths the DQP-lite oracle replays
+// each answered SELECT under.
+var variantForces = []engplan.Force{engplan.ForceFullScan, engplan.ForceIndex}
+
+// checkPlanVariants re-executes one answered SELECT on the oracle under
+// each forced access-path variant and adjudicates the results against
+// the normal execution's. The comparison uses the same options as
+// server-vs-oracle adjudication (order-insensitive unless the statement
+// ordered its rows).
+func checkPlanVariants(oSess *server.Session, sel *ast.Select, args []types.Value, oo server.StmtOutcome) core.Classification {
+	opts := core.DefaultCompareOptions()
+	opts.OrderSensitive = len(sel.OrderBy) > 0
+	for _, force := range variantForces {
+		res, err := oSess.ExecVariant(sel, force, args...)
+		if err != nil {
+			return core.Classification{
+				Status: core.StatusFailure, Type: core.IncorrectResult,
+				Detail: fmt.Sprintf("plan variant %v failed where normal execution succeeded: %v", force, err),
+			}
+		}
+		if d := core.Diff(res, oo.Res, opts); d != "" {
+			return core.Classification{
+				Status: core.StatusFailure, Type: core.IncorrectResult,
+				Detail: fmt.Sprintf("plan variant %v disagrees with normal execution: %s", force, d),
 			}
 		}
 	}

@@ -1,0 +1,231 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"divsql/internal/engine/plan"
+	"divsql/internal/sql/ast"
+	"divsql/internal/sql/parser"
+)
+
+func seedIndexed(t *testing.T, s *Session) {
+	t.Helper()
+	sessExec(t, s, "CREATE TABLE KV (ID INT PRIMARY KEY, A INT, S VARCHAR(10))")
+	sessExec(t, s, "CREATE INDEX KVA ON KV (A)")
+	sessExec(t, s, "INSERT INTO KV VALUES (1, 10, 'a'), (2, 20, 'b'), (3, 20, 'c'), (4, NULL, 'd')")
+}
+
+// Access-path choice must be visible through LastPlan, and the shapes
+// the TPC-C hot loop leans on must all run compiled.
+func TestCompiledAccessPathSelection(t *testing.T) {
+	e := NewOracle()
+	s := e.NewSession()
+	seedIndexed(t, s)
+	for _, tc := range []struct {
+		sql      string
+		compiled bool
+		path     plan.AccessPath
+	}{
+		{"SELECT S FROM KV WHERE ID = 2", true, plan.PointLookup},
+		{"SELECT ID FROM KV WHERE A = 20", true, plan.PointLookup},
+		{"SELECT ID FROM KV WHERE ID > 1 AND ID < 4", true, plan.RangeScan},
+		{"SELECT ID FROM KV WHERE A BETWEEN 10 AND 20", true, plan.RangeScan},
+		{"SELECT ID FROM KV WHERE S = 'a'", true, plan.FullScan},
+		{"SELECT MAX(A) AS M FROM KV", true, plan.FullScan},
+		{"SELECT ID FROM KV WHERE ID = 1 ORDER BY 1", true, plan.PointLookup},
+		{"SELECT ID, A FROM KV GROUP BY ID, A", false, plan.FullScan},
+		{"SELECT DISTINCT A FROM KV", false, plan.FullScan},
+	} {
+		sessExec(t, s, tc.sql)
+		p := s.LastPlan()
+		if p.Compiled != tc.compiled {
+			t.Errorf("%q: compiled = %v, want %v", tc.sql, p.Compiled, tc.compiled)
+		}
+		if tc.compiled && p.Path != tc.path {
+			t.Errorf("%q: path = %v, want %v", tc.sql, p.Path, tc.path)
+		}
+	}
+}
+
+// The compiled-plan cache is engine-wide: a statement compiled on one
+// session must be a cache hit when any other session runs the same
+// text.
+func TestPlanCacheSharedAcrossSessions(t *testing.T) {
+	e := NewOracle()
+	a, b := e.NewSession(), e.NewSession()
+	seedIndexed(t, a)
+	const q = "SELECT S FROM KV WHERE ID = 3"
+	sessExec(t, a, q)
+	if a.LastPlan().CacheHit {
+		t.Fatal("first execution reported a cache hit")
+	}
+	sessExec(t, b, q)
+	if !b.LastPlan().CacheHit {
+		t.Fatal("second session did not hit the shared plan cache")
+	}
+	if st := e.PlanCacheStats(); st.Hits == 0 {
+		t.Fatalf("cache stats recorded no hits: %+v", st)
+	}
+}
+
+// DDL must invalidate cached plans: the post-DDL execution recompiles
+// (against the new schema) and re-caches.
+func TestDDLInvalidatesCompiledPlans(t *testing.T) {
+	e := NewOracle()
+	s := e.NewSession()
+	seedIndexed(t, s)
+	const q = "SELECT ID FROM KV WHERE A = 20"
+	sessExec(t, s, q)
+	sessExec(t, s, q)
+	if !s.LastPlan().CacheHit {
+		t.Fatal("warm re-execution missed the cache")
+	}
+	sessExec(t, s, "CREATE INDEX KVS ON KV (ID, A)")
+	res := sessExec(t, s, q)
+	if s.LastPlan().CacheHit {
+		t.Fatal("post-DDL execution served a stale plan")
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("post-DDL result has %d rows, want 2", len(res.Rows))
+	}
+	sessExec(t, s, q)
+	if !s.LastPlan().CacheHit {
+		t.Fatal("recompiled plan was not re-cached")
+	}
+}
+
+// Regression: DDL inside a transaction that ROLLBACKs must roll the
+// schema-version stamp back with it. Plans compiled against the
+// rolled-back generation must never validate again, and plans compiled
+// against the pre-transaction schema must recompile cleanly.
+func TestRolledBackDDLRollsBackSchemaStamp(t *testing.T) {
+	e := NewOracle()
+	s := e.NewSession()
+	seedIndexed(t, s)
+	v0 := e.SchemaVersion()
+	const q = "SELECT S FROM KV WHERE ID = 1"
+	sessExec(t, s, q)
+
+	sessExec(t, s, "BEGIN")
+	sessExec(t, s, "CREATE INDEX KVTX ON KV (A, ID)")
+	vTxn := e.SchemaVersion()
+	if vTxn == v0 {
+		t.Fatal("DDL did not bump the schema version")
+	}
+	sessExec(t, s, q) // re-caches the plan under the in-transaction stamp
+	if e.SchemaVersion() != vTxn {
+		t.Fatal("pure SELECT changed the schema version")
+	}
+	sessExec(t, s, "ROLLBACK")
+	if got := e.SchemaVersion(); got != v0 {
+		t.Fatalf("ROLLBACK left schema version %d, want the pre-transaction %d", got, v0)
+	}
+
+	// The entry stamped with the rolled-back generation must not serve.
+	res := sessExec(t, s, q)
+	if s.LastPlan().CacheHit {
+		t.Fatal("plan compiled against a rolled-back schema generation was served")
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].String() != "a" {
+		t.Fatalf("post-rollback result wrong: %v", rowStrings(res))
+	}
+	sessExec(t, s, q)
+	if !s.LastPlan().CacheHit {
+		t.Fatal("post-rollback recompile was not cached")
+	}
+
+	// Epochs are never reused: a later DDL must not mint the
+	// rolled-back transaction's stamp.
+	sessExec(t, s, "CREATE INDEX KVTX2 ON KV (A, ID)")
+	if v := e.SchemaVersion(); v == vTxn || v == v0 {
+		t.Fatalf("schema version %d reuses an old generation (v0=%d vTxn=%d)", v, v0, vTxn)
+	}
+}
+
+// The forced plan variants must be result-identical to the analyzer's
+// own choice on every query shape — the engine-test mirror of the
+// difftest DQP-lite gate.
+func TestForcedVariantEquivalence(t *testing.T) {
+	e := NewOracle()
+	s := e.NewSession()
+	seedIndexed(t, s)
+	for _, sql := range []string{
+		"SELECT ID, A, S FROM KV WHERE ID = 2",
+		"SELECT ID FROM KV WHERE A = 20",
+		"SELECT ID FROM KV WHERE A = 20 AND S = 'b'",
+		"SELECT ID FROM KV WHERE ID BETWEEN 2 AND 3",
+		"SELECT ID FROM KV WHERE ID >= 2",
+		"SELECT ID FROM KV WHERE A = 99",
+		"SELECT ID FROM KV WHERE A IS NULL",
+		"SELECT ID FROM KV WHERE ID = 1 OR A = 20",
+		"SELECT COUNT(*) AS C FROM KV WHERE A = 20",
+		"SELECT ID FROM KV WHERE ID = 2 ORDER BY 1 DESC",
+	} {
+		st, err := parser.Parse(sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", sql, err)
+		}
+		sel := st.(*ast.Select)
+		auto, err := s.Exec(st)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		for _, force := range []plan.Force{plan.ForceFullScan, plan.ForceIndex} {
+			got, err := s.ExecSelectVariant(sel, force, nil)
+			if err != nil {
+				t.Fatalf("%q under %v: %v", sql, force, err)
+			}
+			if !reflect.DeepEqual(rowStrings(got), rowStrings(auto)) {
+				t.Errorf("%q: %v variant disagrees: %v vs %v", sql, force, rowStrings(got), rowStrings(auto))
+			}
+		}
+	}
+}
+
+// An ill-typed value in an indexed INT column (the raw-default quirk)
+// must poison the index, not corrupt results: the interpreter's loose
+// numeric-string comparison matches the string row, so index skipping
+// would drop it.
+func TestPoisonedIndexKeepsLooseCoercionMatches(t *testing.T) {
+	e := New(Config{Quirks: Quirks{SkipDefaultTypeCheck: true}})
+	s := e.NewSession()
+	sessExec(t, s, "CREATE TABLE P (ID INT PRIMARY KEY, A INT DEFAULT '7')")
+	sessExec(t, s, "CREATE INDEX PA ON P (A)")
+	sessExec(t, s, "INSERT INTO P (ID) VALUES (1)") // A = '7' stored verbatim
+	sessExec(t, s, "INSERT INTO P (ID, A) VALUES (2, 7), (3, 8)")
+
+	res := sessExec(t, s, "SELECT ID FROM P WHERE A = 7")
+	if p := s.LastPlan(); !p.Compiled {
+		t.Fatal("poisoned-index query left the compiled path entirely")
+	}
+	if got := rowStrings(res); len(got) != 2 || got[0] != "1" || got[1] != "2" {
+		t.Fatalf("loose-coercion match lost under the index path: %v", got)
+	}
+	st, _ := parser.Parse("SELECT ID FROM P WHERE A = 7")
+	full, err := s.ExecSelectVariant(st.(*ast.Select), plan.ForceFullScan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rowStrings(full), rowStrings(res)) {
+		t.Fatalf("forced full scan disagrees: %v vs %v", rowStrings(full), rowStrings(res))
+	}
+}
+
+// Bind-arity errors must surface identically on every access path: a
+// plan whose parameters are not covered by the bound vector cannot skip
+// rows (the interpreter would raise the unbound-parameter error on the
+// first row it evaluates).
+func TestVariantExecutionRejectsNonPureSelects(t *testing.T) {
+	e := NewOracle()
+	s := e.NewSession()
+	seedIndexed(t, s)
+	sessExec(t, s, "CREATE SEQUENCE SQ")
+	st, err := parser.Parse("SELECT NEXTVAL(SQ) AS N FROM KV WHERE ID = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExecSelectVariant(st.(*ast.Select), plan.ForceFullScan, nil); err == nil {
+		t.Fatal("sequence-advancing SELECT accepted for variant re-execution")
+	}
+}

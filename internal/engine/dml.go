@@ -68,6 +68,7 @@ func (e *Session) execInsert(ins *ast.Insert) (*Result, error) {
 		inserted++
 	}
 	if inserted > 0 {
+		t.touch()
 		// Undo by row identity, not by position: other sessions'
 		// statements may land between this insert and a rollback, so
 		// truncating the tail could remove their rows instead of ours.
@@ -102,6 +103,7 @@ func (t *Table) removeRowsByIdentity(rows [][]types.Value) {
 		kept = append(kept, r)
 	}
 	t.Rows = kept
+	t.touch()
 }
 
 // sameRow reports whether two rows are the same storage slice.
@@ -295,6 +297,9 @@ func (e *Session) execUpdate(upd *ast.Update) (*Result, error) {
 				}
 			}
 		}
+		if len(changes) > 0 {
+			t.touch()
+		}
 	}
 	for ri, row := range t.Rows {
 		if upd.Where != nil {
@@ -336,6 +341,7 @@ func (e *Session) execUpdate(upd *ast.Update) (*Result, error) {
 		affected++
 	}
 	if len(changes) > 0 {
+		t.touch()
 		// Undo by row identity: find the replacement row wherever it now
 		// sits and swap the original back. Positional restore would panic
 		// or clobber other sessions' rows if the table shifted between
@@ -363,6 +369,7 @@ func (e *Session) execUpdate(upd *ast.Update) (*Result, error) {
 					t.Rows[ri] = ch.old
 				}
 			}
+			t.touch()
 		})
 	}
 	return &Result{Kind: ResultCount, Affected: affected}, nil
@@ -397,6 +404,7 @@ func (e *Session) execDelete(del *ast.Delete) (*Result, error) {
 	}
 	if affected > 0 {
 		t.Rows = kept
+		t.touch()
 		tname := t.Name
 		e.logUndo(func(dst *state, toSnap bool) {
 			t, ok := dst.tables[tname]
@@ -428,6 +436,7 @@ func (e *Session) execDelete(del *ast.Delete) (*Result, error) {
 			default:
 				t.Rows = append(t.Rows, removed...)
 			}
+			t.touch()
 		})
 	}
 	return &Result{Kind: ResultCount, Affected: affected}, nil

@@ -11,7 +11,9 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"divsql/internal/engine/plan"
 	"divsql/internal/sql/ast"
 	"divsql/internal/sql/types"
 )
@@ -170,6 +172,26 @@ type Engine struct {
 	// into snapshots so resync redo can be anchored to the image.
 	commitSeq uint64
 
+	// schemaEpoch is a monotonic allocator of schema generations and
+	// schemaVersion the current stamp. Every DDL (and every state
+	// transfer) allocates a fresh epoch; a transaction rollback restores
+	// the pre-transaction stamp through the undo log without reusing the
+	// epochs minted inside the aborted transaction. Compiled plans are
+	// validated by stamp equality, so a plan compiled against a schema
+	// generation that was rolled back can never validate again — see
+	// plan.Cache.
+	schemaEpoch   uint64
+	schemaVersion uint64
+
+	// planMemo and planCache are the two tiers of the shared compiled-plan
+	// cache — see compiled.go. planMemo is keyed by AST pointer identity
+	// (prepared statements re-execute the same *ast.Select), planCache by
+	// rendered statement text (inline and cross-session reuse).
+	planMemo    sync.Map      // *ast.Select -> *memoEntry
+	planMemoLen atomic.Int64  // approximate planMemo size, for the cap
+	memoHits    atomic.Uint64 // memo-tier hits, folded into PlanCacheStats
+	planCache   *plan.Cache
+
 	// sessions registers every live session (including the lazily created
 	// default session def, which backs the sessionless compatibility API).
 	sessions map[*Session]struct{}
@@ -194,7 +216,21 @@ type Table struct {
 	PKCols  []int
 	Uniques [][]int
 	Checks  []ast.Expr
+
+	// mutSeq counts row mutations (insert/update/delete, including their
+	// undos) and versions the lazily built lookup indexes in ic: an index
+	// built at mutSeq m is valid exactly while mutSeq == m. Both fields
+	// are maintained under the engine write lock; readers consult them
+	// under the read lock. ic is non-nil on every engine-resident table
+	// (execCreateTable and cloneHeader allocate it).
+	mutSeq uint64
+	ic     *indexCache
 }
+
+// touch invalidates the table's lazily built indexes after a row
+// mutation. Called under the engine write lock at every site that
+// changes Rows — including undo application.
+func (t *Table) touch() { t.mutSeq++ }
 
 // Column is one column of a base table.
 type Column struct {
@@ -239,11 +275,20 @@ func New(cfg Config) *Engine {
 		cfg.Funcs = AllBuiltins()
 	}
 	return &Engine{
-		cfg:      cfg,
-		st:       newState(),
-		sessions: make(map[*Session]struct{}),
+		cfg:       cfg,
+		st:        newState(),
+		sessions:  make(map[*Session]struct{}),
+		planCache: plan.NewCache(planCacheCap),
 	}
 }
+
+// planCacheCap bounds the shared text-keyed plan cache; planMemoCap
+// bounds the pointer-keyed memo tier. Both are dropped wholesale at
+// capacity — the workloads that matter re-fill them within one batch.
+const (
+	planCacheCap = 4096
+	planMemoCap  = 4096
+)
 
 func newState() state {
 	return state{
@@ -337,6 +382,42 @@ func (e *Session) objectExists(name string) bool {
 // ---------------------------------------------------------------------------
 // DDL
 
+// bumpSchema allocates a fresh schema generation after a successful DDL
+// statement and stamps it as the current version, invalidating every
+// compiled plan. Inside a transaction the undo log restores the previous
+// stamp on rollback — reverse-order application lands a multi-DDL
+// transaction back on its pre-transaction stamp — while the epochs
+// minted inside the aborted transaction are never reused, so a plan
+// compiled mid-transaction can never validate after the rollback. The
+// undo must not run on snapshot rewinds (toSnap): those operate on a
+// copy-on-write clone and must never write engine fields.
+func (e *Session) bumpSchema() {
+	eng := e.eng
+	old := eng.schemaVersion
+	eng.schemaEpoch++
+	eng.schemaVersion = eng.schemaEpoch
+	e.logUndo(func(_ *state, toSnap bool) {
+		if !toSnap {
+			eng.schemaVersion = old
+		}
+	})
+}
+
+// bumpSchemaLocked is bumpSchema for engine-level mutators (Restore,
+// Reset) that hold the write lock but run outside any session; there is
+// no transaction to undo into.
+func (e *Engine) bumpSchemaLocked() {
+	e.schemaEpoch++
+	e.schemaVersion = e.schemaEpoch
+}
+
+// SchemaVersion returns the current schema generation stamp.
+func (e *Engine) SchemaVersion() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.schemaVersion
+}
+
 func (e *Session) execCreateTable(ct *ast.CreateTable) (*Result, error) {
 	name := up(ct.Name)
 	if e.objectExists(name) {
@@ -410,8 +491,10 @@ func (e *Session) execCreateTable(ct *ast.CreateTable) (*Result, error) {
 			t.Checks = append(t.Checks, tc.Check)
 		}
 	}
+	t.ic = newIndexCache()
 	e.eng.st.tables[name] = t
 	e.logUndo(func(dst *state, _ bool) { delete(dst.tables, name) })
+	e.bumpSchema()
 	return &Result{Kind: ResultDDL}, nil
 }
 
@@ -452,6 +535,7 @@ func (e *Session) execCreateView(cv *ast.CreateView) (*Result, error) {
 	}
 	e.eng.st.views[name] = &View{Name: name, Columns: cols, Select: cv.Select}
 	e.logUndo(func(dst *state, _ bool) { delete(dst.views, name) })
+	e.bumpSchema()
 	return &Result{Kind: ResultDDL}, nil
 }
 
@@ -499,6 +583,7 @@ func (e *Session) execCreateIndex(ci *ast.CreateIndex) (*Result, error) {
 	}
 	e.eng.st.indexs[name] = &Index{Name: name, Table: t.Name, Cols: cols, Unique: ci.Unique, Clustered: ci.Clustered}
 	e.logUndo(func(dst *state, _ bool) { delete(dst.indexs, name) })
+	e.bumpSchema()
 	return &Result{Kind: ResultDDL}, nil
 }
 
@@ -513,6 +598,7 @@ func (e *Session) execCreateSequence(cs *ast.CreateSequence) (*Result, error) {
 	}
 	e.eng.st.seqs[name] = &Sequence{Name: name, Next: start}
 	e.logUndo(func(dst *state, _ bool) { delete(dst.seqs, name) })
+	e.bumpSchema()
 	return &Result{Kind: ResultDDL}, nil
 }
 
@@ -530,6 +616,7 @@ func (e *Session) execDropTable(dt *ast.DropTable) (*Result, error) {
 				dst.tables[name] = t
 			}
 		})
+		e.bumpSchema()
 		return &Result{Kind: ResultDDL}, nil
 	}
 	if v, ok := e.eng.st.views[name]; ok && e.eng.cfg.Quirks.AllowDropTableOnView {
@@ -537,6 +624,7 @@ func (e *Session) execDropTable(dt *ast.DropTable) (*Result, error) {
 		// shared by PG). SQL-92 requires DROP VIEW here.
 		delete(e.eng.st.views, name)
 		e.logUndo(func(dst *state, _ bool) { dst.views[name] = v })
+		e.bumpSchema()
 		return &Result{Kind: ResultDDL}, nil
 	}
 	return nil, fmt.Errorf("%w: %s", ErrTableNotFound, name)
@@ -550,6 +638,7 @@ func (e *Session) execDropView(dv *ast.DropView) (*Result, error) {
 	}
 	delete(e.eng.st.views, name)
 	e.logUndo(func(dst *state, _ bool) { dst.views[name] = v })
+	e.bumpSchema()
 	return &Result{Kind: ResultDDL}, nil
 }
 
@@ -561,6 +650,7 @@ func (e *Session) execDropIndex(di *ast.DropIndex) (*Result, error) {
 	}
 	delete(e.eng.st.indexs, name)
 	e.logUndo(func(dst *state, _ bool) { dst.indexs[name] = ix })
+	e.bumpSchema()
 	return &Result{Kind: ResultDDL}, nil
 }
 
@@ -581,6 +671,7 @@ func (e *Session) execDropSequence(ds *ast.DropSequence) (*Result, error) {
 			dst.seqs[name] = s
 		}
 	})
+	e.bumpSchema()
 	return &Result{Kind: ResultDDL}, nil
 }
 

@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+
+	"divsql/internal/sql/types"
+)
+
+// This file implements the lazily built lookup indexes behind the
+// compiled-plan access paths (see compiled.go and internal/engine/plan).
+//
+// The engine stores rows as a plain slice; indexes are a pure cache over
+// it, rebuilt on demand whenever the table has mutated since the last
+// build. Validity is tracked by Table.mutSeq: every row mutation —
+// including undo application — bumps it (Table.touch), and an index
+// built at sequence m is usable exactly while mutSeq == m. A full
+// rebuild costs one scan, the same as the full-scan execution it
+// replaces, so the cache never loses against scanning; read-heavy
+// phases amortize it across every subsequent lookup.
+//
+// Correctness contract: an index only accelerates candidate discovery.
+// The executor re-evaluates the complete WHERE predicate on every
+// candidate, and candidates are returned in table order, so index use
+// can never change a result — only skip rows that provably cannot
+// satisfy an indexed conjunct. Only INT-kind columns are indexable;
+// if a key column holds a non-INT non-NULL value (possible only via the
+// SkipDefaultTypeCheck quirk, which stores ill-typed DEFAULTs verbatim)
+// the index is poisoned and the executor falls back to a full scan,
+// because such values can still satisfy comparisons through the loose
+// numeric-string coercion of types.Compare.
+
+// indexCache holds the lazily built lookup indexes of one table
+// instance. Every engine-resident table owns exactly one (allocated at
+// CREATE TABLE or on header clone); instances are never shared between
+// engines or snapshots. The cache has its own mutex because concurrent
+// SELECT sessions build and consult indexes while holding only the
+// engine read lock.
+type indexCache struct {
+	mu     sync.Mutex
+	hash   map[string]*hashIndex // colset key -> equality index
+	sorted map[int]*sortedIndex  // column ordinal -> range index
+}
+
+func newIndexCache() *indexCache {
+	return &indexCache{
+		hash:   make(map[string]*hashIndex),
+		sorted: make(map[int]*sortedIndex),
+	}
+}
+
+// hashIndex maps encoded key tuples to row positions (in table order)
+// for one column set, valid while the table's mutSeq equals at.
+type hashIndex struct {
+	at       uint64
+	poisoned bool
+	m        map[string][]int
+}
+
+// sortedIndex holds one column's INT keys in ascending order with the
+// owning row positions alongside, valid while mutSeq equals at.
+type sortedIndex struct {
+	at       uint64
+	poisoned bool
+	keys     []int64
+	pos      []int
+}
+
+// colsetKey encodes a column ordinal set as a map key.
+func colsetKey(cols []int) string {
+	b := make([]byte, 0, 2*len(cols))
+	for _, c := range cols {
+		b = binary.AppendVarint(b, int64(c))
+	}
+	return string(b)
+}
+
+// encodeIntKeys appends the fixed-width encoding of a key tuple.
+func encodeIntKeys(dst []byte, keys []int64) []byte {
+	for _, k := range keys {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(k))
+	}
+	return dst
+}
+
+// eqIndex returns the equality index over cols, building it if absent
+// or stale; nil when the column set is poisoned at the current mutSeq.
+// Callers hold the engine lock (either mode); the cache mutex
+// serializes concurrent builders, so one session builds and the rest
+// reuse.
+func (ic *indexCache) eqIndex(t *Table, cols []int) *hashIndex {
+	key := colsetKey(cols)
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	if ix := ic.hash[key]; ix != nil && ix.at == t.mutSeq {
+		if ix.poisoned {
+			return nil
+		}
+		return ix
+	}
+	ix := &hashIndex{at: t.mutSeq, m: make(map[string][]int, len(t.Rows))}
+	kb := make([]byte, 0, 8*len(cols))
+build:
+	for ri, row := range t.Rows {
+		kb = kb[:0]
+		for _, ci := range cols {
+			v := row[ci]
+			switch v.K {
+			case types.KindInt:
+				kb = binary.BigEndian.AppendUint64(kb, uint64(v.I))
+			case types.KindNull:
+				// NULL keys never satisfy an equality conjunct (the
+				// comparison is Unknown), so the row is simply not indexed.
+				continue build
+			default:
+				ix.poisoned = true
+				break build
+			}
+		}
+		ix.m[string(kb)] = append(ix.m[string(kb)], ri)
+	}
+	ic.hash[key] = ix
+	if ix.poisoned {
+		return nil
+	}
+	return ix
+}
+
+// rangeIndex returns the sorted index over one column, building it if
+// absent or stale; nil when the column is poisoned at the current
+// mutSeq. Locking as for eqIndex.
+func (ic *indexCache) rangeIndex(t *Table, col int) *sortedIndex {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	if ix := ic.sorted[col]; ix != nil && ix.at == t.mutSeq {
+		if ix.poisoned {
+			return nil
+		}
+		return ix
+	}
+	ix := &sortedIndex{at: t.mutSeq}
+	for ri, row := range t.Rows {
+		v := row[col]
+		switch v.K {
+		case types.KindInt:
+			ix.keys = append(ix.keys, v.I)
+			ix.pos = append(ix.pos, ri)
+		case types.KindNull:
+			// Range conjuncts on NULL are Unknown: the row cannot match.
+		default:
+			ix.poisoned = true
+		}
+		if ix.poisoned {
+			break
+		}
+	}
+	if !ix.poisoned && len(ix.keys) > 1 {
+		ord := make([]int, len(ix.keys))
+		for i := range ord {
+			ord[i] = i
+		}
+		sort.Slice(ord, func(a, b int) bool { return ix.keys[ord[a]] < ix.keys[ord[b]] })
+		keys := make([]int64, len(ord))
+		pos := make([]int, len(ord))
+		for i, o := range ord {
+			keys[i] = ix.keys[o]
+			pos[i] = ix.pos[o]
+		}
+		ix.keys, ix.pos = keys, pos
+	}
+	ic.sorted[col] = ix
+	if ix.poisoned {
+		return nil
+	}
+	return ix
+}
+
+// lookup returns the row positions matching one encoded key tuple, in
+// table order.
+func (ix *hashIndex) lookup(keys []int64) []int {
+	kb := encodeIntKeys(make([]byte, 0, 8*len(keys)), keys)
+	return ix.m[string(kb)]
+}
+
+// between returns the row positions whose key lies in the inclusive
+// range [lo, hi] (either bound optional), re-sorted into table order so
+// index-backed execution emits rows exactly as a full scan would.
+func (ix *sortedIndex) between(lo, hi int64, haveLo, haveHi bool) []int {
+	i := 0
+	if haveLo {
+		i = sort.Search(len(ix.keys), func(k int) bool { return ix.keys[k] >= lo })
+	}
+	j := len(ix.keys)
+	if haveHi {
+		j = sort.Search(len(ix.keys), func(k int) bool { return ix.keys[k] > hi })
+	}
+	if i >= j {
+		return nil
+	}
+	out := append([]int(nil), ix.pos[i:j]...)
+	sort.Ints(out)
+	return out
+}

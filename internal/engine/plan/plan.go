@@ -1,0 +1,382 @@
+// Package plan is the engine's analyzer: it lowers a parsed SELECT into
+// a compiled access plan through a pipeline of small, atomic rules, in
+// the spirit of rule-based analyzers like go-mysql-server's. The
+// package is pure — it sees the catalog only through the Catalog
+// interface and never touches engine state — so the rules are
+// independently testable and the engine keeps the execution monopoly.
+//
+// The contract with the executor is deliberately narrow: a plan names
+// candidate rows (which index to consult with which key expressions),
+// never final rows. The executor re-evaluates the complete WHERE
+// predicate over every candidate and emits candidates in table order,
+// so a plan can only skip rows that provably cannot satisfy an indexed
+// conjunct — access-path choice is invisible in results, which is
+// exactly what the forced-variant differential oracle (difftest's
+// DQP-lite gate) verifies.
+package plan
+
+import (
+	"strings"
+
+	"divsql/internal/sql/ast"
+	"divsql/internal/sql/types"
+)
+
+// AccessPath enumerates how a plan reaches its rows.
+type AccessPath int
+
+// Access paths.
+const (
+	// FullScan visits every row (the fallback, and a forceable variant).
+	FullScan AccessPath = iota
+	// PointLookup probes a hash index over an equality-covered prefix of
+	// the primary key or a secondary index.
+	PointLookup
+	// RangeScan walks a sorted single-column index between bounds.
+	RangeScan
+)
+
+// String names the access path (for plan introspection and tests).
+func (p AccessPath) String() string {
+	switch p {
+	case PointLookup:
+		return "point-lookup"
+	case RangeScan:
+		return "range-scan"
+	default:
+		return "full-scan"
+	}
+}
+
+// Force overrides the analyzer's access-path choice, the hook behind
+// multi-plan differential execution: the same statement runs once per
+// forced variant and any result disagreement is an engine bug.
+type Force int
+
+// Force modes.
+const (
+	// ForceAuto lets the analyzer choose.
+	ForceAuto Force = iota
+	// ForceFullScan pins the plan to the full-scan fallback.
+	ForceFullScan
+	// ForceIndex demands an index-backed path when one is available
+	// (identical to auto, which always prefers an index; the distinct
+	// value keeps variant runs self-describing).
+	ForceIndex
+)
+
+// String names the force mode (for variant-disagreement reports).
+func (f Force) String() string {
+	switch f {
+	case ForceFullScan:
+		return "force-full-scan"
+	case ForceIndex:
+		return "force-index"
+	default:
+		return "auto"
+	}
+}
+
+// ColMeta describes one column as the analyzer sees it.
+type ColMeta struct {
+	Name string
+	Kind types.Kind
+}
+
+// TableMeta is the catalog image of one base table: its columns, the
+// primary-key ordinals and every secondary keyset (declared indexes and
+// unique constraints) usable for access-path selection.
+type TableMeta struct {
+	Name    string
+	Cols    []ColMeta
+	PK      []int
+	Indexes [][]int
+}
+
+// Catalog resolves table names for the analyzer. Implementations must
+// upper-case-normalize names the way the engine catalog does.
+type Catalog interface {
+	TableMeta(name string) (TableMeta, bool)
+}
+
+// Bound is one end of a range-scan interval. Val must be an *ast.Literal
+// or *ast.Param (classifyPredicates admits nothing else); Strict marks
+// an exclusive bound (< or >).
+type Bound struct {
+	Val    ast.Expr
+	Strict bool
+}
+
+// SelectPlan is the compiled access plan of one single-table SELECT.
+type SelectPlan struct {
+	Table string // resolved (upper-cased) base-table name
+	Alias string // correlation name in effect, "" when none
+
+	Path AccessPath
+	// PointLookup: the key column ordinals and their value expressions
+	// (literals or parameters), pairwise.
+	KeyCols []int
+	KeyVals []ast.Expr
+	// RangeScan: the scanned column ordinal and the optional bounds.
+	RangeCol int
+	Lo, Hi   *Bound
+
+	// MaxParam is the highest parameter ordinal the statement references;
+	// the executor must verify the bound-argument vector covers it before
+	// skipping rows, so bind-arity errors surface identically on every
+	// access path.
+	MaxParam int
+}
+
+// Analyze lowers a SELECT into an access plan by running the rule
+// pipeline: resolveSource → classifyPredicates → chooseAccessPath. The
+// second result is false when the statement has no single-base-table
+// source (joins, derived tables, views, compound queries) — such
+// statements stay on the interpreter.
+func Analyze(sel *ast.Select, cat Catalog, force Force) (*SelectPlan, bool) {
+	p, ok := resolveSource(sel, cat)
+	if !ok {
+		return nil, false
+	}
+	meta, _ := cat.TableMeta(p.Table)
+	eqs, ranges := classifyPredicates(sel.Where, p, meta)
+	chooseAccessPath(p, meta, eqs, ranges)
+	if force == ForceFullScan {
+		p.Path = FullScan
+		p.KeyCols, p.KeyVals, p.Lo, p.Hi = nil, nil, nil, nil
+	}
+	p.MaxParam = ast.NumParams(sel)
+	return p, true
+}
+
+// resolveSource (rule 1) pins the plan to exactly one base table: one
+// FROM item, no joins, no derived table, and a name the catalog knows.
+func resolveSource(sel *ast.Select, cat Catalog) (*SelectPlan, bool) {
+	if len(sel.From) != 1 || len(sel.From[0].Joins) != 0 {
+		return nil, false
+	}
+	tr := sel.From[0].Table
+	if tr.Subquery != nil || tr.Name == "" {
+		return nil, false
+	}
+	name := strings.ToUpper(tr.Name)
+	if _, ok := cat.TableMeta(name); !ok {
+		return nil, false
+	}
+	return &SelectPlan{Table: name, Alias: strings.ToUpper(tr.Alias)}, true
+}
+
+// eqConjunct is one equality conjunct usable for a point lookup.
+type eqConjunct struct {
+	col int
+	val ast.Expr
+}
+
+// rangeBounds accumulates the usable bounds on one column.
+type rangeBounds struct {
+	lo, hi *Bound
+}
+
+// classifyPredicates (rule 2) walks the top-level AND tree of the WHERE
+// clause and extracts the conjuncts an index can serve: `col op value`
+// comparisons (either operand order) and non-negated BETWEENs, where
+// col is an INT column of the plan's table and value is a literal or
+// parameter. Everything else is ignored here — the executor re-applies
+// the full predicate — so classification only has to be sound, never
+// complete.
+func classifyPredicates(where ast.Expr, p *SelectPlan, meta TableMeta) (map[int]ast.Expr, map[int]*rangeBounds) {
+	eqs := make(map[int]ast.Expr)
+	ranges := make(map[int]*rangeBounds)
+	for _, c := range conjuncts(where, nil) {
+		switch x := c.(type) {
+		case *ast.Binary:
+			col, val, op, ok := comparisonLeaf(x, p, meta)
+			if !ok {
+				continue
+			}
+			switch op {
+			case ast.OpEq:
+				if _, dup := eqs[col]; !dup {
+					eqs[col] = val
+				}
+			case ast.OpGt, ast.OpGe:
+				b := boundsFor(ranges, col)
+				if b.lo == nil {
+					b.lo = &Bound{Val: val, Strict: op == ast.OpGt}
+				}
+			case ast.OpLt, ast.OpLe:
+				b := boundsFor(ranges, col)
+				if b.hi == nil {
+					b.hi = &Bound{Val: val, Strict: op == ast.OpLt}
+				}
+			}
+		case *ast.Between:
+			if x.Not {
+				continue
+			}
+			col, ok := columnLeaf(x.X, p, meta)
+			if !ok || !valueLeaf(x.Lo) || !valueLeaf(x.Hi) {
+				continue
+			}
+			b := boundsFor(ranges, col)
+			if b.lo == nil {
+				b.lo = &Bound{Val: x.Lo}
+			}
+			if b.hi == nil {
+				b.hi = &Bound{Val: x.Hi}
+			}
+		}
+	}
+	return eqs, ranges
+}
+
+// conjuncts flattens the top-level AND tree into its leaves.
+func conjuncts(e ast.Expr, out []ast.Expr) []ast.Expr {
+	if e == nil {
+		return out
+	}
+	if b, ok := e.(*ast.Binary); ok && b.Op == ast.OpAnd {
+		return conjuncts(b.R, conjuncts(b.L, out))
+	}
+	return append(out, e)
+}
+
+// comparisonLeaf matches `col op value` or `value op col` (flipping the
+// operator), for the ordering comparison operators.
+func comparisonLeaf(b *ast.Binary, p *SelectPlan, meta TableMeta) (col int, val ast.Expr, op ast.BinaryOp, ok bool) {
+	switch b.Op {
+	case ast.OpEq, ast.OpLt, ast.OpLe, ast.OpGt, ast.OpGe:
+	default:
+		return 0, nil, 0, false
+	}
+	if c, cok := columnLeaf(b.L, p, meta); cok && valueLeaf(b.R) {
+		return c, b.R, b.Op, true
+	}
+	if c, cok := columnLeaf(b.R, p, meta); cok && valueLeaf(b.L) {
+		return c, b.L, flip(b.Op), true
+	}
+	return 0, nil, 0, false
+}
+
+// flip mirrors an ordering operator across swapped operands.
+func flip(op ast.BinaryOp) ast.BinaryOp {
+	switch op {
+	case ast.OpLt:
+		return ast.OpGt
+	case ast.OpLe:
+		return ast.OpGe
+	case ast.OpGt:
+		return ast.OpLt
+	case ast.OpGe:
+		return ast.OpLe
+	default:
+		return op
+	}
+}
+
+// columnLeaf resolves a column reference to an INT column ordinal of
+// the plan's table, honouring the correlation name in effect.
+func columnLeaf(e ast.Expr, p *SelectPlan, meta TableMeta) (int, bool) {
+	cr, ok := e.(*ast.ColumnRef)
+	if !ok {
+		return 0, false
+	}
+	if q := strings.ToUpper(cr.Table); q != "" {
+		visible := p.Alias
+		if visible == "" {
+			visible = p.Table
+		}
+		if q != visible {
+			return 0, false
+		}
+	}
+	name := strings.ToUpper(cr.Column)
+	for i, c := range meta.Cols {
+		if c.Name == name {
+			if c.Kind != types.KindInt {
+				return 0, false
+			}
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// valueLeaf reports whether an expression is a row-independent value
+// the executor can evaluate once per statement.
+func valueLeaf(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.Literal, *ast.Param:
+		return true
+	default:
+		return false
+	}
+}
+
+func boundsFor(m map[int]*rangeBounds, col int) *rangeBounds {
+	b := m[col]
+	if b == nil {
+		b = &rangeBounds{}
+		m[col] = b
+	}
+	return b
+}
+
+// chooseAccessPath (rule 3) selects the cheapest applicable path:
+// the longest equality-covered prefix of the primary key or a secondary
+// keyset becomes a point lookup; failing that, usable bounds on the
+// leading column of a keyset become a range scan; otherwise the plan
+// stays a full scan. Preference order is PK first, then the secondary
+// keysets in catalog order (the engine feeds them sorted by name, so
+// the choice is deterministic).
+func chooseAccessPath(p *SelectPlan, meta TableMeta, eqs map[int]ast.Expr, ranges map[int]*rangeBounds) {
+	keysets := make([][]int, 0, 1+len(meta.Indexes))
+	if len(meta.PK) > 0 {
+		keysets = append(keysets, meta.PK)
+	}
+	keysets = append(keysets, meta.Indexes...)
+
+	var bestCols []int
+	for _, ks := range keysets {
+		n := 0
+		for _, c := range ks {
+			if _, ok := eqs[c]; !ok {
+				break
+			}
+			n++
+		}
+		if n > len(bestCols) {
+			bestCols = ks[:n]
+		}
+	}
+	if len(bestCols) > 0 {
+		p.Path = PointLookup
+		p.KeyCols = append([]int(nil), bestCols...)
+		p.KeyVals = make([]ast.Expr, len(bestCols))
+		for i, c := range bestCols {
+			p.KeyVals[i] = eqs[c]
+		}
+		return
+	}
+
+	for _, ks := range keysets {
+		if b, ok := ranges[ks[0]]; ok && (b.lo != nil || b.hi != nil) {
+			p.Path = RangeScan
+			p.RangeCol = ks[0]
+			p.Lo, p.Hi = b.lo, b.hi
+			return
+		}
+	}
+	p.Path = FullScan
+}
+
+// Info describes how one SELECT actually executed: the access path
+// taken, whether a compiled plan ran (as opposed to the interpreter
+// fallback) and whether it came out of the shared cache. Exposed via
+// Session.LastPlan for tests and the forced-variant difftest oracle.
+type Info struct {
+	Table    string
+	Path     AccessPath
+	Compiled bool
+	CacheHit bool
+}

@@ -1,0 +1,177 @@
+package plan
+
+import (
+	"testing"
+
+	"divsql/internal/sql/ast"
+	"divsql/internal/sql/parser"
+	"divsql/internal/sql/types"
+)
+
+type fakeCat map[string]TableMeta
+
+func (c fakeCat) TableMeta(n string) (TableMeta, bool) {
+	m, ok := c[n]
+	return m, ok
+}
+
+// testCat: T(ID pk, A, B int; S string) with a composite index (A, B)
+// and a single-column index (B).
+func testCat() fakeCat {
+	return fakeCat{
+		"T": {
+			Name: "T",
+			Cols: []ColMeta{
+				{Name: "ID", Kind: types.KindInt},
+				{Name: "A", Kind: types.KindInt},
+				{Name: "B", Kind: types.KindInt},
+				{Name: "S", Kind: types.KindString},
+			},
+			PK:      []int{0},
+			Indexes: [][]int{{1, 2}, {2}},
+		},
+	}
+}
+
+func analyze(t *testing.T, sql string, force Force) (*SelectPlan, bool) {
+	t.Helper()
+	st, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	sel, ok := st.(*ast.Select)
+	if !ok {
+		t.Fatalf("%q is not a SELECT", sql)
+	}
+	return Analyze(sel, testCat(), force)
+}
+
+func mustAnalyze(t *testing.T, sql string, force Force) *SelectPlan {
+	t.Helper()
+	p, ok := analyze(t, sql, force)
+	if !ok {
+		t.Fatalf("Analyze(%q) rejected a single-base-table select", sql)
+	}
+	return p
+}
+
+func TestPointLookupOnPrimaryKey(t *testing.T) {
+	p := mustAnalyze(t, "SELECT A FROM T WHERE ID = 1", ForceAuto)
+	if p.Path != PointLookup {
+		t.Fatalf("path = %v, want point-lookup", p.Path)
+	}
+	if len(p.KeyCols) != 1 || p.KeyCols[0] != 0 {
+		t.Fatalf("key cols = %v, want [0]", p.KeyCols)
+	}
+}
+
+func TestPointLookupFlippedOperands(t *testing.T) {
+	p := mustAnalyze(t, "SELECT A FROM T WHERE 5 = ID", ForceAuto)
+	if p.Path != PointLookup || p.KeyCols[0] != 0 {
+		t.Fatalf("flipped equality not recognized: %+v", p)
+	}
+}
+
+func TestCompositePrefixBeatsShorterKeyset(t *testing.T) {
+	p := mustAnalyze(t, "SELECT S FROM T WHERE A = 1 AND B = 2", ForceAuto)
+	if p.Path != PointLookup {
+		t.Fatalf("path = %v, want point-lookup", p.Path)
+	}
+	if len(p.KeyCols) != 2 || p.KeyCols[0] != 1 || p.KeyCols[1] != 2 {
+		t.Fatalf("key cols = %v, want [1 2] (full composite prefix)", p.KeyCols)
+	}
+}
+
+func TestEqualityPrefixStopsAtGap(t *testing.T) {
+	// B alone covers index {2}; the composite {1,2} has no eq on its
+	// leading column, so only the single-column keyset applies.
+	p := mustAnalyze(t, "SELECT S FROM T WHERE B = 2 AND S = 'x'", ForceAuto)
+	if p.Path != PointLookup || len(p.KeyCols) != 1 || p.KeyCols[0] != 2 {
+		t.Fatalf("key cols = %v, want [2]", p.KeyCols)
+	}
+}
+
+func TestRangeScanOnLeadingIndexColumn(t *testing.T) {
+	p := mustAnalyze(t, "SELECT A FROM T WHERE B > 3 AND B <= 9", ForceAuto)
+	if p.Path != RangeScan {
+		t.Fatalf("path = %v, want range-scan", p.Path)
+	}
+	if p.RangeCol != 2 {
+		t.Fatalf("range col = %d, want 2", p.RangeCol)
+	}
+	if p.Lo == nil || !p.Lo.Strict || p.Hi == nil || p.Hi.Strict {
+		t.Fatalf("bounds strictness wrong: lo=%+v hi=%+v", p.Lo, p.Hi)
+	}
+}
+
+func TestBetweenBecomesInclusiveRange(t *testing.T) {
+	p := mustAnalyze(t, "SELECT A FROM T WHERE B BETWEEN 1 AND 9", ForceAuto)
+	if p.Path != RangeScan || p.RangeCol != 2 {
+		t.Fatalf("path = %v col = %d, want range-scan on 2", p.Path, p.RangeCol)
+	}
+	if p.Lo == nil || p.Lo.Strict || p.Hi == nil || p.Hi.Strict {
+		t.Fatalf("BETWEEN bounds must be inclusive: lo=%+v hi=%+v", p.Lo, p.Hi)
+	}
+}
+
+func TestNonIntAndDisjunctiveWheresFullScan(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT A FROM T WHERE S = 'x'",         // string column: no index key
+		"SELECT A FROM T WHERE ID = 1 OR A = 2", // OR is not a conjunct
+		"SELECT A FROM T WHERE ID + 0 = 1",      // computed column side
+		"SELECT A FROM T",                       // no WHERE
+	} {
+		p := mustAnalyze(t, sql, ForceAuto)
+		if p.Path != FullScan {
+			t.Errorf("%q: path = %v, want full-scan", sql, p.Path)
+		}
+	}
+}
+
+func TestAnalyzeRejectsNonSingleTableSources(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT X.A FROM T X INNER JOIN T Y ON X.ID = Y.ID",
+		"SELECT A FROM NOPE WHERE ID = 1",
+	} {
+		if _, ok := analyze(t, sql, ForceAuto); ok {
+			t.Errorf("%q: Analyze accepted a non-single-base-table source", sql)
+		}
+	}
+}
+
+func TestAliasQualifierResolution(t *testing.T) {
+	p := mustAnalyze(t, "SELECT X.A FROM T X WHERE X.ID = 1", ForceAuto)
+	if p.Path != PointLookup {
+		t.Fatalf("aliased qualifier not resolved: %+v", p)
+	}
+	// Under an alias the bare table name is not a visible qualifier.
+	p = mustAnalyze(t, "SELECT X.A FROM T X WHERE T.ID = 1", ForceAuto)
+	if p.Path != FullScan {
+		t.Fatalf("stale table qualifier must not bind: %+v", p)
+	}
+}
+
+func TestForceFullScanClearsAccessPath(t *testing.T) {
+	p := mustAnalyze(t, "SELECT A FROM T WHERE ID = 1", ForceFullScan)
+	if p.Path != FullScan || p.KeyCols != nil || p.KeyVals != nil {
+		t.Fatalf("forced full scan kept index state: %+v", p)
+	}
+}
+
+func TestMaxParamCoversWholeStatement(t *testing.T) {
+	p := mustAnalyze(t, "SELECT A FROM T WHERE ID = $1 AND S = $3", ForceAuto)
+	if p.MaxParam != 3 {
+		t.Fatalf("MaxParam = %d, want 3", p.MaxParam)
+	}
+}
+
+func TestDuplicateEqualityFirstWins(t *testing.T) {
+	p := mustAnalyze(t, "SELECT A FROM T WHERE ID = 1 AND ID = 2", ForceAuto)
+	if p.Path != PointLookup || len(p.KeyVals) != 1 {
+		t.Fatalf("duplicate equality mishandled: %+v", p)
+	}
+	lit, ok := p.KeyVals[0].(*ast.Literal)
+	if !ok || lit.Val.I != 1 {
+		t.Fatalf("first equality must win, got %+v", p.KeyVals[0])
+	}
+}

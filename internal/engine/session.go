@@ -4,6 +4,7 @@ import (
 	"errors"
 	"strings"
 
+	"divsql/internal/engine/plan"
 	"divsql/internal/sql/ast"
 	"divsql/internal/sql/types"
 )
@@ -37,6 +38,10 @@ type Session struct {
 	// executes one statement at a time (one client), so a plain field
 	// under the engine lock suffices.
 	bind []types.Value
+
+	// lastPlan records how the most recent SELECT executed (access path,
+	// compiled vs interpreter, cache hit) — see Session.LastPlan.
+	lastPlan plan.Info
 }
 
 // undoFn is one undo record: the inverse of one mutation, applicable to
@@ -111,11 +116,8 @@ func (s *Session) execLocked(st ast.Statement, bind []types.Value) (*Result, err
 		e.mu.RLock()
 		if !s.closed && !e.selectAdvancesSequences(sel) {
 			defer e.mu.RUnlock()
-			if s.closed {
-				return nil, ErrSessionClosed
-			}
 			s.bind = bind
-			res, err := s.exec(st)
+			res, err := s.execSelectRLocked(sel)
 			s.bind = nil
 			return res, err
 		}
@@ -125,6 +127,10 @@ func (s *Session) execLocked(st ast.Statement, bind []types.Value) (*Result, err
 	defer e.mu.Unlock()
 	if s.closed {
 		return nil, ErrSessionClosed
+	}
+	if _, ok := st.(*ast.Select); ok {
+		// A sequence-advancing SELECT stays on the interpreter.
+		s.lastPlan = plan.Info{}
 	}
 	s.bind = bind
 	res, err := s.exec(st)

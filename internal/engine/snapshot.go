@@ -57,6 +57,11 @@ func (t *Table) cloneHeader() *Table {
 	ct := *t
 	ct.Rows = append([][]types.Value(nil), t.Rows...)
 	ct.Uniques = append([][]int(nil), t.Uniques...)
+	// Lookup indexes are a per-instance cache: the clone gets its own,
+	// never a shared one (two engines invalidating each other's indexes
+	// would be a race).
+	ct.mutSeq = 0
+	ct.ic = newIndexCache()
 	return &ct
 }
 
@@ -130,6 +135,7 @@ func (e *Engine) Restore(st *State) {
 	src := state{tables: st.Tables, views: st.Views, indexs: st.Indexs, seqs: st.Seqs}
 	e.st = *src.cloneForSnapshot()
 	e.discardAllTxnsLocked()
+	e.bumpSchemaLocked()
 }
 
 // RestoreScoped replaces only the engine objects selected by keep with
@@ -187,6 +193,7 @@ func (e *Engine) RestoreScoped(st *State, keep func(name string) bool) {
 			e.st.seqs[n] = &cp
 		}
 	}
+	e.bumpSchemaLocked()
 }
 
 // Reset drops all state. Open transactions on every session are discarded.
@@ -195,4 +202,5 @@ func (e *Engine) Reset() {
 	defer e.mu.Unlock()
 	e.st = newState()
 	e.discardAllTxnsLocked()
+	e.bumpSchemaLocked()
 }

@@ -295,12 +295,10 @@ func TestSnapshotConsistentUnderLoad(t *testing.T) {
 	snapDone := make(chan struct{})
 	go func() {
 		defer close(snapDone)
+		// stop is checked at the bottom so at least one snapshot is
+		// always taken, even if the scheduler parks this goroutine
+		// until after the writers finish (common under -race).
 		for {
-			select {
-			case <-stop:
-				return
-			default:
-			}
 			snap := e.Snapshot()
 			snaps++
 			scratch := New(Config{})
@@ -315,6 +313,11 @@ func TestSnapshotConsistentUnderLoad(t *testing.T) {
 					snapErr = fmt.Errorf("torn snapshot: table W%d has %d rows (not a multiple of %d)", w, n, batch)
 					return
 				}
+			}
+			select {
+			case <-stop:
+				return
+			default:
 			}
 		}
 	}()

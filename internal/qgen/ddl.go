@@ -2,6 +2,7 @@ package qgen
 
 import (
 	"fmt"
+	"sort"
 
 	"divsql/internal/sql/ast"
 	"divsql/internal/sql/types"
@@ -125,8 +126,52 @@ func (g *Generator) genCreateView() ast.Statement {
 	if g.rnd.Intn(3) == 0 {
 		sel.Where = g.predicate(scope{{"", base}}, 1)
 	}
+	refs := map[string]bool{}
+	selectRefs(sel, refs)
+	view.refs = make([]string, 0, len(refs))
+	for n := range refs {
+		view.refs = append(view.refs, n)
+	}
+	sort.Strings(view.refs)
 	g.views = append(g.views, view)
 	return &ast.CreateView{Name: name, Select: sel}
+}
+
+// selectRefs collects every named relation a SELECT reads — FROM
+// sources, join sides, and the FROMs of every subquery at any nesting
+// depth — so a view's full read set is known at creation time.
+func selectRefs(sel *ast.Select, out map[string]bool) {
+	fromRefs(sel, out)
+	ast.WalkSelectExprs(sel, func(e ast.Expr) {
+		switch x := e.(type) {
+		case *ast.In:
+			fromRefs(x.Select, out)
+		case *ast.Exists:
+			fromRefs(x.Select, out)
+		case *ast.Subquery:
+			fromRefs(x.Select, out)
+		}
+	})
+}
+
+// fromRefs records the FROM-clause relation names of one select (and
+// its UNION branches); subqueries inside expressions are handled by the
+// walk in selectRefs, which fires at every nesting depth.
+func fromRefs(sel *ast.Select, out map[string]bool) {
+	for ; sel != nil; sel = sel.Union {
+		for _, f := range sel.From {
+			if f.Table.Name != "" {
+				out[f.Table.Name] = true
+			}
+			fromRefs(f.Table.Subquery, out)
+			for _, j := range f.Joins {
+				if j.Right.Name != "" {
+					out[j.Right.Name] = true
+				}
+				fromRefs(j.Right.Subquery, out)
+			}
+		}
+	}
 }
 
 func (g *Generator) genCreateIndex() ast.Statement {

@@ -173,6 +173,11 @@ type relation struct {
 	isView bool
 	// base is the underlying table name for views.
 	base string
+	// refs are all table names the view body reads — the FROM source
+	// plus every table referenced from a predicate subquery. A DROP
+	// TABLE of any of them breaks the view on the servers, so the
+	// generator cascade-forgets views by refs, not just by base.
+	refs []string
 	// nextPK feeds unique primary-key values (base tables only).
 	nextPK int64
 	// hasPK reports whether cols contains a primary key.
@@ -445,12 +450,20 @@ func (g *Generator) dropRelation(name string, view bool) {
 			break
 		}
 	}
-	// Views over a dropped table become invalid; forget them so later
-	// queries do not reference a broken view. (Selecting a broken view
-	// errors identically on every server, but it wastes stream budget.)
+	// Views reading a dropped table — as their FROM source or from a
+	// predicate subquery — become invalid; forget them so later queries
+	// do not reference a broken view. (Selecting a broken view errors
+	// identically on every server, but it wastes stream budget.)
 	kept := g.views[:0]
 	for _, v := range g.views {
-		if v.base != name {
+		reads := v.base == name
+		for _, r := range v.refs {
+			if r == name {
+				reads = true
+				break
+			}
+		}
+		if !reads {
 			kept = append(kept, v)
 		}
 	}

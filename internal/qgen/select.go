@@ -269,7 +269,7 @@ func (g *Generator) pickShape() Shape {
 	if !g.opts.Unions {
 		wUnion = 0
 	}
-	i := g.weightedPick([]int{w.SimpleSelect, wJoin, w.GroupSelect, wUnion, w.StarSelect})
+	i := g.weightedPick([]int{w.SimpleSelect, wJoin, w.GroupSelect, wUnion, w.StarSelect, w.PointSelect, w.RangeSelect})
 	if i < 0 {
 		return ShapeSimple
 	}
@@ -295,6 +295,16 @@ func (g *Generator) genSelect() ast.Statement {
 		return g.genSimpleSelect()
 	case ShapeStar:
 		return g.genStarSelect()
+	case ShapePoint:
+		if st := g.genPointSelect(); st != nil {
+			return st
+		}
+		return g.genSimpleSelect()
+	case ShapeRange:
+		if st := g.genRangeSelect(); st != nil {
+			return st
+		}
+		return g.genSimpleSelect()
 	default:
 		return g.genSimpleSelect()
 	}
@@ -382,6 +392,120 @@ func (g *Generator) genStarSelect() ast.Statement {
 		ci := r.pick(g.rnd, anyCol)
 		sel.OrderBy = []ast.OrderItem{{Expr: &ast.ColumnRef{Column: r.col(ci).name}, Desc: g.rnd.Intn(3) == 0}}
 	}
+	return sel
+}
+
+// pkProbe picks a base table whose primary-key band is live — keys have
+// been issued and not all aged away — and returns it with the PK column
+// ordinal; (nil, -1) when no table qualifies.
+func (g *Generator) pkProbe() (*relation, int) {
+	if len(g.tables) == 0 {
+		return nil, -1
+	}
+	order := g.rnd.Perm(len(g.tables))
+	for _, i := range order {
+		t := g.tables[i]
+		if !t.hasPK || t.nextPK <= t.agedPK {
+			continue
+		}
+		for ci := range t.cols {
+			if t.cols[ci].pk {
+				return t, ci
+			}
+		}
+	}
+	return nil, -1
+}
+
+// genPointSelect emits a single-table SELECT whose WHERE pins the
+// primary key to one value from the live band [agedPK, nextPK) — the
+// statement shape the engine's analyzer lowers to an index point
+// lookup. Targeting the live band keeps the probes mostly hitting rows
+// instead of vacuum. A quarter of the probes carry a residual conjunct
+// the index cannot serve, exercising the executor's re-evaluate-the-
+// full-WHERE side of the candidate-superset contract.
+func (g *Generator) genPointSelect() ast.Statement {
+	t, pi := g.pkProbe()
+	if t == nil {
+		return nil
+	}
+	s := scope{{"", t}}
+	pk := t.col(pi)
+	key := t.agedPK + int64(g.rnd.Intn(int(t.nextPK-t.agedPK)))
+	n := 1 + g.rnd.Intn(2)
+	exprs := make([]ast.Expr, 0, n+1)
+	exprs = append(exprs, &ast.ColumnRef{Column: pk.name})
+	for i := 0; i < n; i++ {
+		e, c, ok := s.randomCol(g, anyCol)
+		if !ok {
+			break
+		}
+		exprs = append(exprs, e.ref(c))
+	}
+	where := ast.Expr(&ast.Binary{
+		Op: ast.OpEq,
+		L:  &ast.ColumnRef{Column: pk.name},
+		R:  &ast.Literal{Val: types.NewInt(key)},
+	})
+	if g.rnd.Intn(4) == 0 {
+		where = &ast.Binary{Op: ast.OpAnd, L: where, R: g.predicate(s, 0)}
+	}
+	return &ast.Select{
+		Items: aliasItems(exprs),
+		From:  []ast.FromItem{{Table: ast.TableRef{Name: t.name}}},
+		Where: where,
+	}
+}
+
+// genRangeSelect emits a single-table SELECT bounded on the primary key
+// — BETWEEN, a two-sided conjunction, or a one-sided ordering
+// comparison over the live band — the shape the analyzer lowers to a
+// sorted-index range scan.
+func (g *Generator) genRangeSelect() ast.Statement {
+	t, pi := g.pkProbe()
+	if t == nil {
+		return nil
+	}
+	s := scope{{"", t}}
+	pk := t.col(pi)
+	lo := t.agedPK + int64(g.rnd.Intn(int(t.nextPK-t.agedPK)))
+	width := 1 + int64(g.rnd.Intn(20))
+	ref := func() *ast.ColumnRef { return &ast.ColumnRef{Column: pk.name} }
+	var where ast.Expr
+	switch g.rnd.Intn(4) {
+	case 0:
+		where = &ast.Binary{Op: ast.OpGe, L: ref(), R: &ast.Literal{Val: types.NewInt(lo)}}
+	case 1:
+		where = &ast.Binary{Op: ast.OpLt, L: ref(), R: &ast.Literal{Val: types.NewInt(lo + width)}}
+	case 2:
+		where = &ast.Binary{
+			Op: ast.OpAnd,
+			L:  &ast.Binary{Op: ast.OpGt, L: ref(), R: &ast.Literal{Val: types.NewInt(lo - 1)}},
+			R:  &ast.Binary{Op: ast.OpLe, L: ref(), R: &ast.Literal{Val: types.NewInt(lo + width)}},
+		}
+	default:
+		where = &ast.Between{
+			X:  ref(),
+			Lo: &ast.Literal{Val: types.NewInt(lo)},
+			Hi: &ast.Literal{Val: types.NewInt(lo + width)},
+		}
+	}
+	n := 1 + g.rnd.Intn(2)
+	exprs := make([]ast.Expr, 0, n+1)
+	exprs = append(exprs, ref())
+	for i := 0; i < n; i++ {
+		e, c, ok := s.randomCol(g, anyCol)
+		if !ok {
+			break
+		}
+		exprs = append(exprs, e.ref(c))
+	}
+	sel := &ast.Select{
+		Items: aliasItems(exprs),
+		From:  []ast.FromItem{{Table: ast.TableRef{Name: t.name}}},
+		Where: where,
+	}
+	g.maybeOrderLimit(sel, len(exprs))
 	return sel
 }
 

@@ -53,10 +53,19 @@ const (
 	ShapeGroup  Shape = "group"
 	ShapeUnion  Shape = "union"
 	ShapeStar   Shape = "star"
+	// ShapePoint and ShapeRange are the index-sympathetic shapes: a
+	// single-table SELECT whose WHERE carries a top-level equality
+	// (point) or ordering/BETWEEN bound (range) between a column and a
+	// row-independent value — exactly the conjuncts the engine's
+	// analyzer lowers to index point lookups and range scans. Keeping
+	// them as first-class shapes lets the coverage feedback loop steer
+	// budget onto (or off) the compiled access paths directly.
+	ShapePoint Shape = "point"
+	ShapeRange Shape = "range"
 )
 
 // Shapes lists every SELECT shape in deterministic order.
-var Shapes = []Shape{ShapeSimple, ShapeJoin, ShapeGroup, ShapeUnion, ShapeStar}
+var Shapes = []Shape{ShapeSimple, ShapeJoin, ShapeGroup, ShapeUnion, ShapeStar, ShapePoint, ShapeRange}
 
 // ShapeOf classifies a SELECT by its dominant structural feature. The
 // mapping is derivable from the AST alone, so difftest can attribute
@@ -77,7 +86,62 @@ func ShapeOf(st ast.Statement) Shape {
 	case len(sel.Items) == 1 && sel.Items[0].Star:
 		return ShapeStar
 	default:
+		if point, rng := whereIndexShape(sel.Where); point {
+			return ShapePoint
+		} else if rng {
+			return ShapeRange
+		}
 		return ShapeSimple
+	}
+}
+
+// whereIndexShape walks the top-level AND tree of a WHERE clause and
+// reports whether it carries an equality conjunct (point) or an
+// ordering/BETWEEN bound (rng) between a plain column reference and a
+// literal or parameter — the same leaves the analyzer's predicate
+// classifier admits, so the shape taxonomy mirrors what the engine can
+// actually serve from an index. Point dominates range in ShapeOf.
+func whereIndexShape(e ast.Expr) (point, rng bool) {
+	if e == nil {
+		return false, false
+	}
+	switch x := e.(type) {
+	case *ast.Binary:
+		if x.Op == ast.OpAnd {
+			lp, lr := whereIndexShape(x.L)
+			rp, rr := whereIndexShape(x.R)
+			return lp || rp, lr || rr
+		}
+		colVal := colValueLeaf(x.L, x.R) || colValueLeaf(x.R, x.L)
+		switch x.Op {
+		case ast.OpEq:
+			return colVal, false
+		case ast.OpLt, ast.OpLe, ast.OpGt, ast.OpGe:
+			return false, colVal
+		}
+	case *ast.Between:
+		if !x.Not && colValueLeaf(x.X, x.Lo) && valueLeafExpr(x.Hi) {
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// colValueLeaf reports whether c is a bare column reference and v a
+// row-independent value expression.
+func colValueLeaf(c, v ast.Expr) bool {
+	if _, ok := c.(*ast.ColumnRef); !ok {
+		return false
+	}
+	return valueLeafExpr(v)
+}
+
+func valueLeafExpr(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.Literal, *ast.Param:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -98,18 +162,21 @@ type Weights struct {
 	DDL, Insert, Update, Delete, Select, Txn int
 	// SELECT shapes (relative). JoinSelect and UnionSelect are capped by
 	// the structural options (MaxJoins, Unions): a shape whose feature is
-	// disabled is never picked regardless of its weight.
-	SimpleSelect, JoinSelect, GroupSelect, UnionSelect, StarSelect int
+	// disabled is never picked regardless of its weight. PointSelect and
+	// RangeSelect target the engine's index-backed access paths: PK
+	// point probes and PK range scans over the live key band.
+	SimpleSelect, JoinSelect, GroupSelect, UnionSelect, StarSelect, PointSelect, RangeSelect int
 	// Bind plane (relative; only consulted when Options.Params is on):
 	// the share of DML/queries that bind their values as typed arguments
 	// (ParamBind) versus inline literals (InlineBind).
 	InlineBind, ParamBind int
 }
 
-// DefaultShapeWeights mirrors the generator's historical fixed SELECT
-// distribution (3/2/2/1/2 over simple/join/group/union/star).
-func DefaultShapeWeights() (simple, join, group, union, star int) {
-	return 3, 2, 2, 1, 2
+// DefaultShapeWeights extends the generator's historical fixed SELECT
+// distribution (3/2/2/1/2 over simple/join/group/union/star) with the
+// index-sympathetic shapes (2/1 over point/range).
+func DefaultShapeWeights() (simple, join, group, union, star, point, rng int) {
+	return 3, 2, 2, 1, 2, 2, 1
 }
 
 // weightsFromOptions seeds the plane from the Options' class weights
@@ -119,7 +186,7 @@ func weightsFromOptions(o Options) Weights {
 		DDL: o.WeightDDL, Insert: o.WeightInsert, Update: o.WeightUpdate,
 		Delete: o.WeightDelete, Select: o.WeightSelect, Txn: o.WeightTxn,
 	}
-	w.SimpleSelect, w.JoinSelect, w.GroupSelect, w.UnionSelect, w.StarSelect = DefaultShapeWeights()
+	w.SimpleSelect, w.JoinSelect, w.GroupSelect, w.UnionSelect, w.StarSelect, w.PointSelect, w.RangeSelect = DefaultShapeWeights()
 	if o.Params {
 		w.InlineBind, w.ParamBind = DefaultBindWeights()
 	}
@@ -141,6 +208,7 @@ func (w Weights) sanitize() Weights {
 	for _, p := range []*int{
 		&w.DDL, &w.Insert, &w.Update, &w.Delete, &w.Select, &w.Txn,
 		&w.SimpleSelect, &w.JoinSelect, &w.GroupSelect, &w.UnionSelect, &w.StarSelect,
+		&w.PointSelect, &w.RangeSelect,
 		&w.InlineBind, &w.ParamBind,
 	} {
 		clamp(p)
@@ -198,6 +266,10 @@ func (w Weights) ShapeWeight(s Shape) int {
 		return w.UnionSelect
 	case ShapeStar:
 		return w.StarSelect
+	case ShapePoint:
+		return w.PointSelect
+	case ShapeRange:
+		return w.RangeSelect
 	}
 	return 0
 }
@@ -236,6 +308,10 @@ func (w *Weights) SetShapeWeight(s Shape, v int) {
 		w.UnionSelect = v
 	case ShapeStar:
 		w.StarSelect = v
+	case ShapePoint:
+		w.PointSelect = v
+	case ShapeRange:
+		w.RangeSelect = v
 	}
 }
 

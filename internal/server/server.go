@@ -23,6 +23,7 @@ import (
 	"divsql/internal/core"
 	"divsql/internal/dialect"
 	"divsql/internal/engine"
+	engplan "divsql/internal/engine/plan"
 	"divsql/internal/fault"
 	"divsql/internal/sql/ast"
 	"divsql/internal/sql/parser"
@@ -211,6 +212,23 @@ func (c *Session) InTxn() bool { return c.es.InTxn() }
 
 // Server returns the server the session is attached to.
 func (c *Session) Server() *Server { return c.srv }
+
+// LastPlan describes how the session's most recent SELECT executed on
+// the engine (access path, compiled vs interpreter, plan-cache hit).
+func (c *Session) LastPlan() engplan.Info { return c.es.LastPlan() }
+
+// ExecVariant executes an already parsed pure SELECT under a forced
+// access-path variant, bypassing the engine's plan caches and this
+// server's fault layer. It is the probe of the forced-variant
+// differential oracle (difftest's DQP-lite gate): the caller runs the
+// same statement once per variant and compares the results.
+func (c *Session) ExecVariant(sel *ast.Select, force engplan.Force, args ...types.Value) (*engine.Result, error) {
+	return c.es.ExecSelectVariant(sel, force, args)
+}
+
+// PlanCacheStats returns the engine's shared compiled-plan cache
+// counters (hits, misses, DDL invalidations).
+func (s *Server) PlanCacheStats() engplan.CacheStats { return s.eng.PlanCacheStats() }
 
 // Exec executes one SQL statement in this session, returning the result
 // and the simulated latency. It is a one-shot prepare-and-execute: the
