@@ -21,6 +21,7 @@ import (
 	"divsql/internal/difftest"
 	engplan "divsql/internal/engine/plan"
 	"divsql/internal/middleware"
+	"divsql/internal/obs"
 	"divsql/internal/reliability"
 	"divsql/internal/replication"
 	"divsql/internal/server"
@@ -636,6 +637,36 @@ func BenchmarkDiffFuzzDeep(b *testing.B) {
 			b.ReportMetric(float64(fps)/float64(stmts)*1000, "fingerprints/kstmt")
 		})
 	}
+}
+
+// BenchmarkObsOverhead measures the per-statement cost of the metrics
+// instrumentation (experiment O2): the wire server's per-frame pattern —
+// one counter increment plus one latency-histogram observation around a
+// timed section — against the bare time.Now/time.Since pair it wraps.
+// The delta is the whole per-request price of -metrics, and it must stay
+// in the tens of nanoseconds so instrumented TPC-C throughput is
+// unchanged within noise.
+func BenchmarkObsOverhead(b *testing.B) {
+	var sink time.Duration
+	b.Run("uninstrumented", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			sink += time.Since(start)
+		}
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		var c obs.Counter
+		h := obs.NewHistogram(obs.DefBuckets()...)
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			c.Inc()
+			h.Observe(time.Since(start))
+		}
+		if c.Value() != uint64(b.N) || h.Count() != uint64(b.N) {
+			b.Fatal("instrument lost observations")
+		}
+	})
+	_ = sink
 }
 
 // BenchmarkDiffFuzzFaultFree is the clean-path baseline: no faults, no

@@ -9,7 +9,12 @@
 //	divfuzz [-seed N] [-n N] [-streams N] [-faults=false] [-stress]
 //	        [-sequences] [-params] [-planvariants] [-adaptive]
 //	        [-maxrows N] [-batch N] [-shrink=false] [-maxreports N]
-//	        [-o FILE] [-cov FILE] [-v]
+//	        [-metrics-every N] [-o FILE] [-cov FILE] [-v]
+//
+// -metrics-every N prints a one-line hunt telemetry summary to stderr
+// every N seconds — statements/s, coverage breadth, distinct divergence
+// fingerprints, feedback retargets — so deep hunts (-n 100k+) are
+// observable while they run instead of silent until exit.
 //
 // -planvariants arms the DQP-lite self-check oracle: every SELECT the
 // oracle answers is re-executed on the oracle under forced full-scan
@@ -54,6 +59,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"divsql/internal/difftest"
 )
@@ -72,6 +78,7 @@ func main() {
 	batch := flag.Int("batch", 0, "adaptive retargeting interval in statements (0: 500)")
 	shrink := flag.Bool("shrink", true, "shrink each divergence to a minimal repro stream")
 	maxReports := flag.Int("maxreports", 6, "shrunk reports per server")
+	metricsEvery := flag.Int("metrics-every", 0, "print a one-line hunt telemetry summary (statements/s, coverage breadth, divergence fingerprints, retargets) to stderr every N seconds (0: off)")
 	out := flag.String("o", "", "also write the report to this file (CI artifact)")
 	covOut := flag.String("cov", "", "also write the coverage summary to this file (CI artifact)")
 	verbose := flag.Bool("v", false, "print full repro reports")
@@ -94,6 +101,27 @@ func main() {
 	cfg.PlanVariants = *planVariants
 	if *sequences {
 		cfg = cfg.WithSequences()
+	}
+
+	if *metricsEvery > 0 {
+		tel := difftest.SharedTelemetry()
+		tel.Snapshot() // open the rate window
+		tick := time.NewTicker(time.Duration(*metricsEvery) * time.Second)
+		defer tick.Stop()
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			for {
+				select {
+				case <-tick.C:
+					fmt.Fprintln(os.Stderr, tel.Snapshot().String())
+				case <-done:
+					return
+				}
+			}
+		}()
+		// A run shorter than the interval still reports once at the end.
+		defer func() { fmt.Fprintln(os.Stderr, tel.Snapshot().String()) }()
 	}
 
 	res, err := difftest.Run(cfg)

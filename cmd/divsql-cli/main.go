@@ -31,7 +31,7 @@ func run(addr string) error {
 		return err
 	}
 	defer client.Close()
-	fmt.Printf("connected to %s; one statement per line; \\q to quit\n", addr)
+	fmt.Printf("connected to %s; one statement per line; \\metrics for server metrics; \\q to quit\n", addr)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -45,6 +45,16 @@ func run(addr string) error {
 			continue
 		case line == `\q` || line == "quit" || line == "exit":
 			return nil
+		case line == `\metrics`:
+			// Scrape the server's metrics registry over the METRICS
+			// frame (requires divsqld started with -metrics).
+			doc, err := client.Metrics()
+			if err != nil {
+				fmt.Println("ERROR:", err)
+				continue
+			}
+			fmt.Print(doc)
+			continue
 		}
 		res, err := client.Exec(strings.TrimSuffix(line, ";"))
 		if err != nil {

@@ -8,16 +8,33 @@
 //	divsqld -listen :5433 -mode diverse -servers PG,OR,MS
 //	divsqld -listen :5433 -mode single  -servers IB
 //	divsqld -listen :5433 -mode replicated -servers PG -n 3
+//	divsqld -listen :5433 -metrics :9090
+//
+// -metrics serves a Prometheus text /metrics endpoint covering every
+// subsystem: middleware adjudication (statements, masked failures,
+// splits, resyncs, per-replica quarantine), per-replica engines
+// (plan-cache hit rate, access paths, catalog gauges), the wire
+// protocol (per-frame request counters, latency histograms, bytes),
+// and hunt telemetry. The same registry answers the wire METRICS
+// frame, so sqldriver/CLI clients can introspect the deployment on the
+// SQL port alone.
+//
+// Diagnostics go to stderr; stdout stays scriptable.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 
 	"divsql"
+	"divsql/internal/difftest"
+	"divsql/internal/obs"
 	"divsql/internal/wire"
 )
 
@@ -26,15 +43,44 @@ func main() {
 	mode := flag.String("mode", "diverse", "single | replicated | diverse")
 	servers := flag.String("servers", "PG,OR,MS", "comma-separated server names (IB, PG, OR, MS)")
 	n := flag.Int("n", 2, "replica count for -mode replicated")
+	metrics := flag.String("metrics", "", "serve Prometheus /metrics on this address (e.g. :9090; empty: off)")
 	flag.Parse()
 
-	if err := run(*listen, *mode, *servers, *n); err != nil {
+	d, err := start(*listen, *mode, *servers, *n, *metrics)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "divsqld:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "divsqld: %s mode with %v listening on %s\n", *mode, d.names, d.wireAddr)
+	if d.metricsAddr != "" {
+		fmt.Fprintf(os.Stderr, "divsqld: metrics on http://%s/metrics\n", d.metricsAddr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "divsqld: shutting down")
+	if err := d.close(); err != nil {
 		fmt.Fprintln(os.Stderr, "divsqld:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, mode, serverList string, n int) error {
+// daemon is one running divsqld instance. start/close are separated
+// from main so the metrics smoke test can run the daemon in-process on
+// ephemeral ports.
+type daemon struct {
+	db          divsql.DB
+	names       []divsql.ServerName
+	wireSrv     *wire.Server
+	wireAddr    string
+	metricsLn   net.Listener
+	metricsAddr string
+}
+
+// start opens the endpoint, begins serving the wire protocol on listen
+// and, when metricsAddr is non-empty, the /metrics HTTP endpoint.
+func start(listen, mode, serverList string, n int, metricsAddr string) (*daemon, error) {
 	var names []divsql.ServerName
 	for _, s := range strings.Split(serverList, ",") {
 		names = append(names, divsql.ServerName(strings.ToUpper(strings.TrimSpace(s))))
@@ -51,27 +97,65 @@ func run(listen, mode, serverList string, n int) error {
 	case "diverse":
 		db, err = divsql.OpenDiverse(names...)
 	default:
-		return fmt.Errorf("unknown mode %q", mode)
+		return nil, fmt.Errorf("unknown mode %q", mode)
 	}
 	if err != nil {
-		return err
+		return nil, err
 	}
-	defer db.Close()
 
 	exec, ok := divsql.Executor(db)
 	if !ok {
-		return fmt.Errorf("mode %q has no executor", mode)
+		_ = db.Close()
+		return nil, fmt.Errorf("mode %q has no executor", mode)
 	}
 	srv := wire.NewServer(exec)
+
+	// One registry backs both exposure paths: the HTTP /metrics endpoint
+	// and the wire METRICS frame. The hunt collector reports zeros until
+	// a hunt runs in this process — present either way, so dashboards
+	// can rely on the family set.
+	reg := obs.NewRegistry()
+	reg.Register(obs.ProcessCollector())
+	reg.Register(divsql.Collectors(db)...)
+	reg.Register(srv.MetricsCollector())
+	reg.Register(difftest.SharedTelemetry().MetricsCollector())
+	srv.ServeMetrics(reg)
+
 	addr, err := srv.Listen(listen)
 	if err != nil {
-		return err
+		_ = db.Close()
+		return nil, err
 	}
-	fmt.Printf("divsqld: %s mode with %v listening on %s\n", mode, names, addr)
+	d := &daemon{db: db, names: names, wireSrv: srv, wireAddr: addr}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	fmt.Println("divsqld: shutting down")
-	return srv.Close()
+	if metricsAddr != "" {
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			_ = d.close()
+			return nil, fmt.Errorf("metrics listen: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		go func() { _ = http.Serve(ln, mux) }()
+		d.metricsLn = ln
+		d.metricsAddr = ln.Addr().String()
+	}
+	return d, nil
+}
+
+// close stops the listeners and releases the endpoint.
+func (d *daemon) close() error {
+	var first error
+	if d.metricsLn != nil {
+		if err := d.metricsLn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := d.wireSrv.Close(); err != nil && first == nil {
+		first = err
+	}
+	if err := d.db.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
 }

@@ -57,6 +57,7 @@ import (
 	"divsql/internal/engine"
 	"divsql/internal/fault"
 	"divsql/internal/middleware"
+	"divsql/internal/obs"
 	"divsql/internal/replication"
 	"divsql/internal/server"
 	"divsql/internal/sql/types"
@@ -455,5 +456,23 @@ func Executor(db DB) (core.Executor, bool) {
 		return x.g, true
 	default:
 		return nil, false
+	}
+}
+
+// Collectors returns the DB's metric collectors for an obs.Registry —
+// the middleware adjudication counters and per-replica engine families
+// of a diverse server, the replication counters of a group, or the
+// single server's own families. divsqld registers these behind its
+// -metrics HTTP endpoint and the wire METRICS frame.
+func Collectors(db DB) []obs.Collector {
+	switch x := db.(type) {
+	case *singleDB:
+		return []obs.Collector{x.srv.MetricsCollector()}
+	case *diverseDB:
+		return x.d.MetricsCollectors()
+	case *replicatedDB:
+		return x.g.MetricsCollectors()
+	default:
+		return nil
 	}
 }

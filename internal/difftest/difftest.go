@@ -108,6 +108,10 @@ type Config struct {
 	// divergence against the oracle. Off by default (it re-executes every
 	// SELECT up to twice); fault-free gates turn it on.
 	PlanVariants bool
+	// Telemetry receives live counters while the run executes (nil: the
+	// process-global SharedTelemetry). Consumers are divfuzz's periodic
+	// -metrics-every summaries and divsqld's divsql_hunt_* collector.
+	Telemetry *Telemetry
 	// Params enables the parameterized statement mode: a weighted share
 	// of the generated DML/queries executes through prepare/bind with a
 	// typed argument vector instead of inline literals, so the hunt
@@ -236,6 +240,8 @@ type hunt struct {
 	servers []*server.Server
 	orc     *server.Server
 
+	tel *Telemetry
+
 	mu      sync.Mutex
 	seen    map[dedupKey]*Divergence
 	pending []pendingShrink
@@ -266,7 +272,10 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.FeedbackBatch <= 0 {
 		cfg.FeedbackBatch = 500
 	}
-	h := &hunt{cfg: cfg, seen: make(map[dedupKey]*Divergence), cov: NewCoverage()}
+	h := &hunt{cfg: cfg, seen: make(map[dedupKey]*Divergence), cov: NewCoverage(), tel: cfg.Telemetry}
+	if h.tel == nil {
+		h.tel = SharedTelemetry()
+	}
 	for _, name := range cfg.Servers {
 		srv, err := server.New(name, cfg.Faults)
 		if err != nil {
@@ -390,6 +399,8 @@ func (h *hunt) streamScope(opts qgen.Options) func(string) bool {
 // this stream's own session, concurrently), then each server's outcome
 // is adjudicated against the oracle's before the next statement.
 func (h *hunt) runStream(stream int) {
+	h.tel.streamStarted()
+	defer h.tel.streamDone()
 	opts := h.genOptionsFor(stream)
 	gen := qgen.New(opts)
 	scope := h.streamScope(opts)
@@ -455,7 +466,11 @@ func (h *hunt) runStream(stream int) {
 
 		oo := outs[len(sess)]
 		fp := ast.FingerprintOf(st).String()
+		breadth := cov.GeneratedFingerprints()
 		cov.Observe(st, fp, oo.Err)
+		h.tel.statements.Add(1)
+		h.tel.execs.Add(uint64(len(sess) + 1))
+		h.tel.genFPs.Add(uint64(cov.GeneratedFingerprints() - breadth))
 		seqAdvances := false
 		if sel, isSel := st.(*ast.Select); isSel {
 			// A sequence-advancing SELECT mutates state: if it diverged,
@@ -521,6 +536,7 @@ func (h *hunt) runStream(stream int) {
 		// under-explored, still-yielding regions.
 		if fb != nil && (i+1)%h.cfg.FeedbackBatch == 0 && i+1 < h.cfg.N {
 			gen.SetWeights(fb.Retarget(cov))
+			h.tel.retargets.Add(1)
 		}
 	}
 }
@@ -548,6 +564,7 @@ func stateDiverging(st ast.Statement, so, oo server.StmtOutcome, cls core.Classi
 // record deduplicates one divergent execution by (server, fingerprint).
 func (h *hunt) record(name dialect.ServerName, fp string, sql string, cls core.Classification, history []string, stream, index int) {
 	key := dedupKey{name, fp}
+	h.tel.raw.Add(1)
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if d, ok := h.seen[key]; ok {
@@ -556,6 +573,7 @@ func (h *hunt) record(name dialect.ServerName, fp string, sql string, cls core.C
 		return
 	}
 	h.raw++
+	h.tel.divFPs.Add(1)
 	h.seen[key] = &Divergence{
 		Server: name, Fingerprint: key.fp, Class: cls,
 		SQL: sql, Stream: stream, Index: index, Count: 1,

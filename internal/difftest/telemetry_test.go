@@ -1,0 +1,94 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"divsql/internal/obs"
+)
+
+// TestTelemetryTracksRun checks the live counters agree with the run's
+// own result accounting on a fault-free adaptive run.
+func TestTelemetryTracksRun(t *testing.T) {
+	tel := &Telemetry{}
+	cfg := DefaultConfig(21, 200)
+	cfg.Streams = 2
+	cfg.Shrink = false
+	cfg.Adaptive = true
+	cfg.FeedbackBatch = 50
+	cfg.Telemetry = tel
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Divergences) != 0 {
+		t.Fatalf("fault-free run diverged: %v", res.Divergences)
+	}
+
+	s := tel.Snapshot()
+	if s.Statements != uint64(res.Statements) {
+		t.Errorf("statements = %d, want %d", s.Statements, res.Statements)
+	}
+	if s.Execs != uint64(res.Execs) {
+		t.Errorf("execs = %d, want %d", s.Execs, res.Execs)
+	}
+	if s.RawDivergences != 0 || s.DivergenceFingerprints != 0 {
+		t.Errorf("divergence counters moved on a fault-free run: %+v", s)
+	}
+	if s.GeneratedFingerprints == 0 {
+		t.Error("no coverage breadth recorded")
+	}
+	// Each stream retargets after every full batch except the last:
+	// 200/50 - 1 = 3 per stream.
+	if want := uint64(2 * 3); s.Retargets != want {
+		t.Errorf("retargets = %d, want %d", s.Retargets, want)
+	}
+	if s.ActiveStreams != 0 {
+		t.Errorf("active streams = %d after run end", s.ActiveStreams)
+	}
+
+	line := s.String()
+	for _, want := range []string{"stmts", "retargets", "divergences 0 raw / 0 distinct"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("summary line missing %q: %s", want, line)
+		}
+	}
+
+	reg := obs.NewRegistry()
+	reg.Register(tel.MetricsCollector())
+	doc := reg.Render()
+	for _, want := range []string{
+		"divsql_hunt_statements_total 400",
+		"divsql_hunt_feedback_retargets_total 6",
+		"divsql_hunt_active_streams 0",
+		"divsql_hunt_generated_fingerprints_total",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("hunt scrape missing %q\n%s", want, doc)
+		}
+	}
+}
+
+// TestTelemetrySeesDivergences checks the divergence counters move on a
+// faulty run.
+func TestTelemetrySeesDivergences(t *testing.T) {
+	tel := &Telemetry{}
+	cfg := CalibratedConfig(3, 400)
+	cfg.Shrink = false
+	cfg.Telemetry = tel
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tel.Snapshot()
+	if s.DivergenceFingerprints != uint64(len(res.Divergences)) {
+		t.Errorf("distinct divergences = %d, want %d", s.DivergenceFingerprints, len(res.Divergences))
+	}
+	if s.RawDivergences != uint64(res.Raw) {
+		t.Errorf("raw divergences = %d, want %d", s.RawDivergences, res.Raw)
+	}
+	if s.RawDivergences == 0 {
+		t.Error("calibrated run recorded no divergences — fault set not armed?")
+	}
+}

@@ -507,8 +507,12 @@ func (s *Session) execSelectRLocked(sel *ast.Select) (*Result, error) {
 // the interpreter fallback.
 func (s *Session) dispatchCompiled(cs *compiledSelect, cacheHit bool) (*Result, error) {
 	if cs.p == nil {
+		s.eng.interpSelects.Add(1)
 		s.lastPlan = plan.Info{CacheHit: cacheHit}
 		return s.exec(cs.sel)
+	}
+	if p := int(cs.p.Path); p >= 0 && p < len(s.eng.pathExecs) {
+		s.eng.pathExecs[p].Add(1)
 	}
 	s.lastPlan = plan.Info{Table: cs.p.Table, Path: cs.p.Path, Compiled: true, CacheHit: cacheHit}
 	return s.runCompiled(cs)

@@ -192,6 +192,13 @@ type Engine struct {
 	memoHits    atomic.Uint64 // memo-tier hits, folded into PlanCacheStats
 	planCache   *plan.Cache
 
+	// pathExecs counts compiled SELECT executions by access path (indexed
+	// by plan.AccessPath); interpSelects counts dispatches that fell back
+	// to the interpreter (ineligible shapes). Atomic so the read-lock
+	// SELECT fast path records without extra synchronization.
+	pathExecs     [3]atomic.Uint64
+	interpSelects atomic.Uint64
+
 	// sessions registers every live session (including the lazily created
 	// default session def, which backs the sessionless compatibility API).
 	sessions map[*Session]struct{}

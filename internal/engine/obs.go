@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"sort"
+
+	"divsql/internal/engine/plan"
+	"divsql/internal/obs"
+)
+
+// This file is the engine's observability surface: a consistent stats
+// snapshot taken under the read lock, and an obs.Collector that turns it
+// (plus the lock-free plan-cache and access-path counters) into
+// divsql_engine_* metric families. In a diverse deployment every replica
+// runs its own engine, so the collector labels each series with the
+// replica name and the middleware registers one collector per replica
+// into the shared family set.
+
+// TableRows is one base table's live row count.
+type TableRows struct {
+	Name string
+	Rows int
+}
+
+// Stats is a consistent engine-state snapshot for introspection.
+type Stats struct {
+	Sessions      int
+	InTxn         int // sessions with an open transaction
+	Tables        int
+	Views         int
+	Indexes       int
+	Sequences     int
+	TableRows     []TableRows // sorted by table name
+	CommitSeq     uint64
+	SchemaVersion uint64
+}
+
+// StatsSnapshot reads the engine's introspection stats under one read
+// lock acquisition, so the counts are mutually consistent.
+func (e *Engine) StatsSnapshot() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st := Stats{
+		Sessions:      len(e.sessions),
+		Tables:        len(e.st.tables),
+		Views:         len(e.st.views),
+		Indexes:       len(e.st.indexs),
+		Sequences:     len(e.st.seqs),
+		CommitSeq:     e.commitSeq,
+		SchemaVersion: e.schemaVersion,
+	}
+	for s := range e.sessions {
+		if s.inTxn {
+			st.InTxn++
+		}
+	}
+	st.TableRows = make([]TableRows, 0, len(e.st.tables))
+	for n, t := range e.st.tables {
+		st.TableRows = append(st.TableRows, TableRows{Name: n, Rows: len(t.Rows)})
+	}
+	sort.Slice(st.TableRows, func(i, j int) bool {
+		return st.TableRows[i].Name < st.TableRows[j].Name
+	})
+	return st
+}
+
+// PathExecs returns compiled SELECT executions by access path, plus the
+// interpreter-fallback dispatch count.
+func (e *Engine) PathExecs() (byPath [3]uint64, interpreted uint64) {
+	for i := range e.pathExecs {
+		byPath[i] = e.pathExecs[i].Load()
+	}
+	return byPath, e.interpSelects.Load()
+}
+
+// MetricsCollector returns the engine's obs collector. The replica label
+// distinguishes engines in a diverse/replicated deployment; pass "" for
+// a single-server deployment to omit per-replica labeling entirely.
+func (e *Engine) MetricsCollector(replica string) obs.Collector {
+	var labels []obs.Label
+	if replica != "" {
+		labels = []obs.Label{obs.L("replica", replica)}
+	}
+	return obs.NewCollector("engine", func(f *obs.Feed) {
+		cs := e.PlanCacheStats()
+		f.Count("divsql_engine_plan_cache_hits_total",
+			"Compiled-plan cache hits (memo tier folded in).", cs.Hits, labels...)
+		f.Count("divsql_engine_plan_cache_misses_total",
+			"Compiled-plan cache misses (compilations).", cs.Misses, labels...)
+		f.Count("divsql_engine_plan_cache_invalidations_total",
+			"Compiled plans invalidated by schema change.", cs.Invalidations, labels...)
+		f.Gauge("divsql_engine_plan_cache_hit_rate",
+			"Plan-cache hit rate over the process lifetime.", cs.HitRate(), labels...)
+
+		byPath, interp := e.PathExecs()
+		for p, n := range byPath {
+			f.Count("divsql_engine_compiled_exec_total",
+				"Compiled SELECT executions by access path.", n,
+				append(labels[:len(labels):len(labels)], obs.L("path", plan.AccessPath(p).String()))...)
+		}
+		f.Count("divsql_engine_interpreted_selects_total",
+			"SELECT dispatches that fell back to the interpreter.", interp, labels...)
+
+		st := e.StatsSnapshot()
+		f.Gauge("divsql_engine_sessions",
+			"Live engine sessions.", float64(st.Sessions), labels...)
+		f.Gauge("divsql_engine_sessions_in_txn",
+			"Sessions with an open transaction.", float64(st.InTxn), labels...)
+		f.Gauge("divsql_engine_tables",
+			"Base tables in the catalog.", float64(st.Tables), labels...)
+		f.Gauge("divsql_engine_views",
+			"Views in the catalog.", float64(st.Views), labels...)
+		f.Gauge("divsql_engine_indexes",
+			"Declared secondary indexes.", float64(st.Indexes), labels...)
+		f.Gauge("divsql_engine_sequences",
+			"Sequences in the catalog.", float64(st.Sequences), labels...)
+		f.Count("divsql_engine_commit_seq",
+			"Commit high-water mark.", st.CommitSeq, labels...)
+		f.Gauge("divsql_engine_schema_version",
+			"Current schema generation stamp.", float64(st.SchemaVersion), labels...)
+		for _, tr := range st.TableRows {
+			f.Gauge("divsql_engine_table_rows",
+				"Live rows per base table.", float64(tr.Rows),
+				append(labels[:len(labels):len(labels)], obs.L("table", tr.Name))...)
+		}
+	})
+}

@@ -41,6 +41,7 @@ import (
 
 	"divsql/internal/core"
 	"divsql/internal/engine"
+	"divsql/internal/obs"
 	"divsql/internal/server"
 	"divsql/internal/sql/ast"
 	"divsql/internal/sql/types"
@@ -191,6 +192,11 @@ type DiverseServer struct {
 	// so quarantined replicas rejoin without waiting for the next write
 	// (bounding the quarantine window under read-only workloads).
 	idleRejoinArmed bool
+
+	// resyncDur records wall-clock duration of each snapshot resync
+	// (capture + restore + journal replay). The histogram itself is
+	// atomic; it is populated under the same locks as the resync.
+	resyncDur *obs.Histogram
 }
 
 var (
@@ -213,7 +219,11 @@ func New(cfg Config, servers ...*server.Server) (*DiverseServer, error) {
 	if cfg.Compare.FloatSigDigits == 0 && !cfg.Compare.OrderSensitive {
 		cfg.Compare = core.DefaultCompareOptions()
 	}
-	d := &DiverseServer{cfg: cfg, sessions: make(map[*Session]struct{})}
+	d := &DiverseServer{
+		cfg:       cfg,
+		sessions:  make(map[*Session]struct{}),
+		resyncDur: obs.NewHistogram(resyncBuckets()...),
+	}
 	for _, s := range servers {
 		d.replicas = append(d.replicas, &replica{srv: s})
 	}
@@ -315,7 +325,12 @@ func (d *DiverseServer) ReplicaNames() []string {
 	return names
 }
 
-// Metrics returns a snapshot of the counters.
+// Metrics returns a snapshot of the counters. It is safe to call
+// concurrently with statement execution: every writer of d.metrics
+// (execAdjudicated, flushPendingResyncs, the crash/rephrase paths)
+// increments under d.mu, and this copy is taken under the same lock, so
+// the snapshot is internally consistent — all counters as of one moment
+// between (not within) metric updates.
 func (d *DiverseServer) Metrics() Metrics {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -911,6 +926,7 @@ func (d *DiverseServer) flushPendingResyncs() {
 		if donor == nil {
 			continue // try again on a later statement
 		}
+		start := time.Now()
 		snap := donor.srv.Snapshot()
 		r.srv.Restore(snap)
 		for cs := range d.sessions {
@@ -928,6 +944,7 @@ func (d *DiverseServer) flushPendingResyncs() {
 		r.quarantined = false
 		d.metrics.Resyncs++
 		d.metrics.LastResyncSeq = snap.CommitSeq
+		d.resyncDur.Observe(time.Since(start))
 	}
 }
 

@@ -1,0 +1,426 @@
+// Package obs is divsql's metrics subsystem: a dependency-free registry
+// of counters, gauges and fixed-bucket histograms that renders the
+// Prometheus text exposition format.
+//
+// The layout follows the collector-per-subsystem pattern of production
+// exporters (wmi_exporter's mssql_* collectors): each subsystem —
+// middleware adjudication, engine, wire protocol, difftest hunts —
+// implements one Collector that contributes its metric families to a
+// shared Registry at scrape time. Subsystems that need hot-path
+// recording (wire latency, resync durations) hold live instruments
+// (Counter, Gauge, Histogram — all atomic, allocation-free to record);
+// subsystems that already keep their own counters (middleware.Metrics,
+// plan.CacheStats) just read them out in Collect.
+//
+// Metric naming convention: divsql_<subsystem>_<name>, with the usual
+// Prometheus suffixes (_total for counters, _seconds for durations).
+// Family names must match [a-zA-Z_:][a-zA-Z0-9_:]* — Feed.add panics on
+// violations, so a bad name fails the first scrape in tests rather than
+// producing an unscrapable endpoint in production.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// Instruments
+
+// Counter is a monotonically increasing counter, safe for concurrent
+// use. The zero value is ready.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down, safe for concurrent use.
+// The zero value is ready.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket duration histogram. Observe is one atomic
+// add on the bucket plus two on the aggregates — cheap enough for
+// per-statement hot paths. Bucket counts are stored per-bucket and
+// cumulated only at render time (the exposition format's `le` buckets
+// are cumulative and end in +Inf).
+type Histogram struct {
+	bounds []time.Duration // ascending upper bounds; +Inf is implicit
+	counts []atomic.Uint64 // len(bounds)+1; last slot is the +Inf overflow
+	count  atomic.Uint64
+	sumNs  atomic.Int64
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds. An empty bound list yields a single +Inf bucket (count/sum
+// only).
+func NewHistogram(bounds ...time.Duration) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// DefBuckets are the default wire-latency bounds: the simulated servers'
+// BaseLatency is 1ms, adjudicated statements wait for the slowest
+// replica, and fault-injected latency outliers reach seconds.
+func DefBuckets() []time.Duration {
+	return []time.Duration{
+		250 * time.Microsecond, 500 * time.Microsecond,
+		time.Millisecond, 2500 * time.Microsecond, 5 * time.Millisecond,
+		10 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond,
+		100 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond,
+		time.Second, 2500 * time.Millisecond,
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+	for i, b := range h.bounds {
+		if d <= b {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.counts[len(h.bounds)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// snapshot reads the histogram into exposition form (bounds in seconds,
+// per-bucket counts not yet cumulated).
+func (h *Histogram) snapshot() (bounds []float64, counts []uint64, count uint64, sum float64) {
+	bounds = make([]float64, len(h.bounds))
+	for i, b := range h.bounds {
+		bounds[i] = b.Seconds()
+	}
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return bounds, counts, h.count.Load(), time.Duration(h.sumNs.Load()).Seconds()
+}
+
+// ---------------------------------------------------------------------------
+// Families
+
+// Kind is a metric family's exposition type.
+type Kind string
+
+// Family kinds.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Label is one name=value pair of a sample.
+type Label struct{ Name, Value string }
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// sample is one rendered series of a counter/gauge family.
+type sample struct {
+	labels []Label
+	value  float64
+}
+
+// histSample is one rendered series of a histogram family.
+type histSample struct {
+	labels []Label
+	bounds []float64 // seconds
+	counts []uint64  // per-bucket (not cumulative); len(bounds)+1
+	count  uint64
+	sum    float64
+}
+
+// Family is one metric family: a name, help text, a kind and its
+// samples.
+type Family struct {
+	Name string
+	Help string
+	Kind Kind
+
+	samples []sample
+	hists   []histSample
+}
+
+// Collector contributes one subsystem's metric families to a scrape.
+// Collect must be safe for concurrent use (a scrape can race the
+// subsystem's own execution).
+type Collector interface {
+	// Name identifies the collector (the <subsystem> of its families).
+	Name() string
+	// Collect appends the subsystem's current families to the feed.
+	Collect(f *Feed)
+}
+
+// collectorFunc adapts a function to the Collector interface.
+type collectorFunc struct {
+	name string
+	fn   func(*Feed)
+}
+
+func (c collectorFunc) Name() string    { return c.name }
+func (c collectorFunc) Collect(f *Feed) { c.fn(f) }
+
+// NewCollector wraps a collect function as a named Collector.
+func NewCollector(name string, fn func(*Feed)) Collector {
+	return collectorFunc{name: name, fn: fn}
+}
+
+// Feed accumulates metric families during one scrape. Samples added
+// under the same family name are merged into one family (first help and
+// kind win), so collectors with per-replica labels can contribute series
+// to a shared family.
+type Feed struct {
+	order []string
+	byN   map[string]*Family
+}
+
+// newFeed returns an empty feed.
+func newFeed() *Feed { return &Feed{byN: make(map[string]*Family)} }
+
+// family returns (creating if needed) the named family.
+func (f *Feed) family(name, help string, kind Kind) *Family {
+	if !ValidName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	fam, ok := f.byN[name]
+	if !ok {
+		fam = &Family{Name: name, Help: help, Kind: kind}
+		f.byN[name] = fam
+		f.order = append(f.order, name)
+	}
+	return fam
+}
+
+// Count adds one counter sample.
+func (f *Feed) Count(name, help string, v uint64, labels ...Label) {
+	fam := f.family(name, help, KindCounter)
+	fam.samples = append(fam.samples, sample{labels: labels, value: float64(v)})
+}
+
+// Gauge adds one gauge sample.
+func (f *Feed) Gauge(name, help string, v float64, labels ...Label) {
+	fam := f.family(name, help, KindGauge)
+	fam.samples = append(fam.samples, sample{labels: labels, value: v})
+}
+
+// Histo adds one histogram sample from a live Histogram instrument.
+func (f *Feed) Histo(name, help string, h *Histogram, labels ...Label) {
+	fam := f.family(name, help, KindHistogram)
+	bounds, counts, count, sum := h.snapshot()
+	fam.hists = append(fam.hists, histSample{
+		labels: labels, bounds: bounds, counts: counts, count: count, sum: sum,
+	})
+}
+
+// ValidName reports whether name is a legal metric or label name
+// ([a-zA-Z_:][a-zA-Z0-9_:]*; labels additionally must not use ':', which
+// this check does not enforce — the package only generates plain label
+// names).
+func ValidName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+// Registry is an ordered set of collectors; Render scrapes them all into
+// one exposition document.
+type Registry struct {
+	mu         sync.Mutex
+	collectors []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register appends collectors to the scrape order. Nil collectors are
+// skipped.
+func (r *Registry) Register(cs ...Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range cs {
+		if c != nil {
+			r.collectors = append(r.collectors, c)
+		}
+	}
+}
+
+// Gather runs every collector and returns the merged families in
+// first-contribution order.
+func (r *Registry) Gather() []*Family {
+	r.mu.Lock()
+	cs := append([]Collector(nil), r.collectors...)
+	r.mu.Unlock()
+	f := newFeed()
+	for _, c := range cs {
+		c.Collect(f)
+	}
+	fams := make([]*Family, 0, len(f.order))
+	for _, n := range f.order {
+		fams = append(fams, f.byN[n])
+	}
+	return fams
+}
+
+// Render scrapes all collectors and renders the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) Render() string {
+	var b strings.Builder
+	for _, fam := range r.Gather() {
+		renderFamily(&b, fam)
+	}
+	return b.String()
+}
+
+// Handler returns an http.Handler serving the rendered exposition at
+// any path (mount it at /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(r.Render()))
+	})
+}
+
+func renderFamily(b *strings.Builder, fam *Family) {
+	fmt.Fprintf(b, "# HELP %s %s\n", fam.Name, escapeHelp(fam.Help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", fam.Name, fam.Kind)
+	for _, s := range fam.samples {
+		fmt.Fprintf(b, "%s%s %s\n", fam.Name, renderLabels(s.labels), fmtFloat(s.value))
+	}
+	for _, h := range fam.hists {
+		cum := uint64(0)
+		for i, bound := range h.bounds {
+			cum += h.counts[i]
+			fmt.Fprintf(b, "%s_bucket%s %d\n",
+				fam.Name, renderLabels(h.labels, L("le", fmtFloat(bound))), cum)
+		}
+		// The +Inf bucket equals the total count by construction.
+		fmt.Fprintf(b, "%s_bucket%s %d\n",
+			fam.Name, renderLabels(h.labels, L("le", "+Inf")), h.count)
+		fmt.Fprintf(b, "%s_sum%s %s\n", fam.Name, renderLabels(h.labels), fmtFloat(h.sum))
+		fmt.Fprintf(b, "%s_count%s %d\n", fam.Name, renderLabels(h.labels), h.count)
+	}
+}
+
+// renderLabels renders a label set as {a="b",c="d"} (empty string for no
+// labels), with label values escaped per the exposition format.
+func renderLabels(labels []Label, extra ...Label) string {
+	all := make([]Label, 0, len(labels)+len(extra))
+	all = append(all, labels...)
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+func escapeHelp(v string) string  { return helpEscaper.Replace(v) }
+
+// fmtFloat renders a sample value: integral values without an exponent
+// or trailing zeros, everything else in Go's shortest form.
+func fmtFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ---------------------------------------------------------------------------
+// Process collector
+
+// ProcessCollector reports process-level basics: start time, uptime and
+// live goroutines.
+func ProcessCollector() Collector {
+	start := time.Now()
+	return NewCollector("process", func(f *Feed) {
+		f.Gauge("divsql_process_start_time_seconds",
+			"Unix time the process started.", float64(start.Unix()))
+		f.Gauge("divsql_process_uptime_seconds",
+			"Seconds since the process started.", time.Since(start).Seconds())
+		f.Gauge("divsql_process_goroutines",
+			"Live goroutines.", float64(runtime.NumGoroutine()))
+	})
+}
+
+// Sort orders a label-keyed map's keys deterministically (helper for
+// collectors iterating maps into labeled series).
+func Sort[K ~string](m map[K]int) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -1,0 +1,348 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"net/http/httptest"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testRegistry() *Registry {
+	reg := NewRegistry()
+
+	var reqs Counter
+	reqs.Add(42)
+	var open Gauge
+	open.Set(3)
+	h := NewHistogram(time.Millisecond, 10*time.Millisecond, 100*time.Millisecond)
+	h.Observe(500 * time.Microsecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(50 * time.Millisecond)
+	h.Observe(5 * time.Second) // +Inf overflow
+
+	reg.Register(NewCollector("demo", func(f *Feed) {
+		f.Count("divsql_demo_requests_total", "Requests served.", reqs.Value(),
+			L("frame", "EXEC"))
+		f.Count("divsql_demo_requests_total", "Requests served.", 7,
+			L("frame", "PING"))
+		f.Gauge("divsql_demo_open_connections", "Open connections.", float64(open.Value()))
+		f.Gauge("divsql_demo_hit_rate", "Cache hit rate.", 0.756)
+		f.Histo("divsql_demo_latency_seconds", "Request latency.", h,
+			L("frame", `we"ird\label`))
+	}))
+	reg.Register(ProcessCollector())
+	return reg
+}
+
+// TestExpositionRoundtrip is the format-validity gate: it parses the
+// rendered document line by line and asserts every family has # HELP
+// and # TYPE before its samples, every metric/label name matches
+// [a-zA-Z_:][a-zA-Z0-9_:]*, and every histogram's buckets are
+// cumulative (non-decreasing) and end in le="+Inf" equal to _count.
+func TestExpositionRoundtrip(t *testing.T) {
+	doc := testRegistry().Render()
+	checkExposition(t, doc)
+
+	// Spot checks on the concrete rendering.
+	for _, want := range []string{
+		`divsql_demo_requests_total{frame="EXEC"} 42`,
+		`divsql_demo_requests_total{frame="PING"} 7`,
+		"divsql_demo_open_connections 3",
+		"divsql_demo_hit_rate 0.756",
+		`le="+Inf"`,
+		`we\"ird\\label`,
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("rendered document missing %q\n%s", want, doc)
+		}
+	}
+}
+
+var (
+	nameRE  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRE = regexp.MustCompile(`([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"`)
+)
+
+type parsedSample struct {
+	name   string
+	labels string
+	value  float64
+}
+
+// checkExposition is a minimal exposition-format parser used as a
+// validity oracle for Render output.
+func checkExposition(t *testing.T, doc string) []parsedSample {
+	t.Helper()
+	if !strings.HasSuffix(doc, "\n") {
+		t.Fatalf("document must end in a newline")
+	}
+
+	helped := map[string]bool{}
+	typed := map[string]Kind{}
+	var samples []parsedSample
+
+	for _, line := range strings.Split(strings.TrimRight(doc, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !nameRE.MatchString(name) {
+				t.Fatalf("bad HELP line: %q", line)
+			}
+			if helped[name] {
+				t.Fatalf("duplicate HELP for %s", name)
+			}
+			helped[name] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			parts := strings.Fields(rest)
+			if len(parts) != 2 || !nameRE.MatchString(parts[0]) {
+				t.Fatalf("bad TYPE line: %q", line)
+			}
+			switch Kind(parts[1]) {
+			case KindCounter, KindGauge, KindHistogram:
+			default:
+				t.Fatalf("unknown type in %q", line)
+			}
+			if !helped[parts[0]] {
+				t.Fatalf("TYPE before HELP for %s", parts[0])
+			}
+			if _, dup := typed[parts[0]]; dup {
+				t.Fatalf("duplicate TYPE for %s", parts[0])
+			}
+			typed[parts[0]] = Kind(parts[1])
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("unexpected comment line %q", line)
+		default:
+			name := line
+			labels := ""
+			if i := strings.IndexByte(line, '{'); i >= 0 {
+				j := strings.LastIndexByte(line, '}')
+				if j < i {
+					t.Fatalf("unbalanced braces in %q", line)
+				}
+				name, labels = line[:i], line[i+1:j]
+				line = line[:i] + line[j+1:]
+				for _, m := range labelRE.FindAllStringSubmatch(labels, -1) {
+					if !nameRE.MatchString(m[1]) {
+						t.Fatalf("bad label name %q in %q", m[1], labels)
+					}
+				}
+			} else {
+				name = strings.Fields(line)[0]
+			}
+			if !nameRE.MatchString(name) {
+				t.Fatalf("bad metric name %q", name)
+			}
+			fam := name
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if typed[strings.TrimSuffix(name, suf)] == KindHistogram {
+					fam = strings.TrimSuffix(name, suf)
+				}
+			}
+			if _, ok := typed[fam]; !ok {
+				t.Fatalf("sample %q has no preceding TYPE", name)
+			}
+			fields := strings.Fields(strings.Replace(line, name, "", 1))
+			if len(fields) != 1 {
+				t.Fatalf("sample line %q: want exactly one value", line)
+			}
+			v, err := parseValue(fields[0])
+			if err != nil {
+				t.Fatalf("sample line %q: bad value: %v", line, err)
+			}
+			samples = append(samples, parsedSample{name: name, labels: labels, value: v})
+		}
+	}
+
+	checkHistograms(t, typed, samples)
+	return samples
+}
+
+func parseValue(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// checkHistograms verifies, per histogram family and label set, that
+// bucket values are cumulative (non-decreasing in le order), the last
+// bucket is le="+Inf", and its value equals _count.
+func checkHistograms(t *testing.T, typed map[string]Kind, samples []parsedSample) {
+	t.Helper()
+	type series struct {
+		buckets map[float64]float64 // le -> cumulative count
+		count   float64
+		hasInf  bool
+	}
+	bySeries := map[string]*series{}
+
+	stripLE := func(labels string) (rest string, le float64, ok bool) {
+		var kept []string
+		for _, m := range labelRE.FindAllStringSubmatch(labels, -1) {
+			if m[1] == "le" {
+				v, err := parseValue(m[2])
+				if err != nil {
+					t.Fatalf("bad le value %q", m[2])
+				}
+				le, ok = v, true
+				continue
+			}
+			kept = append(kept, m[0])
+		}
+		return strings.Join(kept, ","), le, ok
+	}
+
+	get := func(fam, labels string) *series {
+		key := fam + "|" + labels
+		s, okay := bySeries[key]
+		if !okay {
+			s = &series{buckets: map[float64]float64{}}
+			bySeries[key] = s
+		}
+		return s
+	}
+
+	for _, s := range samples {
+		for fam, kind := range typed {
+			if kind != KindHistogram {
+				continue
+			}
+			switch s.name {
+			case fam + "_bucket":
+				rest, le, ok := stripLE(s.labels)
+				if !ok {
+					t.Fatalf("bucket sample without le label: %+v", s)
+				}
+				sr := get(fam, rest)
+				sr.buckets[le] = s.value
+				if math.IsInf(le, 1) {
+					sr.hasInf = true
+				}
+			case fam + "_count":
+				get(fam, s.labels).count = s.value
+			}
+		}
+	}
+
+	if len(bySeries) == 0 {
+		t.Fatalf("no histogram series found")
+	}
+	for key, sr := range bySeries {
+		if !sr.hasInf {
+			t.Errorf("histogram %s: no +Inf bucket", key)
+		}
+		les := make([]float64, 0, len(sr.buckets))
+		for le := range sr.buckets {
+			les = append(les, le)
+		}
+		sort.Float64s(les)
+		prev := -1.0
+		for _, le := range les {
+			if sr.buckets[le] < prev {
+				t.Errorf("histogram %s: bucket le=%v not cumulative (%v < %v)",
+					key, le, sr.buckets[le], prev)
+			}
+			prev = sr.buckets[le]
+		}
+		if inf := sr.buckets[math.Inf(1)]; inf != sr.count {
+			t.Errorf("histogram %s: +Inf bucket %v != _count %v", key, inf, sr.count)
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(time.Millisecond, 10*time.Millisecond)
+	h.Observe(time.Millisecond) // boundary goes in its bucket (le is <=)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(time.Minute)
+	h.Observe(-time.Second) // clamped to 0, lands in first bucket
+	bounds, counts, count, sum := h.snapshot()
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+	if want := []uint64{2, 1, 1}; len(counts) != 3 || counts[0] != want[0] || counts[1] != want[1] || counts[2] != want[2] {
+		t.Fatalf("counts = %v, want %v", counts, want)
+	}
+	if bounds[0] != 0.001 || bounds[1] != 0.01 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	if want := (time.Millisecond + 5*time.Millisecond + time.Minute).Seconds(); sum != want {
+		t.Fatalf("sum = %v, want %v", sum, want)
+	}
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on invalid metric name")
+		}
+	}()
+	f := newFeed()
+	f.Count("9starts_with_digit", "", 1)
+}
+
+func TestValidName(t *testing.T) {
+	for name, want := range map[string]bool{
+		"divsql_wire_requests_total": true,
+		"a:b":                        true,
+		"_leading":                   true,
+		"":                           false,
+		"9x":                         false,
+		"has-dash":                   false,
+		"has space":                  false,
+	} {
+		if got := ValidName(name); got != want {
+			t.Errorf("ValidName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	srv := httptest.NewServer(testRegistry().Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExposition(t, string(body))
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	h := NewHistogram(DefBuckets()...)
+	var c Counter
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(time.Duration(j) * time.Microsecond)
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 || c.Value() != 8000 || g.Value() != 0 {
+		t.Fatalf("count=%d counter=%d gauge=%d", h.Count(), c.Value(), g.Value())
+	}
+}

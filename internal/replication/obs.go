@@ -1,0 +1,38 @@
+package replication
+
+import (
+	"fmt"
+
+	"divsql/internal/obs"
+)
+
+// MetricsCollectors returns the group's collector set: the replication
+// counters and primary identity, plus one per-member server collector
+// (replica-labeled engine families).
+func (g *Group) MetricsCollectors() []obs.Collector {
+	group := obs.NewCollector("replication", func(f *obs.Feed) {
+		g.mu.Lock()
+		m := g.metrics
+		primary := g.primary
+		g.mu.Unlock()
+		f.Count("divsql_replication_statements_total",
+			"Statements executed through the group.", uint64(m.Statements))
+		f.Count("divsql_replication_failovers_total",
+			"Primary failovers after crashes.", uint64(m.Failovers))
+		f.Count("divsql_replication_propagated_total",
+			"Updates propagated to backups (uncompared).", uint64(m.Propagated))
+		f.Count("divsql_replication_unchecked_ok_total",
+			"Results returned to clients without comparison.", uint64(m.UncheckedOK))
+		f.Gauge("divsql_replication_primary_index",
+			"Index of the current primary in the group.", float64(primary))
+	})
+	cs := []obs.Collector{group}
+	g.mu.Lock()
+	for i, s := range g.servers {
+		// Members are identical products; the index keeps the replica
+		// labels distinct (PG#0, PG#1, ...).
+		cs = append(cs, s.MetricsCollectorAs(fmt.Sprintf("%s#%d", s.Name(), i)))
+	}
+	g.mu.Unlock()
+	return cs
+}

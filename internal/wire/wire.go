@@ -34,6 +34,12 @@
 //	C: CLOSE <name>\n
 //	S: OK 0 0 0\n.\n
 //
+// Introspection (armed with ServeMetrics — see metrics.go):
+//
+//	C: METRICS\n
+//	S: MET <nbytes>\n<nbytes bytes of Prometheus exposition>.\n
+//	or ERR metrics not enabled\n
+//
 // BIND arguments use the types.Value kind-tagged encoding ("I:42",
 // "F:1.5", "S:text", "B:1", "D:2026-01-01", "N" for NULL; payload tabs
 // and newlines are backslash-escaped), tab-separated.
@@ -45,6 +51,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strconv"
 	"strings"
@@ -53,6 +60,7 @@ import (
 
 	"divsql/internal/core"
 	"divsql/internal/engine"
+	"divsql/internal/obs"
 	"divsql/internal/sql/types"
 )
 
@@ -64,18 +72,20 @@ var cellFlattener = strings.NewReplacer("\t", " ", "\n", " ", "\r", " ")
 
 // Server serves an Executor over TCP.
 type Server struct {
-	exec core.Executor
+	exec    core.Executor
+	metrics *wireMetrics
 
-	mu       sync.Mutex
-	listener net.Listener
-	conns    map[net.Conn]bool
-	wg       sync.WaitGroup
-	closed   bool
+	mu         sync.Mutex
+	listener   net.Listener
+	conns      map[net.Conn]bool
+	wg         sync.WaitGroup
+	closed     bool
+	metricsReg *obs.Registry // answers the METRICS frame; nil = disabled
 }
 
 // NewServer wraps an executor.
 func NewServer(exec core.Executor) *Server {
-	return &Server{exec: exec, conns: make(map[net.Conn]bool)}
+	return &Server{exec: exec, conns: make(map[net.Conn]bool), metrics: newWireMetrics()}
 }
 
 // Listen starts accepting connections on addr ("host:port"; port 0
@@ -115,7 +125,10 @@ func (s *Server) acceptLoop(ln net.Listener) {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	s.metrics.connsTotal.Inc()
+	s.metrics.connsOpen.Add(1)
 	defer func() {
+		s.metrics.connsOpen.Add(-1)
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -135,22 +148,32 @@ func (s *Server) serveConn(conn net.Conn) {
 	// exactly as long as the connection (= the session), like on a real
 	// server. Closing the connection releases them with the session.
 	stmts := make(map[string]core.Statement)
-	rd := bufio.NewReader(conn)
-	wr := bufio.NewWriter(conn)
+	cc := countingConn{Conn: conn, m: s.metrics}
+	rd := bufio.NewReader(cc)
+	wr := bufio.NewWriter(cc)
 	for {
 		line, err := rd.ReadString('\n')
 		if err != nil {
 			return
 		}
 		line = strings.TrimRight(line, "\r\n")
+		// The latency window is read-to-flush: it covers dispatch,
+		// execution (adjudication included on a diverse endpoint) and
+		// response serialization.
+		start := time.Now()
+		frame := "other"
 		switch {
 		case strings.HasPrefix(line, "EXEC "):
+			frame = "EXEC"
 			handleExec(exec, wr, strings.TrimPrefix(line, "EXEC "))
 		case strings.HasPrefix(line, "PREPARE "):
+			frame = "PREPARE"
 			handlePrepare(exec, wr, stmts, strings.TrimPrefix(line, "PREPARE "))
 		case strings.HasPrefix(line, "BIND "):
+			frame = "BIND"
 			handleBind(wr, stmts, strings.TrimPrefix(line, "BIND "))
 		case strings.HasPrefix(line, "CLOSE "):
+			frame = "CLOSE"
 			name := strings.TrimSpace(strings.TrimPrefix(line, "CLOSE "))
 			if st, ok := stmts[name]; ok {
 				_ = st.Close()
@@ -158,14 +181,26 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			fmt.Fprint(wr, "OK 0 0 0\n.\n")
 		case line == "PING":
+			frame = "PING"
 			fmt.Fprint(wr, "OK 0 0 0\n.\n")
+		case line == "METRICS":
+			frame = "METRICS"
+			if reg := s.metricsRegistry(); reg != nil {
+				doc := reg.Render()
+				fmt.Fprintf(wr, "MET %d\n%s.\n", len(doc), doc)
+			} else {
+				fmt.Fprint(wr, "ERR metrics not enabled\n")
+			}
 		case line == "QUIT":
+			s.metrics.record("QUIT", time.Since(start))
 			_ = wr.Flush()
 			return
 		default:
 			fmt.Fprintf(wr, "ERR unknown command\n")
 		}
-		if err := wr.Flush(); err != nil {
+		flushErr := wr.Flush()
+		s.metrics.record(frame, time.Since(start))
+		if flushErr != nil {
 			return
 		}
 	}
@@ -356,6 +391,41 @@ func (c *Client) readResult() (*Result, error) {
 		return nil, fmt.Errorf("wire: missing terminator, got %q", term)
 	}
 	return res, nil
+}
+
+// Metrics sends a METRICS frame and returns the server's rendered
+// Prometheus exposition document. It fails when the server has no
+// metrics registry armed (ServeMetrics was not called).
+func (c *Client) Metrics() (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := fmt.Fprint(c.conn, "METRICS\n"); err != nil {
+		return "", fmt.Errorf("wire send: %w", err)
+	}
+	head, err := c.rd.ReadString('\n')
+	if err != nil {
+		return "", fmt.Errorf("wire recv: %w", err)
+	}
+	head = strings.TrimRight(head, "\r\n")
+	if strings.HasPrefix(head, "ERR ") {
+		return "", errors.New(strings.TrimPrefix(head, "ERR "))
+	}
+	var n int
+	if _, err := fmt.Sscanf(head, "MET %d", &n); err != nil {
+		return "", fmt.Errorf("wire: malformed METRICS response %q", head)
+	}
+	doc := make([]byte, n)
+	if _, err := io.ReadFull(c.rd, doc); err != nil {
+		return "", fmt.Errorf("wire recv: %w", err)
+	}
+	term, err := c.rd.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if strings.TrimRight(term, "\r\n") != "." {
+		return "", fmt.Errorf("wire: missing terminator, got %q", term)
+	}
+	return string(doc), nil
 }
 
 // Stmt is a client-side handle on a server-side prepared statement.

@@ -9,6 +9,7 @@
 //	single:PG                 one simulated server
 //	diverse:PG,OR,MS          diverse fault-tolerant server
 //	replicated:PG,3           non-diverse primary/backup group
+//	wire:127.0.0.1:5433       attach to a running divsqld over TCP
 //
 // Register-and-open:
 //
@@ -68,8 +69,12 @@ var (
 )
 
 // Open resolves the DSN to its (shared) endpoint and opens one session
-// on it: the connection.
+// on it: the connection. "wire:" DSNs skip the endpoint cache — each
+// connection dials the remote divsqld, which owns the shared state.
 func (d *Driver) Open(dsn string) (driver.Conn, error) {
+	if addr, ok := strings.CutPrefix(dsn, "wire:"); ok {
+		return openWireConn(addr)
+	}
 	ep, err := endpointFor(dsn)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,109 @@
+package sqldriver
+
+import (
+	"database/sql/driver"
+
+	"divsql/internal/wire"
+)
+
+// This file is the driver's network mode: a "wire:host:port" DSN
+// attaches to a running divsqld over the wire protocol instead of an
+// in-process endpoint. Each database/sql connection dials its own TCP
+// connection — one server-side session — so the pool semantics match
+// the in-process modes: shared data, per-connection transactions,
+// parallel reads.
+//
+// The wire protocol does not carry affected-row counts (OK frames
+// report result shape and latency only), so Result.RowsAffected
+// reports 0 in this mode.
+
+// openWireConn dials one connection to a divsqld at addr.
+func openWireConn(addr string) (driver.Conn, error) {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &wireConn{c: c}, nil
+}
+
+type wireConn struct{ c *wire.Client }
+
+var _ driver.Conn = (*wireConn)(nil)
+
+// Prepare prepares the statement server-side over a PREPARE frame;
+// executions ship typed arguments in BIND frames, so nothing is
+// interpolated into SQL text on either side.
+func (w *wireConn) Prepare(query string) (driver.Stmt, error) {
+	st, err := w.c.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return &wireStmt{st: st}, nil
+}
+
+// Close closes the TCP connection; the server rolls back the
+// connection's open transaction with its session.
+func (w *wireConn) Close() error { return w.c.Close() }
+
+// Begin starts a transaction on the connection's server-side session.
+func (w *wireConn) Begin() (driver.Tx, error) {
+	if _, err := w.c.Exec("BEGIN TRANSACTION"); err != nil {
+		return nil, err
+	}
+	return &wireTx{c: w.c}, nil
+}
+
+type wireTx struct{ c *wire.Client }
+
+func (t *wireTx) Commit() error {
+	_, err := t.c.Exec("COMMIT")
+	return err
+}
+
+func (t *wireTx) Rollback() error {
+	_, err := t.c.Exec("ROLLBACK")
+	return err
+}
+
+// wireStmt adapts a wire prepared-statement handle to driver.Stmt.
+type wireStmt struct{ st *wire.Stmt }
+
+var _ driver.Stmt = (*wireStmt)(nil)
+
+func (s *wireStmt) Close() error  { return s.st.Close() }
+func (s *wireStmt) NumInput() int { return s.st.NumParams() }
+
+func (s *wireStmt) Exec(args []driver.Value) (driver.Result, error) {
+	vals, err := toTypesValues(args)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.st.Exec(vals...); err != nil {
+		return nil, err
+	}
+	return result{affected: 0}, nil
+}
+
+func (s *wireStmt) Query(args []driver.Value) (driver.Rows, error) {
+	vals, err := toTypesValues(args)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.st.Exec(vals...)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{cols: res.Columns, data: res.Rows}, nil
+}
+
+// Metrics scrapes the server's metrics over the wire METRICS frame,
+// returning the Prometheus exposition document. It dials its own
+// connection, so it works alongside any database/sql pool state.
+func Metrics(addr string) (string, error) {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return "", err
+	}
+	defer c.Close()
+	return c.Metrics()
+}
