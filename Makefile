@@ -25,6 +25,7 @@ smoke:
 	$(GO) run ./cmd/divfuzz -seed 7 -n 2000 -streams 2 -params -faults=false
 	$(GO) run ./cmd/divfuzz -seed 9 -n 2000 -streams 2 -planvariants -faults=false
 	$(GO) run ./cmd/divfuzz -seed 11 -n 2000 -streams 2 -params -planvariants -faults=false
+	$(GO) run ./cmd/divfuzz -seed 13 -n 2000 -streams 4 -isolation -faults=false
 
 # One-iteration benchmark sweep converted to the machine-readable
 # artifact BENCH_<sha>.json at the repo root, so the performance

@@ -7,9 +7,9 @@
 // Usage:
 //
 //	divfuzz [-seed N] [-n N] [-streams N] [-faults=false] [-stress]
-//	        [-sequences] [-params] [-planvariants] [-adaptive]
-//	        [-maxrows N] [-batch N] [-shrink=false] [-maxreports N]
-//	        [-metrics-every N] [-o FILE] [-cov FILE] [-v]
+//	        [-sequences] [-isolation] [-params] [-planvariants]
+//	        [-adaptive] [-maxrows N] [-batch N] [-shrink=false]
+//	        [-maxreports N] [-metrics-every N] [-o FILE] [-cov FILE] [-v]
 //
 // -metrics-every N prints a one-line hunt telemetry summary to stderr
 // every N seconds — statements/s, coverage breadth, distinct divergence
@@ -53,6 +53,15 @@
 // -sequences enables sequence DDL and sequence-advancing SELECTs
 // (NEXTVAL) in the stream, restricting the run to the PG/OR server set
 // (MS has no sequences; IB spells the function GEN_ID).
+//
+// -isolation weaves SET TRANSACTION ISOLATION LEVEL statements into
+// the transactional streams, so read-view pinning (snapshot levels),
+// per-statement fresh views (READ COMMITTED) and each dialect's
+// acceptance of the level names enter adjudication (see ISOLATION.md).
+// Fault-free runs draw only the universally accepted names and must
+// stay divergence-free; calibrated runs (which arm isolation by
+// default) draw all five, so per-dialect acceptance surfaces as
+// isolation-class fingerprints.
 package main
 
 import (
@@ -71,6 +80,7 @@ func main() {
 	faults := flag.Bool("faults", true, "arm the calibrated corpus fault set")
 	stress := flag.Bool("stress", false, "stressful environment (Heisenbug triggers active)")
 	sequences := flag.Bool("sequences", false, "exercise sequence-advancing SELECTs (PG/OR server set)")
+	isolation := flag.Bool("isolation", false, "emit SET TRANSACTION ISOLATION LEVEL statements: read views and per-dialect level acceptance enter adjudication (fault-free runs draw only universally accepted levels)")
 	params := flag.Bool("params", false, "parameterized mode: a weighted share of statements executes through prepare/bind with typed argument vectors, covering the servers' bind-time coercion rules")
 	planVariants := flag.Bool("planvariants", false, "DQP-lite self-check: re-run every answered SELECT on the oracle under forced full-scan and index plans and fail on any disagreement")
 	adaptive := flag.Bool("adaptive", false, "coverage-guided: retune generator weights from observed coverage between batches")
@@ -98,6 +108,9 @@ func main() {
 	cfg.MaxRowsPerTable = *maxrows
 	cfg.FeedbackBatch = *batch
 	cfg.Params = *params
+	// CalibratedConfig turns isolation on by default; the flag can only
+	// add it to a fault-free run, not strip it from a calibrated one.
+	cfg.Isolation = cfg.Isolation || *isolation
 	cfg.PlanVariants = *planVariants
 	if *sequences {
 		cfg = cfg.WithSequences()

@@ -12,6 +12,17 @@
 // divergence fingerprints; the printed coverage summary shows where the
 // budget went. Each finding is deduplicated by statement fingerprint,
 // shrunk to a minimal statement stream, and replayed to confirm.
+//
+// The calibrated runs draw SET TRANSACTION ISOLATION LEVEL statements
+// (CalibratedConfig arms Config.Isolation by default), so per-dialect
+// level acceptance shows up among the fingerprints. cmd/divfuzz exposes
+// further dimensions this example leaves at their defaults: -isolation
+// adds the same statements to fault-free gates, -params routes a
+// weighted share of statements through prepare/bind with typed
+// argument vectors (the servers' bind-time coercion surface),
+// -planvariants re-runs every answered SELECT under forced full-scan
+// and index plans as a self-check of the compiled execution path, and
+// -metrics-every prints live hunt telemetry on long runs.
 package main
 
 import (

@@ -1,14 +1,3 @@
-// Package corpus contains the calibrated bug-report corpus of the
-// reproduction: 181 executable bug scripts attributed to the four
-// simulated servers (55 IB, 57 PG, 18 OR, 51 MS), with the fault
-// injections that realize their failures.
-//
-// The corpus is synthetic but calibrated: its per-server/per-combination
-// composition was solved from the joint constraints of the paper's
-// Tables 1-4 (see DESIGN.md §5). The 13 bugs that cross server boundaries
-// (Table 4) are hand-modelled on the paper's own descriptions; the
-// remaining 168 are generated from templates with per-bug fault
-// injections and per-bug dialect-availability atoms.
 package corpus
 
 import (

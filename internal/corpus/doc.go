@@ -1,0 +1,32 @@
+// Package corpus contains the calibrated bug-report corpus of the
+// reproduction: 181 executable bug scripts attributed to the four
+// simulated servers (55 IB, 57 PG, 18 OR, 51 MS), with the fault
+// injections that realize their failures.
+//
+// The corpus is synthetic but calibrated: its per-server and
+// per-combination composition was solved from the joint constraints of
+// the paper's Tables 1-4 (the package's tests assert the published
+// counts directly), so rerunning the study on it regenerates the
+// paper's numbers. The 13 bugs that cross
+// server boundaries (Table 4) are hand-modelled on the paper's own bug
+// descriptions (handmade.go); the remaining 168 are generated from
+// script templates with per-bug fault injections and per-bug
+// dialect-availability atoms (generated.go).
+//
+// Each Bug couples three things:
+//
+//   - a Script, written in the reporting server's dialect — the
+//     artifact internal/translate ports to the other dialects exactly
+//     as the paper's methodology required;
+//   - the fault.Fault injections that make the simulated servers
+//     reproduce the reported failure (trigger fingerprint + effect);
+//   - an Expect record of the observable outcome class on each server,
+//     which internal/study adjudicates against.
+//
+// The package is the supply side of two consumers: internal/study runs
+// All() to regenerate Tables 1-4 and the headline statistics, and the
+// differential hunter arms AllFaults() as its calibrated fault set
+// (difftest.CalibratedConfig), pointing the generator's table pool at
+// the faults' trigger tables. ByServer filters the corpus the way the
+// paper's per-server analyses slice it.
+package corpus

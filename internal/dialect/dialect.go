@@ -175,6 +175,27 @@ func New(name ServerName) (*Dialect, error) {
 	return d, nil
 }
 
+// SupportsIsolation reports whether the dialect accepts SET TRANSACTION
+// ISOLATION LEVEL <level> (canonical upper-cased level name). The
+// acceptance matrix mirrors the era's servers: every server offers READ
+// COMMITTED and SERIALIZABLE; PostgreSQL and MSSQL additionally accept
+// the READ UNCOMMITTED and REPEATABLE READ spellings; SNAPSHOT is the
+// multi-generational spelling offered by MSSQL and InterBase. Accept
+// divergence across replicas is itself a hunt surface: the pristine
+// oracle accepts every level, so a rejection here is an observable
+// difference.
+func (d *Dialect) SupportsIsolation(level string) bool {
+	switch level {
+	case "READ COMMITTED", "SERIALIZABLE":
+		return true
+	case "READ UNCOMMITTED", "REPEATABLE READ":
+		return d.Name == PG || d.Name == MS
+	case "SNAPSHOT":
+		return d.Name == MS || d.Name == IB
+	}
+	return false
+}
+
 // MustNew is New for static server names.
 func MustNew(name ServerName) *Dialect {
 	d, err := New(name)

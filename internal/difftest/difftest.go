@@ -112,6 +112,15 @@ type Config struct {
 	// process-global SharedTelemetry). Consumers are divfuzz's periodic
 	// -metrics-every summaries and divsqld's divsql_hunt_* collector.
 	Telemetry *Telemetry
+	// Isolation enables SET TRANSACTION ISOLATION LEVEL statements in
+	// the generated streams: the replicas' read views, journal replay of
+	// session defaults, and each dialect's acceptance of the level names
+	// all enter adjudication. Fault-free runs draw only the universally
+	// accepted levels (READ COMMITTED, SERIALIZABLE) and must stay
+	// divergence-free; with faults armed the full five names are drawn,
+	// so per-dialect acceptance divergence (REPEATABLE READ on OR/IB,
+	// SNAPSHOT on PG/OR) surfaces as isolation-class fingerprints.
+	Isolation bool
 	// Params enables the parameterized statement mode: a weighted share
 	// of the generated DML/queries executes through prepare/bind with a
 	// typed argument vector instead of inline literals, so the hunt
@@ -133,7 +142,7 @@ func DefaultConfig(seed int64, n int) Config {
 // one per (server, effect-kind), so generated statements fall into every
 // server's calibrated failure regions.
 func CalibratedConfig(seed int64, n int) Config {
-	cfg := Config{Seed: seed, N: n, Streams: 1, Shrink: true, Faults: corpus.AllFaults()}
+	cfg := Config{Seed: seed, N: n, Streams: 1, Shrink: true, Isolation: true, Faults: corpus.AllFaults()}
 	gen := qgen.CommonProfile(seed)
 	gen.TableNames = triggerTables(cfg.Faults)
 	cfg.Gen = &gen
@@ -356,6 +365,15 @@ func (h *hunt) genOptionsFor(stream int) qgen.Options {
 	opts.Seed = h.cfg.Seed + int64(stream)*1_000_003
 	if h.cfg.MaxRowsPerTable > 0 {
 		opts.MaxRowsPerTable = h.cfg.MaxRowsPerTable
+	}
+	if h.cfg.Isolation {
+		opts.Isolation = true
+		// Dialect-specific level names only make sense when divergences
+		// are expected; the fault-free gate draws the universally
+		// accepted subset.
+		if len(h.cfg.Faults) > 0 {
+			opts.IsolationLevels = qgen.AllIsolationLevels
+		}
 	}
 	if h.cfg.Params {
 		opts.Params = true

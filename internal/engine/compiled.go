@@ -80,16 +80,17 @@ type compiledSelect struct {
 	projErr    error
 }
 
-// engineCatalog adapts the engine's catalog to the analyzer's Catalog
+// sessionCatalog adapts the session's active read plane (read view,
+// own-writes overlay, or live state) to the analyzer's Catalog
 // interface. The caller holds the engine lock.
-type engineCatalog struct{ e *Engine }
+type sessionCatalog struct{ s *Session }
 
 // TableMeta resolves one base table: columns, primary key, and the
 // secondary keysets usable for access paths — declared indexes (sorted
 // by index name, so access-path choice is deterministic) and unique
 // constraints.
-func (c engineCatalog) TableMeta(name string) (plan.TableMeta, bool) {
-	t, ok := c.e.st.tables[name]
+func (c sessionCatalog) TableMeta(name string) (plan.TableMeta, bool) {
+	t, ok := c.s.lookupTable(name)
 	if !ok {
 		return plan.TableMeta{}, false
 	}
@@ -98,15 +99,16 @@ func (c engineCatalog) TableMeta(name string) (plan.TableMeta, bool) {
 	for i, col := range t.Cols {
 		m.Cols[i] = plan.ColMeta{Name: col.Name, Kind: col.Kind}
 	}
+	idxs := c.s.catalogIndexes()
 	var names []string
-	for n, ix := range c.e.st.indexs {
+	for n, ix := range idxs {
 		if ix.Table == t.Name {
 			names = append(names, n)
 		}
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		m.Indexes = append(m.Indexes, c.e.st.indexs[n].Cols)
+		m.Indexes = append(m.Indexes, idxs[n].Cols)
 	}
 	m.Indexes = append(m.Indexes, t.Uniques...)
 	return m, true
@@ -117,15 +119,14 @@ func (c engineCatalog) TableMeta(name string) (plan.TableMeta, bool) {
 // a compiledSelect with p == nil (the cached interpreter-fallback
 // decision). Caller holds the engine lock.
 func (s *Session) compileSelect(sel *ast.Select, force plan.Force) *compiledSelect {
-	e := s.eng
 	if sel.Union != nil || sel.Distinct || len(sel.GroupBy) > 0 || sel.Having != nil {
 		return &compiledSelect{sel: sel}
 	}
-	p, ok := plan.Analyze(sel, engineCatalog{e}, force)
+	p, ok := plan.Analyze(sel, sessionCatalog{s}, force)
 	if !ok {
 		return &compiledSelect{sel: sel}
 	}
-	t := e.st.tables[p.Table]
+	t, _ := s.lookupTable(p.Table)
 	qual := p.Alias
 	if qual == "" {
 		qual = p.Table
@@ -393,9 +394,11 @@ func (s *Session) runCompiled(cs *compiledSelect) (*Result, error) {
 	if cs.compileErr != nil {
 		return nil, cs.compileErr
 	}
-	// Resolve the table by name per execution: Restore and snapshot
-	// installs replace the *Table header behind an unchanged name.
-	t, ok := s.eng.st.tables[cs.p.Table]
+	// Resolve the table by name per execution, on the session's active
+	// read plane: a compiled plan is shared across views and sessions,
+	// and Restore and snapshot installs replace the *Table header
+	// behind an unchanged name.
+	t, ok := s.lookupTable(cs.p.Table)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrTableNotFound, cs.p.Table)
 	}
@@ -474,7 +477,7 @@ func (s *Session) runCompiled(cs *compiledSelect) (*Result, error) {
 // s.bind.
 func (s *Session) execSelectRLocked(sel *ast.Select) (*Result, error) {
 	e := s.eng
-	ver := e.schemaVersion
+	ver := s.planVersion()
 	if v, ok := e.planMemo.Load(sel); ok {
 		me := v.(*memoEntry)
 		if me.version == ver {
@@ -537,6 +540,36 @@ func (s *Session) ExecSelectVariant(sel *ast.Select, force plan.Force, args []ty
 	}
 	if e.selectAdvancesSequences(sel) {
 		return nil, errors.New("variant execution requires a pure SELECT")
+	}
+	// Variant execution reads the committed view like any pure SELECT
+	// (the live plane is no longer stable under the read lock alone);
+	// inside a transaction that has written, read through the own-writes
+	// path so variants agree with the primary execution.
+	if s.inTxn && (s.didDDL || s.touchesRefs(sel)) {
+		refs := e.statementRefsLocked(sel)
+		release := e.latchTables(refs)
+		defer release()
+		var overlay map[string]*Table
+		for _, n := range refs {
+			t, ok := e.st.tables[n]
+			if !ok {
+				continue
+			}
+			if e.othersInTxnOn(n, s) {
+				if overlay == nil {
+					overlay = make(map[string]*Table, len(refs))
+				}
+				overlay[n] = e.committedTable(t, s)
+			}
+		}
+		s.ownTabs = overlay
+		defer func() { s.ownTabs = nil }()
+	} else if s.inTxn && s.level == LevelRepeatableRead && s.pinned != nil {
+		s.curRead = s.pinned
+		defer func() { s.curRead = nil }()
+	} else {
+		s.curRead = e.currentView()
+		defer func() { s.curRead = nil }()
 	}
 	s.bind = e.cfg.Bind.Apply(args)
 	cs := s.compileSelect(sel, force)

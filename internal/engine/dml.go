@@ -7,6 +7,105 @@ import (
 	"divsql/internal/sql/types"
 )
 
+// dmlEqCandidates narrows an UPDATE/DELETE row visit through the lazy
+// index machinery, under the same contract as the compiled SELECT path
+// (plan.Analyze + candidateRows): the top-level AND conjuncts of the
+// form `col = value` (INT column of t, literal or parameter value)
+// select an equality index, and the probe returns a superset of the
+// WHERE-true positions in table order — narrowing only skips rows that
+// provably cannot satisfy an indexed conjunct. The second result is
+// false when only a full scan is sound (no usable conjuncts, non-INT
+// key value that could still match through loose coercion, poisoned
+// index).
+func (s *Session) dmlEqCandidates(t *Table, where ast.Expr) ([]int, bool) {
+	if where == nil {
+		return nil, false
+	}
+	var cols []int
+	var vals []ast.Expr
+	stack := []ast.Expr{where}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		b, ok := x.(*ast.Binary)
+		if !ok {
+			continue
+		}
+		switch b.Op {
+		case ast.OpAnd:
+			stack = append(stack, b.L, b.R)
+			continue
+		case ast.OpEq:
+		default:
+			continue
+		}
+		cr, val := b.L, b.R
+		if _, ok := cr.(*ast.ColumnRef); !ok {
+			cr, val = b.R, b.L
+		}
+		ref, ok := cr.(*ast.ColumnRef)
+		if !ok {
+			continue
+		}
+		switch val.(type) {
+		case *ast.Literal, *ast.Param:
+		default:
+			continue
+		}
+		if q := up(ref.Table); q != "" && q != t.Name {
+			continue
+		}
+		ci := t.colIndex(ref.Column)
+		if ci < 0 || t.Cols[ci].Kind != types.KindInt {
+			continue
+		}
+		dup := false
+		for _, c := range cols {
+			if c == ci {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		cols = append(cols, ci)
+		vals = append(vals, val)
+	}
+	if len(cols) == 0 {
+		return nil, false
+	}
+	// Canonical column order keys the index cache consistently across
+	// textual conjunct orderings.
+	for i := 1; i < len(cols); i++ {
+		for j := i; j > 0 && cols[j] < cols[j-1]; j-- {
+			cols[j], cols[j-1] = cols[j-1], cols[j]
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	keys := make([]int64, len(cols))
+	for i, vx := range vals {
+		v, err := s.evalExpr(vx, nil)
+		if err != nil {
+			return nil, false
+		}
+		switch v.K {
+		case types.KindInt:
+			keys[i] = v.I
+		case types.KindNull:
+			// Equality with NULL is Unknown on every row: provably empty.
+			return []int{}, true
+		default:
+			return nil, false
+		}
+	}
+	ix := t.ic.eqIndex(t, cols)
+	if ix == nil {
+		return nil, false
+	}
+	return ix.lookup(keys), true
+}
+
 func (e *Session) execInsert(ins *ast.Insert) (*Result, error) {
 	t, ok := e.eng.st.tables[up(ins.Table)]
 	if !ok {
@@ -75,7 +174,7 @@ func (e *Session) execInsert(ins *ast.Insert) (*Result, error) {
 		added := make([][]types.Value, inserted)
 		copy(added, t.Rows[len(t.Rows)-inserted:])
 		tname := t.Name
-		e.logUndo(func(dst *state, _ bool) {
+		e.logUndoTable(tname, func(dst *state, _ bool) {
 			if dt, ok := dst.tables[tname]; ok {
 				dt.removeRowsByIdentity(added)
 			}
@@ -95,7 +194,10 @@ func (t *Table) removeRowsByIdentity(rows [][]types.Value) {
 			drop[&r[0]] = true
 		}
 	}
-	kept := t.Rows[:0]
+	// Rebuild into a fresh backing array: read views capture the live
+	// Rows slice header, so surviving rows must never shift in place
+	// beneath a published capture.
+	kept := make([][]types.Value, 0, len(t.Rows))
 	for _, r := range t.Rows {
 		if len(r) > 0 && drop[&r[0]] {
 			continue
@@ -103,7 +205,8 @@ func (t *Table) removeRowsByIdentity(rows [][]types.Value) {
 		kept = append(kept, r)
 	}
 	t.Rows = kept
-	t.touch()
+	t.rowsShared = false
+	t.touchBase()
 }
 
 // sameRow reports whether two rows are the same storage slice.
@@ -194,13 +297,43 @@ func (e *Session) checkConstraints(t *Table, row []types.Value, skipIdx int) err
 	keysets = append(keysets, t.Uniques...)
 	for _, key := range keysets {
 		allSet := true
+		allInt := true
 		for _, ci := range key {
-			if row[ci].IsNull() {
+			switch row[ci].K {
+			case types.KindNull:
 				allSet = false
+			case types.KindInt:
+			default:
+				allInt = false
 			}
 		}
 		if !allSet {
 			continue // NULLs never collide under UNIQUE
+		}
+		// Fast path, inserts only: when the candidate key is all-INT,
+		// probe the lazily maintained equality index instead of
+		// scanning. The index extends incrementally over appended rows
+		// (index.go), so a run of inserts pays O(1) amortized per
+		// duplicate check instead of O(table) — the difference between
+		// linear and quadratic load cost on append-heavy tables. A
+		// poisoned index (non-INT value in a key column somewhere in
+		// the table) falls back to the scan, as does a non-INT
+		// candidate. Updates always scan: mid-statement the index is
+		// stale (rows already replaced in place are invalidated only at
+		// statement end), so a probe could see replaced key values.
+		if allInt && skipIdx == -1 {
+			if ix := t.ic.eqIndex(t, key); ix != nil {
+				keys := make([]int64, len(key))
+				for i, ci := range key {
+					keys[i] = row[ci].I
+				}
+				for _, ri := range ix.lookup(keys) {
+					if ri != skipIdx {
+						return fmt.Errorf("%w: duplicate key in table %s", ErrConstraint, t.Name)
+					}
+				}
+				continue
+			}
 		}
 		for ri, existing := range t.Rows {
 			if ri == skipIdx {
@@ -298,50 +431,84 @@ func (e *Session) execUpdate(upd *ast.Update) (*Result, error) {
 			}
 		}
 		if len(changes) > 0 {
-			t.touch()
+			t.bumpCols(setIdx)
 		}
 	}
-	for ri, row := range t.Rows {
+	// One scope reused across the scan (vals swapped per row): the
+	// evaluator never retains a scope past the call, and the allocation
+	// would otherwise dominate the statement on long tables.
+	sc := &scope{cols: cols}
+	// updateRow applies the statement to one row position; the caller
+	// runs undoPartial on error.
+	updateRow := func(ri int, row []types.Value) error {
 		if upd.Where != nil {
-			sc := &scope{cols: cols, vals: row}
+			sc.vals = row
 			v, err := e.evalExpr(upd.Where, sc)
 			if err != nil {
-				undoPartial()
-				return nil, err
+				return err
 			}
 			if types.TruthOf(v) != types.True {
-				continue
+				return nil
 			}
 		}
 		newRow := append([]types.Value(nil), row...)
 		for i, scl := range upd.Sets {
-			sc := &scope{cols: cols, vals: row}
+			sc.vals = row
 			v, err := e.evalExpr(scl.Value, sc)
 			if err != nil {
-				undoPartial()
-				return nil, err
+				return err
 			}
 			cv, err := coerce(v, t.Cols[setIdx[i]].Kind)
 			if err != nil {
-				undoPartial()
-				return nil, fmt.Errorf("column %s: %w", t.Cols[setIdx[i]].Name, err)
+				return fmt.Errorf("column %s: %w", t.Cols[setIdx[i]].Name, err)
 			}
 			if t.Cols[setIdx[i]].NotNull && cv.IsNull() {
-				undoPartial()
-				return nil, fmt.Errorf("%w: column %s is NOT NULL", ErrConstraint, t.Cols[setIdx[i]].Name)
+				return fmt.Errorf("%w: column %s is NOT NULL", ErrConstraint, t.Cols[setIdx[i]].Name)
 			}
 			newRow[setIdx[i]] = cv
 		}
 		if err := e.checkConstraints(t, newRow, ri); err != nil {
-			undoPartial()
-			return nil, err
+			return err
+		}
+		if len(changes) == 0 && t.rowsShared {
+			// Copy-on-write: while a read view holds a capture of the
+			// current Rows header, the first replacement installs a fresh
+			// backing array so the capture keeps a stable committed
+			// image. Unshared tables are written in place — the copy is
+			// O(table), which would otherwise tax every UPDATE.
+			t.Rows = append([][]types.Value(nil), t.Rows...)
+			t.rowsShared = false
 		}
 		changes = append(changes, change{old: row, new: newRow})
 		t.Rows[ri] = newRow
+		// Per-replacement version bump: only the SET columns' indexes
+		// invalidate (positions never move), and a subquery evaluated for
+		// a later row of this same statement sees the replacement.
+		t.bumpCols(setIdx)
 		affected++
+		return nil
+	}
+	// Candidate narrowing makes point UPDATEs O(matched), not O(table):
+	// positions are computed from the pre-statement index (in-place
+	// replacements never move a position), each visited at most once
+	// with its pre-statement row image — exactly the rows and values the
+	// full scan would have visited and found WHERE-true.
+	if cands, narrowed := e.dmlEqCandidates(t, upd.Where); narrowed {
+		for _, ri := range cands {
+			if err := updateRow(ri, t.Rows[ri]); err != nil {
+				undoPartial()
+				return nil, err
+			}
+		}
+	} else {
+		for ri, row := range t.Rows {
+			if err := updateRow(ri, row); err != nil {
+				undoPartial()
+				return nil, err
+			}
+		}
 	}
 	if len(changes) > 0 {
-		t.touch()
 		// Undo by row identity: find the replacement row wherever it now
 		// sits and swap the original back. Positional restore would panic
 		// or clobber other sessions' rows if the table shifted between
@@ -349,10 +516,16 @@ func (e *Session) execUpdate(upd *ast.Update) (*Result, error) {
 		// row another session deleted meanwhile. One position map keeps
 		// the rollback linear in the table size.
 		saved, tname := changes, t.Name
-		e.logUndo(func(dst *state, _ bool) {
+		e.logUndoTable(tname, func(dst *state, _ bool) {
 			t, ok := dst.tables[tname]
 			if !ok {
 				return
+			}
+			// Copy-on-write for the same reason as the forward path: the
+			// swaps below must not reach into a captured row image.
+			if t.rowsShared {
+				t.Rows = append([][]types.Value(nil), t.Rows...)
+				t.rowsShared = false
 			}
 			pos := make(map[*types.Value]int, len(t.Rows))
 			for ri, r := range t.Rows {
@@ -369,7 +542,7 @@ func (e *Session) execUpdate(upd *ast.Update) (*Result, error) {
 					t.Rows[ri] = ch.old
 				}
 			}
-			t.touch()
+			t.bumpCols(setIdx)
 		})
 	}
 	return &Result{Kind: ResultCount, Affected: affected}, nil
@@ -385,28 +558,59 @@ func (e *Session) execDelete(del *ast.Delete) (*Result, error) {
 	var removed [][]types.Value
 	var affected int64
 	oldRows := t.Rows
-	for _, row := range t.Rows {
-		del2 := true
-		if del.Where != nil {
-			sc := &scope{cols: cols, vals: row}
+	sc := &scope{cols: cols}
+	if cands, narrowed := e.dmlEqCandidates(t, del.Where); narrowed {
+		// Candidate narrowing: rows outside the candidate set provably
+		// fail an equality conjunct and are kept without evaluating the
+		// predicate. An empty WHERE-true set short-circuits before any
+		// row movement.
+		del2 := make(map[int]bool, len(cands))
+		for _, ri := range cands {
+			sc.vals = t.Rows[ri]
 			v, err := e.evalExpr(del.Where, sc)
 			if err != nil {
 				return nil, err
 			}
-			del2 = types.TruthOf(v) == types.True
+			if types.TruthOf(v) == types.True {
+				del2[ri] = true
+			}
 		}
-		if del2 {
-			removed = append(removed, row)
-			affected++
-		} else {
-			kept = append(kept, row)
+		if len(del2) == 0 {
+			return &Result{Kind: ResultCount, Affected: 0}, nil
+		}
+		for ri, row := range t.Rows {
+			if del2[ri] {
+				removed = append(removed, row)
+				affected++
+			} else {
+				kept = append(kept, row)
+			}
+		}
+	} else {
+		for _, row := range t.Rows {
+			d := true
+			if del.Where != nil {
+				sc.vals = row
+				v, err := e.evalExpr(del.Where, sc)
+				if err != nil {
+					return nil, err
+				}
+				d = types.TruthOf(v) == types.True
+			}
+			if d {
+				removed = append(removed, row)
+				affected++
+			} else {
+				kept = append(kept, row)
+			}
 		}
 	}
 	if affected > 0 {
 		t.Rows = kept
-		t.touch()
+		t.rowsShared = false
+		t.touchBase()
 		tname := t.Name
-		e.logUndo(func(dst *state, toSnap bool) {
+		e.logUndoTable(tname, func(dst *state, toSnap bool) {
 			t, ok := dst.tables[tname]
 			if !ok {
 				return
@@ -433,10 +637,14 @@ func (e *Session) execDelete(del *ast.Delete) (*Result, error) {
 				t.Rows = append([][]types.Value(nil), oldRows...)
 			case untouched:
 				t.Rows = oldRows
+				// oldRows may alias an array a read view captured before
+				// the delete; mark it shared so the next in-place
+				// replacement copies first.
+				t.rowsShared = true
 			default:
 				t.Rows = append(t.Rows, removed...)
 			}
-			t.touch()
+			t.touchBase()
 		})
 	}
 	return &Result{Kind: ResultCount, Affected: affected}, nil

@@ -151,17 +151,21 @@ type Config struct {
 
 // Engine is one in-memory SQL engine shared by any number of sessions.
 //
-// Catalog and table state is guarded by an RWMutex: read-only statements
-// from concurrent sessions execute in parallel, while state-changing
-// statements serialize. Per-session state (the open transaction and its
-// undo log) lives on Session; the engine only keeps a registry of its
-// sessions so that crashes and state transfers can abort or discard every
-// open transaction at once.
+// Locking: the RWMutex guards the catalog maps and the session
+// registry. DDL, ROLLBACK and state transfers take it exclusively;
+// everything else holds it in read mode. Within the read mode, row data
+// is guarded by per-table latches (Table.latch) acquired in sorted name
+// order — DML latches every table its statement can touch, so writers
+// to disjoint tables run in parallel. Pure queries take no latches at
+// all: they execute against committed read views (readview.go), whose
+// per-table images are materialized lazily under the table latch and
+// immutable afterwards.
 //
-// The live state is one copy shared by every session (READ UNCOMMITTED
-// visibility); the committed image is derived on demand by Snapshot,
-// which clones the catalog headers copy-on-write and rewinds the open
-// transactions' undo records on the clone — see snapshot.go.
+// The live state is one copy shared by every session; a session's open
+// transaction is represented by its undo log. The committed image is
+// derived on demand — wholesale by Snapshot (snapshot.go), per table by
+// the read-view machinery — by rewinding open transactions' undo
+// records on copy-on-write clones.
 type Engine struct {
 	mu  sync.RWMutex
 	cfg Config
@@ -169,8 +173,43 @@ type Engine struct {
 
 	// commitSeq is the commit high-water mark: it advances on every
 	// committed state-changing statement or transaction, and is stamped
-	// into snapshots so resync redo can be anchored to the image.
-	commitSeq uint64
+	// into snapshots (so resync redo can be anchored to the image) and
+	// read views (staleness checks). Atomic: autocommit writers bump it
+	// under the read lock.
+	commitSeq atomic.Uint64
+
+	// commitMu makes a latch-free COMMIT's mark bump and undo-log clear
+	// atomic with respect to Snapshot, so a snapshot's stamp always
+	// matches its content.
+	commitMu sync.Mutex
+
+	// seqMu guards sequence cursors (Sequence.Next): sequences advance
+	// from DML expressions and sequence-advancing SELECTs under the
+	// read lock, outside any table latch.
+	seqMu sync.Mutex
+
+	// committedSchema is the schema-version stamp of the committed
+	// catalog: equal to schemaVersion except while a transaction holds
+	// uncommitted DDL. Written only under the exclusive lock; read
+	// views stamp compiled plans with it.
+	committedSchema uint64
+
+	// curView caches the shared committed read view; viewMu
+	// single-flights rebuilds; viewGen invalidates views across state
+	// transfers (Restore/Reset), which replace state without advancing
+	// commitSeq.
+	curView atomic.Pointer[readView]
+	viewMu  sync.Mutex
+	viewGen atomic.Uint64
+
+	// Read-view and latch observability counters (obs.go).
+	viewBuilds  atomic.Uint64
+	viewHits    atomic.Uint64
+	viewReuses  atomic.Uint64
+	matCleans   atomic.Uint64
+	matRewinds  atomic.Uint64
+	latchWaits  atomic.Uint64
+	latchWaitNs atomic.Uint64
 
 	// schemaEpoch is a monotonic allocator of schema generations and
 	// schemaVersion the current stamp. Every DDL (and every state
@@ -224,20 +263,98 @@ type Table struct {
 	Uniques [][]int
 	Checks  []ast.Expr
 
-	// mutSeq counts row mutations (insert/update/delete, including their
-	// undos) and versions the lazily built lookup indexes in ic: an index
-	// built at mutSeq m is valid exactly while mutSeq == m. Both fields
-	// are maintained under the engine write lock; readers consult them
-	// under the read lock. ic is non-nil on every engine-resident table
-	// (execCreateTable and cloneHeader allocate it).
-	mutSeq uint64
+	// latch serializes row mutations of this table: DML acquires the
+	// latches of every table its statement can touch, in sorted name
+	// order, while holding the engine read lock. Read-view
+	// materialization takes it briefly to capture a stable row image.
+	latch sync.Mutex
+
+	// mutSeq counts row mutations (insert/update/delete, including
+	// their undos) and versions the lazily built lookup indexes in ic:
+	// an index built at mutSeq m is valid exactly while mutSeq == m. It
+	// also validates read-view captures (readview.go). Mutated under
+	// the table latch or the engine write lock; atomic so view builds
+	// can sample it under the read lock alone. ic is non-nil on every
+	// engine-resident table (execCreateTable, cloneHeader and
+	// captureTable allocate it).
+	mutSeq atomic.Uint64
 	ic     *indexCache
+
+	// baseSeq counts the row mutations that invalidate existing row
+	// positions (update, delete, and every undo application); pure
+	// appends bump mutSeq alone. Lookup indexes are valid per baseSeq
+	// and extend incrementally over appended rows, so insert-heavy
+	// tables keep O(new rows) index maintenance instead of O(table)
+	// rebuilds. Mutated like mutSeq (table latch or engine write lock).
+	baseSeq atomic.Uint64
+
+	// rowsShared marks that a read view captured the live Rows slice
+	// header (readview.go materialize, clean path). While set, the first
+	// in-place row replacement must install a fresh backing array so the
+	// capture stays a stable committed image; mutations that already
+	// install a fresh slice (delete, insert-undo) just clear it. Guarded
+	// by the table latch or the exclusive engine lock, like Rows itself.
+	rowsShared bool
+
+	// capIC is the index-cache lineage shared by successive clean view
+	// captures of this table: while baseSeq is unchanged (appends only),
+	// each new capture inherits the previous captures' indexes and
+	// extends them over the appended rows. Guarded by the table latch.
+	capIC     *indexCache
+	capICBase uint64
+
+	// colVer versions each column's stored values: an in-place row
+	// replacement (UPDATE and its undo) bumps the versions of exactly the
+	// columns it sets, so lookup indexes — which record the versions of
+	// their key columns at build time — survive updates to non-key
+	// columns. Positions never move on replacement (baseSeq stays), and
+	// the executor re-reads current rows for every candidate, so an index
+	// is exact while its key columns' versions are unchanged. nil means
+	// all-zero (no column updated yet); guarded like Rows (table latch or
+	// exclusive engine lock), and captured by value into view captures.
+	colVer []uint64
 }
 
 // touch invalidates the table's lazily built indexes after a row
-// mutation. Called under the engine write lock at every site that
-// changes Rows — including undo application.
-func (t *Table) touch() { t.mutSeq++ }
+// mutation. Called under the table latch (or the engine write lock) at
+// every site that changes Rows — including undo application.
+func (t *Table) touch() { t.mutSeq.Add(1) }
+
+// touchBase additionally invalidates existing row positions (delete and
+// every undo that moves rows): lookup indexes built at an earlier
+// baseSeq must be discarded, not extended. Called under the same
+// locking as touch.
+func (t *Table) touchBase() {
+	t.baseSeq.Add(1)
+	t.mutSeq.Add(1)
+}
+
+// colVerOf returns the stored-value version of one column (zero until
+// its first in-place replacement).
+func (t *Table) colVerOf(ci int) uint64 {
+	if ci < len(t.colVer) {
+		return t.colVer[ci]
+	}
+	return 0
+}
+
+// bumpCols records an in-place replacement of the given columns'
+// values: indexes keyed on any of them are invalidated, indexes over
+// untouched columns stay valid (positions don't move). Called under the
+// same locking as touch.
+func (t *Table) bumpCols(cols []int) {
+	for _, ci := range cols {
+		if ci >= len(t.colVer) {
+			nv := make([]uint64, len(t.Cols))
+			copy(nv, t.colVer)
+			t.colVer = nv
+		}
+		if ci < len(t.colVer) {
+			t.colVer[ci]++
+		}
+	}
+	t.mutSeq.Add(1)
+}
 
 // Column is one column of a base table.
 type Column struct {
@@ -362,6 +479,8 @@ func (e *Session) exec(st ast.Statement) (*Result, error) {
 		return e.execCommit()
 	case *ast.Rollback:
 		return e.execRollback()
+	case *ast.SetTxn:
+		return e.execSetTxn(x)
 	case *ast.Select:
 		res, err := e.evalSelect(x, nil)
 		if err != nil {
@@ -403,7 +522,10 @@ func (e *Session) bumpSchema() {
 	old := eng.schemaVersion
 	eng.schemaEpoch++
 	eng.schemaVersion = eng.schemaEpoch
-	e.logUndo(func(_ *state, toSnap bool) {
+	if e.inTxn {
+		e.didDDL = true
+	}
+	e.logUndoCatalog(func(_ *state, toSnap bool) {
 		if !toSnap {
 			eng.schemaVersion = old
 		}
@@ -416,6 +538,11 @@ func (e *Session) bumpSchema() {
 func (e *Engine) bumpSchemaLocked() {
 	e.schemaEpoch++
 	e.schemaVersion = e.schemaEpoch
+	// Engine-level mutators run outside any transaction, so the new
+	// generation is committed immediately; invalidate every cached read
+	// view (the whole state may have been replaced).
+	e.committedSchema = e.schemaVersion
+	e.viewGen.Add(1)
 }
 
 // SchemaVersion returns the current schema generation stamp.
@@ -500,7 +627,7 @@ func (e *Session) execCreateTable(ct *ast.CreateTable) (*Result, error) {
 	}
 	t.ic = newIndexCache()
 	e.eng.st.tables[name] = t
-	e.logUndo(func(dst *state, _ bool) { delete(dst.tables, name) })
+	e.logUndoCatalog(func(dst *state, _ bool) { delete(dst.tables, name) })
 	e.bumpSchema()
 	return &Result{Kind: ResultDDL}, nil
 }
@@ -541,7 +668,7 @@ func (e *Session) execCreateView(cv *ast.CreateView) (*Result, error) {
 		cols[i] = up(c)
 	}
 	e.eng.st.views[name] = &View{Name: name, Columns: cols, Select: cv.Select}
-	e.logUndo(func(dst *state, _ bool) { delete(dst.views, name) })
+	e.logUndoCatalog(func(dst *state, _ bool) { delete(dst.views, name) })
 	e.bumpSchema()
 	return &Result{Kind: ResultDDL}, nil
 }
@@ -575,7 +702,7 @@ func (e *Session) execCreateIndex(ci *ast.CreateIndex) (*Result, error) {
 		// Snapshot clones share the inner keyset slices, so the identity
 		// match resolves on a clone too.
 		added, tname := cols, t.Name
-		e.logUndo(func(dst *state, _ bool) {
+		e.logUndoTable(tname, func(dst *state, _ bool) {
 			t, ok := dst.tables[tname]
 			if !ok {
 				return
@@ -589,7 +716,7 @@ func (e *Session) execCreateIndex(ci *ast.CreateIndex) (*Result, error) {
 		})
 	}
 	e.eng.st.indexs[name] = &Index{Name: name, Table: t.Name, Cols: cols, Unique: ci.Unique, Clustered: ci.Clustered}
-	e.logUndo(func(dst *state, _ bool) { delete(dst.indexs, name) })
+	e.logUndoCatalog(func(dst *state, _ bool) { delete(dst.indexs, name) })
 	e.bumpSchema()
 	return &Result{Kind: ResultDDL}, nil
 }
@@ -604,7 +731,7 @@ func (e *Session) execCreateSequence(cs *ast.CreateSequence) (*Result, error) {
 		start = 1
 	}
 	e.eng.st.seqs[name] = &Sequence{Name: name, Next: start}
-	e.logUndo(func(dst *state, _ bool) { delete(dst.seqs, name) })
+	e.logUndoCatalog(func(dst *state, _ bool) { delete(dst.seqs, name) })
 	e.bumpSchema()
 	return &Result{Kind: ResultDDL}, nil
 }
@@ -616,7 +743,7 @@ func (e *Session) execDropTable(dt *ast.DropTable) (*Result, error) {
 		// On a snapshot clone the table header is copied: a later live
 		// rollback re-adds (and then mutates) the original, which must
 		// not reach through into a published immutable image.
-		e.logUndo(func(dst *state, toSnap bool) {
+		e.logUndoCatalog(func(dst *state, toSnap bool) {
 			if toSnap {
 				dst.tables[name] = t.cloneHeader()
 			} else {
@@ -630,7 +757,7 @@ func (e *Session) execDropTable(dt *ast.DropTable) (*Result, error) {
 		// Quirk: DROP TABLE silently removes a view (IB bug 223512,
 		// shared by PG). SQL-92 requires DROP VIEW here.
 		delete(e.eng.st.views, name)
-		e.logUndo(func(dst *state, _ bool) { dst.views[name] = v })
+		e.logUndoCatalog(func(dst *state, _ bool) { dst.views[name] = v })
 		e.bumpSchema()
 		return &Result{Kind: ResultDDL}, nil
 	}
@@ -644,7 +771,7 @@ func (e *Session) execDropView(dv *ast.DropView) (*Result, error) {
 		return nil, fmt.Errorf("%w: view %s", ErrTableNotFound, name)
 	}
 	delete(e.eng.st.views, name)
-	e.logUndo(func(dst *state, _ bool) { dst.views[name] = v })
+	e.logUndoCatalog(func(dst *state, _ bool) { dst.views[name] = v })
 	e.bumpSchema()
 	return &Result{Kind: ResultDDL}, nil
 }
@@ -656,7 +783,7 @@ func (e *Session) execDropIndex(di *ast.DropIndex) (*Result, error) {
 		return nil, fmt.Errorf("%w: index %s", ErrTableNotFound, name)
 	}
 	delete(e.eng.st.indexs, name)
-	e.logUndo(func(dst *state, _ bool) { dst.indexs[name] = ix })
+	e.logUndoCatalog(func(dst *state, _ bool) { dst.indexs[name] = ix })
 	e.bumpSchema()
 	return &Result{Kind: ResultDDL}, nil
 }
@@ -670,7 +797,7 @@ func (e *Session) execDropSequence(ds *ast.DropSequence) (*Result, error) {
 	delete(e.eng.st.seqs, name)
 	// Sequences mutate in place (Next), so a snapshot clone gets its own
 	// copy rather than sharing the live struct.
-	e.logUndo(func(dst *state, toSnap bool) {
+	e.logUndoCatalog(func(dst *state, toSnap bool) {
 		if toSnap {
 			cp := *s
 			dst.seqs[name] = &cp
@@ -710,7 +837,9 @@ func (e *Engine) EndStatement() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !s.inTxn {
+		s.txMu.Lock()
 		s.undo = nil
+		s.txMu.Unlock()
 	}
 }
 
@@ -760,5 +889,8 @@ func (e *Engine) TableRowCount(name string) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrTableNotFound, name)
 	}
-	return len(t.Rows), nil
+	e.lockLatch(t)
+	n := len(t.Rows)
+	t.latch.Unlock()
+	return n, nil
 }

@@ -68,15 +68,20 @@ func (e *Session) evalSeqFunc(name string, fc *ast.FuncCall, sc *scope) (types.V
 }
 
 // SequenceNext advances a sequence by incr and returns the new value.
+// The cursor is guarded by the engine's seqMu: sequences advance from
+// DML expressions and sequence-advancing SELECTs that hold only the
+// engine read lock, outside any table latch.
 func (e *Session) SequenceNext(name string, incr int64) (types.Value, error) {
 	n := up(name)
 	s, ok := e.eng.st.seqs[n]
 	if !ok {
 		return types.Value{}, fmt.Errorf("%w: sequence %s", ErrTableNotFound, name)
 	}
+	e.eng.seqMu.Lock()
 	val := s.Next
 	s.Next += incr
-	e.logUndo(func(dst *state, _ bool) {
+	e.eng.seqMu.Unlock()
+	e.logUndoSeq(func(dst *state, _ bool) {
 		if sq, ok := dst.seqs[n]; ok {
 			sq.Next = val
 		}

@@ -45,22 +45,53 @@ func (e *Engine) StatsSnapshot() Stats {
 		Views:         len(e.st.views),
 		Indexes:       len(e.st.indexs),
 		Sequences:     len(e.st.seqs),
-		CommitSeq:     e.commitSeq,
+		CommitSeq:     e.commitSeq.Load(),
 		SchemaVersion: e.schemaVersion,
 	}
 	for s := range e.sessions {
+		s.txMu.Lock()
 		if s.inTxn {
 			st.InTxn++
 		}
+		s.txMu.Unlock()
 	}
 	st.TableRows = make([]TableRows, 0, len(e.st.tables))
 	for n, t := range e.st.tables {
-		st.TableRows = append(st.TableRows, TableRows{Name: n, Rows: len(t.Rows)})
+		e.lockLatch(t)
+		rows := len(t.Rows)
+		t.latch.Unlock()
+		st.TableRows = append(st.TableRows, TableRows{Name: n, Rows: rows})
 	}
 	sort.Slice(st.TableRows, func(i, j int) bool {
 		return st.TableRows[i].Name < st.TableRows[j].Name
 	})
 	return st
+}
+
+// ReadViewStats is the read-view and latch observability surface: how
+// often views were rebuilt vs served from cache, how table images were
+// materialized, and how much time writers spent contending on latches.
+type ReadViewStats struct {
+	Builds           uint64
+	Hits             uint64
+	TableReuses      uint64
+	MatCleans        uint64
+	MatRewinds       uint64
+	LatchWaits       uint64
+	LatchWaitSeconds float64
+}
+
+// ReadViewStats returns the lock-free read-view and latch counters.
+func (e *Engine) ReadViewStats() ReadViewStats {
+	return ReadViewStats{
+		Builds:           e.viewBuilds.Load(),
+		Hits:             e.viewHits.Load(),
+		TableReuses:      e.viewReuses.Load(),
+		MatCleans:        e.matCleans.Load(),
+		MatRewinds:       e.matRewinds.Load(),
+		LatchWaits:       e.latchWaits.Load(),
+		LatchWaitSeconds: float64(e.latchWaitNs.Load()) / 1e9,
+	}
 }
 
 // PathExecs returns compiled SELECT executions by access path, plus the
@@ -122,5 +153,21 @@ func (e *Engine) MetricsCollector(replica string) obs.Collector {
 				"Live rows per base table.", float64(tr.Rows),
 				append(labels[:len(labels):len(labels)], obs.L("table", tr.Name))...)
 		}
+
+		rv := e.ReadViewStats()
+		f.Count("divsql_engine_readview_builds_total",
+			"Read views built (cached view was stale).", rv.Builds, labels...)
+		f.Count("divsql_engine_readview_hits_total",
+			"Statements served by the cached read view.", rv.Hits, labels...)
+		f.Count("divsql_engine_readview_table_reuses_total",
+			"Per-table wrappers carried over between consecutive views.", rv.TableReuses, labels...)
+		f.Count("divsql_engine_readview_mat_clean_total",
+			"Zero-copy table materializations (stable slice capture).", rv.MatCleans, labels...)
+		f.Count("divsql_engine_readview_mat_rewind_total",
+			"Table materializations that cloned rows and rewound open transactions.", rv.MatRewinds, labels...)
+		f.Count("divsql_engine_latch_waits_total",
+			"Contended table-latch acquisitions.", rv.LatchWaits, labels...)
+		f.Gauge("divsql_engine_latch_wait_seconds_total",
+			"Cumulative time spent waiting on contended table latches.", rv.LatchWaitSeconds, labels...)
 	})
 }

@@ -1,0 +1,554 @@
+package engine
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"divsql/internal/sql/ast"
+	"divsql/internal/sql/types"
+)
+
+// This file implements MVCC read views: per-statement (READ COMMITTED)
+// and per-transaction (REPEATABLE READ) images of the committed state
+// that pure SELECTs execute against without blocking on — or being
+// blocked by — concurrent writers.
+//
+// The machinery reuses the copy-on-write committed-image idea from
+// snapshot.go, but avoids snapshot.go's eager full-state clone:
+//
+//   - A readView is built by copying only the CATALOG maps and rewinding
+//     open transactions' catalog/sequence undo records on the copies.
+//     Table DATA is untouched at build time; each table is wrapped in a
+//     viewTable that materializes its committed row image lazily, on
+//     first access through the view.
+//   - Materialization is O(1) in the common case: rows are immutable
+//     once written and every row mutation installs a fresh outer Rows
+//     slice (or appends beyond the captured length), so when the table
+//     has not changed since the view was built and no open transaction
+//     holds uncommitted changes to it, capturing the live Rows slice
+//     header under the table latch yields a stable committed image
+//     without copying a single row.
+//   - Only when an open transaction holds uncommitted changes to the
+//     table (or the table changed since the view was built) does
+//     materialization clone the row-header slice and rewind the other
+//     sessions' table-scoped undo records on the clone — the same
+//     records that implement ROLLBACK.
+//
+// Write serialization is narrowed from the engine-wide lock to
+// per-table latches: DML runs under the engine READ lock plus the
+// latches of every table the statement can touch (target, subqueries,
+// CHECK expressions, views — see statementRefsLocked), acquired in
+// sorted name order so concurrent writers can never deadlock. DDL,
+// ROLLBACK and state transfers still take the exclusive lock: they
+// mutate the catalog maps that every other path reads locklessly.
+//
+// Consistency contract (documented in ISOLATION.md): under READ
+// COMMITTED each statement sees a committed image per table; under
+// concurrent load two tables first read by the same statement may be
+// materialized a few commits apart. Under REPEATABLE READ the view is
+// pinned at the transaction's first query and each table's image is
+// frozen at its first materialization, which prevents non-repeatable
+// reads and phantoms per table. Statements that read tables the
+// transaction itself has written (or that follow in-transaction DDL)
+// fall back to a latched read of the live plane with the OTHER
+// sessions' uncommitted changes rewound, so a transaction always sees
+// its own writes.
+
+// IsoLevel is the engine's isolation-level lattice. The engine
+// implements two behaviours; the four SQL level names collapse onto
+// them (READ UNCOMMITTED requests are served at READ COMMITTED — the
+// engine no longer exposes dirty reads — and SERIALIZABLE/SNAPSHOT are
+// served with REPEATABLE READ snapshot semantics).
+type IsoLevel int
+
+// Isolation levels.
+const (
+	LevelReadCommitted IsoLevel = iota
+	LevelRepeatableRead
+)
+
+// ParseIsoLevel maps a SQL isolation-level name (canonical upper-case,
+// as produced by the parser) to the engine behaviour implementing it.
+func ParseIsoLevel(name string) (IsoLevel, bool) {
+	switch name {
+	case "READ UNCOMMITTED", "READ COMMITTED":
+		return LevelReadCommitted, true
+	case "REPEATABLE READ", "SERIALIZABLE", "SNAPSHOT":
+		return LevelRepeatableRead, true
+	}
+	return 0, false
+}
+
+// errSetTxnMidTxn is the deterministic error for SET TRANSACTION after
+// the first statement of an open transaction.
+var errSetTxnMidTxn = errors.New("SET TRANSACTION must be the first statement of a transaction")
+
+// readView is one committed-state image: catalog maps rewound to the
+// committed state at build time, and per-table lazily materialized row
+// images. A view is immutable after build except for the lazy mat
+// fields inside each viewTable (guarded by the viewTable's own mutex).
+type readView struct {
+	eng *Engine
+	// seq/gen stamp the view for staleness checks: a view is current
+	// while both match the engine's commitSeq and viewGen.
+	seq uint64
+	gen uint64
+	// schema is the committed schema-version stamp, used as the plan
+	// cache version for statements executed through this view. Two
+	// views with equal stamps have identical catalogs, so compiled
+	// plans are shared safely across views and with the live plane.
+	schema uint64
+
+	tables map[string]*viewTable
+	views  map[string]*View
+	indexs map[string]*Index
+	seqs   map[string]*Sequence
+}
+
+// viewTable wraps one base table in a read view. All fields except mat
+// are immutable after the view is built.
+type viewTable struct {
+	// live is the engine-resident table the image derives from (still
+	// valid after a DROP: the view pins it).
+	live *Table
+	// mutSeqAtBuild is the table's mutation stamp when the view was
+	// built; dirty records whether any open transaction held
+	// uncommitted changes to the table at that time.
+	mutSeqAtBuild uint64
+	dirty         bool
+
+	mu sync.Mutex
+	// mat is the lazily materialized committed image (nil until first
+	// access); clean marks an O(1) capture whose row image equals the
+	// live table at mutSeqAtBuild, making the viewTable reusable by the
+	// next view build while the table stays unchanged.
+	mat   *Table
+	clean bool
+}
+
+// premat wraps a table that was fully materialized during the view
+// build itself (a table re-installed by rewinding an uncommitted DROP).
+func premat(t *Table) *viewTable { return &viewTable{mat: t} }
+
+// table returns the viewTable for name, or nil when the committed
+// catalog has no such base table.
+func (v *readView) table(name string) *viewTable { return v.tables[name] }
+
+// materialize returns the committed row image of the table, building it
+// on first access. Caller holds the engine read lock.
+func (vt *viewTable) materialize(e *Engine) *Table {
+	vt.mu.Lock()
+	defer vt.mu.Unlock()
+	if vt.mat != nil {
+		return vt.mat
+	}
+	t := vt.live
+	e.lockLatch(t)
+	if !vt.dirty && t.mutSeq.Load() == vt.mutSeqAtBuild {
+		// Unchanged since build and no uncommitted changes: capture the
+		// live slice headers. Writers never mutate Rows below the
+		// captured length in place (see dml.go's copy-on-write
+		// contract), so the capture is a stable committed image.
+		mat := captureTable(t)
+		// Captures of one table share an index-cache lineage while its
+		// baseSeq is unchanged (appends only): each new capture inherits
+		// the previous captures' lookup indexes and extends them over
+		// the appended rows instead of rebuilding (see index.go).
+		mat.baseSeq.Store(t.baseSeq.Load())
+		if t.capIC != nil && t.capICBase == t.baseSeq.Load() {
+			mat.ic = t.capIC
+		} else {
+			t.capIC, t.capICBase = mat.ic, t.baseSeq.Load()
+		}
+		vt.mat = mat
+		vt.clean = true
+		t.rowsShared = true
+		e.matCleans.Add(1)
+	} else {
+		// The table moved on (or carried uncommitted changes at build
+		// time): clone the row headers and rewind every open
+		// transaction's table-scoped undo records, yielding the
+		// committed image as of now. Per-statement staleness checks
+		// make the slightly newer image harmless (READ COMMITTED
+		// semantics; see ISOLATION.md).
+		vt.mat = e.committedTable(t, nil)
+		e.matRewinds.Add(1)
+	}
+	t.latch.Unlock()
+	return vt.mat
+}
+
+// captureTable snapshots a table's slice headers without copying rows.
+// Caller holds the table latch; the capture stays valid because every
+// later row mutation installs a fresh Rows slice or appends beyond the
+// captured length, and Uniques is copied because index-creation undo
+// shifts it in place.
+func captureTable(t *Table) *Table {
+	return &Table{
+		Name:    t.Name,
+		Cols:    t.Cols,
+		Rows:    t.Rows,
+		PKCols:  t.PKCols,
+		Uniques: append([][]int(nil), t.Uniques...),
+		Checks:  t.Checks,
+		ic:      newIndexCache(),
+		colVer:  append([]uint64(nil), t.colVer...),
+	}
+}
+
+// committedTable clones the table and rewinds the table-scoped undo
+// records of every open transaction except the given session's,
+// producing the image of the committed state plus (when except is a
+// session) that session's own uncommitted changes. Caller holds the
+// engine read lock and the table's latch.
+func (e *Engine) committedTable(t *Table, except *Session) *Table {
+	ct := captureTable(t)
+	ct.Rows = append([][]types.Value(nil), t.Rows...)
+	dst := &state{tables: map[string]*Table{t.Name: ct}}
+	for s := range e.sessions {
+		if s == except {
+			continue
+		}
+		s.txMu.Lock()
+		if s.inTxn {
+			for i := len(s.undo) - 1; i >= 0; i-- {
+				r := s.undo[i]
+				if r.kind == kindTable && r.table == t.Name {
+					r.fn(dst, true)
+				}
+			}
+		}
+		s.txMu.Unlock()
+	}
+	return dst.tables[t.Name]
+}
+
+// currentView returns the engine's shared committed read view, building
+// a fresh one when the cached view is stale. Caller holds the engine
+// read lock. Builds are single-flighted under viewMu.
+func (e *Engine) currentView() *readView {
+	seq, gen := e.commitSeq.Load(), e.viewGen.Load()
+	if v := e.curView.Load(); v != nil && v.seq == seq && v.gen == gen {
+		e.viewHits.Add(1)
+		return v
+	}
+	e.viewMu.Lock()
+	defer e.viewMu.Unlock()
+	seq, gen = e.commitSeq.Load(), e.viewGen.Load()
+	if v := e.curView.Load(); v != nil && v.seq == seq && v.gen == gen {
+		e.viewHits.Add(1)
+		return v
+	}
+	v := e.buildView(seq, gen)
+	e.curView.Store(v)
+	e.viewBuilds.Add(1)
+	return v
+}
+
+// buildView constructs a committed read view: copy the catalog maps,
+// rewind open transactions' catalog and sequence records on the copies
+// (pass 1), then rewind table records for tables that were re-installed
+// by pass 1 (pass 2) and mark every other table carrying uncommitted
+// changes dirty. The two-pass order makes the result independent of
+// session iteration order: catalog rewinds (which can replace a table
+// wholesale) land before any row rewind targets them. Caller holds the
+// engine read lock and viewMu.
+func (e *Engine) buildView(seq, gen uint64) *readView {
+	v := &readView{
+		eng:    e,
+		seq:    seq,
+		gen:    gen,
+		schema: e.committedSchema,
+		views:  make(map[string]*View, len(e.st.views)),
+		indexs: make(map[string]*Index, len(e.st.indexs)),
+		seqs:   make(map[string]*Sequence, len(e.st.seqs)),
+	}
+	tabs := make(map[string]*Table, len(e.st.tables))
+	for n, t := range e.st.tables {
+		tabs[n] = t
+	}
+	for n, vw := range e.st.views {
+		v.views[n] = vw
+	}
+	for n, ix := range e.st.indexs {
+		v.indexs[n] = ix
+	}
+	e.seqMu.Lock()
+	for n, sq := range e.st.seqs {
+		cp := *sq
+		v.seqs[n] = &cp
+	}
+	e.seqMu.Unlock()
+
+	dst := &state{tables: tabs, views: v.views, indexs: v.indexs, seqs: v.seqs}
+	dirty := make(map[string]bool)
+	var tableRecs []undoRec
+	for s := range e.sessions {
+		s.txMu.Lock()
+		if s.inTxn {
+			for i := len(s.undo) - 1; i >= 0; i-- {
+				r := s.undo[i]
+				switch r.kind {
+				case kindCatalog, kindSeq:
+					r.fn(dst, true)
+				case kindTable:
+					tableRecs = append(tableRecs, r)
+				}
+			}
+		}
+		s.txMu.Unlock()
+	}
+	for _, r := range tableRecs {
+		if cur, ok := tabs[r.table]; ok && cur == e.st.tables[r.table] {
+			// Still the live table instance: rewind lazily under the
+			// table latch at first access.
+			dirty[r.table] = true
+			continue
+		}
+		// The table was re-installed (or replaced) by a catalog rewind:
+		// it is already a private clone, rewind the rows now.
+		r.fn(dst, true)
+	}
+
+	prev := e.curView.Load()
+	v.tables = make(map[string]*viewTable, len(tabs))
+	for n, t := range tabs {
+		if t != e.st.tables[n] {
+			v.tables[n] = premat(t)
+			continue
+		}
+		ms := t.mutSeq.Load()
+		if prev != nil && !dirty[n] {
+			// Reuse the previous view's wrapper (and its materialized
+			// image and lazy indexes) while the table is unchanged.
+			if pv := prev.tables[n]; pv != nil && pv.live == t && !pv.dirty && pv.mutSeqAtBuild == ms {
+				v.tables[n] = pv
+				e.viewReuses.Add(1)
+				continue
+			}
+		}
+		v.tables[n] = &viewTable{live: t, mutSeqAtBuild: ms, dirty: dirty[n]}
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// Per-table write latches
+
+// lockLatch acquires a table latch, counting contended acquisitions and
+// the time spent waiting (the latch-wait observability surface).
+func (e *Engine) lockLatch(t *Table) {
+	if t.latch.TryLock() {
+		return
+	}
+	start := time.Now()
+	t.latch.Lock()
+	e.latchWaits.Add(1)
+	e.latchWaitNs.Add(uint64(time.Since(start)))
+}
+
+// latchTables acquires the latches of the named tables in sorted name
+// order (names must be sorted and deduplicated; missing tables are
+// skipped — the statement will fail resolving them) and returns the
+// release function. Caller holds the engine read lock, which keeps the
+// table map and the *Table instances stable.
+func (e *Engine) latchTables(names []string) func() {
+	held := make([]*Table, 0, len(names))
+	for _, n := range names {
+		if t, ok := e.st.tables[n]; ok {
+			e.lockLatch(t)
+			held = append(held, t)
+		}
+	}
+	return func() {
+		for i := len(held) - 1; i >= 0; i-- {
+			held[i].latch.Unlock()
+		}
+	}
+}
+
+// statementRefsLocked computes the full set of base tables a statement
+// can touch: the tables named by the statement (including inside
+// subqueries anywhere in its expressions), the tables referenced by the
+// target table's CHECK expressions (constraint checking evaluates
+// them), and the transitive expansion of every referenced view. The
+// result is sorted — the deadlock-free latch acquisition order. Caller
+// holds the engine lock in at least read mode.
+func (e *Engine) statementRefsLocked(st ast.Statement) []string {
+	set := ast.Tables(st)
+	switch x := st.(type) {
+	case *ast.Insert:
+		e.addCheckRefs(set, up(x.Table))
+	case *ast.Update:
+		e.addCheckRefs(set, up(x.Table))
+	}
+	// Transitive view expansion: a statement reading a view reads the
+	// view's base tables.
+	work := make([]string, 0, len(set))
+	for n := range set {
+		work = append(work, n)
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		v, ok := e.st.views[n]
+		if !ok {
+			continue
+		}
+		for dep := range ast.Tables(v.Select) {
+			if !set[dep] {
+				set[dep] = true
+				work = append(work, dep)
+			}
+		}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// addCheckRefs adds the tables referenced from inside the target
+// table's CHECK expressions (scalar subqueries in CHECK read other
+// tables during constraint evaluation).
+func (e *Engine) addCheckRefs(set map[string]bool, target string) {
+	t, ok := e.st.tables[target]
+	if !ok {
+		return
+	}
+	for _, chk := range t.Checks {
+		ast.WalkExprs(chk, func(x ast.Expr) {
+			var sel *ast.Select
+			switch n := x.(type) {
+			case *ast.Subquery:
+				sel = n.Select
+			case *ast.Exists:
+				sel = n.Select
+			case *ast.In:
+				sel = n.Select
+			}
+			if sel != nil {
+				for dep := range ast.Tables(sel) {
+					set[dep] = true
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Read-plane resolution
+
+// lookupTable resolves a base table on the session's active read plane:
+// the own-writes overlay (live minus other transactions' uncommitted
+// changes), the active read view's materialized image, or the live
+// state. Caller holds the engine lock in at least read mode.
+func (s *Session) lookupTable(name string) (*Table, bool) {
+	if s.ownTabs != nil {
+		if t, ok := s.ownTabs[name]; ok {
+			return t, true
+		}
+	}
+	if s.curRead != nil {
+		vt := s.curRead.table(name)
+		if vt == nil {
+			return nil, false
+		}
+		return vt.materialize(s.eng), true
+	}
+	t, ok := s.eng.st.tables[name]
+	return t, ok
+}
+
+// lookupView resolves a view on the session's active read plane.
+func (s *Session) lookupView(name string) (*View, bool) {
+	if s.curRead != nil {
+		v, ok := s.curRead.views[name]
+		return v, ok
+	}
+	v, ok := s.eng.st.views[name]
+	return v, ok
+}
+
+// catalogIndexes returns the index catalog of the session's active read
+// plane (the own-writes path reads the live catalog: the transaction
+// must see its own DDL).
+func (s *Session) catalogIndexes() map[string]*Index {
+	if s.ownTabs == nil && s.curRead != nil {
+		return s.curRead.indexs
+	}
+	return s.eng.st.indexs
+}
+
+// planVersion is the schema stamp compiled plans are validated against
+// on the session's active read plane.
+func (s *Session) planVersion() uint64 {
+	if s.curRead != nil {
+		return s.curRead.schema
+	}
+	return s.eng.schemaVersion
+}
+
+// othersInTxnOn reports whether any open transaction other than s holds
+// uncommitted changes to the named table. Caller holds the engine read
+// lock.
+func (e *Engine) othersInTxnOn(name string, except *Session) bool {
+	for s := range e.sessions {
+		if s == except {
+			continue
+		}
+		s.txMu.Lock()
+		found := false
+		if s.inTxn {
+			for _, r := range s.undo {
+				if r.kind == kindTable && r.table == name {
+					found = true
+					break
+				}
+			}
+		}
+		s.txMu.Unlock()
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// SET TRANSACTION
+
+// execSetTxn applies a SET TRANSACTION ISOLATION LEVEL statement.
+// Outside a transaction it sets the session default (and the level of
+// the next transaction); as the first statement of a transaction it
+// sets that transaction's level; later in a transaction it fails
+// deterministically. Level names the engine does not implement are
+// rejected at the dialect layer (checkDialect) before reaching here.
+func (s *Session) execSetTxn(st *ast.SetTxn) (*Result, error) {
+	lvl, ok := ParseIsoLevel(st.Level)
+	if !ok {
+		return nil, errors.New("unknown isolation level " + st.Level)
+	}
+	if s.inTxn {
+		if s.txnStmts > 0 {
+			return nil, errSetTxnMidTxn
+		}
+		s.level = lvl
+	} else {
+		s.defLevel = lvl
+		s.level = lvl
+	}
+	return &Result{Kind: ResultDDL}, nil
+}
+
+// IsolationLevel reports the session's current isolation level (the
+// open transaction's level, or the session default).
+func (s *Session) IsolationLevel() IsoLevel {
+	s.eng.mu.RLock()
+	defer s.eng.mu.RUnlock()
+	return s.level
+}

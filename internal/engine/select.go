@@ -521,7 +521,7 @@ func (e *Session) tableRefRelation(tr ast.TableRef, outer *scope, skipViewDistin
 	if tr.Alias != "" {
 		qual = up(tr.Alias)
 	}
-	if t, ok := e.eng.st.tables[name]; ok {
+	if t, ok := e.lookupTable(name); ok {
 		rel := &relation{cols: make([]scopeCol, len(t.Cols))}
 		for i, c := range t.Cols {
 			rel.cols[i] = scopeCol{qual: qual, name: c.Name}
@@ -529,7 +529,7 @@ func (e *Session) tableRefRelation(tr ast.TableRef, outer *scope, skipViewDistin
 		rel.rows = append(rel.rows, t.Rows...)
 		return rel, nil
 	}
-	if v, ok := e.eng.st.views[name]; ok {
+	if v, ok := e.lookupView(name); ok {
 		sel := v.Select
 		if skipViewDistinct && sel.Distinct {
 			cp := *sel

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"strings"
+	"sync"
 
 	"divsql/internal/engine/plan"
 	"divsql/internal/sql/ast"
@@ -14,29 +15,67 @@ import (
 // open-transaction flag and undo log, so BEGIN on one session never
 // affects another.
 //
-// Concurrency model: a session is owned by one client (one goroutine at a
-// time), like a database connection; the engine arbitrates between
-// sessions with its RWMutex. Read-only statements from different sessions
-// run in parallel; state-changing statements serialize. Transactions use
-// an undo log over the shared state — writes become visible to other
-// sessions immediately (READ UNCOMMITTED). Undo entries target rows by
-// identity, so a rollback removes or restores exactly the transaction's
-// own rows even when other sessions' statements interleaved; concurrent
-// transactions are therefore isolated as long as they touch disjoint
-// rows (write-write races on the same row remain the application's
-// concern), which is the contract the workload layers (warehouse-pinned
-// TPC-C terminals, wire clients on their own tables) follow.
+// Concurrency model: a session is owned by one client (one goroutine at
+// a time), like a database connection; the engine arbitrates between
+// sessions. Pure queries execute against committed read views under the
+// engine read lock (see readview.go) — lock-free with respect to
+// writers. DML runs under the read lock plus per-table latches acquired
+// in sorted name order; DDL, ROLLBACK and state transfers take the
+// exclusive lock. Transactions use an undo log over the shared state;
+// undo entries target rows by identity, so a rollback removes or
+// restores exactly the transaction's own rows even when other sessions'
+// statements interleaved. Concurrent transactions are isolated as long
+// as they touch disjoint rows (write-write races on the same row remain
+// the application's concern), which is the contract the workload layers
+// (warehouse-pinned TPC-C terminals, wire clients on their own tables)
+// follow.
 type Session struct {
 	eng    *Engine
 	closed bool
 
+	// txMu guards inTxn and undo against cross-session readers: the
+	// read-view builder and per-table rewinds iterate other sessions'
+	// undo logs while those sessions keep executing. The owning session
+	// reads its own fields without txMu (it is the only writer) but
+	// takes it for every mutation.
+	txMu  sync.Mutex
 	inTxn bool
-	undo  []undoFn
+	undo  []undoRec
+
+	// touched names the tables this transaction has latched for
+	// writing; a pure SELECT over any of them reads through the
+	// own-writes overlay instead of the committed view. didDDL marks a
+	// transaction that executed DDL: its later queries read the live
+	// plane (schema changes are not versioned into read views) and its
+	// COMMIT takes the exclusive lock to publish the schema. Owner-only
+	// fields.
+	touched map[string]struct{}
+	didDDL  bool
+
+	// level is the isolation level of the current transaction (or the
+	// next one); defLevel the session default restored at transaction
+	// end. txnStmts counts statements executed inside the open
+	// transaction, gating SET TRANSACTION to the first position.
+	// pinned is the REPEATABLE READ view, captured at the
+	// transaction's first query. Owner-only fields, except pinned and
+	// level resets from discardAllTxnsLocked (exclusive lock).
+	level    IsoLevel
+	defLevel IsoLevel
+	txnStmts int
+	pinned   *readView
+
+	// curRead is the read view the currently executing statement
+	// resolves tables against (nil = live plane); ownTabs overlays
+	// per-table committed+own-writes images for in-transaction reads of
+	// touched tables. Set and cleared around each statement by the
+	// owning goroutine.
+	curRead *readView
+	ownTabs map[string]*Table
 
 	// bind is the argument vector of the currently executing bound
 	// statement (ExecBind); Param nodes resolve against it. A session
 	// executes one statement at a time (one client), so a plain field
-	// under the engine lock suffices.
+	// suffices.
 	bind []types.Value
 
 	// lastPlan records how the most recent SELECT executed (access path,
@@ -44,14 +83,39 @@ type Session struct {
 	lastPlan plan.Info
 }
 
-// undoFn is one undo record: the inverse of one mutation, applicable to
-// an arbitrary state plane. dst is the live state during ROLLBACK and a
-// copy-on-write clone during Snapshot's committed-image rewind; toSnap
-// distinguishes the two so records that re-install dropped objects can
-// copy mutable structures instead of sharing them with the live plane.
-// Records resolve tables and sequences by name within dst and rows by
-// slice identity (identities are preserved by the snapshot's header
-// clone), so the same record is correct on either plane.
+// recKind classifies an undo record by the state plane it rewinds, so
+// the read-view machinery can apply catalog and sequence records at
+// view build time while deferring row records to lazy per-table
+// materialization.
+type recKind uint8
+
+const (
+	// kindTable marks a record that mutates one table's rows (or its
+	// Uniques keysets); table names it.
+	kindTable recKind = iota
+	// kindCatalog marks a record that mutates the catalog maps (or the
+	// schema-version stamp).
+	kindCatalog
+	// kindSeq marks a record that restores a sequence cursor.
+	kindSeq
+)
+
+// undoRec is one typed undo record: the inverse of one mutation.
+type undoRec struct {
+	kind  recKind
+	table string // kindTable only: the table the record targets
+	fn    undoFn
+}
+
+// undoFn is one undo record's body: the inverse of one mutation,
+// applicable to an arbitrary state plane. dst is the live state during
+// ROLLBACK and a copy-on-write clone during Snapshot's committed-image
+// rewind (or a read view's); toSnap distinguishes the two so records
+// that re-install dropped objects can copy mutable structures instead
+// of sharing them with the live plane. Records resolve tables and
+// sequences by name within dst and rows by slice identity (identities
+// are preserved by the snapshot's header clone), so the same record is
+// correct on any plane.
 type undoFn func(dst *state, toSnap bool)
 
 // NewSession opens a session on the engine.
@@ -100,10 +164,10 @@ func (s *Session) Close() error {
 var ErrSessionClosed = errors.New("session is closed")
 
 // Exec executes one parsed statement in this session. Pure queries run
-// under the engine's read lock (parallel across sessions); everything
-// else — DML, DDL, transaction control, and SELECTs that advance a
-// sequence — takes the write lock. Statements carrying Param nodes go
-// through ExecBind instead.
+// against a committed read view under the engine's read lock (parallel
+// with writers); DML runs under the read lock plus per-table latches;
+// DDL, ROLLBACK and DDL-publishing COMMITs take the write lock.
+// Statements carrying Param nodes go through ExecBind instead.
 func (s *Session) Exec(st ast.Statement) (*Result, error) {
 	return s.execLocked(st, nil)
 }
@@ -112,25 +176,79 @@ func (s *Session) Exec(st ast.Statement) (*Result, error) {
 // mode, installs the bind vector and dispatches the statement.
 func (s *Session) execLocked(st ast.Statement, bind []types.Value) (*Result, error) {
 	e := s.eng
-	if sel, ok := st.(*ast.Select); ok {
+	switch x := st.(type) {
+	case *ast.Select:
 		e.mu.RLock()
-		if !s.closed && !e.selectAdvancesSequences(sel) {
+		if s.closed {
+			e.mu.RUnlock()
+			return nil, ErrSessionClosed
+		}
+		// A plan-memo hit proves the statement is a pure SELECT: only
+		// non-advancing selects reach the memo, and an unchanged schema
+		// stamp means the view chain it was classified against still
+		// stands. This skips the classification walk on the hot path.
+		if v, ok := e.planMemo.Load(x); ok && v.(*memoEntry).version == e.schemaVersion {
 			defer e.mu.RUnlock()
-			s.bind = bind
-			res, err := s.execSelectRLocked(sel)
-			s.bind = nil
-			return res, err
+			return s.execSelectRead(x, bind)
+		}
+		if !e.selectAdvancesSequences(x) {
+			defer e.mu.RUnlock()
+			return s.execSelectRead(x, bind)
+		}
+		// A sequence-advancing SELECT mutates state: fall through to
+		// the latched write path (it stays on the interpreter).
+		defer e.mu.RUnlock()
+		s.lastPlan = plan.Info{}
+		return s.execLatched(st, bind)
+
+	case *ast.Insert, *ast.Update, *ast.Delete:
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		if s.closed {
+			return nil, ErrSessionClosed
+		}
+		return s.execLatched(st, bind)
+
+	case *ast.Begin:
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		if s.closed {
+			return nil, ErrSessionClosed
+		}
+		return s.execBegin()
+
+	case *ast.Commit:
+		e.mu.RLock()
+		if s.closed {
+			e.mu.RUnlock()
+			return nil, ErrSessionClosed
+		}
+		if !s.didDDL {
+			defer e.mu.RUnlock()
+			return s.execCommitLight()
 		}
 		e.mu.RUnlock()
+		// A DDL-bearing transaction publishes its schema at COMMIT
+		// under the exclusive lock (readers stamp plans against the
+		// committed schema version).
+
+	case *ast.SetTxn:
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		if s.closed {
+			return nil, ErrSessionClosed
+		}
+		return s.execSetTxn(x)
 	}
+
+	// DDL, ROLLBACK, DDL-bearing COMMIT, unknown statements: exclusive.
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if s.closed {
 		return nil, ErrSessionClosed
 	}
-	if _, ok := st.(*ast.Select); ok {
-		// A sequence-advancing SELECT stays on the interpreter.
-		s.lastPlan = plan.Info{}
+	if s.inTxn {
+		s.txnStmts++
 	}
 	s.bind = bind
 	res, err := s.exec(st)
@@ -138,20 +256,130 @@ func (s *Session) execLocked(st ast.Statement, bind []types.Value) (*Result, err
 	if !s.inTxn {
 		// Autocommit: outside an explicit transaction every statement
 		// commits on completion, so the undo entries are discarded and
-		// the commit high-water mark advances past the statement. (Every
-		// statement on this write-lock path mutates state — pure SELECTs
-		// returned early above; a SELECT here advances a sequence.)
+		// the commit high-water mark advances past the statement.
 		if err == nil {
 			switch st.(type) {
-			case *ast.Begin, *ast.Commit, *ast.Rollback:
+			case *ast.Begin, *ast.Commit, *ast.Rollback, *ast.SetTxn:
 				// BEGIN opens a transaction; COMMIT advanced the mark in
-				// execCommit; ROLLBACK commits nothing.
+				// execCommit; ROLLBACK and SET TRANSACTION commit nothing.
 			default:
-				e.commitSeq++
+				e.commitSeq.Add(1)
 			}
 		}
-		s.undo = nil
+		s.clearTxnState()
+		// Publish the committed schema stamp: after an autocommit DDL,
+		// a committed DDL transaction, or a rollback (which restored
+		// the previous stamp) the live schema version is the committed
+		// one.
+		e.committedSchema = e.schemaVersion
 	}
+	return res, err
+}
+
+// execLatched runs a state-changing non-DDL statement under the engine
+// read lock plus the sorted per-table latches of every table the
+// statement can touch. Caller holds the read lock.
+func (s *Session) execLatched(st ast.Statement, bind []types.Value) (*Result, error) {
+	e := s.eng
+	refs := e.statementRefsLocked(st)
+	release := e.latchTables(refs)
+	defer release()
+	if s.inTxn {
+		s.txnStmts++
+		if s.touched == nil {
+			s.touched = make(map[string]struct{}, len(refs))
+		}
+		for _, n := range refs {
+			s.touched[n] = struct{}{}
+		}
+	}
+	s.bind = bind
+	res, err := s.exec(st)
+	s.bind = nil
+	if !s.inTxn {
+		if err == nil {
+			// Advance the commit mark while the latches are held, so a
+			// reader that observes the new rows also observes the new
+			// sequence number. (Outside a transaction no undo records
+			// were logged; failed statements self-clean their partial
+			// effects — see dml.go.)
+			e.commitSeq.Add(1)
+		}
+		s.clearTxnState()
+	}
+	return res, err
+}
+
+// execSelectRead runs a pure SELECT on the appropriate read plane.
+// Caller holds the engine read lock.
+func (s *Session) execSelectRead(sel *ast.Select, bind []types.Value) (*Result, error) {
+	e := s.eng
+	if s.inTxn {
+		s.txnStmts++
+		if s.didDDL || s.touchesRefs(sel) {
+			return s.execSelectOwn(sel, bind)
+		}
+		if s.level == LevelRepeatableRead {
+			if s.pinned == nil {
+				s.pinned = e.currentView()
+			}
+			s.curRead = s.pinned
+		} else {
+			s.curRead = e.currentView()
+		}
+	} else {
+		s.curRead = e.currentView()
+	}
+	s.bind = bind
+	res, err := s.execSelectRLocked(sel)
+	s.bind = nil
+	s.curRead = nil
+	return res, err
+}
+
+// touchesRefs reports whether the query reads any table this
+// transaction has written.
+func (s *Session) touchesRefs(sel *ast.Select) bool {
+	if len(s.touched) == 0 {
+		return false
+	}
+	for _, n := range s.eng.statementRefsLocked(sel) {
+		if _, ok := s.touched[n]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// execSelectOwn runs an in-transaction SELECT over tables the
+// transaction itself has written (or after in-transaction DDL): it
+// latches the referenced tables and reads the live plane, with other
+// transactions' uncommitted changes rewound per table, so the session
+// sees exactly the committed state plus its own writes. Caller holds
+// the engine read lock.
+func (s *Session) execSelectOwn(sel *ast.Select, bind []types.Value) (*Result, error) {
+	e := s.eng
+	refs := e.statementRefsLocked(sel)
+	release := e.latchTables(refs)
+	defer release()
+	var overlay map[string]*Table
+	for _, n := range refs {
+		t, ok := e.st.tables[n]
+		if !ok {
+			continue
+		}
+		if e.othersInTxnOn(n, s) {
+			if overlay == nil {
+				overlay = make(map[string]*Table, len(refs))
+			}
+			overlay[n] = e.committedTable(t, s)
+		}
+	}
+	s.ownTabs = overlay
+	s.bind = bind
+	res, err := s.execSelectRLocked(sel)
+	s.bind = nil
+	s.ownTabs = nil
 	return res, err
 }
 
@@ -214,20 +442,46 @@ func (s *Session) execBegin() (*Result, error) {
 	if s.inTxn {
 		return nil, errors.New("transaction already in progress")
 	}
+	s.txMu.Lock()
 	s.inTxn = true
 	s.undo = s.undo[:0]
+	s.txMu.Unlock()
+	s.touched = nil
+	s.didDDL = false
+	s.txnStmts = 0
+	s.pinned = nil
+	s.level = s.defLevel
 	return &Result{Kind: ResultDDL}, nil
 }
 
+// execCommitLight commits a transaction that performed no DDL, under
+// the engine read lock only. The commit-mark bump and the undo-log
+// clear happen atomically with respect to Snapshot (commitMu), so a
+// snapshot's stamp always matches its content.
+func (s *Session) execCommitLight() (*Result, error) {
+	if !s.inTxn {
+		return nil, ErrNoTransaction
+	}
+	e := s.eng
+	e.commitMu.Lock()
+	if len(s.undo) > 0 {
+		e.commitSeq.Add(1)
+	}
+	s.clearTxnState()
+	e.commitMu.Unlock()
+	return &Result{Kind: ResultDDL}, nil
+}
+
+// execCommit commits under the exclusive lock (the DDL-bearing path, or
+// the sessionless compatibility API's dispatch).
 func (s *Session) execCommit() (*Result, error) {
 	if !s.inTxn {
 		return nil, ErrNoTransaction
 	}
 	if len(s.undo) > 0 {
-		s.eng.commitSeq++
+		s.eng.commitSeq.Add(1)
 	}
-	s.inTxn = false
-	s.undo = nil
+	s.clearTxnState()
 	return &Result{Kind: ResultDDL}, nil
 }
 
@@ -239,24 +493,54 @@ func (s *Session) execRollback() (*Result, error) {
 	return &Result{Kind: ResultDDL}, nil
 }
 
+// rollbackLocked applies the undo log in reverse. Caller holds the
+// exclusive engine lock (undo application mutates tables, catalog maps
+// and the schema stamp in place).
 func (s *Session) rollbackLocked() {
 	for i := len(s.undo) - 1; i >= 0; i-- {
-		s.undo[i](&s.eng.st, false)
+		s.undo[i].fn(&s.eng.st, false)
 	}
-	s.inTxn = false
-	s.undo = nil
+	s.clearTxnState()
 }
 
-func (s *Session) logUndo(fn undoFn) {
+// clearTxnState resets the session's transaction bookkeeping (under
+// txMu, so concurrent view builds never observe a half-cleared log).
+func (s *Session) clearTxnState() {
+	s.txMu.Lock()
+	s.inTxn = false
+	s.undo = nil
+	s.txMu.Unlock()
+	s.touched = nil
+	s.didDDL = false
+	s.txnStmts = 0
+	s.pinned = nil
+	s.level = s.defLevel
+}
+
+// logUndo appends a typed undo record when a transaction is open.
+// Appends happen under txMu: the read-view builder and per-table
+// rewinds iterate this log from other goroutines.
+func (s *Session) logUndo(kind recKind, table string, fn undoFn) {
 	if s.inTxn {
-		s.undo = append(s.undo, fn)
+		s.txMu.Lock()
+		s.undo = append(s.undo, undoRec{kind: kind, table: table, fn: fn})
+		s.txMu.Unlock()
 	}
 }
+
+// logUndoTable logs a row-plane undo record for one table.
+func (s *Session) logUndoTable(table string, fn undoFn) { s.logUndo(kindTable, table, fn) }
+
+// logUndoCatalog logs a catalog-plane undo record.
+func (s *Session) logUndoCatalog(fn undoFn) { s.logUndo(kindCatalog, "", fn) }
+
+// logUndoSeq logs a sequence-cursor undo record.
+func (s *Session) logUndoSeq(fn undoFn) { s.logUndo(kindSeq, "", fn) }
 
 // InTxn reports whether the session has an explicit transaction open.
 func (s *Session) InTxn() bool {
-	s.eng.mu.RLock()
-	defer s.eng.mu.RUnlock()
+	s.txMu.Lock()
+	defer s.txMu.Unlock()
 	return s.inTxn
 }
 
@@ -293,7 +577,10 @@ func (e *Engine) AnyInTxn() bool {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	for s := range e.sessions {
-		if s.inTxn {
+		s.txMu.Lock()
+		open := s.inTxn
+		s.txMu.Unlock()
+		if open {
 			return true
 		}
 	}
@@ -312,7 +599,6 @@ func (e *Engine) SessionCount() int {
 // applying undo entries (the state they refer to has been replaced).
 func (e *Engine) discardAllTxnsLocked() {
 	for s := range e.sessions {
-		s.inTxn = false
-		s.undo = nil
+		s.clearTxnState()
 	}
 }

@@ -54,15 +54,20 @@ type State struct {
 // definitions, check expressions, inner keyset slices and the row value
 // slices themselves.
 func (t *Table) cloneHeader() *Table {
-	ct := *t
-	ct.Rows = append([][]types.Value(nil), t.Rows...)
-	ct.Uniques = append([][]int(nil), t.Uniques...)
-	// Lookup indexes are a per-instance cache: the clone gets its own,
-	// never a shared one (two engines invalidating each other's indexes
-	// would be a race).
-	ct.mutSeq = 0
-	ct.ic = newIndexCache()
-	return &ct
+	// Field-by-field: Table embeds a latch and an atomic mutation
+	// counter, neither of which may be copied. The clone starts with a
+	// fresh latch, mutSeq 0 and its own index cache (two engines
+	// invalidating each other's indexes would be a race).
+	ct := &Table{
+		Name:    t.Name,
+		Cols:    t.Cols,
+		Rows:    append([][]types.Value(nil), t.Rows...),
+		PKCols:  t.PKCols,
+		Uniques: append([][]int(nil), t.Uniques...),
+		Checks:  t.Checks,
+		ic:      newIndexCache(),
+	}
+	return ct
 }
 
 // cloneForSnapshot copies the state's headers copy-on-write. Views and
@@ -99,29 +104,43 @@ func (s *state) cloneForSnapshot() *state {
 func (e *Engine) Snapshot() *State {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	// Writers no longer hold the engine write lock: DML runs under the
+	// read lock plus per-table latches, and COMMIT bumps the sequence
+	// under commitMu. Acquiring every table latch plus commitMu (in the
+	// standard latch-then-commitMu order) excludes both, so the stamp
+	// matches the cloned content exactly.
+	names := make([]string, 0, len(e.st.tables))
+	for n := range e.st.tables {
+		names = append(names, n)
+	}
+	release := e.latchTables(names)
+	defer release()
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	e.seqMu.Lock()
 	cl := e.st.cloneForSnapshot()
+	e.seqMu.Unlock()
 	for s := range e.sessions {
-		if !s.inTxn {
-			continue
+		s.txMu.Lock()
+		if s.inTxn {
+			for i := len(s.undo) - 1; i >= 0; i-- {
+				s.undo[i].fn(cl, true)
+			}
 		}
-		for i := len(s.undo) - 1; i >= 0; i-- {
-			s.undo[i](cl, true)
-		}
+		s.txMu.Unlock()
 	}
 	return &State{
 		Tables:    cl.tables,
 		Views:     cl.views,
 		Indexs:    cl.indexs,
 		Seqs:      cl.seqs,
-		CommitSeq: e.commitSeq,
+		CommitSeq: e.commitSeq.Load(),
 	}
 }
 
 // CommitSeq returns the engine's commit high-water mark.
 func (e *Engine) CommitSeq() uint64 {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.commitSeq
+	return e.commitSeq.Load()
 }
 
 // Restore replaces the engine state with a snapshot. The snapshot stays

@@ -366,7 +366,14 @@ func TestFailedStatementIsAtomic(t *testing.T) {
 	if _, err := s.Exec(st); err == nil {
 		t.Fatal("conflicting update must fail")
 	}
-	res, err := execSQL(e, "SELECT A FROM T ORDER BY A")
+	// Read through the writing session: other sessions see the committed
+	// (empty) state now that reads are view-isolated, but the transaction
+	// itself must see its inserts with the partial update reverted.
+	sel, err := parser.Parse("SELECT A FROM T ORDER BY A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Exec(sel)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -245,6 +245,13 @@ type Session struct {
 	// path), which is also when resync replays them.
 	inTxn   bool
 	journal []string
+	// isoStmt is the session's last successful SET TRANSACTION issued
+	// outside a transaction (the session-default isolation level), in
+	// replayable form. A rejoining replica replays it before the
+	// journal so the rebuilt per-client sessions carry the same
+	// isolation defaults as their live siblings. Guarded by d.execMu
+	// held exclusively, like the journal.
+	isoStmt string
 }
 
 // NewSession opens a client session across every replica.
@@ -579,6 +586,15 @@ func (cs *Session) noteWrite(sql, entry string, err error) {
 	case strings.HasPrefix(up, "COMMIT"), strings.HasPrefix(up, "ROLLBACK"):
 		cs.inTxn = false
 		cs.journal = nil
+	case strings.HasPrefix(up, "SET"):
+		// SET TRANSACTION outside a transaction sets the session
+		// default (replayed on resync via isoStmt); inside one it is
+		// transaction-scoped and replays with the journal.
+		if cs.inTxn {
+			cs.journal = append(cs.journal, entry)
+		} else {
+			cs.isoStmt = entry
+		}
 	default:
 		if cs.inTxn {
 			cs.journal = append(cs.journal, entry)
@@ -930,6 +946,13 @@ func (d *DiverseServer) flushPendingResyncs() {
 		snap := donor.srv.Snapshot()
 		r.srv.Restore(snap)
 		for cs := range d.sessions {
+			if cs.isoStmt != "" {
+				// Restore the session-default isolation level first: the
+				// journal below may open a transaction that inherits it.
+				// A replica whose dialect rejects the level fails here
+				// exactly as it did live.
+				_, _, _ = core.ExecEntry(cs.subs[idx], cs.isoStmt)
+			}
 			if !cs.inTxn {
 				continue
 			}

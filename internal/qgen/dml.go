@@ -227,6 +227,14 @@ func (g *Generator) genDelete() ast.Statement {
 
 func (g *Generator) genTxn() ast.Statement {
 	if !g.inTxn {
+		// With isolation enabled, a slice of the transaction budget goes
+		// to SET TRANSACTION statements: mostly outside any transaction
+		// (session default, the common application pattern), so every
+		// later transaction and autocommit statement runs under the
+		// chosen level.
+		if g.opts.Isolation && g.rnd.Intn(4) == 0 {
+			return &ast.SetTxn{Level: g.pickIsoLevel()}
+		}
 		g.inTxn = true
 		g.snap = g.snapshot()
 		return &ast.Begin{}
@@ -241,6 +249,26 @@ func (g *Generator) genTxn() ast.Statement {
 	g.restore(g.snap)
 	g.snap = nil
 	return &ast.Rollback{}
+}
+
+// isoSafeLevels is the isolation-level subset every dialect accepts —
+// the fault-free default for Options.IsolationLevels.
+var isoSafeLevels = []string{"READ COMMITTED", "SERIALIZABLE"}
+
+// AllIsolationLevels is every level name the parser accepts. Hunts use
+// it as the Options.IsolationLevels pool to surface per-dialect
+// acceptance divergence (see dialect.SupportsIsolation).
+var AllIsolationLevels = []string{
+	"READ UNCOMMITTED", "READ COMMITTED", "REPEATABLE READ", "SERIALIZABLE", "SNAPSHOT",
+}
+
+// pickIsoLevel draws an isolation-level name from the configured pool.
+func (g *Generator) pickIsoLevel() string {
+	pool := g.opts.IsolationLevels
+	if len(pool) == 0 {
+		pool = isoSafeLevels
+	}
+	return pool[g.rnd.Intn(len(pool))]
 }
 
 // snapshot deep-copies the schema-tracking state (relations mutate their

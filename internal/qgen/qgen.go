@@ -116,6 +116,17 @@ type Options struct {
 	Unions bool
 	// Transactions enables BEGIN/COMMIT/ROLLBACK around runs of work.
 	Transactions bool
+	// Isolation additionally emits SET TRANSACTION ISOLATION LEVEL
+	// statements (outside transactions and as the first statement of
+	// some), so the replicas' read views — and their acceptance of each
+	// level name — enter the adjudicated stream. Requires Transactions.
+	Isolation bool
+	// IsolationLevels is the pool of level names Isolation draws from.
+	// Empty defaults to the universally accepted subset (READ COMMITTED,
+	// SERIALIZABLE) — safe for fault-free gates; calibrated hunts pass
+	// the full five names so per-dialect acceptance divergence becomes a
+	// fingerprint surface.
+	IsolationLevels []string
 
 	// --- Naming ----------------------------------------------------------
 

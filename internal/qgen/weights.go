@@ -34,7 +34,7 @@ func ClassOf(st ast.Statement) Class {
 		return ClassDelete
 	case *ast.Select:
 		return ClassSelect
-	case *ast.Begin, *ast.Commit, *ast.Rollback:
+	case *ast.Begin, *ast.Commit, *ast.Rollback, *ast.SetTxn:
 		return ClassTxn
 	default:
 		return ClassDDL

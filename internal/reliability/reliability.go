@@ -1,26 +1,3 @@
-// Package reliability implements the reasoning of Section 6.1 of the
-// paper: extrapolating from counts of common bugs to the reliability of
-// a diverse 1-out-of-2 server.
-//
-// The paper's simplified model: a user of product A considers switching
-// to a fault-tolerant diverse pair AB. Over a reference period, mA bugs
-// were reported for A; of these, only mAB also cause B to fail. Under
-// the simplifying assumptions of Section 6.1 (failures of one replica
-// are masked; only coincident failures are system failures), the
-// expected system-failure count falls from mA to mAB, so the ratio
-// mAB/mA bounds the residual failure rate and mA/mAB is the reliability
-// gain.
-//
-// The package also quantifies two of the paper's caveats:
-//
-//   - imperfect failure reporting (only a fraction p of failures are
-//     reported): the expected ratio is unchanged but its uncertainty
-//     grows — EstimateWithReporting propagates a binomial model;
-//   - usage-profile variation (Adams' effect): per-bug failure rates are
-//     heavy-tailed across installations, so the count ratio may badly
-//     misestimate the rate ratio for a specific installation —
-//     ProfileSensitivity simulates installations with Pareto-distributed
-//     per-bug rates and reports quantiles of the realized gain.
 package reliability
 
 import (

@@ -501,6 +501,10 @@ func (s *Server) checkDialect(st ast.Statement) error {
 				return fmt.Errorf("syntax error: row-limit syntax not accepted by %s", s.name)
 			}
 		}
+	case *ast.SetTxn:
+		if !s.d.SupportsIsolation(x.Level) {
+			return fmt.Errorf("syntax error: %s does not support isolation level %s", s.name, x.Level)
+		}
 	}
 	return nil
 }

@@ -142,6 +142,11 @@ type Commit struct{}
 // Rollback aborts the current transaction.
 type Rollback struct{}
 
+// SetTxn is SET TRANSACTION ISOLATION LEVEL <level>. Level is the
+// canonical upper-cased level name (READ UNCOMMITTED, READ COMMITTED,
+// REPEATABLE READ, SERIALIZABLE, SNAPSHOT).
+type SetTxn struct{ Level string }
+
 // ---------------------------------------------------------------------------
 // Queries
 
@@ -406,6 +411,7 @@ func (*Delete) node()         {}
 func (*Begin) node()          {}
 func (*Commit) node()         {}
 func (*Rollback) node()       {}
+func (*SetTxn) node()         {}
 func (*Select) node()         {}
 
 func (*CreateTable) stmt()    {}
@@ -422,6 +428,7 @@ func (*Delete) stmt()         {}
 func (*Begin) stmt()          {}
 func (*Commit) stmt()         {}
 func (*Rollback) stmt()       {}
+func (*SetTxn) stmt()         {}
 func (*Select) stmt()         {}
 
 func (*Literal) node()   {}
@@ -640,5 +647,18 @@ func Tables(st Statement) map[string]bool {
 	case *Select:
 		fromSelect(x)
 	}
+	// Subqueries can sit in any expression position — INSERT value rows,
+	// UPDATE assignments, WHERE clauses of UPDATE/DELETE — not only in
+	// SELECT trees; collect their tables uniformly.
+	WalkStatementExprs(st, func(e Expr) {
+		switch x := e.(type) {
+		case *In:
+			fromSelect(x.Select)
+		case *Exists:
+			fromSelect(x.Select)
+		case *Subquery:
+			fromSelect(x.Select)
+		}
+	})
 	return set
 }

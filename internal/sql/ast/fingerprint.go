@@ -51,6 +51,7 @@ const (
 	FlagViewUnion    Flag = "VIEW_UNION"
 	FlagViewDistinct Flag = "VIEW_DISTINCT"
 	FlagTransaction  Flag = "TRANSACTION"
+	FlagIsolation    Flag = "ISOLATION"
 	// FlagParam marks statements carrying bind-parameter placeholders:
 	// the prepare/bind execution path, a fault surface of its own (each
 	// server's bind-time type coercion differs). Parameterized statements
@@ -278,6 +279,9 @@ func FingerprintOf(st Statement) Fingerprint {
 		set(FlagDropView)
 	case *Begin, *Commit, *Rollback:
 		set(FlagTransaction)
+	case *SetTxn:
+		set(FlagTransaction)
+		set(FlagIsolation)
 	}
 	return fp
 }

@@ -132,6 +132,9 @@ func renderStmt(b *strings.Builder, st Statement) {
 		b.WriteString("COMMIT")
 	case *Rollback:
 		b.WriteString("ROLLBACK")
+	case *SetTxn:
+		b.WriteString("SET TRANSACTION ISOLATION LEVEL ")
+		b.WriteString(x.Level)
 	case *Select:
 		renderSelect(b, x)
 	}

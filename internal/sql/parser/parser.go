@@ -187,9 +187,72 @@ func (p *Parser) parseStatement() (ast.Statement, error) {
 		p.acceptKw("WORK")
 		p.acceptKw("TRANSACTION")
 		return &ast.Rollback{}, nil
+	case p.atKw("SET"):
+		return p.parseSetTransaction()
 	default:
 		return nil, p.errf("expected statement, got %q", p.cur().Text)
 	}
+}
+
+// parseSetTransaction parses SET TRANSACTION ISOLATION LEVEL <level>.
+// The level words are not reserved — they remain usable as identifiers
+// elsewhere — so they arrive as plain identifiers and are matched
+// case-insensitively here.
+func (p *Parser) parseSetTransaction() (ast.Statement, error) {
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("TRANSACTION"); err != nil {
+		return nil, err
+	}
+	if err := p.expectIdentWord("ISOLATION"); err != nil {
+		return nil, err
+	}
+	if err := p.expectIdentWord("LEVEL"); err != nil {
+		return nil, err
+	}
+	var lvl string
+	switch {
+	case p.acceptIdentWord("READ"):
+		switch {
+		case p.acceptIdentWord("UNCOMMITTED"):
+			lvl = "READ UNCOMMITTED"
+		case p.acceptIdentWord("COMMITTED"):
+			lvl = "READ COMMITTED"
+		default:
+			return nil, p.errf("expected COMMITTED or UNCOMMITTED, got %q", p.cur().Text)
+		}
+	case p.acceptIdentWord("REPEATABLE"):
+		if err := p.expectIdentWord("READ"); err != nil {
+			return nil, err
+		}
+		lvl = "REPEATABLE READ"
+	case p.acceptIdentWord("SERIALIZABLE"):
+		lvl = "SERIALIZABLE"
+	case p.acceptIdentWord("SNAPSHOT"):
+		lvl = "SNAPSHOT"
+	default:
+		return nil, p.errf("expected isolation level, got %q", p.cur().Text)
+	}
+	return &ast.SetTxn{Level: lvl}, nil
+}
+
+// acceptIdentWord consumes an identifier equal to word ignoring case.
+func (p *Parser) acceptIdentWord(word string) bool {
+	t := p.cur()
+	if t.Kind == lexer.TokIdent && strings.EqualFold(t.Text, word) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expectIdentWord requires an identifier equal to word ignoring case.
+func (p *Parser) expectIdentWord(word string) error {
+	if !p.acceptIdentWord(word) {
+		return p.errf("expected %s, got %q", word, p.cur().Text)
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------------------

@@ -283,6 +283,12 @@ func (d *Driver) run(exec core.Executor, n int, simulateLatency bool) (Metrics, 
 	return m, nil
 }
 
+// isolationStmt is the isolation level every concurrent terminal
+// declares at session start. READ COMMITTED is in the acceptance set of
+// all four simulated dialects, so the same stream drives a single
+// server, a homogeneous group, or the diverse middleware.
+const isolationStmt = "SET TRANSACTION ISOLATION LEVEL READ COMMITTED"
+
 // ConcurrentOptions configures a multi-terminal run.
 type ConcurrentOptions struct {
 	// Terminals is the number of concurrent client terminals; each runs
@@ -332,6 +338,20 @@ func RunConcurrent(exec core.Executor, cfg Config, opts ConcurrentOptions) (Metr
 				sess := se.OpenSession()
 				defer func() { _ = sess.Close() }()
 				texec = sess
+				// Terminals declare their isolation level up front: READ
+				// COMMITTED is the level TPC-C's disjoint-writer contract
+				// needs, and declaring it (rather than relying on the
+				// default) keeps the workload honest about what it assumes.
+				// Level support is part of the common dialect subset, so a
+				// failure here is fatal rather than a counted tx error.
+				if _, _, err := texec.Exec(isolationStmt); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("tpcc terminal %d: %w", term, err)
+					}
+					mu.Unlock()
+					return
+				}
 			}
 			d := NewTerminalDriver(cfg, opts.Mix, term)
 			d.SetPrepared(opts.Prepared)

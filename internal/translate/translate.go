@@ -1,15 +1,3 @@
-// Package translate ports a SQL script from one simulated server dialect
-// to another, reproducing the paper's methodology: each bug script was
-// written for the server that reported it and had to be translated into
-// the other servers' dialects before it could be run there.
-//
-// Translation has three outcomes, mirroring Table 1's row structure:
-//
-//   - success: a rewritten script in the target dialect;
-//   - *FunctionalityMissingError: the script uses a construct the target
-//     server does not offer at all ("Bug script cannot be run");
-//   - *FurtherWorkError: the construct exists on the target but the
-//     translator has no automatic rule for it ("Further Work").
 package translate
 
 import (

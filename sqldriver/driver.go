@@ -175,6 +175,53 @@ func (c *conn) Begin() (driver.Tx, error) {
 	return &tx{conn: c}, nil
 }
 
+var _ driver.ConnBeginTx = (*conn)(nil)
+
+// BeginTx starts a transaction at the requested isolation level. The
+// level is issued as the transaction's first statement (SET TRANSACTION
+// ISOLATION LEVEL ...), so it scopes to this transaction and leaves the
+// session default untouched. A level the endpoint's dialect rejects
+// fails here, before any work runs inside the transaction.
+func (c *conn) BeginTx(ctx context.Context, opts driver.TxOptions) (driver.Tx, error) {
+	iso, err := isoStatement(opts)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := c.sess.Exec("BEGIN TRANSACTION"); err != nil {
+		return nil, err
+	}
+	if iso != "" {
+		if _, _, err := c.sess.Exec(iso); err != nil {
+			_, _, _ = c.sess.Exec("ROLLBACK")
+			return nil, err
+		}
+	}
+	return &tx{conn: c}, nil
+}
+
+// isoStatement maps database/sql transaction options to the SET
+// TRANSACTION statement requesting them ("" for the default level).
+func isoStatement(opts driver.TxOptions) (string, error) {
+	if opts.ReadOnly {
+		return "", errors.New("sqldriver: read-only transactions are not supported")
+	}
+	switch sql.IsolationLevel(opts.Isolation) {
+	case sql.LevelDefault:
+		return "", nil
+	case sql.LevelReadUncommitted:
+		return "SET TRANSACTION ISOLATION LEVEL READ UNCOMMITTED", nil
+	case sql.LevelReadCommitted:
+		return "SET TRANSACTION ISOLATION LEVEL READ COMMITTED", nil
+	case sql.LevelRepeatableRead:
+		return "SET TRANSACTION ISOLATION LEVEL REPEATABLE READ", nil
+	case sql.LevelSnapshot:
+		return "SET TRANSACTION ISOLATION LEVEL SNAPSHOT", nil
+	case sql.LevelSerializable:
+		return "SET TRANSACTION ISOLATION LEVEL SERIALIZABLE", nil
+	}
+	return "", fmt.Errorf("sqldriver: unsupported isolation level %v", sql.IsolationLevel(opts.Isolation))
+}
+
 type tx struct{ conn *conn }
 
 func (t *tx) Commit() error {

@@ -1,6 +1,7 @@
 package sqldriver
 
 import (
+	"context"
 	"database/sql/driver"
 
 	"divsql/internal/wire"
@@ -49,6 +50,29 @@ func (w *wireConn) Close() error { return w.c.Close() }
 func (w *wireConn) Begin() (driver.Tx, error) {
 	if _, err := w.c.Exec("BEGIN TRANSACTION"); err != nil {
 		return nil, err
+	}
+	return &wireTx{c: w.c}, nil
+}
+
+var _ driver.ConnBeginTx = (*wireConn)(nil)
+
+// BeginTx starts a transaction at the requested isolation level; the
+// level travels as ordinary statement text (SET TRANSACTION as the
+// transaction's first statement), so the wire protocol needs no new
+// frames.
+func (w *wireConn) BeginTx(ctx context.Context, opts driver.TxOptions) (driver.Tx, error) {
+	iso, err := isoStatement(opts)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.c.Exec("BEGIN TRANSACTION"); err != nil {
+		return nil, err
+	}
+	if iso != "" {
+		if _, err := w.c.Exec(iso); err != nil {
+			_, _ = w.c.Exec("ROLLBACK")
+			return nil, err
+		}
 	}
 	return &wireTx{c: w.c}, nil
 }
