@@ -446,7 +446,14 @@ func (e *Engine) addCheckRefs(set map[string]bool, target string) {
 // lookupTable resolves a base table on the session's active read plane:
 // the own-writes overlay (live minus other transactions' uncommitted
 // changes), the active read view's materialized image, or the live
-// state. Caller holds the engine lock in at least read mode.
+// state. During a latched write statement (dmlOwn), statement-internal
+// reads of tables another transaction is writing build the
+// committed+own-writes image lazily and cache it in ownTabs for the
+// rest of the statement, so DML sources and subqueries never observe
+// other sessions' uncommitted rows; the statement holds the latch of
+// every table it can read (statementRefsLocked), which is the
+// precondition committedTable requires. Caller holds the engine lock in
+// at least read mode.
 func (s *Session) lookupTable(name string) (*Table, bool) {
 	if s.ownTabs != nil {
 		if t, ok := s.ownTabs[name]; ok {
@@ -461,6 +468,22 @@ func (s *Session) lookupTable(name string) (*Table, bool) {
 		return vt.materialize(s.eng), true
 	}
 	t, ok := s.eng.st.tables[name]
+	if ok && s.dmlOwn {
+		// The result is cacheable for the statement's duration either
+		// way: a clean table cannot become dirty while this statement
+		// holds its latch (logging an undo record for it requires the
+		// latch), and a dirty image frozen at first read is the
+		// per-statement committed image the contract promises.
+		ct := t
+		if s.eng.othersInTxnOn(name, s) {
+			ct = s.eng.committedTable(t, s)
+		}
+		if s.ownTabs == nil {
+			s.ownTabs = make(map[string]*Table, 1)
+		}
+		s.ownTabs[name] = ct
+		return ct, true
+	}
 	return t, ok
 }
 

@@ -132,3 +132,111 @@ func TestDDLRollbackUnderOpenReadView(t *testing.T) {
 		t.Fatalf("T after rollback: %d rows, want 3", got)
 	}
 }
+
+// The read half of a write statement — INSERT ... SELECT sources and
+// subqueries in UPDATE/DELETE WHERE — must observe committed state plus
+// the writer's own changes, never another session's uncommitted rows
+// (the own-writes rule of ISOLATION.md applies to DML-internal reads).
+func TestDMLInternalReadsSkipUncommitted(t *testing.T) {
+	e := NewOracle()
+	a, b := e.NewSession(), e.NewSession()
+	sexec(t, a, "CREATE TABLE SRC (A INT)")
+	sexec(t, a, "CREATE TABLE DST (A INT)")
+	sexec(t, a, "CREATE TABLE T (A INT, B INT)")
+	sexec(t, a, "INSERT INTO SRC VALUES (1)")
+	sexec(t, a, "INSERT INTO SRC VALUES (2)")
+	sexec(t, a, "INSERT INTO T VALUES (1, 0)")
+	sexec(t, a, "INSERT INTO T VALUES (99, 0)")
+
+	// b holds uncommitted changes to SRC: a new row, and a committed
+	// row deleted.
+	sexec(t, b, "BEGIN TRANSACTION")
+	sexec(t, b, "INSERT INTO SRC VALUES (99)")
+	sexec(t, b, "DELETE FROM SRC WHERE A = 2")
+
+	// a's INSERT ... SELECT copies the committed SRC: rows 1 and 2,
+	// not b's uncommitted 99, and not b's uncommitted delete of 2.
+	sexec(t, a, "INSERT INTO DST SELECT A FROM SRC")
+	res := sexec(t, a, "SELECT A FROM DST ORDER BY A")
+	if len(res.Rows) != 2 || res.Rows[0][0].I != 1 || res.Rows[1][0].I != 2 {
+		t.Fatalf("INSERT..SELECT copied a non-committed image of SRC: %v", res.Rows)
+	}
+
+	// Subqueries inside UPDATE and DELETE predicates read the same
+	// committed image: neither statement may match through b's
+	// uncommitted insert of 99.
+	ur := sexec(t, a, "UPDATE T SET B = 1 WHERE A IN (SELECT A FROM SRC)")
+	if ur.Affected != 1 {
+		t.Fatalf("UPDATE subquery matched %d rows, want 1 (uncommitted SRC row leaked)", ur.Affected)
+	}
+	dr := sexec(t, a, "DELETE FROM T WHERE A IN (SELECT A FROM SRC)")
+	if dr.Affected != 1 {
+		t.Fatalf("DELETE subquery matched %d rows, want 1 (uncommitted SRC row leaked)", dr.Affected)
+	}
+
+	// b's own DML-internal reads keep seeing b's writes: its
+	// INSERT ... SELECT sources the transaction-local image of SRC
+	// (99 present, 2 deleted).
+	sexec(t, b, "CREATE TABLE OWN (A INT)")
+	sexec(t, b, "INSERT INTO OWN SELECT A FROM SRC")
+	own := sexec(t, b, "SELECT A FROM OWN ORDER BY A")
+	if len(own.Rows) != 2 || own.Rows[0][0].I != 1 || own.Rows[1][0].I != 99 {
+		t.Fatalf("own-writes image lost in INSERT..SELECT: %v", own.Rows)
+	}
+	sexec(t, b, "ROLLBACK")
+}
+
+// A committed value must never travel backwards: the commit-mark bump
+// and the undo-log clear race view builds, and a view that rewinds
+// just-committed changes while carrying the new sequence stamp would
+// serve stale data as current. Run with -race.
+func TestCommittedReadsNeverRewind(t *testing.T) {
+	e := NewOracle()
+	setup := e.NewSession()
+	sexec(t, setup, "CREATE TABLE T (V INT)")
+	sexec(t, setup, "INSERT INTO T VALUES (0)")
+
+	const commits = 300
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w := e.NewSession()
+		defer w.Close()
+		for i := 1; i <= commits; i++ {
+			if _, err := gexec(w, "BEGIN TRANSACTION"); err != nil {
+				t.Errorf("begin %d: %v", i, err)
+				return
+			}
+			if _, err := gexec(w, fmt.Sprintf("UPDATE T SET V = %d", i)); err != nil {
+				t.Errorf("update %d: %v", i, err)
+				return
+			}
+			if _, err := gexec(w, "COMMIT"); err != nil {
+				t.Errorf("commit %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	r := e.NewSession()
+	last := int64(0)
+	for running := true; running; {
+		select {
+		case <-done:
+			running = false
+		default:
+		}
+		res, err := gexec(r, "SELECT V FROM T")
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if got := res.Rows[0][0].I; got < last {
+			t.Fatalf("committed read went backwards: saw %d after %d", got, last)
+		} else {
+			last = got
+		}
+	}
+	if got := sexec(t, r, "SELECT V FROM T").Rows[0][0].I; got != commits {
+		t.Fatalf("final read: %d, want %d", got, commits)
+	}
+}

@@ -67,10 +67,16 @@ type Session struct {
 	// curRead is the read view the currently executing statement
 	// resolves tables against (nil = live plane); ownTabs overlays
 	// per-table committed+own-writes images for in-transaction reads of
-	// touched tables. Set and cleared around each statement by the
+	// touched tables. dmlOwn marks a latched write statement in
+	// progress: its internal reads (INSERT ... SELECT sources, WHERE/SET
+	// subqueries, sequence-advancing SELECTs) populate ownTabs lazily on
+	// first touch of a table another transaction is writing, so they too
+	// observe committed state plus own writes — never another session's
+	// uncommitted rows. Set and cleared around each statement by the
 	// owning goroutine.
 	curRead *readView
 	ownTabs map[string]*Table
+	dmlOwn  bool
 
 	// bind is the argument vector of the currently executing bound
 	// statement (ExecBind); Param nodes resolve against it. A session
@@ -293,9 +299,20 @@ func (s *Session) execLatched(st ast.Statement, bind []types.Value) (*Result, er
 			s.touched[n] = struct{}{}
 		}
 	}
+	// Reads performed by the statement itself (INSERT ... SELECT,
+	// subqueries in WHERE/SET/CHECK, sequence-advancing SELECTs) must
+	// not see other sessions' uncommitted rows: dmlOwn makes
+	// lookupTable serve such tables as committed+own-writes images,
+	// built lazily so plain DML (no internal reads, or no concurrent
+	// writers on the tables it reads) pays nothing. Every table the
+	// statement can read is in refs, so its latch is held — the
+	// precondition for building the image.
+	s.dmlOwn = true
 	s.bind = bind
 	res, err := s.exec(st)
 	s.bind = nil
+	s.dmlOwn = false
+	s.ownTabs = nil
 	if !s.inTxn {
 		if err == nil {
 			// Advance the commit mark while the latches are held, so a
@@ -458,30 +475,46 @@ func (s *Session) execBegin() (*Result, error) {
 // the engine read lock only. The commit-mark bump and the undo-log
 // clear happen atomically with respect to Snapshot (commitMu), so a
 // snapshot's stamp always matches its content.
+//
+// View builds do NOT take commitMu, so the order of the two steps
+// matters: the undo log is cleared BEFORE the commit mark advances. A
+// view build samples commitSeq first and iterates undo logs after;
+// bumping first would open a window where the build rewinds the
+// just-committed changes yet stamps the view with the new sequence —
+// a stale view served as current until the next commit. With
+// clear-before-bump the worst a racing build can do is stamp
+// already-committed content with the previous sequence; that view is
+// stale the moment the mark advances and is rebuilt on the next read
+// (benign under READ COMMITTED, and a pinned view built in the window
+// is still one consistent committed image).
 func (s *Session) execCommitLight() (*Result, error) {
 	if !s.inTxn {
 		return nil, ErrNoTransaction
 	}
 	e := s.eng
 	e.commitMu.Lock()
-	if len(s.undo) > 0 {
+	bump := len(s.undo) > 0
+	s.clearTxnState()
+	if bump {
 		e.commitSeq.Add(1)
 	}
-	s.clearTxnState()
 	e.commitMu.Unlock()
 	return &Result{Kind: ResultDDL}, nil
 }
 
 // execCommit commits under the exclusive lock (the DDL-bearing path, or
-// the sessionless compatibility API's dispatch).
+// the sessionless compatibility API's dispatch). The exclusive lock
+// excludes concurrent view builds, but the clear-before-bump order is
+// kept in lockstep with execCommitLight (see there for why it matters).
 func (s *Session) execCommit() (*Result, error) {
 	if !s.inTxn {
 		return nil, ErrNoTransaction
 	}
-	if len(s.undo) > 0 {
+	bump := len(s.undo) > 0
+	s.clearTxnState()
+	if bump {
 		s.eng.commitSeq.Add(1)
 	}
-	s.clearTxnState()
 	return &Result{Kind: ResultDDL}, nil
 }
 

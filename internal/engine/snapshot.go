@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"sort"
+
 	"divsql/internal/sql/types"
 )
 
@@ -113,6 +115,11 @@ func (e *Engine) Snapshot() *State {
 	for n := range e.st.tables {
 		names = append(names, n)
 	}
+	// latchTables requires sorted names: every latch holder acquires in
+	// the same global order, so Snapshot can never form a lock-order
+	// cycle with concurrent DML (or another Snapshot). Map iteration
+	// order is random — sorting here is load-bearing, not cosmetic.
+	sort.Strings(names)
 	release := e.latchTables(names)
 	defer release()
 	e.commitMu.Lock()

@@ -386,3 +386,56 @@ func TestFailedStatementIsAtomic(t *testing.T) {
 		t.Errorf("rollback left %d rows", n)
 	}
 }
+
+// Snapshot latches every table before stamping the commit mark; it must
+// acquire those latches in sorted name order — the same global order
+// every multi-table DML statement uses — or a Snapshot racing a writer
+// (or another Snapshot) can form a lock-order cycle and deadlock the
+// engine. This test fails by timeout if the ordering regresses: the
+// multi-table statements latch {SRC, DST} sorted while Snapshot latches
+// the full catalog concurrently. Run with -race.
+func TestSnapshotLatchOrderingUnderMultiTableDML(t *testing.T) {
+	e := NewOracle()
+	setup := e.NewSession()
+	// Enough tables that a random acquisition order is overwhelmingly
+	// likely to invert at least one sorted pair per Snapshot.
+	for i := 0; i < 8; i++ {
+		sessExec(t, setup, fmt.Sprintf("CREATE TABLE T%d (A INT)", i))
+	}
+	sessExec(t, setup, "CREATE TABLE SRC (A INT)")
+	sessExec(t, setup, "CREATE TABLE DST (A INT)")
+	sessExec(t, setup, "INSERT INTO SRC VALUES (1)")
+
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := e.NewSession()
+			defer s.Close()
+			for i := 0; i < 200; i++ {
+				// Multi-table statements: INSERT..SELECT latches both
+				// SRC and DST; the subquery DELETE does too.
+				if _, err := gexec(s, "INSERT INTO DST SELECT A FROM SRC"); err != nil {
+					t.Errorf("insert-select: %v", err)
+					return
+				}
+				if _, err := gexec(s, "DELETE FROM DST WHERE A IN (SELECT A FROM SRC)"); err != nil {
+					t.Errorf("delete-subquery: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if st := e.Snapshot(); st == nil {
+				t.Error("nil snapshot")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
