@@ -26,6 +26,8 @@ smoke:
 	$(GO) run ./cmd/divfuzz -seed 9 -n 2000 -streams 2 -planvariants -faults=false
 	$(GO) run ./cmd/divfuzz -seed 11 -n 2000 -streams 2 -params -planvariants -faults=false
 	$(GO) run ./cmd/divfuzz -seed 13 -n 2000 -streams 4 -isolation -faults=false
+	$(GO) run ./cmd/divfuzz -seed 17 -n 2000 -streams 2 -tlp -norec -cert -faults=false
+	$(GO) run ./cmd/divfuzz -seed 19 -n 2000 -streams 2 -tlp -norec -cert -params -planvariants -isolation -faults=false
 
 # One-iteration benchmark sweep converted to the machine-readable
 # artifact BENCH_<sha>.json at the repo root, so the performance

@@ -8,6 +8,7 @@
 //
 //	divfuzz [-seed N] [-n N] [-streams N] [-faults=false] [-stress]
 //	        [-sequences] [-isolation] [-params] [-planvariants]
+//	        [-tlp] [-norec] [-cert] [-regress-out DIR]
 //	        [-adaptive] [-maxrows N] [-batch N] [-shrink=false]
 //	        [-maxreports N] [-metrics-every N] [-o FILE] [-cov FILE] [-v]
 //
@@ -21,6 +22,23 @@
 // and index-preferred plans, and any result disagreement is reported as
 // a divergence against the oracle itself — a direct differential test
 // of the engine's analyzer-compiled, index-backed execution path.
+//
+// -tlp, -norec and -cert arm the metamorphic self-check oracles
+// (internal/metamorph): every answered SELECT is rewritten into queries
+// whose results it logically constrains — ternary-logic partitioning
+// (WHERE p / NOT p / p IS NULL must reassemble the unfiltered result),
+// non-optimizing re-execution (a forced full scan counting the
+// predicate must agree with the optimized cardinality), and cardinality
+// restriction (adding a conjunct can never grow the result). A violated
+// relation convicts the endpoint that produced the base result without
+// any cross-server vote, so these oracles catch correlated failures a
+// differential vote is structurally blind to. Arming any of them leans
+// the generator toward the oracles' applicability region.
+//
+// -regress-out DIR exports every shrunk report of the run as a
+// replayable regression case (JSON) under DIR, deduplicated across runs
+// by verdict fingerprint — the committed corpus under regress/cases is
+// grown this way and replayed by `go test ./regress/...`.
 //
 // -params enables the parameterized statement mode: a weighted share of
 // the generated DML/queries executes through prepare/bind with typed
@@ -83,6 +101,10 @@ func main() {
 	isolation := flag.Bool("isolation", false, "emit SET TRANSACTION ISOLATION LEVEL statements: read views and per-dialect level acceptance enter adjudication (fault-free runs draw only universally accepted levels)")
 	params := flag.Bool("params", false, "parameterized mode: a weighted share of statements executes through prepare/bind with typed argument vectors, covering the servers' bind-time coercion rules")
 	planVariants := flag.Bool("planvariants", false, "DQP-lite self-check: re-run every answered SELECT on the oracle under forced full-scan and index plans and fail on any disagreement")
+	tlp := flag.Bool("tlp", false, "metamorphic self-check: ternary-logic partitioning (WHERE p / NOT p / p IS NULL must reassemble the unfiltered result)")
+	norec := flag.Bool("norec", false, "metamorphic self-check: non-optimizing re-execution (forced full-scan predicate count must match the optimized cardinality)")
+	cert := flag.Bool("cert", false, "metamorphic self-check: cardinality restriction (an appended conjunct can never grow the result)")
+	regressOut := flag.String("regress-out", "", "export every shrunk report as a replayable regression case (JSON) under this directory, deduplicated by verdict fingerprint")
 	adaptive := flag.Bool("adaptive", false, "coverage-guided: retune generator weights from observed coverage between batches")
 	maxrows := flag.Int("maxrows", 0, "bound generated-table cardinality (0: unbounded); keeps per-statement cost flat on deep runs")
 	batch := flag.Int("batch", 0, "adaptive retargeting interval in statements (0: 500)")
@@ -112,6 +134,10 @@ func main() {
 	// add it to a fault-free run, not strip it from a calibrated one.
 	cfg.Isolation = cfg.Isolation || *isolation
 	cfg.PlanVariants = *planVariants
+	cfg.TLP = *tlp
+	cfg.NoREC = *norec
+	cfg.CERT = *cert
+	cfg.RegressDir = *regressOut
 	if *sequences {
 		cfg = cfg.WithSequences()
 	}

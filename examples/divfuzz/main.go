@@ -23,11 +23,21 @@
 // -planvariants re-runs every answered SELECT under forced full-scan
 // and index plans as a self-check of the compiled execution path, and
 // -metrics-every prints live hunt telemetry on long runs.
+//
+// The final stage arms the metamorphic self-check oracles (divfuzz
+// -tlp -norec -cert): TLP partition reassembly, NoREC forced full-scan
+// re-evaluation and CERT conjunct cardinality restriction convict an
+// endpoint from rewrites of its own statements — the verdict source
+// that still works when every endpoint shares the same wrong answer —
+// and exports the shrunk findings as replayable regression cases
+// (divfuzz -regress-out), the corpus format committed under
+// regress/cases and replayed by `go test ./regress/...`.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"divsql/internal/difftest"
 )
@@ -84,6 +94,46 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("replay reproduces: %v\n", ok)
+		break
+	}
+
+	// 5. Metamorphic self-checks + regress export (divfuzz -tlp -norec
+	// -cert -regress-out DIR): the oracles re-derive every answered
+	// SELECT from rewrites of itself on each endpoint, so silent result
+	// mutations convict without a cross-server vote; each shrunk report
+	// lands as a replayable JSON case, deduped by fingerprint.
+	regressDir, err := os.MkdirTemp("", "divfuzz-regress-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(regressDir)
+	meta := difftest.CalibratedConfig(1, 4000)
+	meta.Streams = 1
+	meta.TLP, meta.NoREC, meta.CERT = true, true, true
+	meta.MaxReportsPerServer = 4
+	meta.RegressDir = regressDir
+	mres, err := difftest.Run(meta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	perOracle := map[string]int{}
+	for _, d := range mres.Divergences {
+		if d.Oracle != "" {
+			perOracle[d.Oracle]++
+		}
+	}
+	fmt.Printf("\nmetamorphic verdicts by oracle: %v\n", perOracle)
+	cases, err := difftest.LoadCases(regressDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("regress cases exported: %d\n", len(cases))
+	for _, c := range cases {
+		ok, err := difftest.ReplayCase(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s (source %q) replays: %v\n", c.Name, c.Oracle, ok)
 		break
 	}
 }

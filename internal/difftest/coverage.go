@@ -43,6 +43,15 @@ type Coverage struct {
 	// inline-literal versus prepared/bound execution (populated — for the
 	// param bucket — only by Params-mode runs).
 	ByBind map[qgen.BindMode]*BucketCoverage
+	// ByOracle buckets the self-check verdict sources — the DQP-lite
+	// planvariants gate and the metamorphic oracles (tlp, norec, cert).
+	// Hits count relation evaluations (an oracle that applied to an
+	// answered SELECT and ran to a verdict), Fingerprints the breadth of
+	// statements so checked, and Divergent/NewFingerprints the verdicts
+	// that convicted — so adaptive hunts can see which oracle is buying
+	// findings and which statement shapes feed it (the shape buckets
+	// learn through the same divergences via ObserveDivergence).
+	ByOracle map[string]*BucketCoverage
 	// Errors counts statements by the oracle's normalized error class —
 	// ClassNone is the well-formed budget; everything else is budget
 	// spent on statements the common subset rejects.
@@ -50,25 +59,60 @@ type Coverage struct {
 
 	genFPs map[string]bool // distinct generated statement fingerprints
 	divFPs map[string]bool // distinct divergence fingerprints
-	// genFPClass/genFPShape/genFPBind dedup fingerprint breadth per
-	// bucket.
-	genFPClass map[string]bool
-	genFPShape map[string]bool
-	genFPBind  map[string]bool
+	// genFPClass/genFPShape/genFPBind/genFPOracle dedup fingerprint
+	// breadth per bucket.
+	genFPClass  map[string]bool
+	genFPShape  map[string]bool
+	genFPBind   map[string]bool
+	genFPOracle map[string]bool
 }
 
 // NewCoverage returns an empty coverage accumulator.
 func NewCoverage() *Coverage {
 	return &Coverage{
-		ByClass:    make(map[qgen.Class]*BucketCoverage),
-		ByShape:    make(map[qgen.Shape]*BucketCoverage),
-		ByBind:     make(map[qgen.BindMode]*BucketCoverage),
-		Errors:     make(map[core.ErrClass]int),
-		genFPs:     make(map[string]bool),
-		divFPs:     make(map[string]bool),
-		genFPClass: make(map[string]bool),
-		genFPShape: make(map[string]bool),
-		genFPBind:  make(map[string]bool),
+		ByClass:     make(map[qgen.Class]*BucketCoverage),
+		ByShape:     make(map[qgen.Shape]*BucketCoverage),
+		ByBind:      make(map[qgen.BindMode]*BucketCoverage),
+		ByOracle:    make(map[string]*BucketCoverage),
+		Errors:      make(map[core.ErrClass]int),
+		genFPs:      make(map[string]bool),
+		divFPs:      make(map[string]bool),
+		genFPClass:  make(map[string]bool),
+		genFPShape:  make(map[string]bool),
+		genFPBind:   make(map[string]bool),
+		genFPOracle: make(map[string]bool),
+	}
+}
+
+func (c *Coverage) oracleBucket(src string) *BucketCoverage {
+	b := c.ByOracle[src]
+	if b == nil {
+		b = &BucketCoverage{}
+		c.ByOracle[src] = b
+	}
+	return b
+}
+
+// ObserveOracleCheck records one evaluated self-check relation: the
+// verdict source applied to a statement and ran to a verdict (hit), and
+// the statement fingerprint counts toward the bucket's breadth.
+func (c *Coverage) ObserveOracleCheck(src, fp string) {
+	b := c.oracleBucket(src)
+	b.Hits++
+	if !c.genFPOracle[src+"\x00"+fp] {
+		c.genFPOracle[src+"\x00"+fp] = true
+		b.Fingerprints++
+	}
+}
+
+// ObserveOracleDivergence records one convicting self-check verdict.
+// isNew is ObserveDivergence's report on the same statement (the
+// statement-fingerprint novelty signal is shared across all planes).
+func (c *Coverage) ObserveOracleDivergence(src string, isNew bool) {
+	b := c.oracleBucket(src)
+	b.Divergent++
+	if isNew {
+		b.NewFingerprints++
 	}
 }
 
@@ -192,6 +236,12 @@ func (c *Coverage) Merge(o *Coverage) {
 		b.Divergent += ob.Divergent
 		b.NewFingerprints += ob.NewFingerprints
 	}
+	for src, ob := range o.ByOracle {
+		b := c.oracleBucket(src)
+		b.Hits += ob.Hits
+		b.Divergent += ob.Divergent
+		b.NewFingerprints += ob.NewFingerprints
+	}
 	for ec, n := range o.Errors {
 		c.Errors[ec] += n
 	}
@@ -217,6 +267,13 @@ func (c *Coverage) Merge(o *Coverage) {
 			c.genFPBind[k] = true
 			bm, _, _ := strings.Cut(k, "\x00")
 			c.bindBucket(qgen.BindMode(bm)).Fingerprints++
+		}
+	}
+	for k := range o.genFPOracle {
+		if !c.genFPOracle[k] {
+			c.genFPOracle[k] = true
+			src, _, _ := strings.Cut(k, "\x00")
+			c.oracleBucket(src).Fingerprints++
 		}
 	}
 	for fp := range o.divFPs {
@@ -249,6 +306,11 @@ func (c *Coverage) Render() string {
 	for _, bm := range qgen.BindModes {
 		if bc, ok := c.ByBind[bm]; ok {
 			row("b:"+string(bm), bc)
+		}
+	}
+	for _, src := range VerdictSources {
+		if bc, ok := c.ByOracle[src]; ok {
+			row("o:"+src, bc)
 		}
 	}
 	if len(c.Errors) > 0 {

@@ -41,6 +41,7 @@ import (
 	"divsql/internal/engine"
 	engplan "divsql/internal/engine/plan"
 	"divsql/internal/fault"
+	"divsql/internal/metamorph"
 	"divsql/internal/qgen"
 	"divsql/internal/server"
 	"divsql/internal/sql/ast"
@@ -130,6 +131,24 @@ type Config struct {
 	// regions; fault-free runs keep safe values and must stay
 	// divergence-free like any other common-subset stream.
 	Params bool
+	// TLP, NoREC and CERT arm the metamorphic self-check oracles
+	// (internal/metamorph): every answered deterministic SELECT is
+	// rewritten into queries whose results its own result logically
+	// constrains, and a violated relation is recorded as a divergence
+	// tagged with the oracle that found it. The checks run against the
+	// pristine oracle's session (a pure engine self-check, like
+	// PlanVariants) and against every server whose own execution
+	// succeeded — the server's base result carries its fault layer while
+	// the rewrites bypass it, so silent result corruption on a single
+	// endpoint becomes visible without any cross-server vote. Arming any
+	// of them also turns on the generator's PartitionSympathy so the
+	// stream leans into the oracles' applicability region.
+	TLP, NoREC, CERT bool
+	// RegressDir, when non-empty, exports every shrunk report
+	// (differential or metamorphic) of the run as a replayable regression
+	// case under this directory, deduplicated across runs by verdict
+	// fingerprint (see RegressCase).
+	RegressDir string
 }
 
 // DefaultConfig is the fault-free smoke configuration.
@@ -206,7 +225,14 @@ func triggerTables(faults []fault.Fault) []string {
 type Divergence struct {
 	Server      dialect.ServerName
 	Fingerprint string
-	Class       core.Classification
+	// Oracle is the verdict source that convicted the statement: ""
+	// for the differential server-vs-oracle vote, "planvariants" for
+	// the DQP-lite forced-plan gate, or a metamorphic oracle name
+	// ("tlp", "norec", "cert"). Distinct sources dedup separately — the
+	// same statement fingerprint convicted by two oracles is two
+	// records, because each names a different violated relation.
+	Oracle string
+	Class  core.Classification
 	// SQL is the first triggering statement observed.
 	SQL string
 	// Stream and Index locate the first occurrence.
@@ -238,9 +264,25 @@ type Result struct {
 	Elapsed time.Duration
 }
 
+// srcDifferential and srcPlanVariants name the non-metamorphic verdict
+// sources in Divergence.Oracle / dedupKey.src terms; the metamorphic
+// sources are the metamorph.Oracle names.
+const (
+	srcDifferential = ""
+	srcPlanVariants = "planvariants"
+)
+
+// VerdictSources lists every verdict-source tag a divergence can carry,
+// in deterministic order (the differential vote is the untagged
+// default and is not listed).
+var VerdictSources = []string{
+	srcPlanVariants, string(metamorph.TLP), string(metamorph.NoREC), string(metamorph.CERT),
+}
+
 type dedupKey struct {
 	server dialect.ServerName
 	fp     string
+	src    string // verdict source: srcDifferential, srcPlanVariants or an oracle name
 }
 
 // hunt is the shared state of one run.
@@ -321,7 +363,10 @@ func Run(cfg Config) (*Result, error) {
 		if a.Server != b.Server {
 			return serverRank(cfg.Servers, a.Server) < serverRank(cfg.Servers, b.Server)
 		}
-		return a.Fingerprint < b.Fingerprint
+		if a.Fingerprint != b.Fingerprint {
+			return a.Fingerprint < b.Fingerprint
+		}
+		return a.Oracle < b.Oracle
 	})
 
 	if cfg.Shrink {
@@ -330,7 +375,10 @@ func Run(cfg Config) (*Result, error) {
 			if a.key.server != b.key.server {
 				return serverRank(cfg.Servers, a.key.server) < serverRank(cfg.Servers, b.key.server)
 			}
-			return a.key.fp < b.key.fp
+			if a.key.fp != b.key.fp {
+				return a.key.fp < b.key.fp
+			}
+			return a.key.src < b.key.src
 		})
 		for _, p := range h.pending {
 			rep := shrinkAndReport(cfg, p.key, p.history)
@@ -339,8 +387,53 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 	}
+	if cfg.RegressDir != "" {
+		for _, d := range res.Divergences {
+			if d.Report != nil {
+				if _, err := ExportCase(cfg.RegressDir, d.Report); err != nil {
+					return nil, fmt.Errorf("export regress case: %w", err)
+				}
+			}
+		}
+	}
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// metaOracles lists the armed metamorphic oracles in deterministic
+// order.
+func (h *hunt) metaOracles() []metamorph.Oracle {
+	var armed []metamorph.Oracle
+	if h.cfg.TLP {
+		armed = append(armed, metamorph.TLP)
+	}
+	if h.cfg.NoREC {
+		armed = append(armed, metamorph.NoREC)
+	}
+	if h.cfg.CERT {
+		armed = append(armed, metamorph.CERT)
+	}
+	return armed
+}
+
+// checkMetamorphic runs the armed metamorphic oracles against one
+// endpoint's answered SELECT, feeding the coverage/telemetry planes and
+// recording every violated relation as an oracle-tagged divergence.
+func (h *hunt) checkMetamorphic(cov *Coverage, ex metamorph.Executor, name dialect.ServerName,
+	st ast.Statement, sel *ast.Select, args []types.Value, base *engine.Result,
+	armed []metamorph.Oracle, fp, entry string, history []string, stream, i int) {
+	checked, findings := metamorph.Check(ex, sel, args, base, armed)
+	for _, o := range checked {
+		cov.ObserveOracleCheck(string(o), fp)
+	}
+	h.tel.metaChecks.Add(uint64(len(checked)))
+	for _, f := range findings {
+		isNew := cov.ObserveDivergence(st, fp)
+		cov.ObserveOracleDivergence(string(f.Oracle), isNew)
+		h.tel.metaFindings.Add(1)
+		cls := core.Classification{Status: core.StatusFailure, Type: core.IncorrectResult, Detail: f.Detail}
+		h.record(name, fp, string(f.Oracle), entry, cls, history, stream, i)
+	}
 }
 
 func serverRank(order []dialect.ServerName, s dialect.ServerName) int {
@@ -374,6 +467,12 @@ func (h *hunt) genOptionsFor(stream int) qgen.Options {
 		if len(h.cfg.Faults) > 0 {
 			opts.IsolationLevels = qgen.AllIsolationLevels
 		}
+	}
+	if h.cfg.TLP || h.cfg.NoREC || h.cfg.CERT {
+		// Lean the stream into the metamorphic oracles' applicability
+		// region: near-universal WHEREs on simple selects plus the
+		// additive COUNT/SUM form.
+		opts.PartitionSympathy = true
 	}
 	if h.cfg.Params {
 		opts.Params = true
@@ -505,7 +604,7 @@ func (h *hunt) runStream(stream int) {
 			cls := classifyPair(st, so, oo)
 			if cls.IsFailure() {
 				cov.ObserveDivergence(st, fp)
-				h.record(h.servers[j].Name(), fp, entry, cls, history, stream, i)
+				h.record(h.servers[j].Name(), fp, srcDifferential, entry, cls, history, stream, i)
 				if stateDiverging(st, so, oo, cls, seqAdvances) {
 					pendingResync[j] = true
 				}
@@ -516,9 +615,30 @@ func (h *hunt) runStream(stream int) {
 		// normal execution (see Config.PlanVariants).
 		if h.cfg.PlanVariants && oo.Err == nil && !seqAdvances {
 			if sel, isSel := st.(*ast.Select); isSel {
+				cov.ObserveOracleCheck(srcPlanVariants, fp)
 				if cls := checkPlanVariants(oSess, sel, args, oo); cls.IsFailure() {
-					cov.ObserveDivergence(st, fp)
-					h.record(h.orc.Name(), fp, entry, cls, history, stream, i)
+					isNew := cov.ObserveDivergence(st, fp)
+					cov.ObserveOracleDivergence(srcPlanVariants, isNew)
+					h.record(h.orc.Name(), fp, srcPlanVariants, entry, cls, history, stream, i)
+				}
+			}
+		}
+		// Metamorphic self-checks (TLP / NoREC / CERT): each armed,
+		// applicable oracle re-derives the answered SELECT's result from
+		// rewrites of itself and convicts the endpoint on any violated
+		// relation — no second opinion involved. The pristine oracle's
+		// session is checked first (a pure engine self-check); then every
+		// server whose own execution succeeded is checked against its own
+		// base result, whose fault-layer effects the rewrites bypass.
+		if armed := h.metaOracles(); len(armed) > 0 && !seqAdvances {
+			if sel, isSel := st.(*ast.Select); isSel {
+				if oo.Err == nil {
+					h.checkMetamorphic(cov, oSess, h.orc.Name(), st, sel, args, oo.Res, armed, fp, entry, history, stream, i)
+				}
+				for j := range sess {
+					if outs[j].Err == nil && !outs[j].Crashed {
+						h.checkMetamorphic(cov, sess[j], h.servers[j].Name(), st, sel, args, outs[j].Res, armed, fp, entry, history, stream, i)
+					}
 				}
 			}
 		}
@@ -579,9 +699,10 @@ func stateDiverging(st ast.Statement, so, oo server.StmtOutcome, cls core.Classi
 	return (so.Err == nil) != (oo.Err == nil)
 }
 
-// record deduplicates one divergent execution by (server, fingerprint).
-func (h *hunt) record(name dialect.ServerName, fp string, sql string, cls core.Classification, history []string, stream, index int) {
-	key := dedupKey{name, fp}
+// record deduplicates one divergent execution by (server, fingerprint,
+// verdict source).
+func (h *hunt) record(name dialect.ServerName, fp, src string, sql string, cls core.Classification, history []string, stream, index int) {
+	key := dedupKey{name, fp, src}
 	h.tel.raw.Add(1)
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -593,7 +714,7 @@ func (h *hunt) record(name dialect.ServerName, fp string, sql string, cls core.C
 	h.raw++
 	h.tel.divFPs.Add(1)
 	h.seen[key] = &Divergence{
-		Server: name, Fingerprint: key.fp, Class: cls,
+		Server: name, Fingerprint: key.fp, Oracle: src, Class: cls,
 		SQL: sql, Stream: stream, Index: index, Count: 1,
 	}
 	if h.cfg.Shrink && h.perServerPending(name) < h.cfg.MaxReportsPerServer {

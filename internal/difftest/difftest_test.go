@@ -139,7 +139,7 @@ func TestShrinkProducesMinimalStream(t *testing.T) {
 		t.Fatalf("shrunk stream does not replay:\n%s", rep.Render())
 	}
 	// 1-minimality: every remaining statement is necessary.
-	shr := &shrinker{cfg: cfg, key: dedupKey{dialect.PG, rep.Fingerprint}}
+	shr := &shrinker{cfg: cfg, key: dedupKey{server: dialect.PG, fp: rep.Fingerprint}}
 	for i := range rep.Stream {
 		cand := make([]string, 0, len(rep.Stream)-1)
 		cand = append(cand, rep.Stream[:i]...)

@@ -19,6 +19,11 @@ type Report struct {
 	Server dialect.ServerName
 	// Fingerprint identifies the fault region (dedup key).
 	Fingerprint string
+	// Oracle is the verdict source: "" for the differential
+	// server-vs-oracle vote, "planvariants" for the forced-plan gate, or
+	// a metamorphic oracle name ("tlp", "norec", "cert"). Replay uses it
+	// to re-run the same verdict source the original run convicted with.
+	Oracle string
 	// Seed is the generator seed of the originating run.
 	Seed int64
 	// Faults and Stress reproduce the originating configuration.
@@ -65,6 +70,9 @@ func (r *Report) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "=== divergence on %s (%s, %s)\n", r.Server, r.Class.Type, evidence(r.Class))
 	fmt.Fprintf(&b, "fingerprint: %s\n", r.Fingerprint)
+	if r.Oracle != "" {
+		fmt.Fprintf(&b, "verdict source: %s self-check\n", r.Oracle)
+	}
 	fmt.Fprintf(&b, "seed %d, %d statement(s), trigger #%d\n", r.Seed, len(r.Stream), r.TriggerIndex+1)
 	b.WriteString("--- minimal stream\n")
 	for i, s := range r.Stream {
@@ -75,14 +83,24 @@ func (r *Report) Render() string {
 		fmt.Fprintf(&b, "%s %s;\n", marker, s)
 	}
 	b.WriteString("--- observed behavior on trigger\n")
-	fmt.Fprintf(&b, "    %-10s %s\n", "ORACLE:", r.OracleBehavior)
-	for _, s := range dialect.AllServers {
-		if beh, ok := r.Behavior[s]; ok {
-			mark := ""
-			if s == r.Server {
-				mark = "  <-- divergent"
+	if r.Oracle != "" {
+		// Self-check report: only the convicted endpoint's behavior is
+		// meaningful — the violated relation is between the statement and
+		// rewrites of itself on the same endpoint.
+		if beh, ok := r.Behavior[r.Server]; ok {
+			fmt.Fprintf(&b, "    %-10s %s  <-- violates %s relation\n", string(r.Server)+":", beh, r.Oracle)
+		}
+		fmt.Fprintf(&b, "    %-10s %s\n", "verdict:", r.OracleBehavior)
+	} else {
+		fmt.Fprintf(&b, "    %-10s %s\n", "ORACLE:", r.OracleBehavior)
+		for _, s := range dialect.AllServers {
+			if beh, ok := r.Behavior[s]; ok {
+				mark := ""
+				if s == r.Server {
+					mark = "  <-- divergent"
+				}
+				fmt.Fprintf(&b, "    %-10s %s%s\n", string(s)+":", beh, mark)
 			}
-			fmt.Fprintf(&b, "    %-10s %s%s\n", string(s)+":", beh, mark)
 		}
 	}
 	if r.Class.Detail != "" {
@@ -118,7 +136,11 @@ func (r *Result) Render(verbose bool) string {
 		}
 	}
 	for _, d := range r.Divergences {
-		fmt.Fprintf(&b, "- %s [%s] x%d: %s\n", d.Server, d.Class.Type, d.Count, d.SQL)
+		tag := ""
+		if d.Oracle != "" {
+			tag = " <" + d.Oracle + ">"
+		}
+		fmt.Fprintf(&b, "- %s%s [%s] x%d: %s\n", d.Server, tag, d.Class.Type, d.Count, d.SQL)
 		if verbose && d.Report != nil {
 			b.WriteString(d.Report.Render())
 		}

@@ -1,9 +1,14 @@
 package difftest
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 
+	"divsql/internal/core"
 	"divsql/internal/dialect"
+	"divsql/internal/engine"
+	"divsql/internal/metamorph"
 	"divsql/internal/server"
 	"divsql/internal/sql/ast"
 	"divsql/internal/sql/parser"
@@ -40,6 +45,9 @@ func shrinkAndReport(cfg Config, key dedupKey, history []string) *Report {
 
 	// Pass 2: greedy statement elision to a fixed point (budgeted).
 	min := shr.elide(sliced)
+	if key.src != srcDifferential {
+		return buildSelfCheckReport(cfg, key, min)
+	}
 	return buildReport(cfg, key, min)
 }
 
@@ -98,25 +106,93 @@ func (s *shrinker) elide(stmts []string) []string {
 	}
 }
 
-// reproduces replays the candidate stream on a reset (server, oracle)
-// pair through the study's executor path and checks whether any
-// statement diverges with the shrinker's (server, fingerprint) key.
+// reproduces replays the candidate stream on a reset endpoint and
+// checks whether the shrinker's divergence key still fires: for the
+// differential key, a server-vs-oracle pair is adjudicated statement by
+// statement; for a self-check key (planvariants or a metamorphic
+// oracle), the convicted endpoint alone replays the stream and re-runs
+// the verdict source on each answered matching SELECT.
 func (s *shrinker) reproduces(stmts []string) bool {
 	s.replays++
 	if s.srv == nil {
-		srv, err := server.New(s.key.server, s.cfg.Faults)
-		if err != nil {
+		if s.srv = selfCheckEndpoint(s.cfg, s.key.server); s.srv == nil {
 			return false
 		}
-		srv.SetStress(s.cfg.Stress)
-		s.srv = srv
 		s.orc = server.NewOracle()
 	}
 	s.srv.Reset()
+	if s.key.src != srcDifferential {
+		idx, _, _ := selfCheckScanOn(s.srv, s.key, stmts)
+		return idx >= 0
+	}
 	s.orc.Reset()
 	sOut := study.RunSource(s.srv, study.SliceSource(stmts))
 	oOut := study.RunSource(s.orc, study.SliceSource(stmts))
 	return divergesWith(s.key, sOut, oOut) >= 0
+}
+
+// selfCheckEndpoint builds the endpoint a self-check verdict convicted:
+// the pristine reference engine when the key names the oracle (the
+// planvariants gate and the oracle-side metamorphic checks record
+// against it), otherwise the named server under the run's fault and
+// stress configuration.
+func selfCheckEndpoint(cfg Config, name dialect.ServerName) *server.Server {
+	if name == server.OracleName {
+		return server.NewOracle()
+	}
+	srv, err := server.New(name, cfg.Faults)
+	if err != nil {
+		return nil
+	}
+	srv.SetStress(cfg.Stress)
+	return srv
+}
+
+// selfCheckScanOn replays the stream through one session of srv and
+// re-runs the key's verdict source (checkPlanVariants or the single
+// armed metamorph oracle) on every answered, non-sequence-advancing
+// SELECT carrying the key's fingerprint. It returns the first
+// convicting statement index, its classification, and the endpoint's
+// base-result summary; idx is -1 when nothing convicts. The caller owns
+// srv's Reset lifecycle.
+func selfCheckScanOn(srv *server.Server, key dedupKey, stmts []string) (int, core.Classification, string) {
+	sess := srv.NewSession()
+	defer sess.Close()
+	for i, entry := range stmts {
+		sql, args, _ := core.DecodeBound(entry)
+		st, perr := parser.Parse(sql)
+		var res *engine.Result
+		var err error
+		if len(args) == 0 {
+			res, _, err = sess.Exec(sql)
+		} else {
+			res, _, err = sess.ExecArgs(sql, args...)
+		}
+		if errors.Is(err, server.ErrCrashed) {
+			srv.Restart()
+			continue
+		}
+		if perr != nil || err != nil || st == nil {
+			continue
+		}
+		sel, isSel := st.(*ast.Select)
+		if !isSel || ast.FingerprintOf(st).String() != key.fp || srv.SelectAdvancesSequences(sel) {
+			continue
+		}
+		switch key.src {
+		case srcPlanVariants:
+			if cls := checkPlanVariants(sess, sel, args, server.StmtOutcome{SQL: entry, Res: res}); cls.IsFailure() {
+				return i, cls, resultSummary(server.StmtOutcome{Res: res})
+			}
+		default:
+			_, findings := metamorph.Check(sess, sel, args, res, []metamorph.Oracle{metamorph.Oracle(key.src)})
+			if len(findings) > 0 {
+				cls := core.Classification{Status: core.StatusFailure, Type: core.IncorrectResult, Detail: findings[0].Detail}
+				return i, cls, resultSummary(server.StmtOutcome{Res: res})
+			}
+		}
+	}
+	return -1, core.Classification{}, ""
 }
 
 // divergesWith scans paired outcomes for a divergence whose triggering
@@ -220,10 +296,22 @@ func ddlObjectName(st ast.Statement) string {
 	return ""
 }
 
-// Replay re-executes a report's statement stream on a fresh server and
-// oracle (same faults and stress setting as the original run) and
-// reports whether the recorded divergence reproduces.
+// Replay re-executes a report's statement stream (same faults and
+// stress setting as the original run) and reports whether the recorded
+// divergence reproduces: differential reports replay on a fresh
+// server/oracle pair, self-check reports (Oracle non-empty) replay on
+// the convicted endpoint alone and re-run the recorded verdict source.
 func Replay(r *Report) (bool, error) {
+	key := dedupKey{server: r.Server, fp: r.Fingerprint, src: r.Oracle}
+	cfg := Config{Seed: r.Seed, Faults: r.Faults, Stress: r.Stress}
+	if r.Oracle != srcDifferential {
+		srv := selfCheckEndpoint(cfg, r.Server)
+		if srv == nil {
+			return false, fmt.Errorf("unknown endpoint %q", r.Server)
+		}
+		idx, _, _ := selfCheckScanOn(srv, key, r.Stream)
+		return idx >= 0, nil
+	}
 	srv, err := server.New(r.Server, r.Faults)
 	if err != nil {
 		return false, err
@@ -232,7 +320,7 @@ func Replay(r *Report) (bool, error) {
 	orc := server.NewOracle()
 	sOut := study.RunSource(srv, study.SliceSource(r.Stream))
 	oOut := study.RunSource(orc, study.SliceSource(r.Stream))
-	return divergesWith(dedupKey{r.Server, r.Fingerprint}, sOut, oOut) >= 0, nil
+	return divergesWith(key, sOut, oOut) >= 0, nil
 }
 
 // behaviorOf summarizes one endpoint's outcome on the trigger statement.
@@ -297,5 +385,34 @@ func buildReport(cfg Config, key dedupKey, stream []string) *Report {
 			r.Behavior[name] = "no outcome"
 		}
 	}
+	return r
+}
+
+// buildSelfCheckReport packages a self-check divergence: the verdict
+// came from rewriting one endpoint's own statement, so the report
+// records that endpoint's behavior and the violated relation — no
+// cross-server vote is involved and no other server's behavior is
+// meaningful.
+func buildSelfCheckReport(cfg Config, key dedupKey, stream []string) *Report {
+	r := &Report{
+		Server:      key.server,
+		Fingerprint: key.fp,
+		Oracle:      key.src,
+		Seed:        cfg.Seed,
+		Faults:      cfg.Faults,
+		Stress:      cfg.Stress,
+		Stream:      append([]string(nil), stream...),
+		Behavior:    make(map[dialect.ServerName]string),
+	}
+	r.TriggerIndex = len(stream) - 1
+	if srv := selfCheckEndpoint(cfg, key.server); srv != nil {
+		if idx, cls, beh := selfCheckScanOn(srv, key, stream); idx >= 0 {
+			r.TriggerIndex = idx
+			r.Class = cls
+			r.Behavior[key.server] = beh
+		}
+	}
+	r.Trigger = stream[r.TriggerIndex]
+	r.OracleBehavior = "self-check relation violated (" + key.src + ")"
 	return r
 }

@@ -27,6 +27,9 @@ type Telemetry struct {
 	retargets  atomic.Uint64 // adaptive feedback retargetings
 	active     atomic.Int64  // currently running streams
 
+	metaChecks   atomic.Uint64 // metamorphic oracle relations evaluated
+	metaFindings atomic.Uint64 // metamorphic oracle verdicts that convicted
+
 	mu       sync.Mutex
 	prevStmt uint64
 	prevAt   time.Time
@@ -51,6 +54,8 @@ type Snapshot struct {
 	DivergenceFingerprints uint64
 	GeneratedFingerprints  uint64
 	Retargets              uint64
+	MetamorphicChecks      uint64
+	MetamorphicFindings    uint64
 	ActiveStreams          int
 	StmtsPerSec            float64 // 0 on the first snapshot of a window
 }
@@ -67,6 +72,8 @@ func (t *Telemetry) Snapshot() Snapshot {
 		DivergenceFingerprints: t.divFPs.Load(),
 		GeneratedFingerprints:  t.genFPs.Load(),
 		Retargets:              t.retargets.Load(),
+		MetamorphicChecks:      t.metaChecks.Load(),
+		MetamorphicFindings:    t.metaFindings.Load(),
 		ActiveStreams:          int(t.active.Load()),
 	}
 	t.mu.Lock()
@@ -107,6 +114,10 @@ func (t *Telemetry) MetricsCollector() obs.Collector {
 			"Generated-fingerprint coverage breadth (summed per stream).", t.genFPs.Load())
 		f.Count("divsql_hunt_feedback_retargets_total",
 			"Adaptive feedback retargetings of generator weights.", t.retargets.Load())
+		f.Count("divsql_hunt_metamorphic_checks_total",
+			"Metamorphic oracle relations (TLP/NoREC/CERT) evaluated.", t.metaChecks.Load())
+		f.Count("divsql_hunt_metamorphic_findings_total",
+			"Metamorphic oracle verdicts that convicted an endpoint.", t.metaFindings.Load())
 		f.Gauge("divsql_hunt_active_streams",
 			"Hunt streams currently running.", float64(t.active.Load()))
 	})

@@ -325,7 +325,7 @@ func (s *Session) candidateRows(p *plan.SelectPlan, t *Table) ([]int, bool) {
 			switch v.K {
 			case types.KindInt:
 				hi, haveHi = v.I, true
-				if p.Hi.Strict {
+				if p.Hi.Strict || plantedRangeBoundDefect.Load() {
 					if hi == math.MinInt64 {
 						return []int{}, true
 					}

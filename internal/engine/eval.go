@@ -409,6 +409,9 @@ func (e *Session) evalUnary(n *ast.Unary, sc *scope) (types.Value, error) {
 	case "+":
 		return v, nil
 	case "NOT":
+		if v.IsNull() && plantedNotNullDefect.Load() {
+			return types.True.Val(), nil
+		}
 		return types.TruthOf(v).Not().Val(), nil
 	default:
 		return types.Value{}, fmt.Errorf("unsupported unary operator %s", n.Op)

@@ -1,0 +1,32 @@
+package engine
+
+import "sync/atomic"
+
+// Planted defects are deliberate, process-global, test-only engine bugs:
+// the "oracle of the oracle" sensitivity probes for the metamorphic
+// self-check suite (internal/metamorph). Because every simulated server
+// and the pristine oracle share this engine, a planted defect corrupts
+// all five endpoints identically — exactly the correlated-failure blind
+// spot the paper warns differential testing about — so a 5-way vote sees
+// nothing while a single-endpoint metamorphic relation must still flag
+// it. Nothing outside tests may arm these.
+var (
+	// plantedRangeBoundDefect makes the compiled RangeScan access path
+	// treat an inclusive upper bound as exclusive (an off-by-one), so an
+	// index-served range silently drops its boundary row. The full-scan
+	// path is untouched: NoREC's forced-full-scan recount and CERT's
+	// full-scan restriction probe both see the missing row.
+	plantedRangeBoundDefect atomic.Bool
+	// plantedNotNullDefect makes unary NOT of a NULL operand evaluate to
+	// TRUE instead of UNKNOWN, breaking three-valued logic. TLP's NOT(p)
+	// partition then double-counts every row on which p is UNKNOWN.
+	plantedNotNullDefect atomic.Bool
+)
+
+// PlantRangeBoundDefect arms or disarms the RangeScan inclusive-upper
+// off-by-one. Test-only.
+func PlantRangeBoundDefect(on bool) { plantedRangeBoundDefect.Store(on) }
+
+// PlantNotNullDefect arms or disarms the NOT-of-NULL three-valued-logic
+// defect. Test-only.
+func PlantNotNullDefect(on bool) { plantedNotNullDefect.Store(on) }

@@ -295,20 +295,66 @@ func (e *Session) evalSelectCore(s *ast.Select, outer *scope) (*Result, error) {
 	return res, nil
 }
 
+// selectHasAggregate reports whether the select's own items or HAVING
+// aggregate over its rows. Subqueries are opaque: an aggregate inside a
+// scalar subquery item aggregates the subquery's rows, not this
+// select's, so descending into it (as the generic expression walker
+// does) would wrongly collapse a row-wise outer query to one grouped
+// row.
 func selectHasAggregate(s *ast.Select) bool {
-	found := false
-	check := func(x ast.Expr) {
-		ast.WalkExprs(x, func(n ast.Expr) {
-			if fc, ok := n.(*ast.FuncCall); ok && isAggregateName(fc.Name) {
-				found = true
-			}
-		})
-	}
 	for _, it := range s.Items {
-		check(it.Expr)
+		if hasOwnAggregate(it.Expr) {
+			return true
+		}
 	}
-	check(s.Having)
-	return found
+	return hasOwnAggregate(s.Having)
+}
+
+// hasOwnAggregate walks one expression without entering subqueries.
+func hasOwnAggregate(x ast.Expr) bool {
+	switch n := x.(type) {
+	case *ast.FuncCall:
+		if isAggregateName(n.Name) {
+			return true
+		}
+		for _, a := range n.Args {
+			if hasOwnAggregate(a) {
+				return true
+			}
+		}
+	case *ast.Binary:
+		return hasOwnAggregate(n.L) || hasOwnAggregate(n.R)
+	case *ast.Unary:
+		return hasOwnAggregate(n.X)
+	case *ast.In:
+		// n.Select is a subquery scope of its own.
+		if hasOwnAggregate(n.X) {
+			return true
+		}
+		for _, a := range n.List {
+			if hasOwnAggregate(a) {
+				return true
+			}
+		}
+	case *ast.Between:
+		return hasOwnAggregate(n.X) || hasOwnAggregate(n.Lo) || hasOwnAggregate(n.Hi)
+	case *ast.Like:
+		return hasOwnAggregate(n.X) || hasOwnAggregate(n.Pattern)
+	case *ast.IsNull:
+		return hasOwnAggregate(n.X)
+	case *ast.Case:
+		if hasOwnAggregate(n.Operand) || hasOwnAggregate(n.Else) {
+			return true
+		}
+		for _, w := range n.Whens {
+			if hasOwnAggregate(w.Cond) || hasOwnAggregate(w.Then) {
+				return true
+			}
+		}
+	case *ast.Cast:
+		return hasOwnAggregate(n.X)
+	}
+	return false
 }
 
 func isAggregateName(name string) bool {

@@ -76,6 +76,15 @@ type Options struct {
 	// Off in fault-free gates: safe values pass every server's BindRules
 	// unchanged, so the common subset still agrees with the oracle.
 	ParamQuirks bool
+	// PartitionSympathy biases simple SELECTs toward the metamorphic
+	// oracles' applicability region (internal/metamorph): WHERE clauses
+	// become near-universal on the simple shape, and a share of simple
+	// selects carries an all-COUNT/SUM item list — the additive TLP
+	// form, which no other shape produces (aggregates otherwise appear
+	// only under GROUP BY or inside scalar subqueries). Off by default:
+	// it reshapes the seeded stream, so only runs that arm TLP/NoREC/
+	// CERT turn it on.
+	PartitionSympathy bool
 
 	// --- Structural weights and caps ------------------------------------
 

