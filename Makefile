@@ -28,6 +28,7 @@ smoke:
 	$(GO) run ./cmd/divfuzz -seed 13 -n 2000 -streams 4 -isolation -faults=false
 	$(GO) run ./cmd/divfuzz -seed 17 -n 2000 -streams 2 -tlp -norec -cert -faults=false
 	$(GO) run ./cmd/divfuzz -seed 19 -n 2000 -streams 2 -tlp -norec -cert -params -planvariants -isolation -faults=false
+	$(GO) run ./cmd/divfuzz -seed 23 -n 2000 -streams 4 -shards 2
 
 # One-iteration benchmark sweep converted to the machine-readable
 # artifact BENCH_<sha>.json at the repo root, so the performance

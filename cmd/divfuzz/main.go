@@ -6,11 +6,19 @@
 //
 // Usage:
 //
-//	divfuzz [-seed N] [-n N] [-streams N] [-faults=false] [-stress]
+//	divfuzz [-seed N] [-n N] [-streams N] [-shards N] [-faults=false] [-stress]
 //	        [-sequences] [-isolation] [-params] [-planvariants]
 //	        [-tlp] [-norec] [-cert] [-regress-out DIR]
 //	        [-adaptive] [-maxrows N] [-batch N] [-shrink=false]
 //	        [-maxreports N] [-metrics-every N] [-o FILE] [-cov FILE] [-v]
+//
+// -shards N (N > 1) switches to the sharded smoke configuration: the
+// streams run fault-free through the shard router (internal/shard) over
+// N diverse replica sets and are adjudicated in lockstep against the
+// oracle. Routing, per-shard adjudication and the router's session
+// layer must be semantically invisible, so any divergence is a router
+// or middleware bug and the exit status is 1. Fault flags do not
+// combine with -shards.
 //
 // -metrics-every N prints a one-line hunt telemetry summary to stderr
 // every N seconds — statements/s, coverage breadth, distinct divergence
@@ -91,10 +99,22 @@ import (
 	"divsql/internal/difftest"
 )
 
+// isFlagSet reports whether the named flag was passed explicitly.
+func isFlagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
 func main() {
 	seed := flag.Int64("seed", 1, "generator seed (same seed, same stream, same findings)")
 	n := flag.Int("n", 5000, "statements per stream")
 	streams := flag.Int("streams", 4, "concurrent client streams (disjoint table namespaces, per-stream oracle resync)")
+	shards := flag.Int("shards", 1, "run the fault-free sharded smoke over this many diverse replica sets (>1; see internal/shard)")
 	faults := flag.Bool("faults", true, "arm the calibrated corpus fault set")
 	stress := flag.Bool("stress", false, "stressful environment (Heisenbug triggers active)")
 	sequences := flag.Bool("sequences", false, "exercise sequence-advancing SELECTs (PG/OR server set)")
@@ -115,6 +135,29 @@ func main() {
 	covOut := flag.String("cov", "", "also write the coverage summary to this file (CI artifact)")
 	verbose := flag.Bool("v", false, "print full repro reports")
 	flag.Parse()
+
+	if *shards > 1 {
+		// The sharded smoke is its own fault-free configuration: arming
+		// faults would make every stream diverge by design and convict
+		// the router for the fault layer's work.
+		if *faults && isFlagSet("faults") {
+			fmt.Fprintln(os.Stderr, "divfuzz: -shards does not combine with -faults")
+			os.Exit(2)
+		}
+		res, err := difftest.RunSharded(difftest.ShardedConfig{
+			Seed: *seed, N: *n, Streams: *streams, Shards: *shards,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "divfuzz:", err)
+			os.Exit(2)
+		}
+		fmt.Print(res.RenderSharded())
+		if len(res.Divergences) > 0 {
+			fmt.Fprintln(os.Stderr, "divfuzz: divergences in the sharded fault-free configuration — router or middleware bug")
+			os.Exit(1)
+		}
+		return
+	}
 
 	var cfg difftest.Config
 	if *faults {

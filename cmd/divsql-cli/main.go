@@ -31,7 +31,7 @@ func run(addr string) error {
 		return err
 	}
 	defer client.Close()
-	fmt.Printf("connected to %s; one statement per line; \\metrics for server metrics; \\q to quit\n", addr)
+	fmt.Printf("connected to %s; one statement per line; \\metrics for server metrics; \\shards for shard layout; \\q to quit\n", addr)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -49,6 +49,17 @@ func run(addr string) error {
 			// Scrape the server's metrics registry over the METRICS
 			// frame (requires divsqld started with -metrics).
 			doc, err := client.Metrics()
+			if err != nil {
+				fmt.Println("ERROR:", err)
+				continue
+			}
+			fmt.Print(doc)
+			continue
+		case line == `\shards`:
+			// Shard layout over the SHARDS frame: per-shard statement
+			// counts, replica rosters and quarantine state (requires
+			// divsqld started with -shards > 1).
+			doc, err := client.Shards()
 			if err != nil {
 				fmt.Println("ERROR:", err)
 				continue

@@ -8,7 +8,13 @@
 //	divsqld -listen :5433 -mode diverse -servers PG,OR,MS
 //	divsqld -listen :5433 -mode single  -servers IB
 //	divsqld -listen :5433 -mode replicated -servers PG -n 3
+//	divsqld -listen :5433 -mode diverse -shards 4
 //	divsqld -listen :5433 -metrics :9090
+//
+// -shards N (with -mode diverse) scales out horizontally: N independent
+// diverse replica sets behind a shard router partitioning tables by
+// name prefix (see internal/shard). The wire SHARDS frame — divsql-cli
+// \shards — reports per-shard replica and quarantine state.
 //
 // -metrics serves a Prometheus text /metrics endpoint covering every
 // subsystem: middleware adjudication (statements, masked failures,
@@ -43,10 +49,11 @@ func main() {
 	mode := flag.String("mode", "diverse", "single | replicated | diverse")
 	servers := flag.String("servers", "PG,OR,MS", "comma-separated server names (IB, PG, OR, MS)")
 	n := flag.Int("n", 2, "replica count for -mode replicated")
+	shards := flag.Int("shards", 1, "shard count for -mode diverse (>1 enables the shard router)")
 	metrics := flag.String("metrics", "", "serve Prometheus /metrics on this address (e.g. :9090; empty: off)")
 	flag.Parse()
 
-	d, err := start(*listen, *mode, *servers, *n, *metrics)
+	d, err := start(*listen, *mode, *servers, *n, *shards, *metrics)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "divsqld:", err)
 		os.Exit(1)
@@ -80,7 +87,7 @@ type daemon struct {
 
 // start opens the endpoint, begins serving the wire protocol on listen
 // and, when metricsAddr is non-empty, the /metrics HTTP endpoint.
-func start(listen, mode, serverList string, n int, metricsAddr string) (*daemon, error) {
+func start(listen, mode, serverList string, n, shards int, metricsAddr string) (*daemon, error) {
 	var names []divsql.ServerName
 	for _, s := range strings.Split(serverList, ",") {
 		names = append(names, divsql.ServerName(strings.ToUpper(strings.TrimSpace(s))))
@@ -89,12 +96,16 @@ func start(listen, mode, serverList string, n int, metricsAddr string) (*daemon,
 		db  divsql.DB
 		err error
 	)
-	switch mode {
-	case "single":
+	switch {
+	case shards > 1 && mode != "diverse":
+		return nil, fmt.Errorf("-shards requires -mode diverse")
+	case mode == "single":
 		db, err = divsql.Open(names[0])
-	case "replicated":
+	case mode == "replicated":
 		db, err = divsql.OpenReplicated(names[0], n)
-	case "diverse":
+	case mode == "diverse" && shards > 1:
+		db, err = divsql.OpenSharded(divsql.ShardedConfig{Shards: shards}, names...)
+	case mode == "diverse":
 		db, err = divsql.OpenDiverse(names...)
 	default:
 		return nil, fmt.Errorf("unknown mode %q", mode)
@@ -120,6 +131,13 @@ func start(listen, mode, serverList string, n int, metricsAddr string) (*daemon,
 	reg.Register(srv.MetricsCollector())
 	reg.Register(difftest.SharedTelemetry().MetricsCollector())
 	srv.ServeMetrics(reg)
+	if txt, ok := divsql.ShardsDescription(db); ok {
+		_ = txt
+		srv.ServeShards(func() string {
+			doc, _ := divsql.ShardsDescription(db)
+			return doc
+		})
+	}
 
 	addr, err := srv.Listen(listen)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"divsql/internal/wire"
 	"divsql/sqldriver"
 )
 
@@ -16,7 +17,7 @@ import (
 // through database/sql over the wire protocol, then scrape /metrics
 // and assert every subsystem's families are present and moving.
 func TestDivsqldMetricsSmoke(t *testing.T) {
-	d, err := start("127.0.0.1:0", "diverse", "PG,OR,MS", 0, "127.0.0.1:0")
+	d, err := start("127.0.0.1:0", "diverse", "PG,OR,MS", 0, 1, "127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("start: %v", err)
 	}
@@ -115,11 +116,79 @@ func TestDivsqldMetricsSmoke(t *testing.T) {
 
 // TestDivsqldStartErrors covers the operator-facing failure paths.
 func TestDivsqldStartErrors(t *testing.T) {
-	if _, err := start("127.0.0.1:0", "bogus", "PG", 0, ""); err == nil {
+	if _, err := start("127.0.0.1:0", "bogus", "PG", 0, 1, ""); err == nil {
 		t.Fatalf("unknown mode: want error")
 	}
-	if _, err := start("127.0.0.1:0", "single", "NOPE", 0, ""); err == nil {
+	if _, err := start("127.0.0.1:0", "single", "NOPE", 0, 1, ""); err == nil {
 		t.Fatalf("unknown server: want error")
+	}
+	if _, err := start("127.0.0.1:0", "single", "PG", 0, 2, ""); err == nil {
+		t.Fatalf("-shards outside diverse mode: want error")
+	}
+}
+
+// TestDivsqldSharded starts the daemon with -shards 2 and checks that
+// statements route, prefix namespaces isolate, the SHARDS wire frame
+// (divsql-cli \shards) reports the layout, and /metrics carries
+// shard-qualified families from both shards without label collisions.
+func TestDivsqldSharded(t *testing.T) {
+	d, err := start("127.0.0.1:0", "diverse", "PG,OR", 0, 2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer d.close()
+
+	sqldriver.Register()
+	db, err := sql.Open("divsql", "wiremux:"+d.wireAddr)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer db.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := db.Exec(fmt.Sprintf("CREATE TABLE NS%d_T (A INT)", i)); err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO NS%d_T VALUES (%d)", i, i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	var got int
+	if err := db.QueryRow("SELECT A FROM NS2_T").Scan(&got); err != nil {
+		t.Fatalf("select: %v", err)
+	}
+	if got != 2 {
+		t.Fatalf("NS2_T row = %d, want 2", got)
+	}
+
+	c, err := wire.Dial(d.wireAddr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	layout, err := c.Shards()
+	if err != nil {
+		t.Fatalf("SHARDS frame: %v", err)
+	}
+	if !strings.Contains(layout, "2 shard(s)") || !strings.Contains(layout, "shard0:") || !strings.Contains(layout, "shard1:") {
+		t.Errorf("shard layout missing shards:\n%s", layout)
+	}
+	if !strings.Contains(layout, "replicas: OR, PG") {
+		t.Errorf("shard layout missing replica roster:\n%s", layout)
+	}
+
+	doc := scrape(t, d.metricsAddr)
+	for _, want := range []string{
+		"divsql_shard_statements_total",
+		`divsql_shard_routed_statements_total{shard="shard0"}`,
+		`divsql_shard_routed_statements_total{shard="shard1"}`,
+		`divsql_middleware_statements_total{shard="shard0"}`,
+		`divsql_middleware_statements_total{shard="shard1"}`,
+		`divsql_server_up{replica="PG",shard="shard0"} 1`,
+		`divsql_server_up{replica="PG",shard="shard1"} 1`,
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("sharded scrape missing %q", want)
+		}
 	}
 }
 

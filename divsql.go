@@ -60,6 +60,7 @@ import (
 	"divsql/internal/obs"
 	"divsql/internal/replication"
 	"divsql/internal/server"
+	"divsql/internal/shard"
 	"divsql/internal/sql/types"
 )
 
@@ -366,6 +367,114 @@ func Metrics(db DB) (DiverseMetrics, bool) {
 }
 
 // ---------------------------------------------------------------------------
+// Sharded deployment
+
+type shardedDB struct {
+	r    *shard.Router
+	sets []*middleware.DiverseServer
+}
+
+// ShardedConfig configures OpenSharded.
+type ShardedConfig struct {
+	// Shards is the number of independent diverse replica sets.
+	Shards int
+	// BandColumns maps TABLE name (upper case) to its partitioning
+	// column; non-empty selects PK-band partitioning (every table on
+	// every shard, rows split by band value; tables absent from the map
+	// replicate everywhere). Empty selects namespace partitioning
+	// (every table wholly on the shard owning its name prefix).
+	BandColumns map[string]string
+	// WallClock makes each replica set's adjudication loop spend the
+	// adjudicated latency in real time (see middleware.Config.WallClock)
+	// — the regime in which sharding measurably multiplies throughput.
+	WallClock bool
+}
+
+// OpenSharded returns a horizontally scaled deployment: cfg.Shards
+// independent diverse replica sets, each over the named replicas and
+// with its own adjudication loop, quarantine policy and resync
+// machinery, behind a shard router. See internal/shard for the routing
+// and ordering rules.
+func OpenSharded(cfg ShardedConfig, names ...ServerName) (DB, error) {
+	return OpenShardedWith(cfg, nil, names...)
+}
+
+// OpenShardedWith is OpenSharded with replica-set options.
+func OpenShardedWith(cfg ShardedConfig, opts []Option, names ...ServerName) (DB, error) {
+	if cfg.Shards <= 0 {
+		return nil, errors.New("divsql: OpenSharded needs at least one shard")
+	}
+	if len(names) == 0 {
+		return nil, errors.New("divsql: OpenSharded needs at least one server name")
+	}
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	mcfg := middleware.DefaultConfig()
+	mcfg.Rephrase = o.rephrase
+	mcfg.AutoResync = o.autoResync
+	mcfg.PerfThreshold = o.perfThresh
+	mcfg.WallClock = cfg.WallClock
+	sets := make([]*middleware.DiverseServer, 0, cfg.Shards)
+	backends := make([]shard.Backend, 0, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		servers := make([]*server.Server, 0, len(names))
+		for _, n := range names {
+			srv, err := newServer(n, o)
+			if err != nil {
+				return nil, err
+			}
+			servers = append(servers, srv)
+		}
+		d, err := middleware.New(mcfg, servers...)
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, d)
+		backends = append(backends, d)
+	}
+	r, err := shard.New(shard.Config{BandColumns: cfg.BandColumns}, backends...)
+	if err != nil {
+		return nil, err
+	}
+	return &shardedDB{r: r, sets: sets}, nil
+}
+
+func (s *shardedDB) Exec(sql string) (*Result, error) {
+	res, lat, err := s.r.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(res, lat), nil
+}
+
+func (s *shardedDB) Prepare(sql string) (Stmt, error) {
+	st, err := s.r.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &coreStmt{st: st}, nil
+}
+
+func (s *shardedDB) Session() (Session, error) {
+	return &coreSession{s: s.r.OpenSession()}, nil
+}
+
+func (s *shardedDB) Close() error { return nil }
+
+// ShardsDescription returns the per-shard replica and quarantine state
+// of a sharded DB (the text behind divsql-cli's \shards); ok is false
+// when db is not sharded.
+func ShardsDescription(db DB) (string, bool) {
+	s, ok := db.(*shardedDB)
+	if !ok {
+		return "", false
+	}
+	return s.r.DescribeText(), true
+}
+
+// ---------------------------------------------------------------------------
 // Non-diverse replication baseline
 
 type replicatedDB struct{ g *replication.Group }
@@ -452,6 +561,8 @@ func Executor(db DB) (core.Executor, bool) {
 		return x.srv, true
 	case *diverseDB:
 		return x.d, true
+	case *shardedDB:
+		return x.r, true
 	case *replicatedDB:
 		return x.g, true
 	default:
@@ -470,6 +581,8 @@ func Collectors(db DB) []obs.Collector {
 		return []obs.Collector{x.srv.MetricsCollector()}
 	case *diverseDB:
 		return x.d.MetricsCollectors()
+	case *shardedDB:
+		return x.r.MetricsCollectors()
 	case *replicatedDB:
 		return x.g.MetricsCollectors()
 	default:

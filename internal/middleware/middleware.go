@@ -114,6 +114,15 @@ type Config struct {
 	// slower than the fastest replica by at least this much. Zero
 	// disables performance monitoring.
 	PerfThreshold time.Duration
+	// WallClock makes the adjudication loop spend the adjudicated
+	// latency in real time, holding the statement lock for the duration
+	// (exclusive for writes, shared for queries). By default the
+	// replicas' simulated latencies are reported but not slept, which is
+	// right for tests; with WallClock each replica set behaves like a
+	// networked deployment whose adjudication loop is a real capacity
+	// bottleneck — the regime the shard router's scaling benchmarks
+	// measure.
+	WallClock bool
 }
 
 // DefaultConfig returns the recommended configuration.
@@ -444,6 +453,13 @@ func (cs *Session) execBound(b *boundStmt, query bool) (*engine.Result, time.Dur
 	}
 
 	res, lat, err := cs.execAdjudicated(b, query)
+	if d.cfg.WallClock && lat > 0 {
+		// Model a networked replica set: the statement's adjudicated
+		// latency passes in real time while the statement lock is held,
+		// so this replica set's throughput is bounded by its one
+		// adjudication loop — the bottleneck sharding multiplies.
+		time.Sleep(lat)
+	}
 	if !query {
 		// Journal bookkeeping (the exclusive statement lock is held): the
 		// redo a rejoining replica needs on top of a committed snapshot is

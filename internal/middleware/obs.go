@@ -108,10 +108,20 @@ func (d *DiverseServer) MetricsCollector() obs.Collector {
 // collector (engine plan-cache, access paths, catalog gauges — labeled
 // by replica).
 func (d *DiverseServer) MetricsCollectors() []obs.Collector {
-	cs := []obs.Collector{d.MetricsCollector()}
+	return d.MetricsCollectorsWith()
+}
+
+// MetricsCollectorsWith is MetricsCollectors with extra labels appended
+// to every sample. A sharded deployment runs N DiverseServers whose
+// families would otherwise collide — divsql_middleware_last_resync_seq
+// and friends carry no distinguishing labels of their own — so the
+// shard router qualifies each shard's collectors with its shard label
+// and the same-named families merge into per-shard series.
+func (d *DiverseServer) MetricsCollectorsWith(extra ...obs.Label) []obs.Collector {
+	cs := []obs.Collector{obs.Labeled(d.MetricsCollector(), extra...)}
 	d.mu.Lock()
 	for _, r := range d.replicas {
-		cs = append(cs, r.srv.MetricsCollector())
+		cs = append(cs, obs.Labeled(r.srv.MetricsCollector(), extra...))
 	}
 	d.mu.Unlock()
 	return cs

@@ -189,6 +189,38 @@ type Collector interface {
 	Collect(f *Feed)
 }
 
+// Labeled wraps a collector so that every sample it contributes carries
+// the extra labels. This is how N instances of one subsystem (the
+// shards of a sharded deployment, each with its own middleware and
+// replica collectors) share metric families without series collisions:
+// each instance's collector is wrapped with a distinguishing label
+// (e.g. shard="2") and the same-named families merge in the feed.
+func Labeled(c Collector, extra ...Label) Collector {
+	if len(extra) == 0 {
+		return c
+	}
+	name := c.Name()
+	for _, l := range extra {
+		name += ":" + l.Value
+	}
+	return NewCollector(name, func(f *Feed) {
+		inner := newFeed()
+		c.Collect(inner)
+		for _, famName := range inner.order {
+			fam := inner.byN[famName]
+			out := f.family(famName, fam.Help, fam.Kind)
+			for _, s := range fam.samples {
+				s.labels = append(append([]Label(nil), s.labels...), extra...)
+				out.samples = append(out.samples, s)
+			}
+			for _, h := range fam.hists {
+				h.labels = append(append([]Label(nil), h.labels...), extra...)
+				out.hists = append(out.hists, h)
+			}
+		}
+	})
+}
+
 // collectorFunc adapts a function to the Collector interface.
 type collectorFunc struct {
 	name string

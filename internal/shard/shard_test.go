@@ -1,0 +1,482 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"divsql/internal/dialect"
+	"divsql/internal/engine"
+	"divsql/internal/fault"
+	"divsql/internal/middleware"
+	"divsql/internal/obs"
+	"divsql/internal/server"
+	"divsql/internal/sql/ast"
+	"divsql/internal/sql/types"
+)
+
+// newServerRouter builds a router over n single-server shards (one
+// fault-free PG engine each) — the cheapest backend for routing tests.
+func newServerRouter(t *testing.T, cfg Config, n int) (*Router, []*server.Server) {
+	t.Helper()
+	var backends []Backend
+	var srvs []*server.Server
+	for i := 0; i < n; i++ {
+		s, err := server.New(dialect.PG, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends = append(backends, s)
+		srvs = append(srvs, s)
+	}
+	r, err := New(cfg, backends...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, srvs
+}
+
+func bandCfg() Config {
+	return Config{BandColumns: map[string]string{"T": "W", "R": ""}}
+}
+
+func exec(t *testing.T, r *Router, sql string) *engine.Result {
+	t.Helper()
+	res, _, err := r.Exec(sql)
+	if err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+	return res
+}
+
+func TestNewRequiresShards(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New with zero shards succeeded")
+	}
+}
+
+func TestNamespaceRoutingIsolatesNamespaces(t *testing.T) {
+	r, srvs := newServerRouter(t, Config{}, 4)
+	// Each namespace's tables must land wholly on one shard.
+	for ns := 0; ns < 8; ns++ {
+		exec(t, r, fmt.Sprintf("CREATE TABLE S%d_T (A INT)", ns))
+		exec(t, r, fmt.Sprintf("INSERT INTO S%d_T VALUES (%d)", ns, ns))
+		res := exec(t, r, fmt.Sprintf("SELECT A FROM S%d_T", ns))
+		if len(res.Rows) != 1 || res.Rows[0][0].I != int64(ns) {
+			t.Fatalf("namespace %d: %v", ns, res.Rows)
+		}
+	}
+	// Every table lives on exactly one backend.
+	for ns := 0; ns < 8; ns++ {
+		owners := 0
+		for _, s := range srvs {
+			if _, _, err := s.Exec(fmt.Sprintf("SELECT A FROM S%d_T", ns)); err == nil {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Errorf("namespace %d on %d shards, want 1", ns, owners)
+		}
+	}
+}
+
+func TestNamespaceCrossShardRejected(t *testing.T) {
+	r, _ := newServerRouter(t, Config{}, 2)
+	// Find two namespaces hashing to different shards.
+	a, b := "", ""
+	for i := 0; i < 32 && b == ""; i++ {
+		ns := fmt.Sprintf("N%d_", i)
+		if a == "" {
+			a = ns
+			continue
+		}
+		if r.shardOfNamespace(ns) != r.shardOfNamespace(a) {
+			b = ns
+		}
+	}
+	if b == "" {
+		t.Fatal("no namespace pair split across 2 shards in 32 tries")
+	}
+	exec(t, r, "CREATE TABLE "+a+"T (A INT)")
+	exec(t, r, "CREATE TABLE "+b+"T (A INT)")
+	_, _, err := r.Exec("SELECT * FROM " + a + "T, " + b + "T")
+	if err == nil || !strings.Contains(err.Error(), "cross-shard") {
+		t.Fatalf("cross-namespace join: %v", err)
+	}
+}
+
+func setupBanded(t *testing.T, r *Router, rows int) {
+	t.Helper()
+	exec(t, r, "CREATE TABLE T (W INT, A INT)")
+	exec(t, r, "CREATE TABLE R (K INT, V INT)")
+	for i := 0; i < rows; i++ {
+		exec(t, r, fmt.Sprintf("INSERT INTO T VALUES (%d, %d)", i, i*10))
+	}
+}
+
+func TestBandRoutingPartitionsRows(t *testing.T) {
+	r, srvs := newServerRouter(t, bandCfg(), 3)
+	setupBanded(t, r, 9)
+	// DDL broadcast: the table exists on every shard; rows split by W%3.
+	for i, s := range srvs {
+		res, _, err := s.Exec("SELECT W FROM T")
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if len(res.Rows) != 3 {
+			t.Errorf("shard %d holds %d rows, want 3", i, len(res.Rows))
+		}
+		for _, row := range res.Rows {
+			if int(row[0].I)%3 != i {
+				t.Errorf("shard %d holds band %d", i, row[0].I)
+			}
+		}
+	}
+	// A band-equality read routes to one shard and sees only that band.
+	res := exec(t, r, "SELECT A FROM T WHERE W = 4")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 40 {
+		t.Fatalf("band read: %v", res.Rows)
+	}
+}
+
+func TestScatterMergeOrderLimitDistinct(t *testing.T) {
+	r, _ := newServerRouter(t, bandCfg(), 3)
+	setupBanded(t, r, 9)
+	res := exec(t, r, "SELECT A FROM T ORDER BY A DESC LIMIT 4")
+	want := []int64{80, 70, 60, 50}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	for i, w := range want {
+		if res.Rows[i][0].I != w {
+			t.Fatalf("row %d = %v, want %d", i, res.Rows[i][0], w)
+		}
+	}
+	exec(t, r, "INSERT INTO T VALUES (9, 10)") // duplicate A=10 on another shard
+	res = exec(t, r, "SELECT DISTINCT A FROM T WHERE A = 10")
+	if len(res.Rows) != 1 {
+		t.Fatalf("DISTINCT across shards kept %d rows", len(res.Rows))
+	}
+}
+
+func TestScatterAggregates(t *testing.T) {
+	r, _ := newServerRouter(t, bandCfg(), 3)
+	setupBanded(t, r, 9)
+	res := exec(t, r, "SELECT COUNT(*) AS N, SUM(A) AS S, MIN(A) AS LO, MAX(A) AS HI FROM T")
+	row := res.Rows[0]
+	if row[0].I != 9 || row[1].I != 360 || row[2].I != 0 || row[3].I != 80 {
+		t.Fatalf("aggregates: %v", row)
+	}
+	if _, _, err := r.Exec("SELECT W, COUNT(*) FROM T GROUP BY W"); err == nil ||
+		!strings.Contains(err.Error(), "GROUP BY") {
+		t.Fatalf("cross-shard GROUP BY: %v", err)
+	}
+	// With a band predicate GROUP BY routes to one shard and works.
+	res = exec(t, r, "SELECT W, COUNT(*) AS N FROM T WHERE W = 3 GROUP BY W")
+	if len(res.Rows) != 1 || res.Rows[0][1].I != 1 {
+		t.Fatalf("single-shard GROUP BY: %v", res.Rows)
+	}
+}
+
+func TestScatterSkipsNoShardsWhenEmpty(t *testing.T) {
+	// Edge case: shards holding no rows for the table contribute empty
+	// fragments — the merge must not invent rows or NULLed aggregates.
+	r, _ := newServerRouter(t, bandCfg(), 4)
+	exec(t, r, "CREATE TABLE T (W INT, A INT)")
+	exec(t, r, "INSERT INTO T VALUES (1, 7)") // only shard 1 has a row
+	res := exec(t, r, "SELECT A FROM T")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 7 {
+		t.Fatalf("scatter over mostly-empty shards: %v", res.Rows)
+	}
+	res = exec(t, r, "SELECT COUNT(*) AS N, SUM(A) AS S, MIN(A) AS LO FROM T")
+	row := res.Rows[0]
+	if row[0].I != 1 || row[1].I != 7 || row[2].I != 7 {
+		t.Fatalf("aggregates over empty fragments: %v", row)
+	}
+	// Entirely empty table: COUNT sums the per-shard zeros; SUM is NULL
+	// everywhere and stays NULL.
+	exec(t, r, "DELETE FROM T")
+	res = exec(t, r, "SELECT COUNT(*) AS N, SUM(A) AS S FROM T")
+	row = res.Rows[0]
+	if row[0].I != 0 || !row[1].IsNull() {
+		t.Fatalf("aggregates over empty table: %v", row)
+	}
+}
+
+func TestReplicatedTableBroadcastsWrites(t *testing.T) {
+	r, srvs := newServerRouter(t, bandCfg(), 3)
+	setupBanded(t, r, 0)
+	res := exec(t, r, "INSERT INTO R VALUES (1, 100)")
+	// Replicated writes apply everywhere but report one logical row.
+	if res.Affected != 3 {
+		t.Logf("replicated insert affected=%d (sums shard counts)", res.Affected)
+	}
+	for i, s := range srvs {
+		rr, _, err := s.Exec("SELECT V FROM R WHERE K = 1")
+		if err != nil || len(rr.Rows) != 1 {
+			t.Fatalf("shard %d replica of R: %v %v", i, rr, err)
+		}
+	}
+	// Reads of a replicated table pin to one shard (no fan-out needed).
+	rr := exec(t, r, "SELECT V FROM R WHERE K = 1")
+	if len(rr.Rows) != 1 || rr.Rows[0][0].I != 100 {
+		t.Fatalf("replicated read: %v", rr.Rows)
+	}
+}
+
+func TestBandFreeWriteBroadcastsAndSumsAffected(t *testing.T) {
+	r, _ := newServerRouter(t, bandCfg(), 3)
+	setupBanded(t, r, 9)
+	res := exec(t, r, "UPDATE T SET A = A + 1")
+	if res.Affected != 9 {
+		t.Fatalf("band-free UPDATE affected %d, want 9", res.Affected)
+	}
+	res = exec(t, r, "DELETE FROM T WHERE A > 100")
+	if res.Affected != 0 {
+		t.Fatalf("delete affected %d", res.Affected)
+	}
+}
+
+func TestTransactionLazyJoinAndRollback(t *testing.T) {
+	r, _ := newServerRouter(t, bandCfg(), 3)
+	setupBanded(t, r, 3)
+	s := r.NewSession()
+	defer s.Close()
+	mustOK := func(sql string) *engine.Result {
+		t.Helper()
+		res, _, err := s.Exec(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		return res
+	}
+	res := mustOK("BEGIN TRANSACTION")
+	if res.Kind != engine.ResultDDL {
+		t.Fatalf("BEGIN kind %v", res.Kind)
+	}
+	mustOK("INSERT INTO T VALUES (6, 60)") // shard 0
+	mustOK("INSERT INTO T VALUES (7, 70)") // shard 1
+	// Nested BEGIN surfaces the engine's own error from a joined shard.
+	if _, _, err := s.Exec("BEGIN TRANSACTION"); err == nil ||
+		!strings.Contains(err.Error(), "already in progress") {
+		t.Fatalf("nested BEGIN: %v", err)
+	}
+	mustOK("ROLLBACK")
+	// Both shards rolled back; another session sees neither row.
+	if res := exec(t, r, "SELECT COUNT(*) AS N FROM T WHERE A >= 60"); res.Rows[0][0].I != 0 {
+		t.Fatalf("rollback left rows: %v", res.Rows)
+	}
+	// COMMIT path.
+	mustOK("BEGIN TRANSACTION")
+	mustOK("INSERT INTO T VALUES (6, 60)")
+	mustOK("INSERT INTO T VALUES (7, 70)")
+	mustOK("COMMIT")
+	if res := exec(t, r, "SELECT COUNT(*) AS N FROM T WHERE A >= 60"); res.Rows[0][0].I != 2 {
+		t.Fatalf("commit lost rows: %v", res.Rows)
+	}
+	// COMMIT without a transaction forwards the engine's authentic error.
+	if _, _, err := s.Exec("COMMIT"); err == nil {
+		t.Fatal("COMMIT outside txn succeeded")
+	}
+}
+
+func TestTransactionIsolationAcrossSessions(t *testing.T) {
+	r, _ := newServerRouter(t, bandCfg(), 2)
+	setupBanded(t, r, 2)
+	s1, s2 := r.NewSession(), r.NewSession()
+	defer s1.Close()
+	defer s2.Close()
+	if _, _, err := s1.Exec("BEGIN TRANSACTION"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s1.Exec("INSERT INTO T VALUES (4, 40)"); err != nil {
+		t.Fatal(err)
+	}
+	// s2 sees the committed state only.
+	res, _, err := s2.Exec("SELECT COUNT(*) AS N FROM T")
+	if err != nil || res.Rows[0][0].I != 2 {
+		t.Fatalf("dirty read across sessions: %v %v", res, err)
+	}
+	if _, _, err := s1.Exec("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err = s2.Exec("SELECT COUNT(*) AS N FROM T")
+	if err != nil || res.Rows[0][0].I != 3 {
+		t.Fatalf("after commit: %v %v", res, err)
+	}
+}
+
+func TestPreparedRoutesByArguments(t *testing.T) {
+	r, srvs := newServerRouter(t, bandCfg(), 3)
+	setupBanded(t, r, 0)
+	ins, err := r.Prepare("INSERT INTO T VALUES (?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ins.Close()
+	for i := 0; i < 6; i++ {
+		if _, _, err := ins.Exec(types.NewInt(int64(i)), types.NewInt(int64(i*10))); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	for i, s := range srvs {
+		res, _, err := s.Exec("SELECT W FROM T")
+		if err != nil || len(res.Rows) != 2 {
+			t.Fatalf("shard %d: %v %v", i, res, err)
+		}
+	}
+	sel, err := r.Prepare("SELECT A FROM T WHERE W = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sel.Close()
+	res, _, err := sel.Exec(types.NewInt(4))
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].I != 40 {
+		t.Fatalf("prepared band read: %v %v", res, err)
+	}
+	// Wrong arity reports a bind error, like the engine.
+	if _, _, err := sel.Exec(); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestMultiRowInsertSpanningShardsRejected(t *testing.T) {
+	r, _ := newServerRouter(t, bandCfg(), 2)
+	setupBanded(t, r, 0)
+	if _, _, err := r.Exec("INSERT INTO T VALUES (0, 1), (1, 2)"); err == nil ||
+		!strings.Contains(err.Error(), "spans shards") {
+		t.Fatalf("spanning insert: %v", err)
+	}
+	// Same-band multi-row inserts are fine.
+	exec(t, r, "INSERT INTO T VALUES (0, 1), (2, 2)")
+}
+
+func TestQuarantinedReplicaInsideOneShardDuringCrossShardRead(t *testing.T) {
+	// Edge case: a quarantined replica inside one shard must not poison
+	// a scatter-gather read — that shard's remaining replicas adjudicate
+	// its fragment, the other shards are untouched.
+	newShard := func(faults []fault.Fault) *middleware.DiverseServer {
+		t.Helper()
+		var srvs []*server.Server
+		for _, n := range []dialect.ServerName{dialect.PG, dialect.OR, dialect.MS} {
+			s, err := server.New(n, faults)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srvs = append(srvs, s)
+		}
+		cfg := middleware.DefaultConfig()
+		cfg.AutoResync = false // keep the outvoted replica quarantined
+		cfg.IdleRejoin = false
+		d, err := middleware.New(cfg, srvs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	faulty := []fault.Fault{{
+		BugID:   "wrong",
+		Server:  dialect.PG,
+		Trigger: fault.Trigger{Table: "T", Flag: ast.FlagSelect},
+		Effect:  fault.Effect{Kind: fault.EffectMutateResult, Mutation: fault.MutOffByOne},
+	}}
+	shard0, shard1 := newShard(faulty), newShard(nil)
+	r, err := New(bandCfg(), shard0, shard1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec(t, r, "CREATE TABLE T (W INT, A INT)")
+	exec(t, r, "INSERT INTO T VALUES (0, 10)")
+	exec(t, r, "INSERT INTO T VALUES (1, 20)")
+	// Trigger the fault inside shard 0 until PG is outvoted into
+	// quarantine, then run the cross-shard read of record.
+	for i := 0; i < 3 && len(shard0.QuarantinedReplicas()) == 0; i++ {
+		exec(t, r, "SELECT A FROM T ORDER BY A")
+	}
+	if got := shard0.QuarantinedReplicas(); len(got) != 1 || got[0] != "PG" {
+		t.Fatalf("shard0 quarantine: %v", got)
+	}
+	res := exec(t, r, "SELECT A FROM T ORDER BY A")
+	if len(res.Rows) != 2 || res.Rows[0][0].I != 10 || res.Rows[1][0].I != 20 {
+		t.Fatalf("cross-shard read with quarantined replica: %v", res.Rows)
+	}
+	if m := shard1.Metrics(); m.MaskedFailures != 0 || m.DetectedSplits != 0 {
+		t.Errorf("healthy shard saw divergence: %+v", m)
+	}
+	// Introspection reflects the quarantine.
+	sts := r.Status()
+	if len(sts[0].Quarantined) != 1 || len(sts[1].Quarantined) != 0 {
+		t.Errorf("Status quarantine: %+v", sts)
+	}
+	if txt := r.DescribeText(); !strings.Contains(txt, "PG (quarantined)") {
+		t.Errorf("DescribeText: %q", txt)
+	}
+}
+
+func TestShardLabeledCollectorsDoNotCollide(t *testing.T) {
+	// Satellite: two shards' middleware families (for example
+	// divsql_middleware_last_resync_seq) carry no distinguishing labels
+	// of their own; the router must shard-qualify them so one registry
+	// renders both without collision.
+	newShard := func() *middleware.DiverseServer {
+		t.Helper()
+		var srvs []*server.Server
+		for _, n := range []dialect.ServerName{dialect.PG, dialect.OR} {
+			s, err := server.New(n, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srvs = append(srvs, s)
+		}
+		d, err := middleware.New(middleware.DefaultConfig(), srvs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	r, err := New(Config{}, newShard(), newShard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec(t, r, "CREATE TABLE A_T (A INT)")
+	exec(t, r, "INSERT INTO A_T VALUES (1)")
+	reg := obs.NewRegistry()
+	reg.Register(r.MetricsCollectors()...)
+	out := reg.Render()
+	for _, want := range []string{
+		`divsql_middleware_last_resync_seq{shard="shard0"}`,
+		`divsql_middleware_last_resync_seq{shard="shard1"}`,
+		`divsql_middleware_replica_quarantined{replica="PG",shard="shard0"}`,
+		`divsql_middleware_replica_quarantined{replica="PG",shard="shard1"}`,
+		`divsql_shard_statements_total`,
+		`divsql_shard_routed_statements_total{shard="shard0"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %s", want)
+		}
+	}
+	if n := strings.Count(out, "# TYPE divsql_middleware_last_resync_seq"); n != 1 {
+		t.Errorf("family header repeated %d times", n)
+	}
+}
+
+func TestRoutedStatementsCounterCovers(t *testing.T) {
+	r, _ := newServerRouter(t, bandCfg(), 2)
+	setupBanded(t, r, 4)
+	m := &r.metrics
+	if m.statements.Load() == 0 || m.single.Load() == 0 || m.broadcast.Load() == 0 {
+		t.Fatalf("counters: statements=%d single=%d broadcast=%d",
+			m.statements.Load(), m.single.Load(), m.broadcast.Load())
+	}
+	before := m.scatter.Load()
+	exec(t, r, "SELECT COUNT(*) AS N FROM T")
+	if m.scatter.Load() != before+1 {
+		t.Errorf("scatter counter did not advance")
+	}
+	if _, _, err := r.Exec("INSERT INTO T VALUES (0, 1), (1, 2)"); err == nil {
+		t.Fatal("expected rejection")
+	}
+	if m.rejected.Load() == 0 {
+		t.Errorf("rejected counter did not advance")
+	}
+}

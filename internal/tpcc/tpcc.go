@@ -52,6 +52,24 @@ func (c Config) Validate() error {
 // Setup creates and populates the schema through the executor. All
 // column types belong to the common dialect subset (dates are stored as
 // ISO strings because the four dialects disagree on date type names).
+// BandColumns maps each TPC-C table to its warehouse-id column — the
+// partitioning key a shard router splits the workload on. Every
+// transaction profile's predicates carry the warehouse id, so a sharded
+// deployment routes each statement to one shard. ITEM is deliberately
+// absent: it has no warehouse affinity and replicates to every shard.
+func BandColumns() map[string]string {
+	return map[string]string{
+		"WAREHOUSE":  "W_ID",
+		"DISTRICT":   "D_W_ID",
+		"CUSTOMER":   "C_W_ID",
+		"STOCK":      "S_W_ID",
+		"ORDERS":     "O_W_ID",
+		"ORDER_LINE": "OL_W_ID",
+		"NEW_ORDER":  "NO_W_ID",
+		"HISTORY":    "H_W_ID",
+	}
+}
+
 func Setup(exec core.Executor, cfg Config) error {
 	if err := cfg.Validate(); err != nil {
 		return err

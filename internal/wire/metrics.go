@@ -27,7 +27,10 @@ import (
 
 // frameKinds is the fixed label set of the request counters and latency
 // histograms. Unrecognized commands are counted under "other".
-var frameKinds = []string{"EXEC", "PREPARE", "BIND", "CLOSE", "PING", "METRICS", "QUIT", "other"}
+var frameKinds = []string{
+	"EXEC", "PREPARE", "BIND", "CLOSE", "PING", "METRICS", "QUIT",
+	"BATCH", "SESSION", "DETACH", "SHARDS", "other",
+}
 
 // frameStats is one frame type's instruments.
 type frameStats struct {

@@ -1,0 +1,308 @@
+// Client-side session multiplexing: a Mux is one TCP connection
+// carrying many concurrent sessions. Every request travels tagged; a
+// demultiplexing reader goroutine matches responses (which complete out
+// of order across sessions) back to their callers. This is how a pool
+// of application threads shares a handful of connections instead of one
+// connection each.
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"divsql/internal/sql/types"
+)
+
+// muxResp is one decoded response delivered to a waiting caller.
+type muxResp struct {
+	res  *Result // EXEC/BIND/CLOSE/DETACH-style responses
+	line string  // single-line responses (STMT, SESS)
+	err  error
+}
+
+// Mux is a multiplexed client connection: any number of sessions, each
+// its own transaction scope, over one TCP connection. All methods are
+// safe for concurrent use.
+type Mux struct {
+	conn net.Conn
+
+	wmu     sync.Mutex // serializes request writes
+	mu      sync.Mutex // guards pending, nextTag, closed, readErr
+	pending map[string]chan muxResp
+	nextTag uint64
+	closed  bool
+	readErr error
+}
+
+// DialMux connects a multiplexed client.
+func DialMux(addr string) (*Mux, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("wire dial: %w", err)
+	}
+	m := &Mux{conn: conn, pending: make(map[string]chan muxResp)}
+	go m.readLoop()
+	return m, nil
+}
+
+// register allocates a tag and its response channel.
+func (m *Mux) register() (string, chan muxResp, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return "", nil, errors.New("wire: mux is closed")
+	}
+	if m.readErr != nil {
+		return "", nil, m.readErr
+	}
+	m.nextTag++
+	tag := fmt.Sprintf("@%d", m.nextTag)
+	ch := make(chan muxResp, 1)
+	m.pending[tag] = ch
+	return tag, ch, nil
+}
+
+// roundTrip sends one tagged request line and waits for its response.
+func (m *Mux) roundTrip(line string) (muxResp, error) {
+	tag, ch, err := m.register()
+	if err != nil {
+		return muxResp{}, err
+	}
+	m.wmu.Lock()
+	_, err = fmt.Fprintf(m.conn, "%s %s\n", tag, line)
+	m.wmu.Unlock()
+	if err != nil {
+		m.mu.Lock()
+		delete(m.pending, tag)
+		m.mu.Unlock()
+		return muxResp{}, fmt.Errorf("wire send: %w", err)
+	}
+	return <-ch, nil
+}
+
+// readLoop is the demultiplexer: it decodes complete responses and
+// delivers each to the caller waiting on its tag. A read error fails
+// every pending and future call.
+func (m *Mux) readLoop() {
+	rd := newMuxReader(m.conn)
+	for {
+		tag, resp, err := rd.next()
+		if err != nil {
+			m.mu.Lock()
+			m.readErr = err
+			for t, ch := range m.pending {
+				ch <- muxResp{err: err}
+				delete(m.pending, t)
+			}
+			m.mu.Unlock()
+			return
+		}
+		m.mu.Lock()
+		ch, ok := m.pending[tag]
+		delete(m.pending, tag)
+		m.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+// muxReader decodes complete tagged responses off the socket.
+type muxReader struct {
+	rd *bufio.Reader
+}
+
+func newMuxReader(conn net.Conn) *muxReader {
+	return &muxReader{rd: bufio.NewReader(conn)}
+}
+
+// next reads one response: its tag, and either a decoded Result, an
+// application error, or a single-line response (STMT/SESS). The error
+// return is the transport failing — it ends the mux.
+func (r *muxReader) next() (string, muxResp, error) {
+	head, err := r.rd.ReadString('\n')
+	if err != nil {
+		return "", muxResp{}, fmt.Errorf("wire recv: %w", err)
+	}
+	head = strings.TrimRight(head, "\r\n")
+	var tag string
+	if strings.HasPrefix(head, "@") {
+		if i := strings.IndexByte(head, ' '); i > 1 {
+			tag, head = head[:i], head[i+1:]
+		}
+	}
+	switch {
+	case strings.HasPrefix(head, "ERR "):
+		return tag, muxResp{err: errors.New(strings.TrimPrefix(head, "ERR "))}, nil
+	case strings.HasPrefix(head, "OK "):
+		var ncols, nrows int
+		var latUS, affected int64
+		if _, err := fmt.Sscanf(head, "OK %d %d %d %d", &ncols, &nrows, &latUS, &affected); err != nil {
+			if _, err := fmt.Sscanf(head, "OK %d %d %d", &ncols, &nrows, &latUS); err != nil {
+				return tag, muxResp{}, fmt.Errorf("wire: malformed response %q", head)
+			}
+		}
+		res := &Result{Latency: time.Duration(latUS) * time.Microsecond, Affected: affected}
+		if err := readResultBody(r.rd, res, ncols, nrows); err != nil {
+			return tag, muxResp{}, err
+		}
+		return tag, muxResp{res: res}, nil
+	case strings.HasPrefix(head, "STMT ") || strings.HasPrefix(head, "SESS "):
+		return tag, muxResp{line: head}, nil
+	default:
+		return tag, muxResp{}, fmt.Errorf("wire: unexpected response %q", head)
+	}
+}
+
+// Close closes the connection, failing any in-flight calls.
+func (m *Mux) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.wmu.Lock()
+	_, _ = fmt.Fprint(m.conn, "QUIT\n")
+	m.wmu.Unlock()
+	return m.conn.Close()
+}
+
+// Session opens one multiplexed session: its own transaction scope and
+// prepared-statement table on the server, sharing this Mux's TCP
+// connection with every other session.
+func (m *Mux) Session() (*MuxSession, error) {
+	resp, err := m.roundTrip("SESSION")
+	if err != nil {
+		return nil, err
+	}
+	if resp.err != nil {
+		return nil, resp.err
+	}
+	var sid int
+	if _, err := fmt.Sscanf(resp.line, "SESS %d", &sid); err != nil {
+		return nil, fmt.Errorf("wire: malformed SESSION response %q", resp.line)
+	}
+	return &MuxSession{m: m, sid: sid}, nil
+}
+
+// MuxSession is one session of a Mux. Its Exec/Prepare calls may
+// interleave with other sessions' on the wire; within the session they
+// execute in order.
+type MuxSession struct {
+	m      *Mux
+	sid    int
+	mu     sync.Mutex
+	nextID int
+	closed bool
+}
+
+// Exec executes one statement in this session.
+func (s *MuxSession) Exec(sql string) (*Result, error) {
+	flat := strings.ReplaceAll(strings.ReplaceAll(sql, "\r", " "), "\n", " ")
+	resp, err := s.m.roundTrip(fmt.Sprintf("#%d EXEC %s", s.sid, flat))
+	if err != nil {
+		return nil, err
+	}
+	return resp.res, resp.err
+}
+
+// Close detaches the session server-side, rolling back its open
+// transaction. The Mux connection stays up for the other sessions.
+func (s *MuxSession) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	resp, err := s.m.roundTrip(fmt.Sprintf("DETACH %d", s.sid))
+	if err != nil {
+		return err
+	}
+	return resp.err
+}
+
+// Prepare prepares a statement in this session.
+func (s *MuxSession) Prepare(sql string) (*MuxStmt, error) {
+	s.mu.Lock()
+	s.nextID++
+	name := fmt.Sprintf("m%d_%d", s.sid, s.nextID)
+	s.mu.Unlock()
+	flat := strings.ReplaceAll(strings.ReplaceAll(sql, "\r", " "), "\n", " ")
+	resp, err := s.m.roundTrip(fmt.Sprintf("#%d PREPARE %s %s", s.sid, name, flat))
+	if err != nil {
+		return nil, err
+	}
+	if resp.err != nil {
+		return nil, resp.err
+	}
+	var gotName string
+	var nparams int
+	if _, err := fmt.Sscanf(resp.line, "STMT %s %d", &gotName, &nparams); err != nil || gotName != name {
+		return nil, fmt.Errorf("wire: malformed PREPARE response %q", resp.line)
+	}
+	return &MuxStmt{s: s, name: name, sql: sql, nparams: nparams}, nil
+}
+
+// MuxStmt is a prepared statement of one MuxSession.
+type MuxStmt struct {
+	s       *MuxSession
+	name    string
+	sql     string
+	nparams int
+	mu      sync.Mutex
+	closed  bool
+}
+
+// SQL returns the statement text as prepared.
+func (st *MuxStmt) SQL() string { return st.sql }
+
+// NumParams reports how many arguments Exec expects.
+func (st *MuxStmt) NumParams() int { return st.nparams }
+
+// Exec executes the prepared statement with typed arguments.
+func (st *MuxStmt) Exec(args ...types.Value) (*Result, error) {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil, errors.New("wire: statement is closed")
+	}
+	st.mu.Unlock()
+	enc := make([]string, len(args))
+	for i, v := range args {
+		enc[i] = v.Encode()
+	}
+	req := fmt.Sprintf("#%d BIND %s", st.s.sid, st.name)
+	if len(enc) > 0 {
+		req += " " + strings.Join(enc, "\t")
+	}
+	resp, err := st.s.m.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	return resp.res, resp.err
+}
+
+// Close deallocates the server-side statement.
+func (st *MuxStmt) Close() error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil
+	}
+	st.closed = true
+	st.mu.Unlock()
+	resp, err := st.s.m.roundTrip(fmt.Sprintf("#%d CLOSE %s", st.s.sid, st.name))
+	if err != nil {
+		return err
+	}
+	return resp.err
+}

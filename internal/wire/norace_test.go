@@ -1,0 +1,6 @@
+//go:build !race
+
+package wire
+
+// raceEnabled: see race_test.go.
+const raceEnabled = false

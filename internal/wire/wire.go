@@ -13,14 +13,19 @@
 // Protocol (text, one request per line):
 //
 //	C: EXEC <sql>\n            (the SQL must not contain newlines)
-//	S: OK <ncols> <nrows> <latency_us>\n
+//	S: OK <ncols> <nrows> <latency_us> <affected>\n
 //	   <tab-separated column names>\n     (only when ncols > 0)
 //	   <tab-separated row values>\n x nrows
 //	   .\n
 //	or
 //	S: ERR <message>\n
 //
-// Prepared statements (per connection, so statement scope = session
+// The fourth OK field is the statement's affected-row count
+// (INSERT/UPDATE/DELETE). Older clients parse the first three fields
+// and ignore the rest; the current client tolerates three-field heads
+// from older servers.
+//
+// Prepared statements (per session, so statement scope = transaction
 // scope, as on a real server):
 //
 //	C: PREPARE <name> <sql>\n  (sql may contain ? or $n placeholders)
@@ -32,13 +37,51 @@
 //	   the arguments bound — there is no client-side interpolation)
 //
 //	C: CLOSE <name>\n
-//	S: OK 0 0 0\n.\n
+//	S: OK 0 0 0 0\n.\n
 //
-// Introspection (armed with ServeMetrics — see metrics.go):
+// # Tagged frames and pipelining
+//
+// Any request line may carry a tag prefix "@<tag> "; the first line of
+// its response is then prefixed "@<tag> " verbatim. Tags let a client
+// send many requests without waiting (pipelining) and match responses
+// that complete out of order.
+//
+//	C: BATCH <n>\n             (the next n lines are one pipelined batch)
+//	C: @1 EXEC <sql>\n
+//	C: @2 EXEC <sql>\n ...
+//	S: @1 OK ...\n...\n.\n @2 OK ...   (per-session order; tags identify)
+//
+// BATCH itself produces no response line; it groups n requests so the
+// server reads and dispatches them back to back. Pipelining works
+// without BATCH too — the envelope exists so one client flush carries
+// one burst end to end.
+//
+// # Session multiplexing
+//
+// By default a connection is one session (its transaction scope; a
+// dropped connection rolls back only its own open transaction). A
+// client can open further sessions over the same TCP connection and
+// route frames to them with a "#<sid> " prefix (after the tag, if any):
+//
+//	C: SESSION\n               S: SESS <sid>\n
+//	C: #<sid> EXEC <sql>\n     S: the session's response
+//	C: DETACH <sid>\n          S: OK 0 0 0 0\n.\n  (rolls back, releases)
+//
+// Each session executes its frames in order on its own worker, so
+// sessions of one connection proceed concurrently — fewer TCP
+// connections carry the same number of independent transaction scopes.
+// Closing the connection closes every session it opened, rolling back
+// exactly their open transactions.
+//
+// Introspection (armed with ServeMetrics / ServeShards):
 //
 //	C: METRICS\n
 //	S: MET <nbytes>\n<nbytes bytes of Prometheus exposition>.\n
 //	or ERR metrics not enabled\n
+//
+//	C: SHARDS\n
+//	S: SHARDS <nbytes>\n<nbytes bytes of shard status text>.\n
+//	or ERR not a sharded deployment\n
 //
 // BIND arguments use the types.Value kind-tagged encoding ("I:42",
 // "F:1.5", "S:text", "B:1", "D:2026-01-01", "N" for NULL; payload tabs
@@ -49,6 +92,7 @@ package wire
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -81,6 +125,23 @@ type Server struct {
 	wg         sync.WaitGroup
 	closed     bool
 	metricsReg *obs.Registry // answers the METRICS frame; nil = disabled
+	shardsFn   func() string // answers the SHARDS frame; nil = disabled
+}
+
+// ServeShards arms the SHARDS introspection frame with a status
+// renderer (a sharded deployment's per-shard replica/quarantine state).
+// Call before Listen; nil (the default) answers SHARDS with an error.
+func (s *Server) ServeShards(fn func() string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shardsFn = fn
+}
+
+// shardsFunc reads the armed shard-status renderer.
+func (s *Server) shardsFunc() func() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shardsFn
 }
 
 // NewServer wraps an executor.
@@ -123,6 +184,129 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
+// wireConn is one TCP connection's server-side state: a table of
+// multiplexed sessions (sid 0 is the connection's implicit root
+// session) and the write mutex serializing their responses onto the
+// socket. Each session executes its frames in order on its own worker
+// goroutine; responses are rendered to a private buffer and written
+// atomically, so interleaved sessions never interleave bytes.
+type wireConn struct {
+	s    *Server
+	conn countingConn
+
+	wmu sync.Mutex // serializes whole-response writes
+
+	sessions map[int]*wireSession // touched only by the reader goroutine
+	nextSID  int
+	wg       sync.WaitGroup
+}
+
+// wireSession is one multiplexed session: its executor (a core.Session
+// when the endpoint supports them), its prepared-statement table and
+// its frame queue.
+type wireSession struct {
+	id    int
+	exec  core.Executor
+	sess  core.Session // closed on teardown; nil for sessionless endpoints
+	stmts map[string]core.Statement
+	ch    chan wireReq
+}
+
+// wireReq is one queued frame.
+type wireReq struct {
+	tag     string // includes the leading '@'; "" when untagged
+	frame   string // EXEC, PREPARE, BIND, CLOSE
+	payload string
+	start   time.Time
+	detach  bool // close the session after replying
+}
+
+// newSession opens one multiplexed session and starts its worker.
+func (wc *wireConn) newSession() *wireSession {
+	ws := &wireSession{
+		id:    wc.nextSID,
+		exec:  wc.s.exec,
+		stmts: make(map[string]core.Statement),
+		ch:    make(chan wireReq, 64),
+	}
+	wc.nextSID++
+	if se, ok := wc.s.exec.(core.SessionExecutor); ok {
+		ws.sess = se.OpenSession()
+		ws.exec = ws.sess
+	}
+	wc.sessions[ws.id] = ws
+	wc.wg.Add(1)
+	go wc.worker(ws)
+	return ws
+}
+
+// write sends one complete response atomically.
+func (wc *wireConn) write(b []byte) {
+	wc.wmu.Lock()
+	_, _ = wc.conn.Write(b)
+	wc.wmu.Unlock()
+}
+
+// writeTagged sends one complete response, prefixing the tag onto its
+// first line.
+func (wc *wireConn) writeTagged(tag, resp string) {
+	if tag != "" {
+		resp = tag + " " + resp
+	}
+	wc.write([]byte(resp))
+}
+
+// worker drains one session's frame queue. Exiting — channel closed on
+// connection teardown, or a DETACH frame — rolls back the session's
+// open transaction and releases its prepared statements, touching no
+// other session.
+func (wc *wireConn) worker(ws *wireSession) {
+	defer wc.wg.Done()
+	defer func() {
+		for _, st := range ws.stmts {
+			_ = st.Close()
+		}
+		if ws.sess != nil {
+			_ = ws.sess.Close()
+		}
+	}()
+	var buf bytes.Buffer
+	for req := range ws.ch {
+		buf.Reset()
+		if req.tag != "" {
+			buf.WriteString(req.tag)
+			buf.WriteByte(' ')
+		}
+		frame := req.frame
+		switch {
+		case req.detach:
+			frame = "DETACH"
+			buf.WriteString("OK 0 0 0 0\n.\n")
+		case req.frame == "EXEC":
+			handleExec(ws.exec, &buf, req.payload)
+		case req.frame == "PREPARE":
+			handlePrepare(ws.exec, &buf, ws.stmts, req.payload)
+		case req.frame == "BIND":
+			handleBind(&buf, ws.stmts, req.payload)
+		case req.frame == "CLOSE":
+			name := strings.TrimSpace(req.payload)
+			if st, ok := ws.stmts[name]; ok {
+				_ = st.Close()
+				delete(ws.stmts, name)
+			}
+			buf.WriteString("OK 0 0 0 0\n.\n")
+		}
+		wc.write(buf.Bytes())
+		// The latency window is read-to-write: queueing, execution
+		// (adjudication included on a diverse endpoint) and response
+		// serialization.
+		wc.s.metrics.record(frame, time.Since(req.start))
+		if req.detach {
+			return
+		}
+	}
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	s.metrics.connsTotal.Inc()
@@ -134,80 +318,150 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	// One session per connection: the connection's transaction scope.
-	// Closing the session on exit rolls back an open transaction if the
-	// client disconnected mid-transaction — without touching any other
-	// connection's session.
-	exec := s.exec
-	if se, ok := s.exec.(core.SessionExecutor); ok {
-		sess := se.OpenSession()
-		defer func() { _ = sess.Close() }()
-		exec = sess
+	wc := &wireConn{
+		s:        s,
+		conn:     countingConn{Conn: conn, m: s.metrics},
+		sessions: make(map[int]*wireSession),
 	}
-	// stmts is the connection's prepared-statement table: statements live
-	// exactly as long as the connection (= the session), like on a real
-	// server. Closing the connection releases them with the session.
-	stmts := make(map[string]core.Statement)
-	cc := countingConn{Conn: conn, m: s.metrics}
-	rd := bufio.NewReader(cc)
-	wr := bufio.NewWriter(cc)
+	// sid 0 is the connection's root session: untagged unprefixed frames
+	// behave exactly as before multiplexing existed.
+	wc.newSession()
+	// Teardown closes every session the connection opened — each worker
+	// drains its queue, then rolls back its own open transaction. A
+	// connection dropped mid-batch therefore aborts exactly its own
+	// sessions' transactions.
+	defer func() {
+		for _, ws := range wc.sessions {
+			close(ws.ch)
+		}
+		wc.wg.Wait()
+	}()
+	rd := bufio.NewReader(wc.conn)
 	for {
 		line, err := rd.ReadString('\n')
 		if err != nil {
 			return
 		}
 		line = strings.TrimRight(line, "\r\n")
-		// The latency window is read-to-flush: it covers dispatch,
-		// execution (adjudication included on a diverse endpoint) and
-		// response serialization.
-		start := time.Now()
-		frame := "other"
-		switch {
-		case strings.HasPrefix(line, "EXEC "):
-			frame = "EXEC"
-			handleExec(exec, wr, strings.TrimPrefix(line, "EXEC "))
-		case strings.HasPrefix(line, "PREPARE "):
-			frame = "PREPARE"
-			handlePrepare(exec, wr, stmts, strings.TrimPrefix(line, "PREPARE "))
-		case strings.HasPrefix(line, "BIND "):
-			frame = "BIND"
-			handleBind(wr, stmts, strings.TrimPrefix(line, "BIND "))
-		case strings.HasPrefix(line, "CLOSE "):
-			frame = "CLOSE"
-			name := strings.TrimSpace(strings.TrimPrefix(line, "CLOSE "))
-			if st, ok := stmts[name]; ok {
-				_ = st.Close()
-				delete(stmts, name)
+		if n, ok := batchHeader(line); ok {
+			s.metrics.record("BATCH", 0)
+			for i := 0; i < n; i++ {
+				bline, err := rd.ReadString('\n')
+				if err != nil {
+					return
+				}
+				if !wc.dispatch(strings.TrimRight(bline, "\r\n")) {
+					return
+				}
 			}
-			fmt.Fprint(wr, "OK 0 0 0\n.\n")
-		case line == "PING":
-			frame = "PING"
-			fmt.Fprint(wr, "OK 0 0 0\n.\n")
-		case line == "METRICS":
-			frame = "METRICS"
-			if reg := s.metricsRegistry(); reg != nil {
-				doc := reg.Render()
-				fmt.Fprintf(wr, "MET %d\n%s.\n", len(doc), doc)
-			} else {
-				fmt.Fprint(wr, "ERR metrics not enabled\n")
-			}
-		case line == "QUIT":
-			s.metrics.record("QUIT", time.Since(start))
-			_ = wr.Flush()
-			return
-		default:
-			fmt.Fprintf(wr, "ERR unknown command\n")
+			continue
 		}
-		flushErr := wr.Flush()
-		s.metrics.record(frame, time.Since(start))
-		if flushErr != nil {
+		if !wc.dispatch(line) {
 			return
 		}
 	}
 }
 
+// batchHeader parses a "BATCH <n>" envelope line.
+func batchHeader(line string) (int, bool) {
+	rest, ok := strings.CutPrefix(line, "BATCH ")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(rest))
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// dispatch services one request line: session frames are queued to
+// their session's worker, control frames are answered inline. It
+// returns false on QUIT.
+func (wc *wireConn) dispatch(line string) bool {
+	start := time.Now()
+	var tag string
+	if strings.HasPrefix(line, "@") {
+		i := strings.IndexByte(line, ' ')
+		if i <= 1 {
+			wc.write([]byte("ERR malformed tag prefix\n"))
+			return true
+		}
+		tag, line = line[:i], line[i+1:]
+	}
+	ws := wc.sessions[0]
+	if strings.HasPrefix(line, "#") {
+		i := strings.IndexByte(line, ' ')
+		if i <= 1 {
+			wc.writeTagged(tag, "ERR malformed session prefix\n")
+			return true
+		}
+		sid, err := strconv.Atoi(line[1:i])
+		target, ok := wc.sessions[sid]
+		if err != nil || !ok {
+			wc.writeTagged(tag, fmt.Sprintf("ERR unknown session %s\n", line[1:i]))
+			return true
+		}
+		ws, line = target, line[i+1:]
+	}
+	switch {
+	case strings.HasPrefix(line, "EXEC "):
+		ws.ch <- wireReq{tag: tag, frame: "EXEC", payload: line[len("EXEC "):], start: start}
+	case strings.HasPrefix(line, "PREPARE "):
+		ws.ch <- wireReq{tag: tag, frame: "PREPARE", payload: line[len("PREPARE "):], start: start}
+	case strings.HasPrefix(line, "BIND "):
+		ws.ch <- wireReq{tag: tag, frame: "BIND", payload: line[len("BIND "):], start: start}
+	case strings.HasPrefix(line, "CLOSE "):
+		ws.ch <- wireReq{tag: tag, frame: "CLOSE", payload: line[len("CLOSE "):], start: start}
+	case line == "SESSION":
+		ns := wc.newSession()
+		wc.writeTagged(tag, fmt.Sprintf("SESS %d\n", ns.id))
+		wc.s.metrics.record("SESSION", time.Since(start))
+	case strings.HasPrefix(line, "DETACH "):
+		sidTxt := strings.TrimSpace(line[len("DETACH "):])
+		sid, err := strconv.Atoi(sidTxt)
+		target, ok := wc.sessions[sid]
+		switch {
+		case err != nil || !ok:
+			wc.writeTagged(tag, fmt.Sprintf("ERR unknown session %s\n", sidTxt))
+		case sid == 0:
+			wc.writeTagged(tag, "ERR cannot detach the root session\n")
+		default:
+			// Remove first so no further frame can route to it, then let
+			// the worker finish its queue and answer the DETACH itself.
+			delete(wc.sessions, sid)
+			target.ch <- wireReq{tag: tag, start: start, detach: true}
+		}
+	case line == "PING":
+		wc.writeTagged(tag, "OK 0 0 0 0\n.\n")
+		wc.s.metrics.record("PING", time.Since(start))
+	case line == "METRICS":
+		if reg := wc.s.metricsRegistry(); reg != nil {
+			doc := reg.Render()
+			wc.writeTagged(tag, fmt.Sprintf("MET %d\n%s.\n", len(doc), doc))
+		} else {
+			wc.writeTagged(tag, "ERR metrics not enabled\n")
+		}
+		wc.s.metrics.record("METRICS", time.Since(start))
+	case line == "SHARDS":
+		if fn := wc.s.shardsFunc(); fn != nil {
+			doc := fn()
+			wc.writeTagged(tag, fmt.Sprintf("SHARDS %d\n%s.\n", len(doc), doc))
+		} else {
+			wc.writeTagged(tag, "ERR not a sharded deployment\n")
+		}
+		wc.s.metrics.record("SHARDS", time.Since(start))
+	case line == "QUIT":
+		wc.s.metrics.record("QUIT", time.Since(start))
+		return false
+	default:
+		wc.writeTagged(tag, "ERR unknown command\n")
+	}
+	return true
+}
+
 // handlePrepare services one PREPARE frame: "<name> <sql>".
-func handlePrepare(exec core.Executor, wr *bufio.Writer, stmts map[string]core.Statement, req string) {
+func handlePrepare(exec core.Executor, wr io.Writer, stmts map[string]core.Statement, req string) {
 	name, sql, ok := strings.Cut(req, " ")
 	if !ok || name == "" || strings.TrimSpace(sql) == "" {
 		fmt.Fprint(wr, "ERR malformed PREPARE (want: PREPARE <name> <sql>)\n")
@@ -233,7 +487,7 @@ func handlePrepare(exec core.Executor, wr *bufio.Writer, stmts map[string]core.S
 // handleBind services one BIND frame: "<name>[ <arg>\t<arg>...]" — it
 // executes the named prepared statement with the decoded typed
 // arguments and answers exactly like EXEC.
-func handleBind(wr *bufio.Writer, stmts map[string]core.Statement, req string) {
+func handleBind(wr io.Writer, stmts map[string]core.Statement, req string) {
 	name, rest, _ := strings.Cut(req, " ")
 	st, ok := stmts[strings.TrimSpace(name)]
 	if !ok {
@@ -255,22 +509,26 @@ func handleBind(wr *bufio.Writer, stmts map[string]core.Statement, req string) {
 	writeResult(wr, res, lat, err)
 }
 
-func handleExec(exec core.Executor, wr *bufio.Writer, sql string) {
+func handleExec(exec core.Executor, wr io.Writer, sql string) {
 	res, lat, err := exec.Exec(sql)
 	writeResult(wr, res, lat, err)
 }
 
 // writeResult renders one statement outcome in the EXEC response format.
-func writeResult(wr *bufio.Writer, res *engine.Result, lat time.Duration, err error) {
+func writeResult(wr io.Writer, res *engine.Result, lat time.Duration, err error) {
 	if err != nil {
 		fmt.Fprintf(wr, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
 		return
 	}
 	ncols, nrows := 0, 0
-	if res != nil && res.Kind == engine.ResultRows {
-		ncols, nrows = len(res.Columns), len(res.Rows)
+	var affected int64
+	if res != nil {
+		affected = res.Affected
+		if res.Kind == engine.ResultRows {
+			ncols, nrows = len(res.Columns), len(res.Rows)
+		}
 	}
-	fmt.Fprintf(wr, "OK %d %d %d\n", ncols, nrows, lat.Microseconds())
+	fmt.Fprintf(wr, "OK %d %d %d %d\n", ncols, nrows, lat.Microseconds(), affected)
 	if ncols > 0 {
 		fmt.Fprintln(wr, strings.Join(res.Columns, "\t"))
 		for _, row := range res.Rows {
@@ -317,6 +575,9 @@ type Result struct {
 	Columns []string
 	Rows    [][]types.Value
 	Latency time.Duration
+	// Affected is the statement's affected-row count
+	// (INSERT/UPDATE/DELETE; zero from pre-affected servers).
+	Affected int64
 }
 
 // Client is a connection to a wire server.
@@ -348,60 +609,65 @@ func (c *Client) Exec(sql string) (*Result, error) {
 	return c.readResult()
 }
 
-// readResult decodes one EXEC/BIND-style response. Caller holds c.mu.
-func (c *Client) readResult() (*Result, error) {
-	head, err := c.rd.ReadString('\n')
-	if err != nil {
-		return nil, fmt.Errorf("wire recv: %w", err)
-	}
-	head = strings.TrimRight(head, "\r\n")
-	if strings.HasPrefix(head, "ERR ") {
-		return nil, errors.New(strings.TrimPrefix(head, "ERR "))
-	}
-	var ncols, nrows int
-	var latUS int64
-	if _, err := fmt.Sscanf(head, "OK %d %d %d", &ncols, &nrows, &latUS); err != nil {
-		return nil, fmt.Errorf("wire: malformed response %q", head)
-	}
-	res := &Result{Latency: time.Duration(latUS) * time.Microsecond}
-	if ncols > 0 {
-		colLine, err := c.rd.ReadString('\n')
-		if err != nil {
-			return nil, err
-		}
-		res.Columns = strings.Split(strings.TrimRight(colLine, "\r\n"), "\t")
-		for i := 0; i < nrows; i++ {
-			rowLine, err := c.rd.ReadString('\n')
-			if err != nil {
-				return nil, err
-			}
-			cells := strings.Split(strings.TrimRight(rowLine, "\r\n"), "\t")
-			row := make([]types.Value, len(cells))
-			for j, cell := range cells {
-				row[j] = decodeCell(cell)
-			}
-			res.Rows = append(res.Rows, row)
-		}
-	}
-	term, err := c.rd.ReadString('\n')
-	if err != nil {
-		return nil, err
-	}
-	if strings.TrimRight(term, "\r\n") != "." {
-		return nil, fmt.Errorf("wire: missing terminator, got %q", term)
-	}
-	return res, nil
-}
-
-// Metrics sends a METRICS frame and returns the server's rendered
-// Prometheus exposition document. It fails when the server has no
-// metrics registry armed (ServeMetrics was not called).
-func (c *Client) Metrics() (string, error) {
+// ExecBatch pipelines a burst of statements: one BATCH envelope carries
+// every tagged EXEC in a single write, and the responses stream back
+// without a per-statement round trip. Results and errors are
+// index-aligned with sqls. The statements run in order on the
+// connection's root session — the batch is a pipeline, not a
+// transaction; a failed statement does not stop the ones after it.
+func (c *Client) ExecBatch(sqls []string) ([]*Result, []error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, err := fmt.Fprint(c.conn, "METRICS\n"); err != nil {
+	results := make([]*Result, len(sqls))
+	errs := make([]error, len(sqls))
+	if len(sqls) == 0 {
+		return results, errs
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "BATCH %d\n", len(sqls))
+	for i, sql := range sqls {
+		flat := strings.ReplaceAll(strings.ReplaceAll(sql, "\r", " "), "\n", " ")
+		fmt.Fprintf(&b, "@%d EXEC %s\n", i+1, flat)
+	}
+	if _, err := io.WriteString(c.conn, b.String()); err != nil {
+		for i := range errs {
+			errs[i] = fmt.Errorf("wire send: %w", err)
+		}
+		return results, errs
+	}
+	for range sqls {
+		tag, res, err := c.readTaggedResult()
+		idx, convErr := strconv.Atoi(strings.TrimPrefix(tag, "@"))
+		if convErr != nil || idx < 1 || idx > len(sqls) {
+			// A response we cannot match poisons the stream; fail the
+			// remaining slots and stop reading.
+			for i := range errs {
+				if results[i] == nil && errs[i] == nil {
+					errs[i] = fmt.Errorf("wire: unmatched batch response tag %q", tag)
+				}
+			}
+			return results, errs
+		}
+		results[idx-1], errs[idx-1] = res, err
+	}
+	return results, errs
+}
+
+// Shards sends a SHARDS frame and returns the server's shard status
+// text. It fails when the deployment is not sharded (ServeShards was
+// not called).
+func (c *Client) Shards() (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := fmt.Fprint(c.conn, "SHARDS\n"); err != nil {
 		return "", fmt.Errorf("wire send: %w", err)
 	}
+	return c.readSizedDoc("SHARDS")
+}
+
+// readSizedDoc decodes a "<kind> <nbytes>\npayload.\n" response.
+// Caller holds c.mu.
+func (c *Client) readSizedDoc(kind string) (string, error) {
 	head, err := c.rd.ReadString('\n')
 	if err != nil {
 		return "", fmt.Errorf("wire recv: %w", err)
@@ -411,8 +677,8 @@ func (c *Client) Metrics() (string, error) {
 		return "", errors.New(strings.TrimPrefix(head, "ERR "))
 	}
 	var n int
-	if _, err := fmt.Sscanf(head, "MET %d", &n); err != nil {
-		return "", fmt.Errorf("wire: malformed METRICS response %q", head)
+	if _, err := fmt.Sscanf(head, kind+" %d", &n); err != nil {
+		return "", fmt.Errorf("wire: malformed %s response %q", kind, head)
 	}
 	doc := make([]byte, n)
 	if _, err := io.ReadFull(c.rd, doc); err != nil {
@@ -426,6 +692,89 @@ func (c *Client) Metrics() (string, error) {
 		return "", fmt.Errorf("wire: missing terminator, got %q", term)
 	}
 	return string(doc), nil
+}
+
+// readResult decodes one EXEC/BIND-style response. Caller holds c.mu.
+func (c *Client) readResult() (*Result, error) {
+	_, res, err := c.readTaggedResult()
+	return res, err
+}
+
+// readTaggedResult decodes one EXEC/BIND-style response, stripping and
+// returning an optional "@<tag> " prefix. Caller holds c.mu.
+func (c *Client) readTaggedResult() (string, *Result, error) {
+	head, err := c.rd.ReadString('\n')
+	if err != nil {
+		return "", nil, fmt.Errorf("wire recv: %w", err)
+	}
+	head = strings.TrimRight(head, "\r\n")
+	var tag string
+	if strings.HasPrefix(head, "@") {
+		if i := strings.IndexByte(head, ' '); i > 1 {
+			tag, head = head[:i], head[i+1:]
+		}
+	}
+	if strings.HasPrefix(head, "ERR ") {
+		return tag, nil, errors.New(strings.TrimPrefix(head, "ERR "))
+	}
+	var ncols, nrows int
+	var latUS, affected int64
+	// Four head fields since affected-count support; a three-field head
+	// from an older server leaves Affected zero.
+	if _, err := fmt.Sscanf(head, "OK %d %d %d %d", &ncols, &nrows, &latUS, &affected); err != nil {
+		if _, err := fmt.Sscanf(head, "OK %d %d %d", &ncols, &nrows, &latUS); err != nil {
+			return tag, nil, fmt.Errorf("wire: malformed response %q", head)
+		}
+	}
+	res := &Result{Latency: time.Duration(latUS) * time.Microsecond, Affected: affected}
+	if err := readResultBody(c.rd, res, ncols, nrows); err != nil {
+		return tag, nil, err
+	}
+	return tag, res, nil
+}
+
+// readResultBody reads the column, row and terminator lines of one
+// EXEC/BIND-style response into res.
+func readResultBody(rd *bufio.Reader, res *Result, ncols, nrows int) error {
+	if ncols > 0 {
+		colLine, err := rd.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		res.Columns = strings.Split(strings.TrimRight(colLine, "\r\n"), "\t")
+		for i := 0; i < nrows; i++ {
+			rowLine, err := rd.ReadString('\n')
+			if err != nil {
+				return err
+			}
+			cells := strings.Split(strings.TrimRight(rowLine, "\r\n"), "\t")
+			row := make([]types.Value, len(cells))
+			for j, cell := range cells {
+				row[j] = decodeCell(cell)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	term, err := rd.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	if strings.TrimRight(term, "\r\n") != "." {
+		return fmt.Errorf("wire: missing terminator, got %q", term)
+	}
+	return nil
+}
+
+// Metrics sends a METRICS frame and returns the server's rendered
+// Prometheus exposition document. It fails when the server has no
+// metrics registry armed (ServeMetrics was not called).
+func (c *Client) Metrics() (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := fmt.Fprint(c.conn, "METRICS\n"); err != nil {
+		return "", fmt.Errorf("wire send: %w", err)
+	}
+	return c.readSizedDoc("MET")
 }
 
 // Stmt is a client-side handle on a server-side prepared statement.

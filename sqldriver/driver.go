@@ -10,6 +10,8 @@
 //	diverse:PG,OR,MS          diverse fault-tolerant server
 //	replicated:PG,3           non-diverse primary/backup group
 //	wire:127.0.0.1:5433       attach to a running divsqld over TCP
+//	wiremux:127.0.0.1:5433    same, multiplexing the pool's connections
+//	                          over one shared TCP connection
 //
 // Register-and-open:
 //
@@ -74,6 +76,9 @@ var (
 func (d *Driver) Open(dsn string) (driver.Conn, error) {
 	if addr, ok := strings.CutPrefix(dsn, "wire:"); ok {
 		return openWireConn(addr)
+	}
+	if addr, ok := strings.CutPrefix(dsn, "wiremux:"); ok {
+		return openWireMuxConn(addr)
 	}
 	ep, err := endpointFor(dsn)
 	if err != nil {

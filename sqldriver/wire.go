@@ -3,20 +3,28 @@ package sqldriver
 import (
 	"context"
 	"database/sql/driver"
+	"sync"
 
 	"divsql/internal/wire"
 )
 
-// This file is the driver's network mode: a "wire:host:port" DSN
-// attaches to a running divsqld over the wire protocol instead of an
-// in-process endpoint. Each database/sql connection dials its own TCP
-// connection — one server-side session — so the pool semantics match
-// the in-process modes: shared data, per-connection transactions,
-// parallel reads.
+// This file is the driver's network modes.
 //
-// The wire protocol does not carry affected-row counts (OK frames
-// report result shape and latency only), so Result.RowsAffected
-// reports 0 in this mode.
+// A "wire:host:port" DSN attaches to a running divsqld over the wire
+// protocol instead of an in-process endpoint. Each database/sql
+// connection dials its own TCP connection — one server-side session —
+// so the pool semantics match the in-process modes: shared data,
+// per-connection transactions, parallel reads.
+//
+// A "wiremux:host:port" DSN multiplexes instead: all connections of the
+// pool share one TCP connection per address, each mapping to one
+// server-side session over the wire protocol's session-multiplexing
+// frames. The pool's transaction and visibility semantics are
+// identical; the deployment holds N sockets open instead of
+// N×pool-size.
+//
+// OK frames carry the affected-row count, so Result.RowsAffected works
+// in both modes (a pre-affected-count server reports 0).
 
 // openWireConn dials one connection to a divsqld at addr.
 func openWireConn(addr string) (driver.Conn, error) {
@@ -102,13 +110,141 @@ func (s *wireStmt) Exec(args []driver.Value) (driver.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := s.st.Exec(vals...); err != nil {
+	res, err := s.st.Exec(vals...)
+	if err != nil {
 		return nil, err
 	}
-	return result{affected: 0}, nil
+	return result{affected: res.Affected}, nil
 }
 
 func (s *wireStmt) Query(args []driver.Value) (driver.Rows, error) {
+	vals, err := toTypesValues(args)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.st.Exec(vals...)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{cols: res.Columns, data: res.Rows}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Multiplexed wire mode
+
+// muxes caches one multiplexed connection per address: every
+// database/sql connection of a "wiremux:" pool is one session of the
+// shared Mux.
+var (
+	muxesMu sync.Mutex
+	muxes   = map[string]*wire.Mux{}
+)
+
+// openWireMuxConn opens one multiplexed session to the divsqld at addr,
+// dialing the shared Mux on first use.
+func openWireMuxConn(addr string) (driver.Conn, error) {
+	muxesMu.Lock()
+	m, ok := muxes[addr]
+	if !ok {
+		var err error
+		m, err = wire.DialMux(addr)
+		if err != nil {
+			muxesMu.Unlock()
+			return nil, err
+		}
+		muxes[addr] = m
+	}
+	muxesMu.Unlock()
+	sess, err := m.Session()
+	if err != nil {
+		// The shared Mux may have died (server restart); forget it so the
+		// next open re-dials.
+		muxesMu.Lock()
+		if muxes[addr] == m {
+			delete(muxes, addr)
+			_ = m.Close()
+		}
+		muxesMu.Unlock()
+		return nil, err
+	}
+	return &wireMuxConn{s: sess}, nil
+}
+
+type wireMuxConn struct{ s *wire.MuxSession }
+
+var (
+	_ driver.Conn        = (*wireMuxConn)(nil)
+	_ driver.ConnBeginTx = (*wireMuxConn)(nil)
+)
+
+func (w *wireMuxConn) Prepare(query string) (driver.Stmt, error) {
+	st, err := w.s.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return &wireMuxStmt{st: st}, nil
+}
+
+// Close detaches the server-side session (rolling back its open
+// transaction); the shared TCP connection stays up for the pool.
+func (w *wireMuxConn) Close() error { return w.s.Close() }
+
+func (w *wireMuxConn) Begin() (driver.Tx, error) {
+	if _, err := w.s.Exec("BEGIN TRANSACTION"); err != nil {
+		return nil, err
+	}
+	return &wireMuxTx{s: w.s}, nil
+}
+
+func (w *wireMuxConn) BeginTx(ctx context.Context, opts driver.TxOptions) (driver.Tx, error) {
+	iso, err := isoStatement(opts)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.s.Exec("BEGIN TRANSACTION"); err != nil {
+		return nil, err
+	}
+	if iso != "" {
+		if _, err := w.s.Exec(iso); err != nil {
+			_, _ = w.s.Exec("ROLLBACK")
+			return nil, err
+		}
+	}
+	return &wireMuxTx{s: w.s}, nil
+}
+
+type wireMuxTx struct{ s *wire.MuxSession }
+
+func (t *wireMuxTx) Commit() error {
+	_, err := t.s.Exec("COMMIT")
+	return err
+}
+
+func (t *wireMuxTx) Rollback() error {
+	_, err := t.s.Exec("ROLLBACK")
+	return err
+}
+
+type wireMuxStmt struct{ st *wire.MuxStmt }
+
+var _ driver.Stmt = (*wireMuxStmt)(nil)
+
+func (s *wireMuxStmt) Close() error  { return s.st.Close() }
+func (s *wireMuxStmt) NumInput() int { return s.st.NumParams() }
+
+func (s *wireMuxStmt) Exec(args []driver.Value) (driver.Result, error) {
+	vals, err := toTypesValues(args)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.st.Exec(vals...)
+	if err != nil {
+		return nil, err
+	}
+	return result{affected: res.Affected}, nil
+}
+
+func (s *wireMuxStmt) Query(args []driver.Value) (driver.Rows, error) {
 	vals, err := toTypesValues(args)
 	if err != nil {
 		return nil, err
