@@ -92,6 +92,12 @@ func aggregateShape(sel *ast.Select) ([]string, bool) {
 		if !ok {
 			return nil, false
 		}
+		if fc.Distinct {
+			// COUNT(DISTINCT x) / SUM(DISTINCT x) cannot be recombined by
+			// summing per-shard results: a distinct value of a non-band
+			// column can exist on several shards, so the sum over-counts.
+			return nil, false
+		}
 		fn := strings.ToUpper(fc.Name)
 		switch fn {
 		case "COUNT", "SUM", "MIN", "MAX":
@@ -104,22 +110,42 @@ func aggregateShape(sel *ast.Select) ([]string, bool) {
 }
 
 // hasAggregate reports whether any projection contains an aggregate
-// call (used to reject mixed shapes the merge cannot recombine).
+// call (used to reject mixed shapes the merge cannot recombine). It
+// recurses through UNION branches and derived tables: a per-shard
+// aggregate anywhere in the compound query yields one local value per
+// shard, which a plain row-set merge cannot recombine.
 func hasAggregate(sel *ast.Select) bool {
 	agg := false
-	for _, it := range sel.Items {
-		if it.Expr == nil {
-			continue
+	var walkSel func(s *ast.Select)
+	walkSel = func(s *ast.Select) {
+		if s == nil || agg {
+			return
 		}
-		ast.WalkExprs(it.Expr, func(e ast.Expr) {
-			if fc, ok := e.(*ast.FuncCall); ok {
-				switch strings.ToUpper(fc.Name) {
-				case "COUNT", "SUM", "MIN", "MAX", "AVG":
-					agg = true
-				}
+		for _, it := range s.Items {
+			if it.Expr == nil {
+				continue
 			}
-		})
+			ast.WalkExprs(it.Expr, func(e ast.Expr) {
+				if fc, ok := e.(*ast.FuncCall); ok {
+					if fc.Distinct {
+						agg = true
+					}
+					switch strings.ToUpper(fc.Name) {
+					case "COUNT", "SUM", "MIN", "MAX", "AVG":
+						agg = true
+					}
+				}
+			})
+		}
+		for _, f := range s.From {
+			walkSel(f.Table.Subquery)
+			for _, j := range f.Joins {
+				walkSel(j.Right.Subquery)
+			}
+		}
+		walkSel(s.Union)
 	}
+	walkSel(sel)
 	return agg
 }
 

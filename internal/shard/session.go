@@ -209,12 +209,21 @@ func (s *Session) execTxnControl(st ast.Statement, ex shardExec) (*engine.Result
 			if lat > maxLat {
 				maxLat = lat
 			}
-			if err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("shard %d: %w", shard, err)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("shard %d: %w", shard, err)
+				}
+				// The session's transaction record is already cleared, so
+				// a COMMIT that failed leaving the backend transaction
+				// open would have later autocommit-style statements
+				// silently execute inside it. Best-effort ROLLBACK puts
+				// the backend session in a known state either way.
+				if _, isCommit := st.(*ast.Commit); isCommit {
+					_, _, _ = s.subs[shard].Exec("ROLLBACK")
+				}
+				continue
 			}
-			if err == nil {
-				res = rr
-			}
+			res = rr
 		}
 		if firstErr != nil {
 			return nil, maxLat, firstErr

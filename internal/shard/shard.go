@@ -253,22 +253,71 @@ func referencedNames(st ast.Statement) []string {
 
 // analyzeBand routes in PK-band mode.
 func (r *Router) analyzeBand(st ast.Statement, args []types.Value, home int) (route, error) {
+	var (
+		rt  route
+		err error
+	)
 	switch x := st.(type) {
 	case *ast.CreateTable, *ast.CreateView, *ast.CreateIndex, *ast.CreateSequence,
 		*ast.DropTable, *ast.DropView, *ast.DropIndex, *ast.DropSequence:
 		_ = x
 		return route{kind: routeBroadcast}, nil
 	case *ast.Insert:
-		return r.analyzeInsert(x, args)
+		rt, err = r.analyzeInsert(x, args)
 	case *ast.Update:
-		return r.analyzeFiltered(strings.ToUpper(x.Table), x.Where, args, false, home)
+		rt, err = r.analyzeFiltered(strings.ToUpper(x.Table), x.Where, args, false, home)
 	case *ast.Delete:
-		return r.analyzeFiltered(strings.ToUpper(x.Table), x.Where, args, false, home)
+		rt, err = r.analyzeFiltered(strings.ToUpper(x.Table), x.Where, args, false, home)
 	case *ast.Select:
-		return r.analyzeSelect(x, args, home)
+		rt, err = r.analyzeSelect(x, args, home)
 	default:
 		return route{}, fmt.Errorf("shard: cannot route %T", st)
 	}
+	if err == nil && rt.kind != routeSingle {
+		// The statement is about to run on more than one shard (scatter
+		// or broadcast): a subquery over a banded table would evaluate
+		// against each shard's local fragment only — shards would filter
+		// by different values and the merged outcome would be silently
+		// wrong. The co-partitioning assumption covers joins, not
+		// global-aggregate subqueries, so reject deterministically.
+		if serr := r.bandedSubqueryErr(st); serr != nil {
+			return route{}, serr
+		}
+	}
+	return rt, err
+}
+
+// bandedSubqueryErr reports an error when any subquery expression in the
+// statement references a banded table. Pinned (single-shard) statements
+// are not checked here: their subqueries run on one shard, which is what
+// the band predicate asked for.
+func (r *Router) bandedSubqueryErr(st ast.Statement) error {
+	var offender string
+	check := func(sub *ast.Select) {
+		if sub == nil || offender != "" {
+			return
+		}
+		for t := range ast.Tables(sub) {
+			if r.bandColumnOf(t) != "" {
+				offender = t
+				return
+			}
+		}
+	}
+	ast.WalkStatementExprs(st, func(e ast.Expr) {
+		switch x := e.(type) {
+		case *ast.In:
+			check(x.Select)
+		case *ast.Exists:
+			check(x.Select)
+		case *ast.Subquery:
+			check(x.Select)
+		}
+	})
+	if offender != "" {
+		return fmt.Errorf("shard: multi-shard statement with a subquery over banded table %s cannot be routed (add a band predicate)", offender)
+	}
+	return nil
 }
 
 // bandColumnOf reports the band column of a table ("" = replicated).
@@ -281,7 +330,16 @@ func (r *Router) analyzeInsert(ins *ast.Insert, args []types.Value) (route, erro
 	table := strings.ToUpper(ins.Table)
 	band := r.bandColumnOf(table)
 	if band == "" {
-		// Replicated table: the row must exist on every shard.
+		// Replicated table: the row must exist on every shard. A source
+		// SELECT over a banded table would feed each replica its local
+		// fragment only, silently diverging the replicas.
+		if ins.Select != nil {
+			for t := range ast.Tables(ins.Select) {
+				if r.bandColumnOf(t) != "" {
+					return route{}, fmt.Errorf("shard: INSERT ... SELECT from banded table %s into replicated table %s cannot be routed", t, table)
+				}
+			}
+		}
 		return route{kind: routeBroadcast}, nil
 	}
 	if ins.Select != nil {

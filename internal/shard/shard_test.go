@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
+	"divsql/internal/core"
 	"divsql/internal/dialect"
 	"divsql/internal/engine"
 	"divsql/internal/fault"
@@ -349,6 +351,158 @@ func TestMultiRowInsertSpanningShardsRejected(t *testing.T) {
 	}
 	// Same-band multi-row inserts are fine.
 	exec(t, r, "INSERT INTO T VALUES (0, 1), (2, 2)")
+}
+
+func TestCountDistinctCrossShardRejected(t *testing.T) {
+	// COUNT(DISTINCT x) / SUM(DISTINCT x) cannot be recombined by
+	// summing per-shard results: the same value of a non-band column can
+	// exist on several shards, so the sum over-counts. The router must
+	// reject the scatter instead of returning a silently wrong count.
+	r, _ := newServerRouter(t, bandCfg(), 3)
+	setupBanded(t, r, 0)
+	exec(t, r, "INSERT INTO T VALUES (0, 5)")
+	exec(t, r, "INSERT INTO T VALUES (1, 5)") // same A on another shard
+	for _, q := range []string{
+		"SELECT COUNT(DISTINCT A) AS N FROM T",
+		"SELECT SUM(DISTINCT A) AS S FROM T",
+	} {
+		if _, _, err := r.Exec(q); err == nil ||
+			!strings.Contains(err.Error(), "not supported") {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	// Pinned to one shard the engine computes it normally.
+	res := exec(t, r, "SELECT COUNT(DISTINCT A) AS N FROM T WHERE W = 0")
+	if res.Rows[0][0].I != 1 {
+		t.Fatalf("single-shard COUNT(DISTINCT): %v", res.Rows)
+	}
+}
+
+func TestUnionAggregateCrossShardRejected(t *testing.T) {
+	// An aggregate inside any branch of a compound query yields one
+	// local value per shard; merging the branches as a plain deduped row
+	// set would keep up to N spurious rows. Reject instead.
+	r, _ := newServerRouter(t, bandCfg(), 3)
+	setupBanded(t, r, 6)
+	if _, _, err := r.Exec("SELECT A FROM T UNION SELECT MAX(A) FROM T"); err == nil ||
+		!strings.Contains(err.Error(), "not supported") {
+		t.Fatalf("UNION with aggregate branch: %v", err)
+	}
+}
+
+func TestBandedSubqueryMultiShardRejected(t *testing.T) {
+	// A band-free statement that scatters or broadcasts must not carry a
+	// subquery over a banded table: each shard would evaluate the
+	// subquery against its local fragment only, so shards filter by
+	// different values and the merged outcome is silently wrong.
+	r, _ := newServerRouter(t, bandCfg(), 3)
+	setupBanded(t, r, 6)
+	for _, q := range []string{
+		"SELECT A FROM T WHERE A > (SELECT MAX(A) FROM T)",
+		"SELECT A FROM T WHERE A IN (SELECT A FROM T WHERE A > 40)",
+		"UPDATE T SET A = 0 WHERE A > (SELECT MAX(A) FROM T)",
+		"DELETE FROM T WHERE EXISTS (SELECT 1 FROM T WHERE A > 40)",
+	} {
+		if _, _, err := r.Exec(q); err == nil ||
+			!strings.Contains(err.Error(), "subquery over banded table") {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	// INSERT ... SELECT from a banded source into a replicated table
+	// would feed each replica its local fragment only.
+	if _, _, err := r.Exec("INSERT INTO R SELECT W, A FROM T"); err == nil ||
+		!strings.Contains(err.Error(), "banded table") {
+		t.Fatalf("INSERT..SELECT into replicated: %v", err)
+	}
+	// A subquery over a replicated table is safe to scatter — every
+	// shard evaluates it against the full data.
+	exec(t, r, "INSERT INTO R VALUES (1, 25)")
+	res := exec(t, r, "SELECT A FROM T WHERE A IN (SELECT V FROM R)")
+	if len(res.Rows) != 0 {
+		// A=25 does not exist; the point is the route is accepted.
+		t.Fatalf("replicated subquery scatter: %v", res.Rows)
+	}
+	// Pinned to one shard the subquery runs where the band predicate put
+	// the statement, which is what the caller asked for.
+	res = exec(t, r, "SELECT A FROM T WHERE W = 2 AND A IN (SELECT A FROM T WHERE W = 2)")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 20 {
+		t.Fatalf("pinned subquery: %v", res.Rows)
+	}
+}
+
+// failCommitBackend injects one COMMIT failure into every session it has
+// opened, leaving the backend transaction open — the scenario of a shard
+// failing mid COMMIT fan-out.
+type failCommitBackend struct {
+	*server.Server
+	fail bool
+}
+
+func (b *failCommitBackend) OpenSession() core.Session {
+	return &failCommitSession{Session: b.Server.OpenSession(), b: b}
+}
+
+type failCommitSession struct {
+	core.Session
+	b *failCommitBackend
+}
+
+func (s *failCommitSession) Exec(sql string) (*engine.Result, time.Duration, error) {
+	if s.b.fail && strings.EqualFold(strings.TrimSpace(sql), "COMMIT") {
+		s.b.fail = false
+		return nil, 0, fmt.Errorf("injected commit failure")
+	}
+	return s.Session.Exec(sql)
+}
+
+func TestFailedCommitDoesNotPoisonShardSession(t *testing.T) {
+	// If one shard's COMMIT fails after the router has dropped its
+	// transaction record, the backend session must not be left with the
+	// transaction open — later autocommit-style statements would
+	// silently execute inside it. The router issues a best-effort
+	// ROLLBACK to the failed shard.
+	s0, err := server.New(dialect.PG, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := server.New(dialect.PG, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := &failCommitBackend{Server: s1}
+	r, err := New(bandCfg(), s0, fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec(t, r, "CREATE TABLE T (W INT, A INT)")
+	s := r.NewSession()
+	defer s.Close()
+	for _, q := range []string{
+		"BEGIN TRANSACTION",
+		"INSERT INTO T VALUES (0, 60)", // shard 0
+		"INSERT INTO T VALUES (1, 70)", // shard 1
+	} {
+		if _, _, err := s.Exec(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	fb.fail = true
+	if _, _, err := s.Exec("COMMIT"); err == nil ||
+		!strings.Contains(err.Error(), "shard 1") {
+		t.Fatalf("COMMIT with failing shard: %v", err)
+	}
+	// The next statement on the session autocommits: it must be durable
+	// and visible to other sessions, not swallowed by a stale open
+	// transaction on shard 1's backend session.
+	if _, _, err := s.Exec("INSERT INTO T VALUES (1, 99)"); err != nil {
+		t.Fatal(err)
+	}
+	res := exec(t, r, "SELECT A FROM T WHERE W = 1 ORDER BY A")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 99 {
+		// Row 70's transaction failed to commit and must be gone; row 99
+		// autocommitted after it and must be present.
+		t.Fatalf("shard 1 rows after failed COMMIT: %v", res.Rows)
+	}
 }
 
 func TestQuarantinedReplicaInsideOneShardDuringCrossShardRead(t *testing.T) {

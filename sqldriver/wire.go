@@ -134,43 +134,72 @@ func (s *wireStmt) Query(args []driver.Value) (driver.Rows, error) {
 
 // muxes caches one multiplexed connection per address: every
 // database/sql connection of a "wiremux:" pool is one session of the
-// shared Mux.
+// shared Mux. Entries are reference-counted by their open sessions —
+// when the pool closes its last connection the Mux (and its TCP
+// connection and readLoop goroutine) is closed and dropped, so a closed
+// pool holds no sockets and a later pool re-dials fresh.
 var (
 	muxesMu sync.Mutex
-	muxes   = map[string]*wire.Mux{}
+	muxes   = map[string]*muxEntry{}
 )
+
+type muxEntry struct {
+	m    *wire.Mux
+	refs int
+}
+
+// releaseMux drops one session's reference; the last one out closes the
+// shared Mux and removes it from the cache (unless a newer Mux for the
+// same address has already replaced it there).
+func releaseMux(addr string, e *muxEntry) {
+	muxesMu.Lock()
+	e.refs--
+	last := e.refs == 0
+	if last && muxes[addr] == e {
+		delete(muxes, addr)
+	}
+	muxesMu.Unlock()
+	if last {
+		_ = e.m.Close()
+	}
+}
 
 // openWireMuxConn opens one multiplexed session to the divsqld at addr,
 // dialing the shared Mux on first use.
 func openWireMuxConn(addr string) (driver.Conn, error) {
 	muxesMu.Lock()
-	m, ok := muxes[addr]
+	e, ok := muxes[addr]
 	if !ok {
-		var err error
-		m, err = wire.DialMux(addr)
+		m, err := wire.DialMux(addr)
 		if err != nil {
 			muxesMu.Unlock()
 			return nil, err
 		}
-		muxes[addr] = m
+		e = &muxEntry{m: m}
+		muxes[addr] = e
 	}
+	e.refs++
 	muxesMu.Unlock()
-	sess, err := m.Session()
+	sess, err := e.m.Session()
 	if err != nil {
 		// The shared Mux may have died (server restart); forget it so the
-		// next open re-dials.
+		// next open re-dials, and drop this open's reference.
 		muxesMu.Lock()
-		if muxes[addr] == m {
+		if muxes[addr] == e {
 			delete(muxes, addr)
-			_ = m.Close()
 		}
 		muxesMu.Unlock()
+		releaseMux(addr, e)
 		return nil, err
 	}
-	return &wireMuxConn{s: sess}, nil
+	return &wireMuxConn{s: sess, addr: addr, e: e}, nil
 }
 
-type wireMuxConn struct{ s *wire.MuxSession }
+type wireMuxConn struct {
+	s    *wire.MuxSession
+	addr string
+	e    *muxEntry
+}
 
 var (
 	_ driver.Conn        = (*wireMuxConn)(nil)
@@ -186,8 +215,13 @@ func (w *wireMuxConn) Prepare(query string) (driver.Stmt, error) {
 }
 
 // Close detaches the server-side session (rolling back its open
-// transaction); the shared TCP connection stays up for the pool.
-func (w *wireMuxConn) Close() error { return w.s.Close() }
+// transaction) and drops the session's reference on the shared Mux; the
+// TCP connection stays up while other pool connections still hold it.
+func (w *wireMuxConn) Close() error {
+	err := w.s.Close()
+	releaseMux(w.addr, w.e)
+	return err
+}
 
 func (w *wireMuxConn) Begin() (driver.Tx, error) {
 	if _, err := w.s.Exec("BEGIN TRANSACTION"); err != nil {

@@ -67,6 +67,47 @@ func TestWireRowsAffected(t *testing.T) {
 	}
 }
 
+// TestWireMuxCloseReleasesSharedConn: the per-address Mux is reference-
+// counted by its open sessions — closing the pool must close and drop
+// the shared TCP connection instead of leaking it (and its readLoop
+// goroutine) for process lifetime, and a later pool must re-dial fresh.
+func TestWireMuxCloseReleasesSharedConn(t *testing.T) {
+	Register()
+	addr := startWireServer(t)
+	db, err := sql.Open(DriverName, "wiremux:"+addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE M (A INT)"); err != nil {
+		t.Fatal(err)
+	}
+	muxesMu.Lock()
+	_, cached := muxes[addr]
+	muxesMu.Unlock()
+	if !cached {
+		t.Fatal("no shared mux cached while pool is open")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	muxesMu.Lock()
+	_, cached = muxes[addr]
+	muxesMu.Unlock()
+	if cached {
+		t.Errorf("shared mux for %s still cached after pool close", addr)
+	}
+	// A fresh pool re-dials and sees the server's state.
+	db2, err := sql.Open(DriverName, "wiremux:"+addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	var n int
+	if err := db2.QueryRow("SELECT COUNT(*) AS N FROM M").Scan(&n); err != nil {
+		t.Fatalf("re-dial after release: %v", err)
+	}
+}
+
 // TestWireMuxPool drives a database/sql pool over one multiplexed TCP
 // connection: concurrent transactions stay isolated and the affected
 // counts survive the shared socket.
